@@ -1,0 +1,176 @@
+//! Criterion microbenchmarks: the hot paths of the WIRE controller and the
+//! simulator (predictor update, Algorithm 3, lookahead, end-to-end runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wire_core::experiment::{cloud_config, run_setting, Setting};
+use wire_dag::Millis;
+use wire_planner::{resize_pool, WirePolicy};
+use wire_predictor::{CompletedTaskObs, IntervalObservations, Predictor};
+use wire_simcloud::{run_workflow, TransferModel};
+use wire_workloads::WorkloadId;
+
+fn bench_predictor_update(c: &mut Criterion) {
+    let (wf, _) = WorkloadId::Tpch1S.generate(1);
+    c.bench_function("predictor/observe_interval_62tasks", |b| {
+        b.iter(|| {
+            let mut p = Predictor::new(&wf);
+            let mut obs = IntervalObservations::empty_for(&wf);
+            for t in wf.task_ids() {
+                let spec = wf.task(t);
+                obs.per_stage[spec.stage.index()].completed.push(CompletedTaskObs {
+                    task: t,
+                    input_bytes: spec.input_bytes,
+                    exec_time: Millis::from_secs(5),
+                });
+            }
+            p.observe_interval(&obs);
+            std::hint::black_box(p.state_bytes())
+        })
+    });
+}
+
+fn bench_resize_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner/resize_pool");
+    for n in [100usize, 1000, 4000] {
+        let q: Vec<Millis> = (0..n).map(|i| Millis::from_secs(1 + (i as u64 % 90))).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| resize_pool(std::hint::black_box(q), Millis::from_mins(15), 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookahead(c: &mut Criterion) {
+    // one MAPE planning step (lookahead + Algorithms 2-3) on a mid-run
+    // snapshot of the 4005-task Genome L workflow — the §IV-F hot path
+    use wire_planner::{lookahead, steer, SteeringConfig};
+    use wire_simcloud::{InstanceStateView, InstanceView, MonitorSnapshot, TaskView};
+    use wire_simcloud::{CloudConfig, InstanceId};
+    use wire_dag::TaskId;
+
+    let (wf, _) = WorkloadId::EpigenomicsL.generate(1);
+    let cfg = CloudConfig::default();
+    let n = wf.num_tasks();
+    // synthetic mid-run state: first quarter done, 48 running, rest ready or
+    // blocked
+    let mut tasks = vec![TaskView::Unready; n];
+    for i in 0..n / 4 {
+        tasks[i] = TaskView::Done {
+            exec_time: Millis::from_secs(10),
+            transfer_time: Millis::from_secs(2),
+        };
+    }
+    let mut instances = Vec::new();
+    for i in 0..12u32 {
+        let held: Vec<TaskId> = (0..4).map(|k| TaskId((n / 4) as u32 + i * 4 + k)).collect();
+        for &t in &held {
+            tasks[t.index()] = TaskView::Running {
+                instance: InstanceId(i),
+                exec_age: Millis::from_secs(5),
+                occupied_for: Millis::from_secs(7),
+            };
+        }
+        instances.push(InstanceView {
+            id: InstanceId(i),
+            state: InstanceStateView::Running {
+                charge_start: Millis::ZERO,
+            },
+            tasks: held,
+            free_slots: 0,
+        });
+    }
+    let ready: Vec<TaskId> = ((n / 4 + 48) as u32..(n / 2) as u32).map(TaskId).collect();
+    for &t in &ready {
+        tasks[t.index()] = TaskView::Ready;
+    }
+    let snap = MonitorSnapshot {
+        now: Millis::from_mins(30),
+        workflow: &wf,
+        config: &cfg,
+        tasks,
+        instances,
+        new_completions: vec![],
+        interval_transfers: vec![],
+        ready_in_dispatch_order: ready,
+    };
+    let remaining = vec![Millis::from_secs(8); n];
+    let values = vec![Millis::from_secs(12); n];
+
+    c.bench_function("planner/lookahead_4005tasks", |b| {
+        b.iter(|| {
+            let up = lookahead(
+                std::hint::black_box(&snap),
+                &remaining,
+                &values,
+                Millis::from_mins(3),
+            );
+            std::hint::black_box(up.q_task.len())
+        })
+    });
+    c.bench_function("planner/full_plan_step_4005tasks", |b| {
+        b.iter(|| {
+            let up = lookahead(&snap, &remaining, &values, Millis::from_mins(3));
+            let plan = steer(
+                &snap,
+                &up.occupancies(),
+                &up.restart_cost,
+                &up.projected_busy,
+                SteeringConfig::default(),
+            );
+            std::hint::black_box(plan.launch)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/end_to_end");
+    group.sample_size(10);
+    group.bench_function("tpch6s_wire_u15", |b| {
+        b.iter(|| run_setting(WorkloadId::Tpch6S, Setting::Wire, Millis::from_mins(15), 1))
+    });
+    group.bench_function("pagerank_s_wire_u15", |b| {
+        b.iter(|| {
+            run_setting(
+                WorkloadId::PageRankS,
+                Setting::Wire,
+                Millis::from_mins(15),
+                1,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_mape_iteration(c: &mut Criterion) {
+    // a single wire run of the large epigenomics workflow, dominated by MAPE
+    // iterations over 4005 tasks — per-iteration cost is what §IV-F bounds
+    let mut group = c.benchmark_group("engine/genome_l_wire");
+    group.sample_size(10);
+    group.bench_function("genome_l_wire_u15", |b| {
+        let (wf, prof) = WorkloadId::EpigenomicsL.generate(1);
+        let cfg = cloud_config(Setting::Wire, Millis::from_mins(15));
+        b.iter(|| {
+            run_workflow(
+                &wf,
+                &prof,
+                cfg.clone(),
+                TransferModel::default(),
+                WirePolicy::default(),
+                1,
+            )
+            .unwrap()
+            .charging_units
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predictor_update,
+    bench_resize_pool,
+    bench_lookahead,
+    bench_end_to_end,
+    bench_full_mape_iteration
+);
+criterion_main!(benches);

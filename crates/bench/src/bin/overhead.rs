@@ -1,0 +1,55 @@
+//! Regenerate the §IV-F overhead study: WIRE-controller memory footprint and
+//! wall-time cost relative to each run's aggregate task execution time.
+//!
+//! Paper: ≤ 16 KB of memory; 0.011 % – 0.49 % of aggregate task time.
+
+use wire_bench::{emit, quick_mode};
+use wire_core::experiment::{cloud_config, Setting, CHARGING_UNITS_MINS};
+use wire_core::Table;
+use wire_dag::Millis;
+use wire_planner::WirePolicy;
+use wire_simcloud::{run_workflow, TransferModel};
+use wire_workloads::WorkloadId;
+
+fn main() {
+    let workloads = if quick_mode() {
+        WorkloadId::SMALL.to_vec()
+    } else {
+        WorkloadId::ALL.to_vec()
+    };
+    let mut t = Table::new([
+        "workload",
+        "u (min)",
+        "mape iters",
+        "controller wall (ms)",
+        "aggregate task time (s)",
+        "time overhead (%)",
+        "controller state (KB)",
+    ]);
+    for &w in &workloads {
+        for &u_min in &CHARGING_UNITS_MINS {
+            let u = Millis::from_mins(u_min);
+            let (wf, prof) = w.generate(1);
+            let cfg = cloud_config(Setting::Wire, u);
+            let mut policy = WirePolicy::default();
+            let res = run_workflow(&wf, &prof, cfg, TransferModel::default(), &mut policy, 1)
+                .expect("wire run completes");
+            let agg = prof.aggregate().as_secs_f64();
+            let wall_ms = res.controller_wall.as_secs_f64() * 1000.0;
+            t.push_row([
+                w.name().to_string(),
+                u_min.to_string(),
+                res.mape_iterations.to_string(),
+                format!("{wall_ms:.2}"),
+                format!("{agg:.0}"),
+                format!("{:.4}", 100.0 * wall_ms / 1000.0 / agg),
+                format!("{:.1}", policy.state_bytes() as f64 / 1024.0),
+            ]);
+        }
+    }
+    emit(
+        "§IV-F — WIRE controller overhead (paper: ≤16 KB, 0.011–0.49% of task time)",
+        "overhead",
+        &t,
+    );
+}

@@ -1,0 +1,83 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation:
+//!
+//! | binary     | artifact | content |
+//! |------------|----------|---------|
+//! | `table1`   | Table I  | workload characteristics, paper vs generated |
+//! | `fig2`     | Figure 2 | steering policy vs optimal, R > U |
+//! | `fig3`     | Figure 3 | steering policy vs optimal, R ≤ U |
+//! | `fig4`     | Figure 4 | prediction-error CDFs per workload/class |
+//! | `fig5`     | Figure 5 | resource cost across settings × charging units |
+//! | `fig6`     | Figure 6 | relative execution time across settings × units |
+//! | `overhead` | §IV-F    | controller memory and wall-time overhead |
+//! | `headline` | §I/§IV-E | cost ratios, slowdowns, fraction within 2× |
+//! | `ablation` | §III-C/D | first-five priority, OGD, waste threshold |
+//!
+//! Binaries print aligned tables to stdout and drop CSV files under
+//! `results/`. Pass `--quick` to any of them for a reduced sweep.
+
+use std::path::{Path, PathBuf};
+use wire_core::Table;
+
+/// Directory (relative to the workspace root) where CSVs land.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a table as `results/<name>.csv` and return the path.
+pub fn save_csv(name: &str, table: &Table) -> PathBuf {
+    let path = results_dir().join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv()).expect("write csv");
+    path
+}
+
+/// `--quick` flag: smaller sweeps for CI-ish runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Print a titled table and persist its CSV.
+pub fn emit(title: &str, name: &str, table: &Table) {
+    println!("\n== {title} ==\n");
+    print!("{}", table.render());
+    let path = save_csv(name, table);
+    println!("[csv: {}]", path.display());
+}
+
+use wire_dag::Millis;
+use wire_planner::WirePolicy;
+use wire_simcloud::{run_workflow, CloudConfig, TransferModel};
+
+/// One Figure 2/3 data point: run the steering policy on a single linear
+/// stage of `n` tasks with runtime `r` and charging unit `u` (idealized
+/// single-slot instances, §III-E assumptions), and report the two ratios the
+/// figures plot:
+///
+/// * resource-usage ratio = billed time / optimal usage `N·R` (a pool of one
+///   instance running the stage sequentially wastes nothing);
+/// * completion-time ratio = stage makespan / optimal time `R` (all tasks in
+///   parallel on `N` instances).
+pub fn linear_stage_ratios(n: usize, r: Millis, u: Millis) -> (f64, f64) {
+    // approximate the paper's "continuous monitoring" with a control interval
+    // well below both R and U (floored at 1 s to bound event counts)
+    let interval = Millis::from_ms((r.as_ms().min(u.as_ms()) / 20).max(1_000));
+    let cfg = CloudConfig::linear_analysis(u, interval);
+    let (wf, prof) = wire_workloads::linear_stage(n, r);
+    let res = run_workflow(
+        &wf,
+        &prof,
+        cfg,
+        TransferModel::none(),
+        WirePolicy::default(),
+        1,
+    )
+    .expect("linear stage completes");
+    let optimal_usage = r.as_ms() as f64 * n as f64;
+    let billed = res.charging_units as f64 * u.as_ms() as f64;
+    let cost_ratio = billed / optimal_usage;
+    let time_ratio = res.makespan.as_ms() as f64 / r.as_ms() as f64;
+    (cost_ratio, time_ratio)
+}

@@ -1,0 +1,201 @@
+//! Terminal plotting: Unicode line charts, CDF plots and grouped bar charts
+//! for the figure-regeneration binaries. No dependencies; pure text.
+
+use std::fmt::Write as _;
+
+/// A named data series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Plot markers assigned to series in order.
+const MARKS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Render an ASCII scatter/line chart of one or more series on shared axes.
+///
+/// * `width`/`height` are the plot-area dimensions in characters.
+/// * `log_x` plots x on a log10 scale (Figure 2/3 sweeps span 3 decades).
+pub fn line_chart(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_x: bool,
+) -> String {
+    assert!(width >= 10 && height >= 4, "plot area too small");
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite() && (!log_x || *x > 0.0))
+        .collect();
+    if pts.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let tx = |x: f64| if log_x { x.log10() } else { x };
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_lo = x_lo.min(tx(x));
+        x_hi = x_hi.max(tx(x));
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if (x_hi - x_lo).abs() < f64::EPSILON {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi - y_lo).abs() < f64::EPSILON {
+        y_hi = y_lo + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() || (log_x && x <= 0.0) {
+                continue;
+            }
+            let cx = ((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            grid[row][cx.min(width - 1)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let y_label_w = 9;
+    for (i, row) in grid.iter().enumerate() {
+        let y_val = y_hi - (y_hi - y_lo) * i as f64 / (height - 1) as f64;
+        let label = if i == 0 || i == height - 1 || i == height / 2 {
+            format!("{y_val:>8.2} ")
+        } else {
+            " ".repeat(y_label_w)
+        };
+        let _ = writeln!(out, "{label}|{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{}+{}", " ".repeat(y_label_w), "-".repeat(width));
+    let x_lo_lbl = if log_x { 10f64.powf(x_lo) } else { x_lo };
+    let x_hi_lbl = if log_x { 10f64.powf(x_hi) } else { x_hi };
+    let lo_s = format!("{}", trim_float(x_lo_lbl));
+    let hi_s = format!("{}", trim_float(x_hi_lbl));
+    let gap = width.saturating_sub(lo_s.len() + hi_s.len()).max(1);
+    let _ = writeln!(
+        out,
+        "{}{lo_s}{}{hi_s}",
+        " ".repeat(y_label_w + 1),
+        " ".repeat(gap),
+    );
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", MARKS[i % MARKS.len()], s.name))
+        .collect();
+    let _ = writeln!(out, "{}[{}]", " ".repeat(y_label_w + 1), legend.join("  "));
+    out
+}
+
+fn trim_float(v: f64) -> f64 {
+    // keep labels short: round to 4 significant-ish digits
+    let mag = v.abs().max(1e-12).log10().floor();
+    let scale = 10f64.powf(3.0 - mag);
+    (v * scale).round() / scale
+}
+
+/// Render a horizontal bar chart (one bar per labelled value).
+pub fn bar_chart(title: &str, bars: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if bars.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let max = bars.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max).max(1e-12);
+    let label_w = bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    for (label, v) in bars {
+        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        let _ = writeln!(
+            out,
+            "{label:<label_w$}  {}{} {v:.2}",
+            "█".repeat(n),
+            if n == 0 && *v > 0.0 { "▏" } else { "" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_points_and_legend() {
+        let s = vec![
+            Series::new("cost", vec![(1.0, 1.0), (10.0, 1.2), (100.0, 1.0)]),
+            Series::new("time", vec![(1.0, 2.0), (10.0, 1.5), (100.0, 1.1)]),
+        ];
+        let plot = line_chart("ratios", &s, 40, 10, true);
+        assert!(plot.contains("ratios"));
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("cost"));
+        assert!(plot.contains("time"));
+        // the plot area is height rows + axis + labels + legend
+        assert!(plot.lines().count() >= 13);
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let plot = line_chart("nothing", &[], 20, 5, false);
+        assert!(plot.contains("no data"));
+    }
+
+    #[test]
+    fn log_scale_filters_non_positive_x() {
+        let s = vec![Series::new("s", vec![(0.0, 1.0), (1.0, 2.0), (10.0, 3.0)])];
+        let plot = line_chart("log", &s, 30, 6, true);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = vec![Series::new("flat", vec![(1.0, 5.0), (2.0, 5.0)])];
+        let plot = line_chart("flat", &s, 20, 5, false);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let bars = vec![
+            ("full-site".to_string(), 12.0),
+            ("wire".to_string(), 2.0),
+        ];
+        let out = bar_chart("cost", &bars, 24);
+        let full_row = out.lines().find(|l| l.starts_with("full-site")).unwrap();
+        let wire_row = out.lines().find(|l| l.starts_with("wire")).unwrap();
+        let count = |s: &str| s.chars().filter(|&c| c == '█').count();
+        assert_eq!(count(full_row), 24);
+        assert_eq!(count(wire_row), 4);
+    }
+
+    #[test]
+    fn bar_chart_empty_is_graceful() {
+        assert!(bar_chart("x", &[], 10).contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "plot area")]
+    fn tiny_plot_area_rejected() {
+        let _ = line_chart("t", &[], 5, 2, false);
+    }
+}

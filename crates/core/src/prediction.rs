@@ -1,0 +1,302 @@
+//! The §IV-D prediction-accuracy study behind Figure 4.
+//!
+//! For every stage with ≥ 2 tasks, replay the stage's completions in several
+//! randomly chosen task orders; before each completion is revealed, predict
+//! the task's execution time from the peer data observed so far (Policies
+//! 3/4/5 only — the paper's Figure 4 scope), and record the error. Short and
+//! medium stages report the *true error* (seconds); long stages the *relative
+//! true error* (§IV-D footnote 3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use wire_dag::{ExecProfile, StageId, Workflow};
+use wire_predictor::{
+    relative_true_error, true_error_secs, Cdf, Estimator, PolicyKind, StageClass, StageState,
+    TaskStatus,
+};
+use wire_workloads::WorkloadId;
+
+/// Errors collected for one stage under one task order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageErrors {
+    pub stage: StageId,
+    pub class: StageClass,
+    /// Signed errors: seconds for short/medium stages, relative for long.
+    pub errors: Vec<f64>,
+    /// Which prediction policy produced each error (3/4/5 only here).
+    pub policies: Vec<PolicyKind>,
+}
+
+/// Replay one stage's tasks in a shuffled order, predicting each before its
+/// completion is revealed. Policy-1/2 predictions (no completions yet) are
+/// excluded, matching the paper's Figure 4 scope.
+pub fn stage_prediction_errors(
+    wf: &Workflow,
+    prof: &ExecProfile,
+    stage: StageId,
+    order_seed: u64,
+) -> StageErrors {
+    stage_prediction_errors_with(wf, prof, stage, order_seed, Estimator::Median)
+}
+
+/// [`stage_prediction_errors`] with an alternative central-tendency estimator
+/// (the §III-C median/mean/three-sigma comparison).
+pub fn stage_prediction_errors_with(
+    wf: &Workflow,
+    prof: &ExecProfile,
+    stage: StageId,
+    order_seed: u64,
+    estimator: Estimator,
+) -> StageErrors {
+    let mut tasks: Vec<_> = wf.stage(stage).tasks.clone();
+    let mut rng = StdRng::seed_from_u64(order_seed);
+    tasks.shuffle(&mut rng);
+
+    let class = StageClass::from_mean_secs(prof.stage_mean_secs(wf, stage));
+    let mut state = StageState::with_estimator(estimator);
+    let mut errors = Vec::new();
+    let mut policies = Vec::new();
+
+    for &t in &tasks {
+        let spec = wf.task(t);
+        let actual = prof.exec_time(t);
+        if state.has_completions() {
+            let pred =
+                wire_predictor::policies::predict_task(&state, spec.input_bytes, TaskStatus::UnstartedReady);
+            let err = match class {
+                StageClass::Long => relative_true_error(pred.exec_time, actual),
+                _ => true_error_secs(pred.exec_time, actual),
+            };
+            errors.push(err);
+            policies.push(pred.policy);
+        }
+        state.record_completion(spec.input_bytes, actual);
+        // one Algorithm-1 step per completion — the offline analogue of the
+        // per-interval model update
+        state.update_model();
+    }
+    StageErrors {
+        stage,
+        class,
+        errors,
+        policies,
+    }
+}
+
+/// The full §IV-D study across workloads, repetitions and task orders.
+#[derive(Debug, Clone)]
+pub struct PredictionStudy {
+    pub workloads: Vec<WorkloadId>,
+    /// Run repetitions (distinct generator seeds), paper: 3–7.
+    pub repetitions: usize,
+    /// Random task orders per stage, paper: 5.
+    pub task_orders: usize,
+    pub base_seed: u64,
+}
+
+impl Default for PredictionStudy {
+    fn default() -> Self {
+        PredictionStudy {
+            workloads: WorkloadId::ALL.to_vec(),
+            repetitions: 3,
+            task_orders: 5,
+            base_seed: 0xF164,
+        }
+    }
+}
+
+/// Study output for one (workload, stage-class) bucket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassBucket {
+    pub workload: &'static str,
+    pub class: StageClass,
+    pub stages: usize,
+    pub cdf: Cdf,
+}
+
+impl PredictionStudy {
+    /// Stages with ≥ 2 tasks across the selected workloads (the paper counts
+    /// 45 such stages over Table I).
+    pub fn eligible_stages(&self) -> usize {
+        self.workloads
+            .iter()
+            .map(|&w| {
+                let (wf, _) = w.generate(self.base_seed);
+                wf.stages().iter().filter(|s| s.len() >= 2).count()
+            })
+            .sum()
+    }
+
+    /// Run the study: per workload and stage class, pool the signed errors
+    /// over stages × repetitions × task orders into a CDF.
+    pub fn run(&self) -> Vec<ClassBucket> {
+        let mut buckets: Vec<ClassBucket> = Vec::new();
+        for &w in &self.workloads {
+            let mut per_class: std::collections::BTreeMap<&'static str, (usize, Vec<f64>)> =
+                std::collections::BTreeMap::new();
+            let mut counted: std::collections::BTreeMap<&'static str, std::collections::BTreeSet<u32>> =
+                Default::default();
+            for rep in 0..self.repetitions {
+                let (wf, prof) = w.generate(self.base_seed + rep as u64);
+                for stage in wf.stage_ids() {
+                    if wf.stage(stage).len() < 2 {
+                        continue;
+                    }
+                    for order in 0..self.task_orders {
+                        let se = stage_prediction_errors(
+                            &wf,
+                            &prof,
+                            stage,
+                            self.base_seed
+                                .wrapping_mul(31)
+                                .wrapping_add((rep * self.task_orders + order) as u64)
+                                .wrapping_add(stage.0 as u64),
+                        );
+                        let key = se.class.label();
+                        let entry = per_class.entry(key).or_default();
+                        entry.1.extend(se.errors);
+                        counted.entry(key).or_default().insert(stage.0);
+                    }
+                }
+            }
+            for (class_label, (_, errs)) in per_class {
+                let class = match class_label {
+                    "short" => StageClass::Short,
+                    "medium" => StageClass::Medium,
+                    _ => StageClass::Long,
+                };
+                buckets.push(ClassBucket {
+                    workload: w.name(),
+                    class,
+                    stages: counted.get(class_label).map(|s| s.len()).unwrap_or(0),
+                    cdf: Cdf::from_samples(errs),
+                });
+            }
+        }
+        buckets
+    }
+}
+
+/// §IV-D task-order analysis: for one stage, the spread (max − min) of the
+/// mean |error| across several random task orders. The paper reports that 29
+/// of 34 short/medium stages stay within 1.8 s of spread and 8 of 11 long
+/// stages within 15.2 %, with the outliers being low-parallelism stages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrderSpread {
+    pub stage: StageId,
+    pub class: StageClass,
+    pub tasks: usize,
+    /// Mean |error| per task order.
+    pub per_order_mean_abs: Vec<f64>,
+    /// max − min of the above.
+    pub spread: f64,
+}
+
+/// Compute the order-sensitivity of one stage's predictions.
+pub fn stage_order_spread(
+    wf: &Workflow,
+    prof: &ExecProfile,
+    stage: StageId,
+    orders: usize,
+    base_seed: u64,
+) -> OrderSpread {
+    let mut per_order = Vec::with_capacity(orders);
+    let mut class = StageClass::Short;
+    for k in 0..orders {
+        let se = stage_prediction_errors(wf, prof, stage, base_seed.wrapping_add(k as u64));
+        class = se.class;
+        let n = se.errors.len().max(1) as f64;
+        per_order.push(se.errors.iter().map(|e| e.abs()).sum::<f64>() / n);
+    }
+    let lo = per_order.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = per_order.iter().copied().fold(0.0_f64, f64::max);
+    OrderSpread {
+        stage,
+        class,
+        tasks: wf.stage(stage).len(),
+        per_order_mean_abs: per_order,
+        spread: (hi - lo).max(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_dag::Millis;
+
+    #[test]
+    fn uniform_stage_predicts_perfectly_after_first() {
+        // all tasks identical → every Policy-4 prediction is exact
+        let (wf, prof) = wire_workloads::linear_stage(10, Millis::from_secs(20));
+        let se = stage_prediction_errors(&wf, &prof, StageId(0), 1);
+        assert_eq!(se.errors.len(), 9); // first task excluded (Policy 1)
+        for &e in &se.errors {
+            assert!(e.abs() < 1e-9, "error {e}");
+        }
+        assert!(se
+            .policies
+            .iter()
+            .all(|&p| p == PolicyKind::GroupMedian));
+    }
+
+    #[test]
+    fn skewed_stage_errors_are_bounded_but_nonzero() {
+        let (wf, prof) = WorkloadId::Tpch6S.generate(3);
+        // stage 0 is the 32-task map stage
+        let se = stage_prediction_errors(&wf, &prof, StageId(0), 7);
+        assert_eq!(se.errors.len(), 31);
+        assert!(se.errors.iter().any(|&e| e.abs() > 1e-6));
+        // short/medium stage → absolute errors in seconds, mostly small
+        let small = se.errors.iter().filter(|e| e.abs() <= 5.0).count();
+        assert!(small * 2 > se.errors.len(), "{:?}", se.errors);
+    }
+
+    #[test]
+    fn different_orders_give_different_error_sequences() {
+        let (wf, prof) = WorkloadId::Tpch6S.generate(3);
+        let a = stage_prediction_errors(&wf, &prof, StageId(0), 1);
+        let b = stage_prediction_errors(&wf, &prof, StageId(0), 2);
+        assert_ne!(a.errors, b.errors);
+        // but the same order is reproducible
+        let a2 = stage_prediction_errors(&wf, &prof, StageId(0), 1);
+        assert_eq!(a.errors, a2.errors);
+    }
+
+    #[test]
+    fn order_spread_is_zero_for_uniform_stages() {
+        let (wf, prof) = wire_workloads::linear_stage(12, Millis::from_secs(20));
+        let sp = stage_order_spread(&wf, &prof, StageId(0), 5, 1);
+        assert_eq!(sp.per_order_mean_abs.len(), 5);
+        assert!(sp.spread < 1e-9, "{}", sp.spread);
+        assert_eq!(sp.tasks, 12);
+    }
+
+    #[test]
+    fn order_spread_is_finite_on_skewed_stages() {
+        let (wf, prof) = WorkloadId::Tpch6S.generate(3);
+        let sp = stage_order_spread(&wf, &prof, StageId(0), 5, 2);
+        assert!(sp.spread.is_finite());
+        assert!(sp.spread >= 0.0);
+    }
+
+    #[test]
+    fn study_covers_eligible_stages() {
+        let study = PredictionStudy {
+            workloads: vec![WorkloadId::Tpch6S, WorkloadId::Tpch1S],
+            repetitions: 1,
+            task_orders: 2,
+            base_seed: 5,
+        };
+        // TPCH-6 S: map(32) eligible, reduce(1) not; TPCH-1 S: 3 of 4 stages
+        // eligible (32, 27, 2; the final singleton is not)
+        assert_eq!(study.eligible_stages(), 1 + 3);
+        let buckets = study.run();
+        assert!(!buckets.is_empty());
+        for b in &buckets {
+            assert!(b.cdf.len() > 0);
+            assert!(b.stages >= 1);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Small statistics toolkit for the evaluation figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a sample; `None` when empty.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` when empty.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some((xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt())
+}
+
+/// Median (averaging the central pair for even lengths).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in median"));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
+}
+
+/// Nearest-rank `q`-quantile, `q ∈ [0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile"));
+    let q = q.clamp(0.0, 1.0);
+    let idx = ((q * v.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(v.len() - 1);
+    Some(v[idx])
+}
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        let m = mean(xs)?;
+        Some(Summary {
+            n: xs.len(),
+            mean: m,
+            std: std_dev(xs).expect("non-empty"),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+}
+
+/// Paired-sample comparison between two settings measured on the *same*
+/// seeds (the experiment grid shares seed k across settings, so cost and
+/// makespan comparisons are paired by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairedComparison {
+    pub n: usize,
+    /// Mean of (b − a).
+    pub mean_diff: f64,
+    /// Mean of b / a (only over pairs with a > 0).
+    pub mean_ratio: f64,
+    /// Fraction of pairs where b < a.
+    pub frac_b_better: f64,
+}
+
+/// Compare paired samples `a[i]` vs `b[i]` (lower is better).
+pub fn paired(a: &[f64], b: &[f64]) -> Option<PairedComparison> {
+    if a.is_empty() || a.len() != b.len() {
+        return None;
+    }
+    let n = a.len();
+    let mean_diff = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| y - x)
+        .sum::<f64>()
+        / n as f64;
+    let ratios: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .filter(|(&x, _)| x > 0.0)
+        .map(|(&x, &y)| y / x)
+        .collect();
+    let mean_ratio = if ratios.is_empty() {
+        f64::NAN
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    };
+    let frac_b_better = a.iter().zip(b).filter(|(&x, &y)| y < x).count() as f64 / n as f64;
+    Some(PairedComparison {
+        n,
+        mean_diff,
+        mean_ratio,
+        frac_b_better,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_are_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(std_dev(&xs), Some(2.0));
+        assert_eq!(median(&xs), Some(4.5));
+        assert_eq!(quantile(&xs, 0.25), Some(4.0));
+        assert_eq!(quantile(&xs, 1.0), Some(9.0));
+        assert_eq!(quantile(&xs, 0.0), Some(2.0));
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn paired_comparison_basics() {
+        let a = [10.0, 20.0, 30.0];
+        let b = [5.0, 25.0, 15.0];
+        let p = paired(&a, &b).unwrap();
+        assert_eq!(p.n, 3);
+        assert!((p.mean_diff - (-5.0)).abs() < 1e-9);
+        assert!((p.frac_b_better - 2.0 / 3.0).abs() < 1e-9);
+        assert!(p.mean_ratio > 0.0);
+    }
+
+    #[test]
+    fn paired_rejects_mismatched_lengths() {
+        assert!(paired(&[1.0], &[]).is_none());
+        assert!(paired(&[], &[]).is_none());
+        assert!(paired(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+}

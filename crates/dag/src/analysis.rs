@@ -1,0 +1,212 @@
+//! Structural analyses over workflows: width profile, critical path, total work.
+//!
+//! These feed the evaluation harness (e.g. optimal bounds in Figures 2/3 and
+//! Table I summaries); the online controller itself only uses the raw DAG.
+
+use crate::profile::ExecProfile;
+use crate::time::Millis;
+use crate::workflow::Workflow;
+
+/// Parallelism profile by topological level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidthProfile {
+    /// `counts[l]` = number of tasks whose longest path from a root has `l` edges.
+    pub counts: Vec<usize>,
+}
+
+impl WidthProfile {
+    /// Maximum available parallelism across levels.
+    pub fn max_width(&self) -> usize {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of levels (depth of the DAG in tasks).
+    pub fn depth(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Compute the per-level task counts (the workflow's *width* over its depth).
+pub fn width_profile(wf: &Workflow) -> WidthProfile {
+    let n = wf.num_tasks();
+    let mut level = vec![0usize; n];
+    for &t in wf.topo_order() {
+        let l = wf
+            .preds(t)
+            .iter()
+            .map(|&p| level[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        level[t.index()] = l;
+    }
+    let depth = level.iter().copied().max().map_or(0, |d| d + 1);
+    let mut counts = vec![0usize; depth];
+    for &l in &level {
+        counts[l] += 1;
+    }
+    WidthProfile { counts }
+}
+
+/// Length of the critical (longest) path through the DAG under the given
+/// ground-truth execution times. This is a lower bound on any run's makespan
+/// (ignoring transfers and scheduling).
+pub fn critical_path_ms(wf: &Workflow, prof: &ExecProfile) -> Millis {
+    debug_assert!(prof.matches(wf));
+    let n = wf.num_tasks();
+    let mut finish = vec![Millis::ZERO; n];
+    let mut best = Millis::ZERO;
+    for &t in wf.topo_order() {
+        let start = wf
+            .preds(t)
+            .iter()
+            .map(|&p| finish[p.index()])
+            .max()
+            .unwrap_or(Millis::ZERO);
+        let f = start + prof.exec_time(t);
+        finish[t.index()] = f;
+        best = best.max(f);
+    }
+    best
+}
+
+/// Sum of all task execution times — the sequential-execution lower bound on
+/// consumed slot time.
+pub fn total_work_ms(_wf: &Workflow, prof: &ExecProfile) -> Millis {
+    prof.aggregate()
+}
+
+/// The stage-level dependency graph: edge `(a, b)` when some task of stage
+/// `b` depends on some task of stage `a`. WIRE's wavefront reasoning and the
+/// first-five priority operate at this granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageGraph {
+    /// `preds[s]` = stages that must (at least partially) precede stage `s`.
+    pub preds: Vec<Vec<crate::StageId>>,
+    /// `succs[s]` = stages that (partially) depend on stage `s`.
+    pub succs: Vec<Vec<crate::StageId>>,
+}
+
+impl StageGraph {
+    /// Root stages (no inter-stage predecessors).
+    pub fn roots(&self) -> impl Iterator<Item = crate::StageId> + '_ {
+        self.preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_empty())
+            .map(|(i, _)| crate::StageId(i as u32))
+    }
+
+    pub fn num_stages(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+/// Derive the stage graph from task-level dependencies.
+pub fn stage_graph(wf: &Workflow) -> StageGraph {
+    let ns = wf.num_stages();
+    let mut pred_sets: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); ns];
+    for t in wf.task_ids() {
+        let st = wf.task(t).stage;
+        for &p in wf.preds(t) {
+            let ps = wf.task(p).stage;
+            if ps != st {
+                pred_sets[st.index()].insert(ps.0);
+            }
+        }
+    }
+    let preds: Vec<Vec<crate::StageId>> = pred_sets
+        .iter()
+        .map(|s| s.iter().map(|&i| crate::StageId(i)).collect())
+        .collect();
+    let mut succs: Vec<Vec<crate::StageId>> = vec![Vec::new(); ns];
+    for (to, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            succs[p.index()].push(crate::StageId(to as u32));
+        }
+    }
+    StageGraph { preds, succs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+    use crate::{StageId, TaskId};
+
+    fn diamond_with_times() -> (Workflow, ExecProfile) {
+        let mut b = WorkflowBuilder::new("d");
+        let s0 = b.add_stage("a");
+        let s1 = b.add_stage("b");
+        let s2 = b.add_stage("c");
+        let a = b.add_task(s0, 1, 1);
+        let x = b.add_task(s1, 1, 1);
+        let y = b.add_task(s1, 1, 1);
+        let z = b.add_task(s2, 1, 1);
+        b.add_dep(a, x).unwrap();
+        b.add_dep(a, y).unwrap();
+        b.add_dep(x, z).unwrap();
+        b.add_dep(y, z).unwrap();
+        let w = b.build().unwrap();
+        let p = ExecProfile::new(vec![
+            Millis::from_secs(1),
+            Millis::from_secs(2),
+            Millis::from_secs(5),
+            Millis::from_secs(3),
+        ]);
+        (w, p)
+    }
+
+    #[test]
+    fn width_profile_of_diamond() {
+        let (w, _) = diamond_with_times();
+        let wp = width_profile(&w);
+        assert_eq!(wp.counts, vec![1, 2, 1]);
+        assert_eq!(wp.max_width(), 2);
+        assert_eq!(wp.depth(), 3);
+    }
+
+    #[test]
+    fn critical_path_takes_longest_branch() {
+        let (w, p) = diamond_with_times();
+        // 1 + 5 + 3 seconds through the y branch
+        assert_eq!(critical_path_ms(&w, &p), Millis::from_secs(9));
+        assert_eq!(total_work_ms(&w, &p), Millis::from_secs(11));
+    }
+
+    #[test]
+    fn single_task_degenerate() {
+        let mut b = WorkflowBuilder::new("one");
+        let s = b.add_stage("s");
+        b.add_task(s, 1, 1);
+        let w = b.build().unwrap();
+        let p = ExecProfile::uniform(1, Millis::from_secs(7));
+        assert_eq!(width_profile(&w).counts, vec![1]);
+        assert_eq!(critical_path_ms(&w, &p), Millis::from_secs(7));
+    }
+
+    #[test]
+    fn stage_graph_of_diamond() {
+        let (w, _) = diamond_with_times();
+        let sg = stage_graph(&w);
+        assert_eq!(sg.num_stages(), 3);
+        assert_eq!(sg.roots().collect::<Vec<_>>(), vec![StageId(0)]);
+        assert_eq!(sg.preds[1], vec![StageId(0)]);
+        assert_eq!(sg.preds[2], vec![StageId(1)]);
+        assert_eq!(sg.succs[0], vec![StageId(1)]);
+    }
+
+    #[test]
+    fn chain_depth_equals_len() {
+        let mut b = WorkflowBuilder::new("chain");
+        let s = b.add_stage("s");
+        let ts: Vec<TaskId> = (0..5).map(|_| b.add_task(s, 1, 1)).collect();
+        for w2 in ts.windows(2) {
+            b.add_dep(w2[0], w2[1]).unwrap();
+        }
+        let w = b.build().unwrap();
+        let wp = width_profile(&w);
+        assert_eq!(wp.depth(), 5);
+        assert_eq!(wp.max_width(), 1);
+        let _ = w.stage(StageId(0));
+    }
+}

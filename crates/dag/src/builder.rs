@@ -1,0 +1,271 @@
+//! Builder and validation for [`Workflow`].
+
+use crate::stage::StageInfo;
+use crate::task::{StageId, TaskId, TaskSpec};
+use crate::workflow::Workflow;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors detected while constructing a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge references a task id that was never created.
+    UnknownTask(TaskId),
+    /// A task was added to a stage id that was never created.
+    UnknownStage(StageId),
+    /// A self-dependency `t -> t`.
+    SelfLoop(TaskId),
+    /// The dependency graph contains a cycle (detected at `build()`).
+    Cycle,
+    /// The same edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The workflow has no tasks.
+    Empty,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            DagError::UnknownStage(s) => write!(f, "unknown stage {s}"),
+            DagError::SelfLoop(t) => write!(f, "self-dependency on {t}"),
+            DagError::Cycle => write!(f, "dependency graph contains a cycle"),
+            DagError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            DagError::Empty => write!(f, "workflow has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Incremental builder for [`Workflow`].
+///
+/// ```
+/// use wire_dag::WorkflowBuilder;
+///
+/// let mut b = WorkflowBuilder::new("demo");
+/// let map = b.add_stage("map");
+/// let reduce = b.add_stage("reduce");
+/// let m0 = b.add_task(map, 1024, 512);
+/// let m1 = b.add_task(map, 2048, 512);
+/// let r = b.add_task(reduce, 1024, 128);
+/// b.add_dep(m0, r).unwrap();
+/// b.add_dep(m1, r).unwrap();
+/// let wf = b.build().unwrap();
+/// assert_eq!(wf.num_tasks(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct WorkflowBuilder {
+    name: String,
+    tasks: Vec<TaskSpec>,
+    stages: Vec<StageInfo>,
+    preds: Vec<Vec<TaskId>>,
+    succs: Vec<Vec<TaskId>>,
+    edges: HashSet<(TaskId, TaskId)>,
+}
+
+impl WorkflowBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkflowBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Register a stage; tasks are attached to stages as they are added.
+    pub fn add_stage(&mut self, name: impl Into<String>) -> StageId {
+        let id = StageId(self.stages.len() as u32);
+        self.stages.push(StageInfo {
+            id,
+            name: name.into(),
+            tasks: Vec::new(),
+        });
+        id
+    }
+
+    /// Add a task to `stage` with the given observable input/output sizes.
+    ///
+    /// # Panics
+    /// Panics if `stage` was not created by this builder (programming error in a
+    /// generator, not a data error).
+    pub fn add_task(&mut self, stage: StageId, input_bytes: u64, output_bytes: u64) -> TaskId {
+        assert!(
+            stage.index() < self.stages.len(),
+            "add_task: unknown {stage}"
+        );
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(TaskSpec {
+            id,
+            stage,
+            input_bytes,
+            output_bytes,
+        });
+        self.stages[stage.index()].tasks.push(id);
+        self.preds.push(Vec::new());
+        self.succs.push(Vec::new());
+        id
+    }
+
+    /// Declare that `from` must complete before `to` starts.
+    pub fn add_dep(&mut self, from: TaskId, to: TaskId) -> Result<(), DagError> {
+        let n = self.tasks.len();
+        if from.index() >= n {
+            return Err(DagError::UnknownTask(from));
+        }
+        if to.index() >= n {
+            return Err(DagError::UnknownTask(to));
+        }
+        if from == to {
+            return Err(DagError::SelfLoop(from));
+        }
+        if !self.edges.insert((from, to)) {
+            return Err(DagError::DuplicateEdge(from, to));
+        }
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        Ok(())
+    }
+
+    /// Convenience: make every task of `from_stage` a predecessor of every task of
+    /// `to_stage` (a full shuffle barrier, the common fan-in pattern in Table I
+    /// workloads).
+    pub fn add_stage_barrier(&mut self, from_stage: StageId, to_stage: StageId) {
+        let from: Vec<TaskId> = self.stages[from_stage.index()].tasks.clone();
+        let to: Vec<TaskId> = self.stages[to_stage.index()].tasks.clone();
+        for &f in &from {
+            for &t in &to {
+                // duplicate barrier edges are idempotent by construction here
+                let _ = self.add_dep(f, t);
+            }
+        }
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Tasks added to `stage` so far, in creation order.
+    pub fn stage_task_ids(&self, stage: StageId) -> Vec<TaskId> {
+        self.stages[stage.index()].tasks.clone()
+    }
+
+    /// Validate and freeze. Computes the topological order (Kahn's algorithm with
+    /// a deterministic FIFO, so equal builders produce identical workflows).
+    pub fn build(self) -> Result<Workflow, DagError> {
+        if self.tasks.is_empty() {
+            return Err(DagError::Empty);
+        }
+        let n = self.tasks.len();
+        let mut indeg: Vec<u32> = self.preds.iter().map(|p| p.len() as u32).collect();
+        debug_assert_eq!(indeg.len(), n);
+        let mut queue: std::collections::VecDeque<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(t) = queue.pop_front() {
+            topo.push(t);
+            for &s in &self.succs[t.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(DagError::Cycle);
+        }
+        Ok(Workflow {
+            name: self.name,
+            tasks: self.tasks,
+            stages: self.stages,
+            preds: self.preds,
+            succs: self.succs,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            WorkflowBuilder::new("e").build().unwrap_err(),
+            DagError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = WorkflowBuilder::new("c");
+        let s = b.add_stage("s");
+        let a = b.add_task(s, 1, 1);
+        let c = b.add_task(s, 1, 1);
+        b.add_dep(a, c).unwrap();
+        b.add_dep(c, a).unwrap();
+        assert_eq!(b.build().unwrap_err(), DagError::Cycle);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut b = WorkflowBuilder::new("d");
+        let s = b.add_stage("s");
+        let a = b.add_task(s, 1, 1);
+        let c = b.add_task(s, 1, 1);
+        assert_eq!(b.add_dep(a, a).unwrap_err(), DagError::SelfLoop(a));
+        b.add_dep(a, c).unwrap();
+        assert_eq!(b.add_dep(a, c).unwrap_err(), DagError::DuplicateEdge(a, c));
+    }
+
+    #[test]
+    fn rejects_unknown_task() {
+        let mut b = WorkflowBuilder::new("u");
+        let s = b.add_stage("s");
+        let a = b.add_task(s, 1, 1);
+        assert_eq!(
+            b.add_dep(a, TaskId(99)).unwrap_err(),
+            DagError::UnknownTask(TaskId(99))
+        );
+        assert_eq!(
+            b.add_dep(TaskId(99), a).unwrap_err(),
+            DagError::UnknownTask(TaskId(99))
+        );
+    }
+
+    #[test]
+    fn stage_barrier_is_full_bipartite() {
+        let mut b = WorkflowBuilder::new("sb");
+        let s0 = b.add_stage("a");
+        let s1 = b.add_stage("b");
+        for _ in 0..3 {
+            b.add_task(s0, 1, 1);
+        }
+        for _ in 0..2 {
+            b.add_task(s1, 1, 1);
+        }
+        b.add_stage_barrier(s0, s1);
+        let w = b.build().unwrap();
+        assert_eq!(w.num_edges(), 6);
+        for &t in &w.stage(s1).tasks.clone() {
+            assert_eq!(w.preds(t).len(), 3);
+        }
+    }
+
+    #[test]
+    fn topo_is_deterministic() {
+        let mk = || {
+            let mut b = WorkflowBuilder::new("det");
+            let s = b.add_stage("s");
+            let ts: Vec<_> = (0..10).map(|_| b.add_task(s, 1, 1)).collect();
+            for w in ts.windows(2) {
+                b.add_dep(w[0], w[1]).unwrap();
+            }
+            b.build().unwrap()
+        };
+        assert_eq!(mk().topo_order(), mk().topo_order());
+    }
+}

@@ -1,0 +1,81 @@
+//! Graphviz DOT export for workflow DAGs (visualization / debugging).
+
+use crate::profile::ExecProfile;
+use crate::workflow::Workflow;
+use std::fmt::Write as _;
+
+/// Render the workflow as a Graphviz digraph, one cluster per stage. When a
+/// profile is supplied, node labels carry ground-truth execution times.
+pub fn to_dot(wf: &Workflow, prof: Option<&ExecProfile>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(wf.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for stage in wf.stages() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", stage.id.index());
+        let _ = writeln!(out, "    label=\"{}\";", escape(&stage.name));
+        for &t in &stage.tasks {
+            let label = match prof {
+                Some(p) => format!("{t}\\n{}", p.exec_time(t)),
+                None => format!("{t}"),
+            };
+            let _ = writeln!(out, "    t{} [label=\"{}\"];", t.0, label);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for t in wf.task_ids() {
+        for &p in wf.preds(t) {
+            let _ = writeln!(out, "  t{} -> t{};", p.0, t.0);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+    use crate::time::Millis;
+
+    fn sample() -> Workflow {
+        let mut b = WorkflowBuilder::new("dot \"test\"");
+        let s0 = b.add_stage("map");
+        let s1 = b.add_stage("reduce");
+        let a = b.add_task(s0, 1, 1);
+        let c = b.add_task(s1, 1, 1);
+        b.add_dep(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renders_clusters_and_edges() {
+        let wf = sample();
+        let dot = to_dot(&wf, None);
+        assert!(dot.contains("digraph \"dot \\\"test\\\"\""));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("t0 -> t1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn profile_labels_include_times() {
+        let wf = sample();
+        let prof = ExecProfile::uniform(2, Millis::from_secs(5));
+        let dot = to_dot(&wf, Some(&prof));
+        assert!(dot.contains("5.00s"));
+    }
+
+    #[test]
+    fn node_count_matches_tasks() {
+        let wf = sample();
+        let dot = to_dot(&wf, None);
+        let nodes = dot.lines().filter(|l| l.trim_start().starts_with("t") && l.contains("[label=")).count();
+        assert_eq!(nodes, 2);
+    }
+}

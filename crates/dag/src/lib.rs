@@ -1,0 +1,37 @@
+//! Workflow DAG model for WIRE.
+//!
+//! A *workflow* is a set of sequential *tasks* with a partial order specified in
+//! advance as a static DAG of data-flow dependencies (paper §I). Tasks that share
+//! the same executable and the same dependent predecessor stages form a *stage*.
+//!
+//! This crate is the foundation of the reproduction: it defines the task/stage
+//! identifiers, the [`Workflow`] structure with its [`WorkflowBuilder`], the
+//! millisecond time base used across all crates, structural analyses (topological
+//! order, width profile, critical path) and the [`ExecProfile`] ground-truth table
+//! that the cloud simulator replays.
+//!
+//! The controller (predictor/planner) never sees ground-truth execution times: the
+//! `Workflow` itself only carries *observable* attributes (structure and input data
+//! sizes, which real frameworks record — paper §II-C), while [`ExecProfile`] is
+//! handed to the simulator alone.
+
+pub mod analysis;
+pub mod builder;
+pub mod dot;
+pub mod profile;
+pub mod stage;
+pub mod task;
+pub mod time;
+pub mod validate;
+pub mod workflow;
+
+pub use analysis::{
+    critical_path_ms, stage_graph, total_work_ms, width_profile, StageGraph, WidthProfile,
+};
+pub use builder::{DagError, WorkflowBuilder};
+pub use dot::to_dot;
+pub use profile::ExecProfile;
+pub use stage::StageInfo;
+pub use task::{StageId, TaskId, TaskSpec};
+pub use time::Millis;
+pub use workflow::Workflow;

@@ -1,0 +1,103 @@
+//! Ground-truth execution profile — known only to the cloud simulator.
+//!
+//! Workload generators emit, alongside each [`crate::Workflow`], an `ExecProfile`
+//! holding the *true* execution time of every task for one particular run. The
+//! controller never reads this table; it must predict these values from online
+//! observations, exactly as the paper's predictor does.
+
+use crate::time::Millis;
+use crate::workflow::Workflow;
+use crate::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// Per-task ground-truth execution times for a single run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecProfile {
+    exec_ms: Vec<Millis>,
+}
+
+impl ExecProfile {
+    /// Build from a dense per-task vector (index = `TaskId`).
+    pub fn new(exec_ms: Vec<Millis>) -> Self {
+        ExecProfile { exec_ms }
+    }
+
+    /// Build with the same execution time for every task.
+    pub fn uniform(num_tasks: usize, t: Millis) -> Self {
+        ExecProfile {
+            exec_ms: vec![t; num_tasks],
+        }
+    }
+
+    #[inline]
+    pub fn exec_time(&self, t: TaskId) -> Millis {
+        self.exec_ms[t.index()]
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.exec_ms.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.exec_ms.is_empty()
+    }
+
+    /// Aggregate task execution time (Table I row "Aggregate Task Execution Time").
+    pub fn aggregate(&self) -> Millis {
+        self.exec_ms.iter().copied().sum()
+    }
+
+    /// True only if the profile covers exactly the tasks of `wf`.
+    pub fn matches(&self, wf: &Workflow) -> bool {
+        self.exec_ms.len() == wf.num_tasks()
+    }
+
+    /// Mean execution time of the tasks in `stage`, in seconds — used to classify
+    /// stages as short/medium/long (paper §IV-D).
+    pub fn stage_mean_secs(&self, wf: &Workflow, stage: crate::StageId) -> f64 {
+        let tasks = &wf.stage(stage).tasks;
+        if tasks.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = tasks.iter().map(|&t| self.exec_time(t).as_ms()).sum();
+        total as f64 / tasks.len() as f64 / 1000.0
+    }
+
+    /// Mutable access for perturbation models (cross-run variability, §II-B).
+    pub fn exec_times_mut(&mut self) -> &mut [Millis] {
+        &mut self.exec_ms
+    }
+
+    pub fn exec_times(&self) -> &[Millis] {
+        &self.exec_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+
+    #[test]
+    fn aggregate_and_stage_mean() {
+        let mut b = WorkflowBuilder::new("p");
+        let s = b.add_stage("s");
+        let _a = b.add_task(s, 1, 1);
+        let _c = b.add_task(s, 1, 1);
+        let w = b.build().unwrap();
+        let p = ExecProfile::new(vec![Millis::from_secs(2), Millis::from_secs(4)]);
+        assert!(p.matches(&w));
+        assert_eq!(p.aggregate(), Millis::from_secs(6));
+        assert_eq!(p.stage_mean_secs(&w, crate::StageId(0)), 3.0);
+        assert_eq!(p.exec_time(crate::TaskId(1)), Millis::from_secs(4));
+    }
+
+    #[test]
+    fn uniform_profile() {
+        let p = ExecProfile::uniform(3, Millis::from_secs(5));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.aggregate(), Millis::from_secs(15));
+    }
+}

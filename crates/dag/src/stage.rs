@@ -1,0 +1,44 @@
+//! Stage metadata: a named group of tasks sharing one executable and the same
+//! predecessor stages (paper §I).
+
+use crate::task::{StageId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Metadata for one stage of a workflow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageInfo {
+    pub id: StageId,
+    /// Human-readable stage name (e.g. `"map"`, `"sol2sanger"`).
+    pub name: String,
+    /// Tasks belonging to this stage, in creation order.
+    pub tasks: Vec<TaskId>,
+}
+
+impl StageInfo {
+    /// Number of tasks in the stage (the stage *width* in Table I terms).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_width() {
+        let s = StageInfo {
+            id: StageId(0),
+            name: "map".into(),
+            tasks: vec![TaskId(0), TaskId(1)],
+        };
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

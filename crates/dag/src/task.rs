@@ -1,0 +1,75 @@
+//! Task and stage identifiers and the per-task specification.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense index of a task within one workflow.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Dense index of a stage within one workflow.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct StageId(pub u32);
+
+impl StageId {
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The static, *observable* description of one task.
+///
+/// Real workflow frameworks record input/output data sizes for every task
+/// (paper §II-C property 1), so the controller is allowed to read these; the
+/// ground-truth execution time is deliberately *not* here (see
+/// [`crate::ExecProfile`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    pub id: TaskId,
+    /// The stage this task belongs to (same executable + same predecessor stages).
+    pub stage: StageId,
+    /// Input data size in bytes — the feature of the paper's OGD model (Eq. 1).
+    pub input_bytes: u64,
+    /// Output data size in bytes, read by successors.
+    pub output_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_dense_indices() {
+        assert!(TaskId(1) < TaskId(2));
+        assert_eq!(TaskId(7).index(), 7);
+        assert_eq!(StageId(3).index(), 3);
+        assert_eq!(TaskId(4).to_string(), "t4");
+        assert_eq!(StageId(4).to_string(), "s4");
+    }
+}

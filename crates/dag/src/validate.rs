@@ -1,0 +1,109 @@
+//! Deeper semantic validation beyond what the builder enforces.
+//!
+//! The builder guarantees acyclicity and referential integrity. Workload
+//! generators can additionally check *stage coherence*: per the paper's
+//! definition (§I), tasks in one stage share the same executable and the same
+//! set of dependent predecessor **stages**. Violations don't break the
+//! simulator, but they would make the predictor's "peer tasks are comparable"
+//! assumption (§II-C property 3) unsound, so generators assert this in tests.
+
+use crate::task::StageId;
+use crate::workflow::Workflow;
+use std::collections::BTreeSet;
+
+/// A stage-coherence violation: two tasks of one stage depend on different
+/// predecessor stage sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoherenceViolation {
+    pub stage: StageId,
+    pub expected: Vec<StageId>,
+    pub found: Vec<StageId>,
+}
+
+/// Check that every task in each stage has the same set of predecessor stages.
+pub fn check_stage_coherence(wf: &Workflow) -> Result<(), CoherenceViolation> {
+    for stage in wf.stages() {
+        let mut expected: Option<BTreeSet<StageId>> = None;
+        for &t in &stage.tasks {
+            let found: BTreeSet<StageId> = wf
+                .preds(t)
+                .iter()
+                .map(|&p| wf.task(p).stage)
+                .collect();
+            match &expected {
+                None => expected = Some(found),
+                Some(e) if *e != found => {
+                    return Err(CoherenceViolation {
+                        stage: stage.id,
+                        expected: e.iter().copied().collect(),
+                        found: found.into_iter().collect(),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check that no stage depends (transitively, via its tasks) on itself — a
+/// sanity guard for hand-built DAGs where a stage's tasks depend on peer tasks
+/// of the same stage. Intra-stage edges are legal in general DAGs but violate
+/// the paper's stage model.
+pub fn check_no_intra_stage_edges(wf: &Workflow) -> Result<(), StageId> {
+    for t in wf.task_ids() {
+        let st = wf.task(t).stage;
+        for &p in wf.preds(t) {
+            if wf.task(p).stage == st {
+                return Err(st);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+
+    #[test]
+    fn coherent_stage_passes() {
+        let mut b = WorkflowBuilder::new("c");
+        let s0 = b.add_stage("src");
+        let s1 = b.add_stage("mid");
+        let a = b.add_task(s0, 1, 1);
+        let x = b.add_task(s1, 1, 1);
+        let y = b.add_task(s1, 1, 1);
+        b.add_dep(a, x).unwrap();
+        b.add_dep(a, y).unwrap();
+        let w = b.build().unwrap();
+        assert!(check_stage_coherence(&w).is_ok());
+        assert!(check_no_intra_stage_edges(&w).is_ok());
+    }
+
+    #[test]
+    fn incoherent_stage_detected() {
+        let mut b = WorkflowBuilder::new("i");
+        let s0 = b.add_stage("src");
+        let s1 = b.add_stage("mid");
+        let a = b.add_task(s0, 1, 1);
+        let x = b.add_task(s1, 1, 1);
+        let _y = b.add_task(s1, 1, 1); // y has no predecessor stage
+        b.add_dep(a, x).unwrap();
+        let w = b.build().unwrap();
+        let v = check_stage_coherence(&w).unwrap_err();
+        assert_eq!(v.stage, s1);
+    }
+
+    #[test]
+    fn intra_stage_edge_detected() {
+        let mut b = WorkflowBuilder::new("x");
+        let s = b.add_stage("s");
+        let a = b.add_task(s, 1, 1);
+        let c = b.add_task(s, 1, 1);
+        b.add_dep(a, c).unwrap();
+        let w = b.build().unwrap();
+        assert_eq!(check_no_intra_stage_edges(&w).unwrap_err(), s);
+    }
+}

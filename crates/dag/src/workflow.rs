@@ -1,0 +1,179 @@
+//! The immutable workflow DAG handed to both the simulator and the controller.
+
+use crate::stage::StageInfo;
+use crate::task::{StageId, TaskId, TaskSpec};
+use serde::{Deserialize, Serialize};
+
+/// A validated, immutable workflow DAG.
+///
+/// Construct with [`crate::WorkflowBuilder`], which guarantees acyclicity and
+/// referential integrity. Task and stage ids are dense `0..n` indices, so all
+/// per-task state elsewhere in the workspace is stored in flat `Vec`s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workflow {
+    pub(crate) name: String,
+    pub(crate) tasks: Vec<TaskSpec>,
+    pub(crate) stages: Vec<StageInfo>,
+    /// `preds[t]` = tasks that must complete before task `t` may start.
+    pub(crate) preds: Vec<Vec<TaskId>>,
+    /// `succs[t]` = tasks unlocked (in part) by task `t`'s completion.
+    pub(crate) succs: Vec<Vec<TaskId>>,
+    /// Tasks in a valid topological order (computed at build time).
+    pub(crate) topo: Vec<TaskId>,
+}
+
+impl Workflow {
+    /// Workflow name (e.g. `"epigenomics-S"`).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of tasks.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Total number of stages.
+    #[inline]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &TaskSpec {
+        &self.tasks[id.index()]
+    }
+
+    #[inline]
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    #[inline]
+    pub fn stage(&self, id: StageId) -> &StageInfo {
+        &self.stages[id.index()]
+    }
+
+    #[inline]
+    pub fn stages(&self) -> &[StageInfo] {
+        &self.stages
+    }
+
+    /// Predecessors of `t` (tasks whose outputs `t` reads).
+    #[inline]
+    pub fn preds(&self, t: TaskId) -> &[TaskId] {
+        &self.preds[t.index()]
+    }
+
+    /// Successors of `t`.
+    #[inline]
+    pub fn succs(&self, t: TaskId) -> &[TaskId] {
+        &self.succs[t.index()]
+    }
+
+    /// A valid topological order over all tasks.
+    #[inline]
+    pub fn topo_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Tasks with no predecessors — ready the moment the run starts.
+    pub fn roots(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks
+            .iter()
+            .filter(|t| self.preds[t.id.index()].is_empty())
+            .map(|t| t.id)
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks
+            .iter()
+            .filter(|t| self.succs[t.id.index()].is_empty())
+            .map(|t| t.id)
+    }
+
+    /// Number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+
+    /// Iterator over all task ids in dense order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Iterator over all stage ids in dense order.
+    pub fn stage_ids(&self) -> impl Iterator<Item = StageId> {
+        (0..self.stages.len() as u32).map(StageId)
+    }
+
+    /// Sum of input sizes across all tasks, in bytes.
+    pub fn total_input_bytes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.input_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::WorkflowBuilder;
+
+    /// diamond: a -> {b, c} -> d
+    fn diamond() -> crate::Workflow {
+        let mut b = WorkflowBuilder::new("diamond");
+        let s0 = b.add_stage("src");
+        let s1 = b.add_stage("mid");
+        let s2 = b.add_stage("sink");
+        let a = b.add_task(s0, 10, 10);
+        let t1 = b.add_task(s1, 10, 10);
+        let t2 = b.add_task(s1, 10, 10);
+        let d = b.add_task(s2, 10, 10);
+        b.add_dep(a, t1).unwrap();
+        b.add_dep(a, t2).unwrap();
+        b.add_dep(t1, d).unwrap();
+        b.add_dep(t2, d).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let w = diamond();
+        assert_eq!(w.num_tasks(), 4);
+        assert_eq!(w.num_stages(), 3);
+        assert_eq!(w.num_edges(), 4);
+        assert_eq!(w.roots().count(), 1);
+        assert_eq!(w.sinks().count(), 1);
+        assert_eq!(w.total_input_bytes(), 40);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let w = diamond();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; w.num_tasks()];
+            for (i, t) in w.topo_order().iter().enumerate() {
+                pos[t.index()] = i;
+            }
+            pos
+        };
+        for t in w.task_ids() {
+            for &p in w.preds(t) {
+                assert!(pos[p.index()] < pos[t.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_structure() {
+        // serde is wired through every type; round-trip via the derive's
+        // internal representation using serde's test-friendly JSON-free path
+        // would need a format crate, so assert the Clone/PartialEq-adjacent
+        // invariants on the rebuilt struct instead.
+        let w = diamond();
+        let w2 = w.clone();
+        assert_eq!(w2.num_tasks(), w.num_tasks());
+        assert_eq!(w2.topo_order(), w.topo_order());
+    }
+}

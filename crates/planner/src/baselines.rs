@@ -1,0 +1,329 @@
+//! The paper's comparison baselines (§IV-C3).
+//!
+//! * **Static / full-site** — a fixed pool provisioned for the peak load.
+//! * **Pure-reactive** — pool size tracks the number of active tasks each
+//!   interval, growing and shrinking immediately with no cost awareness.
+//! * **Reactive-conserving** — predicts the load from the number of
+//!   idle/running tasks (no DAG lookahead, no learned estimates: each active
+//!   task is assumed to need one more interval) and applies the same
+//!   resource-steering policy as WIRE.
+
+use crate::steering::{steer, SteeringConfig};
+use wire_dag::Millis;
+use wire_simcloud::{
+    InstanceId, MonitorSnapshot, PoolPlan, ScalingPolicy, TerminateWhen,
+};
+
+/// Fixed-size pool. With `CloudConfig::initial_instances` set to the same
+/// target the policy never changes anything; otherwise it tops the pool up
+/// to the target once and holds.
+#[derive(Debug, Clone)]
+pub struct StaticPolicy {
+    target: u32,
+    name: String,
+}
+
+impl StaticPolicy {
+    pub fn new(target: u32) -> Self {
+        assert!(target >= 1, "a static pool needs at least one instance");
+        StaticPolicy {
+            target,
+            name: format!("static-{target}"),
+        }
+    }
+
+    /// The paper's *full-site* setting: the site's maximum (12 instances).
+    pub fn full_site(site_capacity: u32) -> Self {
+        StaticPolicy {
+            target: site_capacity,
+            name: "full-site".into(),
+        }
+    }
+}
+
+impl ScalingPolicy for StaticPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn plan(&mut self, snapshot: &MonitorSnapshot<'_>) -> PoolPlan {
+        let m = snapshot.pool_size();
+        if m < self.target {
+            PoolPlan::launch(self.target - m)
+        } else {
+            PoolPlan::keep()
+        }
+    }
+}
+
+/// Pool size = ⌈active tasks / l⌉ every interval; shrinks immediately,
+/// preferring idle instances (fewest running tasks) to limit restarts.
+#[derive(Debug, Clone, Default)]
+pub struct PureReactive;
+
+impl ScalingPolicy for PureReactive {
+    fn name(&self) -> &str {
+        "pure-reactive"
+    }
+
+    fn plan(&mut self, snapshot: &MonitorSnapshot<'_>) -> PoolPlan {
+        let l = snapshot.config.slots_per_instance as usize;
+        let active = snapshot.active_tasks();
+        let target = (active.div_ceil(l) as u32).max(1);
+        let m = snapshot.pool_size();
+        match target.cmp(&m) {
+            std::cmp::Ordering::Greater => PoolPlan::launch(target - m),
+            std::cmp::Ordering::Equal => PoolPlan::keep(),
+            std::cmp::Ordering::Less => {
+                let mut candidates: Vec<(usize, InstanceId)> = snapshot
+                    .instances
+                    .iter()
+                    .filter(|iv| iv.is_running())
+                    .map(|iv| (iv.tasks.len(), iv.id))
+                    .collect();
+                candidates.sort();
+                let excess = (m - target) as usize;
+                PoolPlan {
+                    launch: 0,
+                    terminate: candidates
+                        .into_iter()
+                        .take(excess)
+                        .map(|(_, id)| (id, TerminateWhen::Now))
+                        .collect(),
+                }
+            }
+        }
+    }
+}
+
+/// Reactive load signal + WIRE's charging-unit-aware steering: every active
+/// task is assumed to occupy a slot for one more interval; Algorithms 2–3
+/// decide the pool with the usual release rules.
+#[derive(Debug, Clone, Default)]
+pub struct ReactiveConserving {
+    steering: SteeringConfig,
+}
+
+impl ReactiveConserving {
+    pub fn new(steering: SteeringConfig) -> Self {
+        ReactiveConserving { steering }
+    }
+}
+
+impl ScalingPolicy for ReactiveConserving {
+    fn name(&self) -> &str {
+        "reactive-conserving"
+    }
+
+    fn plan(&mut self, snapshot: &MonitorSnapshot<'_>) -> PoolPlan {
+        let t = snapshot.config.mape_interval;
+        // upcoming load: every active task for one interval
+        let q: Vec<Millis> = vec![t; snapshot.active_tasks()];
+        // restart costs from observed occupancy (sunk so far + the interval)
+        let costs: Vec<(InstanceId, Millis)> = snapshot
+            .instances
+            .iter()
+            .map(|iv| {
+                let c = iv
+                    .tasks
+                    .iter()
+                    .filter_map(|task| match snapshot.tasks[task.index()] {
+                        wire_simcloud::TaskView::Running { occupied_for, .. } => {
+                            Some(occupied_for + t)
+                        }
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(Millis::ZERO);
+                (iv.id, c)
+            })
+            .collect();
+        steer(snapshot, &q, &costs, &[], self.steering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_dag::{TaskId, Workflow, WorkflowBuilder};
+    use wire_simcloud::{CloudConfig, InstanceStateView, InstanceView, TaskView};
+
+    fn wf(n: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new("w");
+        let s = b.add_stage("s");
+        for _ in 0..n {
+            b.add_task(s, 0, 0);
+        }
+        b.build().unwrap()
+    }
+
+    fn cfg(l: u32) -> CloudConfig {
+        CloudConfig {
+            slots_per_instance: l,
+            charging_unit: Millis::from_mins(15),
+            mape_interval: Millis::from_mins(3),
+            ..CloudConfig::default()
+        }
+    }
+
+    fn running_inst(id: u32, tasks: Vec<TaskId>, l: u32) -> InstanceView {
+        let free = l - tasks.len() as u32;
+        InstanceView {
+            id: InstanceId(id),
+            state: InstanceStateView::Running {
+                charge_start: Millis::ZERO,
+            },
+            tasks,
+            free_slots: free,
+        }
+    }
+
+    fn snap<'a>(
+        wf: &'a Workflow,
+        cfg: &'a CloudConfig,
+        tasks: Vec<TaskView>,
+        instances: Vec<InstanceView>,
+    ) -> MonitorSnapshot<'a> {
+        let ready = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, TaskView::Ready))
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        MonitorSnapshot {
+            now: Millis::from_mins(3),
+            workflow: wf,
+            config: cfg,
+            tasks,
+            instances,
+            new_completions: vec![],
+            interval_transfers: vec![],
+            ready_in_dispatch_order: ready,
+        }
+    }
+
+    #[test]
+    fn static_policy_tops_up_then_holds() {
+        let w = wf(2);
+        let c = cfg(1);
+        let mut p = StaticPolicy::full_site(12);
+        assert_eq!(p.name(), "full-site");
+        let s = snap(&w, &c, vec![TaskView::Ready; 2], vec![running_inst(0, vec![], 1)]);
+        assert_eq!(p.plan(&s).launch, 11);
+        let full: Vec<InstanceView> = (0..12).map(|i| running_inst(i, vec![], 1)).collect();
+        let s2 = snap(&w, &c, vec![TaskView::Ready; 2], full);
+        assert!(p.plan(&s2).is_noop());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn static_zero_rejected() {
+        let _ = StaticPolicy::new(0);
+    }
+
+    #[test]
+    fn pure_reactive_matches_active_tasks() {
+        let w = wf(10);
+        let c = cfg(4);
+        let mut p = PureReactive;
+        // 10 active tasks / 4 slots → 3 instances wanted, 1 present
+        let s = snap(
+            &w,
+            &c,
+            vec![TaskView::Ready; 10],
+            vec![running_inst(0, vec![], 4)],
+        );
+        assert_eq!(p.plan(&s).launch, 2);
+    }
+
+    #[test]
+    fn pure_reactive_shrinks_idle_first_immediately() {
+        let w = wf(10);
+        let c = cfg(4);
+        let mut p = PureReactive;
+        // 2 active tasks → 1 instance wanted; i0 busy, i1/i2 idle
+        let mut tasks = vec![TaskView::Done {
+            exec_time: Millis::from_secs(1),
+            transfer_time: Millis::ZERO,
+        }; 10];
+        tasks[0] = TaskView::Running {
+            instance: InstanceId(0),
+            exec_age: Millis::from_secs(1),
+            occupied_for: Millis::from_secs(1),
+        };
+        tasks[1] = TaskView::Ready;
+        let s = snap(
+            &w,
+            &c,
+            tasks,
+            vec![
+                running_inst(0, vec![TaskId(0)], 4),
+                running_inst(1, vec![], 4),
+                running_inst(2, vec![], 4),
+            ],
+        );
+        let plan = p.plan(&s);
+        assert_eq!(plan.terminate.len(), 2);
+        for &(id, when) in &plan.terminate {
+            assert_ne!(id, InstanceId(0), "busy instance released before idle");
+            assert_eq!(when, TerminateWhen::Now);
+        }
+    }
+
+    #[test]
+    fn pure_reactive_keeps_at_least_one() {
+        let w = wf(2);
+        let c = cfg(4);
+        let mut p = PureReactive;
+        let tasks = vec![
+            TaskView::Done {
+                exec_time: Millis::from_secs(1),
+                transfer_time: Millis::ZERO,
+            };
+            2
+        ];
+        let s = snap(&w, &c, tasks, vec![running_inst(0, vec![], 4)]);
+        assert!(p.plan(&s).is_noop());
+    }
+
+    #[test]
+    fn reactive_conserving_grows_like_reactive() {
+        let w = wf(40);
+        let c = cfg(4);
+        let mut p = ReactiveConserving::default();
+        // 40 active × 3 min = 120 min of load; u = 15 min, l = 4 →
+        // Algorithm 3 packs 4 tasks of 3 min per instance-step; each instance
+        // accrues 3 min/step, needs 5 steps (20 tasks) per unit → p = 2.
+        let s = snap(
+            &w,
+            &c,
+            vec![TaskView::Ready; 40],
+            vec![running_inst(0, vec![], 4)],
+        );
+        let plan = p.plan(&s);
+        assert_eq!(plan.launch, 1);
+    }
+
+    #[test]
+    fn reactive_conserving_respects_charge_boundaries() {
+        let w = wf(4);
+        let c = cfg(1);
+        let mut p = ReactiveConserving::default();
+        // no active tasks → p = 1; two instances mid-unit (r > t) → no release
+        let tasks = vec![
+            TaskView::Done {
+                exec_time: Millis::from_secs(1),
+                transfer_time: Millis::ZERO,
+            };
+            4
+        ];
+        let s = snap(
+            &w,
+            &c,
+            tasks,
+            vec![running_inst(0, vec![], 1), running_inst(1, vec![], 1)],
+        );
+        // now = 3 min, charge_start = 0, u = 15 → r = 12 min > 3 min
+        assert!(p.plan(&s).is_noop());
+    }
+}

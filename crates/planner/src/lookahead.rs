@@ -1,0 +1,681 @@
+//! The online workflow simulation of §III-B2.
+//!
+//! Each MAPE iteration, WIRE simulates the workflow's execution over the next
+//! interval (length = the lag time `t`) on the *current* resource allotment,
+//! using the predictor's conservative minimum occupancy estimates. The output
+//! is the *upcoming load* `Q_task` — the tasks expected to be active at the
+//! start of the target interval, each with its predicted minimum remaining
+//! occupancy — plus, per current instance, the *restart cost* (maximum sunk
+//! occupancy of any task projected to be running on it at that time,
+//! Algorithm 2's `c_j`).
+//!
+//! The projection assumes the framework's own dispatch order (priority FIFO;
+//! §III-D notes the controller's predicted assignment may drift from the true
+//! schedule with minor effect). Draining instances are projected to keep
+//! their running tasks but accept no new ones.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use wire_dag::{Millis, TaskId, Workflow};
+use wire_simcloud::{InstanceId, InstanceStateView, MonitorSnapshot, TaskView};
+
+/// The upcoming load at the start of the next interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Upcoming {
+    /// `Q_task`: (task, predicted minimum remaining occupancy), in projected
+    /// dispatch order — projected-running tasks first, then the queued
+    /// backlog.
+    pub q_task: Vec<(TaskId, Millis)>,
+    /// `c_j` per current instance: the restart cost if the instance were
+    /// released at the start of the next interval.
+    pub restart_cost: Vec<(InstanceId, Millis)>,
+    /// Per current instance: predicted occupancy *beyond* the horizon from
+    /// the tasks running on it now — the steering policy's "confidence that
+    /// the workflow can continue to use it efficiently" (§III-B3). An
+    /// instance whose tasks are predicted to keep it busy past the next
+    /// interval is not released even when its restart cost is low.
+    pub projected_busy: Vec<(InstanceId, Millis)>,
+}
+
+impl Upcoming {
+    /// The occupancy column of `Q_task` (what Algorithm 3 consumes).
+    pub fn occupancies(&self) -> Vec<Millis> {
+        self.q_task.iter().map(|&(_, t)| t).collect()
+    }
+
+    pub fn restart_cost_of(&self, id: InstanceId) -> Option<Millis> {
+        self.restart_cost
+            .iter()
+            .find(|&&(i, _)| i == id)
+            .map(|&(_, c)| c)
+    }
+
+    pub fn projected_busy_of(&self, id: InstanceId) -> Option<Millis> {
+        self.projected_busy
+            .iter()
+            .find(|&&(i, _)| i == id)
+            .map(|&(_, c)| c)
+    }
+}
+
+/// A projected running task. (Completion times live in the event queue; the
+/// struct tracks what the horizon harvest needs.)
+#[derive(Debug, Clone, Copy)]
+struct SimRunning {
+    task: TaskId,
+    instance: InstanceId,
+    started_at: Millis,
+    /// Sunk occupancy the task already had at projection time 0.
+    sunk_at_0: Millis,
+}
+
+/// Projection events, ordered by (time, kind, id): a slot opening at time τ is
+/// offered to the backlog before completions at the same τ are processed —
+/// both orders are defensible; this one is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SimEvent {
+    SlotOpens { at: Millis, instance: InstanceId },
+    Completes { at: Millis, task: TaskId },
+}
+
+impl SimEvent {
+    fn at(&self) -> Millis {
+        match *self {
+            SimEvent::SlotOpens { at, .. } | SimEvent::Completes { at, .. } => at,
+        }
+    }
+
+    fn key(&self) -> (Millis, u8, u32) {
+        match *self {
+            SimEvent::SlotOpens { at, instance } => (at, 0, instance.0),
+            SimEvent::Completes { at, task } => (at, 1, task.0),
+        }
+    }
+}
+
+/// Simulate the next `horizon` of execution and return the upcoming load.
+///
+/// Two per-task arrays drive the projection:
+///
+/// * `remaining[t]` — the predicted minimum *remaining* occupancy (estimate
+///   minus observed age for running tasks). This decides *which* tasks
+///   complete within the horizon, i.e. the membership of `Q_task`.
+/// * `values[t]` — the occupancy each still-active task contributes to
+///   `Q_task`: its full current estimate `t_i`. The paper's §III-E arithmetic
+///   requires this ("after U/N time units the algorithm predicts that the N
+///   tasks of the stage will consume an entire instance-unit": all N tasks are
+///   valued at the full estimate, progress is not credited) — valuing active
+///   tasks at `t_i − age` instead makes Algorithm 3 treat busy instances as
+///   imminently reusable capacity and stalls pool growth at ~N/2.
+///
+/// Entries for done tasks are ignored.
+pub fn lookahead(
+    snapshot: &MonitorSnapshot<'_>,
+    remaining: &[Millis],
+    values: &[Millis],
+    horizon: Millis,
+) -> Upcoming {
+    let wf: &Workflow = snapshot.workflow;
+    assert_eq!(remaining.len(), wf.num_tasks(), "estimate per task required");
+    assert_eq!(values.len(), wf.num_tasks(), "value per task required");
+
+    let mut done: Vec<bool> = snapshot.tasks.iter().map(TaskView::is_done).collect();
+    let mut unmet: Vec<u32> = wf
+        .task_ids()
+        .map(|t| wf.preds(t).iter().filter(|&&p| !done[p.index()]).count() as u32)
+        .collect();
+
+    // queued backlog in the framework's dispatch order
+    let mut backlog: VecDeque<TaskId> = snapshot.ready_in_dispatch_order.iter().copied().collect();
+
+    let mut running: Vec<SimRunning> = Vec::new();
+    // heap entries carry (time, kind, id, payload index): pops stay ordered
+    // and decode is O(1) — a linear scan of a side table per pop would make
+    // each MAPE-tick projection quadratic in events.
+    let mut events: BinaryHeap<Reverse<(Millis, u8, u32, u32)>> = BinaryHeap::new();
+    let mut event_payload: Vec<SimEvent> = Vec::new();
+    let push_event = |events: &mut BinaryHeap<Reverse<(Millis, u8, u32, u32)>>,
+                          payloads: &mut Vec<SimEvent>,
+                          ev: SimEvent| {
+        let (at, kind, id) = ev.key();
+        debug_assert!(ev.at() == at);
+        events.push(Reverse((at, kind, id, payloads.len() as u32)));
+        payloads.push(ev);
+    };
+
+    // free slots available now, per accepting instance (FIFO)
+    let mut free_now: VecDeque<InstanceId> = VecDeque::new();
+
+    for iv in &snapshot.instances {
+        match iv.state {
+            InstanceStateView::Running { .. } => {
+                for _ in 0..iv.free_slots {
+                    free_now.push_back(iv.id);
+                }
+            }
+            InstanceStateView::Launching { ready_at } => {
+                let at = ready_at.saturating_sub(snapshot.now);
+                for _ in 0..iv.free_slots {
+                    if at.is_zero() {
+                        free_now.push_back(iv.id);
+                    } else if at < horizon {
+                        push_event(
+                            &mut events,
+                            &mut event_payload,
+                            SimEvent::SlotOpens {
+                                at,
+                                instance: iv.id,
+                            },
+                        );
+                    }
+                }
+            }
+            InstanceStateView::Draining { .. } => {
+                // keeps its running tasks, accepts nothing new
+            }
+        }
+    }
+
+    let draining: Vec<InstanceId> = snapshot
+        .instances
+        .iter()
+        .filter(|iv| matches!(iv.state, InstanceStateView::Draining { .. }))
+        .map(|iv| iv.id)
+        .collect();
+
+    for (i, tv) in snapshot.tasks.iter().enumerate() {
+        if let TaskView::Running {
+            instance,
+            occupied_for,
+            ..
+        } = *tv
+        {
+            let task = TaskId(i as u32);
+            // An *overdue* running task (conservative minimum remaining
+            // already elapsed) is "about to complete" but has not been
+            // observed to — it stays active through the horizon, holding its
+            // slot. Without this pin, the oldest half of a stage melts out of
+            // Q_task and its slots absorb the backlog, stalling pool growth
+            // at ~N/2 (the §III-E arithmetic requires all N active tasks to
+            // keep contributing to the predicted load).
+            let finish_at = if remaining[i].is_zero() {
+                Millis::MAX
+            } else {
+                remaining[i]
+            };
+            running.push(SimRunning {
+                task,
+                instance,
+                started_at: Millis::ZERO,
+                sunk_at_0: occupied_for,
+            });
+            if finish_at < horizon {
+                push_event(
+                    &mut events,
+                    &mut event_payload,
+                    SimEvent::Completes {
+                        at: finish_at,
+                        task,
+                    },
+                );
+            }
+        }
+    }
+
+    // dispatch helper: fill currently free slots from the backlog
+    macro_rules! dispatch {
+        ($now:expr) => {
+            while !backlog.is_empty() && !free_now.is_empty() {
+                let instance = free_now.pop_front().expect("non-empty");
+                let task = backlog.pop_front().expect("non-empty");
+                let finish_at = $now + remaining[task.index()];
+                running.push(SimRunning {
+                    task,
+                    instance,
+                    started_at: $now,
+                    sunk_at_0: Millis::ZERO,
+                });
+                push_event(
+                    &mut events,
+                    &mut event_payload,
+                    SimEvent::Completes {
+                        at: finish_at,
+                        task,
+                    },
+                );
+            }
+        };
+    }
+
+    dispatch!(Millis::ZERO);
+
+    while let Some(&Reverse(key)) = events.peek() {
+        if key.0 >= horizon {
+            break;
+        }
+        events.pop();
+        let ev = event_payload[key.3 as usize];
+        match ev {
+            SimEvent::SlotOpens { at, instance } => {
+                free_now.push_back(instance);
+                dispatch!(at);
+            }
+            SimEvent::Completes { at, task } => {
+                let Some(pos) = running.iter().position(|r| r.task == task) else {
+                    continue; // stale
+                };
+                let fin = running.swap_remove(pos);
+                done[task.index()] = true;
+                if !draining.contains(&fin.instance) {
+                    free_now.push_back(fin.instance);
+                }
+                for &s in wf.succs(task) {
+                    if !done[s.index()] && unmet[s.index()] > 0 {
+                        unmet[s.index()] -= 1;
+                        if unmet[s.index()] == 0 {
+                            backlog.push_back(s);
+                        }
+                    }
+                }
+                dispatch!(at);
+            }
+        }
+    }
+
+    // --- harvest the state at the horizon ----------------------------------
+    running.sort_by_key(|r| r.task);
+    let mut q_task: Vec<(TaskId, Millis)> = Vec::with_capacity(running.len() + backlog.len());
+    for r in &running {
+        q_task.push((r.task, values[r.task.index()]));
+    }
+    for t in backlog {
+        q_task.push((t, values[t.index()]));
+    }
+
+    // Restart cost `c_j`: the sunk occupancy that would be lost by releasing
+    // the instance at the interval start. The projection uses conservative
+    // *minimum* remaining occupancies, so a task projected to complete within
+    // the horizon may in reality still be running — releasing its instance
+    // would throw away its entire sunk cost. The load estimate must stay
+    // conservative-low (never over-provision), but the release decision must
+    // stay conservative-high: take the max over (a) tasks running *now*
+    // assumed to still be occupying their slot at the horizon, and (b) tasks
+    // the projection newly placed on the instance.
+    //
+    // Both per-instance tables are built in single passes: a nested
+    // instances × tasks scan makes wide pools (Figure 2's N = 1000 sweeps)
+    // quadratic per tick.
+    let mut projected_max: std::collections::HashMap<InstanceId, Millis> =
+        std::collections::HashMap::with_capacity(snapshot.instances.len());
+    for r in &running {
+        let c = r.sunk_at_0 + (horizon - r.started_at);
+        let e = projected_max.entry(r.instance).or_insert(Millis::ZERO);
+        *e = (*e).max(c);
+    }
+    let restart_cost: Vec<(InstanceId, Millis)> = snapshot
+        .instances
+        .iter()
+        .map(|iv| {
+            let projected = projected_max
+                .get(&iv.id)
+                .copied()
+                .unwrap_or(Millis::ZERO);
+            let still_running = iv
+                .tasks
+                .iter()
+                .filter_map(|t| match snapshot.tasks[t.index()] {
+                    TaskView::Running { occupied_for, .. } => Some(occupied_for + horizon),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(Millis::ZERO);
+            (iv.id, projected.max(still_running))
+        })
+        .collect();
+
+    // Predicted occupancy of each instance beyond the horizon, from the
+    // tasks running on it at snapshot time (overdue tasks contribute zero
+    // here; their protection comes from the pessimistic restart cost).
+    let projected_busy: Vec<(InstanceId, Millis)> = snapshot
+        .instances
+        .iter()
+        .map(|iv| {
+            let busy = iv
+                .tasks
+                .iter()
+                .map(|t| remaining[t.index()].saturating_sub(horizon))
+                .max()
+                .unwrap_or(Millis::ZERO);
+            (iv.id, busy)
+        })
+        .collect();
+
+    Upcoming {
+        q_task,
+        restart_cost,
+        projected_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_dag::WorkflowBuilder;
+    use wire_simcloud::{CloudConfig, InstanceView};
+
+    fn mins(m: u64) -> Millis {
+        Millis::from_mins(m)
+    }
+
+    /// chain of `n` tasks in one stage
+    fn chain(n: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new("chain");
+        let s = b.add_stage("s");
+        let ts: Vec<TaskId> = (0..n).map(|_| b.add_task(s, 0, 0)).collect();
+        for w in ts.windows(2) {
+            b.add_dep(w[0], w[1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn config(l: u32) -> CloudConfig {
+        CloudConfig {
+            slots_per_instance: l,
+            ..CloudConfig::default()
+        }
+    }
+
+    fn inst(id: u32, state: InstanceStateView, tasks: Vec<TaskId>, l: u32) -> InstanceView {
+        let free = l - tasks.len() as u32;
+        InstanceView {
+            id: InstanceId(id),
+            state,
+            tasks,
+            free_slots: free,
+        }
+    }
+
+    fn snapshot<'a>(
+        wf: &'a Workflow,
+        cfg: &'a CloudConfig,
+        tasks: Vec<TaskView>,
+        instances: Vec<InstanceView>,
+        ready: Vec<TaskId>,
+    ) -> MonitorSnapshot<'a> {
+        MonitorSnapshot {
+            now: Millis::ZERO,
+            workflow: wf,
+            config: cfg,
+            tasks,
+            instances,
+            new_completions: vec![],
+            interval_transfers: vec![],
+            ready_in_dispatch_order: ready,
+        }
+    }
+
+    #[test]
+    fn running_task_past_horizon_stays_in_q() {
+        let wf = chain(2);
+        let cfg = config(1);
+        let snap = snapshot(
+            &wf,
+            &cfg,
+            vec![
+                TaskView::Running {
+                    instance: InstanceId(0),
+                    exec_age: mins(2),
+                    occupied_for: mins(2),
+                },
+                TaskView::Unready,
+            ],
+            vec![inst(
+                0,
+                InstanceStateView::Running {
+                    charge_start: Millis::ZERO,
+                },
+                vec![TaskId(0)],
+                1,
+            )],
+            vec![],
+        );
+        // task 0 predicted to need 10 more minutes (12 total); horizon 3 min
+        let remaining = vec![mins(10), mins(5)];
+        let values = vec![mins(12), mins(5)];
+        let up = lookahead(&snap, &remaining, &values, mins(3));
+        // still active at the horizon, valued at its full estimate
+        assert_eq!(up.q_task, vec![(TaskId(0), mins(12))]);
+        // restart cost: already sunk 2 min + 3 min of the interval
+        assert_eq!(up.restart_cost_of(InstanceId(0)), Some(mins(5)));
+    }
+
+    #[test]
+    fn completion_within_horizon_cascades_to_successor() {
+        let wf = chain(2);
+        let cfg = config(1);
+        let snap = snapshot(
+            &wf,
+            &cfg,
+            vec![
+                TaskView::Running {
+                    instance: InstanceId(0),
+                    exec_age: mins(9),
+                    occupied_for: mins(9),
+                },
+                TaskView::Unready,
+            ],
+            vec![inst(
+                0,
+                InstanceStateView::Running {
+                    charge_start: Millis::ZERO,
+                },
+                vec![TaskId(0)],
+                1,
+            )],
+            vec![],
+        );
+        // task 0 finishes in 1 min; successor predicted at 5 min
+        let remaining = vec![mins(1), mins(5)];
+        let values = vec![mins(10), mins(5)];
+        let up = lookahead(&snap, &remaining, &values, mins(3));
+        // successor started at minute 1, still active, full estimate
+        assert_eq!(up.q_task, vec![(TaskId(1), mins(5))]);
+        // restart cost stays pessimistic: the predicted completion of task 0
+        // (a conservative *minimum*) may not have happened, in which case the
+        // instance still holds 9 + 3 = 12 minutes of sunk occupancy
+        assert_eq!(up.restart_cost_of(InstanceId(0)), Some(mins(12)));
+    }
+
+    #[test]
+    fn backlog_remains_when_no_capacity() {
+        // 4 ready tasks, one 1-slot instance
+        let mut b = WorkflowBuilder::new("fan");
+        let s = b.add_stage("s");
+        for _ in 0..4 {
+            b.add_task(s, 0, 0);
+        }
+        let wf = b.build().unwrap();
+        let cfg = config(1);
+        let ready: Vec<TaskId> = wf.task_ids().collect();
+        let snap = snapshot(
+            &wf,
+            &cfg,
+            vec![TaskView::Ready; 4],
+            vec![inst(
+                0,
+                InstanceStateView::Running {
+                    charge_start: Millis::ZERO,
+                },
+                vec![],
+                1,
+            )],
+            ready,
+        );
+        let estimates = vec![mins(10); 4];
+        let up = lookahead(&snap, &estimates, &estimates, mins(3));
+        // t0 runs; t1..t3 queued; all at full occupancy estimates
+        assert_eq!(
+            up.q_task,
+            vec![
+                (TaskId(0), mins(10)),
+                (TaskId(1), mins(10)),
+                (TaskId(2), mins(10)),
+                (TaskId(3), mins(10)),
+            ]
+        );
+    }
+
+    #[test]
+    fn launching_instance_opens_mid_horizon() {
+        let mut b = WorkflowBuilder::new("fan2");
+        let s = b.add_stage("s");
+        for _ in 0..2 {
+            b.add_task(s, 0, 0);
+        }
+        let wf = b.build().unwrap();
+        let cfg = config(1);
+        let snap = snapshot(
+            &wf,
+            &cfg,
+            vec![TaskView::Ready; 2],
+            vec![
+                inst(
+                    0,
+                    InstanceStateView::Running {
+                        charge_start: Millis::ZERO,
+                    },
+                    vec![],
+                    1,
+                ),
+                inst(
+                    1,
+                    InstanceStateView::Launching { ready_at: mins(1) },
+                    vec![],
+                    1,
+                ),
+            ],
+            wf.task_ids().collect(),
+        );
+        let estimates = vec![mins(10), mins(10)];
+        let up = lookahead(&snap, &estimates, &estimates, mins(3));
+        // t0 on i0 from 0, t1 on i1 from minute 1; both active, full values
+        assert_eq!(
+            up.q_task,
+            vec![(TaskId(0), mins(10)), (TaskId(1), mins(10))]
+        );
+        assert_eq!(up.restart_cost_of(InstanceId(1)), Some(mins(2)));
+    }
+
+    #[test]
+    fn draining_instance_keeps_task_but_takes_no_new_work() {
+        let mut b = WorkflowBuilder::new("fan3");
+        let s = b.add_stage("s");
+        for _ in 0..2 {
+            b.add_task(s, 0, 0);
+        }
+        let wf = b.build().unwrap();
+        let cfg = config(1);
+        let snap = snapshot(
+            &wf,
+            &cfg,
+            vec![
+                TaskView::Running {
+                    instance: InstanceId(0),
+                    exec_age: Millis::ZERO,
+                    occupied_for: Millis::ZERO,
+                },
+                TaskView::Ready,
+            ],
+            vec![inst(
+                0,
+                InstanceStateView::Draining {
+                    terminate_at: mins(10),
+                },
+                vec![TaskId(0)],
+                1,
+            )],
+            vec![TaskId(1)],
+        );
+        // t0 completes in 1 min, but the freed draining slot must not take t1
+        let estimates = vec![mins(1), mins(1)];
+        let up = lookahead(&snap, &estimates, &estimates, mins(3));
+        assert_eq!(up.q_task, vec![(TaskId(1), mins(1))]);
+    }
+
+    #[test]
+    fn zero_estimates_cascade_instantly() {
+        // A whole chain of zero-estimate tasks (Policy 1) collapses within the
+        // horizon and contributes nothing to the load.
+        let wf = chain(5);
+        let cfg = config(1);
+        let snap = snapshot(
+            &wf,
+            &cfg,
+            {
+                let mut v = vec![TaskView::Unready; 5];
+                v[0] = TaskView::Ready;
+                v
+            },
+            vec![inst(
+                0,
+                InstanceStateView::Running {
+                    charge_start: Millis::ZERO,
+                },
+                vec![],
+                1,
+            )],
+            vec![TaskId(0)],
+        );
+        let estimates = vec![Millis::ZERO; 5];
+        let up = lookahead(&snap, &estimates, &estimates, mins(3));
+        assert!(up.q_task.is_empty(), "{:?}", up.q_task);
+    }
+
+    #[test]
+    fn overdue_running_task_stays_active_and_holds_its_slot() {
+        // t0 overdue (remaining 0) on the only slot; t1 queued. The overdue
+        // task must stay in Q at its full value and its slot must NOT free
+        // for t1 — so t1 remains queued, justifying a new instance.
+        let wf = chain(2);
+        let cfg = config(1);
+        let snap = snapshot(
+            &wf,
+            &cfg,
+            vec![
+                TaskView::Running {
+                    instance: InstanceId(0),
+                    exec_age: mins(12),
+                    occupied_for: mins(12),
+                },
+                TaskView::Unready,
+            ],
+            vec![inst(
+                0,
+                InstanceStateView::Running {
+                    charge_start: Millis::ZERO,
+                },
+                vec![TaskId(0)],
+                1,
+            )],
+            vec![],
+        );
+        let remaining = vec![Millis::ZERO, mins(5)];
+        let values = vec![mins(10), mins(5)];
+        let up = lookahead(&snap, &remaining, &values, mins(3));
+        assert_eq!(up.q_task, vec![(TaskId(0), mins(10))]);
+        // pinned task keeps its sunk cost growing through the horizon
+        assert_eq!(up.restart_cost_of(InstanceId(0)), Some(mins(15)));
+    }
+
+    #[test]
+    fn estimates_length_is_checked() {
+        let wf = chain(2);
+        let cfg = config(1);
+        let snap = snapshot(&wf, &cfg, vec![TaskView::Ready; 2], vec![], vec![]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lookahead(&snap, &[Millis::ZERO], &[Millis::ZERO], mins(3))
+        }));
+        assert!(result.is_err());
+    }
+}

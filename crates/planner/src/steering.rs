@@ -1,0 +1,302 @@
+//! Algorithm 2 — the resource-steering auto-scaling policy.
+//!
+//! Compares the ideal pool size `p` from Algorithm 3 with the current size `m`
+//! and plans adjustments: grow by `p − m` fresh instances, or shrink by
+//! releasing instances whose charging unit expires within the next interval
+//! (`r_j ≤ t`) and whose restart cost is below the waste threshold
+//! (`c_j ≤ 0.2u`). Released instances drain until their charge boundary so no
+//! paid time is discarded; their running tasks are resubmitted (§III-B3:
+//! instances are selected "to minimize task restart costs").
+
+use crate::resize::{resize_pool_config, DEFAULT_WASTE_FRACTION};
+use serde::{Deserialize, Serialize};
+use wire_dag::Millis;
+use wire_simcloud::{InstanceId, MonitorSnapshot, PoolPlan, TerminateWhen};
+
+/// Tunables of the steering policy (paper defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SteeringConfig {
+    /// Waste/restart threshold as a fraction of the charging unit (`0.2` in
+    /// Algorithms 2 and 3; "freely configurable").
+    pub waste_fraction: f64,
+    /// Fraction of a charging unit an instance must be predicted busy to be
+    /// counted by Algorithm 3 (1.0 in the paper). Lower values trade cost for
+    /// speed — the §IV-A "target utilization level" knob.
+    pub fill_target: f64,
+}
+
+impl Default for SteeringConfig {
+    fn default() -> Self {
+        SteeringConfig {
+            waste_fraction: DEFAULT_WASTE_FRACTION,
+            fill_target: 1.0,
+        }
+    }
+}
+
+/// Run Algorithm 2: produce the pool plan for the next interval.
+///
+/// * `q_occupancies` — the upcoming load's occupancy column, dispatch-ordered.
+/// * `restart_cost` — `c_j` per instance (from the lookahead).
+pub fn steer(
+    snapshot: &MonitorSnapshot<'_>,
+    q_occupancies: &[Millis],
+    restart_cost: &[(InstanceId, Millis)],
+    projected_busy: &[(InstanceId, Millis)],
+    cfg: SteeringConfig,
+) -> PoolPlan {
+    let u = snapshot.config.charging_unit;
+    let l = snapshot.config.slots_per_instance;
+    let t = snapshot.config.mape_interval;
+    let threshold = u.scale(cfg.waste_fraction);
+
+    // Algorithm 3 assumes a non-empty Q_task; with nothing upcoming, retain a
+    // minimal pool (p = 1) until the workflow advances or terminates.
+    let p = if q_occupancies.is_empty() {
+        1
+    } else {
+        resize_pool_config(q_occupancies, u, l, cfg.waste_fraction, cfg.fill_target)
+    };
+    let m = snapshot.pool_size();
+
+    if p > m {
+        return PoolPlan::launch(p - m);
+    }
+    if p >= m {
+        return PoolPlan::keep();
+    }
+
+    // shrink: candidates are running instances whose unit expires within the
+    // next interval and whose restart cost is acceptable, cheapest-to-restart
+    // first.
+    // hash the tables once: linear scans per candidate are quadratic on wide
+    // pools
+    let cost_map: std::collections::HashMap<InstanceId, Millis> =
+        restart_cost.iter().copied().collect();
+    let busy_map: std::collections::HashMap<InstanceId, Millis> =
+        projected_busy.iter().copied().collect();
+    let lookup = |table: &std::collections::HashMap<InstanceId, Millis>, id: InstanceId| {
+        table.get(&id).copied().unwrap_or(Millis::ZERO)
+    };
+    let mut candidates: Vec<(Millis, InstanceId)> = snapshot
+        .instances
+        .iter()
+        .filter(|iv| iv.is_running())
+        .filter(|iv| iv.time_to_next_charge(snapshot.now, u) <= t)
+        // the instance's own tasks must not be predicted to keep it busy
+        // beyond the waste threshold — "sufficient confidence that the
+        // workflow can continue to use it efficiently" (§III-B3)
+        .filter(|iv| lookup(&busy_map, iv.id) <= threshold)
+        .map(|iv| (lookup(&cost_map, iv.id), iv.id))
+        .filter(|&(c, _)| c <= threshold)
+        .collect();
+    candidates.sort();
+
+    let excess = (m - p) as usize;
+    if std::env::var_os("WIRE_DEBUG_STEER").is_some() && !candidates.is_empty() {
+        eprintln!(
+            "[steer {}] p={p} m={m} excess={excess} candidates={:?}",
+            snapshot.now,
+            candidates
+                .iter()
+                .map(|(c, id)| (id.0, c.as_secs_f64()))
+                .collect::<Vec<_>>()
+        );
+    }
+    let terminate: Vec<(InstanceId, TerminateWhen)> = candidates
+        .into_iter()
+        .take(excess)
+        .map(|(_, id)| (id, TerminateWhen::AtChargeBoundary))
+        .collect();
+    PoolPlan {
+        launch: 0,
+        terminate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_dag::{Workflow, WorkflowBuilder};
+    use wire_simcloud::{CloudConfig, InstanceStateView, InstanceView, TaskView};
+
+    fn mins(m: u64) -> Millis {
+        Millis::from_mins(m)
+    }
+
+    fn wf() -> Workflow {
+        let mut b = WorkflowBuilder::new("w");
+        let s = b.add_stage("s");
+        for _ in 0..4 {
+            b.add_task(s, 0, 0);
+        }
+        b.build().unwrap()
+    }
+
+    fn cfg() -> CloudConfig {
+        CloudConfig {
+            slots_per_instance: 1,
+            charging_unit: mins(15),
+            mape_interval: mins(3),
+            launch_lag: mins(3),
+            ..CloudConfig::default()
+        }
+    }
+
+    fn running_inst(id: u32, charge_start: Millis) -> InstanceView {
+        InstanceView {
+            id: InstanceId(id),
+            state: InstanceStateView::Running { charge_start },
+            tasks: vec![],
+            free_slots: 1,
+        }
+    }
+
+    fn snap<'a>(
+        wf: &'a Workflow,
+        cfg: &'a CloudConfig,
+        now: Millis,
+        instances: Vec<InstanceView>,
+    ) -> MonitorSnapshot<'a> {
+        MonitorSnapshot {
+            now,
+            workflow: wf,
+            config: cfg,
+            tasks: vec![TaskView::Ready; wf.num_tasks()],
+            instances,
+            new_completions: vec![],
+            interval_transfers: vec![],
+            ready_in_dispatch_order: wf.task_ids().collect(),
+        }
+    }
+
+    #[test]
+    fn grows_when_ideal_exceeds_current() {
+        let w = wf();
+        let c = cfg();
+        let s = snap(&w, &c, mins(3), vec![running_inst(0, Millis::ZERO)]);
+        // 4 tasks × 15 min on 1-slot instances → p = 4
+        let q = vec![mins(15); 4];
+        let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
+        assert_eq!(plan.launch, 3);
+        assert!(plan.terminate.is_empty());
+    }
+
+    #[test]
+    fn keeps_when_sized_right() {
+        let w = wf();
+        let c = cfg();
+        let s = snap(&w, &c, mins(3), vec![running_inst(0, Millis::ZERO)]);
+        // one unit of work → p = 1 = m
+        let q = vec![mins(15)];
+        let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
+        assert!(plan.is_noop());
+    }
+
+    #[test]
+    fn launching_instances_count_toward_m() {
+        let w = wf();
+        let c = cfg();
+        let mut instances = vec![running_inst(0, Millis::ZERO)];
+        instances.push(InstanceView {
+            id: InstanceId(1),
+            state: InstanceStateView::Launching { ready_at: mins(6) },
+            tasks: vec![],
+            free_slots: 1,
+        });
+        let s = snap(&w, &c, mins(3), instances);
+        let q = vec![mins(15); 2]; // p = 2, m = 2
+        let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
+        assert!(plan.is_noop());
+    }
+
+    #[test]
+    fn shrinks_only_instances_near_charge_boundary_with_low_restart_cost() {
+        let w = wf();
+        let c = cfg();
+        // now = 14 min. i0 started at 0 → r = 1 min ≤ t. i1 started at 10 →
+        // r = 11 min > t. i2 started at 0 → r = 1 min but high restart cost.
+        let s = snap(
+            &w,
+            &c,
+            mins(14),
+            vec![
+                running_inst(0, Millis::ZERO),
+                running_inst(1, mins(10)),
+                running_inst(2, Millis::ZERO),
+            ],
+        );
+        let q = vec![mins(1)]; // p = 1, m = 3 → want to shed 2
+        let costs = vec![
+            (InstanceId(0), Millis::ZERO),
+            (InstanceId(1), Millis::ZERO),
+            (InstanceId(2), mins(10)), // > 0.2 × 15 min = 3 min
+        ];
+        let plan = steer(&s, &q, &costs, &[], SteeringConfig::default());
+        assert_eq!(
+            plan.terminate,
+            vec![(InstanceId(0), TerminateWhen::AtChargeBoundary)]
+        );
+        assert_eq!(plan.launch, 0);
+    }
+
+    #[test]
+    fn shrink_prefers_cheapest_restart() {
+        let w = wf();
+        let c = cfg();
+        let s = snap(
+            &w,
+            &c,
+            mins(14),
+            vec![
+                running_inst(0, Millis::ZERO),
+                running_inst(1, Millis::ZERO),
+                running_inst(2, Millis::ZERO),
+            ],
+        );
+        let q = vec![mins(1)]; // p = 1 → shed up to 2
+        let costs = vec![
+            (InstanceId(0), mins(2)),
+            (InstanceId(1), Millis::ZERO),
+            (InstanceId(2), mins(1)),
+        ];
+        let plan = steer(&s, &q, &costs, &[], SteeringConfig::default());
+        let ids: Vec<InstanceId> = plan.terminate.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![InstanceId(1), InstanceId(2)]);
+    }
+
+    #[test]
+    fn empty_upcoming_load_retains_minimal_pool() {
+        let w = wf();
+        let c = cfg();
+        // m = 2 at a boundary: with empty Q_task, p = 1 → release one.
+        let s = snap(
+            &w,
+            &c,
+            mins(15),
+            vec![running_inst(0, Millis::ZERO), running_inst(1, Millis::ZERO)],
+        );
+        let plan = steer(&s, &[], &[], &[], SteeringConfig::default());
+        assert_eq!(plan.terminate.len(), 1);
+        assert_eq!(plan.launch, 0);
+    }
+
+    #[test]
+    fn never_shrinks_below_ideal() {
+        let w = wf();
+        let c = cfg();
+        let s = snap(
+            &w,
+            &c,
+            mins(15),
+            vec![
+                running_inst(0, Millis::ZERO),
+                running_inst(1, Millis::ZERO),
+                running_inst(2, Millis::ZERO),
+            ],
+        );
+        let q = vec![mins(30), mins(30)]; // p = 2, m = 3
+        let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
+        assert_eq!(plan.terminate.len(), 1);
+    }
+}

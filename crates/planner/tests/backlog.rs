@@ -1,0 +1,72 @@
+use wire_dag::{Millis, TaskId, WorkflowBuilder};
+use wire_planner::lookahead;
+use wire_simcloud::{
+    CloudConfig, InstanceId, InstanceStateView, InstanceView, MonitorSnapshot, TaskView,
+};
+
+fn scenario(with_zero_chain: bool) -> usize {
+    let mut b = WorkflowBuilder::new("w");
+    let s = b.add_stage("filter");
+    for _ in 0..100 {
+        b.add_task(s, 0, 0);
+    }
+    if with_zero_chain {
+        let s2 = b.add_stage("sol2");
+        for i in 0..100 {
+            let t = b.add_task(s2, 0, 0);
+            b.add_dep(TaskId(i), t).unwrap();
+        }
+    }
+    let wf = b.build().unwrap();
+    let n = wf.num_tasks();
+    let cfg = CloudConfig {
+        slots_per_instance: 4,
+        ..CloudConfig::default()
+    };
+    let mut tasks = vec![TaskView::Unready; n];
+    for t in 0..100 {
+        tasks[t] = TaskView::Ready;
+    }
+    for i in 0..4 {
+        tasks[i] = TaskView::Running {
+            instance: InstanceId(0),
+            exec_age: Millis::from_secs(5),
+            occupied_for: Millis::from_secs(10),
+        };
+    }
+    let snap = MonitorSnapshot {
+        now: Millis::from_mins(3),
+        workflow: &wf,
+        config: &cfg,
+        tasks,
+        instances: vec![InstanceView {
+            id: InstanceId(0),
+            state: InstanceStateView::Running {
+                charge_start: Millis::ZERO,
+            },
+            tasks: (0..4).map(TaskId).collect(),
+            free_slots: 0,
+        }],
+        new_completions: vec![],
+        interval_transfers: vec![],
+        ready_in_dispatch_order: (4..100).map(TaskId).collect(),
+    };
+    let mut est = vec![Millis::from_secs(20); n];
+    for e in est.iter_mut().skip(100) {
+        *e = Millis::ZERO; // unknown successor stage (Policy 1)
+    }
+    let up = lookahead(&snap, &est, &est, Millis::from_mins(3));
+    up.q_task.iter().filter(|&&(t, _)| t.0 < 100).count()
+}
+
+#[test]
+fn backlog_survives_cascade_without_successors() {
+    let q = scenario(false);
+    assert!((60..=70).contains(&q), "Q len = {q}");
+}
+
+#[test]
+fn backlog_survives_cascade_with_zero_estimate_successors() {
+    let q = scenario(true);
+    assert!((60..=70).contains(&q), "Q len = {q}");
+}

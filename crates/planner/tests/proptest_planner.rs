@@ -1,0 +1,95 @@
+//! Property tests on Algorithm 3 (resize) and the steering policy.
+
+use proptest::prelude::*;
+use wire_dag::Millis;
+use wire_planner::resize::{resize_pool, resize_pool_config};
+
+fn arb_q() -> impl Strategy<Value = Vec<Millis>> {
+    proptest::collection::vec(0u64..3_600_000, 1..300)
+        .prop_map(|v| v.into_iter().map(Millis::from_ms).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn p_is_at_least_one_and_at_most_tasks_plus_one(
+        q in arb_q(),
+        u_mins in 1u64..61,
+        l in 1u32..5,
+    ) {
+        let u = Millis::from_mins(u_mins);
+        let p = resize_pool(&q, u, l);
+        prop_assert!(p >= 1);
+        prop_assert!(p as usize <= q.len() + 1);
+    }
+
+    #[test]
+    fn appending_load_never_drops_p_by_more_than_the_leftover(
+        q in arb_q(),
+        extra in arb_q(),
+        u_mins in 1u64..61,
+        l in 1u32..5,
+    ) {
+        // Greedy packing processes a prefix identically; appended tasks can
+        // only absorb the prefix's final leftover (worth at most the +1 of
+        // lines 28–30), never un-count a full instance.
+        let u = Millis::from_mins(u_mins);
+        let p_base = resize_pool(&q, u, l);
+        let mut bigger = q.clone();
+        bigger.extend_from_slice(&extra);
+        let p_bigger = resize_pool(&bigger, u, l);
+        prop_assert!(p_bigger + 1 >= p_base, "{p_bigger} + 1 < {p_base}");
+    }
+
+    #[test]
+    fn all_long_tasks_get_individual_instances(
+        n in 1usize..200,
+        u_mins in 1u64..61,
+    ) {
+        // every task strictly longer than u fills a unit alone (l = 1)
+        let u = Millis::from_mins(u_mins);
+        let q: Vec<Millis> = (0..n).map(|i| u + Millis::from_ms(1 + i as u64)).collect();
+        prop_assert_eq!(resize_pool(&q, u, 1), n as u32);
+    }
+
+    #[test]
+    fn zero_tasks_never_add_instances(
+        zeros in 1usize..100,
+        u_mins in 1u64..61,
+        l in 1u32..5,
+    ) {
+        let u = Millis::from_mins(u_mins);
+        let q = vec![Millis::ZERO; zeros];
+        prop_assert_eq!(resize_pool(&q, u, l), 1);
+    }
+
+    #[test]
+    fn lower_fill_target_never_shrinks_p(
+        q in arb_q(),
+        u_mins in 1u64..61,
+        l in 1u32..5,
+    ) {
+        // relaxing the fill requirement can only justify more instances
+        let u = Millis::from_mins(u_mins);
+        let strict = resize_pool_config(&q, u, l, 0.2, 1.0);
+        let relaxed = resize_pool_config(&q, u, l, 0.2, 0.5);
+        prop_assert!(relaxed >= strict, "relaxed {relaxed} < strict {strict}");
+    }
+
+    #[test]
+    fn scaling_u_and_q_together_is_invariant(
+        q in arb_q(),
+        u_mins in 1u64..31,
+        l in 1u32..5,
+        k in 2u64..5,
+    ) {
+        // Algorithm 3 is scale-free: multiplying every occupancy and the unit
+        // by the same factor leaves p unchanged
+        let u = Millis::from_mins(u_mins);
+        let p1 = resize_pool(&q, u, l);
+        let q2: Vec<Millis> = q.iter().map(|&m| m * k).collect();
+        let p2 = resize_pool(&q2, u * k, l);
+        prop_assert_eq!(p1, p2);
+    }
+}

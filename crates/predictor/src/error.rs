@@ -1,0 +1,204 @@
+//! Prediction-error metrics and CDFs for the Figure-4 study.
+//!
+//! The paper reports the *true error* `t' − t` (seconds) for short and medium
+//! stages and the *relative true error* `(t' − t)/t` for long stages (§IV-D
+//! footnote 3), where `t` is the actual execution time and `t'` the estimate.
+
+use serde::{Deserialize, Serialize};
+use wire_dag::Millis;
+
+/// Stage classes by average task execution time μ̄ (§IV-D): short μ̄ ≤ 10 s,
+/// medium 10 < μ̄ ≤ 30 s, long μ̄ > 30 s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageClass {
+    Short,
+    Medium,
+    Long,
+}
+
+impl StageClass {
+    pub fn from_mean_secs(mean: f64) -> StageClass {
+        if mean <= 10.0 {
+            StageClass::Short
+        } else if mean <= 30.0 {
+            StageClass::Medium
+        } else {
+            StageClass::Long
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            StageClass::Short => "short",
+            StageClass::Medium => "medium",
+            StageClass::Long => "long",
+        }
+    }
+}
+
+/// True error in seconds: estimate minus actual.
+pub fn true_error_secs(estimate: Millis, actual: Millis) -> f64 {
+    estimate.as_secs_f64() - actual.as_secs_f64()
+}
+
+/// Relative true error: `(t' − t) / t`. Zero-length actuals (sub-millisecond
+/// tasks) are floored to 1 ms to keep the ratio finite.
+pub fn relative_true_error(estimate: Millis, actual: Millis) -> f64 {
+    let t = actual.as_secs_f64().max(0.001);
+    (estimate.as_secs_f64() - actual.as_secs_f64()) / t
+}
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Cdf { sorted: samples }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples with |value| ≤ `x` (the paper reports e.g. "93.18%
+    /// of tasks report ≤ 1 second prediction error").
+    pub fn fraction_abs_le(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.iter().filter(|v| v.abs() <= x).count();
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), by nearest-rank.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Mean of |samples| — "the average prediction error" rows of §IV-D.
+    pub fn mean_abs(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().map(|v| v.abs()).sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Evenly spaced (x, F(x)) points for plotting, clamped to `[lo, hi]`.
+    pub fn series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2 && hi > lo);
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.fraction_le(x))
+            })
+            .collect()
+    }
+
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_classes_split_at_10_and_30() {
+        assert_eq!(StageClass::from_mean_secs(1.0), StageClass::Short);
+        assert_eq!(StageClass::from_mean_secs(10.0), StageClass::Short);
+        assert_eq!(StageClass::from_mean_secs(10.1), StageClass::Medium);
+        assert_eq!(StageClass::from_mean_secs(30.0), StageClass::Medium);
+        assert_eq!(StageClass::from_mean_secs(30.1), StageClass::Long);
+        assert_eq!(StageClass::Long.label(), "long");
+    }
+
+    #[test]
+    fn errors_signed_correctly() {
+        let est = Millis::from_secs(12);
+        let act = Millis::from_secs(10);
+        assert!((true_error_secs(est, act) - 2.0).abs() < 1e-9);
+        assert!((relative_true_error(est, act) - 0.2).abs() < 1e-9);
+        // underestimates are negative
+        assert!(true_error_secs(act, est) < 0.0);
+    }
+
+    #[test]
+    fn relative_error_with_zero_actual_is_finite() {
+        let r = relative_true_error(Millis::from_secs(1), Millis::ZERO);
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn cdf_basic_queries() {
+        let cdf = Cdf::from_samples(vec![-2.0, -1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(cdf.len(), 5);
+        assert!((cdf.fraction_le(0.0) - 0.6).abs() < 1e-9);
+        assert!((cdf.fraction_abs_le(1.0) - 0.6).abs() < 1e-9);
+        assert_eq!(cdf.quantile(0.5), Some(0.0));
+        assert_eq!(cdf.quantile(1.0), Some(2.0));
+        assert_eq!(cdf.mean(), Some(0.0));
+        assert_eq!(cdf.mean_abs(), Some(1.2));
+    }
+
+    #[test]
+    fn cdf_filters_non_finite() {
+        let cdf = Cdf::from_samples(vec![1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let cdf = Cdf::from_samples((0..100).map(|i| i as f64 / 10.0).collect());
+        let series = cdf.series(-1.0, 11.0, 25);
+        assert_eq!(series.len(), 25);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let cdf = Cdf::from_samples(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_le(0.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.mean(), None);
+    }
+}

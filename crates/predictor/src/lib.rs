@@ -1,0 +1,47 @@
+//! WIRE online task-performance prediction (paper §III-B1 and §III-C).
+//!
+//! The predictor consumes the monitoring data a workflow framework exposes —
+//! execution times of completed tasks, ages of running tasks, data-transfer
+//! times, input data sizes — and produces a *conservative minimum* remaining
+//! slot-occupancy estimate for every incomplete or unstarted task.
+//!
+//! It implements the paper's five online prediction policies:
+//!
+//! 1. no task of the stage has started → estimate 0;
+//! 2. running tasks but no completion → presume the running tasks are about to
+//!    complete (median running age);
+//! 3. completions exist, task not yet ready → median completed execution time;
+//! 4. completions exist, task ready, input size equals a completed group `L` →
+//!    median of `L`;
+//! 5. completions exist, task ready, input size is new → per-stage *online
+//!    gradient descent* linear model on input size (Algorithm 1, Eq. 1).
+//!
+//! Data-transfer times are estimated memorylessly as the median of the
+//! transfers observed in the most recent MAPE interval (§III-B1).
+//!
+//! This crate is pure and depends only on `wire-dag`; the cloud simulator and
+//! the MAPE controller adapt their monitoring snapshots to the input types
+//! here, so the predictor can also be driven offline for accuracy studies
+//! (Figure 4).
+
+pub mod error;
+pub mod estimators;
+pub mod median;
+pub mod moving;
+pub mod ogd;
+pub mod policies;
+pub mod predictor;
+pub mod stage_model;
+pub mod transfer;
+
+pub use error::{relative_true_error, true_error_secs, Cdf, StageClass};
+pub use estimators::Estimator;
+pub use median::{median_millis, median_of, MedianAcc};
+pub use moving::IntervalMedian;
+pub use ogd::OgdModel;
+pub use policies::{PolicyKind, Prediction, TaskStatus};
+pub use predictor::{
+    CompletedTaskObs, IntervalObservations, Predictor, RunningTaskObs, StageIntervalObs,
+};
+pub use stage_model::StageState;
+pub use transfer::TransferEstimator;

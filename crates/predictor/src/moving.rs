@@ -1,0 +1,128 @@
+//! Moving median over a sequence of MAPE intervals.
+//!
+//! Design goal (2) of §III-C: "use the median observations over a sequence of
+//! execution intervals (*moving median*) to address the longer-term and
+//! more-consistent trends of the task performance at each stage". This keeps a
+//! bounded window of per-interval observation batches and answers the median
+//! over the most recent `window` non-empty intervals.
+
+use crate::median::median_millis;
+use std::collections::VecDeque;
+use wire_dag::Millis;
+
+/// Median across the most recent MAPE intervals' observations.
+#[derive(Debug, Clone)]
+pub struct IntervalMedian {
+    window: usize,
+    intervals: VecDeque<Vec<Millis>>,
+}
+
+impl IntervalMedian {
+    /// `window` = how many most-recent intervals participate in the median
+    /// (the current interval plus `window - 1` older ones).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        IntervalMedian {
+            window,
+            intervals: VecDeque::with_capacity(window + 1),
+        }
+    }
+
+    /// Close the current interval, recording the observations made during it.
+    /// Empty batches are recorded too (an interval can legitimately observe
+    /// nothing), but are skipped when answering queries so the estimator stays
+    /// *memoryless with fallback*: it prefers the freshest data and degrades to
+    /// older intervals only when the fresh ones are silent.
+    pub fn push_interval(&mut self, obs: Vec<Millis>) {
+        self.intervals.push_back(obs);
+        while self.intervals.len() > self.window {
+            self.intervals.pop_front();
+        }
+    }
+
+    /// Median over the observations of the newest non-empty interval within the
+    /// window (the paper's `t̃_data`: the median of the transfers between the
+    /// n−1th and nth iterations, with older intervals as fallback).
+    pub fn latest_median(&self) -> Option<Millis> {
+        self.intervals
+            .iter()
+            .rev()
+            .find(|batch| !batch.is_empty())
+            .and_then(|batch| median_millis(batch))
+    }
+
+    /// Median over *all* observations in the window — the longer-term trend.
+    pub fn window_median(&self) -> Option<Millis> {
+        let all: Vec<Millis> = self.intervals.iter().flatten().copied().collect();
+        median_millis(&all)
+    }
+
+    /// Number of intervals currently retained.
+    pub fn num_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Total observations retained, for overhead accounting.
+    pub fn num_observations(&self) -> usize {
+        self.intervals.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: &[u64]) -> Vec<Millis> {
+        v.iter().map(|&x| Millis::from_ms(x)).collect()
+    }
+
+    #[test]
+    fn empty_has_no_median() {
+        let im = IntervalMedian::new(3);
+        assert_eq!(im.latest_median(), None);
+        assert_eq!(im.window_median(), None);
+    }
+
+    #[test]
+    fn latest_prefers_fresh_interval() {
+        let mut im = IntervalMedian::new(3);
+        im.push_interval(ms(&[100, 100, 100]));
+        im.push_interval(ms(&[10, 20, 30]));
+        assert_eq!(im.latest_median(), Some(Millis::from_ms(20)));
+    }
+
+    #[test]
+    fn latest_falls_back_over_empty_intervals() {
+        let mut im = IntervalMedian::new(3);
+        im.push_interval(ms(&[40, 50, 60]));
+        im.push_interval(vec![]);
+        im.push_interval(vec![]);
+        assert_eq!(im.latest_median(), Some(Millis::from_ms(50)));
+    }
+
+    #[test]
+    fn window_evicts_old_intervals() {
+        let mut im = IntervalMedian::new(2);
+        im.push_interval(ms(&[1000]));
+        im.push_interval(ms(&[10]));
+        im.push_interval(ms(&[20]));
+        assert_eq!(im.num_intervals(), 2);
+        // the 1000 fell out of the window
+        assert_eq!(im.window_median(), Some(Millis::from_ms(15)));
+    }
+
+    #[test]
+    fn fully_evicted_data_is_forgotten() {
+        let mut im = IntervalMedian::new(1);
+        im.push_interval(ms(&[500]));
+        im.push_interval(vec![]);
+        assert_eq!(im.latest_median(), None);
+        assert_eq!(im.num_observations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = IntervalMedian::new(0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Online gradient descent model — Algorithm 1 of the paper.
+//!
+//! For each stage we fit `t_i = α0_n + α1_n · d_i` (Eq. 1), where `d_i` is the
+//! task's input data size, using one full-batch gradient step per MAPE
+//! iteration with learning rate 0.1 and coefficients carried across
+//! iterations. The training set is the per-input-size groups of completed
+//! tasks, each contributing the point `⟨d_M, t̃_M⟩` (group size, median
+//! execution time).
+//!
+//! **Interpretation note (recorded in DESIGN.md):** the paper fixes the
+//! learning rate at 0.1 but does not state the feature's unit. Raw byte counts
+//! make the quadratic term of the gradient explode (`lr · d²` ≫ 1 ⇒
+//! divergence), so — like any careful reimplementation — we scale the feature
+//! by a per-model reference size (the largest `d` seen so far), keeping the
+//! normalized feature in `[0, 1]` where lr = 0.1 is stable. Predictions are
+//! invariant to the reference choice once the model has converged; the scaling
+//! is refreshed whenever a new maximum appears, rescaling `α1` so the model's
+//! predictions are preserved across the change.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed learning rate from Algorithm 1 line 4.
+pub const LEARNING_RATE: f64 = 0.1;
+
+/// One training point: a group of completed tasks with the same input size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainPoint {
+    /// Group input data size `d_M`, in bytes.
+    pub input_bytes: f64,
+    /// Median execution time of the group `t̃_M`, in seconds.
+    pub exec_secs: f64,
+}
+
+/// Per-stage online gradient descent model (Eq. 1 / Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OgdModel {
+    /// Intercept `α0_n` (seconds).
+    alpha0: f64,
+    /// Slope `α1_n` (seconds per *normalized* input unit).
+    alpha1: f64,
+    /// Feature scale: input sizes are divided by this before use.
+    scale: f64,
+    /// Number of gradient iterations applied (the `n` of Algorithm 1).
+    iterations: u64,
+}
+
+impl Default for OgdModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OgdModel {
+    /// Initial state `α0_0 = 0`, `α1_0 = 0` (§III-C).
+    pub fn new() -> Self {
+        OgdModel {
+            alpha0: 0.0,
+            alpha1: 0.0,
+            scale: 1.0,
+            iterations: 0,
+        }
+    }
+
+    /// Apply one MAPE-iteration gradient step over the current training set
+    /// (Algorithm 1 lines 5–13). Empty training sets leave the model unchanged.
+    pub fn update(&mut self, training: &[TrainPoint]) {
+        if training.is_empty() {
+            return;
+        }
+        self.refresh_scale(training);
+        let m = training.len() as f64;
+        let mut g0 = 0.0;
+        let mut g1 = 0.0;
+        for p in training {
+            let d = p.input_bytes / self.scale;
+            let residual = p.exec_secs - (self.alpha1 * d + self.alpha0);
+            g0 += -2.0 / m * residual;
+            g1 += -2.0 / m * d * residual;
+        }
+        self.alpha0 -= LEARNING_RATE * g0;
+        self.alpha1 -= LEARNING_RATE * g1;
+        self.iterations += 1;
+    }
+
+    /// Predicted execution time (seconds) for a task with `input_bytes` of
+    /// input. Clamped at zero: the estimate is a *minimum remaining occupancy*,
+    /// never negative.
+    pub fn predict_secs(&self, input_bytes: f64) -> f64 {
+        (self.alpha0 + self.alpha1 * (input_bytes / self.scale)).max(0.0)
+    }
+
+    /// `(α0, α1_normalized)` for inspection.
+    pub fn coefficients(&self) -> (f64, f64) {
+        (self.alpha0, self.alpha1)
+    }
+
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Mean squared error of the model on a training set (diagnostics; the
+    /// §III-C claim is that iterating Algorithm 1 drives this down).
+    pub fn mse(&self, training: &[TrainPoint]) -> f64 {
+        if training.is_empty() {
+            return 0.0;
+        }
+        training
+            .iter()
+            .map(|p| {
+                let d = p.input_bytes / self.scale;
+                let r = p.exec_secs - (self.alpha1 * d + self.alpha0);
+                r * r
+            })
+            .sum::<f64>()
+            / training.len() as f64
+    }
+
+    /// Grow the feature scale to cover the largest observed input, rescaling
+    /// `α1` so `α1 · d/scale` — and therefore every prediction — is unchanged.
+    fn refresh_scale(&mut self, training: &[TrainPoint]) {
+        let max_d = training
+            .iter()
+            .map(|p| p.input_bytes)
+            .fold(0.0_f64, f64::max);
+        if max_d > self.scale {
+            self.alpha1 *= max_d / self.scale;
+            self.scale = max_d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[(f64, f64)]) -> Vec<TrainPoint> {
+        raw.iter()
+            .map(|&(d, t)| TrainPoint {
+                input_bytes: d,
+                exec_secs: t,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        let m = OgdModel::new();
+        assert_eq!(m.coefficients(), (0.0, 0.0));
+        assert_eq!(m.predict_secs(1e9), 0.0);
+        assert_eq!(m.iterations(), 0);
+    }
+
+    #[test]
+    fn empty_training_is_noop() {
+        let mut m = OgdModel::new();
+        m.update(&[]);
+        assert_eq!(m.iterations(), 0);
+        assert_eq!(m.coefficients(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn converges_to_linear_relation() {
+        // t = 2 + 10 * (d / 1e9) seconds: a perfectly linear stage.
+        let training = pts(&[
+            (0.1e9, 3.0),
+            (0.2e9, 4.0),
+            (0.5e9, 7.0),
+            (1.0e9, 12.0),
+        ]);
+        let mut m = OgdModel::new();
+        for _ in 0..2000 {
+            m.update(&training);
+        }
+        for p in &training {
+            let err = (m.predict_secs(p.input_bytes) - p.exec_secs).abs();
+            assert!(err < 0.05, "residual {err} too large at d={}", p.input_bytes);
+        }
+        // extrapolation stays linear
+        let extrapolated = m.predict_secs(2.0e9);
+        assert!((extrapolated - 22.0).abs() < 0.4, "got {extrapolated}");
+    }
+
+    #[test]
+    fn stable_with_huge_byte_counts() {
+        // Without feature scaling, lr=0.1 on d≈3e10 would diverge instantly.
+        let training = pts(&[(29.5e9, 14.0), (7.3e9, 5.0)]);
+        let mut m = OgdModel::new();
+        for _ in 0..500 {
+            m.update(&training);
+        }
+        assert!(m.predict_secs(29.5e9).is_finite());
+        assert!((m.predict_secs(29.5e9) - 14.0).abs() < 0.5);
+        assert!((m.predict_secs(7.3e9) - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn rescaling_preserves_predictions() {
+        let small = pts(&[(1e6, 5.0), (2e6, 8.0)]);
+        let mut m = OgdModel::new();
+        for _ in 0..300 {
+            m.update(&small);
+        }
+        let before = m.predict_secs(1.5e6);
+        // a single point with a far larger input size triggers a scale refresh
+        let bigger = pts(&[(1e6, 5.0), (2e6, 8.0), (1e9, 8.0)]);
+        let mut probe = m.clone();
+        probe.refresh_scale(&bigger);
+        let after = probe.predict_secs(1.5e6);
+        assert!((before - after).abs() < 1e-9, "{before} vs {after}");
+    }
+
+    #[test]
+    fn mse_decreases_under_iteration() {
+        let training = pts(&[(0.2e9, 4.0), (0.6e9, 8.0), (1.0e9, 12.0)]);
+        let mut m = OgdModel::new();
+        let mut last = m.mse(&training);
+        for round in 0..20 {
+            for _ in 0..25 {
+                m.update(&training);
+            }
+            let now = m.mse(&training);
+            assert!(
+                now <= last + 1e-9,
+                "round {round}: mse rose {last} -> {now}"
+            );
+            last = now;
+        }
+        assert!(last < 0.05, "final mse {last}");
+    }
+
+    #[test]
+    fn prediction_never_negative() {
+        // Strongly negative intercept scenario.
+        let training = pts(&[(1e9, 0.1), (2e9, 10.0)]);
+        let mut m = OgdModel::new();
+        for _ in 0..1000 {
+            m.update(&training);
+        }
+        assert!(m.predict_secs(0.0) >= 0.0);
+        assert!(m.predict_secs(1e7) >= 0.0);
+    }
+
+    #[test]
+    fn single_point_fits_constant() {
+        let training = pts(&[(5e8, 42.0)]);
+        let mut m = OgdModel::new();
+        for _ in 0..2000 {
+            m.update(&training);
+        }
+        assert!((m.predict_secs(5e8) - 42.0).abs() < 0.1);
+    }
+}

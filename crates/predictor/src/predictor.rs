@@ -1,0 +1,294 @@
+//! The whole-workflow predictor: per-stage state + transfer estimator, driven
+//! once per MAPE interval by the Monitor phase.
+
+use crate::policies::{predict_task, Prediction, TaskStatus};
+use crate::stage_model::StageState;
+use crate::transfer::TransferEstimator;
+use wire_dag::{Millis, StageId, TaskId, Workflow};
+
+/// A task completion observed during the last interval.
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedTaskObs {
+    pub task: TaskId,
+    pub input_bytes: u64,
+    pub exec_time: Millis,
+}
+
+/// A task currently running at the end of the interval.
+#[derive(Debug, Clone, Copy)]
+pub struct RunningTaskObs {
+    pub task: TaskId,
+    pub input_bytes: u64,
+    /// Time the task has been executing so far.
+    pub age: Millis,
+}
+
+/// Per-stage monitoring data for one interval.
+#[derive(Debug, Clone, Default)]
+pub struct StageIntervalObs {
+    /// Tasks of this stage that completed *since the previous interval*.
+    pub completed: Vec<CompletedTaskObs>,
+    /// Tasks of this stage currently running (full snapshot).
+    pub running: Vec<RunningTaskObs>,
+}
+
+/// Monitoring data harvested for one MAPE interval (§III-B1: the task
+/// predictor "harvests measurements from the previous interval").
+#[derive(Debug, Clone, Default)]
+pub struct IntervalObservations {
+    /// Indexed by stage id.
+    pub per_stage: Vec<StageIntervalObs>,
+    /// Data-transfer durations completed during the interval (any stage).
+    pub transfers: Vec<Millis>,
+}
+
+impl IntervalObservations {
+    pub fn empty_for(wf: &Workflow) -> Self {
+        IntervalObservations {
+            per_stage: vec![StageIntervalObs::default(); wf.num_stages()],
+            transfers: Vec::new(),
+        }
+    }
+}
+
+/// The WIRE task predictor (§III-B1): one [`StageState`] per stage and a
+/// memoryless transfer estimator.
+///
+/// ```
+/// use wire_dag::{Millis, TaskId, WorkflowBuilder};
+/// use wire_predictor::{
+///     CompletedTaskObs, IntervalObservations, PolicyKind, Predictor, TaskStatus,
+/// };
+///
+/// let mut b = WorkflowBuilder::new("doc");
+/// let s = b.add_stage("map");
+/// let t0 = b.add_task(s, 1_000, 100);
+/// let _t1 = b.add_task(s, 1_000, 100);
+/// let wf = b.build().unwrap();
+///
+/// let mut p = Predictor::new(&wf);
+/// let mut obs = IntervalObservations::empty_for(&wf);
+/// obs.per_stage[0].completed.push(CompletedTaskObs {
+///     task: t0,
+///     input_bytes: 1_000,
+///     exec_time: Millis::from_secs(9),
+/// });
+/// p.observe_interval(&obs);
+///
+/// // the peer task now predicts via the completed group (Policy 4)
+/// let pred = p.predict_task(s, 1_000, TaskStatus::UnstartedReady);
+/// assert_eq!(pred.policy, PolicyKind::GroupMedian);
+/// assert_eq!(pred.exec_time, Millis::from_secs(9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    stages: Vec<StageState>,
+    transfer: TransferEstimator,
+    intervals_seen: u64,
+}
+
+impl Predictor {
+    pub fn new(wf: &Workflow) -> Self {
+        Self::with_estimator(wf, crate::estimators::Estimator::Median)
+    }
+
+    /// A predictor whose stage summaries use an alternative central-tendency
+    /// estimator (§III-C median/mean/three-sigma comparison).
+    pub fn with_estimator(wf: &Workflow, estimator: crate::estimators::Estimator) -> Self {
+        Predictor {
+            stages: (0..wf.num_stages())
+                .map(|_| StageState::with_estimator(estimator))
+                .collect(),
+            transfer: TransferEstimator::default(),
+            intervals_seen: 0,
+        }
+    }
+
+    /// Analyze phase: ingest one interval of monitoring data and advance every
+    /// stage's learning model by one Algorithm-1 step.
+    pub fn observe_interval(&mut self, obs: &IntervalObservations) {
+        assert_eq!(
+            obs.per_stage.len(),
+            self.stages.len(),
+            "observation shape must match the workflow"
+        );
+        for (state, so) in self.stages.iter_mut().zip(&obs.per_stage) {
+            for c in &so.completed {
+                state.record_completion(c.input_bytes, c.exec_time);
+            }
+            state.set_running(so.running.iter().map(|r| (r.task, r.age)).collect());
+            state.update_model();
+        }
+        self.transfer.push_interval(obs.transfers.clone());
+        self.intervals_seen += 1;
+    }
+
+    /// Predict the minimum execution time of one incomplete/unstarted task.
+    pub fn predict_task(
+        &self,
+        stage: StageId,
+        input_bytes: u64,
+        status: TaskStatus,
+    ) -> Prediction {
+        predict_task(&self.stages[stage.index()], input_bytes, status)
+    }
+
+    /// Predicted minimum *slot occupancy* = exec estimate + transfer estimate
+    /// (a task occupies its slot for execution plus input/output transfer,
+    /// §III-B1).
+    pub fn predict_occupancy(
+        &self,
+        stage: StageId,
+        input_bytes: u64,
+        status: TaskStatus,
+    ) -> Prediction {
+        let mut p = self.predict_task(stage, input_bytes, status);
+        let t = self.transfer.estimate();
+        p.exec_time += t;
+        // Remaining occupancy: for running tasks the transfer is already under
+        // way or done, so only extend un-elapsed estimates; keep conservatism
+        // by adding the transfer to the remaining gap as well only for
+        // unstarted tasks.
+        if !matches!(status, TaskStatus::Running { .. }) {
+            p.remaining += t;
+        }
+        p
+    }
+
+    /// `t̃_data` — the current transfer-time estimate.
+    pub fn transfer_estimate(&self) -> Millis {
+        self.transfer.estimate()
+    }
+
+    pub fn stage_state(&self, stage: StageId) -> &StageState {
+        &self.stages[stage.index()]
+    }
+
+    pub fn intervals_seen(&self) -> u64 {
+        self.intervals_seen
+    }
+
+    /// Approximate controller state size in bytes (§IV-F overhead report).
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.stages.iter().map(StageState::state_bytes).sum::<usize>()
+            + self.transfer.num_observations() * std::mem::size_of::<Millis>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::PolicyKind;
+    use wire_dag::WorkflowBuilder;
+
+    fn two_stage_workflow() -> Workflow {
+        let mut b = WorkflowBuilder::new("w");
+        let s0 = b.add_stage("map");
+        let s1 = b.add_stage("reduce");
+        let m0 = b.add_task(s0, 100, 10);
+        let m1 = b.add_task(s0, 100, 10);
+        let r0 = b.add_task(s1, 20, 5);
+        b.add_dep(m0, r0).unwrap();
+        b.add_dep(m1, r0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fresh_predictor_gives_policy1_everywhere() {
+        let wf = two_stage_workflow();
+        let p = Predictor::new(&wf);
+        let pr = p.predict_task(StageId(0), 100, TaskStatus::UnstartedReady);
+        assert_eq!(pr.policy, PolicyKind::NoObservation);
+        assert_eq!(p.transfer_estimate(), Millis::ZERO);
+    }
+
+    #[test]
+    fn interval_flow_updates_policies() {
+        let wf = two_stage_workflow();
+        let mut p = Predictor::new(&wf);
+        let mut obs = IntervalObservations::empty_for(&wf);
+        obs.per_stage[0].completed.push(CompletedTaskObs {
+            task: TaskId(0),
+            input_bytes: 100,
+            exec_time: Millis::from_secs(10),
+        });
+        obs.per_stage[0].running.push(RunningTaskObs {
+            task: TaskId(1),
+            input_bytes: 100,
+            age: Millis::from_secs(4),
+        });
+        obs.transfers.push(Millis::from_secs(2));
+        p.observe_interval(&obs);
+
+        // stage 0 now predicts via the completed group for ready tasks
+        let pr = p.predict_task(StageId(0), 100, TaskStatus::UnstartedReady);
+        assert_eq!(pr.policy, PolicyKind::GroupMedian);
+        assert_eq!(pr.exec_time, Millis::from_secs(10));
+
+        // stage 1 has nothing: policy 1
+        let pr1 = p.predict_task(StageId(1), 20, TaskStatus::UnstartedBlocked);
+        assert_eq!(pr1.policy, PolicyKind::NoObservation);
+
+        // occupancy adds the transfer estimate
+        let occ = p.predict_occupancy(StageId(0), 100, TaskStatus::UnstartedReady);
+        assert_eq!(occ.exec_time, Millis::from_secs(12));
+        assert_eq!(occ.remaining, Millis::from_secs(12));
+        assert_eq!(p.transfer_estimate(), Millis::from_secs(2));
+        assert_eq!(p.intervals_seen(), 1);
+    }
+
+    #[test]
+    fn running_occupancy_does_not_double_count_transfer() {
+        let wf = two_stage_workflow();
+        let mut p = Predictor::new(&wf);
+        let mut obs = IntervalObservations::empty_for(&wf);
+        obs.per_stage[0].completed.push(CompletedTaskObs {
+            task: TaskId(0),
+            input_bytes: 100,
+            exec_time: Millis::from_secs(10),
+        });
+        obs.transfers.push(Millis::from_secs(3));
+        p.observe_interval(&obs);
+        let occ = p.predict_occupancy(
+            StageId(0),
+            100,
+            TaskStatus::Running {
+                age: Millis::from_secs(4),
+            },
+        );
+        // total occupancy estimate includes the transfer, remaining does not
+        assert_eq!(occ.exec_time, Millis::from_secs(13));
+        assert_eq!(occ.remaining, Millis::from_secs(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "observation shape")]
+    fn mismatched_observation_shape_panics() {
+        let wf = two_stage_workflow();
+        let mut p = Predictor::new(&wf);
+        let obs = IntervalObservations {
+            per_stage: vec![StageIntervalObs::default()],
+            transfers: vec![],
+        };
+        p.observe_interval(&obs);
+    }
+
+    #[test]
+    fn state_bytes_stays_small() {
+        // §IV-F reports ≤ 16 KB for real runs; sanity-check the same order of
+        // magnitude for a thousand observations.
+        let wf = two_stage_workflow();
+        let mut p = Predictor::new(&wf);
+        let mut obs = IntervalObservations::empty_for(&wf);
+        for i in 0..1000u64 {
+            obs.per_stage[0].completed.push(CompletedTaskObs {
+                task: TaskId(0),
+                input_bytes: 100,
+                exec_time: Millis::from_ms(1000 + i),
+            });
+        }
+        p.observe_interval(&obs);
+        assert!(p.state_bytes() < 64 * 1024, "{} bytes", p.state_bytes());
+    }
+}

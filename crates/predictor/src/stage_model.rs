@@ -1,0 +1,324 @@
+//! Per-stage observation store and learning state.
+//!
+//! For each stage the predictor keeps: the completed tasks grouped by input
+//! size (the groups `L`/`M` of Policy 4 and Algorithm 1), the overall median of
+//! completed execution times (Policy 3), the current running-task ages
+//! (Policy 2), and the stage's OGD model (Policy 5).
+
+use crate::estimators::Estimator;
+use crate::median::{median_millis, MedianAcc};
+use crate::moving::IntervalMedian;
+use crate::ogd::{OgdModel, TrainPoint};
+use wire_dag::{Millis, TaskId};
+
+/// Intervals of running-age observations retained for the Policy-2 moving
+/// median (§III-C design goal 2: combine short- and long-term information to
+/// avoid oscillations).
+pub const RUNNING_AGE_WINDOW: usize = 8;
+
+/// Relative tolerance for treating two input sizes as "equivalent" when
+/// forming Policy-4 groups. The paper speaks of tasks whose input size "is
+/// equivalent to the input size of a group of completed tasks"; real task
+/// inputs from a splitter differ by a few bytes, so exact equality is too
+/// brittle.
+pub const SIZE_GROUP_TOLERANCE: f64 = 0.01;
+
+/// A group of completed tasks sharing (approximately) one input size.
+///
+/// Times are kept in an incremental sorted accumulator: the controller asks
+/// for the group median once per incomplete task per MAPE iteration, so the
+/// summary must be O(1) to read (a naive re-sort per query turns a
+/// 1000-task stage into an O(N² log N)-per-tick controller).
+#[derive(Debug, Clone)]
+pub struct SizeGroup {
+    /// Representative input size (size of the first member), in bytes.
+    pub rep_bytes: u64,
+    /// Execution times of the group's completed members, sorted.
+    times: MedianAcc,
+}
+
+impl SizeGroup {
+    fn new(rep_bytes: u64, first: Millis) -> Self {
+        let mut times = MedianAcc::new();
+        times.push(first);
+        SizeGroup { rep_bytes, times }
+    }
+
+    /// Does `bytes` fall in this group (within the relative tolerance)?
+    pub fn matches(&self, bytes: u64) -> bool {
+        let rep = self.rep_bytes as f64;
+        let b = bytes as f64;
+        if self.rep_bytes == bytes {
+            return true;
+        }
+        let denom = rep.max(b).max(1.0);
+        (rep - b).abs() / denom <= SIZE_GROUP_TOLERANCE
+    }
+
+    /// Median execution time `t̃_L` of the group.
+    pub fn median(&self) -> Option<Millis> {
+        self.times.median()
+    }
+
+    /// `t̃_L` under an alternative estimator (ablation studies).
+    pub fn central(&self, estimator: Estimator) -> Option<Millis> {
+        match estimator {
+            Estimator::Median => self.times.median(),
+            other => {
+                let vals: Vec<Millis> = self
+                    .times
+                    .sorted_ms()
+                    .iter()
+                    .map(|&ms| Millis::from_ms(ms))
+                    .collect();
+                other.central(&vals)
+            }
+        }
+    }
+
+    /// Number of completed members.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.times.state_bytes()
+    }
+}
+
+/// All observation state the predictor holds for one stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageState {
+    /// Number of tasks of the stage that have completed.
+    completed_count: usize,
+    /// Completed tasks grouped by (approximate) input size.
+    groups: Vec<SizeGroup>,
+    /// Median accumulator over *all* completed execution times (Policy 3).
+    all_completed: MedianAcc,
+    /// Current running tasks: (task, age so far). Replaced every interval.
+    running: Vec<(TaskId, Millis)>,
+    /// Cached Policy-2 estimate, refreshed by [`StageState::set_running`].
+    cached_running_age: Option<Millis>,
+    /// Alternative central-tendency estimator (§III-C compares the median
+    /// against the mean and the three-sigma rule; the default is the paper's
+    /// median).
+    estimator: Estimator,
+    /// Moving median of running-task ages over recent intervals. Without it,
+    /// a batch of freshly dispatched tasks (age ≈ 0) on newly launched
+    /// instances collapses the Policy-2 estimate, which collapses the
+    /// predicted load, which triggers mass releases — the oscillation the
+    /// paper's design goal (2) explicitly smooths away.
+    age_history: Option<IntervalMedian>,
+    /// The stage's online gradient descent model (Policy 5).
+    ogd: OgdModel,
+}
+
+impl StageState {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A stage state summarizing observations with `estimator` instead of the
+    /// default median (for the §III-C estimator-choice ablation).
+    pub fn with_estimator(estimator: Estimator) -> Self {
+        StageState {
+            estimator,
+            ..Self::default()
+        }
+    }
+
+    pub fn estimator(&self) -> Estimator {
+        self.estimator
+    }
+
+    /// Record a newly completed task.
+    pub fn record_completion(&mut self, input_bytes: u64, exec: Millis) {
+        self.completed_count += 1;
+        self.all_completed.push(exec);
+        match self.groups.iter_mut().find(|g| g.matches(input_bytes)) {
+            Some(g) => g.times.push(exec),
+            None => self.groups.push(SizeGroup::new(input_bytes, exec)),
+        }
+    }
+
+    /// Replace the running-task snapshot for the current interval, feeding
+    /// the ages into the moving-median window.
+    pub fn set_running(&mut self, running: Vec<(TaskId, Millis)>) {
+        let ages: Vec<Millis> = running.iter().map(|&(_, a)| a).collect();
+        let history = self
+            .age_history
+            .get_or_insert_with(|| IntervalMedian::new(RUNNING_AGE_WINDOW));
+        history.push_interval(ages.clone());
+        // cache the Policy-2 estimate once per interval: the controller reads
+        // it once per incomplete task, and recomputing medians over the window
+        // per read makes wide stages quadratic
+        let current = median_millis(&ages);
+        let windowed = history.window_median();
+        self.cached_running_age = match (current, windowed) {
+            (Some(c), Some(w)) => Some(c.max(w)),
+            (c, w) => c.or(w).filter(|_| current.is_some()),
+        };
+        self.running = running;
+    }
+
+    /// One Algorithm-1 gradient step over the current per-group training set.
+    pub fn update_model(&mut self) {
+        let training: Vec<TrainPoint> = self
+            .groups
+            .iter()
+            .filter_map(|g| {
+                g.median().map(|t| TrainPoint {
+                    input_bytes: g.rep_bytes as f64,
+                    exec_secs: t.as_secs_f64(),
+                })
+            })
+            .collect();
+        self.ogd.update(&training);
+    }
+
+    pub fn has_completions(&self) -> bool {
+        self.completed_count > 0
+    }
+
+    pub fn has_running(&self) -> bool {
+        !self.running.is_empty()
+    }
+
+    pub fn completed_count(&self) -> usize {
+        self.completed_count
+    }
+
+    /// Central execution time of all completed tasks (`t̃_complete`,
+    /// Policy 3) under the configured estimator.
+    pub fn median_completed(&self) -> Option<Millis> {
+        match self.estimator {
+            Estimator::Median => self.all_completed.median(),
+            other => {
+                let vals: Vec<Millis> = self
+                    .all_completed
+                    .sorted_ms()
+                    .iter()
+                    .map(|&ms| Millis::from_ms(ms))
+                    .collect();
+                other.central(&vals)
+            }
+        }
+    }
+
+    /// `t̃_run` for Policy 2: the *conservative* combination of the current
+    /// interval's median running age and the moving median over the recent
+    /// window — unstarted tasks "are likely to run at least as long as the
+    /// active tasks have already run" (§III-A), so the estimate must not
+    /// collapse when a burst of fresh dispatches drags the instantaneous
+    /// median toward zero.
+    pub fn median_running_age(&self) -> Option<Millis> {
+        self.cached_running_age
+    }
+
+    /// Policy 4 lookup: the group whose input size matches `bytes`.
+    pub fn group_for(&self, bytes: u64) -> Option<&SizeGroup> {
+        self.groups.iter().find(|g| g.matches(bytes))
+    }
+
+    /// Policy 4 group estimate under the configured estimator.
+    pub fn group_estimate(&self, bytes: u64) -> Option<Millis> {
+        self.group_for(bytes)
+            .and_then(|g| g.central(self.estimator))
+    }
+
+    pub fn ogd(&self) -> &OgdModel {
+        &self.ogd
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Approximate state size in bytes, for the §IV-F overhead report.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.all_completed.state_bytes()
+            + self.groups.iter().map(SizeGroup::state_bytes).sum::<usize>()
+            + self.running.len() * std::mem::size_of::<(TaskId, Millis)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_by_size_with_tolerance() {
+        let mut s = StageState::new();
+        s.record_completion(1_000_000, Millis::from_secs(10));
+        s.record_completion(1_000_005, Millis::from_secs(12)); // within 1%
+        s.record_completion(2_000_000, Millis::from_secs(20)); // new group
+        assert_eq!(s.num_groups(), 2);
+        let g = s.group_for(1_000_002).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.median(), Some(Millis::from_secs(11)));
+        assert!(s.group_for(3_000_000).is_none());
+    }
+
+    #[test]
+    fn policy3_median_over_all_completions() {
+        let mut s = StageState::new();
+        for secs in [1u64, 100, 3] {
+            s.record_completion(secs * 10, Millis::from_secs(secs));
+        }
+        assert_eq!(s.median_completed(), Some(Millis::from_secs(3)));
+        assert_eq!(s.completed_count(), 3);
+    }
+
+    #[test]
+    fn policy2_median_running_age() {
+        let mut s = StageState::new();
+        assert!(!s.has_running());
+        s.set_running(vec![
+            (TaskId(0), Millis::from_secs(5)),
+            (TaskId(1), Millis::from_secs(9)),
+            (TaskId(2), Millis::from_secs(7)),
+        ]);
+        assert_eq!(s.median_running_age(), Some(Millis::from_secs(7)));
+        s.set_running(vec![]);
+        assert_eq!(s.median_running_age(), None);
+    }
+
+    #[test]
+    fn model_learns_from_group_medians() {
+        let mut s = StageState::new();
+        // two groups: 1 MB -> 5 s, 2 MB -> 10 s
+        for _ in 0..3 {
+            s.record_completion(1_000_000, Millis::from_secs(5));
+            s.record_completion(2_000_000, Millis::from_secs(10));
+        }
+        for _ in 0..1500 {
+            s.update_model();
+        }
+        let p = s.ogd().predict_secs(1_500_000.0);
+        assert!((p - 7.5).abs() < 0.2, "interpolated {p}");
+    }
+
+    #[test]
+    fn state_bytes_grows_with_observations() {
+        let mut s = StageState::new();
+        let before = s.state_bytes();
+        for i in 0..100 {
+            s.record_completion(1_000 + i * 2_000, Millis::from_secs(1));
+        }
+        assert!(s.state_bytes() > before);
+    }
+
+    #[test]
+    fn zero_byte_inputs_group_together() {
+        let mut s = StageState::new();
+        s.record_completion(0, Millis::from_secs(1));
+        s.record_completion(0, Millis::from_secs(3));
+        assert_eq!(s.num_groups(), 1);
+        assert_eq!(s.group_for(0).unwrap().median(), Some(Millis::from_secs(2)));
+    }
+}

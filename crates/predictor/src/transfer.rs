@@ -1,0 +1,90 @@
+//! Memoryless data-transfer time estimation (§III-B1).
+//!
+//! "We presume a task's data transfer follows a memoryless distribution. We
+//! estimate the data transfer time for a task according to the most recent
+//! observations: t̃_data, the median of the data transfer times of the tasks
+//! between the n−1th and nth MAPE iterations."
+
+use crate::moving::IntervalMedian;
+use wire_dag::Millis;
+
+/// Default number of intervals kept as fallback when the most recent interval
+/// observed no transfers.
+pub const DEFAULT_FALLBACK_WINDOW: usize = 8;
+
+/// Estimator for `t̃_data`.
+#[derive(Debug, Clone)]
+pub struct TransferEstimator {
+    intervals: IntervalMedian,
+}
+
+impl Default for TransferEstimator {
+    fn default() -> Self {
+        Self::new(DEFAULT_FALLBACK_WINDOW)
+    }
+}
+
+impl TransferEstimator {
+    pub fn new(fallback_window: usize) -> Self {
+        TransferEstimator {
+            intervals: IntervalMedian::new(fallback_window),
+        }
+    }
+
+    /// Close a MAPE interval, recording the transfer durations observed in it.
+    pub fn push_interval(&mut self, transfers: Vec<Millis>) {
+        self.intervals.push_interval(transfers);
+    }
+
+    /// `t̃_data` — median of the most recent interval's transfers, falling back
+    /// to older intervals within the window, and to zero before any
+    /// observation (conservative minimum, consistent with Policy 1).
+    pub fn estimate(&self) -> Millis {
+        self.intervals.latest_median().unwrap_or(Millis::ZERO)
+    }
+
+    /// Number of retained observations (overhead accounting).
+    pub fn num_observations(&self) -> usize {
+        self.intervals.num_observations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_any_observation() {
+        let e = TransferEstimator::default();
+        assert_eq!(e.estimate(), Millis::ZERO);
+    }
+
+    #[test]
+    fn uses_latest_interval_median() {
+        let mut e = TransferEstimator::default();
+        e.push_interval(vec![Millis::from_secs(100)]);
+        e.push_interval(vec![
+            Millis::from_secs(1),
+            Millis::from_secs(2),
+            Millis::from_secs(30),
+        ]);
+        assert_eq!(e.estimate(), Millis::from_secs(2));
+    }
+
+    #[test]
+    fn falls_back_when_interval_quiet() {
+        let mut e = TransferEstimator::default();
+        e.push_interval(vec![Millis::from_secs(5)]);
+        e.push_interval(vec![]);
+        assert_eq!(e.estimate(), Millis::from_secs(5));
+    }
+
+    #[test]
+    fn forgets_beyond_window() {
+        let mut e = TransferEstimator::new(2);
+        e.push_interval(vec![Millis::from_secs(5)]);
+        e.push_interval(vec![]);
+        e.push_interval(vec![]);
+        assert_eq!(e.estimate(), Millis::ZERO);
+    }
+}

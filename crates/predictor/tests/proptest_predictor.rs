@@ -1,0 +1,94 @@
+//! Property tests on the predictor's numeric foundations.
+
+use proptest::prelude::*;
+use wire_dag::Millis;
+use wire_predictor::{median_millis, Estimator, MedianAcc, OgdModel};
+use wire_predictor::ogd::TrainPoint;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn median_acc_matches_batch(values in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+        let mut acc = MedianAcc::new();
+        for &v in &values {
+            acc.push(Millis::from_ms(v));
+        }
+        let batch: Vec<Millis> = values.iter().map(|&v| Millis::from_ms(v)).collect();
+        prop_assert_eq!(acc.median(), median_millis(&batch));
+        prop_assert_eq!(acc.len(), values.len());
+    }
+
+    #[test]
+    fn median_is_bounded_by_min_max(values in proptest::collection::vec(0u64..10_000_000, 1..200)) {
+        let batch: Vec<Millis> = values.iter().map(|&v| Millis::from_ms(v)).collect();
+        let m = median_millis(&batch).unwrap();
+        prop_assert!(m >= *batch.iter().min().unwrap());
+        prop_assert!(m <= *batch.iter().max().unwrap());
+    }
+
+    #[test]
+    fn estimators_are_bounded_and_ordered_under_right_skew(
+        base in proptest::collection::vec(1_000u64..30_000, 5..50),
+        straggler in 100_000u64..10_000_000,
+    ) {
+        // right-skewed sample: a body plus one large straggler
+        let mut v: Vec<Millis> = base.iter().map(|&b| Millis::from_ms(b)).collect();
+        v.push(Millis::from_ms(straggler));
+        let med = Estimator::Median.central(&v).unwrap();
+        let mean = Estimator::Mean.central(&v).unwrap();
+        for e in Estimator::ALL {
+            let c = e.central(&v).unwrap();
+            prop_assert!(c >= *v.iter().min().unwrap());
+            prop_assert!(c <= *v.iter().max().unwrap());
+        }
+        // the paper's argument: under right skew the median is below the mean
+        prop_assert!(med <= mean);
+    }
+
+    #[test]
+    fn ogd_stays_finite_and_nonnegative(
+        points in proptest::collection::vec((1.0e3f64..1.0e11, 0.1f64..10_000.0), 1..12),
+        steps in 1usize..300,
+        probe in 1.0e3f64..1.0e11,
+    ) {
+        let training: Vec<TrainPoint> = points
+            .iter()
+            .map(|&(d, t)| TrainPoint { input_bytes: d, exec_secs: t })
+            .collect();
+        let mut m = OgdModel::new();
+        for _ in 0..steps {
+            m.update(&training);
+        }
+        let (a0, a1) = m.coefficients();
+        prop_assert!(a0.is_finite() && a1.is_finite(), "diverged: {a0}, {a1}");
+        let p = m.predict_secs(probe);
+        prop_assert!(p.is_finite());
+        prop_assert!(p >= 0.0);
+    }
+
+    #[test]
+    fn ogd_fits_exact_lines(
+        intercept in 0.0f64..30.0,
+        slope_per_gb in 0.0f64..60.0,
+        sizes in proptest::collection::vec(0.01f64..30.0, 2..8),
+    ) {
+        // t = intercept + slope·(d in GB), exactly linear
+        let training: Vec<TrainPoint> = sizes
+            .iter()
+            .map(|&gb| TrainPoint {
+                input_bytes: gb * 1e9,
+                exec_secs: intercept + slope_per_gb * gb,
+            })
+            .collect();
+        let mut m = OgdModel::new();
+        for _ in 0..4000 {
+            m.update(&training);
+        }
+        for p in &training {
+            let err = (m.predict_secs(p.input_bytes) - p.exec_secs).abs();
+            let tol = 0.05 * p.exec_secs.max(1.0);
+            prop_assert!(err <= tol, "residual {err} at d={}", p.input_bytes);
+        }
+    }
+}

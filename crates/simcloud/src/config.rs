@@ -1,0 +1,161 @@
+//! Cloud and run configuration (paper §III-A / §IV-B defaults).
+
+use serde::{Deserialize, Serialize};
+use wire_dag::Millis;
+
+/// Static configuration of a simulated cloud site and run.
+///
+/// Defaults mirror the paper's ExoGENI setup (§IV-B): XOXLarge instances with
+/// four task slots, a 12-instance site, ~3-minute instantiation lag, MAPE
+/// interval equal to the lag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudConfig {
+    /// Task slots per worker instance (`l`).
+    pub slots_per_instance: u32,
+    /// Maximum instances the site can provide.
+    pub site_capacity: u32,
+    /// Lag time `t`: delay to launch or release an instance.
+    pub launch_lag: Millis,
+    /// Charging unit `u`: instances are billed per started unit of this length.
+    pub charging_unit: Millis,
+    /// Time between MAPE iterations; the paper sets it to the lag time.
+    pub mape_interval: Millis,
+    /// Instances the pool starts with (ready at time 0, charged from 0).
+    pub initial_instances: u32,
+    /// WIRE's first-five-per-stage dispatch priority (§III-C); off for
+    /// ablations and for non-WIRE baselines that don't patch the framework.
+    pub first_five_priority: bool,
+    /// Engine-level multiplicative execution-time jitter (interference,
+    /// §II-B): each dispatch scales the ground-truth time by a factor drawn
+    /// uniformly from `[1 − j, 1 + j]`. Zero replays the profile exactly.
+    pub exec_jitter: f64,
+    /// Mean time between instance failures (per instance), or zero for a
+    /// reliable cloud. Failures crash the instance: its tasks are resubmitted
+    /// (sunk cost lost), the instance is billed for started units, and the
+    /// pool shrinks until the policy reacts — §II-B's interference and
+    /// reliability variability, injectable for robustness tests.
+    pub mean_time_between_failures: Millis,
+    /// Per-run setup phase before any task becomes ready: the workflow
+    /// framework's serial prologue (Pegasus create-dir + stage-in jobs,
+    /// Condor spool-up). Instances present during setup are billed.
+    pub run_setup: Millis,
+    /// Per-run teardown after the last task: stage-out + registration. The
+    /// makespan includes it and instances are billed through it.
+    pub run_teardown: Millis,
+    /// Hard wall on simulated time; exceeded ⇒ `RunError::TimeLimit` (guards
+    /// against policies that starve the workflow).
+    pub max_sim_time: Millis,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            slots_per_instance: 4,
+            site_capacity: 12,
+            launch_lag: Millis::from_mins(3),
+            charging_unit: Millis::from_mins(15),
+            mape_interval: Millis::from_mins(3),
+            initial_instances: 1,
+            first_five_priority: true,
+            exec_jitter: 0.0,
+            mean_time_between_failures: Millis::ZERO,
+            run_setup: Millis::from_mins(3),
+            run_teardown: Millis::from_mins(2),
+            max_sim_time: Millis::from_hours(10_000),
+        }
+    }
+}
+
+impl CloudConfig {
+    /// ExoGENI-like site with the given charging unit.
+    pub fn exogeni(charging_unit: Millis) -> Self {
+        CloudConfig {
+            charging_unit,
+            ..Default::default()
+        }
+    }
+
+    /// The idealized single-slot setup of the §III-E discussion and the
+    /// Figure 2/3 simulations: one slot per instance, effectively unbounded
+    /// site, continuous monitoring approximated by a small interval.
+    pub fn linear_analysis(charging_unit: Millis, mape_interval: Millis) -> Self {
+        CloudConfig {
+            slots_per_instance: 1,
+            site_capacity: u32::MAX,
+            launch_lag: mape_interval,
+            charging_unit,
+            mape_interval,
+            initial_instances: 1,
+            first_five_priority: false,
+            exec_jitter: 0.0,
+            mean_time_between_failures: Millis::ZERO,
+            run_setup: Millis::ZERO,
+            run_teardown: Millis::ZERO,
+            max_sim_time: Millis::from_hours(1_000_000),
+        }
+    }
+
+    /// Validate invariants; called by the engine at startup.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.slots_per_instance == 0 {
+            return Err("slots_per_instance must be ≥ 1".into());
+        }
+        if self.site_capacity == 0 {
+            return Err("site_capacity must be ≥ 1".into());
+        }
+        if self.charging_unit.is_zero() {
+            return Err("charging_unit must be positive".into());
+        }
+        if self.mape_interval.is_zero() {
+            return Err("mape_interval must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.exec_jitter) {
+            return Err("exec_jitter must be in [0, 1)".into());
+        }
+        if self.initial_instances > self.site_capacity {
+            return Err("initial_instances exceeds site_capacity".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = CloudConfig::default();
+        assert_eq!(c.slots_per_instance, 4);
+        assert_eq!(c.site_capacity, 12);
+        assert_eq!(c.launch_lag, Millis::from_mins(3));
+        assert_eq!(c.mape_interval, c.launch_lag);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = CloudConfig::default();
+        c.slots_per_instance = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CloudConfig::default();
+        c.charging_unit = Millis::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = CloudConfig::default();
+        c.exec_jitter = 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = CloudConfig::default();
+        c.initial_instances = 13;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn linear_analysis_config_is_single_slot() {
+        let c = CloudConfig::linear_analysis(Millis::from_mins(1), Millis::from_secs(1));
+        assert_eq!(c.slots_per_instance, 1);
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,159 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events at equal timestamps are ordered by insertion sequence number, so a
+//! run is a pure function of (workflow, profile, config, seed).
+
+use crate::instance::InstanceId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wire_dag::{Millis, TaskId};
+
+/// Engine events. `epoch` fields implement cancellation: a stale event whose
+/// epoch no longer matches the entity's current epoch is ignored on pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A requested instance finishes booting and joins the pool.
+    InstanceReady { instance: InstanceId },
+    /// A draining instance reaches its release point.
+    InstanceTerminate { instance: InstanceId, epoch: u32 },
+    /// A task's slot occupancy completes.
+    TaskDone { task: TaskId, epoch: u32 },
+    /// MAPE control tick.
+    MapeTick,
+    /// The framework's serial setup phase completes; root tasks become ready.
+    RunSetupDone,
+    /// An instance crashes (failure injection).
+    InstanceFail { instance: InstanceId, epoch: u32 },
+}
+
+#[derive(Debug)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Millis, u64, EventKindOrd)>>,
+    seq: u64,
+}
+
+/// `EventKind` carried through the heap; ordering on the wrapper tuple only
+/// uses (time, seq) — the unique `seq` means payloads never tie-break — but
+/// `BinaryHeap` requires `Ord`, so the payload gets the *trivial* order where
+/// everything compares (and equals) everything. That keeps `Eq`/`Ord`
+/// mutually consistent, unlike deriving `PartialEq` alongside an
+/// always-`Equal` `cmp`.
+#[derive(Debug, Clone, Copy)]
+struct EventKindOrd(EventKind);
+
+impl PartialEq for EventKindOrd {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for EventKindOrd {}
+
+impl PartialOrd for EventKindOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKindOrd {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, at: Millis, kind: EventKind) {
+        let s = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, s, EventKindOrd(kind))));
+    }
+
+    pub fn pop(&mut self) -> Option<(Millis, EventKind)> {
+        self.heap.pop().map(|Reverse((t, _, k))| (t, k.0))
+    }
+
+    pub fn peek_time(&self) -> Option<Millis> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Millis::from_ms(30), EventKind::MapeTick);
+        q.push(Millis::from_ms(10), EventKind::MapeTick);
+        q.push(Millis::from_ms(20), EventKind::MapeTick);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_ms()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Millis::from_ms(5);
+        q.push(
+            t,
+            EventKind::TaskDone {
+                task: TaskId(0),
+                epoch: 0,
+            },
+        );
+        q.push(
+            t,
+            EventKind::TaskDone {
+                task: TaskId(1),
+                epoch: 0,
+            },
+        );
+        q.push(
+            t,
+            EventKind::TaskDone {
+                task: TaskId(2),
+                epoch: 0,
+            },
+        );
+        let order: Vec<TaskId> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::TaskDone { task, .. } => task,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![TaskId(0), TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Millis::from_ms(7), EventKind::MapeTick);
+        q.push(Millis::from_ms(3), EventKind::MapeTick);
+        assert_eq!(q.peek_time(), Some(Millis::from_ms(3)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

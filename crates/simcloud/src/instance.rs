@@ -1,0 +1,208 @@
+//! Worker instances: slots, lifecycle, charging clocks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wire_dag::{Millis, TaskId};
+
+/// Identifier of a worker instance within one run (dense, never reused).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct InstanceId(pub u32);
+
+impl InstanceId {
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Engine-internal instance lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Requested; becomes usable (and billed) at `ready_at`.
+    Launching { ready_at: Millis },
+    /// Usable; billing started at `charge_start`.
+    Running { charge_start: Millis },
+    /// Scheduled for release at `terminate_at` (a charge boundary or "now");
+    /// accepts no new tasks. Billing began at `charge_start`.
+    Draining {
+        charge_start: Millis,
+        terminate_at: Millis,
+    },
+    /// Released at `at`, after being billed from `charge_start`.
+    Terminated { charge_start: Millis, at: Millis },
+}
+
+/// Public (policy-visible) instance state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceStateView {
+    Launching { ready_at: Millis },
+    Running { charge_start: Millis },
+    Draining { terminate_at: Millis },
+}
+
+/// One worker instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    pub id: InstanceId,
+    pub state: InstanceState,
+    /// One entry per slot; `Some(task)` while occupied.
+    pub slots: Vec<Option<TaskId>>,
+}
+
+impl Instance {
+    pub fn new(id: InstanceId, slots: u32, state: InstanceState) -> Self {
+        Instance {
+            id,
+            state,
+            slots: vec![None; slots as usize],
+        }
+    }
+
+    /// Index of a free slot, if the instance accepts work (Running only).
+    pub fn free_slot(&self) -> Option<usize> {
+        if !matches!(self.state, InstanceState::Running { .. }) {
+            return None;
+        }
+        self.slots.iter().position(Option::is_none)
+    }
+
+    pub fn occupied_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    pub fn running_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.slots.iter().filter_map(|s| *s)
+    }
+
+    /// Is the instance in the pool (not yet terminated)?
+    pub fn is_active(&self) -> bool {
+        !matches!(self.state, InstanceState::Terminated { .. })
+    }
+
+    /// Is the instance usable for new work?
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, InstanceState::Running { .. })
+    }
+
+    /// Time remaining until the current charging unit expires (`r_j` of
+    /// Algorithm 2). At an exact boundary the answer is zero (the unit just
+    /// expired; continuing incurs a recharge). Launching instances are treated
+    /// as having a full unit ahead.
+    pub fn time_to_next_charge(&self, now: Millis, unit: Millis) -> Millis {
+        let charge_start = match self.state {
+            InstanceState::Running { charge_start }
+            | InstanceState::Draining { charge_start, .. }
+            | InstanceState::Terminated { charge_start, .. } => charge_start,
+            InstanceState::Launching { .. } => return unit,
+        };
+        let elapsed = now.saturating_sub(charge_start);
+        let rem = elapsed % unit;
+        if rem.is_zero() && !elapsed.is_zero() {
+            Millis::ZERO
+        } else {
+            unit - rem
+        }
+    }
+
+    /// The next charge boundary at or after `now`.
+    pub fn next_charge_boundary(&self, now: Millis, unit: Millis) -> Millis {
+        now + self.time_to_next_charge(now, unit)
+    }
+
+    /// Charging units billed when released at `end` (per started unit, with a
+    /// minimum of one: acquiring an instance always costs a unit).
+    pub fn units_billed(charge_start: Millis, end: Millis, unit: Millis) -> u64 {
+        end.saturating_sub(charge_start).ceil_div(unit).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn running(at: u64) -> Instance {
+        Instance::new(
+            InstanceId(0),
+            2,
+            InstanceState::Running {
+                charge_start: Millis::from_ms(at),
+            },
+        )
+    }
+
+    #[test]
+    fn free_slot_only_when_running() {
+        let mut i = running(0);
+        assert_eq!(i.free_slot(), Some(0));
+        i.slots[0] = Some(TaskId(5));
+        assert_eq!(i.free_slot(), Some(1));
+        i.slots[1] = Some(TaskId(6));
+        assert_eq!(i.free_slot(), None);
+        assert_eq!(i.occupied_slots(), 2);
+
+        let l = Instance::new(
+            InstanceId(1),
+            2,
+            InstanceState::Launching {
+                ready_at: Millis::from_ms(10),
+            },
+        );
+        assert_eq!(l.free_slot(), None);
+        assert!(l.is_active());
+        assert!(!l.is_running());
+    }
+
+    #[test]
+    fn time_to_next_charge_wraps_at_boundary() {
+        let i = running(0);
+        let u = Millis::from_mins(15);
+        assert_eq!(i.time_to_next_charge(Millis::ZERO, u), u);
+        assert_eq!(
+            i.time_to_next_charge(Millis::from_mins(5), u),
+            Millis::from_mins(10)
+        );
+        // exact boundary → 0 (unit just expired)
+        assert_eq!(i.time_to_next_charge(Millis::from_mins(15), u), Millis::ZERO);
+        assert_eq!(
+            i.time_to_next_charge(Millis::from_mins(16), u),
+            Millis::from_mins(14)
+        );
+        assert_eq!(
+            i.next_charge_boundary(Millis::from_mins(16), u),
+            Millis::from_mins(30)
+        );
+    }
+
+    #[test]
+    fn launching_instance_reports_full_unit() {
+        let l = Instance::new(
+            InstanceId(1),
+            1,
+            InstanceState::Launching {
+                ready_at: Millis::from_mins(3),
+            },
+        );
+        let u = Millis::from_mins(15);
+        assert_eq!(l.time_to_next_charge(Millis::from_mins(1), u), u);
+    }
+
+    #[test]
+    fn billing_per_started_unit_minimum_one() {
+        let u = Millis::from_mins(15);
+        let s = Millis::from_mins(10);
+        assert_eq!(Instance::units_billed(s, s, u), 1); // zero-length rental
+        assert_eq!(Instance::units_billed(s, s + Millis::from_ms(1), u), 1);
+        assert_eq!(Instance::units_billed(s, s + u, u), 1);
+        assert_eq!(Instance::units_billed(s, s + u + Millis::from_ms(1), u), 2);
+        assert_eq!(Instance::units_billed(s, s + u * 3, u), 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! Discrete-event IaaS cloud simulator — the substrate replacing ExoGENI +
+//! Pegasus WMS/HTCondor in this reproduction.
+//!
+//! The simulator models exactly the observables WIRE's controller interacts
+//! with on a real cloud (paper §III-A):
+//!
+//! * a pool of identically provisioned *worker instances*, each with `l` task
+//!   slots;
+//! * a *lag time* `t` to institute pool changes (instance launch/release);
+//! * per-instance billing in *charging units* of length `u` (every started
+//!   unit is paid);
+//! * a site capacity cap (the paper's ExoGENI site provides at most 12);
+//! * a FIFO framework scheduler with WIRE's first-five-per-stage priority
+//!   boost (§III-C);
+//! * task slot occupancy = input transfer + execution + output transfer
+//!   (§III-B1), with ground-truth execution times replayed from a
+//!   [`wire_dag::ExecProfile`] and transfer times drawn from a seeded
+//!   bandwidth model.
+//!
+//! A [`policy::ScalingPolicy`] is invoked at every MAPE tick with a sanitized
+//! [`observe::MonitorSnapshot`] (no ground truth leaks) and returns a
+//! [`policy::PoolPlan`]; the engine applies it with realistic lag and
+//! termination semantics (draining at charge boundaries, task resubmission
+//! with lost sunk cost).
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod instance;
+pub mod observe;
+pub mod policy;
+pub mod result;
+pub mod scheduler;
+pub mod trace;
+pub mod transfer;
+
+pub use config::CloudConfig;
+pub use engine::{run_workflow, Engine, RunError};
+pub use instance::{InstanceId, InstanceStateView};
+pub use observe::{CompletionView, InstanceView, MonitorSnapshot, TaskView};
+pub use policy::{PoolPlan, ScalingPolicy, TerminateWhen};
+pub use result::{RunResult, TaskRecord};
+pub use trace::{RunTrace, TraceEvent};
+pub use transfer::TransferModel;

@@ -1,0 +1,213 @@
+//! The monitor snapshot: everything a scaling policy may observe.
+//!
+//! This is the sanitized boundary between the simulator (which knows ground
+//! truth) and the controller (which must predict). It mirrors what a real
+//! framework exposes (§II-C property 1): task lifecycles, ages, completed
+//! execution/transfer times, input sizes, instance pool state and charging
+//! clocks — and *not* the remaining time of running tasks or the execution
+//! times of future tasks.
+
+use crate::config::CloudConfig;
+use crate::instance::{InstanceId, InstanceStateView};
+use serde::{Deserialize, Serialize};
+use wire_dag::{Millis, TaskId, Workflow};
+
+/// A policy's view of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskView {
+    /// Predecessors incomplete.
+    Unready,
+    /// All inputs available, waiting for a slot.
+    Ready,
+    /// Occupying a slot.
+    Running {
+        instance: InstanceId,
+        /// Time since execution began (0 while the input transfer runs).
+        exec_age: Millis,
+        /// Time since the slot was occupied — the task's *sunk cost* so far.
+        occupied_for: Millis,
+    },
+    /// Finished; observed times are now known.
+    Done {
+        exec_time: Millis,
+        transfer_time: Millis,
+    },
+}
+
+impl TaskView {
+    pub fn is_done(&self) -> bool {
+        matches!(self, TaskView::Done { .. })
+    }
+
+    pub fn is_running(&self) -> bool {
+        matches!(self, TaskView::Running { .. })
+    }
+}
+
+/// A policy's view of one pool instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceView {
+    pub id: InstanceId,
+    pub state: InstanceStateView,
+    /// Tasks currently occupying slots.
+    pub tasks: Vec<TaskId>,
+    pub free_slots: u32,
+}
+
+impl InstanceView {
+    /// `r_j` — time until this instance's current charging unit expires.
+    pub fn time_to_next_charge(&self, now: Millis, unit: Millis) -> Millis {
+        let charge_start = match self.state {
+            InstanceStateView::Running { charge_start } => charge_start,
+            InstanceStateView::Draining { .. } => return Millis::ZERO,
+            InstanceStateView::Launching { .. } => return unit,
+        };
+        let elapsed = now.saturating_sub(charge_start);
+        let rem = elapsed % unit;
+        if rem.is_zero() && !elapsed.is_zero() {
+            Millis::ZERO
+        } else {
+            unit - rem
+        }
+    }
+
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, InstanceStateView::Running { .. })
+    }
+}
+
+/// A completion observed during the last MAPE interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletionView {
+    pub task: TaskId,
+    pub input_bytes: u64,
+    pub exec_time: Millis,
+    pub transfer_time: Millis,
+}
+
+/// Full monitoring snapshot handed to [`crate::ScalingPolicy::plan`] each tick.
+#[derive(Debug, Clone)]
+pub struct MonitorSnapshot<'a> {
+    pub now: Millis,
+    pub workflow: &'a Workflow,
+    pub config: &'a CloudConfig,
+    /// Per-task view, indexed by `TaskId`.
+    pub tasks: Vec<TaskView>,
+    /// All non-terminated instances, in id order.
+    pub instances: Vec<InstanceView>,
+    /// Completions since the previous tick.
+    pub new_completions: Vec<CompletionView>,
+    /// Transfer durations (in + out, per completed task) observed since the
+    /// previous tick — the predictor's `t̃_data` feed.
+    pub interval_transfers: Vec<Millis>,
+    /// Ready tasks in the order the framework would dispatch them.
+    pub ready_in_dispatch_order: Vec<TaskId>,
+}
+
+impl MonitorSnapshot<'_> {
+    /// Pool size `m` as Algorithm 2 sees it: running + launching (instances
+    /// that are or will shortly be paid for), excluding draining ones.
+    pub fn pool_size(&self) -> u32 {
+        self.instances
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.state,
+                    InstanceStateView::Running { .. } | InstanceStateView::Launching { .. }
+                )
+            })
+            .count() as u32
+    }
+
+    /// Number of tasks not yet completed.
+    pub fn incomplete_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| !t.is_done()).count()
+    }
+
+    /// Number of active tasks (ready or running) — the pure-reactive signal.
+    pub fn active_tasks(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| matches!(t, TaskView::Ready | TaskView::Running { .. }))
+            .count()
+    }
+
+    /// Is the workflow finished?
+    pub fn workflow_done(&self) -> bool {
+        self.tasks.iter().all(TaskView::is_done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_view_charge_clock() {
+        let u = Millis::from_mins(15);
+        let iv = InstanceView {
+            id: InstanceId(0),
+            state: InstanceStateView::Running {
+                charge_start: Millis::from_mins(2),
+            },
+            tasks: vec![],
+            free_slots: 4,
+        };
+        assert_eq!(
+            iv.time_to_next_charge(Millis::from_mins(2), u),
+            Millis::from_mins(15)
+        );
+        assert_eq!(
+            iv.time_to_next_charge(Millis::from_mins(10), u),
+            Millis::from_mins(7)
+        );
+        assert_eq!(
+            iv.time_to_next_charge(Millis::from_mins(17), u),
+            Millis::ZERO
+        );
+    }
+
+    #[test]
+    fn launching_and_draining_clock_conventions() {
+        let u = Millis::from_mins(15);
+        let launching = InstanceView {
+            id: InstanceId(1),
+            state: InstanceStateView::Launching {
+                ready_at: Millis::from_mins(3),
+            },
+            tasks: vec![],
+            free_slots: 4,
+        };
+        assert_eq!(launching.time_to_next_charge(Millis::ZERO, u), u);
+        assert!(!launching.is_running());
+
+        let draining = InstanceView {
+            id: InstanceId(2),
+            state: InstanceStateView::Draining {
+                terminate_at: Millis::from_mins(20),
+            },
+            tasks: vec![],
+            free_slots: 4,
+        };
+        assert_eq!(
+            draining.time_to_next_charge(Millis::from_mins(5), u),
+            Millis::ZERO
+        );
+    }
+
+    #[test]
+    fn task_view_predicates() {
+        assert!(TaskView::Done {
+            exec_time: Millis::ZERO,
+            transfer_time: Millis::ZERO
+        }
+        .is_done());
+        assert!(TaskView::Running {
+            instance: InstanceId(0),
+            exec_age: Millis::ZERO,
+            occupied_for: Millis::ZERO
+        }
+        .is_running());
+        assert!(!TaskView::Ready.is_done());
+    }
+}

@@ -1,0 +1,103 @@
+//! The scaling-policy interface the engine drives at every MAPE tick.
+
+use crate::instance::InstanceId;
+use crate::observe::MonitorSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// When a terminated instance actually leaves the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminateWhen {
+    /// Immediately: running tasks are resubmitted now. Used by the reactive
+    /// baselines that track instantaneous load.
+    Now,
+    /// At the end of the instance's current charging unit: the instance
+    /// *drains* (accepts no new tasks) and keeps working until the boundary,
+    /// so no paid time is thrown away. This is WIRE's release semantics —
+    /// "releasing an instance when a charging unit is about to expire"
+    /// (§III-B3).
+    AtChargeBoundary,
+}
+
+/// One tick's pool adjustment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolPlan {
+    /// Number of new instances to request (ready one lag later; clamped to
+    /// the site capacity by the engine).
+    pub launch: u32,
+    /// Instances to release. Unknown, already-draining or already-terminated
+    /// ids are rejected as a plan error by the engine.
+    pub terminate: Vec<(InstanceId, TerminateWhen)>,
+}
+
+impl PoolPlan {
+    /// The no-op plan.
+    pub fn keep() -> Self {
+        PoolPlan::default()
+    }
+
+    pub fn launch(n: u32) -> Self {
+        PoolPlan {
+            launch: n,
+            terminate: Vec::new(),
+        }
+    }
+
+    pub fn is_noop(&self) -> bool {
+        self.launch == 0 && self.terminate.is_empty()
+    }
+}
+
+/// An elastic scaling policy — WIRE itself or one of the paper's baselines
+/// (§IV-C3: full-site static, pure-reactive, reactive-conserving).
+pub trait ScalingPolicy {
+    /// Short name for reports (e.g. `"wire"`, `"full-site"`).
+    fn name(&self) -> &str;
+
+    /// Plan the pool for the next interval, given the current snapshot.
+    /// Called once per MAPE tick; stateful policies (WIRE's predictor) update
+    /// themselves here.
+    fn plan(&mut self, snapshot: &MonitorSnapshot<'_>) -> PoolPlan;
+}
+
+/// Boxed policies are policies too, so harness code can store heterogeneous
+/// policy sets.
+impl<P: ScalingPolicy + ?Sized> ScalingPolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn plan(&mut self, snapshot: &MonitorSnapshot<'_>) -> PoolPlan {
+        (**self).plan(snapshot)
+    }
+}
+
+/// Mutable references are policies too, so a caller can run the engine and
+/// still inspect the policy's learned state afterwards (overhead study,
+/// prediction counters).
+impl<P: ScalingPolicy + ?Sized> ScalingPolicy for &mut P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn plan(&mut self, snapshot: &MonitorSnapshot<'_>) -> PoolPlan {
+        (**self).plan(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_constructors() {
+        assert!(PoolPlan::keep().is_noop());
+        let p = PoolPlan::launch(3);
+        assert_eq!(p.launch, 3);
+        assert!(!p.is_noop());
+        let q = PoolPlan {
+            launch: 0,
+            terminate: vec![(InstanceId(1), TerminateWhen::Now)],
+        };
+        assert!(!q.is_noop());
+    }
+}

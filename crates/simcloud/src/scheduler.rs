@@ -1,0 +1,189 @@
+//! The framework master's ready queue: FIFO with WIRE's first-five-per-stage
+//! priority boost.
+//!
+//! "WIRE dispatches the first five ready-to-run tasks to fire in a stage with
+//! high priority. These tasks often run before the final tasks of predecessor
+//! stages [...] This approach works well for online prediction" (§III-C): it
+//! gets completions for new stages early so the predictor has data.
+
+use std::collections::VecDeque;
+use wire_dag::{StageId, TaskId, Workflow};
+
+/// How many ready tasks per stage receive the priority boost.
+pub const BOOSTED_PER_STAGE: u32 = 5;
+
+/// Two-class FIFO ready queue.
+#[derive(Debug, Clone)]
+pub struct ReadyQueue {
+    high: VecDeque<TaskId>,
+    normal: VecDeque<TaskId>,
+    /// Per-stage count of boost grants so far.
+    boosted: Vec<u32>,
+    /// Remembers each task's class for fair resubmission after a termination.
+    was_high: Vec<bool>,
+    first_five: bool,
+}
+
+impl ReadyQueue {
+    pub fn new(wf: &Workflow, first_five: bool) -> Self {
+        ReadyQueue {
+            high: VecDeque::new(),
+            normal: VecDeque::new(),
+            boosted: vec![0; wf.num_stages()],
+            was_high: vec![false; wf.num_tasks()],
+            first_five,
+        }
+    }
+
+    /// A task became ready for the first time.
+    pub fn push_ready(&mut self, task: TaskId, stage: StageId) {
+        if self.first_five && self.boosted[stage.index()] < BOOSTED_PER_STAGE {
+            self.boosted[stage.index()] += 1;
+            self.was_high[task.index()] = true;
+            self.high.push_back(task);
+        } else {
+            self.normal.push_back(task);
+        }
+    }
+
+    /// A task returns to the queue after its instance was released. It keeps
+    /// its original class and jumps the class's queue: the framework resubmits
+    /// preempted work ahead of never-started peers.
+    pub fn push_resubmit(&mut self, task: TaskId) {
+        if self.was_high[task.index()] {
+            self.high.push_front(task);
+        } else {
+            self.normal.push_front(task);
+        }
+    }
+
+    /// Next task to dispatch: high class first, FIFO within a class.
+    pub fn pop(&mut self) -> Option<TaskId> {
+        self.high.pop_front().or_else(|| self.normal.pop_front())
+    }
+
+    /// Dispatch order without consuming the queue (used by the lookahead
+    /// planner through the monitor snapshot).
+    pub fn iter_in_order(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.high.iter().chain(self.normal.iter()).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.high.is_empty() && self.normal.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_dag::WorkflowBuilder;
+
+    fn wf(tasks_per_stage: &[usize]) -> Workflow {
+        let mut b = WorkflowBuilder::new("q");
+        for (i, &n) in tasks_per_stage.iter().enumerate() {
+            let s = b.add_stage(format!("s{i}"));
+            for _ in 0..n {
+                b.add_task(s, 1, 1);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn first_five_of_a_stage_are_boosted() {
+        let w = wf(&[8]);
+        let mut q = ReadyQueue::new(&w, true);
+        for t in w.task_ids() {
+            q.push_ready(t, StageId(0));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|t| t.0).collect();
+        // first five keep FIFO, then the rest keep FIFO
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn boost_lets_new_stage_jump_old_stage_backlog() {
+        let w = wf(&[8, 8]);
+        let mut q = ReadyQueue::new(&w, true);
+        // stage 0: all eight ready (five boosted, three normal)
+        for &t in &w.stage(StageId(0)).tasks.clone() {
+            q.push_ready(t, StageId(0));
+        }
+        // drain the five boosted stage-0 tasks
+        for _ in 0..5 {
+            q.pop();
+        }
+        // two stage-1 tasks become ready → boosted, jump stage 0's backlog
+        let s1 = w.stage(StageId(1)).tasks.clone();
+        q.push_ready(s1[0], StageId(1));
+        q.push_ready(s1[1], StageId(1));
+        assert_eq!(q.pop(), Some(s1[0]));
+        assert_eq!(q.pop(), Some(s1[1]));
+        // then stage 0's normal-class tasks
+        assert_eq!(q.pop().map(|t| t.0), Some(5));
+    }
+
+    #[test]
+    fn disabled_boost_is_pure_fifo() {
+        let w = wf(&[3, 3]);
+        let mut q = ReadyQueue::new(&w, false);
+        for &t in &w.stage(StageId(0)).tasks.clone() {
+            q.push_ready(t, StageId(0));
+        }
+        for &t in &w.stage(StageId(1)).tasks.clone() {
+            q.push_ready(t, StageId(1));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|t| t.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn resubmission_jumps_its_class() {
+        let w = wf(&[8]);
+        let mut q = ReadyQueue::new(&w, true);
+        for t in w.task_ids() {
+            q.push_ready(t, StageId(0));
+        }
+        let first = q.pop().unwrap(); // t0, boosted
+        // t0's instance dies; it resubmits at the head of the high class
+        q.push_resubmit(first);
+        assert_eq!(q.pop(), Some(first));
+
+        // drain to a normal-class task and resubmit it
+        let mut last_normal = None;
+        while let Some(t) = q.pop() {
+            last_normal = Some(t);
+        }
+        let t = last_normal.unwrap();
+        q.push_resubmit(t);
+        assert_eq!(q.pop(), Some(t));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn iter_in_order_matches_pop_order() {
+        let w = wf(&[7]);
+        let mut q = ReadyQueue::new(&w, true);
+        for t in w.task_ids() {
+            q.push_ready(t, StageId(0));
+        }
+        let via_iter: Vec<TaskId> = q.iter_in_order().collect();
+        let via_pop: Vec<TaskId> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(via_iter, via_pop);
+    }
+
+    #[test]
+    fn len_tracks_both_classes() {
+        let w = wf(&[8]);
+        let mut q = ReadyQueue::new(&w, true);
+        assert!(q.is_empty());
+        for t in w.task_ids() {
+            q.push_ready(t, StageId(0));
+        }
+        assert_eq!(q.len(), 8);
+    }
+}

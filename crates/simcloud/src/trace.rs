@@ -1,0 +1,119 @@
+//! Optional run tracing for debugging, examples and utilization plots.
+
+use crate::instance::InstanceId;
+use serde::{Deserialize, Serialize};
+use wire_dag::{Millis, TaskId};
+
+/// One traced engine event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    InstanceRequested { instance: InstanceId },
+    InstanceReady { instance: InstanceId },
+    InstanceDraining { instance: InstanceId, until: Millis },
+    InstanceTerminated { instance: InstanceId, units: u64 },
+    InstanceFailed { instance: InstanceId },
+    TaskDispatched { task: TaskId, instance: InstanceId },
+    TaskCompleted { task: TaskId },
+    TaskResubmitted { task: TaskId, sunk: Millis },
+    MapeTick { pool: u32, launch: u32, terminate: u32 },
+    WorkflowDone,
+}
+
+/// Time-ordered event trace of a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunTrace {
+    pub events: Vec<(Millis, TraceEvent)>,
+}
+
+impl RunTrace {
+    pub fn push(&mut self, at: Millis, ev: TraceEvent) {
+        self.events.push((at, ev));
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render a human-readable log (for examples / debugging).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.events.len() * 48);
+        for (t, ev) in &self.events {
+            let _ = writeln!(out, "[{t:>10}] {ev:?}");
+        }
+        out
+    }
+
+    /// Flatten to CSV: `time_ms,kind,detail` rows for external tooling.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("time_ms,kind,detail\n");
+        for (t, ev) in &self.events {
+            let (kind, detail) = match ev {
+                TraceEvent::InstanceRequested { instance } => ("instance_requested", format!("{instance}")),
+                TraceEvent::InstanceReady { instance } => ("instance_ready", format!("{instance}")),
+                TraceEvent::InstanceDraining { instance, until } => {
+                    ("instance_draining", format!("{instance} until={until}"))
+                }
+                TraceEvent::InstanceTerminated { instance, units } => {
+                    ("instance_terminated", format!("{instance} units={units}"))
+                }
+                TraceEvent::InstanceFailed { instance } => ("instance_failed", format!("{instance}")),
+                TraceEvent::TaskDispatched { task, instance } => {
+                    ("task_dispatched", format!("{task} on={instance}"))
+                }
+                TraceEvent::TaskCompleted { task } => ("task_completed", format!("{task}")),
+                TraceEvent::TaskResubmitted { task, sunk } => {
+                    ("task_resubmitted", format!("{task} sunk={sunk}"))
+                }
+                TraceEvent::MapeTick { pool, launch, terminate } => (
+                    "mape_tick",
+                    format!("pool={pool} launch={launch} terminate={terminate}"),
+                ),
+                TraceEvent::WorkflowDone => ("workflow_done", String::new()),
+            };
+            let _ = writeln!(out, "{},{kind},{detail}", t.as_ms());
+        }
+        out
+    }
+
+    /// Events of one kind matching a predicate, with their times.
+    pub fn filter<'a, F: Fn(&TraceEvent) -> bool + 'a>(
+        &'a self,
+        pred: F,
+    ) -> impl Iterator<Item = &'a (Millis, TraceEvent)> + 'a {
+        self.events.iter().filter(move |(_, e)| pred(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accumulates_in_order() {
+        let mut tr = RunTrace::default();
+        assert!(tr.is_empty());
+        tr.push(
+            Millis::from_secs(1),
+            TraceEvent::InstanceRequested {
+                instance: InstanceId(0),
+            },
+        );
+        tr.push(Millis::from_secs(2), TraceEvent::WorkflowDone);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(
+            tr.filter(|e| matches!(e, TraceEvent::WorkflowDone)).count(),
+            1
+        );
+        assert!(tr.render().contains("WorkflowDone"));
+        let csv = tr.to_csv();
+        assert!(csv.starts_with("time_ms,kind,detail"));
+        assert!(csv.contains("instance_requested,i0"));
+        assert!(csv.contains("workflow_done"));
+    }
+}

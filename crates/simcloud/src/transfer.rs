@@ -1,0 +1,143 @@
+//! Data-transfer time model.
+//!
+//! §III-B1: a task's slot occupancy is its execution time plus the time to
+//! read its input and write its output. Transfer times depend on data size,
+//! transfer patterns and transient interference; WIRE models them as
+//! memoryless. Here transfers are drawn from a seeded bandwidth model with
+//! multiplicative jitter — enough structure that the controller's median
+//! estimator has something real to track, while staying reproducible.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wire_dag::Millis;
+
+/// Seeded stochastic transfer-time model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Sustained bandwidth, bytes per second.
+    pub bytes_per_sec: f64,
+    /// Fixed per-transfer latency (connection setup, metadata).
+    pub fixed_overhead: Millis,
+    /// Multiplicative jitter `j`: each transfer is scaled by a factor drawn
+    /// uniformly from `[1, 1 + j]` (congestion only slows transfers down).
+    pub jitter: f64,
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        // Effective per-task stage-in/out bandwidth of a shared 2016-era
+        // testbed (~25 MB/s) with a 1 s dispatch/setup latency and 50 %
+        // worst-case congestion. Calibration note: the paper's Table I
+        // aggregates exceed what its per-stage execution means can produce by
+        // 2–5×, which is consistent with transfer-dominated slot occupancy on
+        // ExoGENI; this default reproduces those aggregate occupancies (see
+        // EXPERIMENTS.md).
+        TransferModel {
+            bytes_per_sec: 25.0e6,
+            fixed_overhead: Millis::from_ms(8_000),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl TransferModel {
+    /// A model that produces zero-length transfers (for the idealized linear
+    /// workflows of §III-E / Figures 2–3, where occupancy = execution time).
+    pub fn none() -> Self {
+        TransferModel {
+            bytes_per_sec: f64::INFINITY,
+            fixed_overhead: Millis::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// Sample the duration of transferring `bytes`.
+    pub fn sample(&self, bytes: u64, rng: &mut impl Rng) -> Millis {
+        if bytes == 0 && self.fixed_overhead.is_zero() {
+            return Millis::ZERO;
+        }
+        let base_secs = if self.bytes_per_sec.is_finite() {
+            bytes as f64 / self.bytes_per_sec
+        } else {
+            0.0
+        };
+        let factor = if self.jitter > 0.0 {
+            1.0 + rng.gen_range(0.0..self.jitter)
+        } else {
+            1.0
+        };
+        self.fixed_overhead + Millis::from_secs_f64(base_secs * factor)
+    }
+
+    /// Deterministic expected duration (jitter midpoint), used by tests and
+    /// the oracle baselines.
+    pub fn expected(&self, bytes: u64) -> Millis {
+        if bytes == 0 && self.fixed_overhead.is_zero() {
+            return Millis::ZERO;
+        }
+        let base_secs = if self.bytes_per_sec.is_finite() {
+            bytes as f64 / self.bytes_per_sec
+        } else {
+            0.0
+        };
+        self.fixed_overhead + Millis::from_secs_f64(base_secs * (1.0 + self.jitter / 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_model_is_zero() {
+        let m = TransferModel::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.sample(10_000_000, &mut rng), Millis::ZERO);
+        assert_eq!(m.expected(10_000_000), Millis::ZERO);
+    }
+
+    #[test]
+    fn sample_within_jitter_bounds() {
+        let m = TransferModel {
+            bytes_per_sec: 1.0e6,
+            fixed_overhead: Millis::from_ms(100),
+            jitter: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let d = m.sample(1_000_000, &mut rng); // 1 s nominal
+            assert!(d >= Millis::from_ms(1100), "{d}");
+            assert!(d <= Millis::from_ms(1600), "{d}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = TransferModel::default();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for bytes in [0u64, 1_000, 1_000_000, 29_530_000_000] {
+            assert_eq!(m.sample(bytes, &mut a), m.sample(bytes, &mut b));
+        }
+    }
+
+    #[test]
+    fn expected_is_midpoint() {
+        let m = TransferModel {
+            bytes_per_sec: 2.0e6,
+            fixed_overhead: Millis::ZERO,
+            jitter: 1.0,
+        };
+        // 2 MB at 2 MB/s nominal 1 s; midpoint factor 1.5
+        assert_eq!(m.expected(2_000_000), Millis::from_ms(1500));
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_overhead() {
+        let m = TransferModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(m.sample(0, &mut rng), m.fixed_overhead);
+    }
+}

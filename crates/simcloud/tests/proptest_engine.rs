@@ -1,0 +1,140 @@
+//! Property tests on the discrete-event engine: conservation and billing laws
+//! under randomized workloads, pool sizes, and stochastic models.
+
+use proptest::prelude::*;
+use wire_dag::{ExecProfile, Millis, WorkflowBuilder};
+use wire_simcloud::{
+    run_workflow, CloudConfig, MonitorSnapshot, PoolPlan, ScalingPolicy, TransferModel,
+};
+
+struct Hold;
+impl ScalingPolicy for Hold {
+    fn name(&self) -> &str {
+        "hold"
+    }
+    fn plan(&mut self, _s: &MonitorSnapshot<'_>) -> PoolPlan {
+        PoolPlan::keep()
+    }
+}
+
+/// random two-layer workload: w1 parallel tasks fanning into w2 tasks
+fn arb_workload() -> impl Strategy<Value = (usize, usize, Vec<u64>)> {
+    (1usize..20, 1usize..6).prop_flat_map(|(w1, w2)| {
+        proptest::collection::vec(500u64..600_000, w1 + w2)
+            .prop_map(move |times| (w1, w2, times))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conservation_and_billing_hold(
+        (w1, w2, times) in arb_workload(),
+        slots in 1u32..5,
+        pool in 1u32..6,
+        jitter in 0.0f64..0.5,
+        seed in 0u64..500,
+    ) {
+        let mut b = WorkflowBuilder::new("prop");
+        let s0 = b.add_stage("a");
+        let s1 = b.add_stage("b");
+        let first: Vec<_> = (0..w1).map(|_| b.add_task(s0, 1_000, 1_000)).collect();
+        for _ in 0..w2 {
+            let t = b.add_task(s1, 1_000, 1_000);
+            for &f in &first {
+                b.add_dep(f, t).unwrap();
+            }
+        }
+        let wf = b.build().unwrap();
+        let prof = ExecProfile::new(times.iter().map(|&ms| Millis::from_ms(ms)).collect());
+        let cfg = CloudConfig {
+            slots_per_instance: slots,
+            site_capacity: 8,
+            initial_instances: pool.min(8),
+            charging_unit: Millis::from_mins(7),
+            launch_lag: Millis::from_mins(3),
+            mape_interval: Millis::from_mins(3),
+            exec_jitter: jitter,
+            run_setup: Millis::ZERO,
+            run_teardown: Millis::ZERO,
+            ..CloudConfig::default()
+        };
+        let tm = TransferModel {
+            bytes_per_sec: 1.0e6,
+            fixed_overhead: Millis::from_ms(50),
+            jitter: 0.3,
+        };
+        let r = run_workflow(&wf, &prof, cfg.clone(), tm, Hold, seed).unwrap();
+
+        // every task completes exactly once
+        prop_assert_eq!(r.task_records.len(), wf.num_tasks());
+
+        // schedule respects the barrier
+        let first_done = r.task_records.iter()
+            .filter(|rec| rec.stage.index() == 0)
+            .map(|rec| rec.finished_at)
+            .max()
+            .unwrap();
+        for rec in r.task_records.iter().filter(|rec| rec.stage.index() == 1) {
+            prop_assert!(rec.started_at >= first_done);
+        }
+
+        // billing covers consumption; utilization ≤ 1
+        let paid = r.charging_units as u64
+            * cfg.charging_unit.as_ms()
+            * cfg.slots_per_instance as u64;
+        prop_assert!(paid >= r.busy_slot_time.as_ms() + r.wasted_slot_time.as_ms());
+        let util = r.paid_utilization(cfg.charging_unit, cfg.slots_per_instance);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&util));
+
+        // instance-time accounting: at least one unit per launched instance
+        prop_assert!(r.charging_units >= r.instances_launched as u64);
+
+        // per-instance breakdown sums to the total and covers every instance
+        prop_assert!(r.bills_are_consistent());
+        prop_assert_eq!(r.instance_bills.len(), r.instances_launched as usize);
+
+        // no restarts under a static policy on a reliable cloud
+        prop_assert_eq!(r.restarts, 0);
+        prop_assert_eq!(r.failures, 0);
+
+        // busy slot time accounts exactly for all successful occupancies
+        let occ_sum: u64 = r.task_records.iter()
+            .map(|rec| (rec.finished_at - rec.started_at).as_ms())
+            .sum();
+        prop_assert_eq!(r.busy_slot_time.as_ms(), occ_sum);
+    }
+
+    #[test]
+    fn same_seed_same_run(
+        (w1, w2, times) in arb_workload(),
+        seed in 0u64..500,
+    ) {
+        let mut b = WorkflowBuilder::new("det");
+        let s0 = b.add_stage("a");
+        let s1 = b.add_stage("b");
+        let first: Vec<_> = (0..w1).map(|_| b.add_task(s0, 5_000, 500)).collect();
+        for _ in 0..w2 {
+            let t = b.add_task(s1, 5_000, 500);
+            for &f in &first {
+                b.add_dep(f, t).unwrap();
+            }
+        }
+        let wf = b.build().unwrap();
+        let prof = ExecProfile::new(times.iter().map(|&ms| Millis::from_ms(ms)).collect());
+        let cfg = CloudConfig {
+            initial_instances: 2,
+            exec_jitter: 0.3,
+            run_setup: Millis::ZERO,
+            run_teardown: Millis::ZERO,
+            ..CloudConfig::default()
+        };
+        let tm = TransferModel::default();
+        let a = run_workflow(&wf, &prof, cfg.clone(), tm.clone(), Hold, seed).unwrap();
+        let b2 = run_workflow(&wf, &prof, cfg, tm, Hold, seed).unwrap();
+        prop_assert_eq!(a.makespan, b2.makespan);
+        prop_assert_eq!(a.charging_units, b2.charging_units);
+        prop_assert_eq!(a.task_records, b2.task_records);
+    }
+}

@@ -1,0 +1,268 @@
+//! Catalog of the eight Table I runs, with the paper's reported numbers for
+//! side-by-side comparison (`table1` bench binary, EXPERIMENTS.md).
+
+use crate::spec::WorkloadSpec;
+use crate::{epigenomics, pagerank, tpch};
+use serde::{Deserialize, Serialize};
+use wire_dag::{ExecProfile, Workflow};
+
+/// The eight workflow × dataset runs of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadId {
+    EpigenomicsS,
+    EpigenomicsL,
+    Tpch1S,
+    Tpch1L,
+    Tpch6S,
+    Tpch6L,
+    PageRankS,
+    PageRankL,
+}
+
+/// Paper-reported Table I row (for comparison output).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperRow {
+    pub name: &'static str,
+    pub framework: &'static str,
+    pub data_gb: f64,
+    pub stages: usize,
+    pub aggregate_hours: f64,
+    pub total_tasks: usize,
+    pub tasks_per_stage: (usize, usize),
+    pub avg_stage_exec_secs: (f64, f64),
+    pub task_types: &'static str,
+}
+
+impl WorkloadId {
+    pub const ALL: [WorkloadId; 8] = [
+        WorkloadId::EpigenomicsS,
+        WorkloadId::EpigenomicsL,
+        WorkloadId::Tpch1S,
+        WorkloadId::Tpch1L,
+        WorkloadId::Tpch6S,
+        WorkloadId::Tpch6L,
+        WorkloadId::PageRankS,
+        WorkloadId::PageRankL,
+    ];
+
+    /// The small/short-running workloads — useful where the harness needs a
+    /// faster subset.
+    pub const SMALL: [WorkloadId; 4] = [
+        WorkloadId::EpigenomicsS,
+        WorkloadId::Tpch1S,
+        WorkloadId::Tpch6S,
+        WorkloadId::PageRankS,
+    ];
+
+    pub fn spec(self) -> WorkloadSpec {
+        match self {
+            WorkloadId::EpigenomicsS => epigenomics::genome_s(),
+            WorkloadId::EpigenomicsL => epigenomics::genome_l(),
+            WorkloadId::Tpch1S => tpch::tpch1_s(),
+            WorkloadId::Tpch1L => tpch::tpch1_l(),
+            WorkloadId::Tpch6S => tpch::tpch6_s(),
+            WorkloadId::Tpch6L => tpch::tpch6_l(),
+            WorkloadId::PageRankS => pagerank::pagerank_s(),
+            WorkloadId::PageRankL => pagerank::pagerank_l(),
+        }
+    }
+
+    /// Realize one run of this workload.
+    pub fn generate(self, seed: u64) -> (Workflow, ExecProfile) {
+        self.spec().generate(seed)
+    }
+
+    pub fn name(self) -> &'static str {
+        self.paper_row().name
+    }
+
+    /// Table I as printed in the paper.
+    pub fn paper_row(self) -> PaperRow {
+        match self {
+            WorkloadId::EpigenomicsS => PaperRow {
+                name: "Genome S",
+                framework: "Condor",
+                data_gb: 0.002,
+                stages: 8,
+                aggregate_hours: 1.433,
+                total_tasks: 405,
+                tasks_per_stage: (1, 100),
+                avg_stage_exec_secs: (1.0, 54.88),
+                task_types: "short/medium/long",
+            },
+            WorkloadId::EpigenomicsL => PaperRow {
+                name: "Genome L",
+                framework: "Condor",
+                data_gb: 0.013,
+                stages: 8,
+                aggregate_hours: 13.895,
+                total_tasks: 4005,
+                tasks_per_stage: (1, 1000),
+                avg_stage_exec_secs: (1.0, 57.57),
+                task_types: "short/medium/long",
+            },
+            WorkloadId::Tpch1S => PaperRow {
+                name: "TPCH-1 S",
+                framework: "Hadoop",
+                data_gb: 7.27,
+                stages: 4,
+                aggregate_hours: 0.402,
+                total_tasks: 62,
+                tasks_per_stage: (1, 32),
+                avg_stage_exec_secs: (2.0, 13.24),
+                task_types: "short/medium",
+            },
+            WorkloadId::Tpch1L => PaperRow {
+                name: "TPCH-1 L",
+                framework: "Hadoop",
+                data_gb: 29.53,
+                stages: 4,
+                aggregate_hours: 5.22,
+                total_tasks: 229,
+                tasks_per_stage: (1, 124),
+                avg_stage_exec_secs: (1.05, 14.89),
+                task_types: "short/medium",
+            },
+            WorkloadId::Tpch6S => PaperRow {
+                name: "TPCH-6 S",
+                framework: "Hadoop",
+                data_gb: 7.27,
+                stages: 2,
+                aggregate_hours: 0.162,
+                total_tasks: 33,
+                tasks_per_stage: (1, 32),
+                avg_stage_exec_secs: (2.0, 7.3),
+                task_types: "short",
+            },
+            WorkloadId::Tpch6L => PaperRow {
+                name: "TPCH-6 L",
+                framework: "Hadoop",
+                data_gb: 29.53,
+                stages: 2,
+                aggregate_hours: 1.136,
+                total_tasks: 118,
+                tasks_per_stage: (1, 118),
+                avg_stage_exec_secs: (3.0, 8.43),
+                task_types: "short",
+            },
+            WorkloadId::PageRankS => PaperRow {
+                name: "PageRank S",
+                framework: "Hadoop",
+                data_gb: 0.26,
+                stages: 12,
+                aggregate_hours: 0.661,
+                total_tasks: 115,
+                tasks_per_stage: (6, 18),
+                avg_stage_exec_secs: (5.28, 21.5),
+                task_types: "short/medium",
+            },
+            WorkloadId::PageRankL => PaperRow {
+                name: "PageRank L",
+                framework: "Hadoop",
+                data_gb: 2.88,
+                stages: 12,
+                aggregate_hours: 5.415,
+                total_tasks: 313,
+                tasks_per_stage: (6, 60),
+                avg_stage_exec_secs: (26.61, 166.18),
+                task_types: "medium/long",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_matches_its_paper_task_count() {
+        for id in WorkloadId::ALL {
+            let row = id.paper_row();
+            let spec = id.spec();
+            assert_eq!(
+                spec.num_tasks(),
+                row.total_tasks,
+                "{}: generator disagrees with Table I",
+                row.name
+            );
+            assert_eq!(spec.stages.len(), row.stages, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn every_workload_generates_and_respects_width_ranges() {
+        for id in WorkloadId::ALL {
+            let row = id.paper_row();
+            let (wf, prof) = id.generate(11);
+            assert_eq!(wf.num_tasks(), row.total_tasks, "{}", row.name);
+            assert!(prof.matches(&wf));
+            for st in wf.stages() {
+                assert!(
+                    st.len() >= row.tasks_per_stage.0 && st.len() <= row.tasks_per_stage.1,
+                    "{}: stage {} width {} outside {:?}",
+                    row.name,
+                    st.name,
+                    st.len(),
+                    row.tasks_per_stage
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_sizes_match_paper() {
+        for id in WorkloadId::ALL {
+            let row = id.paper_row();
+            let gb = id.spec().total_input_bytes as f64 / 1e9;
+            assert!(
+                (gb - row.data_gb).abs() / row.data_gb < 0.05,
+                "{}: {} GB vs paper {}",
+                row.name,
+                gb,
+                row.data_gb
+            );
+        }
+    }
+
+    /// Table I's "Types of Tasks" row: which stage classes each workload
+    /// exhibits (short μ̄ ≤ 10 s, medium ≤ 30 s, long > 30 s).
+    #[test]
+    fn stage_class_composition_matches_table1() {
+        use std::collections::BTreeSet;
+        let classify = |mean: f64| {
+            if mean <= 10.0 {
+                "short"
+            } else if mean <= 30.0 {
+                "medium"
+            } else {
+                "long"
+            }
+        };
+        for id in WorkloadId::ALL {
+            let row = id.paper_row();
+            let (wf, prof) = id.generate(1);
+            let found: BTreeSet<&str> = wf
+                .stage_ids()
+                .filter(|&s| wf.stage(s).len() >= 1)
+                .map(|s| classify(prof.stage_mean_secs(&wf, s)))
+                .collect();
+            for class in row.task_types.split('/') {
+                assert!(
+                    found.contains(class),
+                    "{}: paper lists '{}' tasks but generated stages are {:?}",
+                    row.name,
+                    class,
+                    found
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_set_is_subset_of_all() {
+        for id in WorkloadId::SMALL {
+            assert!(WorkloadId::ALL.contains(&id));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The Pegasus Epigenomics workflow (Table I: Genome S / Genome L).
+//!
+//! USC Epigenome Center DNA-methylation pipeline: a split stage fans a lane of
+//! reads into N per-chunk pipelines (filterContams → sol2sanger → fastq2bfq →
+//! map), which merge and index before the final pileup. 8 stages;
+//! S: 405 tasks (widths 1–100), L: 4005 tasks (widths 1–1000).
+
+use crate::spec::{Linkage, StageSpec, WorkloadSpec};
+
+/// Parameterized Epigenomics: `n` = per-chunk pipeline width (100 for S,
+/// 1000 for L), `data_bytes` = dataset size.
+pub fn epigenomics(n: usize, data_bytes: u64, name: &str) -> WorkloadSpec {
+    // Stage means chosen inside Table I's 1–55 s/stage envelope, with the
+    // `map` stage dominating the aggregate (sequence alignment dwarfs format
+    // conversions in the real pipeline).
+    WorkloadSpec {
+        name: name.into(),
+        stages: vec![
+            StageSpec::new("fastqSplit", 1, 50.0, 0.05, Linkage::Root, 1.0),
+            StageSpec::new("filterContams", n, 4.0, 0.15, Linkage::Barrier, 1.0),
+            StageSpec::new("sol2sanger", n, 1.2, 0.15, Linkage::OneToOne, 0.9),
+            StageSpec::new("fastq2bfq", n, 2.5, 0.15, Linkage::OneToOne, 0.8),
+            StageSpec::new("map", n, 42.0, 0.1, Linkage::OneToOne, 0.8),
+            StageSpec::new("mapMerge", 2, 30.0, 0.1, Linkage::Barrier, 0.5),
+            StageSpec::new("maqIndex", 1, 25.0, 0.1, Linkage::Barrier, 0.4),
+            StageSpec::new("pileup", 1, 40.0, 0.1, Linkage::Barrier, 0.4),
+        ],
+        total_input_bytes: data_bytes,
+        run_cv: 0.15,
+    }
+}
+
+/// Genome S: 405 tasks, 0.002 GB.
+pub fn genome_s() -> WorkloadSpec {
+    epigenomics(100, 2_000_000, "epigenomics-S")
+}
+
+/// Genome L: 4005 tasks, 0.013 GB.
+pub fn genome_l() -> WorkloadSpec {
+    epigenomics(1000, 13_000_000, "epigenomics-L")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_dag::validate::check_stage_coherence;
+    use wire_dag::width_profile;
+
+    #[test]
+    fn genome_s_matches_table1_shape() {
+        let spec = genome_s();
+        assert_eq!(spec.num_tasks(), 405);
+        assert_eq!(spec.stages.len(), 8);
+        let (wf, prof) = spec.generate(1);
+        assert_eq!(wf.num_tasks(), 405);
+        assert!(check_stage_coherence(&wf).is_ok());
+        let wp = width_profile(&wf);
+        assert_eq!(wp.max_width(), 100);
+        assert_eq!(wp.depth(), 8);
+        // aggregate in Table I: 1.433 h; accept the generator within 2×
+        let hours = prof.aggregate().as_secs_f64() / 3600.0;
+        assert!(hours > 0.7 && hours < 2.9, "aggregate {hours} h");
+    }
+
+    #[test]
+    fn genome_l_matches_table1_shape() {
+        let spec = genome_l();
+        assert_eq!(spec.num_tasks(), 4005);
+        let (wf, prof) = spec.generate(1);
+        assert_eq!(wf.num_stages(), 8);
+        let hours = prof.aggregate().as_secs_f64() / 3600.0;
+        // Table I: 13.895 h
+        assert!(hours > 7.0 && hours < 28.0, "aggregate {hours} h");
+    }
+
+    #[test]
+    fn stage_widths_in_table_range() {
+        let (wf, _) = genome_s().generate(2);
+        for st in wf.stages() {
+            assert!(st.len() >= 1 && st.len() <= 100);
+        }
+    }
+}

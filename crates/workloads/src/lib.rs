@@ -1,0 +1,31 @@
+//! Seeded workload generators reproducing the paper's Table I.
+//!
+//! The paper evaluates WIRE on a Pegasus Epigenomics workflow and on Hadoop
+//! workflows (TPC-H Q1/Q6, HiBench PageRank) replayed through a task emulator.
+//! Neither the original datasets nor the Hadoop performance records are
+//! available, so these generators synthesize DAGs that match every Table I
+//! characteristic — stage counts, per-stage task counts, per-stage mean
+//! execution times, dataset sizes — while exhibiting the paper's two key
+//! phenomena: intra-stage load skew (Observation 1) and cross-run variability
+//! (Observation 2). Execution times correlate linearly with input data size
+//! plus noise, which is exactly the structure WIRE's OGD predictor (Eq. 1)
+//! assumes — and the noise/skew is what makes prediction non-trivial.
+//!
+//! All sampling flows from a single `u64` seed; the same seed reproduces the
+//! same run, different seeds model different runs of the same workflow.
+
+pub mod catalog;
+pub mod epigenomics;
+pub mod extensions;
+pub mod linear;
+pub mod pagerank;
+pub mod perturb;
+pub mod skew;
+pub mod spec;
+pub mod trace;
+pub mod tpch;
+
+pub use catalog::{PaperRow, WorkloadId};
+pub use linear::{linear_stage, linear_workflow};
+pub use spec::{Linkage, StageSpec, WorkloadSpec};
+pub use trace::{export_trace, parse_trace, TraceError};

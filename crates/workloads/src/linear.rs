@@ -1,0 +1,70 @@
+//! The idealized linear workflows of §III-E and the Figure 2/3 simulations:
+//! a sequence of full-barrier stages, each with `n` tasks of identical
+//! runtime `r`.
+
+use wire_dag::{ExecProfile, Millis, Workflow, WorkflowBuilder};
+
+/// One stage of `n` tasks, each with runtime exactly `r` (the Figure 2/3
+/// unit of analysis).
+pub fn linear_stage(n: usize, r: Millis) -> (Workflow, ExecProfile) {
+    linear_workflow(&[n], r)
+}
+
+/// A linear workflow: every task of stage `i` precedes every task of stage
+/// `i+1`; all tasks share runtime `r` ("every task is a predecessor of all
+/// tasks in the next stage, and all tasks in a stage have the same run
+/// time R", §III-E).
+pub fn linear_workflow(stage_widths: &[usize], r: Millis) -> (Workflow, ExecProfile) {
+    assert!(!stage_widths.is_empty(), "at least one stage");
+    let mut b = WorkflowBuilder::new(format!(
+        "linear-{}x{}",
+        stage_widths.len(),
+        stage_widths[0]
+    ));
+    let mut prev = None;
+    for (i, &n) in stage_widths.iter().enumerate() {
+        assert!(n > 0, "stage width must be positive");
+        let s = b.add_stage(format!("stage{i}"));
+        for _ in 0..n {
+            b.add_task(s, 0, 0);
+        }
+        if let Some(p) = prev {
+            b.add_stage_barrier(p, s);
+        }
+        prev = Some(s);
+    }
+    let wf = b.build().expect("linear workflow is a DAG");
+    let n_total = wf.num_tasks();
+    (wf, ExecProfile::uniform(n_total, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_dag::{critical_path_ms, width_profile};
+
+    #[test]
+    fn single_stage_shape() {
+        let (wf, prof) = linear_stage(10, Millis::from_secs(30));
+        assert_eq!(wf.num_tasks(), 10);
+        assert_eq!(wf.num_stages(), 1);
+        assert_eq!(prof.aggregate(), Millis::from_secs(300));
+        assert_eq!(width_profile(&wf).max_width(), 10);
+    }
+
+    #[test]
+    fn multi_stage_is_a_barrier_chain() {
+        let (wf, prof) = linear_workflow(&[4, 4, 4], Millis::from_secs(10));
+        assert_eq!(wf.num_tasks(), 12);
+        assert_eq!(wf.num_edges(), 2 * 16);
+        assert_eq!(width_profile(&wf).depth(), 3);
+        // critical path = 3 stages × 10 s
+        assert_eq!(critical_path_ms(&wf, &prof), Millis::from_secs(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_widths_rejected() {
+        let _ = linear_workflow(&[], Millis::from_secs(1));
+    }
+}

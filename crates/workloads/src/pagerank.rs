@@ -1,0 +1,119 @@
+//! HiBench PageRank as an iterative Hadoop DAG (Table I: PageRank S / L).
+//!
+//! HiBench drives PageRank as repeated join/aggregate MapReduce rounds: an
+//! init stage followed by iterations of (rank-contribution map → rank-update
+//! reduce), and a final ordering stage. 12 stages; S: 115 tasks (widths
+//! 6–18), L: 313 tasks (widths 6–60).
+
+use crate::spec::{Linkage, StageSpec, WorkloadSpec};
+
+/// Parameterized PageRank: 12 stages = init + 5 × (map, reduce) + final.
+#[allow(clippy::too_many_arguments)]
+pub fn pagerank(
+    init_width: usize,
+    map_width: usize,
+    reduce_width: usize,
+    final_width: usize,
+    map_mean: f64,
+    reduce_mean: f64,
+    data_bytes: u64,
+    name: &str,
+) -> WorkloadSpec {
+    let mut stages = vec![StageSpec::new(
+        "init-vertices",
+        init_width,
+        map_mean,
+        0.06,
+        Linkage::Root,
+        1.0,
+    )];
+    for i in 0..5 {
+        stages.push(StageSpec::new(
+            format!("iter{i}-map"),
+            map_width,
+            map_mean,
+            0.06,
+            Linkage::Barrier,
+            0.6,
+        ));
+        stages.push(StageSpec::new(
+            format!("iter{i}-reduce"),
+            reduce_width,
+            reduce_mean,
+            0.08,
+            Linkage::Barrier,
+            0.3,
+        ));
+    }
+    stages.push(StageSpec::new(
+        "order-ranks",
+        final_width,
+        reduce_mean,
+        0.08,
+        Linkage::Barrier,
+        0.2,
+    ));
+    WorkloadSpec {
+        name: name.into(),
+        stages,
+        total_input_bytes: data_bytes,
+        run_cv: 0.15,
+    }
+}
+
+/// PageRank S: 115 tasks (18 + 5×(12+6) + 7), 0.26 GB, short/medium stages.
+pub fn pagerank_s() -> WorkloadSpec {
+    pagerank(18, 12, 6, 7, 15.0, 6.5, 260_000_000, "pagerank-S")
+}
+
+/// PageRank L: 313 tasks (60 + 5×(40+6) + 23), 2.88 GB, medium/long stages.
+pub fn pagerank_l() -> WorkloadSpec {
+    pagerank(60, 40, 6, 23, 90.0, 30.0, 2_880_000_000, "pagerank-L")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_dag::validate::check_stage_coherence;
+    use wire_dag::width_profile;
+
+    #[test]
+    fn task_and_stage_counts_match_table1() {
+        let s = pagerank_s();
+        let l = pagerank_l();
+        assert_eq!(s.num_tasks(), 115);
+        assert_eq!(l.num_tasks(), 313);
+        assert_eq!(s.stages.len(), 12);
+        assert_eq!(l.stages.len(), 12);
+    }
+
+    #[test]
+    fn widths_within_table_ranges() {
+        for st in &pagerank_s().stages {
+            assert!(st.tasks >= 6 && st.tasks <= 18, "{}: {}", st.name, st.tasks);
+        }
+        for st in &pagerank_l().stages {
+            assert!(st.tasks >= 6 && st.tasks <= 60, "{}: {}", st.name, st.tasks);
+        }
+    }
+
+    #[test]
+    fn dag_is_a_12_level_iteration_chain() {
+        let (wf, _) = pagerank_s().generate(1);
+        assert!(check_stage_coherence(&wf).is_ok());
+        let wp = width_profile(&wf);
+        assert_eq!(wp.depth(), 12);
+        assert_eq!(wp.max_width(), 18);
+    }
+
+    #[test]
+    fn l_run_has_medium_long_stages() {
+        let (wf, prof) = pagerank_l().generate(2);
+        let means: Vec<f64> = wf
+            .stage_ids()
+            .map(|s| prof.stage_mean_secs(&wf, s))
+            .collect();
+        // Table I: 26.61–166.18 s; require at least one long (> 30 s) stage
+        assert!(means.iter().any(|&m| m > 30.0), "{means:?}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Profile perturbations for robustness studies (Observation 2: task
+//! execution times are highly variable across runs).
+//!
+//! These helpers transform a ground-truth [`ExecProfile`] to model the
+//! paper's §II-B variability sources — different datasets (uniform scaling),
+//! different instance types (stage-selective scaling), and co-location
+//! interference (random slowdowns) — without touching the DAG, so the same
+//! workflow can be replayed under degraded conditions.
+
+use crate::skew::lognormal_multiplier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wire_dag::{ExecProfile, StageId, Workflow};
+
+/// Scale every task time by `factor` (a bigger dataset / slower VM type).
+pub fn scale_all(prof: &ExecProfile, factor: f64) -> ExecProfile {
+    assert!(factor > 0.0 && factor.is_finite());
+    ExecProfile::new(
+        prof.exec_times()
+            .iter()
+            .map(|&t| t.scale(factor))
+            .collect(),
+    )
+}
+
+/// Scale only the tasks of `stage` (per-stage sensitivity analysis —
+/// e.g. a slower storage tier hits the I/O-bound stage only).
+pub fn scale_stage(
+    wf: &Workflow,
+    prof: &ExecProfile,
+    stage: StageId,
+    factor: f64,
+) -> ExecProfile {
+    assert!(factor > 0.0 && factor.is_finite());
+    let mut times = prof.exec_times().to_vec();
+    for &t in &wf.stage(stage).tasks {
+        times[t.index()] = times[t.index()].scale(factor);
+    }
+    ExecProfile::new(times)
+}
+
+/// Apply co-location interference: each task independently slowed by a
+/// lognormal factor with the given CV (mean 1), plus a floor of the original
+/// time (interference never speeds a task up).
+pub fn interfere(prof: &ExecProfile, cv: f64, seed: u64) -> ExecProfile {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1F7E_4F3E);
+    ExecProfile::new(
+        prof.exec_times()
+            .iter()
+            .map(|&t| {
+                let f = lognormal_multiplier(cv, &mut rng).max(1.0);
+                t.scale(f)
+            })
+            .collect(),
+    )
+}
+
+/// Turn a random `fraction` of tasks into stragglers slowed by `slowdown`.
+pub fn add_stragglers(
+    prof: &ExecProfile,
+    fraction: f64,
+    slowdown: f64,
+    seed: u64,
+) -> ExecProfile {
+    assert!((0.0..=1.0).contains(&fraction));
+    assert!(slowdown >= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57A6);
+    ExecProfile::new(
+        prof.exec_times()
+            .iter()
+            .map(|&t| {
+                if rng.gen::<f64>() < fraction {
+                    t.scale(slowdown)
+                } else {
+                    t
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Aggregate slowdown of `b` relative to `a` (≥ 1 when `b` is a degraded
+/// version of `a`).
+pub fn aggregate_ratio(a: &ExecProfile, b: &ExecProfile) -> f64 {
+    let (sa, sb) = (a.aggregate(), b.aggregate());
+    if sa.is_zero() {
+        return f64::NAN;
+    }
+    sb.as_ms() as f64 / sa.as_ms() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadId;
+
+    fn base() -> (Workflow, ExecProfile) {
+        WorkloadId::Tpch6S.generate(1)
+    }
+
+    #[test]
+    fn scale_all_scales_aggregate() {
+        let (_, p) = base();
+        let p2 = scale_all(&p, 2.0);
+        let r = aggregate_ratio(&p, &p2);
+        assert!((r - 2.0).abs() < 0.01, "{r}");
+    }
+
+    #[test]
+    fn scale_stage_touches_only_that_stage() {
+        let (wf, p) = base();
+        let p2 = scale_stage(&wf, &p, StageId(1), 3.0);
+        for t in wf.task_ids() {
+            if wf.task(t).stage == StageId(1) {
+                assert_eq!(p2.exec_time(t), p.exec_time(t).scale(3.0));
+            } else {
+                assert_eq!(p2.exec_time(t), p.exec_time(t));
+            }
+        }
+    }
+
+    #[test]
+    fn interference_only_slows() {
+        let (_, p) = base();
+        let p2 = interfere(&p, 0.4, 7);
+        for (a, b) in p.exec_times().iter().zip(p2.exec_times()) {
+            assert!(b >= a);
+        }
+        assert!(aggregate_ratio(&p, &p2) >= 1.0);
+    }
+
+    #[test]
+    fn stragglers_hit_roughly_the_requested_fraction() {
+        let (_, p) = base();
+        let p2 = add_stragglers(&p, 0.25, 4.0, 3);
+        let hit = p
+            .exec_times()
+            .iter()
+            .zip(p2.exec_times())
+            .filter(|(a, b)| b > a)
+            .count();
+        let frac = hit as f64 / p.len() as f64;
+        assert!(frac > 0.05 && frac < 0.6, "{frac}");
+    }
+
+    #[test]
+    fn perturbations_are_seeded() {
+        let (_, p) = base();
+        assert_eq!(interfere(&p, 0.3, 9), interfere(&p, 0.3, 9));
+        assert_ne!(interfere(&p, 0.3, 9), interfere(&p, 0.3, 10));
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let (_, p) = base();
+        assert_eq!(add_stragglers(&p, 0.0, 4.0, 1), p);
+        assert_eq!(scale_all(&p, 1.0), p);
+    }
+
+    /// Millis::scale rounds to nearest ms; factor 1.0 must be exact.
+    #[test]
+    fn unit_scale_is_lossless() {
+        use wire_dag::Millis;
+        let p = ExecProfile::new(vec![Millis::from_ms(12345)]);
+        assert_eq!(scale_all(&p, 1.0).exec_time(wire_dag::TaskId(0)), Millis::from_ms(12345));
+    }
+}

@@ -1,0 +1,112 @@
+//! Skewed samplers for intra-stage load imbalance.
+//!
+//! Cloud task populations are widely reported to be skewed (the paper cites
+//! SkewTune and Ousterhout et al. and chooses medians over means for exactly
+//! this reason). We model per-task multiplicative noise as a lognormal with a
+//! rare straggler tail.
+
+use rand::Rng;
+
+/// Probability that a task is a straggler.
+pub const STRAGGLER_PROB: f64 = 0.02;
+/// Straggler slowdown range (uniform).
+pub const STRAGGLER_FACTOR: (f64, f64) = (2.0, 4.0);
+
+/// A standard-normal sample via Box–Muller (rand 0.8 ships no distributions
+/// without the `rand_distr` crate, which is outside the allowed set).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Lognormal multiplier with unit mean and the given coefficient of variation.
+///
+/// For `X = exp(N(μ, σ²))`: `E[X] = exp(μ + σ²/2)`; choosing
+/// `σ² = ln(1 + cv²)` and `μ = −σ²/2` gives `E[X] = 1`, `CV[X] = cv`.
+pub fn lognormal_multiplier(cv: f64, rng: &mut impl Rng) -> f64 {
+    if cv <= 0.0 {
+        return 1.0;
+    }
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = -sigma2 / 2.0;
+    (mu + sigma2.sqrt() * standard_normal(rng)).exp()
+}
+
+/// Unit-mean noise with a straggler tail: lognormal body, and with probability
+/// [`STRAGGLER_PROB`] an extra uniform slowdown of 2–4×.
+pub fn skewed_multiplier(cv: f64, rng: &mut impl Rng) -> f64 {
+    let mut m = lognormal_multiplier(cv, rng);
+    if rng.gen::<f64>() < STRAGGLER_PROB {
+        m *= rng.gen_range(STRAGGLER_FACTOR.0..STRAGGLER_FACTOR.1);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_has_unit_mean_and_requested_cv() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let cv = 0.5;
+        let samples: Vec<f64> = (0..n).map(|_| lognormal_multiplier(cv, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+        assert!((var.sqrt() / mean - cv).abs() < 0.05, "cv {}", var.sqrt() / mean);
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn zero_cv_is_deterministic_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(lognormal_multiplier(0.0, &mut rng), 1.0);
+        assert_eq!(lognormal_multiplier(-1.0, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn skewed_multiplier_has_heavier_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let big = (0..n)
+            .map(|_| skewed_multiplier(0.3, &mut rng))
+            .filter(|&x| x > 2.0)
+            .count();
+        // ~2% stragglers scaled 2–4× land mostly above 2.0
+        let frac = big as f64 / n as f64;
+        assert!(frac > 0.005 && frac < 0.05, "straggler fraction {frac}");
+    }
+
+    #[test]
+    fn samplers_are_seed_deterministic() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| skewed_multiplier(0.4, &mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| skewed_multiplier(0.4, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,285 @@
+//! Declarative workload specifications and the generator that realizes them
+//! as `(Workflow, ExecProfile)` pairs.
+
+use crate::skew::{lognormal_multiplier, skewed_multiplier};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wire_dag::{ExecProfile, Millis, StageId, Workflow, WorkflowBuilder};
+
+/// How a stage's tasks connect to the previous stage's tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// No predecessors (first stage, or an independent input stage).
+    Root,
+    /// Every task of the previous stage precedes every task of this stage
+    /// (shuffle / fan-in / fan-out through a singleton).
+    Barrier,
+    /// Task `i` of this stage depends on task `i` of the previous stage
+    /// (per-record pipelines, e.g. Epigenomics' per-chunk chain). Requires
+    /// equal task counts.
+    OneToOne,
+}
+
+/// One stage of a declarative workload.
+#[derive(Debug, Clone)]
+pub struct StageSpec {
+    pub name: String,
+    pub tasks: usize,
+    /// Target mean task execution time, seconds.
+    pub mean_exec_secs: f64,
+    /// Intra-stage skew: coefficient of variation of the multiplicative noise.
+    pub cv: f64,
+    pub linkage: Linkage,
+    /// Fraction of the workload's dataset this stage reads (split across its
+    /// tasks).
+    pub input_frac: f64,
+}
+
+impl StageSpec {
+    pub fn new(
+        name: impl Into<String>,
+        tasks: usize,
+        mean_exec_secs: f64,
+        cv: f64,
+        linkage: Linkage,
+        input_frac: f64,
+    ) -> Self {
+        StageSpec {
+            name: name.into(),
+            tasks,
+            mean_exec_secs,
+            cv,
+            linkage,
+            input_frac,
+        }
+    }
+}
+
+/// A complete declarative workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    pub name: String,
+    pub stages: Vec<StageSpec>,
+    /// Dataset size in bytes (Table I "Data Size").
+    pub total_input_bytes: u64,
+    /// Cross-run variability (Observation 2): lognormal CV of a run-level
+    /// multiplier applied to every task of a run.
+    pub run_cv: f64,
+}
+
+/// Execution-time model: `exec = (BASE_FRAC + DATA_FRAC · d/d̄) · M · noise`,
+/// so a task's time is an affine function of its input size (learnable by
+/// Eq. 1) plus skewed noise (what makes learning non-trivial).
+pub const BASE_FRAC: f64 = 0.3;
+pub const DATA_FRAC: f64 = 0.7;
+/// CV of per-task input sizes around the stage's per-task share.
+pub const INPUT_SIZE_CV: f64 = 0.35;
+/// Input sizes are quantized to a geometric grid with this ratio: real
+/// frameworks split datasets into block-sized chunks, so tasks repeat a small
+/// set of input sizes — which is exactly what makes the paper's Policy 4
+/// ("equivalent input size" groups) effective. Without quantization every
+/// task's size is unique and Policy 4 never fires.
+pub const INPUT_SIZE_GRID: f64 = 1.15;
+/// Output bytes = input bytes × this factor.
+pub const OUTPUT_RATIO: f64 = 0.5;
+/// Floor on generated execution times.
+pub const MIN_EXEC: Millis = Millis(200);
+
+impl WorkloadSpec {
+    /// Realize the spec as a concrete run. `seed` selects the run: the same
+    /// seed reproduces the run exactly; different seeds model different runs
+    /// (different datasets / interference), per Observation 2.
+    pub fn generate(&self, seed: u64) -> (Workflow, ExecProfile) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5741_5245); // "WARE"
+        let run_factor = lognormal_multiplier(self.run_cv, &mut rng);
+
+        let mut b = WorkflowBuilder::new(self.name.clone());
+        let mut exec_times: Vec<Millis> = Vec::new();
+        let mut prev_stage: Option<(StageId, usize)> = None;
+
+        for spec in &self.stages {
+            assert!(spec.tasks > 0, "stage {} has no tasks", spec.name);
+            let stage = b.add_stage(spec.name.clone());
+            let share = (self.total_input_bytes as f64 * spec.input_frac / spec.tasks as f64)
+                .max(1.0);
+            let mut ids = Vec::with_capacity(spec.tasks);
+            for _ in 0..spec.tasks {
+                let raw = share * lognormal_multiplier(INPUT_SIZE_CV, &mut rng);
+                // snap to the geometric grid anchored at the stage share
+                let k = (raw / share).ln() / INPUT_SIZE_GRID.ln();
+                let input = (share * INPUT_SIZE_GRID.powi(k.round() as i32)).round() as u64;
+                let output = (input as f64 * OUTPUT_RATIO).round() as u64;
+                let t = b.add_task(stage, input.max(1), output.max(1));
+                let rel_size = input as f64 / share;
+                let secs = (BASE_FRAC + DATA_FRAC * rel_size)
+                    * spec.mean_exec_secs
+                    * skewed_multiplier(spec.cv, &mut rng)
+                    * run_factor;
+                exec_times.push(Millis::from_secs_f64(secs).max(MIN_EXEC));
+                ids.push(t);
+            }
+            match (spec.linkage, prev_stage) {
+                (Linkage::Root, _) | (_, None) => {}
+                (Linkage::Barrier, Some((prev, _))) => {
+                    b.add_stage_barrier(prev, stage);
+                }
+                (Linkage::OneToOne, Some((prev, prev_n))) => {
+                    assert_eq!(
+                        prev_n, spec.tasks,
+                        "OneToOne linkage needs equal task counts ({} vs {})",
+                        prev_n, spec.tasks
+                    );
+                    let prev_ids = b.stage_task_ids(prev);
+                    for (f, t) in prev_ids.into_iter().zip(ids.iter().copied()) {
+                        b.add_dep(f, t).expect("one-to-one edge");
+                    }
+                }
+            }
+            prev_stage = Some((stage, spec.tasks));
+        }
+
+        let wf = b.build().expect("spec produces a valid DAG");
+        let profile = ExecProfile::new(exec_times);
+        debug_assert!(profile.matches(&wf));
+        (wf, profile)
+    }
+
+    /// Total declared tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_dag::validate::check_stage_coherence;
+
+    fn demo_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "demo".into(),
+            stages: vec![
+                StageSpec::new("split", 1, 10.0, 0.0, Linkage::Root, 1.0),
+                StageSpec::new("map", 8, 20.0, 0.3, Linkage::Barrier, 1.0),
+                StageSpec::new("filter", 8, 5.0, 0.3, Linkage::OneToOne, 0.5),
+                StageSpec::new("reduce", 2, 15.0, 0.2, Linkage::Barrier, 0.25),
+            ],
+            total_input_bytes: 1 << 30,
+            run_cv: 0.1,
+        }
+    }
+
+    #[test]
+    fn generates_declared_shape() {
+        let spec = demo_spec();
+        let (wf, prof) = spec.generate(1);
+        assert_eq!(wf.num_tasks(), spec.num_tasks());
+        assert_eq!(wf.num_stages(), 4);
+        assert!(prof.matches(&wf));
+        assert!(check_stage_coherence(&wf).is_ok());
+        // barrier from split(1) to map(8): 8 edges; one-to-one: 8; barrier
+        // map→reduce... filter→reduce: 8×2 = 16
+        assert_eq!(wf.num_edges(), 8 + 8 + 16);
+    }
+
+    #[test]
+    fn stage_means_near_target() {
+        let spec = demo_spec();
+        let (wf, prof) = spec.generate(42);
+        for (i, st) in spec.stages.iter().enumerate() {
+            let mean = prof.stage_mean_secs(&wf, StageId(i as u32));
+            assert!(
+                mean > st.mean_exec_secs * 0.4 && mean < st.mean_exec_secs * 2.5,
+                "stage {} mean {mean} vs target {}",
+                st.name,
+                st.mean_exec_secs
+            );
+        }
+    }
+
+    #[test]
+    fn exec_time_correlates_with_input_size() {
+        // the structural property the OGD model exploits
+        let spec = WorkloadSpec {
+            name: "corr".into(),
+            stages: vec![StageSpec::new("m", 200, 30.0, 0.1, Linkage::Root, 1.0)],
+            total_input_bytes: 1 << 30,
+            run_cv: 0.0,
+        };
+        let (wf, prof) = spec.generate(5);
+        let pairs: Vec<(f64, f64)> = wf
+            .tasks()
+            .iter()
+            .map(|t| {
+                (
+                    t.input_bytes as f64,
+                    prof.exec_time(t.id).as_secs_f64(),
+                )
+            })
+            .collect();
+        let n = pairs.len() as f64;
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+        let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+        let r = cov / (sx * sy);
+        // stragglers (2% of tasks, 2-4x) cap the linear correlation
+        assert!(r > 0.55, "correlation {r}");
+    }
+
+    #[test]
+    fn same_seed_same_run_different_seed_different_run() {
+        let spec = demo_spec();
+        let (w1, p1) = spec.generate(7);
+        let (w2, p2) = spec.generate(7);
+        assert_eq!(p1, p2);
+        assert_eq!(w1.num_edges(), w2.num_edges());
+        let (_, p3) = spec.generate(8);
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn cross_run_variability_moves_aggregate() {
+        let spec = WorkloadSpec {
+            run_cv: 0.3,
+            ..demo_spec()
+        };
+        let aggs: Vec<f64> = (0..12)
+            .map(|s| spec.generate(s).1.aggregate().as_secs_f64())
+            .collect();
+        let mean = aggs.iter().sum::<f64>() / aggs.len() as f64;
+        let spread = aggs
+            .iter()
+            .map(|a| (a / mean - 1.0).abs())
+            .fold(0.0, f64::max);
+        assert!(spread > 0.05, "runs too similar: {aggs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "OneToOne")]
+    fn one_to_one_with_mismatched_counts_panics() {
+        let spec = WorkloadSpec {
+            name: "bad".into(),
+            stages: vec![
+                StageSpec::new("a", 4, 1.0, 0.0, Linkage::Root, 1.0),
+                StageSpec::new("b", 5, 1.0, 0.0, Linkage::OneToOne, 1.0),
+            ],
+            total_input_bytes: 1000,
+            run_cv: 0.0,
+        };
+        let _ = spec.generate(1);
+    }
+
+    #[test]
+    fn min_exec_floor_applies() {
+        let spec = WorkloadSpec {
+            name: "tiny".into(),
+            stages: vec![StageSpec::new("t", 50, 0.001, 0.5, Linkage::Root, 1.0)],
+            total_input_bytes: 100,
+            run_cv: 0.0,
+        };
+        let (_, prof) = spec.generate(1);
+        assert!(prof.exec_times().iter().all(|&t| t >= MIN_EXEC));
+    }
+}

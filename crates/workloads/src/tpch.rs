@@ -1,0 +1,98 @@
+//! TPC-H queries 1 and 6 as Hadoop map/reduce DAGs (Table I: TPCH-1, TPCH-6).
+//!
+//! Q1 compiles to two chained MapReduce jobs (scan+partial-agg → merge →
+//! global-agg → sort), i.e. 4 stages; Q6 is a single scan-and-sum job,
+//! 2 stages. Stage widths follow Table I: Q1 S 62 tasks (1–32/stage),
+//! Q1 L 229 (1–124); Q6 S 33 (1–32), Q6 L 118 (1–117).
+
+use crate::spec::{Linkage, StageSpec, WorkloadSpec};
+
+const GB: u64 = 1_000_000_000;
+
+/// TPC-H Q1 with explicit stage widths (map1, reduce1, map2, reduce2).
+pub fn tpch1(widths: [usize; 4], data_bytes: u64, name: &str) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.into(),
+        stages: vec![
+            StageSpec::new("scan-agg-map", widths[0], 13.0, 0.06, Linkage::Root, 1.0),
+            StageSpec::new("partial-reduce", widths[1], 4.0, 0.08, Linkage::Barrier, 0.15),
+            StageSpec::new("merge-map", widths[2], 2.5, 0.1, Linkage::Barrier, 0.05),
+            StageSpec::new("global-reduce", widths[3], 5.0, 0.1, Linkage::Barrier, 0.02),
+        ],
+        total_input_bytes: data_bytes,
+        run_cv: 0.12,
+    }
+}
+
+/// TPCH-1 S: 62 tasks on the 7.27 GB dataset.
+pub fn tpch1_s() -> WorkloadSpec {
+    tpch1([32, 27, 2, 1], (7.27 * GB as f64) as u64, "tpch1-S")
+}
+
+/// TPCH-1 L: 229 tasks on the 29.53 GB dataset.
+pub fn tpch1_l() -> WorkloadSpec {
+    tpch1([124, 100, 4, 1], (29.53 * GB as f64) as u64, "tpch1-L")
+}
+
+/// TPC-H Q6: a single scan + aggregate job (map, reduce).
+pub fn tpch6(widths: [usize; 2], data_bytes: u64, name: &str) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.into(),
+        stages: vec![
+            StageSpec::new("scan-filter-map", widths[0], 7.0, 0.06, Linkage::Root, 1.0),
+            StageSpec::new("sum-reduce", widths[1], 2.5, 0.1, Linkage::Barrier, 0.02),
+        ],
+        total_input_bytes: data_bytes,
+        run_cv: 0.12,
+    }
+}
+
+/// TPCH-6 S: 33 tasks on 7.27 GB.
+pub fn tpch6_s() -> WorkloadSpec {
+    tpch6([32, 1], (7.27 * GB as f64) as u64, "tpch6-S")
+}
+
+/// TPCH-6 L: 118 tasks on 29.53 GB.
+pub fn tpch6_l() -> WorkloadSpec {
+    tpch6([117, 1], (29.53 * GB as f64) as u64, "tpch6-L")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire_dag::validate::check_stage_coherence;
+
+    #[test]
+    fn task_counts_match_table1() {
+        assert_eq!(tpch1_s().num_tasks(), 62);
+        assert_eq!(tpch1_l().num_tasks(), 229);
+        assert_eq!(tpch6_s().num_tasks(), 33);
+        assert_eq!(tpch6_l().num_tasks(), 118);
+    }
+
+    #[test]
+    fn stage_counts_match_table1() {
+        assert_eq!(tpch1_s().stages.len(), 4);
+        assert_eq!(tpch6_s().stages.len(), 2);
+    }
+
+    #[test]
+    fn generated_dags_are_coherent() {
+        for spec in [tpch1_s(), tpch1_l(), tpch6_s(), tpch6_l()] {
+            let (wf, prof) = spec.generate(3);
+            assert!(check_stage_coherence(&wf).is_ok(), "{}", spec.name);
+            assert!(prof.matches(&wf));
+            assert_eq!(wf.num_tasks(), spec.num_tasks());
+        }
+    }
+
+    #[test]
+    fn stage_means_fall_in_short_medium_band() {
+        // Table I classifies TPCH stages as short/medium (≤ 30 s means).
+        let (wf, prof) = tpch1_l().generate(5);
+        for s in wf.stage_ids() {
+            let mean = prof.stage_mean_secs(&wf, s);
+            assert!(mean < 45.0, "stage {s} mean {mean}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: build a small workflow, run it under WIRE on the simulated
+//! cloud, and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wire::prelude::*;
+
+fn main() {
+    // 1. Describe a workflow DAG: a classic map → reduce with a final report.
+    //    Input sizes are observable metadata (the feature WIRE's online
+    //    gradient descent model learns from).
+    let mut b = WorkflowBuilder::new("quickstart");
+    let map = b.add_stage("map");
+    let reduce = b.add_stage("reduce");
+    let report = b.add_stage("report");
+    let map_tasks: Vec<TaskId> = (0..24)
+        .map(|i| b.add_task(map, 64_000_000 + i * 1_000_000, 8_000_000))
+        .collect();
+    let reduce_tasks: Vec<TaskId> = (0..4).map(|_| b.add_task(reduce, 48_000_000, 1_000_000)).collect();
+    let report_task = b.add_task(report, 4_000_000, 100_000);
+    for &m in &map_tasks {
+        for &r in &reduce_tasks {
+            b.add_dep(m, r).unwrap();
+        }
+    }
+    for &r in &reduce_tasks {
+        b.add_dep(r, report_task).unwrap();
+    }
+    let wf = b.build().expect("acyclic workflow");
+
+    // 2. Ground-truth execution times for this run — known to the simulator,
+    //    hidden from the controller, which must predict them online.
+    let exec_times: Vec<Millis> = wf
+        .tasks()
+        .iter()
+        .map(|t| Millis::from_secs_f64(45.0 + t.input_bytes as f64 / 500_000.0))
+        .collect();
+    let profile = ExecProfile::new(exec_times);
+
+    // 3. An ExoGENI-like cloud: 12 × 4-slot instances, 3-minute launch lag,
+    //    15-minute charging unit, MAPE tick every 3 minutes.
+    let config = CloudConfig::default();
+
+    // 4. Run under the WIRE policy.
+    let result = run_workflow(
+        &wf,
+        &profile,
+        config.clone(),
+        TransferModel::default(),
+        WirePolicy::default(),
+        42,
+    )
+    .expect("run completes");
+
+    println!("workflow        : {}", result.workflow);
+    println!("tasks completed : {}", result.task_records.len());
+    println!("makespan        : {}", result.makespan);
+    println!("charging units  : {}", result.charging_units);
+    println!("peak instances  : {}", result.peak_instances);
+    println!(
+        "paid utilization: {:.1}%",
+        100.0 * result.paid_utilization(config.charging_unit, config.slots_per_instance)
+    );
+    println!("MAPE iterations : {}", result.mape_iterations);
+
+    // 5. Compare with static full-site provisioning.
+    let full = run_workflow(
+        &wf,
+        &profile,
+        CloudConfig {
+            initial_instances: 12,
+            ..config.clone()
+        },
+        TransferModel::default(),
+        StaticPolicy::full_site(12),
+        42,
+    )
+    .expect("full-site run completes");
+    println!(
+        "\nvs full-site    : {} units (wire saves {:.1}x), makespan {}",
+        full.charging_units,
+        full.charging_units as f64 / result.charging_units as f64,
+        full.makespan,
+    );
+}

@@ -1,0 +1,286 @@
+//! `wire` — command-line front end for the WIRE reproduction.
+//!
+//! ```text
+//! wire list                                   catalog of Table I workloads
+//! wire run <workload> [options]               simulate one run
+//! wire compare <workload> [options]           all four settings side by side
+//! wire sweep <workload> [options]             one setting across charging units
+//! wire export <workload> [--seed N]           dump a replayable trace to stdout
+//! wire replay <trace-file> [options]          run a trace file
+//! wire dot <workload> [--seed N]              Graphviz DOT of the DAG
+//!
+//! options:
+//!   --policy wire|oracle|full-site|pure-reactive|reactive-conserving
+//!   --u <minutes>        charging unit (default 15)
+//!   --seed <n>           run seed (default 1)
+//!   --timeline           print the pool-size timeline
+//! ```
+
+use std::process::ExitCode;
+use wire::core::experiment::{cloud_config_for, Setting, CHARGING_UNITS_MINS};
+use wire::planner::OracleWirePolicy;
+use wire::prelude::*;
+
+struct Opts {
+    policy: String,
+    u_mins: u64,
+    seed: u64,
+    timeline: bool,
+    trace_out: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        policy: "wire".into(),
+        u_mins: 15,
+        seed: 1,
+        timeline: false,
+        trace_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--policy" => {
+                o.policy = it.next().ok_or("--policy needs a value")?.clone();
+            }
+            "--u" => {
+                o.u_mins = it
+                    .next()
+                    .ok_or("--u needs minutes")?
+                    .parse()
+                    .map_err(|e| format!("--u: {e}"))?;
+            }
+            "--seed" => {
+                o.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--timeline" => o.timeline = true,
+            "--trace-out" => {
+                o.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(o)
+}
+
+fn find_spec(name: &str) -> Option<wire::workloads::WorkloadSpec> {
+    let norm = name.to_lowercase().replace(['_', ' '], "-");
+    if let Some(id) = WorkloadId::ALL.into_iter().find(|id| {
+        id.name().to_lowercase().replace(' ', "-") == norm
+            || id.spec().name.to_lowercase() == norm
+    }) {
+        return Some(id.spec());
+    }
+    match norm.as_str() {
+        "montage" | "montage-2deg" => Some(wire::workloads::extensions::montage_2deg()),
+        "cybershake" | "cybershake-s" => Some(wire::workloads::extensions::cybershake_small()),
+        _ => None,
+    }
+}
+
+fn run_one(
+    wf: &Workflow,
+    prof: &ExecProfile,
+    dataset_bytes: u64,
+    opts: &Opts,
+) -> Result<RunResult, String> {
+    let u = Millis::from_mins(opts.u_mins);
+    let setting = match opts.policy.as_str() {
+        "wire" | "oracle" => Setting::Wire,
+        "full-site" => Setting::FullSite,
+        "pure-reactive" => Setting::PureReactive,
+        "reactive-conserving" => Setting::ReactiveConserving,
+        other => return Err(format!("unknown policy '{other}'")),
+    };
+    let cfg = cloud_config_for(setting, u, dataset_bytes);
+    let tm = TransferModel::default();
+    // the oracle is a CLI-only extra; everything else uses the shared mapping
+    let policy: Box<dyn ScalingPolicy> = if opts.policy == "oracle" {
+        Box::new(OracleWirePolicy::new(prof.clone(), tm.clone()))
+    } else {
+        wire::core::experiment::build_policy(setting, &cfg)
+    };
+    if let Some(path) = &opts.trace_out {
+        let (result, trace) = wire::simcloud::Engine::new(wf, prof, cfg, tm, policy, opts.seed)
+            .map_err(|e| e.to_string())?
+            .run_traced()
+            .map_err(|e| e.to_string())?;
+        std::fs::write(path, trace.to_csv()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("[event trace: {path}]");
+        Ok(result)
+    } else {
+        run_workflow(wf, prof, cfg, tm, policy, opts.seed).map_err(|e| e.to_string())
+    }
+}
+
+fn print_result(r: &RunResult, opts: &Opts) {
+    let u = Millis::from_mins(opts.u_mins);
+    let slots = CloudConfig::default().slots_per_instance;
+    println!("policy          : {}", r.policy);
+    println!("workflow        : {}", r.workflow);
+    println!("tasks           : {}", r.task_records.len());
+    println!("makespan        : {}", r.makespan);
+    println!("charging units  : {}", r.charging_units);
+    println!("peak instances  : {}", r.peak_instances);
+    println!("restarts        : {}", r.restarts);
+    println!(
+        "paid utilization: {:.1}%",
+        100.0 * r.paid_utilization(u, slots)
+    );
+    if opts.timeline {
+        println!("\npool timeline:");
+        for &(t, c) in &r.pool_timeline {
+            println!("  {t:>10}  {}", "#".repeat(c as usize));
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            print_usage();
+            return Ok(());
+        }
+    };
+    match cmd {
+        "list" => {
+            println!("{:<14} {:>7} {:>7} {:>10}", "workload", "tasks", "stages", "data");
+            let mut specs: Vec<wire::workloads::WorkloadSpec> =
+                WorkloadId::ALL.into_iter().map(|id| id.spec()).collect();
+            specs.push(wire::workloads::extensions::montage_2deg());
+            specs.push(wire::workloads::extensions::cybershake_small());
+            for spec in specs {
+                println!(
+                    "{:<14} {:>7} {:>7} {:>8.2}GB",
+                    spec.name,
+                    spec.num_tasks(),
+                    spec.stages.len(),
+                    spec.total_input_bytes as f64 / 1e9
+                );
+            }
+            Ok(())
+        }
+        "run" | "compare" | "sweep" | "export" | "dot" => {
+            let (name, rest) = rest
+                .split_first()
+                .ok_or_else(|| format!("{cmd} needs a workload name (try `wire list`)"))?;
+            let spec = find_spec(name)
+                .ok_or_else(|| format!("unknown workload '{name}' (try `wire list`)"))?;
+            let opts = parse_opts(rest)?;
+            let (wf, prof) = spec.generate(opts.seed);
+            match cmd {
+                "run" => {
+                    let r = run_one(&wf, &prof, spec.total_input_bytes, &opts)?;
+                    print_result(&r, &opts);
+                }
+                "compare" => {
+                    println!(
+                        "{:<22} {:>8} {:>12} {:>8} {:>8}",
+                        "policy", "units", "makespan", "peak", "restarts"
+                    );
+                    for policy in [
+                        "full-site",
+                        "pure-reactive",
+                        "reactive-conserving",
+                        "wire",
+                        "oracle",
+                    ] {
+                        let o = Opts {
+                            policy: policy.into(),
+                            u_mins: opts.u_mins,
+                            seed: opts.seed,
+                            timeline: false,
+                            trace_out: None,
+                        };
+                        let r = run_one(&wf, &prof, spec.total_input_bytes, &o)?;
+                        println!(
+                            "{:<22} {:>8} {:>12} {:>8} {:>8}",
+                            policy,
+                            r.charging_units,
+                            r.makespan.to_string(),
+                            r.peak_instances,
+                            r.restarts
+                        );
+                    }
+                }
+                "sweep" => {
+                    println!(
+                        "{:<8} {:>8} {:>12} {:>8}",
+                        "u (min)", "units", "makespan", "peak"
+                    );
+                    for u in CHARGING_UNITS_MINS {
+                        let o = Opts {
+                            u_mins: u,
+                            policy: opts.policy.clone(),
+                            seed: opts.seed,
+                            timeline: false,
+                            trace_out: None,
+                        };
+                        let r = run_one(&wf, &prof, spec.total_input_bytes, &o)?;
+                        println!(
+                            "{:<8} {:>8} {:>12} {:>8}",
+                            u,
+                            r.charging_units,
+                            r.makespan.to_string(),
+                            r.peak_instances
+                        );
+                    }
+                }
+                "export" => print!("{}", wire::workloads::export_trace(&wf, &prof)),
+                "dot" => print!("{}", wire::dag::to_dot(&wf, Some(&prof))),
+                _ => unreachable!(),
+            }
+            Ok(())
+        }
+        "replay" => {
+            let (path, rest) = rest.split_first().ok_or("replay needs a trace file")?;
+            let opts = parse_opts(rest)?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let (wf, prof) =
+                wire::workloads::parse_trace(path, &text).map_err(|e| e.to_string())?;
+            // dataset ≈ what the run stages in: the root tasks' inputs
+            let data: u64 = wf.roots().map(|t| wf.task(t).input_bytes).sum();
+            let r = run_one(&wf, &prof, data, &opts)?;
+            print_result(&r, &opts);
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `wire help`)")),
+    }
+}
+
+fn print_usage() {
+    println!("wire — WIRE (CLUSTER 2021) reproduction CLI");
+    println!();
+    println!("  wire list");
+    println!("  wire run <workload> [--policy P] [--u MIN] [--seed N] [--timeline]
+                      [--trace-out events.csv]");
+    println!("  wire compare <workload> [--u MIN] [--seed N]");
+    println!("  wire sweep <workload> [--policy P] [--seed N]");
+    println!("  wire export <workload> [--seed N]      > trace.txt");
+    println!("  wire replay <trace.txt> [--policy P] [--u MIN]");
+    println!("  wire dot <workload> [--seed N]         > dag.dot");
+    println!();
+    println!("policies: wire (default), oracle, full-site, pure-reactive,");
+    println!("          reactive-conserving");
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

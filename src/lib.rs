@@ -1,0 +1,50 @@
+//! WIRE — Resource-efficient Scaling with Online Prediction for DAG-based
+//! Workflows (CLUSTER 2021) — a full Rust reproduction.
+//!
+//! This facade crate re-exports the workspace so applications can depend on a
+//! single crate:
+//!
+//! * [`dag`] — workflow DAG model ([`wire_dag`]);
+//! * [`simcloud`] — discrete-event IaaS cloud + framework scheduler
+//!   ([`wire_simcloud`]);
+//! * [`predictor`] — the five online prediction policies and the per-stage
+//!   OGD models ([`wire_predictor`]);
+//! * [`planner`] — lookahead simulation, Algorithms 2–3, WIRE policy and
+//!   baselines ([`wire_planner`]);
+//! * [`workloads`] — Table I workload generators ([`wire_workloads`]);
+//! * [`core`] — experiment harness, statistics, reports ([`wire_core`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wire::prelude::*;
+//!
+//! // a 20-task fan-out workflow, 2-minute tasks
+//! let (wf, prof) = wire::workloads::linear_stage(20, Millis::from_mins(2));
+//! let cfg = CloudConfig::default();
+//! let result = run_workflow(
+//!     &wf, &prof, cfg, TransferModel::none(), WirePolicy::default(), 42,
+//! ).unwrap();
+//! assert_eq!(result.task_records.len(), 20);
+//! ```
+
+pub use wire_core as core;
+pub use wire_dag as dag;
+pub use wire_planner as planner;
+pub use wire_predictor as predictor;
+pub use wire_simcloud as simcloud;
+pub use wire_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use wire_core::{run_setting, ExperimentGrid, Setting};
+    pub use wire_dag::{ExecProfile, Millis, StageId, TaskId, Workflow, WorkflowBuilder};
+    pub use wire_planner::{
+        PureReactive, ReactiveConserving, StaticPolicy, SteeringConfig, WirePolicy,
+    };
+    pub use wire_simcloud::{
+        run_workflow, CloudConfig, Engine, MonitorSnapshot, PoolPlan, RunResult, ScalingPolicy,
+        TransferModel,
+    };
+    pub use wire_workloads::WorkloadId;
+}

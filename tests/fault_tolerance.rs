@@ -1,0 +1,60 @@
+//! Failure-injection integration tests: every elastic policy must drive the
+//! workflow to completion on an unreliable cloud, with conservation intact.
+
+use wire::core::experiment::{cloud_config, Setting};
+use wire::prelude::*;
+
+fn run_with_failures(setting: Setting, mtbf_mins: u64, seed: u64) -> RunResult {
+    let workload = WorkloadId::PageRankS;
+    let (wf, prof) = workload.generate(seed);
+    let mut cfg = cloud_config(setting, Millis::from_mins(15));
+    cfg.mean_time_between_failures = Millis::from_mins(mtbf_mins);
+    let policy = wire::core::experiment::build_policy(setting, &cfg);
+    run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, seed)
+        .expect("run completes despite failures")
+}
+
+#[test]
+fn elastic_policies_survive_instance_failures() {
+    // Elastic policies relaunch: p (or the reactive target) exceeds the
+    // shrunken pool after a crash, so the next tick replaces capacity.
+    for setting in [Setting::PureReactive, Setting::ReactiveConserving, Setting::Wire] {
+        let r = run_with_failures(setting, 30, 5);
+        assert_eq!(r.task_records.len(), 115, "{}", setting.label());
+        for rec in &r.task_records {
+            assert!(rec.started_at < rec.finished_at);
+        }
+    }
+}
+
+#[test]
+fn full_site_policy_replaces_crashed_instances() {
+    // StaticPolicy tops the pool back up to the target after failures.
+    let r = run_with_failures(Setting::FullSite, 20, 6);
+    assert_eq!(r.task_records.len(), 115);
+    assert!(r.failures > 0, "MTBF 20 min on 12 instances must strike");
+    assert!(r.instances_launched > 12, "crashed instances were replaced");
+}
+
+#[test]
+fn failures_cost_money_and_time() {
+    let calm = run_with_failures(Setting::Wire, 0, 7); // MTBF 0 = disabled
+    let stormy = run_with_failures(Setting::Wire, 15, 7);
+    assert_eq!(calm.failures, 0);
+    if stormy.failures > 0 {
+        // lost work shows up as wasted slot time and restarts
+        assert!(stormy.restarts >= stormy.failures);
+        assert!(stormy.makespan >= calm.makespan);
+    }
+}
+
+#[test]
+fn wasted_time_accounts_for_failed_attempts() {
+    let r = run_with_failures(Setting::Wire, 10, 8);
+    if r.restarts > 0 {
+        assert!(!r.wasted_slot_time.is_zero());
+    }
+    // billing still covers everything consumed
+    let paid = r.charging_units as u64 * Millis::from_mins(15).as_ms() * 4;
+    assert!(paid >= r.busy_slot_time.as_ms() + r.wasted_slot_time.as_ms());
+}

@@ -1,0 +1,59 @@
+//! Golden regression tests: exact cost/makespan values for fixed
+//! (workload, setting, charging-unit, seed) combinations.
+//!
+//! These pin the *deterministic* behaviour of the whole stack — generators,
+//! transfer model, scheduler, predictor, planner, billing. Any intentional
+//! change to defaults or algorithm semantics will trip them; update the
+//! constants deliberately (and note why in the commit) rather than loosening
+//! the assertions.
+
+use wire::core::experiment::{run_setting, Setting};
+use wire::prelude::*;
+
+const GOLDEN: &[(WorkloadId, Setting, u64, u64, u64, u64)] = &[
+    // (workload, setting, u_mins, seed, expected units, expected makespan_ms)
+    (WorkloadId::Tpch6S, Setting::Wire, 15, 1, 1, 851_779),
+    (WorkloadId::Tpch6S, Setting::FullSite, 15, 1, 12, 569_435),
+    (WorkloadId::PageRankS, Setting::Wire, 1, 2, 23, 1_322_970),
+    (
+        WorkloadId::PageRankS,
+        Setting::ReactiveConserving,
+        30,
+        2,
+        1,
+        1_322_970,
+    ),
+        // units 6 → 5 after the drain-billing fix: an instance draining at its
+    // charge boundary is no longer billed through the run-teardown epilogue
+    (WorkloadId::EpigenomicsS, Setting::Wire, 15, 3, 5, 2_736_925),
+    (WorkloadId::Tpch1S, Setting::PureReactive, 60, 4, 8, 900_207),
+];
+
+#[test]
+fn golden_costs_and_makespans() {
+    for &(w, s, u, seed, units, makespan_ms) in GOLDEN {
+        let r = run_setting(w, s, Millis::from_mins(u), seed);
+        assert_eq!(
+            r.charging_units,
+            units,
+            "{} / {} / u={u} / seed={seed}: cost changed",
+            w.name(),
+            s.label()
+        );
+        assert_eq!(
+            r.makespan.as_ms(),
+            makespan_ms,
+            "{} / {} / u={u} / seed={seed}: makespan changed",
+            w.name(),
+            s.label()
+        );
+    }
+}
+
+#[test]
+fn golden_wire_beats_full_site_in_the_pinned_cell() {
+    // derived sanity on the pinned values: 12× cost gap on TPCH-6 S at u=15
+    let wire = GOLDEN[0];
+    let full = GOLDEN[1];
+    assert_eq!(full.4 / wire.4, 12);
+}

@@ -1,0 +1,113 @@
+//! Property-based integration tests: randomly generated stage-structured
+//! DAGs must run to completion under every policy with all conservation
+//! invariants intact.
+
+use proptest::prelude::*;
+use wire::prelude::*;
+use wire::workloads::{Linkage, StageSpec, WorkloadSpec};
+
+/// Strategy: a random workload spec of 1–6 stages, ≤ 12 tasks per stage,
+/// mean exec 1–120 s, random linkage.
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    let stage = (1usize..=12, 1.0f64..120.0, 0.0f64..0.8, 0u8..2);
+    proptest::collection::vec(stage, 1..=6).prop_map(|stages| {
+        let mut prev_tasks = 0usize;
+        let specs = stages
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tasks, mean, cv, link))| {
+                let linkage = if i == 0 {
+                    Linkage::Root
+                } else if link == 0 && tasks == prev_tasks {
+                    Linkage::OneToOne
+                } else {
+                    Linkage::Barrier
+                };
+                prev_tasks = tasks;
+                StageSpec::new(format!("s{i}"), tasks, mean, cv, linkage, 1.0 / (i + 1) as f64)
+            })
+            .collect();
+        WorkloadSpec {
+            name: "random".into(),
+            stages: specs,
+            total_input_bytes: 1 << 28,
+            run_cv: 0.1,
+        }
+    })
+}
+
+fn policies() -> Vec<Box<dyn ScalingPolicy>> {
+    vec![
+        Box::new(StaticPolicy::new(4)),
+        Box::new(PureReactive),
+        Box::new(ReactiveConserving::default()),
+        Box::new(WirePolicy::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_workflows_complete_under_every_policy(spec in arb_spec(), seed in 0u64..1000) {
+        let (wf, prof) = spec.generate(seed);
+        for policy in policies() {
+            let name = policy.name().to_string();
+            let cfg = CloudConfig {
+                site_capacity: 8,
+                initial_instances: if name.starts_with("static") { 4 } else { 1 },
+                charging_unit: Millis::from_mins(15),
+                ..CloudConfig::default()
+            };
+            let r = run_workflow(&wf, &prof, cfg.clone(), TransferModel::default(), policy, seed)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+            // conservation: every task completes exactly once
+            prop_assert_eq!(r.task_records.len(), wf.num_tasks());
+            let mut seen = vec![false; wf.num_tasks()];
+            for rec in &r.task_records {
+                prop_assert!(!seen[rec.task.index()], "duplicate record");
+                seen[rec.task.index()] = true;
+            }
+
+            // dependencies respected in the observed schedule
+            for rec in &r.task_records {
+                for &p in wf.preds(rec.task) {
+                    let pred = r.task_records.iter().find(|q| q.task == p).unwrap();
+                    prop_assert!(
+                        pred.finished_at <= rec.started_at,
+                        "{name}: {} started before {} finished", rec.task, p
+                    );
+                }
+            }
+
+            // billing covers consumed slot time
+            let paid = r.charging_units as u64 * cfg.charging_unit.as_ms()
+                * cfg.slots_per_instance as u64;
+            prop_assert!(paid >= r.busy_slot_time.as_ms() + r.wasted_slot_time.as_ms());
+
+            // makespan dominates the critical path
+            prop_assert!(r.makespan >= wire::dag::critical_path_ms(&wf, &prof));
+
+            // the pool respects the site cap
+            prop_assert!(r.peak_instances <= cfg.site_capacity);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay(spec in arb_spec(), seed in 0u64..1000) {
+        let (wf, prof) = spec.generate(seed);
+        let cfg = CloudConfig {
+            site_capacity: 8,
+            charging_unit: Millis::from_mins(15),
+            ..CloudConfig::default()
+        };
+        let a = run_workflow(&wf, &prof, cfg.clone(), TransferModel::default(),
+                             WirePolicy::default(), seed).unwrap();
+        let b = run_workflow(&wf, &prof, cfg, TransferModel::default(),
+                             WirePolicy::default(), seed).unwrap();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.charging_units, b.charging_units);
+        prop_assert_eq!(a.pool_timeline, b.pool_timeline);
+    }
+}

@@ -1,0 +1,79 @@
+//! Robustness integration tests: WIRE under the paper's §II-B variability
+//! sources — cross-run scaling, per-stage slowdowns, co-location
+//! interference — applied through the perturbation toolkit.
+
+use wire::core::experiment::{cloud_config, Setting};
+use wire::prelude::*;
+use wire::workloads::perturb;
+
+fn run(wf: &Workflow, prof: &ExecProfile, seed: u64) -> RunResult {
+    let cfg = cloud_config(Setting::Wire, Millis::from_mins(15));
+    run_workflow(
+        wf,
+        prof,
+        cfg,
+        TransferModel::default(),
+        WirePolicy::default(),
+        seed,
+    )
+    .expect("completes")
+}
+
+#[test]
+fn wire_tracks_uniformly_scaled_runs() {
+    // a 2x-slower dataset: cost roughly doubles, and the controller adapts
+    // without restarts blowing up
+    let (wf, prof) = WorkloadId::PageRankS.generate(1);
+    let slow = perturb::scale_all(&prof, 2.0);
+    let a = run(&wf, &prof, 1);
+    let b = run(&wf, &slow, 1);
+    assert!(b.makespan > a.makespan);
+    assert!(
+        b.charging_units >= a.charging_units,
+        "{} vs {}",
+        b.charging_units,
+        a.charging_units
+    );
+    assert!(b.charging_units <= a.charging_units * 4 + 2);
+}
+
+#[test]
+fn wire_absorbs_interference() {
+    // §II-B: co-located loads inflate task times; WIRE must still finish and
+    // its prediction-driven plan must not thrash
+    let (wf, prof) = WorkloadId::EpigenomicsS.generate(2);
+    let noisy = perturb::interfere(&prof, 0.5, 42);
+    let r = run(&wf, &noisy, 2);
+    assert_eq!(r.task_records.len(), wf.num_tasks());
+    // thrash guard: few restarts relative to tasks
+    assert!(
+        (r.restarts as usize) < wf.num_tasks() / 10,
+        "{} restarts",
+        r.restarts
+    );
+}
+
+#[test]
+fn per_stage_slowdown_shifts_cost_modestly() {
+    // slowing one wide stage by 4x: the controller provisions for it but the
+    // rest of the workflow is unaffected
+    let (wf, prof) = WorkloadId::Tpch1L.generate(3);
+    let skewed = perturb::scale_stage(&wf, &prof, StageId(0), 4.0);
+    let a = run(&wf, &prof, 3);
+    let b = run(&wf, &skewed, 3);
+    assert!(b.makespan >= a.makespan);
+    let agg = perturb::aggregate_ratio(&prof, &skewed);
+    // stage 0 dominates the aggregate, so the ratio is large but < 4
+    assert!(agg > 1.5 && agg < 4.0, "aggregate ratio {agg}");
+}
+
+#[test]
+fn straggler_burst_is_survivable() {
+    let (wf, prof) = WorkloadId::Tpch6L.generate(4);
+    let straggly = perturb::add_stragglers(&prof, 0.2, 5.0, 11);
+    let r = run(&wf, &straggly, 4);
+    assert_eq!(r.task_records.len(), wf.num_tasks());
+    // medians keep predictions useful: utilization stays reasonable
+    let util = r.paid_utilization(Millis::from_mins(15), 4);
+    assert!(util > 0.15, "utilization collapsed: {util}");
+}
