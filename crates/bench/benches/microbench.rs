@@ -17,11 +17,13 @@ fn bench_predictor_update(c: &mut Criterion) {
             let mut obs = IntervalObservations::empty_for(&wf);
             for t in wf.task_ids() {
                 let spec = wf.task(t);
-                obs.per_stage[spec.stage.index()].completed.push(CompletedTaskObs {
-                    task: t,
-                    input_bytes: spec.input_bytes,
-                    exec_time: Millis::from_secs(5),
-                });
+                obs.per_stage[spec.stage.index()]
+                    .completed
+                    .push(CompletedTaskObs {
+                        task: t,
+                        input_bytes: spec.input_bytes,
+                        exec_time: Millis::from_secs(5),
+                    });
             }
             p.observe_interval(&obs);
             std::hint::black_box(p.state_bytes())
@@ -32,7 +34,9 @@ fn bench_predictor_update(c: &mut Criterion) {
 fn bench_resize_pool(c: &mut Criterion) {
     let mut group = c.benchmark_group("planner/resize_pool");
     for n in [100usize, 1000, 4000] {
-        let q: Vec<Millis> = (0..n).map(|i| Millis::from_secs(1 + (i as u64 % 90))).collect();
+        let q: Vec<Millis> = (0..n)
+            .map(|i| Millis::from_secs(1 + (i as u64 % 90)))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
             b.iter(|| resize_pool(std::hint::black_box(q), Millis::from_mins(15), 4))
         });
@@ -43,10 +47,10 @@ fn bench_resize_pool(c: &mut Criterion) {
 fn bench_lookahead(c: &mut Criterion) {
     // one MAPE planning step (lookahead + Algorithms 2-3) on a mid-run
     // snapshot of the 4005-task Genome L workflow — the §IV-F hot path
-    use wire_planner::{lookahead, steer, SteeringConfig};
-    use wire_simcloud::{InstanceStateView, InstanceView, MonitorSnapshot, TaskView};
-    use wire_simcloud::{CloudConfig, InstanceId};
     use wire_dag::TaskId;
+    use wire_planner::{lookahead, steer, SteeringConfig};
+    use wire_simcloud::{CloudConfig, InstanceId};
+    use wire_simcloud::{InstanceStateView, InstanceView, MonitorSnapshot, TaskView};
 
     let (wf, _) = WorkloadId::EpigenomicsL.generate(1);
     let cfg = CloudConfig::default();

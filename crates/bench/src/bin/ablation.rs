@@ -6,9 +6,9 @@
 
 use wire_bench::{emit, quick_mode};
 use wire_core::experiment::{cloud_config, Setting};
+use wire_core::prediction::stage_prediction_errors_with;
 use wire_core::Table;
 use wire_dag::Millis;
-use wire_core::prediction::stage_prediction_errors_with;
 use wire_planner::{OracleWirePolicy, SteeringConfig, WirePolicy};
 use wire_predictor::Estimator;
 use wire_simcloud::{run_workflow, TransferModel};
@@ -46,10 +46,20 @@ fn main() {
             ]);
         }
     }
-    emit("Ablation — first-five-per-stage priority", "ablation_firstfive", &t);
+    emit(
+        "Ablation — first-five-per-stage priority",
+        "ablation_firstfive",
+        &t,
+    );
 
     // --- waste threshold sweep ------------------------------------------
-    let mut t = Table::new(["workload", "threshold (·u)", "cost (units)", "makespan (min)", "restarts"]);
+    let mut t = Table::new([
+        "workload",
+        "threshold (·u)",
+        "cost (units)",
+        "makespan (min)",
+        "restarts",
+    ]);
     for &w in &workloads {
         for frac in [0.0, 0.1, 0.2, 0.4, 0.8] {
             let (wf, prof) = w.generate(1);
@@ -58,8 +68,7 @@ fn main() {
                 waste_fraction: frac,
                 ..SteeringConfig::default()
             });
-            let res =
-                run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, 1).unwrap();
+            let res = run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, 1).unwrap();
             t.push_row([
                 w.name().to_string(),
                 format!("{frac}"),
@@ -91,8 +100,7 @@ fn main() {
                 fill_target: fill,
                 ..SteeringConfig::default()
             });
-            let res =
-                run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, 1).unwrap();
+            let res = run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, 1).unwrap();
             t.push_row([
                 w.name().to_string(),
                 format!("{fill}"),
@@ -158,9 +166,7 @@ fn main() {
                     continue;
                 }
                 for order in 0..3 {
-                    errs.extend(
-                        stage_prediction_errors_with(&wf, &prof, stage, order, est).errors,
-                    );
+                    errs.extend(stage_prediction_errors_with(&wf, &prof, stage, order, est).errors);
                 }
             }
             let n = errs.len().max(1) as f64;

@@ -46,11 +46,23 @@ fn main() {
     }
     println!(
         "{}",
-        line_chart("resource-usage ratio vs R/U (log x)", &cost_series, 64, 12, true)
+        line_chart(
+            "resource-usage ratio vs R/U (log x)",
+            &cost_series,
+            64,
+            12,
+            true
+        )
     );
     println!(
         "{}",
-        line_chart("completion-time ratio vs R/U (log x)", &time_series, 64, 12, true)
+        line_chart(
+            "completion-time ratio vs R/U (log x)",
+            &time_series,
+            64,
+            12,
+            true
+        )
     );
     emit(
         "Figure 2 — steering policy vs optimal, R > U (u = 1 min)",

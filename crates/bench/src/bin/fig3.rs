@@ -46,11 +46,23 @@ fn main() {
     }
     println!(
         "{}",
-        line_chart("resource-usage ratio vs U/R (log x)", &cost_series, 64, 12, true)
+        line_chart(
+            "resource-usage ratio vs U/R (log x)",
+            &cost_series,
+            64,
+            12,
+            true
+        )
     );
     println!(
         "{}",
-        line_chart("completion-time ratio vs U/R (log x)", &time_series, 64, 12, true)
+        line_chart(
+            "completion-time ratio vs U/R (log x)",
+            &time_series,
+            64,
+            12,
+            true
+        )
     );
     emit(
         "Figure 3 — steering policy vs optimal, R ≤ U (R = 1 min)",

@@ -82,9 +82,7 @@ fn main() {
     // §IV-D task-order analysis: spread of mean |error| across 5 orders.
     // Paper: 29/34 short+medium stages ≤ 1.8 s spread; 8/11 long ≤ 15.2 %;
     // outliers have 5–17 tasks.
-    let mut spread_t = Table::new([
-        "workload", "stage", "class", "tasks", "spread (s or rel)",
-    ]);
+    let mut spread_t = Table::new(["workload", "stage", "class", "tasks", "spread (s or rel)"]);
     let mut sm_within = 0usize;
     let mut sm_total = 0usize;
     let mut long_within = 0usize;
@@ -124,10 +122,6 @@ fn main() {
         "fig4_order_spread",
         &spread_t,
     );
-    println!(
-        "short+medium stages within 1.8 s spread: {sm_within}/{sm_total} (paper 29/34)"
-    );
-    println!(
-        "long stages within 15.2% spread: {long_within}/{long_total} (paper 8/11)"
-    );
+    println!("short+medium stages within 1.8 s spread: {sm_within}/{sm_total} (paper 29/34)");
+    println!("long stages within 15.2% spread: {long_within}/{long_total} (paper 8/11)");
 }

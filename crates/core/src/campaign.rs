@@ -93,7 +93,11 @@ pub fn parse_csv(text: &str) -> Result<Vec<FlatRun>, String> {
         }
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 10 {
-            return Err(format!("line {}: expected 10 fields, got {}", i + 2, f.len()));
+            return Err(format!(
+                "line {}: expected 10 fields, got {}",
+                i + 2,
+                f.len()
+            ));
         }
         let parse = |s: &str, what: &str| -> Result<f64, String> {
             s.parse::<f64>()

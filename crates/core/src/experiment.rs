@@ -10,7 +10,10 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wire_dag::Millis;
 use wire_planner::{PureReactive, ReactiveConserving, StaticPolicy, WirePolicy};
-use wire_simcloud::{run_workflow, CloudConfig, RunResult, ScalingPolicy, TransferModel};
+use wire_simcloud::{
+    run_workflow, run_workflow_recorded, CloudConfig, RunResult, ScalingPolicy, TransferModel,
+};
+use wire_telemetry::{TelemetryBuffer, TelemetryHandle};
 use wire_workloads::WorkloadId;
 
 use crate::stats;
@@ -107,8 +110,51 @@ pub fn run_setting(
     let (wf, prof) = workload.generate(seed);
     let cfg = cloud_config_for(setting, charging_unit, workload.spec().total_input_bytes);
     let policy = build_policy(setting, &cfg);
-    run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, seed)
-        .unwrap_or_else(|e| panic!("{} / {} / u={}: {e}", workload.name(), setting.label(), charging_unit))
+    run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, seed).unwrap_or_else(|e| {
+        panic!(
+            "{} / {} / u={}: {e}",
+            workload.name(),
+            setting.label(),
+            charging_unit
+        )
+    })
+}
+
+/// Like [`run_setting`], with full telemetry: engine events, per-tick
+/// metrics and (under [`Setting::Wire`]) the MAPE decision journal and
+/// prediction-quality join all land in the returned [`TelemetryBuffer`],
+/// ready for the `wire_telemetry::export` writers.
+pub fn run_setting_telemetry(
+    workload: WorkloadId,
+    setting: Setting,
+    charging_unit: Millis,
+    seed: u64,
+) -> (RunResult, TelemetryBuffer) {
+    let (wf, prof) = workload.generate(seed);
+    let cfg = cloud_config_for(setting, charging_unit, workload.spec().total_input_bytes);
+    let handle = TelemetryHandle::new();
+    let policy: Box<dyn ScalingPolicy + Send> = match setting {
+        Setting::Wire => Box::new(WirePolicy::default().with_telemetry(handle.clone())),
+        other => build_policy(other, &cfg),
+    };
+    let result = run_workflow_recorded(
+        &wf,
+        &prof,
+        cfg,
+        TransferModel::default(),
+        policy,
+        seed,
+        handle.clone(),
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "{} / {} / u={}: {e}",
+            workload.name(),
+            setting.label(),
+            charging_unit
+        )
+    });
+    (result, handle.take())
 }
 
 /// One grid cell: a (workload, setting, charging-unit) combination and its
@@ -212,6 +258,28 @@ impl ExperimentGrid {
                 }
             })
             .collect()
+    }
+
+    /// Like [`ExperimentGrid::run`], but additionally re-runs the first
+    /// repetition of every cell with telemetry attached and persists the full
+    /// export set (events JSONL, Chrome trace, per-tick metrics CSV, decision
+    /// log) under `dir`. Runs are deterministic per seed, so the persisted
+    /// telemetry matches repetition 0 of the returned results exactly.
+    pub fn run_persisted(&self, dir: &std::path::Path) -> std::io::Result<Vec<GridResult>> {
+        let results = self.run();
+        for g in &results {
+            let (_, buffer) =
+                run_setting_telemetry(g.workload, g.setting, g.charging_unit, self.base_seed);
+            let stem = format!(
+                "{}-{}-u{}",
+                g.workload.name().to_lowercase().replace(' ', "-"),
+                g.setting.label(),
+                g.charging_unit.as_mins_f64() as u64
+            );
+            let slots = cloud_config(g.setting, g.charging_unit).slots_per_instance;
+            wire_telemetry::export::write_all(dir, &stem, &buffer, slots)?;
+        }
+        Ok(results)
     }
 }
 
@@ -352,6 +420,22 @@ mod tests {
         assert!(h.cost_ratio_min > 0.0);
         assert!(h.slowdown_min >= 1.0 - 1e-9);
         assert!((0.0..=1.0).contains(&h.frac_within_2x));
+    }
+
+    #[test]
+    fn telemetry_run_journals_every_tick_and_changes_nothing() {
+        let u = Millis::from_mins(15);
+        let (r, buffer) = run_setting_telemetry(WorkloadId::Tpch6S, Setting::Wire, u, 1);
+        assert_eq!(r.task_records.len(), 33);
+        assert!(!buffer.events.is_empty());
+        // one decision journal entry and one metrics row per MAPE tick
+        assert_eq!(buffer.decisions.len() as u64, r.mape_iterations);
+        assert_eq!(buffer.ticks.len() as u64, r.mape_iterations);
+        assert!(!buffer.quality.samples().is_empty());
+        // recording must not perturb the simulation
+        let plain = run_setting(WorkloadId::Tpch6S, Setting::Wire, u, 1);
+        assert_eq!(plain.makespan, r.makespan);
+        assert_eq!(plain.charging_units, r.charging_units);
     }
 
     #[test]

@@ -24,10 +24,10 @@ pub use campaign::{flatten, parse_csv, summarize, to_csv, FlatRun};
 pub use experiment::{
     run_setting, ExperimentGrid, GridCell, GridResult, Setting, CHARGING_UNITS_MINS,
 };
+pub use plot::{bar_chart, line_chart, Series};
 pub use prediction::{
     stage_order_spread, stage_prediction_errors, stage_prediction_errors_with, OrderSpread,
     PredictionStudy, StageErrors,
 };
-pub use plot::{bar_chart, line_chart, Series};
 pub use report::{fmt_mean_std, Table};
 pub use stats::{mean, median, paired, quantile, std_dev, PairedComparison, Summary};

@@ -120,8 +120,16 @@ pub fn bar_chart(title: &str, bars: &[(String, f64)], width: usize) -> String {
         let _ = writeln!(out, "(no data)");
         return out;
     }
-    let max = bars.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max).max(1e-12);
-    let label_w = bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let max = bars
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    let label_w = bars
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     for (label, v) in bars {
         let n = ((v / max) * width as f64).round().max(0.0) as usize;
         let _ = writeln!(
@@ -176,10 +184,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let bars = vec![
-            ("full-site".to_string(), 12.0),
-            ("wire".to_string(), 2.0),
-        ];
+        let bars = vec![("full-site".to_string(), 12.0), ("wire".to_string(), 2.0)];
         let out = bar_chart("cost", &bars, 24);
         let full_row = out.lines().find(|l| l.starts_with("full-site")).unwrap();
         let wire_row = out.lines().find(|l| l.starts_with("wire")).unwrap();

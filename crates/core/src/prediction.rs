@@ -63,8 +63,11 @@ pub fn stage_prediction_errors_with(
         let spec = wf.task(t);
         let actual = prof.exec_time(t);
         if state.has_completions() {
-            let pred =
-                wire_predictor::policies::predict_task(&state, spec.input_bytes, TaskStatus::UnstartedReady);
+            let pred = wire_predictor::policies::predict_task(
+                &state,
+                spec.input_bytes,
+                TaskStatus::UnstartedReady,
+            );
             let err = match class {
                 StageClass::Long => relative_true_error(pred.exec_time, actual),
                 _ => true_error_secs(pred.exec_time, actual),
@@ -136,8 +139,10 @@ impl PredictionStudy {
         for &w in &self.workloads {
             let mut per_class: std::collections::BTreeMap<&'static str, (usize, Vec<f64>)> =
                 std::collections::BTreeMap::new();
-            let mut counted: std::collections::BTreeMap<&'static str, std::collections::BTreeSet<u32>> =
-                Default::default();
+            let mut counted: std::collections::BTreeMap<
+                &'static str,
+                std::collections::BTreeSet<u32>,
+            > = Default::default();
             for rep in 0..self.repetitions {
                 let (wf, prof) = w.generate(self.base_seed + rep as u64);
                 for stage in wf.stage_ids() {
@@ -235,10 +240,7 @@ mod tests {
         for &e in &se.errors {
             assert!(e.abs() < 1e-9, "error {e}");
         }
-        assert!(se
-            .policies
-            .iter()
-            .all(|&p| p == PolicyKind::GroupMedian));
+        assert!(se.policies.iter().all(|&p| p == PolicyKind::GroupMedian));
     }
 
     #[test]
@@ -295,7 +297,7 @@ mod tests {
         let buckets = study.run();
         assert!(!buckets.is_empty());
         for b in &buckets {
-            assert!(b.cdf.len() > 0);
+            assert!(!b.cdf.is_empty());
             assert!(b.stages >= 1);
         }
     }

@@ -30,11 +30,7 @@ impl Table {
 
     pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(
-            row.len(),
-            self.header.len(),
-            "row width must match header"
-        );
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
         self.rows.push(row);
     }
 
@@ -91,7 +87,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -119,7 +119,7 @@ mod tests {
         assert!(lines[0].starts_with("name"));
         assert!(lines[2].starts_with("alpha"));
         // all data lines equal width
-        assert_eq!(lines[2].trim_end().len() <= lines[1].len(), true);
+        assert!(lines[2].trim_end().len() <= lines[1].len());
     }
 
     #[test]

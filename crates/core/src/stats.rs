@@ -89,12 +89,7 @@ pub fn paired(a: &[f64], b: &[f64]) -> Option<PairedComparison> {
         return None;
     }
     let n = a.len();
-    let mean_diff = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| y - x)
-        .sum::<f64>()
-        / n as f64;
+    let mean_diff = a.iter().zip(b).map(|(&x, &y)| y - x).sum::<f64>() / n as f64;
     let ratios: Vec<f64> = a
         .iter()
         .zip(b)

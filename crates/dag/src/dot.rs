@@ -75,7 +75,10 @@ mod tests {
     fn node_count_matches_tasks() {
         let wf = sample();
         let dot = to_dot(&wf, None);
-        let nodes = dot.lines().filter(|l| l.trim_start().starts_with("t") && l.contains("[label=")).count();
+        let nodes = dot
+            .lines()
+            .filter(|l| l.trim_start().starts_with("t") && l.contains("[label="))
+            .count();
         assert_eq!(nodes, 2);
     }
 }

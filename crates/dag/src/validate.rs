@@ -25,11 +25,7 @@ pub fn check_stage_coherence(wf: &Workflow) -> Result<(), CoherenceViolation> {
     for stage in wf.stages() {
         let mut expected: Option<BTreeSet<StageId>> = None;
         for &t in &stage.tasks {
-            let found: BTreeSet<StageId> = wf
-                .preds(t)
-                .iter()
-                .map(|&p| wf.task(p).stage)
-                .collect();
+            let found: BTreeSet<StageId> = wf.preds(t).iter().map(|&p| wf.task(p).stage).collect();
             match &expected {
                 None => expected = Some(found),
                 Some(e) if *e != found => {

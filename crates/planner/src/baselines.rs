@@ -10,9 +10,7 @@
 
 use crate::steering::{steer, SteeringConfig};
 use wire_dag::Millis;
-use wire_simcloud::{
-    InstanceId, MonitorSnapshot, PoolPlan, ScalingPolicy, TerminateWhen,
-};
+use wire_simcloud::{InstanceId, MonitorSnapshot, PoolPlan, ScalingPolicy, TerminateWhen};
 
 /// Fixed-size pool. With `CloudConfig::initial_instances` set to the same
 /// target the policy never changes anything; otherwise it tops the pool up
@@ -208,7 +206,12 @@ mod tests {
         let c = cfg(1);
         let mut p = StaticPolicy::full_site(12);
         assert_eq!(p.name(), "full-site");
-        let s = snap(&w, &c, vec![TaskView::Ready; 2], vec![running_inst(0, vec![], 1)]);
+        let s = snap(
+            &w,
+            &c,
+            vec![TaskView::Ready; 2],
+            vec![running_inst(0, vec![], 1)],
+        );
         assert_eq!(p.plan(&s).launch, 11);
         let full: Vec<InstanceView> = (0..12).map(|i| running_inst(i, vec![], 1)).collect();
         let s2 = snap(&w, &c, vec![TaskView::Ready; 2], full);
@@ -242,10 +245,13 @@ mod tests {
         let c = cfg(4);
         let mut p = PureReactive;
         // 2 active tasks → 1 instance wanted; i0 busy, i1/i2 idle
-        let mut tasks = vec![TaskView::Done {
-            exec_time: Millis::from_secs(1),
-            transfer_time: Millis::ZERO,
-        }; 10];
+        let mut tasks = vec![
+            TaskView::Done {
+                exec_time: Millis::from_secs(1),
+                transfer_time: Millis::ZERO,
+            };
+            10
+        ];
         tasks[0] = TaskView::Running {
             instance: InstanceId(0),
             exec_age: Millis::from_secs(1),

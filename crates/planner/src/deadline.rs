@@ -102,7 +102,11 @@ impl ScalingPolicy for DeadlineWirePolicy {
             self.urgent = want_urgent;
             self.switches += 1;
             self.inner.set_steering(SteeringConfig {
-                fill_target: if want_urgent { URGENT_FILL } else { RELAXED_FILL },
+                fill_target: if want_urgent {
+                    URGENT_FILL
+                } else {
+                    RELAXED_FILL
+                },
                 ..SteeringConfig::default()
             });
         }
@@ -189,15 +193,7 @@ mod tests {
     fn completes_and_reports_switches() {
         let (wf, prof) = WorkloadId::PageRankS.generate(2);
         let mut policy = DeadlineWirePolicy::new(Millis::from_mins(2));
-        let r = run_workflow(
-            &wf,
-            &prof,
-            cfg(),
-            TransferModel::default(),
-            &mut policy,
-            2,
-        )
-        .unwrap();
+        let r = run_workflow(&wf, &prof, cfg(), TransferModel::default(), &mut policy, 2).unwrap();
         assert_eq!(r.task_records.len(), wf.num_tasks());
         // the projection must flip to urgent at least once under a
         // 2-minute deadline for a multi-minute workload

@@ -117,7 +117,11 @@ pub fn lookahead(
     horizon: Millis,
 ) -> Upcoming {
     let wf: &Workflow = snapshot.workflow;
-    assert_eq!(remaining.len(), wf.num_tasks(), "estimate per task required");
+    assert_eq!(
+        remaining.len(),
+        wf.num_tasks(),
+        "estimate per task required"
+    );
     assert_eq!(values.len(), wf.num_tasks(), "value per task required");
 
     let mut done: Vec<bool> = snapshot.tasks.iter().map(TaskView::is_done).collect();
@@ -136,8 +140,8 @@ pub fn lookahead(
     let mut events: BinaryHeap<Reverse<(Millis, u8, u32, u32)>> = BinaryHeap::new();
     let mut event_payload: Vec<SimEvent> = Vec::new();
     let push_event = |events: &mut BinaryHeap<Reverse<(Millis, u8, u32, u32)>>,
-                          payloads: &mut Vec<SimEvent>,
-                          ev: SimEvent| {
+                      payloads: &mut Vec<SimEvent>,
+                      ev: SimEvent| {
         let (at, kind, id) = ev.key();
         debug_assert!(ev.at() == at);
         events.push(Reverse((at, kind, id, payloads.len() as u32)));
@@ -317,10 +321,7 @@ pub fn lookahead(
         .instances
         .iter()
         .map(|iv| {
-            let projected = projected_max
-                .get(&iv.id)
-                .copied()
-                .unwrap_or(Millis::ZERO);
+            let projected = projected_max.get(&iv.id).copied().unwrap_or(Millis::ZERO);
             let still_running = iv
                 .tasks
                 .iter()

@@ -102,15 +102,7 @@ mod tests {
             3,
         )
         .unwrap();
-        let wire = run_workflow(
-            &wf,
-            &prof,
-            cfg,
-            tm,
-            crate::WirePolicy::default(),
-            3,
-        )
-        .unwrap();
+        let wire = run_workflow(&wf, &prof, cfg, tm, crate::WirePolicy::default(), 3).unwrap();
         assert_eq!(oracle.task_records.len(), wf.num_tasks());
         // §IV-E robustness: online prediction should not cost much vs oracle
         assert!(

@@ -12,6 +12,10 @@ use crate::resize::{resize_pool_config, DEFAULT_WASTE_FRACTION};
 use serde::{Deserialize, Serialize};
 use wire_dag::Millis;
 use wire_simcloud::{InstanceId, MonitorSnapshot, PoolPlan, TerminateWhen};
+use wire_telemetry::{DecisionAction, DecisionRecord, InstanceJudgement, JudgementOutcome};
+
+/// How many `Q_task` occupancies the decision journal keeps verbatim.
+const QUEUE_HEAD: usize = 6;
 
 /// Tunables of the steering policy (paper defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,6 +49,46 @@ pub fn steer(
     projected_busy: &[(InstanceId, Millis)],
     cfg: SteeringConfig,
 ) -> PoolPlan {
+    steer_impl(
+        snapshot,
+        q_occupancies,
+        restart_cost,
+        projected_busy,
+        cfg,
+        false,
+    )
+    .0
+}
+
+/// [`steer`] plus the decision journal entry: the same plan, with the
+/// Algorithm 2/3 inputs (`Q_task`, `m`, `p`, per-instance `r_j`/`c_j`) and a
+/// machine-readable reason for every keep/release verdict.
+pub fn steer_explained(
+    snapshot: &MonitorSnapshot<'_>,
+    q_occupancies: &[Millis],
+    restart_cost: &[(InstanceId, Millis)],
+    projected_busy: &[(InstanceId, Millis)],
+    cfg: SteeringConfig,
+) -> (PoolPlan, DecisionRecord) {
+    let (plan, record) = steer_impl(
+        snapshot,
+        q_occupancies,
+        restart_cost,
+        projected_busy,
+        cfg,
+        true,
+    );
+    (plan, record.expect("explain flag requests a record"))
+}
+
+fn steer_impl(
+    snapshot: &MonitorSnapshot<'_>,
+    q_occupancies: &[Millis],
+    restart_cost: &[(InstanceId, Millis)],
+    projected_busy: &[(InstanceId, Millis)],
+    cfg: SteeringConfig,
+    explain: bool,
+) -> (PoolPlan, Option<DecisionRecord>) {
     let u = snapshot.config.charging_unit;
     let l = snapshot.config.slots_per_instance;
     let t = snapshot.config.mape_interval;
@@ -59,11 +103,36 @@ pub fn steer(
     };
     let m = snapshot.pool_size();
 
+    let record = |action: DecisionAction, judgements: Vec<InstanceJudgement>| {
+        explain.then(|| DecisionRecord {
+            at: snapshot.now,
+            m,
+            p,
+            u,
+            t,
+            waste_threshold: threshold,
+            q_len: q_occupancies.len() as u32,
+            q_total: q_occupancies.iter().copied().sum(),
+            q_head: q_occupancies.iter().copied().take(QUEUE_HEAD).collect(),
+            action,
+            judgements,
+        })
+    };
+
     if p > m {
-        return PoolPlan::launch(p - m);
+        let launch = p - m;
+        return (
+            PoolPlan::launch(launch),
+            record(DecisionAction::Grow { launch }, vec![]),
+        );
     }
     if p >= m {
-        return PoolPlan::keep();
+        let action = if q_occupancies.is_empty() {
+            DecisionAction::HoldEmptyQueue
+        } else {
+            DecisionAction::Hold
+        };
+        return (PoolPlan::keep(), record(action, vec![]));
     }
 
     // shrink: candidates are running instances whose unit expires within the
@@ -93,25 +162,62 @@ pub fn steer(
     candidates.sort();
 
     let excess = (m - p) as usize;
-    if std::env::var_os("WIRE_DEBUG_STEER").is_some() && !candidates.is_empty() {
-        eprintln!(
-            "[steer {}] p={p} m={m} excess={excess} candidates={:?}",
-            snapshot.now,
-            candidates
-                .iter()
-                .map(|(c, id)| (id.0, c.as_secs_f64()))
-                .collect::<Vec<_>>()
-        );
-    }
     let terminate: Vec<(InstanceId, TerminateWhen)> = candidates
         .into_iter()
         .take(excess)
         .map(|(_, id)| (id, TerminateWhen::AtChargeBoundary))
         .collect();
-    PoolPlan {
-        launch: 0,
-        terminate,
-    }
+
+    // Journal a verdict for every pool instance, mirroring the filter chain
+    // above so each kept instance cites the first filter that kept it.
+    let judgements = if explain {
+        let released: std::collections::HashSet<InstanceId> =
+            terminate.iter().map(|&(id, _)| id).collect();
+        snapshot
+            .instances
+            .iter()
+            .map(|iv| {
+                let r_j = iv.time_to_next_charge(snapshot.now, u);
+                let c_j = lookup(&cost_map, iv.id);
+                let busy = lookup(&busy_map, iv.id);
+                let outcome = if !iv.is_running() {
+                    JudgementOutcome::NotRunning
+                } else if released.contains(&iv.id) {
+                    JudgementOutcome::Released
+                } else if r_j > t {
+                    JudgementOutcome::KeptBoundaryFar
+                } else if busy > threshold {
+                    JudgementOutcome::KeptBusy
+                } else if c_j > threshold {
+                    JudgementOutcome::KeptRestartCostly
+                } else {
+                    JudgementOutcome::KeptNeeded
+                };
+                InstanceJudgement {
+                    instance: iv.id.0,
+                    r_j,
+                    c_j,
+                    projected_busy: busy,
+                    outcome,
+                }
+            })
+            .collect()
+    } else {
+        vec![]
+    };
+
+    let action = DecisionAction::Release {
+        requested: m - p,
+        released: terminate.len() as u32,
+    };
+    let rec = record(action, judgements);
+    (
+        PoolPlan {
+            launch: 0,
+            terminate,
+        },
+        rec,
+    )
 }
 
 #[cfg(test)]

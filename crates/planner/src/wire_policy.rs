@@ -2,12 +2,13 @@
 //! steering) wired into a [`ScalingPolicy`] the engine calls every interval.
 
 use crate::lookahead::lookahead;
-use crate::steering::{steer, SteeringConfig};
+use crate::steering::{steer, steer_explained, SteeringConfig};
 use wire_dag::{Millis, TaskId, Workflow};
 use wire_predictor::{
     CompletedTaskObs, IntervalObservations, PolicyKind, Predictor, RunningTaskObs, TaskStatus,
 };
 use wire_simcloud::{MonitorSnapshot, PoolPlan, ScalingPolicy, TaskView};
+use wire_telemetry::TelemetryHandle;
 
 /// WIRE's MAPE-loop policy (§III-B). Stateful: owns the per-stage learning
 /// models and updates them from each interval's monitoring data.
@@ -41,6 +42,10 @@ pub struct WirePolicy {
     predictor: Option<Predictor>,
     /// Per-policy prediction counters, for the §IV-E efficiency analysis.
     policy_uses: [u64; 5],
+    /// Optional journal: when attached, every Plan step pushes a
+    /// [`wire_telemetry::DecisionRecord`] and registers its occupancy
+    /// predictions for the quality join.
+    telemetry: Option<TelemetryHandle>,
 }
 
 impl Default for WirePolicy {
@@ -55,7 +60,16 @@ impl WirePolicy {
             steering,
             predictor: None,
             policy_uses: [0; 5],
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry handle (usually a clone of the one given to the
+    /// engine as its recorder): decisions and predictions are journaled into
+    /// the shared buffer on every MAPE tick.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Access the trained predictor (after at least one interval).
@@ -94,11 +108,13 @@ impl WirePolicy {
         let mut obs = IntervalObservations::empty_for(wf);
         for c in &snapshot.new_completions {
             let stage = wf.task(c.task).stage;
-            obs.per_stage[stage.index()].completed.push(CompletedTaskObs {
-                task: c.task,
-                input_bytes: c.input_bytes,
-                exec_time: c.exec_time,
-            });
+            obs.per_stage[stage.index()]
+                .completed
+                .push(CompletedTaskObs {
+                    task: c.task,
+                    input_bytes: c.input_bytes,
+                    exec_time: c.exec_time,
+                });
         }
         for (i, tv) in snapshot.tasks.iter().enumerate() {
             if let TaskView::Running { exec_age, .. } = *tv {
@@ -116,14 +132,22 @@ impl WirePolicy {
     }
 
     fn count_policy(&mut self, kind: PolicyKind) {
-        let idx = match kind {
+        self.policy_uses[Self::policy_index(kind)] += 1;
+    }
+
+    fn policy_index(kind: PolicyKind) -> usize {
+        match kind {
             PolicyKind::NoObservation => 0,
             PolicyKind::RunningMedian => 1,
             PolicyKind::CompletedMedian => 2,
             PolicyKind::GroupMedian => 3,
             PolicyKind::OnlineGradientDescent => 4,
-        };
-        self.policy_uses[idx] += 1;
+        }
+    }
+
+    /// The paper's 1-based policy number, as used in the telemetry journal.
+    fn policy_code(kind: PolicyKind) -> u8 {
+        Self::policy_index(kind) as u8 + 1
     }
 }
 
@@ -134,9 +158,8 @@ impl ScalingPolicy for WirePolicy {
 
     fn plan(&mut self, snapshot: &MonitorSnapshot<'_>) -> PoolPlan {
         let wf = snapshot.workflow;
-        let predictor = self
-            .predictor
-            .get_or_insert_with(|| Predictor::new(wf));
+        let journal = self.telemetry.clone();
+        let predictor = self.predictor.get_or_insert_with(|| Predictor::new(wf));
 
         // Monitor → Analyze: ingest the interval and step the models.
         let obs = Self::observations(wf, snapshot);
@@ -162,6 +185,15 @@ impl ScalingPolicy for WirePolicy {
             remaining[i] = p.remaining;
             values[i] = p.exec_time;
             fired.push(p.policy);
+            if let Some(tel) = &journal {
+                tel.note_prediction(
+                    task.0,
+                    spec.stage.0,
+                    Self::policy_code(p.policy),
+                    snapshot.now,
+                    p.exec_time,
+                );
+            }
         }
         for k in fired {
             self.count_policy(k);
@@ -169,32 +201,25 @@ impl ScalingPolicy for WirePolicy {
 
         // Plan: project one interval ahead, then steer.
         let up = lookahead(snapshot, &remaining, &values, snapshot.config.mape_interval);
-        let plan = steer(
-            snapshot,
-            &up.occupancies(),
-            &up.restart_cost,
-            &up.projected_busy,
-            self.steering,
-        );
-        if std::env::var_os("WIRE_DEBUG").is_some() {
-            let st = self.predictor.as_ref().expect("initialized above").stage_state(wire_dag::StageId(0));
-            eprintln!(
-                "[{}] m={} completed={} med_completed={:?} med_run_age={:?} groups={} q={:?} plan={:?}",
-                snapshot.now,
-                snapshot.pool_size(),
-                st.completed_count(),
-                st.median_completed().map(|m| m.as_secs_f64()),
-                st.median_running_age().map(|m| m.as_secs_f64()),
-                st.num_groups(),
-                up.q_task
-                    .iter()
-                    .take(8)
-                    .map(|(t, o)| (t.0, o.as_secs_f64()))
-                    .collect::<Vec<_>>(),
-                plan
+        if let Some(tel) = &journal {
+            let (plan, record) = steer_explained(
+                snapshot,
+                &up.occupancies(),
+                &up.restart_cost,
+                &up.projected_busy,
+                self.steering,
             );
+            tel.push_decision(record);
+            plan
+        } else {
+            steer(
+                snapshot,
+                &up.occupancies(),
+                &up.restart_cost,
+                &up.projected_busy,
+                self.steering,
+            )
         }
-        plan
     }
 }
 

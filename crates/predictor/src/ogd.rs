@@ -161,19 +161,18 @@ mod tests {
     #[test]
     fn converges_to_linear_relation() {
         // t = 2 + 10 * (d / 1e9) seconds: a perfectly linear stage.
-        let training = pts(&[
-            (0.1e9, 3.0),
-            (0.2e9, 4.0),
-            (0.5e9, 7.0),
-            (1.0e9, 12.0),
-        ]);
+        let training = pts(&[(0.1e9, 3.0), (0.2e9, 4.0), (0.5e9, 7.0), (1.0e9, 12.0)]);
         let mut m = OgdModel::new();
         for _ in 0..2000 {
             m.update(&training);
         }
         for p in &training {
             let err = (m.predict_secs(p.input_bytes) - p.exec_secs).abs();
-            assert!(err < 0.05, "residual {err} too large at d={}", p.input_bytes);
+            assert!(
+                err < 0.05,
+                "residual {err} too large at d={}",
+                p.input_bytes
+            );
         }
         // extrapolation stays linear
         let extrapolated = m.predict_secs(2.0e9);

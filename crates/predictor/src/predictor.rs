@@ -124,12 +124,7 @@ impl Predictor {
     }
 
     /// Predict the minimum execution time of one incomplete/unstarted task.
-    pub fn predict_task(
-        &self,
-        stage: StageId,
-        input_bytes: u64,
-        status: TaskStatus,
-    ) -> Prediction {
+    pub fn predict_task(&self, stage: StageId, input_bytes: u64, status: TaskStatus) -> Prediction {
         predict_task(&self.stages[stage.index()], input_bytes, status)
     }
 
@@ -171,7 +166,11 @@ impl Predictor {
     /// Approximate controller state size in bytes (§IV-F overhead report).
     pub fn state_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.stages.iter().map(StageState::state_bytes).sum::<usize>()
+            + self
+                .stages
+                .iter()
+                .map(StageState::state_bytes)
+                .sum::<usize>()
             + self.transfer.num_observations() * std::mem::size_of::<Millis>()
     }
 }

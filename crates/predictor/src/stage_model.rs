@@ -242,7 +242,11 @@ impl StageState {
     pub fn state_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.all_completed.state_bytes()
-            + self.groups.iter().map(SizeGroup::state_bytes).sum::<usize>()
+            + self
+                .groups
+                .iter()
+                .map(SizeGroup::state_bytes)
+                .sum::<usize>()
             + self.running.len() * std::mem::size_of::<(TaskId, Millis)>()
     }
 }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use wire_dag::Millis;
-use wire_predictor::{median_millis, Estimator, MedianAcc, OgdModel};
 use wire_predictor::ogd::TrainPoint;
+use wire_predictor::{median_millis, Estimator, MedianAcc, OgdModel};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]

@@ -18,6 +18,7 @@ use crate::transfer::TransferModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wire_dag::{ExecProfile, Millis, TaskId, Workflow};
+use wire_telemetry::{NoopRecorder, Recorder, TelemetryEvent, TickStats};
 
 /// Run failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,13 +67,19 @@ enum TaskState {
 }
 
 /// The engine. Use [`run_workflow`] for the common case; construct an
-/// `Engine` directly to keep the trace.
-pub struct Engine<'a, P: ScalingPolicy> {
+/// `Engine` directly to keep the trace, or via [`Engine::recording`] to
+/// attach a telemetry [`Recorder`].
+///
+/// The default recorder is [`NoopRecorder`]: every telemetry call site is
+/// guarded by `recorder.enabled()`, which monomorphizes to a constant
+/// `false`, so unrecorded runs pay nothing for the instrumentation.
+pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
     wf: &'a Workflow,
     profile: &'a ExecProfile,
     config: CloudConfig,
     transfer_model: TransferModel,
     policy: P,
+    recorder: R,
     rng: StdRng,
 
     clock: Millis,
@@ -121,6 +128,19 @@ pub fn run_workflow<P: ScalingPolicy>(
     Engine::new(wf, profile, config, transfer_model, policy, seed)?.run()
 }
 
+/// Like [`run_workflow`], but records telemetry into `recorder`.
+pub fn run_workflow_recorded<P: ScalingPolicy, R: Recorder>(
+    wf: &Workflow,
+    profile: &ExecProfile,
+    config: CloudConfig,
+    transfer_model: TransferModel,
+    policy: P,
+    seed: u64,
+    recorder: R,
+) -> Result<RunResult, RunError> {
+    Engine::recording(wf, profile, config, transfer_model, policy, seed, recorder)?.run()
+}
+
 impl<'a, P: ScalingPolicy> Engine<'a, P> {
     pub fn new(
         wf: &'a Workflow,
@@ -130,11 +150,33 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
         policy: P,
         seed: u64,
     ) -> Result<Self, RunError> {
+        Engine::recording(
+            wf,
+            profile,
+            config,
+            transfer_model,
+            policy,
+            seed,
+            NoopRecorder,
+        )
+    }
+}
+
+impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
+    /// Construct an engine with a telemetry [`Recorder`] attached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recording(
+        wf: &'a Workflow,
+        profile: &'a ExecProfile,
+        config: CloudConfig,
+        transfer_model: TransferModel,
+        policy: P,
+        seed: u64,
+        recorder: R,
+    ) -> Result<Self, RunError> {
         config.validate().map_err(RunError::Config)?;
         // NaN and non-positive rates are both rejected here
-        if transfer_model.bytes_per_sec.partial_cmp(&0.0)
-            != Some(std::cmp::Ordering::Greater)
-        {
+        if transfer_model.bytes_per_sec.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(RunError::Config(
                 "transfer bytes_per_sec must be positive (or infinite)".into(),
             ));
@@ -158,6 +200,7 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
             profile,
             transfer_model,
             policy,
+            recorder,
             rng: StdRng::seed_from_u64(seed),
             clock: Millis::ZERO,
             queue: EventQueue::new(),
@@ -210,6 +253,7 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
                 charge_start: Millis::ZERO,
             });
             self.trace_push(TraceEvent::InstanceReady { instance: id });
+            self.emit(TelemetryEvent::InstanceReady { instance: id.0 });
             self.schedule_failure(id);
         }
         self.note_pool_change();
@@ -217,6 +261,7 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
         // roots become ready after the framework's serial setup phase
         // (stage-in, create-dir); with zero setup they are ready immediately
         if self.config.run_setup.is_zero() {
+            self.emit(TelemetryEvent::RunSetupDone);
             for t in self.wf.roots().collect::<Vec<_>>() {
                 self.mark_ready(t);
             }
@@ -242,6 +287,7 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
             self.debug_check_invariants();
             match kind {
                 EventKind::RunSetupDone => {
+                    self.emit(TelemetryEvent::RunSetupDone);
                     for t in self.wf.roots().collect::<Vec<_>>() {
                         self.mark_ready(t);
                     }
@@ -261,6 +307,9 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
                     {
                         self.failures += 1;
                         self.trace_push(TraceEvent::InstanceFailed { instance });
+                        self.emit(TelemetryEvent::InstanceFailed {
+                            instance: instance.0,
+                        });
                         self.terminate_instance(instance);
                         self.dispatch();
                     }
@@ -295,6 +344,7 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
             charge_start: self.clock,
         };
         self.trace_push(TraceEvent::InstanceReady { instance: id });
+        self.emit(TelemetryEvent::InstanceReady { instance: id.0 });
         self.schedule_failure(id);
         self.note_pool_change();
         self.dispatch();
@@ -360,6 +410,15 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
         });
         self.interval_transfers.push(transfer);
         self.trace_push(TraceEvent::TaskCompleted { task });
+        self.emit(TelemetryEvent::TaskCompleted {
+            task: task.index() as u32,
+            stage: spec.stage.0,
+            instance: instance.0,
+            slot,
+            exec,
+            transfer,
+            restarts: self.restarts[task.index()],
+        });
 
         // unlock successors
         for &s in self.wf.succs(task) {
@@ -375,7 +434,7 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
 
     fn on_mape_tick(&mut self) -> Result<(), RunError> {
         self.mape_iterations += 1;
-        let plan = {
+        let (plan, controller_elapsed) = {
             let snapshot = build_snapshot(
                 self.wf,
                 &self.config,
@@ -389,8 +448,9 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
             );
             let started = std::time::Instant::now();
             let plan = self.policy.plan(&snapshot);
-            self.controller_wall += started.elapsed();
-            plan
+            let elapsed = started.elapsed();
+            self.controller_wall += elapsed;
+            (plan, elapsed)
         };
         self.new_completions.clear();
         self.interval_transfers.clear();
@@ -399,6 +459,42 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
             launch: plan.launch,
             terminate: plan.terminate.len() as u32,
         });
+        if self.recorder.enabled() {
+            // Pool/queue breakdown is only computed when someone listens.
+            let mut pool = 0u32;
+            let mut launching = 0u32;
+            let mut draining = 0u32;
+            for inst in &self.instances {
+                match inst.state {
+                    InstanceState::Running { .. } => pool += 1,
+                    InstanceState::Launching { .. } => launching += 1,
+                    InstanceState::Draining { .. } => draining += 1,
+                    InstanceState::Terminated { .. } => {}
+                }
+            }
+            let running = self
+                .tasks
+                .iter()
+                .filter(|t| matches!(t, TaskState::Running { .. }))
+                .count() as u32;
+            let ev = TelemetryEvent::MapeTick {
+                pool,
+                launching,
+                draining,
+                ready: self.ready.len() as u32,
+                running,
+                done: self.completions as u32,
+                plan_launch: plan.launch,
+                plan_terminate: plan.terminate.len() as u32,
+            };
+            self.recorder.record(self.clock, ev);
+            self.recorder.tick(
+                self.clock,
+                TickStats {
+                    controller_micros: controller_elapsed.as_micros() as u64,
+                },
+            );
+        }
         self.apply_plan(plan)?;
         self.dispatch();
         self.queue
@@ -437,10 +533,19 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
                         };
                         self.instance_epochs[id.index()] += 1;
                         let epoch = self.instance_epochs[id.index()];
-                        self.queue
-                            .push(boundary, EventKind::InstanceTerminate { instance: id, epoch });
+                        self.queue.push(
+                            boundary,
+                            EventKind::InstanceTerminate {
+                                instance: id,
+                                epoch,
+                            },
+                        );
                         self.trace_push(TraceEvent::InstanceDraining {
                             instance: id,
+                            until: boundary,
+                        });
+                        self.emit(TelemetryEvent::InstanceDraining {
+                            instance: id.0,
                             until: boundary,
                         });
                     }
@@ -457,6 +562,7 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
             self.queue
                 .push(ready_at, EventKind::InstanceReady { instance: id });
             self.trace_push(TraceEvent::InstanceRequested { instance: id });
+            self.emit(TelemetryEvent::InstanceRequested { instance: id.0 });
         }
         Ok(())
     }
@@ -478,8 +584,7 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
             at: self.clock,
         };
         self.instance_epochs[id.index()] += 1;
-        let units =
-            Instance::units_billed(charge_start, self.clock, self.config.charging_unit);
+        let units = Instance::units_billed(charge_start, self.clock, self.config.charging_unit);
         self.units_total += units;
         self.instance_time += self.clock - charge_start;
         self.instance_bills.push(InstanceBill {
@@ -488,11 +593,20 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
             released_at: self.clock,
             units,
         });
-        self.trace_push(TraceEvent::InstanceTerminated { instance: id, units });
+        self.trace_push(TraceEvent::InstanceTerminated {
+            instance: id,
+            units,
+        });
+        self.emit(TelemetryEvent::InstanceTerminated {
+            instance: id.0,
+            units,
+        });
 
         for task in tasks {
-            let assigned_at = match self.tasks[task.index()] {
-                TaskState::Running { assigned_at, .. } => assigned_at,
+            let (assigned_at, slot) = match self.tasks[task.index()] {
+                TaskState::Running {
+                    assigned_at, slot, ..
+                } => (assigned_at, slot),
                 _ => unreachable!("slot held a non-running task"),
             };
             let sunk = self.clock - assigned_at;
@@ -504,6 +618,12 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
             self.ready_at[task.index()] = self.clock;
             self.ready.push_resubmit(task);
             self.trace_push(TraceEvent::TaskResubmitted { task, sunk });
+            self.emit(TelemetryEvent::TaskResubmitted {
+                task: task.index() as u32,
+                instance: id.0,
+                slot,
+                sunk,
+            });
         }
         self.note_pool_change();
     }
@@ -559,6 +679,12 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
             },
         );
         self.trace_push(TraceEvent::TaskDispatched { task, instance });
+        self.emit(TelemetryEvent::TaskDispatched {
+            task: task.index() as u32,
+            stage: spec.stage.0,
+            instance: instance.0,
+            slot,
+        });
     }
 
     // ---- bookkeeping -----------------------------------------------------
@@ -606,15 +732,14 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
     /// Workflow complete: bill every remaining instance up to `clock`.
     fn finish(&mut self) {
         self.trace_push(TraceEvent::WorkflowDone);
+        self.emit(TelemetryEvent::WorkflowDone);
         for i in 0..self.instances.len() {
             let inst = &mut self.instances[i];
+            let mut billed = None;
             match inst.state {
                 InstanceState::Running { charge_start } => {
-                    let units = Instance::units_billed(
-                        charge_start,
-                        self.clock,
-                        self.config.charging_unit,
-                    );
+                    let units =
+                        Instance::units_billed(charge_start, self.clock, self.config.charging_unit);
                     self.units_total += units;
                     self.instance_time += self.clock - charge_start;
                     self.instance_bills.push(InstanceBill {
@@ -627,6 +752,7 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
                         charge_start,
                         at: self.clock,
                     };
+                    billed = Some(units);
                 }
                 InstanceState::Draining {
                     charge_start,
@@ -649,6 +775,7 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
                         charge_start,
                         at: end,
                     };
+                    billed = Some(units);
                 }
                 InstanceState::Launching { .. } => {
                     // Requested but not yet booted when the workflow finished:
@@ -665,8 +792,15 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
                         charge_start: self.clock,
                         at: self.clock,
                     };
+                    billed = Some(1);
                 }
                 InstanceState::Terminated { .. } => {}
+            }
+            if let Some(units) = billed {
+                self.emit(TelemetryEvent::InstanceTerminated {
+                    instance: i as u32,
+                    units,
+                });
             }
         }
         self.note_pool_change();
@@ -731,6 +865,17 @@ impl<'a, P: ScalingPolicy> Engine<'a, P> {
     fn trace_push(&mut self, ev: TraceEvent) {
         if let Some(tr) = &mut self.trace {
             tr.push(self.clock, ev);
+        }
+    }
+
+    /// Forward an event to the telemetry recorder at the current simulated
+    /// time. The `enabled()` guard is a constant `false` for the default
+    /// [`NoopRecorder`], so this monomorphizes to nothing when recording is
+    /// off.
+    #[inline]
+    fn emit(&mut self, ev: TelemetryEvent) {
+        if self.recorder.enabled() {
+            self.recorder.record(self.clock, ev);
         }
     }
 
@@ -953,11 +1098,16 @@ mod tests {
                 }
             }
         }
-        let r =
-            run_workflow(&wf, &prof, cfg, TransferModel::none(), Replenish(4), 9).unwrap();
+        let r = run_workflow(&wf, &prof, cfg, TransferModel::none(), Replenish(4), 9).unwrap();
         assert_eq!(r.task_records.len(), 20);
         assert!(r.failures > 0, "expected at least one injected failure");
-        assert_eq!(r.restarts as usize, r.task_records.iter().map(|t| t.restarts as usize).sum::<usize>());
+        assert_eq!(
+            r.restarts as usize,
+            r.task_records
+                .iter()
+                .map(|t| t.restarts as usize)
+                .sum::<usize>()
+        );
     }
 
     #[test]
@@ -990,10 +1140,16 @@ mod tests {
                 }
             }
         }
-        let a = run_workflow(&wf, &prof, cfg.clone(), TransferModel::none(), Replenish(4), 9)
-            .unwrap();
-        let b =
-            run_workflow(&wf, &prof, cfg, TransferModel::none(), Replenish(4), 9).unwrap();
+        let a = run_workflow(
+            &wf,
+            &prof,
+            cfg.clone(),
+            TransferModel::none(),
+            Replenish(4),
+            9,
+        )
+        .unwrap();
+        let b = run_workflow(&wf, &prof, cfg, TransferModel::none(), Replenish(4), 9).unwrap();
         assert_eq!(a.failures, b.failures);
         assert_eq!(a.makespan, b.makespan);
     }
@@ -1168,8 +1324,8 @@ mod tests {
             }
         }
         let (wf, prof) = chain(2, 600);
-        let err = run_workflow(&wf, &prof, base_config(), TransferModel::none(), Bad, 1)
-            .unwrap_err();
+        let err =
+            run_workflow(&wf, &prof, base_config(), TransferModel::none(), Bad, 1).unwrap_err();
         assert!(matches!(err, RunError::InvalidPlan(_)));
     }
 
@@ -1181,9 +1337,14 @@ mod tests {
             max_sim_time: Millis::from_hours(1),
             ..base_config()
         };
-        let err =
-            run_workflow(&wf, &prof, cfg, TransferModel::none(), Hold, 1).unwrap_err();
-        assert!(matches!(err, RunError::TimeLimit { completed: 0, total: 2 }));
+        let err = run_workflow(&wf, &prof, cfg, TransferModel::none(), Hold, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::TimeLimit {
+                completed: 0,
+                total: 2
+            }
+        ));
     }
 
     #[test]
@@ -1263,15 +1424,7 @@ mod tests {
         let probe = Probe {
             saw: std::cell::Cell::new(false),
         };
-        let r = run_workflow(
-            &wf,
-            &prof,
-            base_config(),
-            TransferModel::none(),
-            &probe,
-            1,
-        )
-        .unwrap();
+        let r = run_workflow(&wf, &prof, base_config(), TransferModel::none(), &probe, 1).unwrap();
         assert!(probe.saw.get());
         assert!(r.mape_iterations >= 1);
     }

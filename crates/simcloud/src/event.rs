@@ -108,7 +108,9 @@ mod tests {
         q.push(Millis::from_ms(30), EventKind::MapeTick);
         q.push(Millis::from_ms(10), EventKind::MapeTick);
         q.push(Millis::from_ms(20), EventKind::MapeTick);
-        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_ms()).collect();
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_ms())
+            .collect();
         assert_eq!(times, vec![10, 20, 30]);
     }
 

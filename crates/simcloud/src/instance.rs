@@ -171,7 +171,10 @@ mod tests {
             Millis::from_mins(10)
         );
         // exact boundary → 0 (unit just expired)
-        assert_eq!(i.time_to_next_charge(Millis::from_mins(15), u), Millis::ZERO);
+        assert_eq!(
+            i.time_to_next_charge(Millis::from_mins(15), u),
+            Millis::ZERO
+        );
         assert_eq!(
             i.time_to_next_charge(Millis::from_mins(16), u),
             Millis::from_mins(14)

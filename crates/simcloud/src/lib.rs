@@ -35,10 +35,11 @@ pub mod trace;
 pub mod transfer;
 
 pub use config::CloudConfig;
-pub use engine::{run_workflow, Engine, RunError};
+pub use engine::{run_workflow, run_workflow_recorded, Engine, RunError};
 pub use instance::{InstanceId, InstanceStateView};
 pub use observe::{CompletionView, InstanceView, MonitorSnapshot, TaskView};
 pub use policy::{PoolPlan, ScalingPolicy, TerminateWhen};
 pub use result::{RunResult, TaskRecord};
 pub use trace::{RunTrace, TraceEvent};
 pub use transfer::TransferModel;
+pub use wire_telemetry::{NoopRecorder, Recorder, TelemetryEvent, TelemetryHandle};

@@ -77,9 +77,8 @@ impl RunResult {
     /// Paid-time utilization: slot time actually used (busy + sunk) over the
     /// slot time paid for (`units × u × l`).
     pub fn paid_utilization(&self, charging_unit: Millis, slots_per_instance: u32) -> f64 {
-        let paid_ms = self.charging_units as f64
-            * charging_unit.as_ms() as f64
-            * slots_per_instance as f64;
+        let paid_ms =
+            self.charging_units as f64 * charging_unit.as_ms() as f64 * slots_per_instance as f64;
         if paid_ms == 0.0 {
             return 0.0;
         }

@@ -149,7 +149,7 @@ mod tests {
             q.push_ready(t, StageId(0));
         }
         let first = q.pop().unwrap(); // t0, boosted
-        // t0's instance dies; it resubmits at the head of the high class
+                                      // t0's instance dies; it resubmits at the head of the high class
         q.push_resubmit(first);
         assert_eq!(q.pop(), Some(first));
 

@@ -7,15 +7,39 @@ use wire_dag::{Millis, TaskId};
 /// One traced engine event.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceEvent {
-    InstanceRequested { instance: InstanceId },
-    InstanceReady { instance: InstanceId },
-    InstanceDraining { instance: InstanceId, until: Millis },
-    InstanceTerminated { instance: InstanceId, units: u64 },
-    InstanceFailed { instance: InstanceId },
-    TaskDispatched { task: TaskId, instance: InstanceId },
-    TaskCompleted { task: TaskId },
-    TaskResubmitted { task: TaskId, sunk: Millis },
-    MapeTick { pool: u32, launch: u32, terminate: u32 },
+    InstanceRequested {
+        instance: InstanceId,
+    },
+    InstanceReady {
+        instance: InstanceId,
+    },
+    InstanceDraining {
+        instance: InstanceId,
+        until: Millis,
+    },
+    InstanceTerminated {
+        instance: InstanceId,
+        units: u64,
+    },
+    InstanceFailed {
+        instance: InstanceId,
+    },
+    TaskDispatched {
+        task: TaskId,
+        instance: InstanceId,
+    },
+    TaskCompleted {
+        task: TaskId,
+    },
+    TaskResubmitted {
+        task: TaskId,
+        sunk: Millis,
+    },
+    MapeTick {
+        pool: u32,
+        launch: u32,
+        terminate: u32,
+    },
     WorkflowDone,
 }
 
@@ -54,7 +78,9 @@ impl RunTrace {
         let mut out = String::from("time_ms,kind,detail\n");
         for (t, ev) in &self.events {
             let (kind, detail) = match ev {
-                TraceEvent::InstanceRequested { instance } => ("instance_requested", format!("{instance}")),
+                TraceEvent::InstanceRequested { instance } => {
+                    ("instance_requested", format!("{instance}"))
+                }
                 TraceEvent::InstanceReady { instance } => ("instance_ready", format!("{instance}")),
                 TraceEvent::InstanceDraining { instance, until } => {
                     ("instance_draining", format!("{instance} until={until}"))
@@ -62,7 +88,9 @@ impl RunTrace {
                 TraceEvent::InstanceTerminated { instance, units } => {
                     ("instance_terminated", format!("{instance} units={units}"))
                 }
-                TraceEvent::InstanceFailed { instance } => ("instance_failed", format!("{instance}")),
+                TraceEvent::InstanceFailed { instance } => {
+                    ("instance_failed", format!("{instance}"))
+                }
                 TraceEvent::TaskDispatched { task, instance } => {
                     ("task_dispatched", format!("{task} on={instance}"))
                 }
@@ -70,7 +98,11 @@ impl RunTrace {
                 TraceEvent::TaskResubmitted { task, sunk } => {
                     ("task_resubmitted", format!("{task} sunk={sunk}"))
                 }
-                TraceEvent::MapeTick { pool, launch, terminate } => (
+                TraceEvent::MapeTick {
+                    pool,
+                    launch,
+                    terminate,
+                } => (
                     "mape_tick",
                     format!("pool={pool} launch={launch} terminate={terminate}"),
                 ),

@@ -14,7 +14,10 @@ fn chain(n: usize, secs: u64) -> (wire_dag::Workflow, ExecProfile) {
     for w in ts.windows(2) {
         b.add_dep(w[0], w[1]).unwrap();
     }
-    (b.build().unwrap(), ExecProfile::uniform(n, Millis::from_secs(secs)))
+    (
+        b.build().unwrap(),
+        ExecProfile::uniform(n, Millis::from_secs(secs)),
+    )
 }
 
 fn cfg() -> CloudConfig {
@@ -53,8 +56,7 @@ fn double_terminate_is_rejected() {
         }
     }
     let (wf, prof) = chain(2, 20 * 60);
-    let err = run_workflow(&wf, &prof, cfg(), TransferModel::none(), DoubleKill(0), 1)
-        .unwrap_err();
+    let err = run_workflow(&wf, &prof, cfg(), TransferModel::none(), DoubleKill(0), 1).unwrap_err();
     // the second terminate hits a Draining instance
     assert!(matches!(err, RunError::InvalidPlan(_)), "{err:?}");
 }
@@ -95,7 +97,15 @@ fn drain_terminates_idle_at_boundary() {
     .run_traced()
     .unwrap();
     let term = trace
-        .filter(|e| matches!(e, TraceEvent::InstanceTerminated { instance: InstanceId(0), .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::InstanceTerminated {
+                    instance: InstanceId(0),
+                    ..
+                }
+            )
+        })
         .map(|&(t, _)| t)
         .next()
         .expect("i0 terminated");
@@ -130,8 +140,15 @@ fn terminating_a_launching_instance_is_invalid() {
         }
     }
     let (wf, prof) = chain(2, 30 * 60);
-    let err = run_workflow(&wf, &prof, cfg(), TransferModel::none(), KillLaunching(0), 1)
-        .unwrap_err();
+    let err = run_workflow(
+        &wf,
+        &prof,
+        cfg(),
+        TransferModel::none(),
+        KillLaunching(0),
+        1,
+    )
+    .unwrap_err();
     assert!(matches!(err, RunError::InvalidPlan(_)), "{err:?}");
 }
 

@@ -20,8 +20,7 @@ impl ScalingPolicy for Hold {
 /// random two-layer workload: w1 parallel tasks fanning into w2 tasks
 fn arb_workload() -> impl Strategy<Value = (usize, usize, Vec<u64>)> {
     (1usize..20, 1usize..6).prop_flat_map(|(w1, w2)| {
-        proptest::collection::vec(500u64..600_000, w1 + w2)
-            .prop_map(move |times| (w1, w2, times))
+        proptest::collection::vec(500u64..600_000, w1 + w2).prop_map(move |times| (w1, w2, times))
     })
 }
 

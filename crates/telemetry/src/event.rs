@@ -1,0 +1,315 @@
+//! The structured event vocabulary the engine emits through a [`Recorder`].
+//!
+//! Events carry raw `u32` instance ids (rather than `wire_simcloud`'s
+//! `InstanceId` newtype) so this crate can sit *below* the simulator in the
+//! dependency graph: the engine, scheduler and instance pool all record into
+//! it without a cycle.
+//!
+//! [`Recorder`]: crate::Recorder
+
+use crate::json::{obj, s, u, Json};
+use serde::{Deserialize, Serialize};
+use wire_dag::Millis;
+
+/// One telemetry event, timestamped by the caller with the simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// The framework's serial setup phase finished; roots became ready.
+    RunSetupDone,
+    /// A pool grow requested a new instance (usable one lag later).
+    InstanceRequested { instance: u32 },
+    /// An instance became usable (and its charging clock started).
+    InstanceReady { instance: u32 },
+    /// An instance was marked for release at its charge boundary.
+    InstanceDraining { instance: u32, until: Millis },
+    /// An instance left the pool; `units` charging units were billed for it.
+    InstanceTerminated { instance: u32, units: u64 },
+    /// An injected failure struck a running instance.
+    InstanceFailed { instance: u32 },
+    /// A task occupied a slot.
+    TaskDispatched {
+        task: u32,
+        stage: u32,
+        instance: u32,
+        slot: u32,
+    },
+    /// A task finished; ground-truth exec/transfer times are now known.
+    TaskCompleted {
+        task: u32,
+        stage: u32,
+        instance: u32,
+        slot: u32,
+        exec: Millis,
+        transfer: Millis,
+        restarts: u32,
+    },
+    /// A task lost its slot to an instance release/failure; `sunk` slot time
+    /// was wasted.
+    TaskResubmitted {
+        task: u32,
+        instance: u32,
+        slot: u32,
+        sunk: Millis,
+    },
+    /// One MAPE iteration: pool/queue state at planning time plus the plan.
+    MapeTick {
+        pool: u32,
+        launching: u32,
+        draining: u32,
+        ready: u32,
+        running: u32,
+        done: u32,
+        plan_launch: u32,
+        plan_terminate: u32,
+    },
+    /// The workflow completed (before the serial teardown epilogue).
+    WorkflowDone,
+}
+
+impl TelemetryEvent {
+    /// Machine-readable event kind (stable across versions; JSONL `kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::RunSetupDone => "run_setup_done",
+            TelemetryEvent::InstanceRequested { .. } => "instance_requested",
+            TelemetryEvent::InstanceReady { .. } => "instance_ready",
+            TelemetryEvent::InstanceDraining { .. } => "instance_draining",
+            TelemetryEvent::InstanceTerminated { .. } => "instance_terminated",
+            TelemetryEvent::InstanceFailed { .. } => "instance_failed",
+            TelemetryEvent::TaskDispatched { .. } => "task_dispatched",
+            TelemetryEvent::TaskCompleted { .. } => "task_completed",
+            TelemetryEvent::TaskResubmitted { .. } => "task_resubmitted",
+            TelemetryEvent::MapeTick { .. } => "mape_tick",
+            TelemetryEvent::WorkflowDone => "workflow_done",
+        }
+    }
+
+    /// JSON object for the JSONL stream (without the timestamp, which the
+    /// stream adds as `at_ms`).
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(&str, Json)> = vec![("kind", s(self.kind()))];
+        match *self {
+            TelemetryEvent::RunSetupDone | TelemetryEvent::WorkflowDone => {}
+            TelemetryEvent::InstanceRequested { instance }
+            | TelemetryEvent::InstanceReady { instance }
+            | TelemetryEvent::InstanceFailed { instance } => {
+                fields.push(("instance", u(instance as u64)));
+            }
+            TelemetryEvent::InstanceDraining { instance, until } => {
+                fields.push(("instance", u(instance as u64)));
+                fields.push(("until_ms", u(until.as_ms())));
+            }
+            TelemetryEvent::InstanceTerminated { instance, units } => {
+                fields.push(("instance", u(instance as u64)));
+                fields.push(("units", u(units)));
+            }
+            TelemetryEvent::TaskDispatched {
+                task,
+                stage,
+                instance,
+                slot,
+            } => {
+                fields.push(("task", u(task as u64)));
+                fields.push(("stage", u(stage as u64)));
+                fields.push(("instance", u(instance as u64)));
+                fields.push(("slot", u(slot as u64)));
+            }
+            TelemetryEvent::TaskCompleted {
+                task,
+                stage,
+                instance,
+                slot,
+                exec,
+                transfer,
+                restarts,
+            } => {
+                fields.push(("task", u(task as u64)));
+                fields.push(("stage", u(stage as u64)));
+                fields.push(("instance", u(instance as u64)));
+                fields.push(("slot", u(slot as u64)));
+                fields.push(("exec_ms", u(exec.as_ms())));
+                fields.push(("transfer_ms", u(transfer.as_ms())));
+                fields.push(("restarts", u(restarts as u64)));
+            }
+            TelemetryEvent::TaskResubmitted {
+                task,
+                instance,
+                slot,
+                sunk,
+            } => {
+                fields.push(("task", u(task as u64)));
+                fields.push(("instance", u(instance as u64)));
+                fields.push(("slot", u(slot as u64)));
+                fields.push(("sunk_ms", u(sunk.as_ms())));
+            }
+            TelemetryEvent::MapeTick {
+                pool,
+                launching,
+                draining,
+                ready,
+                running,
+                done,
+                plan_launch,
+                plan_terminate,
+            } => {
+                fields.push(("pool", u(pool as u64)));
+                fields.push(("launching", u(launching as u64)));
+                fields.push(("draining", u(draining as u64)));
+                fields.push(("ready", u(ready as u64)));
+                fields.push(("running", u(running as u64)));
+                fields.push(("done", u(done as u64)));
+                fields.push(("plan_launch", u(plan_launch as u64)));
+                fields.push(("plan_terminate", u(plan_terminate as u64)));
+            }
+        }
+        obj(fields)
+    }
+
+    /// Inverse of [`to_json`](Self::to_json); used by the JSONL round-trip.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("event missing 'kind'")?;
+        let get_u32 = |key: &str| -> Result<u32, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .map(|n| n as u32)
+                .ok_or_else(|| format!("event missing '{key}'"))
+        };
+        let get_ms = |key: &str| -> Result<Millis, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .map(Millis::from_ms)
+                .ok_or_else(|| format!("event missing '{key}'"))
+        };
+        Ok(match kind {
+            "run_setup_done" => TelemetryEvent::RunSetupDone,
+            "workflow_done" => TelemetryEvent::WorkflowDone,
+            "instance_requested" => TelemetryEvent::InstanceRequested {
+                instance: get_u32("instance")?,
+            },
+            "instance_ready" => TelemetryEvent::InstanceReady {
+                instance: get_u32("instance")?,
+            },
+            "instance_failed" => TelemetryEvent::InstanceFailed {
+                instance: get_u32("instance")?,
+            },
+            "instance_draining" => TelemetryEvent::InstanceDraining {
+                instance: get_u32("instance")?,
+                until: get_ms("until_ms")?,
+            },
+            "instance_terminated" => TelemetryEvent::InstanceTerminated {
+                instance: get_u32("instance")?,
+                units: v
+                    .get("units")
+                    .and_then(Json::as_u64)
+                    .ok_or("event missing 'units'")?,
+            },
+            "task_dispatched" => TelemetryEvent::TaskDispatched {
+                task: get_u32("task")?,
+                stage: get_u32("stage")?,
+                instance: get_u32("instance")?,
+                slot: get_u32("slot")?,
+            },
+            "task_completed" => TelemetryEvent::TaskCompleted {
+                task: get_u32("task")?,
+                stage: get_u32("stage")?,
+                instance: get_u32("instance")?,
+                slot: get_u32("slot")?,
+                exec: get_ms("exec_ms")?,
+                transfer: get_ms("transfer_ms")?,
+                restarts: get_u32("restarts")?,
+            },
+            "task_resubmitted" => TelemetryEvent::TaskResubmitted {
+                task: get_u32("task")?,
+                instance: get_u32("instance")?,
+                slot: get_u32("slot")?,
+                sunk: get_ms("sunk_ms")?,
+            },
+            "mape_tick" => TelemetryEvent::MapeTick {
+                pool: get_u32("pool")?,
+                launching: get_u32("launching")?,
+                draining: get_u32("draining")?,
+                ready: get_u32("ready")?,
+                running: get_u32("running")?,
+                done: get_u32("done")?,
+                plan_launch: get_u32("plan_launch")?,
+                plan_terminate: get_u32("plan_terminate")?,
+            },
+            other => return Err(format!("unknown event kind '{other}'")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn all_variants() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::RunSetupDone,
+            TelemetryEvent::InstanceRequested { instance: 3 },
+            TelemetryEvent::InstanceReady { instance: 3 },
+            TelemetryEvent::InstanceDraining {
+                instance: 3,
+                until: Millis::from_mins(15),
+            },
+            TelemetryEvent::InstanceTerminated {
+                instance: 3,
+                units: 2,
+            },
+            TelemetryEvent::InstanceFailed { instance: 1 },
+            TelemetryEvent::TaskDispatched {
+                task: 7,
+                stage: 1,
+                instance: 3,
+                slot: 2,
+            },
+            TelemetryEvent::TaskCompleted {
+                task: 7,
+                stage: 1,
+                instance: 3,
+                slot: 2,
+                exec: Millis::from_secs(90),
+                transfer: Millis::from_secs(4),
+                restarts: 1,
+            },
+            TelemetryEvent::TaskResubmitted {
+                task: 7,
+                instance: 3,
+                slot: 2,
+                sunk: Millis::from_secs(30),
+            },
+            TelemetryEvent::MapeTick {
+                pool: 4,
+                launching: 1,
+                draining: 0,
+                ready: 9,
+                running: 8,
+                done: 12,
+                plan_launch: 2,
+                plan_terminate: 0,
+            },
+            TelemetryEvent::WorkflowDone,
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for ev in all_variants() {
+            let text = ev.to_json().render();
+            let back = TelemetryEvent::from_json(&crate::json::parse(&text).unwrap())
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(ev, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn kinds_are_unique() {
+        let mut kinds: Vec<&str> = all_variants().iter().map(|e| e.kind()).collect();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all_variants().len());
+    }
+}

@@ -1,0 +1,484 @@
+//! Exporters: JSONL event stream, Chrome `trace_event` JSON (loadable in
+//! Perfetto / `chrome://tracing`), per-tick metrics CSV, and the
+//! human-readable decision log.
+
+use crate::event::TelemetryEvent;
+use crate::json::{self, obj, s, u, Json};
+use crate::quality::policy_name;
+use crate::recorder::TelemetryBuffer;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use wire_dag::Millis;
+
+/// Render the event stream as JSONL: one `{"at_ms":…,"kind":…,…}` per line.
+pub fn events_to_jsonl(buffer: &TelemetryBuffer) -> String {
+    let mut out = String::new();
+    for (at, ev) in &buffer.events {
+        let mut v = ev.to_json();
+        if let Json::Obj(fields) = &mut v {
+            fields.insert(0, ("at_ms".to_string(), json::u(at.as_ms())));
+        }
+        out.push_str(&v.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL event stream back; inverse of [`events_to_jsonl`].
+pub fn parse_jsonl(text: &str) -> Result<Vec<(Millis, TelemetryEvent)>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let at = v
+            .get("at_ms")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: missing at_ms", i + 1))?;
+        let ev = TelemetryEvent::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push((Millis::from_ms(at), ev));
+    }
+    Ok(events)
+}
+
+const PID: u64 = 1;
+
+fn tid_for(instance: u32, slot: u32, slots_per_instance: u32) -> u64 {
+    (instance as u64) * (slots_per_instance.max(1) as u64) + slot as u64 + 1
+}
+
+fn us(at: Millis) -> u64 {
+    at.as_ms() * 1000
+}
+
+/// Export the run as Chrome `trace_event` JSON. Each instance slot becomes a
+/// named track (`i3/s1`), each task occupancy a complete (`ph:"X"`) slice on
+/// it, and the pool and task-queue gauges become counter tracks. Load the
+/// file in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+pub fn chrome_trace(buffer: &TelemetryBuffer, slots_per_instance: u32) -> String {
+    let mut trace: Vec<Json> = Vec::new();
+    trace.push(obj(vec![
+        ("name", s("process_name")),
+        ("ph", s("M")),
+        ("pid", u(PID)),
+        ("args", obj(vec![("name", s("wire simcloud"))])),
+    ]));
+
+    let mut named_tracks: BTreeSet<u64> = BTreeSet::new();
+    // open slice per (instance, slot): dispatch time, task, stage
+    let mut open: HashMap<(u32, u32), (Millis, u32, u32)> = HashMap::new();
+    let mut last_at = Millis::ZERO;
+
+    let mut name_track = |trace: &mut Vec<Json>, instance: u32, slot: u32| {
+        let tid = tid_for(instance, slot, slots_per_instance);
+        if named_tracks.insert(tid) {
+            trace.push(obj(vec![
+                ("name", s("thread_name")),
+                ("ph", s("M")),
+                ("pid", u(PID)),
+                ("tid", u(tid)),
+                (
+                    "args",
+                    obj(vec![("name", s(&format!("i{instance}/s{slot}")))]),
+                ),
+            ]));
+        }
+        tid
+    };
+
+    let close_slice = |trace: &mut Vec<Json>,
+                       tid: u64,
+                       start: Millis,
+                       end: Millis,
+                       task: u32,
+                       stage: u32,
+                       cat: &str| {
+        trace.push(obj(vec![
+            ("name", s(&format!("task {task} (stage {stage})"))),
+            ("cat", s(cat)),
+            ("ph", s("X")),
+            ("pid", u(PID)),
+            ("tid", u(tid)),
+            ("ts", u(us(start))),
+            ("dur", u(us(end) - us(start))),
+            (
+                "args",
+                obj(vec![("task", u(task as u64)), ("stage", u(stage as u64))]),
+            ),
+        ]));
+    };
+
+    for &(at, ev) in &buffer.events {
+        last_at = at;
+        match ev {
+            TelemetryEvent::TaskDispatched {
+                task,
+                stage,
+                instance,
+                slot,
+            } => {
+                name_track(&mut trace, instance, slot);
+                open.insert((instance, slot), (at, task, stage));
+            }
+            TelemetryEvent::TaskCompleted { instance, slot, .. } => {
+                if let Some((start, task, stage)) = open.remove(&(instance, slot)) {
+                    let tid = tid_for(instance, slot, slots_per_instance);
+                    close_slice(&mut trace, tid, start, at, task, stage, "task");
+                }
+            }
+            TelemetryEvent::TaskResubmitted { instance, slot, .. } => {
+                if let Some((start, task, stage)) = open.remove(&(instance, slot)) {
+                    let tid = tid_for(instance, slot, slots_per_instance);
+                    close_slice(&mut trace, tid, start, at, task, stage, "resubmitted");
+                }
+            }
+            TelemetryEvent::InstanceReady { instance } => {
+                let tid = name_track(&mut trace, instance, 0);
+                trace.push(obj(vec![
+                    ("name", s("instance ready")),
+                    ("cat", s("instance")),
+                    ("ph", s("i")),
+                    ("pid", u(PID)),
+                    ("tid", u(tid)),
+                    ("ts", u(us(at))),
+                    ("s", s("t")),
+                ]));
+            }
+            TelemetryEvent::InstanceTerminated { instance, units } => {
+                let tid = name_track(&mut trace, instance, 0);
+                trace.push(obj(vec![
+                    ("name", s("instance terminated")),
+                    ("cat", s("instance")),
+                    ("ph", s("i")),
+                    ("pid", u(PID)),
+                    ("tid", u(tid)),
+                    ("ts", u(us(at))),
+                    ("s", s("t")),
+                    ("args", obj(vec![("units", u(units))])),
+                ]));
+            }
+            TelemetryEvent::MapeTick {
+                pool,
+                launching,
+                ready,
+                running,
+                ..
+            } => {
+                trace.push(obj(vec![
+                    ("name", s("pool")),
+                    ("ph", s("C")),
+                    ("pid", u(PID)),
+                    ("ts", u(us(at))),
+                    (
+                        "args",
+                        obj(vec![
+                            ("pool", u(pool as u64)),
+                            ("launching", u(launching as u64)),
+                        ]),
+                    ),
+                ]));
+                trace.push(obj(vec![
+                    ("name", s("tasks")),
+                    ("ph", s("C")),
+                    ("pid", u(PID)),
+                    ("ts", u(us(at))),
+                    (
+                        "args",
+                        obj(vec![
+                            ("ready", u(ready as u64)),
+                            ("running", u(running as u64)),
+                        ]),
+                    ),
+                ]));
+            }
+            _ => {}
+        }
+    }
+
+    // Tasks still occupying a slot when recording stopped.
+    for ((instance, slot), (start, task, stage)) in open {
+        let tid = tid_for(instance, slot, slots_per_instance);
+        close_slice(
+            &mut trace,
+            tid,
+            start,
+            last_at.max(start),
+            task,
+            stage,
+            "unfinished",
+        );
+    }
+
+    obj(vec![
+        ("traceEvents", Json::Arr(trace)),
+        ("displayTimeUnit", s("ms")),
+    ])
+    .render()
+}
+
+fn csv_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Per-tick metrics timeseries as CSV. Columns are the union of every metric
+/// seen across the run (counters appear once first incremented; earlier rows
+/// leave the cell empty).
+pub fn metrics_csv(buffer: &TelemetryBuffer) -> String {
+    let mut names: BTreeSet<&str> = BTreeSet::new();
+    for row in &buffer.ticks {
+        for (name, _) in &row.values {
+            names.insert(name);
+        }
+    }
+    let names: Vec<&str> = names.into_iter().collect();
+    let mut out = String::from("tick,at_ms");
+    for n in &names {
+        out.push(',');
+        out.push_str(n);
+    }
+    out.push('\n');
+    for row in &buffer.ticks {
+        let _ = write!(out, "{},{}", row.tick, row.at.as_ms());
+        let lookup: HashMap<&str, f64> = row.values.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        for n in &names {
+            out.push(',');
+            if let Some(v) = lookup.get(n) {
+                out.push_str(&csv_value(*v));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The MAPE decision journal as JSONL.
+pub fn decisions_to_jsonl(buffer: &TelemetryBuffer) -> String {
+    let mut out = String::new();
+    for d in &buffer.decisions {
+        out.push_str(&d.to_json().render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Human-readable decision log: one block per Plan step plus a prediction
+/// quality footer.
+pub fn decision_log(buffer: &TelemetryBuffer) -> String {
+    let mut out = String::new();
+    out.push_str("# WIRE MAPE decision journal\n");
+    out.push_str("# one block per Plan step; Algorithm 2/3 inputs inline\n\n");
+    for d in &buffer.decisions {
+        out.push_str(&d.render_human());
+    }
+    let q = buffer.quality.summary();
+    let _ = write!(
+        out,
+        "\n# prediction quality: n={} mae={:.1}s p50_rel={:.3} p90_rel={:.3}\n",
+        q.n,
+        q.mae_ms / 1000.0,
+        q.p50_rel,
+        q.p90_rel,
+    );
+    for (policy, sum) in buffer.quality.summary_by_policy() {
+        let _ = writeln!(
+            out,
+            "#   policy {} ({}): n={} mae={:.1}s p50_rel={:.3}",
+            policy,
+            policy_name(policy),
+            sum.n,
+            sum.mae_ms / 1000.0,
+            sum.p50_rel,
+        );
+    }
+    out
+}
+
+/// Write the full exporter set under `dir` with filenames `<stem>.*`:
+/// `events.jsonl`, `trace.json`, `metrics.csv`, `decisions.log`,
+/// `decisions.jsonl`. Creates `dir` if needed.
+pub fn write_all(
+    dir: &Path,
+    stem: &str,
+    buffer: &TelemetryBuffer,
+    slots_per_instance: u32,
+) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join(format!("{stem}.events.jsonl")),
+        events_to_jsonl(buffer),
+    )?;
+    std::fs::write(
+        dir.join(format!("{stem}.trace.json")),
+        chrome_trace(buffer, slots_per_instance),
+    )?;
+    std::fs::write(dir.join(format!("{stem}.metrics.csv")), metrics_csv(buffer))?;
+    std::fs::write(
+        dir.join(format!("{stem}.decisions.log")),
+        decision_log(buffer),
+    )?;
+    std::fs::write(
+        dir.join(format!("{stem}.decisions.jsonl")),
+        decisions_to_jsonl(buffer),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, TelemetryHandle, TickStats};
+
+    fn sample_buffer() -> TelemetryBuffer {
+        let mut h = TelemetryHandle::new();
+        let evs = [
+            (0, TelemetryEvent::InstanceRequested { instance: 0 }),
+            (60_000, TelemetryEvent::InstanceReady { instance: 0 }),
+            (
+                60_000,
+                TelemetryEvent::TaskDispatched {
+                    task: 0,
+                    stage: 0,
+                    instance: 0,
+                    slot: 0,
+                },
+            ),
+            (
+                61_000,
+                TelemetryEvent::TaskDispatched {
+                    task: 1,
+                    stage: 0,
+                    instance: 0,
+                    slot: 1,
+                },
+            ),
+            (
+                300_000,
+                TelemetryEvent::MapeTick {
+                    pool: 1,
+                    launching: 0,
+                    draining: 0,
+                    ready: 0,
+                    running: 2,
+                    done: 0,
+                    plan_launch: 0,
+                    plan_terminate: 0,
+                },
+            ),
+            (
+                400_000,
+                TelemetryEvent::TaskCompleted {
+                    task: 0,
+                    stage: 0,
+                    instance: 0,
+                    slot: 0,
+                    exec: Millis::from_ms(330_000),
+                    transfer: Millis::from_ms(10_000),
+                    restarts: 0,
+                },
+            ),
+            (
+                500_000,
+                TelemetryEvent::TaskResubmitted {
+                    task: 1,
+                    instance: 0,
+                    slot: 1,
+                    sunk: Millis::from_ms(439_000),
+                },
+            ),
+            (
+                500_000,
+                TelemetryEvent::InstanceTerminated {
+                    instance: 0,
+                    units: 1,
+                },
+            ),
+        ];
+        for (at, ev) in evs {
+            h.record(Millis::from_ms(at), ev);
+        }
+        h.tick(
+            Millis::from_ms(300_000),
+            TickStats {
+                controller_micros: 10,
+            },
+        );
+        h.take()
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let buffer = sample_buffer();
+        let text = events_to_jsonl(&buffer);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, buffer.events);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_slices() {
+        let buffer = sample_buffer();
+        let text = chrome_trace(&buffer, 2);
+        let v = json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        // two task slices: one completed, one cut short by resubmission
+        let slices: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(slices.len(), 2);
+        // distinct tracks for the two slots
+        let tids: BTreeSet<u64> = slices
+            .iter()
+            .map(|e| e.get("tid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(tids.len(), 2);
+        // first slice: dispatched at 60s, completed at 400s → dur 340s in µs
+        let s0 = slices
+            .iter()
+            .find(|e| e.get("args").unwrap().get("task").unwrap().as_u64() == Some(0))
+            .unwrap();
+        assert_eq!(s0.get("ts").unwrap().as_u64(), Some(60_000_000));
+        assert_eq!(s0.get("dur").unwrap().as_u64(), Some(340_000_000));
+        // counter event present
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("C")));
+        // thread names registered
+        assert!(events.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("thread_name")
+                && e.get("args").unwrap().get("name").and_then(Json::as_str) == Some("i0/s1")
+        }));
+    }
+
+    #[test]
+    fn metrics_csv_has_header_and_rows() {
+        let buffer = sample_buffer();
+        let csv = metrics_csv(&buffer);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("tick,at_ms,"));
+        assert!(header.contains("tasks_completed_total"));
+        assert!(header.contains("pred_mae_ms"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("0,300000,"));
+        assert_eq!(
+            header.split(',').count(),
+            row.split(',').count(),
+            "row width matches header"
+        );
+    }
+
+    #[test]
+    fn decision_log_includes_quality_footer() {
+        let buffer = sample_buffer();
+        let log = decision_log(&buffer);
+        assert!(log.contains("prediction quality"));
+    }
+}

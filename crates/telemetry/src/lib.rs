@@ -1,0 +1,28 @@
+//! Telemetry substrate for the WIRE reproduction.
+//!
+//! The simulator is only as trustworthy as its observability: this crate
+//! provides the [`Recorder`] hook the engine calls at every event and MAPE
+//! tick, the structured [decision journal](decision) explaining each Plan
+//! step in Algorithm 2/3 terms, the online [prediction-quality
+//! tracker](quality), a dependency-free [metrics registry](metrics), and
+//! [exporters](export) (JSONL events, Chrome `trace_event` JSON for
+//! Perfetto, per-tick CSV, human-readable decision log).
+//!
+//! The crate sits *below* `wire-simcloud` in the dependency graph (it
+//! depends only on `wire-dag`), so events carry raw `u32` ids. Recording is
+//! opt-in and zero-cost when off: the engine defaults to [`NoopRecorder`],
+//! whose `enabled()` guard compiles the whole telemetry path away.
+
+pub mod decision;
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod quality;
+pub mod recorder;
+
+pub use decision::{DecisionAction, DecisionRecord, InstanceJudgement, JudgementOutcome};
+pub use event::TelemetryEvent;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use quality::{policy_name, PredictionSample, PredictionTracker, QualitySummary};
+pub use recorder::{NoopRecorder, Recorder, TelemetryBuffer, TelemetryHandle, TickRow, TickStats};

@@ -1,0 +1,192 @@
+//! A lightweight in-process metrics registry: counters, gauges and log-scale
+//! histograms, with no external dependencies. The recorder updates it from
+//! engine events and snapshots it at every MAPE tick.
+
+use std::collections::BTreeMap;
+
+/// Power-of-two bucketed histogram for non-negative values (milliseconds,
+/// counts). Bucket `i` holds values in `[2^i, 2^(i+1))`; bucket 0 also holds
+/// zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    buckets: [u64; Histogram::NUM_BUCKETS],
+}
+
+impl Histogram {
+    pub const NUM_BUCKETS: usize = 40;
+
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; Histogram::NUM_BUCKETS],
+        }
+    }
+
+    pub fn observe(&mut self, value: f64) {
+        debug_assert!(value >= 0.0 && value.is_finite());
+        let value = value.max(0.0);
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let idx = if value < 1.0 {
+            0
+        } else {
+            (value.log2() as usize).min(Histogram::NUM_BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the bucket boundaries (upper bound of the
+    /// bucket containing the q-th observation).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return (1u64 << (i + 1)) as f64;
+            }
+        }
+        self.max
+    }
+
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Named counters, gauges and histograms. Names are `&'static str` so the hot
+/// path never allocates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to a monotonic counter.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Set a gauge to its current value.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Record one histogram observation.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Flatten to sorted `(name, value)` rows: counters as-is, gauges as-is,
+    /// histograms expanded to `_count`/`_mean`/`_p50`/`_p90`/`_max`.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        for (&k, &v) in &self.counters {
+            rows.push((k.to_string(), v as f64));
+        }
+        for (&k, &v) in &self.gauges {
+            rows.push((k.to_string(), v));
+        }
+        for (&k, h) in &self.histograms {
+            rows.push((format!("{k}_count"), h.count as f64));
+            rows.push((format!("{k}_mean"), h.mean()));
+            rows.push((format!("{k}_p50"), h.quantile(0.5)));
+            rows.push((format!("{k}_p90"), h.quantile(0.9)));
+            rows.push((format!("{k}_max"), if h.count == 0 { 0.0 } else { h.max }));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        m.inc("launches", 1);
+        m.inc("launches", 2);
+        m.set_gauge("pool", 4.0);
+        m.set_gauge("pool", 5.0);
+        assert_eq!(m.counter("launches"), 3);
+        assert_eq!(m.gauge("pool"), Some(5.0));
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [0.0, 1.0, 2.0, 4.0, 1000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert!((h.mean() - 201.4).abs() < 1e-9);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 1000.0);
+        // p50 lands in the bucket holding the 3rd observation (value 2)
+        assert!(h.quantile(0.5) >= 2.0 && h.quantile(0.5) <= 8.0);
+        assert!(h.quantile(1.0) >= 1000.0);
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let mut m = MetricsRegistry::new();
+        m.inc("z_counter", 1);
+        m.set_gauge("a_gauge", 2.0);
+        m.observe("lat_ms", 8.0);
+        let rows = m.snapshot();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert!(names.contains(&"lat_ms_p50"));
+        assert!(names.contains(&"z_counter"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Online prediction-quality tracking: join each task's latest predicted
+//! occupancy against its observed completion, and summarize the error series.
+//!
+//! The WIRE controller predicts a *minimum* slot occupancy for every
+//! incomplete task at every MAPE tick (§III-C); the simulator later observes
+//! the ground-truth occupancy when the task completes. Online predictors are
+//! only trustworthy when this error is measured continuously — the tracker
+//! keeps the latest prediction per task, joins it at completion time, and
+//! exposes MAE and P50/P90 relative-error summaries overall, per stage and
+//! per prediction policy.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use wire_dag::Millis;
+
+/// Names for the §III-C policy codes (1-indexed as in the paper).
+pub fn policy_name(code: u8) -> &'static str {
+    match code {
+        1 => "no-observation",
+        2 => "running-median",
+        3 => "completed-median",
+        4 => "group-median",
+        5 => "ogd",
+        _ => "unknown",
+    }
+}
+
+/// One joined (prediction, outcome) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictionSample {
+    pub task: u32,
+    pub stage: u32,
+    /// §III-C policy code (1–5) that produced the prediction.
+    pub policy: u8,
+    /// When the joined (latest pre-completion) prediction was made.
+    pub predicted_at: Millis,
+    pub completed_at: Millis,
+    /// Predicted total slot occupancy.
+    pub predicted: Millis,
+    /// Observed occupancy (exec + transfer) of the successful attempt.
+    pub actual: Millis,
+}
+
+impl PredictionSample {
+    /// Absolute error in milliseconds.
+    pub fn abs_error(&self) -> Millis {
+        if self.predicted >= self.actual {
+            self.predicted - self.actual
+        } else {
+            self.actual - self.predicted
+        }
+    }
+
+    /// Relative error |predicted − actual| / actual (0 when both are zero,
+    /// capped only by the data).
+    pub fn rel_error(&self) -> f64 {
+        let abs = self.abs_error().as_ms() as f64;
+        let act = self.actual.as_ms() as f64;
+        if act == 0.0 {
+            if abs == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            abs / act
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    stage: u32,
+    policy: u8,
+    at: Millis,
+    predicted: Millis,
+}
+
+/// Error-series summary over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualitySummary {
+    pub n: usize,
+    /// Mean absolute error, milliseconds.
+    pub mae_ms: f64,
+    /// Median relative error.
+    pub p50_rel: f64,
+    /// 90th-percentile relative error.
+    pub p90_rel: f64,
+}
+
+impl QualitySummary {
+    pub const EMPTY: QualitySummary = QualitySummary {
+        n: 0,
+        mae_ms: 0.0,
+        p50_rel: 0.0,
+        p90_rel: 0.0,
+    };
+
+    fn of(samples: impl Iterator<Item = PredictionSample>) -> QualitySummary {
+        let mut abs_sum = 0.0f64;
+        let mut rels: Vec<f64> = Vec::new();
+        for s in samples {
+            abs_sum += s.abs_error().as_ms() as f64;
+            rels.push(s.rel_error());
+        }
+        if rels.is_empty() {
+            return QualitySummary::EMPTY;
+        }
+        rels.sort_by(|a, b| a.partial_cmp(b).expect("finite or +inf rel errors"));
+        QualitySummary {
+            n: rels.len(),
+            mae_ms: abs_sum / rels.len() as f64,
+            p50_rel: quantile_sorted(&rels, 0.5),
+            p90_rel: quantile_sorted(&rels, 0.9),
+        }
+    }
+}
+
+/// Nearest-rank quantile of an ascending slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// The online tracker. Feed it predictions as the controller makes them and
+/// actuals as completions are observed; it joins the *latest prediction made
+/// before the completion* against the outcome.
+#[derive(Debug, Clone, Default)]
+pub struct PredictionTracker {
+    pending: HashMap<u32, Pending>,
+    samples: Vec<PredictionSample>,
+}
+
+impl PredictionTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The controller predicted `predicted` total occupancy for `task` at
+    /// simulated time `at`. Overwrites any earlier prediction for the task.
+    pub fn note_prediction(
+        &mut self,
+        task: u32,
+        stage: u32,
+        policy: u8,
+        at: Millis,
+        predicted: Millis,
+    ) {
+        self.pending.insert(
+            task,
+            Pending {
+                stage,
+                policy,
+                at,
+                predicted,
+            },
+        );
+    }
+
+    /// The task completed at `completed_at` with observed occupancy `actual`.
+    /// Returns the joined sample, or `None` if no prediction was ever made
+    /// (e.g. the task completed before the first MAPE tick).
+    pub fn note_actual(
+        &mut self,
+        task: u32,
+        completed_at: Millis,
+        actual: Millis,
+    ) -> Option<PredictionSample> {
+        let p = self.pending.remove(&task)?;
+        let sample = PredictionSample {
+            task,
+            stage: p.stage,
+            policy: p.policy,
+            predicted_at: p.at,
+            completed_at,
+            predicted: p.predicted,
+            actual,
+        };
+        self.samples.push(sample);
+        Some(sample)
+    }
+
+    pub fn samples(&self) -> &[PredictionSample] {
+        &self.samples
+    }
+
+    /// Predictions still awaiting a completion.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Summary over all joined samples.
+    pub fn summary(&self) -> QualitySummary {
+        QualitySummary::of(self.samples.iter().copied())
+    }
+
+    /// Per-stage summaries.
+    pub fn summary_by_stage(&self) -> BTreeMap<u32, QualitySummary> {
+        self.grouped(|s| s.stage as u64)
+            .into_iter()
+            .map(|(k, v)| (k as u32, v))
+            .collect()
+    }
+
+    /// Per-policy summaries (§III-C policy codes 1–5).
+    pub fn summary_by_policy(&self) -> BTreeMap<u8, QualitySummary> {
+        self.grouped(|s| s.policy as u64)
+            .into_iter()
+            .map(|(k, v)| (k as u8, v))
+            .collect()
+    }
+
+    fn grouped(&self, key: impl Fn(&PredictionSample) -> u64) -> BTreeMap<u64, QualitySummary> {
+        let mut groups: BTreeMap<u64, Vec<PredictionSample>> = BTreeMap::new();
+        for s in &self.samples {
+            groups.entry(key(s)).or_default().push(*s);
+        }
+        groups
+            .into_iter()
+            .map(|(k, v)| (k, QualitySummary::of(v.into_iter())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mins(m: u64) -> Millis {
+        Millis::from_mins(m)
+    }
+
+    /// Hand-computed join on a 3-task workflow: predictions 10/4/6 min
+    /// against actuals 8/4/12 min → abs errors 2/0/6 min, rel errors
+    /// 0.25/0.0/0.5.
+    #[test]
+    fn three_task_join_matches_hand_computation() {
+        let mut t = PredictionTracker::new();
+        // tick at 3 min: predictions for all three tasks
+        t.note_prediction(0, 0, 4, mins(3), mins(10));
+        t.note_prediction(1, 0, 4, mins(3), mins(4));
+        t.note_prediction(2, 1, 5, mins(3), mins(6));
+        // task 1 completes; later tick refreshes task 2's prediction
+        let s1 = t.note_actual(1, mins(4), mins(4)).unwrap();
+        assert_eq!(s1.abs_error(), Millis::ZERO);
+        t.note_prediction(2, 1, 5, mins(6), mins(6)); // latest wins
+        let s0 = t.note_actual(0, mins(8), mins(8)).unwrap();
+        let s2 = t.note_actual(2, mins(12), mins(12)).unwrap();
+        assert_eq!(s0.abs_error(), mins(2));
+        assert_eq!(s2.abs_error(), mins(6));
+        assert_eq!(s2.predicted_at, mins(6), "join uses the latest prediction");
+
+        let sum = t.summary();
+        assert_eq!(sum.n, 3);
+        // MAE = (2 + 0 + 6) / 3 min = 160_000 ms
+        assert!((sum.mae_ms - (2.0 + 0.0 + 6.0) * 60_000.0 / 3.0).abs() < 1e-9);
+        // sorted rel errors: [0.0, 0.25, 0.5] → p50 = 0.25, p90 = 0.5
+        assert!((sum.p50_rel - 0.25).abs() < 1e-9);
+        assert!((sum.p90_rel - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_stage_and_per_policy_grouping() {
+        let mut t = PredictionTracker::new();
+        t.note_prediction(0, 0, 4, mins(0), mins(10));
+        t.note_prediction(1, 1, 5, mins(0), mins(10));
+        t.note_actual(0, mins(10), mins(10));
+        t.note_actual(1, mins(20), mins(20));
+        let by_stage = t.summary_by_stage();
+        assert_eq!(by_stage.len(), 2);
+        assert_eq!(by_stage[&0].n, 1);
+        assert!((by_stage[&1].mae_ms - 600_000.0).abs() < 1e-9);
+        let by_policy = t.summary_by_policy();
+        assert_eq!(by_policy[&4].n, 1);
+        assert_eq!(by_policy[&5].n, 1);
+        assert_eq!(policy_name(4), "group-median");
+        assert_eq!(policy_name(9), "unknown");
+    }
+
+    #[test]
+    fn completion_without_prediction_is_ignored() {
+        let mut t = PredictionTracker::new();
+        assert!(t.note_actual(42, mins(1), mins(1)).is_none());
+        assert_eq!(t.summary(), QualitySummary::EMPTY);
+        t.note_prediction(1, 0, 1, mins(0), mins(1));
+        assert_eq!(t.pending_count(), 1);
+    }
+
+    #[test]
+    fn zero_actual_relative_error_is_safe() {
+        let s = PredictionSample {
+            task: 0,
+            stage: 0,
+            policy: 1,
+            predicted_at: Millis::ZERO,
+            completed_at: Millis::ZERO,
+            predicted: Millis::ZERO,
+            actual: Millis::ZERO,
+        };
+        assert_eq!(s.rel_error(), 0.0);
+        let s2 = PredictionSample {
+            predicted: Millis::from_ms(5),
+            ..s
+        };
+        assert!(s2.rel_error().is_infinite());
+    }
+}

@@ -1,0 +1,343 @@
+//! The [`Recorder`] hook the simulator calls at every event and MAPE tick,
+//! plus the shared in-memory sink ([`TelemetryHandle`]) that both the engine
+//! and the WIRE controller write into.
+//!
+//! The engine is generic over `R: Recorder` with [`NoopRecorder`] as the
+//! default, and every call site is guarded by `recorder.enabled()`. For the
+//! no-op recorder that guard is a constant `false`, so the whole telemetry
+//! path monomorphizes to dead code — recording costs nothing unless a real
+//! recorder is attached.
+
+use crate::decision::DecisionRecord;
+use crate::event::TelemetryEvent;
+use crate::metrics::MetricsRegistry;
+use crate::quality::PredictionTracker;
+use std::sync::{Arc, Mutex};
+use wire_dag::Millis;
+
+/// Per-tick data only the engine knows (not derivable from the event stream).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TickStats {
+    /// Wall-clock microseconds spent in Analyze+Plan this tick.
+    pub controller_micros: u64,
+}
+
+/// Sink for simulator telemetry. Implementations must be cheap to call;
+/// heavyweight work belongs in the exporters, after the run.
+pub trait Recorder {
+    /// Whether recording is active. Call sites guard event construction with
+    /// this so a disabled recorder costs nothing.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// One simulator event at simulated time `at`.
+    fn record(&mut self, at: Millis, event: TelemetryEvent);
+
+    /// One MAPE iteration finished planning; called right after the
+    /// corresponding [`TelemetryEvent::MapeTick`] is recorded.
+    fn tick(&mut self, at: Millis, stats: TickStats);
+}
+
+/// The zero-cost default recorder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _at: Millis, _event: TelemetryEvent) {}
+
+    #[inline(always)]
+    fn tick(&mut self, _at: Millis, _stats: TickStats) {}
+}
+
+/// One row of the per-tick metrics timeseries: the registry snapshot taken
+/// when the tick completed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickRow {
+    pub tick: u32,
+    pub at: Millis,
+    /// Sorted `(metric, value)` pairs from [`MetricsRegistry::snapshot`].
+    pub values: Vec<(String, f64)>,
+}
+
+/// Everything captured during one run.
+#[derive(Debug, Default)]
+pub struct TelemetryBuffer {
+    /// The raw timestamped event stream, in emission order.
+    pub events: Vec<(Millis, TelemetryEvent)>,
+    /// Counters/gauges/histograms, updated on every event.
+    pub metrics: MetricsRegistry,
+    /// The MAPE decision journal (written by the controller).
+    pub decisions: Vec<DecisionRecord>,
+    /// Predicted-vs-actual occupancy join.
+    pub quality: PredictionTracker,
+    /// Per-tick metric snapshots.
+    pub ticks: Vec<TickRow>,
+}
+
+impl TelemetryBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn apply(&mut self, at: Millis, event: TelemetryEvent) {
+        self.events.push((at, event));
+        let m = &mut self.metrics;
+        match event {
+            TelemetryEvent::RunSetupDone | TelemetryEvent::WorkflowDone => {}
+            TelemetryEvent::InstanceRequested { .. } => m.inc("instances_requested_total", 1),
+            TelemetryEvent::InstanceReady { .. } => m.inc("instances_ready_total", 1),
+            TelemetryEvent::InstanceDraining { .. } => m.inc("instances_draining_total", 1),
+            TelemetryEvent::InstanceTerminated { units, .. } => {
+                m.inc("instances_terminated_total", 1);
+                m.inc("units_billed_total", units);
+            }
+            TelemetryEvent::InstanceFailed { .. } => m.inc("instance_failures_total", 1),
+            TelemetryEvent::TaskDispatched { .. } => m.inc("tasks_dispatched_total", 1),
+            TelemetryEvent::TaskCompleted { exec, transfer, .. } => {
+                m.inc("tasks_completed_total", 1);
+                m.observe("task_exec_ms", exec.as_ms() as f64);
+                m.observe("task_transfer_ms", transfer.as_ms() as f64);
+            }
+            TelemetryEvent::TaskResubmitted { sunk, .. } => {
+                m.inc("tasks_resubmitted_total", 1);
+                m.observe("task_sunk_ms", sunk.as_ms() as f64);
+            }
+            TelemetryEvent::MapeTick {
+                pool,
+                launching,
+                draining,
+                ready,
+                running,
+                done,
+                plan_launch,
+                plan_terminate,
+            } => {
+                m.inc("mape_ticks_total", 1);
+                m.inc("plan_launches_total", plan_launch as u64);
+                m.inc("plan_terminations_total", plan_terminate as u64);
+                m.set_gauge("pool", pool as f64);
+                m.set_gauge("launching", launching as f64);
+                m.set_gauge("draining", draining as f64);
+                m.set_gauge("tasks_ready", ready as f64);
+                m.set_gauge("tasks_running", running as f64);
+                m.set_gauge("tasks_done", done as f64);
+            }
+        }
+        // Feed the prediction join: completions carry the ground truth.
+        if let TelemetryEvent::TaskCompleted {
+            task,
+            exec,
+            transfer,
+            ..
+        } = event
+        {
+            if let Some(sample) = self.quality.note_actual(task, at, exec + transfer) {
+                self.metrics
+                    .observe("pred_abs_err_ms", sample.abs_error().as_ms() as f64);
+            }
+        }
+    }
+
+    fn complete_tick(&mut self, at: Millis, stats: TickStats) {
+        self.metrics
+            .observe("controller_micros", stats.controller_micros as f64);
+        let q = self.quality.summary();
+        self.metrics.set_gauge("pred_n", q.n as f64);
+        self.metrics.set_gauge("pred_mae_ms", q.mae_ms);
+        self.metrics.set_gauge("pred_p50_rel", q.p50_rel);
+        self.metrics.set_gauge("pred_p90_rel", q.p90_rel);
+        let tick = self.ticks.len() as u32;
+        self.ticks.push(TickRow {
+            tick,
+            at,
+            values: self.metrics.snapshot(),
+        });
+    }
+}
+
+/// Cloneable handle to a shared [`TelemetryBuffer`]. One clone goes into the
+/// engine (as its [`Recorder`]); another into the WIRE controller, which
+/// journals decisions and predictions directly.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryHandle(Arc<Mutex<TelemetryBuffer>>);
+
+impl TelemetryHandle {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TelemetryBuffer> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Journal one Plan-step decision (controller side).
+    pub fn push_decision(&self, record: DecisionRecord) {
+        self.lock().decisions.push(record);
+    }
+
+    /// Register a predicted occupancy for a task (controller side).
+    pub fn note_prediction(
+        &self,
+        task: u32,
+        stage: u32,
+        policy: u8,
+        at: Millis,
+        predicted: Millis,
+    ) {
+        self.lock()
+            .quality
+            .note_prediction(task, stage, policy, at, predicted);
+    }
+
+    /// Read access to the buffer (exporters, assertions).
+    pub fn with<R>(&self, f: impl FnOnce(&TelemetryBuffer) -> R) -> R {
+        f(&self.lock())
+    }
+
+    /// Drain the buffer, leaving an empty one behind. Exporters typically
+    /// call this once after the run.
+    pub fn take(&self) -> TelemetryBuffer {
+        std::mem::take(&mut *self.lock())
+    }
+}
+
+impl Recorder for TelemetryHandle {
+    fn record(&mut self, at: Millis, event: TelemetryEvent) {
+        self.lock().apply(at, event);
+    }
+
+    fn tick(&mut self, at: Millis, stats: TickStats) {
+        self.lock().complete_tick(at, stats);
+    }
+}
+
+/// `&mut R` forwards, so the engine can borrow a recorder it doesn't own.
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, at: Millis, event: TelemetryEvent) {
+        (**self).record(at, event)
+    }
+
+    fn tick(&mut self, at: Millis, stats: TickStats) {
+        (**self).tick(at, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_disabled() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.record(Millis::ZERO, TelemetryEvent::RunSetupDone);
+        r.tick(Millis::ZERO, TickStats::default());
+    }
+
+    #[test]
+    fn buffer_accumulates_events_and_metrics() {
+        let mut h = TelemetryHandle::new();
+        assert!(Recorder::enabled(&h));
+        h.record(
+            Millis::ZERO,
+            TelemetryEvent::InstanceRequested { instance: 0 },
+        );
+        h.record(
+            Millis::from_mins(1),
+            TelemetryEvent::InstanceReady { instance: 0 },
+        );
+        h.record(
+            Millis::from_mins(1),
+            TelemetryEvent::TaskDispatched {
+                task: 0,
+                stage: 0,
+                instance: 0,
+                slot: 0,
+            },
+        );
+        h.note_prediction(0, 0, 2, Millis::from_mins(1), Millis::from_mins(10));
+        h.record(
+            Millis::from_mins(9),
+            TelemetryEvent::TaskCompleted {
+                task: 0,
+                stage: 0,
+                instance: 0,
+                slot: 0,
+                exec: Millis::from_mins(8),
+                transfer: Millis::ZERO,
+                restarts: 0,
+            },
+        );
+        h.record(
+            Millis::from_mins(10),
+            TelemetryEvent::MapeTick {
+                pool: 1,
+                launching: 0,
+                draining: 0,
+                ready: 0,
+                running: 0,
+                done: 1,
+                plan_launch: 0,
+                plan_terminate: 0,
+            },
+        );
+        h.tick(
+            Millis::from_mins(10),
+            TickStats {
+                controller_micros: 42,
+            },
+        );
+
+        h.with(|b| {
+            assert_eq!(b.events.len(), 5);
+            assert_eq!(b.metrics.counter("tasks_completed_total"), 1);
+            assert_eq!(b.metrics.counter("mape_ticks_total"), 1);
+            assert_eq!(b.quality.samples().len(), 1);
+            // predicted 10m vs actual 8m → MAE 120_000 ms
+            assert_eq!(b.metrics.gauge("pred_mae_ms"), Some(120_000.0));
+            assert_eq!(b.ticks.len(), 1);
+            assert!(b.ticks[0]
+                .values
+                .iter()
+                .any(|(k, v)| k == "pred_mae_ms" && *v == 120_000.0));
+        });
+        let taken = h.take();
+        assert_eq!(taken.events.len(), 5);
+        h.with(|b| assert!(b.events.is_empty()));
+    }
+
+    #[test]
+    fn shared_handle_sees_both_writers() {
+        let h = TelemetryHandle::new();
+        let mut engine_side = h.clone();
+        engine_side.record(Millis::ZERO, TelemetryEvent::RunSetupDone);
+        h.push_decision(crate::decision::DecisionRecord {
+            at: Millis::ZERO,
+            m: 1,
+            p: 1,
+            u: Millis::from_mins(60),
+            t: Millis::from_mins(5),
+            waste_threshold: Millis::from_mins(12),
+            q_len: 0,
+            q_total: Millis::ZERO,
+            q_head: vec![],
+            action: crate::decision::DecisionAction::HoldEmptyQueue,
+            judgements: vec![],
+        });
+        h.with(|b| {
+            assert_eq!(b.events.len(), 1);
+            assert_eq!(b.decisions.len(), 1);
+        });
+    }
+}

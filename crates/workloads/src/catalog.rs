@@ -244,7 +244,7 @@ mod tests {
             let (wf, prof) = id.generate(1);
             let found: BTreeSet<&str> = wf
                 .stage_ids()
-                .filter(|&s| wf.stage(s).len() >= 1)
+                .filter(|&s| !wf.stage(s).is_empty())
                 .map(|s| classify(prof.stage_mean_secs(&wf, s)))
                 .collect();
             for class in row.task_types.split('/') {

@@ -77,7 +77,7 @@ mod tests {
     fn stage_widths_in_table_range() {
         let (wf, _) = genome_s().generate(2);
         for st in wf.stages() {
-            assert!(st.len() >= 1 && st.len() <= 100);
+            assert!(!st.is_empty() && st.len() <= 100);
         }
     }
 }

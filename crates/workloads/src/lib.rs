@@ -22,8 +22,8 @@ pub mod pagerank;
 pub mod perturb;
 pub mod skew;
 pub mod spec;
-pub mod trace;
 pub mod tpch;
+pub mod trace;
 
 pub use catalog::{PaperRow, WorkloadId};
 pub use linear::{linear_stage, linear_workflow};

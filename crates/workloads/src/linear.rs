@@ -16,11 +16,7 @@ pub fn linear_stage(n: usize, r: Millis) -> (Workflow, ExecProfile) {
 /// time R", §III-E).
 pub fn linear_workflow(stage_widths: &[usize], r: Millis) -> (Workflow, ExecProfile) {
     assert!(!stage_widths.is_empty(), "at least one stage");
-    let mut b = WorkflowBuilder::new(format!(
-        "linear-{}x{}",
-        stage_widths.len(),
-        stage_widths[0]
-    ));
+    let mut b = WorkflowBuilder::new(format!("linear-{}x{}", stage_widths.len(), stage_widths[0]));
     let mut prev = None;
     for (i, &n) in stage_widths.iter().enumerate() {
         assert!(n > 0, "stage width must be positive");

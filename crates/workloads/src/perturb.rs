@@ -15,22 +15,12 @@ use wire_dag::{ExecProfile, StageId, Workflow};
 /// Scale every task time by `factor` (a bigger dataset / slower VM type).
 pub fn scale_all(prof: &ExecProfile, factor: f64) -> ExecProfile {
     assert!(factor > 0.0 && factor.is_finite());
-    ExecProfile::new(
-        prof.exec_times()
-            .iter()
-            .map(|&t| t.scale(factor))
-            .collect(),
-    )
+    ExecProfile::new(prof.exec_times().iter().map(|&t| t.scale(factor)).collect())
 }
 
 /// Scale only the tasks of `stage` (per-stage sensitivity analysis —
 /// e.g. a slower storage tier hits the I/O-bound stage only).
-pub fn scale_stage(
-    wf: &Workflow,
-    prof: &ExecProfile,
-    stage: StageId,
-    factor: f64,
-) -> ExecProfile {
+pub fn scale_stage(wf: &Workflow, prof: &ExecProfile, stage: StageId, factor: f64) -> ExecProfile {
     assert!(factor > 0.0 && factor.is_finite());
     let mut times = prof.exec_times().to_vec();
     for &t in &wf.stage(stage).tasks {
@@ -56,12 +46,7 @@ pub fn interfere(prof: &ExecProfile, cv: f64, seed: u64) -> ExecProfile {
 }
 
 /// Turn a random `fraction` of tasks into stragglers slowed by `slowdown`.
-pub fn add_stragglers(
-    prof: &ExecProfile,
-    fraction: f64,
-    slowdown: f64,
-    seed: u64,
-) -> ExecProfile {
+pub fn add_stragglers(prof: &ExecProfile, fraction: f64, slowdown: f64, seed: u64) -> ExecProfile {
     assert!((0.0..=1.0).contains(&fraction));
     assert!(slowdown >= 1.0);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x57A6);
@@ -162,6 +147,9 @@ mod tests {
     fn unit_scale_is_lossless() {
         use wire_dag::Millis;
         let p = ExecProfile::new(vec![Millis::from_ms(12345)]);
-        assert_eq!(scale_all(&p, 1.0).exec_time(wire_dag::TaskId(0)), Millis::from_ms(12345));
+        assert_eq!(
+            scale_all(&p, 1.0).exec_time(wire_dag::TaskId(0)),
+            Millis::from_ms(12345)
+        );
     }
 }

@@ -73,7 +73,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
-        assert!((var.sqrt() / mean - cv).abs() < 0.05, "cv {}", var.sqrt() / mean);
+        assert!(
+            (var.sqrt() / mean - cv).abs() < 0.05,
+            "cv {}",
+            var.sqrt() / mean
+        );
         assert!(samples.iter().all(|&x| x > 0.0));
     }
 

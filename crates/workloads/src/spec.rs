@@ -100,8 +100,8 @@ impl WorkloadSpec {
         for spec in &self.stages {
             assert!(spec.tasks > 0, "stage {} has no tasks", spec.name);
             let stage = b.add_stage(spec.name.clone());
-            let share = (self.total_input_bytes as f64 * spec.input_frac / spec.tasks as f64)
-                .max(1.0);
+            let share =
+                (self.total_input_bytes as f64 * spec.input_frac / spec.tasks as f64).max(1.0);
             let mut ids = Vec::with_capacity(spec.tasks);
             for _ in 0..spec.tasks {
                 let raw = share * lognormal_multiplier(INPUT_SIZE_CV, &mut rng);
@@ -210,12 +210,7 @@ mod tests {
         let pairs: Vec<(f64, f64)> = wf
             .tasks()
             .iter()
-            .map(|t| {
-                (
-                    t.input_bytes as f64,
-                    prof.exec_time(t.id).as_secs_f64(),
-                )
-            })
+            .map(|t| (t.input_bytes as f64, prof.exec_time(t.id).as_secs_f64()))
             .collect();
         let n = pairs.len() as f64;
         let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;

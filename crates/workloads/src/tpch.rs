@@ -15,7 +15,14 @@ pub fn tpch1(widths: [usize; 4], data_bytes: u64, name: &str) -> WorkloadSpec {
         name: name.into(),
         stages: vec![
             StageSpec::new("scan-agg-map", widths[0], 13.0, 0.06, Linkage::Root, 1.0),
-            StageSpec::new("partial-reduce", widths[1], 4.0, 0.08, Linkage::Barrier, 0.15),
+            StageSpec::new(
+                "partial-reduce",
+                widths[1],
+                4.0,
+                0.08,
+                Linkage::Barrier,
+                0.15,
+            ),
             StageSpec::new("merge-map", widths[2], 2.5, 0.1, Linkage::Barrier, 0.05),
             StageSpec::new("global-reduce", widths[3], 5.0, 0.1, Linkage::Barrier, 0.02),
         ],

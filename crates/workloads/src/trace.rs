@@ -143,7 +143,8 @@ pub fn parse_trace(name: &str, text: &str) -> Result<(Workflow, ExecProfile), Tr
         if to >= n {
             return Err(TraceError::UnknownTask(to));
         }
-        b.add_dep(TaskId(from), TaskId(to)).map_err(TraceError::Dag)?;
+        b.add_dep(TaskId(from), TaskId(to))
+            .map_err(TraceError::Dag)?;
     }
     let wf = b.build().map_err(TraceError::Dag)?;
     Ok((wf, ExecProfile::new(exec)))
@@ -164,7 +165,13 @@ pub fn export_trace(wf: &Workflow, prof: &ExecProfile) -> String {
             let base: String = st
                 .name
                 .chars()
-                .map(|c| if c.is_whitespace() || c == '#' { '_' } else { c })
+                .map(|c| {
+                    if c.is_whitespace() || c == '#' {
+                        '_'
+                    } else {
+                        c
+                    }
+                })
                 .collect();
             match seen.get_mut(&base) {
                 Some(n) => {
@@ -179,7 +186,12 @@ pub fn export_trace(wf: &Workflow, prof: &ExecProfile) -> String {
         })
         .collect();
     let mut out = String::new();
-    let _ = writeln!(out, "# wire trace: {} tasks, {} stages", wf.num_tasks(), wf.num_stages());
+    let _ = writeln!(
+        out,
+        "# wire trace: {} tasks, {} stages",
+        wf.num_tasks(),
+        wf.num_stages()
+    );
     for t in wf.tasks() {
         let _ = writeln!(
             out,
@@ -297,9 +309,6 @@ dep 1 2
         use wire_dag::critical_path_ms;
         let (wf, prof) = parse_trace("sample", SAMPLE).unwrap();
         // map tasks in parallel, then reduce
-        assert_eq!(
-            critical_path_ms(&wf, &prof),
-            Millis::from_ms(13240 + 4100)
-        );
+        assert_eq!(critical_path_ms(&wf, &prof), Millis::from_ms(13240 + 4100));
     }
 }

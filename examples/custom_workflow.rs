@@ -75,8 +75,12 @@ fn build_pipeline() -> (Workflow, ExecProfile) {
     let ingest_tasks: Vec<TaskId> = (0..32)
         .map(|i| b.add_task(ingest, 200_000_000 + i * 5_000_000, 50_000_000))
         .collect();
-    let refine_a_tasks: Vec<TaskId> = (0..8).map(|_| b.add_task(refine_a, 150_000_000, 40_000_000)).collect();
-    let refine_b_tasks: Vec<TaskId> = (0..8).map(|_| b.add_task(refine_b, 120_000_000, 10_000_000)).collect();
+    let refine_a_tasks: Vec<TaskId> = (0..8)
+        .map(|_| b.add_task(refine_a, 150_000_000, 40_000_000))
+        .collect();
+    let refine_b_tasks: Vec<TaskId> = (0..8)
+        .map(|_| b.add_task(refine_b, 120_000_000, 10_000_000))
+        .collect();
     let report_task = b.add_task(report, 30_000_000, 1_000_000);
 
     for &i in &ingest_tasks {
@@ -127,7 +131,15 @@ fn main() {
         "policy", "cost", "makespan", "peak", "util %"
     );
     let runs: Vec<RunResult> = vec![
-        run_workflow(&wf, &prof, cfg.clone(), TransferModel::default(), WidthTracker, 3).unwrap(),
+        run_workflow(
+            &wf,
+            &prof,
+            cfg.clone(),
+            TransferModel::default(),
+            WidthTracker,
+            3,
+        )
+        .unwrap(),
         run_workflow(
             &wf,
             &prof,

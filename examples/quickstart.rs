@@ -18,7 +18,9 @@ fn main() {
     let map_tasks: Vec<TaskId> = (0..24)
         .map(|i| b.add_task(map, 64_000_000 + i * 1_000_000, 8_000_000))
         .collect();
-    let reduce_tasks: Vec<TaskId> = (0..4).map(|_| b.add_task(reduce, 48_000_000, 1_000_000)).collect();
+    let reduce_tasks: Vec<TaskId> = (0..4)
+        .map(|_| b.add_task(reduce, 48_000_000, 1_000_000))
+        .collect();
     let report_task = b.add_task(report, 4_000_000, 100_000);
     for &m in &map_tasks {
         for &r in &reduce_tasks {

@@ -14,6 +14,10 @@
 //!   --u <minutes>        charging unit (default 15)
 //!   --seed <n>           run seed (default 1)
 //!   --timeline           print the pool-size timeline
+//!   --trace-out <path>   CSV event trace (replayable)
+//!   --trace-chrome <p>   Chrome trace_event JSON (open in Perfetto)
+//!   --decisions <path>   human-readable MAPE decision journal
+//!   --metrics-csv <p>    per-tick metrics timeseries CSV
 //! ```
 
 use std::process::ExitCode;
@@ -27,6 +31,16 @@ struct Opts {
     seed: u64,
     timeline: bool,
     trace_out: Option<String>,
+    trace_chrome: Option<String>,
+    decisions: Option<String>,
+    metrics_csv: Option<String>,
+}
+
+impl Opts {
+    /// Any flag that needs the telemetry recorder attached to the run.
+    fn wants_telemetry(&self) -> bool {
+        self.trace_chrome.is_some() || self.decisions.is_some() || self.metrics_csv.is_some()
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -36,6 +50,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         seed: 1,
         timeline: false,
         trace_out: None,
+        trace_chrome: None,
+        decisions: None,
+        metrics_csv: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -61,6 +78,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--trace-out" => {
                 o.trace_out = Some(it.next().ok_or("--trace-out needs a path")?.clone());
             }
+            "--trace-chrome" => {
+                o.trace_chrome = Some(it.next().ok_or("--trace-chrome needs a path")?.clone());
+            }
+            "--decisions" => {
+                o.decisions = Some(it.next().ok_or("--decisions needs a path")?.clone());
+            }
+            "--metrics-csv" => {
+                o.metrics_csv = Some(it.next().ok_or("--metrics-csv needs a path")?.clone());
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -69,10 +95,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 
 fn find_spec(name: &str) -> Option<wire::workloads::WorkloadSpec> {
     let norm = name.to_lowercase().replace(['_', ' '], "-");
-    if let Some(id) = WorkloadId::ALL.into_iter().find(|id| {
-        id.name().to_lowercase().replace(' ', "-") == norm
-            || id.spec().name.to_lowercase() == norm
-    }) {
+    let matches = |id: &WorkloadId, wanted: &str| {
+        id.name().to_lowercase().replace(' ', "-") == wanted
+            || id.spec().name.to_lowercase() == wanted
+    };
+    if let Some(id) = WorkloadId::ALL.into_iter().find(|id| matches(id, &norm)) {
+        return Some(id.spec());
+    }
+    // a bare family name picks the small variant: `epigenomics` → epigenomics-S
+    let small = format!("{norm}-s");
+    if let Some(id) = WorkloadId::ALL.into_iter().find(|id| matches(id, &small)) {
         return Some(id.spec());
     }
     match norm.as_str() {
@@ -97,24 +129,62 @@ fn run_one(
         other => return Err(format!("unknown policy '{other}'")),
     };
     let cfg = cloud_config_for(setting, u, dataset_bytes);
+    let slots = cfg.slots_per_instance;
     let tm = TransferModel::default();
+    let telemetry = opts.wants_telemetry().then(TelemetryHandle::new);
     // the oracle is a CLI-only extra; everything else uses the shared mapping
     let policy: Box<dyn ScalingPolicy> = if opts.policy == "oracle" {
         Box::new(OracleWirePolicy::new(prof.clone(), tm.clone()))
+    } else if opts.policy == "wire" {
+        // attach the journal so Plan decisions and predictions are recorded
+        match &telemetry {
+            Some(h) => Box::new(WirePolicy::default().with_telemetry(h.clone())),
+            None => wire::core::experiment::build_policy(setting, &cfg),
+        }
     } else {
         wire::core::experiment::build_policy(setting, &cfg)
     };
-    if let Some(path) = &opts.trace_out {
+
+    let result = if let Some(handle) = &telemetry {
+        let engine =
+            wire::simcloud::Engine::recording(wf, prof, cfg, tm, policy, opts.seed, handle.clone())
+                .map_err(|e| e.to_string())?;
+        if let Some(path) = &opts.trace_out {
+            let (result, trace) = engine.run_traced().map_err(|e| e.to_string())?;
+            std::fs::write(path, trace.to_csv()).map_err(|e| format!("write {path}: {e}"))?;
+            println!("[event trace: {path}]");
+            result
+        } else {
+            engine.run().map_err(|e| e.to_string())?
+        }
+    } else if let Some(path) = &opts.trace_out {
         let (result, trace) = wire::simcloud::Engine::new(wf, prof, cfg, tm, policy, opts.seed)
             .map_err(|e| e.to_string())?
             .run_traced()
             .map_err(|e| e.to_string())?;
         std::fs::write(path, trace.to_csv()).map_err(|e| format!("write {path}: {e}"))?;
-        eprintln!("[event trace: {path}]");
-        Ok(result)
+        println!("[event trace: {path}]");
+        result
     } else {
-        run_workflow(wf, prof, cfg, tm, policy, opts.seed).map_err(|e| e.to_string())
+        run_workflow(wf, prof, cfg, tm, policy, opts.seed).map_err(|e| e.to_string())?
+    };
+
+    if let Some(handle) = &telemetry {
+        let buffer = handle.take();
+        if let Some(path) = &opts.trace_chrome {
+            std::fs::write(path, wire::telemetry::export::chrome_trace(&buffer, slots))
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if let Some(path) = &opts.decisions {
+            std::fs::write(path, wire::telemetry::export::decision_log(&buffer))
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if let Some(path) = &opts.metrics_csv {
+            std::fs::write(path, wire::telemetry::export::metrics_csv(&buffer))
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
     }
+    Ok(result)
 }
 
 fn print_result(r: &RunResult, opts: &Opts) {
@@ -150,7 +220,10 @@ fn real_main() -> Result<(), String> {
     };
     match cmd {
         "list" => {
-            println!("{:<14} {:>7} {:>7} {:>10}", "workload", "tasks", "stages", "data");
+            println!(
+                "{:<14} {:>7} {:>7} {:>10}",
+                "workload", "tasks", "stages", "data"
+            );
             let mut specs: Vec<wire::workloads::WorkloadSpec> =
                 WorkloadId::ALL.into_iter().map(|id| id.spec()).collect();
             specs.push(wire::workloads::extensions::montage_2deg());
@@ -197,6 +270,9 @@ fn real_main() -> Result<(), String> {
                             seed: opts.seed,
                             timeline: false,
                             trace_out: None,
+                            trace_chrome: None,
+                            decisions: None,
+                            metrics_csv: None,
                         };
                         let r = run_one(&wf, &prof, spec.total_input_bytes, &o)?;
                         println!(
@@ -221,6 +297,9 @@ fn real_main() -> Result<(), String> {
                             seed: opts.seed,
                             timeline: false,
                             trace_out: None,
+                            trace_chrome: None,
+                            decisions: None,
+                            metrics_csv: None,
                         };
                         let r = run_one(&wf, &prof, spec.total_input_bytes, &o)?;
                         println!(
@@ -241,8 +320,7 @@ fn real_main() -> Result<(), String> {
         "replay" => {
             let (path, rest) = rest.split_first().ok_or("replay needs a trace file")?;
             let opts = parse_opts(rest)?;
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
             let (wf, prof) =
                 wire::workloads::parse_trace(path, &text).map_err(|e| e.to_string())?;
             // dataset ≈ what the run stages in: the root tasks' inputs
@@ -263,8 +341,11 @@ fn print_usage() {
     println!("wire — WIRE (CLUSTER 2021) reproduction CLI");
     println!();
     println!("  wire list");
-    println!("  wire run <workload> [--policy P] [--u MIN] [--seed N] [--timeline]
-                      [--trace-out events.csv]");
+    println!(
+        "  wire run <workload> [--policy P] [--u MIN] [--seed N] [--timeline]
+                      [--trace-out events.csv] [--trace-chrome trace.json]
+                      [--decisions mape.log] [--metrics-csv ticks.csv]"
+    );
     println!("  wire compare <workload> [--u MIN] [--seed N]");
     println!("  wire sweep <workload> [--policy P] [--seed N]");
     println!("  wire export <workload> [--seed N]      > trace.txt");

@@ -12,7 +12,9 @@
 //! * [`planner`] — lookahead simulation, Algorithms 2–3, WIRE policy and
 //!   baselines ([`wire_planner`]);
 //! * [`workloads`] — Table I workload generators ([`wire_workloads`]);
-//! * [`core`] — experiment harness, statistics, reports ([`wire_core`]).
+//! * [`core`] — experiment harness, statistics, reports ([`wire_core`]);
+//! * [`telemetry`] — decision journal, prediction-quality metrics and trace
+//!   exporters ([`wire_telemetry`]).
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@ pub use wire_dag as dag;
 pub use wire_planner as planner;
 pub use wire_predictor as predictor;
 pub use wire_simcloud as simcloud;
+pub use wire_telemetry as telemetry;
 pub use wire_workloads as workloads;
 
 /// The most common imports in one place.
@@ -46,5 +49,6 @@ pub mod prelude {
         run_workflow, CloudConfig, Engine, MonitorSnapshot, PoolPlan, RunResult, ScalingPolicy,
         TransferModel,
     };
+    pub use wire_telemetry::{NoopRecorder, Recorder, TelemetryHandle};
     pub use wire_workloads::WorkloadId;
 }

@@ -83,7 +83,11 @@ fn wire_cost_at_most_full_site_on_every_small_workload() {
 fn full_site_is_fastest_setting() {
     for workload in [WorkloadId::EpigenomicsS, WorkloadId::PageRankS] {
         let full = run_setting(workload, Setting::FullSite, U15, 5);
-        for setting in [Setting::PureReactive, Setting::ReactiveConserving, Setting::Wire] {
+        for setting in [
+            Setting::PureReactive,
+            Setting::ReactiveConserving,
+            Setting::Wire,
+        ] {
             let other = run_setting(workload, setting, U15, 5);
             assert!(
                 other.makespan >= full.makespan,

@@ -18,7 +18,11 @@ fn run_with_failures(setting: Setting, mtbf_mins: u64, seed: u64) -> RunResult {
 fn elastic_policies_survive_instance_failures() {
     // Elastic policies relaunch: p (or the reactive target) exceeds the
     // shrunken pool after a crash, so the next tick replaces capacity.
-    for setting in [Setting::PureReactive, Setting::ReactiveConserving, Setting::Wire] {
+    for setting in [
+        Setting::PureReactive,
+        Setting::ReactiveConserving,
+        Setting::Wire,
+    ] {
         let r = run_with_failures(setting, 30, 5);
         assert_eq!(r.task_records.len(), 115, "{}", setting.label());
         for rec in &r.task_records {

@@ -23,7 +23,7 @@ const GOLDEN: &[(WorkloadId, Setting, u64, u64, u64, u64)] = &[
         1,
         1_322_970,
     ),
-        // units 6 → 5 after the drain-billing fix: an instance draining at its
+    // units 6 → 5 after the drain-billing fix: an instance draining at its
     // charge boundary is no longer billed through the run-teardown epilogue
     (WorkloadId::EpigenomicsS, Setting::Wire, 15, 3, 5, 2_736_925),
     (WorkloadId::Tpch1S, Setting::PureReactive, 60, 4, 8, 900_207),

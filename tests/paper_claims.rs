@@ -11,8 +11,15 @@ fn stage_ratios(n: usize, r: Millis, u: Millis) -> (f64, f64) {
     let interval = Millis::from_ms((r.as_ms().min(u.as_ms()) / 20).max(1_000));
     let cfg = CloudConfig::linear_analysis(u, interval);
     let (wf, prof) = wire::workloads::linear_stage(n, r);
-    let res = run_workflow(&wf, &prof, cfg, TransferModel::none(), WirePolicy::default(), 1)
-        .expect("completes");
+    let res = run_workflow(
+        &wf,
+        &prof,
+        cfg,
+        TransferModel::none(),
+        WirePolicy::default(),
+        1,
+    )
+    .expect("completes");
     let cost = res.charging_units as f64 * u.as_ms() as f64 / (r.as_ms() as f64 * n as f64);
     let time = res.makespan.as_ms() as f64 / r.as_ms() as f64;
     (cost, time)
@@ -107,8 +114,18 @@ fn small_charging_units_favor_speed() {
     // §IV-E: "for small charging units WIRE prioritizes application execution
     // times over cost" — wire at u = 1 min must be faster than wire at
     // u = 60 min on a workload with real parallelism.
-    let fast = run_setting(WorkloadId::EpigenomicsS, Setting::Wire, Millis::from_mins(1), 2);
-    let slow = run_setting(WorkloadId::EpigenomicsS, Setting::Wire, Millis::from_mins(60), 2);
+    let fast = run_setting(
+        WorkloadId::EpigenomicsS,
+        Setting::Wire,
+        Millis::from_mins(1),
+        2,
+    );
+    let slow = run_setting(
+        WorkloadId::EpigenomicsS,
+        Setting::Wire,
+        Millis::from_mins(60),
+        2,
+    );
     assert!(
         fast.makespan <= slow.makespan,
         "u=1min {} vs u=60min {}",
@@ -124,7 +141,12 @@ fn overhead_is_small() {
     // §IV-F: controller wall time ≤ 0.49% of aggregate task time; allow 2%
     // slack for debug builds and tiny aggregates
     let (_, prof) = WorkloadId::PageRankS.generate(1);
-    let r = run_setting(WorkloadId::PageRankS, Setting::Wire, Millis::from_mins(15), 1);
+    let r = run_setting(
+        WorkloadId::PageRankS,
+        Setting::Wire,
+        Millis::from_mins(15),
+        1,
+    );
     let frac = r.controller_wall.as_secs_f64() / prof.aggregate().as_secs_f64();
     assert!(frac < 0.02, "controller overhead {:.4}%", frac * 100.0);
 }

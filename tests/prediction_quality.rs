@@ -13,7 +13,11 @@ fn short_and_medium_stages_are_mostly_within_tolerance() {
     // Our generators are noisier than the real testbed in places; assert a
     // still-strong 60% within 1 s and 85% within 3 s per class.
     let study = PredictionStudy {
-        workloads: vec![WorkloadId::Tpch1S, WorkloadId::Tpch6S, WorkloadId::EpigenomicsS],
+        workloads: vec![
+            WorkloadId::Tpch1S,
+            WorkloadId::Tpch6S,
+            WorkloadId::EpigenomicsS,
+        ],
         repetitions: 2,
         task_orders: 3,
         base_seed: 99,
@@ -69,8 +73,7 @@ fn more_completions_improve_accuracy() {
     assert!(wf.stage(stage).len() >= 50);
     let errors = stage_prediction_errors(&wf, &prof, stage, 1).errors;
     let third = errors.len() / 3;
-    let early: f64 =
-        errors[..third].iter().map(|e| e.abs()).sum::<f64>() / third as f64;
+    let early: f64 = errors[..third].iter().map(|e| e.abs()).sum::<f64>() / third as f64;
     let late: f64 = errors[errors.len() - third..]
         .iter()
         .map(|e| e.abs())

@@ -24,7 +24,14 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
                     Linkage::Barrier
                 };
                 prev_tasks = tasks;
-                StageSpec::new(format!("s{i}"), tasks, mean, cv, linkage, 1.0 / (i + 1) as f64)
+                StageSpec::new(
+                    format!("s{i}"),
+                    tasks,
+                    mean,
+                    cv,
+                    linkage,
+                    1.0 / (i + 1) as f64,
+                )
             })
             .collect();
         WorkloadSpec {
