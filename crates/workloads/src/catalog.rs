@@ -239,21 +239,37 @@ mod tests {
                 "long"
             }
         };
+        // Cross-run variability (Observation 2) applies a run-level lognormal
+        // multiplier, so a single run can push a borderline stage mean across
+        // a class boundary (e.g. every "medium" stage of a run drifting past
+        // 30 s). Require each paper class in a majority of runs instead of in
+        // one pinned seed.
+        const SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
         for id in WorkloadId::ALL {
             let row = id.paper_row();
-            let (wf, prof) = id.generate(1);
-            let found: BTreeSet<&str> = wf
-                .stage_ids()
-                .filter(|&s| !wf.stage(s).is_empty())
-                .map(|s| classify(prof.stage_mean_secs(&wf, s)))
+            let per_seed: Vec<BTreeSet<&str>> = SEEDS
+                .iter()
+                .map(|&seed| {
+                    let (wf, prof) = id.generate(seed);
+                    wf.stage_ids()
+                        .filter(|&s| !wf.stage(s).is_empty())
+                        .map(|s| classify(prof.stage_mean_secs(&wf, s)))
+                        .collect()
+                })
                 .collect();
             for class in row.task_types.split('/') {
+                let runs = per_seed
+                    .iter()
+                    .filter(|found| found.contains(class))
+                    .count();
                 assert!(
-                    found.contains(class),
-                    "{}: paper lists '{}' tasks but generated stages are {:?}",
+                    runs * 2 > SEEDS.len(),
+                    "{}: paper lists '{}' tasks but only {}/{} runs generated them ({:?})",
                     row.name,
                     class,
-                    found
+                    runs,
+                    SEEDS.len(),
+                    per_seed
                 );
             }
         }

@@ -206,21 +206,31 @@ mod tests {
             total_input_bytes: 1 << 30,
             run_cv: 0.0,
         };
-        let (wf, prof) = spec.generate(5);
-        let pairs: Vec<(f64, f64)> = wf
-            .tasks()
-            .iter()
-            .map(|t| (t.input_bytes as f64, prof.exec_time(t.id).as_secs_f64()))
-            .collect();
-        let n = pairs.len() as f64;
-        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
-        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
-        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
-        let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
-        let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
-        let r = cov / (sx * sy);
-        // stragglers (2% of tasks, 2-4x) cap the linear correlation
-        assert!(r > 0.55, "correlation {r}");
+        // Stragglers (2% of tasks, 2-4x) cap the linear correlation, and a
+        // single 200-task draw can land anywhere in roughly 0.4-0.9 depending
+        // on how many stragglers it contains — so assert on the mean over
+        // several runs (plus a loose per-run floor) rather than one seed.
+        let correlation = |seed: u64| {
+            let (wf, prof) = spec.generate(seed);
+            let pairs: Vec<(f64, f64)> = wf
+                .tasks()
+                .iter()
+                .map(|t| (t.input_bytes as f64, prof.exec_time(t.id).as_secs_f64()))
+                .collect();
+            let n = pairs.len() as f64;
+            let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+            let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+            let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / n;
+            let sx = (pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>() / n).sqrt();
+            let sy = (pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>() / n).sqrt();
+            cov / (sx * sy)
+        };
+        let rs: Vec<f64> = (0..10).map(correlation).collect();
+        for (seed, r) in rs.iter().enumerate() {
+            assert!(*r > 0.35, "seed {seed}: correlation {r}");
+        }
+        let mean = rs.iter().sum::<f64>() / rs.len() as f64;
+        assert!(mean > 0.55, "mean correlation {mean}");
     }
 
     #[test]

@@ -7,26 +7,35 @@
 //! constants deliberately (and note why in the commit) rather than loosening
 //! the assertions.
 
-use wire::core::experiment::{run_setting, Setting};
+use wire::core::experiment::{cloud_config_for, run_setting, Setting};
 use wire::prelude::*;
+use wire::simcloud::Engine;
+use wire::telemetry::export::{decisions_to_jsonl, events_to_jsonl};
+use wire::telemetry::TelemetryHandle;
 
 const GOLDEN: &[(WorkloadId, Setting, u64, u64, u64, u64)] = &[
     // (workload, setting, u_mins, seed, expected units, expected makespan_ms)
-    (WorkloadId::Tpch6S, Setting::Wire, 15, 1, 1, 851_779),
-    (WorkloadId::Tpch6S, Setting::FullSite, 15, 1, 12, 569_435),
-    (WorkloadId::PageRankS, Setting::Wire, 1, 2, 23, 1_322_970),
+    //
+    // Values are pinned against the vendored deterministic RNG
+    // (vendor/rand, splitmix64): the original seed constants came from a
+    // different generator and were re-derived when the RNG was vendored
+    // into the repo. They were derived — and verified to pass — against the
+    // PRE-optimization controller (the commit that vendored the RNG), so
+    // hot-path commits that claim to change zero decisions must land with
+    // these constants untouched.
+    (WorkloadId::Tpch6S, Setting::Wire, 15, 1, 1, 886_732),
+    (WorkloadId::Tpch6S, Setting::FullSite, 15, 1, 12, 574_631),
+    (WorkloadId::PageRankS, Setting::Wire, 1, 2, 21, 1_209_958),
     (
         WorkloadId::PageRankS,
         Setting::ReactiveConserving,
         30,
         2,
         1,
-        1_322_970,
+        1_209_958,
     ),
-    // units 6 → 5 after the drain-billing fix: an instance draining at its
-    // charge boundary is no longer billed through the run-teardown epilogue
-    (WorkloadId::EpigenomicsS, Setting::Wire, 15, 3, 5, 2_736_925),
-    (WorkloadId::Tpch1S, Setting::PureReactive, 60, 4, 8, 900_207),
+    (WorkloadId::EpigenomicsS, Setting::Wire, 15, 3, 4, 2_642_446),
+    (WorkloadId::Tpch1S, Setting::PureReactive, 60, 4, 8, 876_997),
 ];
 
 #[test]
@@ -46,6 +55,78 @@ fn golden_costs_and_makespans() {
             "{} / {} / u={u} / seed={seed}: makespan changed",
             w.name(),
             s.label()
+        );
+    }
+}
+
+/// FNV-1a 64 over a byte stream; hand-rolled so the constant is stable
+/// across std versions (DefaultHasher makes no such promise).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Pinned digests of the *entire observable output* of a WIRE run: the
+/// event trace, the telemetry event stream, the MAPE decision journal, and
+/// the billing/makespan summary. Any scratch-buffer or memoization change
+/// to the hot path must keep these byte-identical — the optimizations are
+/// required to change zero decisions.
+const GOLDEN_DIGESTS: &[(WorkloadId, u64, u64)] = &[
+    // (workload, seed, fnv1a of trace+events+journal+summary)
+    (WorkloadId::Tpch6S, 1, 0xd9df99ba218ceefb),
+    (WorkloadId::Tpch6S, 5, 0xaf4ad2e960b231ac),
+    (WorkloadId::EpigenomicsS, 3, 0xb25b0846f3907545),
+    (WorkloadId::EpigenomicsS, 7, 0x816705b257a73ec7),
+];
+
+fn wire_run_digest(workload: WorkloadId, seed: u64) -> u64 {
+    let (wf, prof) = workload.generate(seed);
+    let cfg = cloud_config_for(
+        Setting::Wire,
+        Millis::from_mins(15),
+        workload.spec().total_input_bytes,
+    );
+    let handle = TelemetryHandle::new();
+    let policy = WirePolicy::default().with_telemetry(handle.clone());
+    let engine = Engine::recording(
+        &wf,
+        &prof,
+        cfg,
+        TransferModel::default(),
+        policy,
+        seed,
+        handle.clone(),
+    )
+    .expect("engine constructs");
+    let (result, trace) = engine.run_traced().expect("run completes");
+    let buffer = handle.take();
+
+    let mut blob = trace.render();
+    blob.push_str(&events_to_jsonl(&buffer));
+    blob.push_str(&decisions_to_jsonl(&buffer));
+    blob.push_str(&format!(
+        "units={} makespan={} restarts={} launched={}\n",
+        result.charging_units,
+        result.makespan.as_ms(),
+        result.restarts,
+        result.instances_launched
+    ));
+    fnv1a(blob.as_bytes())
+}
+
+#[test]
+fn golden_wire_trace_and_journal_digests() {
+    for &(w, seed, expected) in GOLDEN_DIGESTS {
+        let digest = wire_run_digest(w, seed);
+        assert_eq!(
+            digest,
+            expected,
+            "{} / seed={seed}: run trace, event stream or decision journal changed (digest {digest:#x})",
+            w.name()
         );
     }
 }

@@ -1,0 +1,257 @@
+//! Offline mini-criterion: a wall-clock sampling harness exposing the part
+//! of the criterion 0.5 API this workspace's benches use.
+//!
+//! Semantics kept from real criterion:
+//! * `--test` runs every benchmark exactly once (CI smoke mode, no timing);
+//! * a positional argument filters benchmarks by substring;
+//! * `--bench` (appended by `cargo bench`) is accepted and ignored;
+//! * output is one `name  time: [min median max]` line per benchmark.
+//!
+//! Not kept: statistical outlier analysis, HTML reports, comparison against
+//! saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// How long the measurement phase of one benchmark aims to run.
+const TARGET_MEASURE: Duration = Duration::from_millis(900);
+const TARGET_WARMUP: Duration = Duration::from_millis(250);
+
+/// Identifies one benchmark within a group, e.g. `group/1000`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` performs the measurement.
+pub struct Bencher<'m> {
+    mode: &'m Mode,
+    sample_size: usize,
+    /// (total elapsed, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if matches!(self.mode, Mode::Test) {
+            std::hint::black_box(routine());
+            return;
+        }
+        // warmup + calibration: find iterations/sample so one sample lasts
+        // roughly TARGET_MEASURE / sample_size
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < TARGET_WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let per_sample_budget = (TARGET_MEASURE.as_nanos() / self.sample_size as u128).max(1);
+        let iters = ((per_sample_budget / per_iter.max(1)).max(1)) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push((t0.elapsed(), iters));
+        }
+    }
+}
+
+enum Mode {
+    /// Measure and report timings.
+    Bench,
+    /// Smoke: run each routine once, report `ok`.
+    Test,
+}
+
+/// Top-level harness state: CLI mode + filter.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Bench,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn from_args() -> Self {
+        let mut mode = Mode::Bench;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {} // unknown flags ignored
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { mode, filter }
+    }
+
+    fn runs(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, sample_size: usize, mut f: F) {
+        if !self.runs(id) {
+            return;
+        }
+        let mut b = Bencher {
+            mode: &self.mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        match self.mode {
+            Mode::Test => println!("{id}: ok (smoke)"),
+            Mode::Bench => {
+                let mut per_iter: Vec<f64> = b
+                    .samples
+                    .iter()
+                    .map(|(d, n)| d.as_nanos() as f64 / (*n).max(1) as f64)
+                    .collect();
+                if per_iter.is_empty() {
+                    println!("{id}: no samples (bencher closure never called iter)");
+                    return;
+                }
+                per_iter.sort_by(|a, b| a.total_cmp(b));
+                let min = per_iter[0];
+                let med = per_iter[per_iter.len() / 2];
+                let max = per_iter[per_iter.len() - 1];
+                println!(
+                    "{id:<44} time: [{} {} {}]",
+                    fmt_ns(min),
+                    fmt_ns(med),
+                    fmt_ns(max)
+                );
+            }
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, 60, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 60,
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Scoped collection of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let n = self.sample_size;
+        self.criterion.run_one(&full, n, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let n = self.sample_size;
+        self.criterion.run_one(&full, n, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` names and `BenchmarkId`s, as in real criterion.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}

@@ -1,0 +1,147 @@
+//! Offline stub of rand 0.8: splitmix64-based StdRng with the API surface
+//! this workspace uses (seed_from_u64, gen_range on numeric ranges, shuffle).
+use std::ops::Range;
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen<T: FromRng>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span.max(1)) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span.max(1)) as $t
+            }
+        }
+    )*};
+}
+int_range!(u32, u64, usize, i32, i64);
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng {
+                state: state ^ 0x5DEE_CE66_D123_4567,
+            }
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    pub trait SliceRandom {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub trait FromRng {
+    fn from_rng<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: Rng>(rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl FromRng for f32 {
+    fn from_rng<R: Rng>(rng: &mut R) -> f32 {
+        rng.next_f64() as f32
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: Rng>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

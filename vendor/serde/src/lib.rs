@@ -1,0 +1,14 @@
+//! Offline stub of serde: trait names + no-op derives, enough to typecheck.
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
