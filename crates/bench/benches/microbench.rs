@@ -50,7 +50,7 @@ fn bench_lookahead(c: &mut Criterion) {
     use wire_dag::TaskId;
     use wire_planner::{lookahead, steer, SteeringConfig};
     use wire_simcloud::{CloudConfig, InstanceId};
-    use wire_simcloud::{InstanceStateView, InstanceView, MonitorSnapshot, TaskView};
+    use wire_simcloud::{InstanceStateView, InstanceView, SnapshotBuffers, TaskView};
 
     let (wf, _) = WorkloadId::EpigenomicsL.generate(1);
     let cfg = CloudConfig::default();
@@ -87,16 +87,14 @@ fn bench_lookahead(c: &mut Criterion) {
     for &t in &ready {
         tasks[t.index()] = TaskView::Ready;
     }
-    let snap = MonitorSnapshot {
-        now: Millis::from_mins(30),
-        workflow: &wf,
-        config: &cfg,
+    let bufs = SnapshotBuffers {
         tasks,
         instances,
         new_completions: vec![],
         interval_transfers: vec![],
         ready_in_dispatch_order: ready,
     };
+    let snap = bufs.snapshot(Millis::from_mins(30), &wf, &cfg);
     let remaining = vec![Millis::from_secs(8); n];
     let values = vec![Millis::from_secs(12); n];
 
@@ -116,7 +114,7 @@ fn bench_lookahead(c: &mut Criterion) {
             let up = lookahead(&snap, &remaining, &values, Millis::from_mins(3));
             let plan = steer(
                 &snap,
-                &up.occupancies(),
+                up.occupancies(),
                 &up.restart_cost,
                 &up.projected_busy,
                 SteeringConfig::default(),
@@ -124,6 +122,121 @@ fn bench_lookahead(c: &mut Criterion) {
             std::hint::black_box(plan.launch)
         })
     });
+}
+
+/// A synthetic mid-run snapshot of an `n`-task single-stage workflow: first
+/// quarter done, a few full instances of running tasks, a tranche of ready
+/// tasks queued behind them — the state shape every MAPE tick sees mid-ramp.
+fn midrun_state(
+    n: usize,
+) -> (
+    wire_dag::Workflow,
+    wire_simcloud::CloudConfig,
+    wire_simcloud::SnapshotBuffers,
+    Vec<Millis>,
+    Vec<Millis>,
+) {
+    use wire_dag::{TaskId, WorkflowBuilder};
+    use wire_simcloud::{
+        CloudConfig, InstanceId, InstanceStateView, InstanceView, SnapshotBuffers, TaskView,
+    };
+
+    let mut b = WorkflowBuilder::new("bench");
+    let s = b.add_stage("s");
+    for _ in 0..n {
+        b.add_task(s, 1_000, 1_000);
+    }
+    let wf = b.build().unwrap();
+    let cfg = CloudConfig::default();
+
+    let done = n / 4;
+    let n_inst = (n / 32).clamp(3, 12) as u32;
+    let mut tasks = vec![TaskView::Unready; n];
+    for t in tasks.iter_mut().take(done) {
+        *t = TaskView::Done {
+            exec_time: Millis::from_secs(10),
+            transfer_time: Millis::from_secs(2),
+        };
+    }
+    let mut instances = Vec::new();
+    for i in 0..n_inst {
+        let held: Vec<TaskId> = (0..4).map(|k| TaskId(done as u32 + i * 4 + k)).collect();
+        for &t in &held {
+            tasks[t.index()] = TaskView::Running {
+                instance: InstanceId(i),
+                exec_age: Millis::from_secs(5),
+                occupied_for: Millis::from_secs(7),
+            };
+        }
+        instances.push(InstanceView {
+            id: InstanceId(i),
+            state: InstanceStateView::Running {
+                charge_start: Millis::ZERO,
+            },
+            tasks: held,
+            free_slots: 0,
+        });
+    }
+    let first_ready = done + 4 * n_inst as usize;
+    let ready: Vec<TaskId> = (first_ready as u32..(n / 2) as u32).map(TaskId).collect();
+    for &t in &ready {
+        tasks[t.index()] = TaskView::Ready;
+    }
+    let bufs = SnapshotBuffers {
+        tasks,
+        instances,
+        new_completions: vec![],
+        interval_transfers: vec![],
+        ready_in_dispatch_order: ready,
+    };
+    let remaining = vec![Millis::from_secs(8); n];
+    let values = vec![Millis::from_secs(12); n];
+    (wf, cfg, bufs, remaining, values)
+}
+
+fn bench_lookahead_sweep(c: &mut Criterion) {
+    // the §III-B2 projection alone, scratch reused across iterations — the
+    // steady-state per-tick cost the zero-allocation work targets
+    use wire_planner::{lookahead_into, LookaheadScratch};
+
+    let mut group = c.benchmark_group("planner/lookahead");
+    for n in [100usize, 1000, 4000] {
+        let (wf, cfg, bufs, remaining, values) = midrun_state(n);
+        let snap = bufs.snapshot(Millis::from_mins(30), &wf, &cfg);
+        let mut scratch = LookaheadScratch::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let up = lookahead_into(
+                    &mut scratch,
+                    std::hint::black_box(&snap),
+                    &remaining,
+                    &values,
+                    Millis::from_mins(3),
+                );
+                std::hint::black_box(up.q_task.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_tick(c: &mut Criterion) {
+    // one full WirePolicy::plan — Monitor translate + Analyze (memoized
+    // predictions) + Plan (lookahead + Algorithms 2-3) — on a warmed policy,
+    // i.e. the whole controller tick the engine charges per MAPE interval
+    use wire_simcloud::ScalingPolicy;
+
+    let mut group = c.benchmark_group("planner/plan_tick");
+    for n in [100usize, 1000, 4000] {
+        let (wf, cfg, bufs, _, _) = midrun_state(n);
+        let snap = bufs.snapshot(Millis::from_mins(30), &wf, &cfg);
+        let mut policy = WirePolicy::default();
+        policy.plan(&snap); // warm start: grow buffers, seed the models
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(policy.plan(&snap).launch))
+        });
+    }
+    group.finish();
 }
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -174,6 +287,8 @@ criterion_group!(
     bench_predictor_update,
     bench_resize_pool,
     bench_lookahead,
+    bench_lookahead_sweep,
+    bench_plan_tick,
     bench_end_to_end,
     bench_full_mape_iteration
 );

@@ -119,6 +119,8 @@ fn main() {
         "u (min)",
         "mape iters",
         "controller wall (ms)",
+        "controller µs/tick",
+        "controller share (%)",
         "aggregate task time (s)",
         "time overhead (%)",
         "controller state (KB)",
@@ -129,15 +131,20 @@ fn main() {
             let (wf, prof) = w.generate(1);
             let cfg = cloud_config(Setting::Wire, u);
             let mut policy = WirePolicy::default();
+            let t0 = Instant::now();
             let res = run_workflow(&wf, &prof, cfg, TransferModel::default(), &mut policy, 1)
                 .expect("wire run completes");
+            let run_wall_s = t0.elapsed().as_secs_f64();
             let agg = prof.aggregate().as_secs_f64();
             let wall_ms = res.controller_wall.as_secs_f64() * 1000.0;
+            let per_tick_us = wall_ms * 1e3 / (res.mape_iterations.max(1) as f64);
             t.push_row([
                 w.name().to_string(),
                 u_min.to_string(),
                 res.mape_iterations.to_string(),
                 format!("{wall_ms:.2}"),
+                format!("{per_tick_us:.1}"),
+                format!("{:.2}", 100.0 * wall_ms / 1000.0 / run_wall_s.max(1e-9)),
                 format!("{agg:.0}"),
                 format!("{:.4}", 100.0 * wall_ms / 1000.0 / agg),
                 format!("{:.1}", policy.state_bytes() as f64 / 1024.0),

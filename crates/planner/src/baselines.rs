@@ -144,7 +144,7 @@ impl ScalingPolicy for ReactiveConserving {
 mod tests {
     use super::*;
     use wire_dag::{TaskId, Workflow, WorkflowBuilder};
-    use wire_simcloud::{CloudConfig, InstanceStateView, InstanceView, TaskView};
+    use wire_simcloud::{CloudConfig, InstanceStateView, InstanceView, SnapshotBuffers, TaskView};
 
     fn wf(n: usize) -> Workflow {
         let mut b = WorkflowBuilder::new("w");
@@ -176,22 +176,16 @@ mod tests {
         }
     }
 
-    fn snap<'a>(
-        wf: &'a Workflow,
-        cfg: &'a CloudConfig,
-        tasks: Vec<TaskView>,
-        instances: Vec<InstanceView>,
-    ) -> MonitorSnapshot<'a> {
+    /// Owned backing for a snapshot at t = 3 min; lend out with
+    /// `.snapshot(Millis::from_mins(3), &wf, &cfg)`.
+    fn snap(tasks: Vec<TaskView>, instances: Vec<InstanceView>) -> SnapshotBuffers {
         let ready = tasks
             .iter()
             .enumerate()
             .filter(|(_, t)| matches!(t, TaskView::Ready))
             .map(|(i, _)| TaskId(i as u32))
             .collect();
-        MonitorSnapshot {
-            now: Millis::from_mins(3),
-            workflow: wf,
-            config: cfg,
+        SnapshotBuffers {
             tasks,
             instances,
             new_completions: vec![],
@@ -206,15 +200,12 @@ mod tests {
         let c = cfg(1);
         let mut p = StaticPolicy::full_site(12);
         assert_eq!(p.name(), "full-site");
-        let s = snap(
-            &w,
-            &c,
-            vec![TaskView::Ready; 2],
-            vec![running_inst(0, vec![], 1)],
-        );
+        let b = snap(vec![TaskView::Ready; 2], vec![running_inst(0, vec![], 1)]);
+        let s = b.snapshot(Millis::from_mins(3), &w, &c);
         assert_eq!(p.plan(&s).launch, 11);
         let full: Vec<InstanceView> = (0..12).map(|i| running_inst(i, vec![], 1)).collect();
-        let s2 = snap(&w, &c, vec![TaskView::Ready; 2], full);
+        let b2 = snap(vec![TaskView::Ready; 2], full);
+        let s2 = b2.snapshot(Millis::from_mins(3), &w, &c);
         assert!(p.plan(&s2).is_noop());
     }
 
@@ -230,12 +221,8 @@ mod tests {
         let c = cfg(4);
         let mut p = PureReactive;
         // 10 active tasks / 4 slots → 3 instances wanted, 1 present
-        let s = snap(
-            &w,
-            &c,
-            vec![TaskView::Ready; 10],
-            vec![running_inst(0, vec![], 4)],
-        );
+        let b = snap(vec![TaskView::Ready; 10], vec![running_inst(0, vec![], 4)]);
+        let s = b.snapshot(Millis::from_mins(3), &w, &c);
         assert_eq!(p.plan(&s).launch, 2);
     }
 
@@ -258,9 +245,7 @@ mod tests {
             occupied_for: Millis::from_secs(1),
         };
         tasks[1] = TaskView::Ready;
-        let s = snap(
-            &w,
-            &c,
+        let b = snap(
             tasks,
             vec![
                 running_inst(0, vec![TaskId(0)], 4),
@@ -268,6 +253,7 @@ mod tests {
                 running_inst(2, vec![], 4),
             ],
         );
+        let s = b.snapshot(Millis::from_mins(3), &w, &c);
         let plan = p.plan(&s);
         assert_eq!(plan.terminate.len(), 2);
         for &(id, when) in &plan.terminate {
@@ -288,7 +274,8 @@ mod tests {
             };
             2
         ];
-        let s = snap(&w, &c, tasks, vec![running_inst(0, vec![], 4)]);
+        let b = snap(tasks, vec![running_inst(0, vec![], 4)]);
+        let s = b.snapshot(Millis::from_mins(3), &w, &c);
         assert!(p.plan(&s).is_noop());
     }
 
@@ -300,12 +287,8 @@ mod tests {
         // 40 active × 3 min = 120 min of load; u = 15 min, l = 4 →
         // Algorithm 3 packs 4 tasks of 3 min per instance-step; each instance
         // accrues 3 min/step, needs 5 steps (20 tasks) per unit → p = 2.
-        let s = snap(
-            &w,
-            &c,
-            vec![TaskView::Ready; 40],
-            vec![running_inst(0, vec![], 4)],
-        );
+        let b = snap(vec![TaskView::Ready; 40], vec![running_inst(0, vec![], 4)]);
+        let s = b.snapshot(Millis::from_mins(3), &w, &c);
         let plan = p.plan(&s);
         assert_eq!(plan.launch, 1);
     }
@@ -323,12 +306,11 @@ mod tests {
             };
             4
         ];
-        let s = snap(
-            &w,
-            &c,
+        let b = snap(
             tasks,
             vec![running_inst(0, vec![], 1), running_inst(1, vec![], 1)],
         );
+        let s = b.snapshot(Millis::from_mins(3), &w, &c);
         // now = 3 min, charge_start = 0, u = 15 → r = 12 min > 3 min
         assert!(p.plan(&s).is_noop());
     }

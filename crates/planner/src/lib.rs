@@ -18,7 +18,7 @@ pub mod wire_policy;
 
 pub use baselines::{PureReactive, ReactiveConserving, StaticPolicy};
 pub use deadline::DeadlineWirePolicy;
-pub use lookahead::{lookahead, Upcoming};
+pub use lookahead::{lookahead, lookahead_into, LookaheadScratch, Upcoming};
 pub use oracle::OracleWirePolicy;
 pub use resize::resize_pool;
 pub use steering::{steer, steer_explained, SteeringConfig};

@@ -13,6 +13,12 @@
 //! §III-D notes the controller's predicted assignment may drift from the true
 //! schedule with minor effect). Draining instances are projected to keep
 //! their running tasks but accept no new ones.
+//!
+//! The projection runs every MAPE tick, so it is engineered allocation-free
+//! in steady state: callers hold a [`LookaheadScratch`] and use
+//! [`lookahead_into`], which reuses every working buffer (event heap, backlog,
+//! dependency counters) and the output [`Upcoming`] across ticks. The
+//! [`lookahead`] wrapper allocates a fresh scratch per call for one-shot use.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -20,42 +26,54 @@ use std::collections::{BinaryHeap, VecDeque};
 use wire_dag::{Millis, TaskId, Workflow};
 use wire_simcloud::{InstanceId, InstanceStateView, MonitorSnapshot, TaskView};
 
+/// Sentinel for "no entry" in the dense index columns.
+const NONE: u32 = u32::MAX;
+
 /// The upcoming load at the start of the next interval.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Upcoming {
     /// `Q_task`: (task, predicted minimum remaining occupancy), in projected
     /// dispatch order — projected-running tasks first, then the queued
     /// backlog.
     pub q_task: Vec<(TaskId, Millis)>,
     /// `c_j` per current instance: the restart cost if the instance were
-    /// released at the start of the next interval.
+    /// released at the start of the next interval. Rows are in
+    /// `snapshot.instances` order.
     pub restart_cost: Vec<(InstanceId, Millis)>,
     /// Per current instance: predicted occupancy *beyond* the horizon from
     /// the tasks running on it now — the steering policy's "confidence that
     /// the workflow can continue to use it efficiently" (§III-B3). An
     /// instance whose tasks are predicted to keep it busy past the next
-    /// interval is not released even when its restart cost is low.
+    /// interval is not released even when its restart cost is low. Rows are
+    /// in `snapshot.instances` order.
     pub projected_busy: Vec<(InstanceId, Millis)>,
+    /// The occupancy column of `q_task`, maintained alongside it so
+    /// [`Upcoming::occupancies`] is a borrow, not a per-tick clone.
+    occ: Vec<Millis>,
+    /// Instance id → row in `restart_cost`/`projected_busy` ([`NONE`] when
+    /// the id was not in the snapshot), making the `_of` lookups O(1).
+    inst_row: Vec<u32>,
 }
 
 impl Upcoming {
     /// The occupancy column of `Q_task` (what Algorithm 3 consumes).
-    pub fn occupancies(&self) -> Vec<Millis> {
-        self.q_task.iter().map(|&(_, t)| t).collect()
+    pub fn occupancies(&self) -> &[Millis] {
+        &self.occ
+    }
+
+    fn row_of(&self, id: InstanceId) -> Option<usize> {
+        match self.inst_row.get(id.0 as usize).copied() {
+            Some(row) if row != NONE => Some(row as usize),
+            _ => None,
+        }
     }
 
     pub fn restart_cost_of(&self, id: InstanceId) -> Option<Millis> {
-        self.restart_cost
-            .iter()
-            .find(|&&(i, _)| i == id)
-            .map(|&(_, c)| c)
+        self.row_of(id).map(|r| self.restart_cost[r].1)
     }
 
     pub fn projected_busy_of(&self, id: InstanceId) -> Option<Millis> {
-        self.projected_busy
-            .iter()
-            .find(|&&(i, _)| i == id)
-            .map(|&(_, c)| c)
+        self.row_of(id).map(|r| self.projected_busy[r].1)
     }
 }
 
@@ -94,7 +112,55 @@ impl SimEvent {
     }
 }
 
+/// Reusable working state for [`lookahead_into`]: every buffer the projection
+/// touches, plus the output [`Upcoming`]. Hold one per control loop and the
+/// per-tick projection allocates nothing once the buffers have grown to the
+/// workflow's size.
+#[derive(Debug, Clone, Default)]
+pub struct LookaheadScratch {
+    /// Per task: already completed (real or projected).
+    done: Vec<bool>,
+    /// Per task: count of unmet dependencies.
+    unmet: Vec<u32>,
+    /// Queued tasks in the framework's dispatch order.
+    backlog: VecDeque<TaskId>,
+    /// Projected-running tasks (unordered; see `running_slot`).
+    running: Vec<SimRunning>,
+    /// Per task: its index in `running`, or [`NONE`] — completions resolve in
+    /// O(1) instead of a per-event linear scan of the running set.
+    running_slot: Vec<u32>,
+    /// Event heap entries carry (time, kind, id, payload index): pops stay
+    /// ordered and decode is O(1).
+    events: BinaryHeap<Reverse<(Millis, u8, u32, u32)>>,
+    event_payload: Vec<SimEvent>,
+    /// Free slots available now, per accepting instance (FIFO).
+    free_now: VecDeque<InstanceId>,
+    /// Per snapshot-instance row: is the instance draining?
+    draining: Vec<bool>,
+    /// Per snapshot-instance row: max projected sunk occupancy at the horizon.
+    projected_max: Vec<Millis>,
+    /// The output, rebuilt in place each call.
+    out: Upcoming,
+}
+
 /// Simulate the next `horizon` of execution and return the upcoming load.
+///
+/// One-shot convenience over [`lookahead_into`]: allocates a fresh
+/// [`LookaheadScratch`] per call. Control loops should hold a scratch and
+/// call [`lookahead_into`] instead.
+pub fn lookahead(
+    snapshot: &MonitorSnapshot<'_>,
+    remaining: &[Millis],
+    values: &[Millis],
+    horizon: Millis,
+) -> Upcoming {
+    let mut scratch = LookaheadScratch::default();
+    lookahead_into(&mut scratch, snapshot, remaining, values, horizon);
+    scratch.out
+}
+
+/// Simulate the next `horizon` of execution into `scratch`, returning the
+/// upcoming load borrowed from it.
 ///
 /// Two per-task arrays drive the projection:
 ///
@@ -110,12 +176,13 @@ impl SimEvent {
 ///   imminently reusable capacity and stalls pool growth at ~N/2.
 ///
 /// Entries for done tasks are ignored.
-pub fn lookahead(
+pub fn lookahead_into<'s>(
+    scratch: &'s mut LookaheadScratch,
     snapshot: &MonitorSnapshot<'_>,
     remaining: &[Millis],
     values: &[Millis],
     horizon: Millis,
-) -> Upcoming {
+) -> &'s Upcoming {
     let wf: &Workflow = snapshot.workflow;
     assert_eq!(
         remaining.len(),
@@ -124,21 +191,58 @@ pub fn lookahead(
     );
     assert_eq!(values.len(), wf.num_tasks(), "value per task required");
 
-    let mut done: Vec<bool> = snapshot.tasks.iter().map(TaskView::is_done).collect();
-    let mut unmet: Vec<u32> = wf
-        .task_ids()
-        .map(|t| wf.preds(t).iter().filter(|&&p| !done[p.index()]).count() as u32)
-        .collect();
+    // Disjoint borrows of every buffer, so the dispatch macro and closures
+    // below can mix them freely.
+    let LookaheadScratch {
+        done,
+        unmet,
+        backlog,
+        running,
+        running_slot,
+        events,
+        event_payload,
+        free_now,
+        draining,
+        projected_max,
+        out,
+    } = scratch;
+
+    let n = wf.num_tasks();
+    done.clear();
+    done.extend(snapshot.tasks.iter().map(TaskView::is_done));
+    unmet.clear();
+    unmet.extend(
+        wf.task_ids()
+            .map(|t| wf.preds(t).iter().filter(|&&p| !done[p.index()]).count() as u32),
+    );
+    running.clear();
+    running_slot.clear();
+    running_slot.resize(n, NONE);
+    events.clear();
+    event_payload.clear();
+    free_now.clear();
 
     // queued backlog in the framework's dispatch order
-    let mut backlog: VecDeque<TaskId> = snapshot.ready_in_dispatch_order.iter().copied().collect();
+    backlog.clear();
+    backlog.extend(snapshot.ready_in_dispatch_order.iter().copied());
 
-    let mut running: Vec<SimRunning> = Vec::new();
-    // heap entries carry (time, kind, id, payload index): pops stay ordered
-    // and decode is O(1) — a linear scan of a side table per pop would make
-    // each MAPE-tick projection quadratic in events.
-    let mut events: BinaryHeap<Reverse<(Millis, u8, u32, u32)>> = BinaryHeap::new();
-    let mut event_payload: Vec<SimEvent> = Vec::new();
+    // dense per-instance columns, in snapshot.instances row order
+    let max_id = snapshot
+        .instances
+        .iter()
+        .map(|iv| iv.id.0 as usize + 1)
+        .max()
+        .unwrap_or(0);
+    out.inst_row.clear();
+    out.inst_row.resize(max_id, NONE);
+    draining.clear();
+    projected_max.clear();
+    projected_max.resize(snapshot.instances.len(), Millis::ZERO);
+    for (row, iv) in snapshot.instances.iter().enumerate() {
+        out.inst_row[iv.id.0 as usize] = row as u32;
+        draining.push(matches!(iv.state, InstanceStateView::Draining { .. }));
+    }
+
     let push_event = |events: &mut BinaryHeap<Reverse<(Millis, u8, u32, u32)>>,
                       payloads: &mut Vec<SimEvent>,
                       ev: SimEvent| {
@@ -148,10 +252,7 @@ pub fn lookahead(
         payloads.push(ev);
     };
 
-    // free slots available now, per accepting instance (FIFO)
-    let mut free_now: VecDeque<InstanceId> = VecDeque::new();
-
-    for iv in &snapshot.instances {
+    for iv in snapshot.instances {
         match iv.state {
             InstanceStateView::Running { .. } => {
                 for _ in 0..iv.free_slots {
@@ -165,8 +266,8 @@ pub fn lookahead(
                         free_now.push_back(iv.id);
                     } else if at < horizon {
                         push_event(
-                            &mut events,
-                            &mut event_payload,
+                            events,
+                            event_payload,
                             SimEvent::SlotOpens {
                                 at,
                                 instance: iv.id,
@@ -180,13 +281,6 @@ pub fn lookahead(
             }
         }
     }
-
-    let draining: Vec<InstanceId> = snapshot
-        .instances
-        .iter()
-        .filter(|iv| matches!(iv.state, InstanceStateView::Draining { .. }))
-        .map(|iv| iv.id)
-        .collect();
 
     for (i, tv) in snapshot.tasks.iter().enumerate() {
         if let TaskView::Running {
@@ -208,6 +302,7 @@ pub fn lookahead(
             } else {
                 remaining[i]
             };
+            running_slot[i] = running.len() as u32;
             running.push(SimRunning {
                 task,
                 instance,
@@ -216,8 +311,8 @@ pub fn lookahead(
             });
             if finish_at < horizon {
                 push_event(
-                    &mut events,
-                    &mut event_payload,
+                    events,
+                    event_payload,
                     SimEvent::Completes {
                         at: finish_at,
                         task,
@@ -234,6 +329,7 @@ pub fn lookahead(
                 let instance = free_now.pop_front().expect("non-empty");
                 let task = backlog.pop_front().expect("non-empty");
                 let finish_at = $now + remaining[task.index()];
+                running_slot[task.index()] = running.len() as u32;
                 running.push(SimRunning {
                     task,
                     instance,
@@ -241,8 +337,8 @@ pub fn lookahead(
                     sunk_at_0: Millis::ZERO,
                 });
                 push_event(
-                    &mut events,
-                    &mut event_payload,
+                    events,
+                    event_payload,
                     SimEvent::Completes {
                         at: finish_at,
                         task,
@@ -266,12 +362,23 @@ pub fn lookahead(
                 dispatch!(at);
             }
             SimEvent::Completes { at, task } => {
-                let Some(pos) = running.iter().position(|r| r.task == task) else {
+                let slot = running_slot[task.index()];
+                if slot == NONE {
                     continue; // stale
-                };
+                }
+                let pos = slot as usize;
                 let fin = running.swap_remove(pos);
+                running_slot[task.index()] = NONE;
+                if let Some(moved) = running.get(pos) {
+                    running_slot[moved.task.index()] = pos as u32;
+                }
                 done[task.index()] = true;
-                if !draining.contains(&fin.instance) {
+                let fin_row = out
+                    .inst_row
+                    .get(fin.instance.0 as usize)
+                    .copied()
+                    .unwrap_or(NONE);
+                if fin_row == NONE || !draining[fin_row as usize] {
                     free_now.push_back(fin.instance);
                 }
                 for &s in wf.succs(task) {
@@ -288,14 +395,19 @@ pub fn lookahead(
     }
 
     // --- harvest the state at the horizon ----------------------------------
-    running.sort_by_key(|r| r.task);
-    let mut q_task: Vec<(TaskId, Millis)> = Vec::with_capacity(running.len() + backlog.len());
-    for r in &running {
-        q_task.push((r.task, values[r.task.index()]));
+    // task ids are unique, so the unstable sort is deterministic (and does
+    // not allocate the merge buffer a stable sort would)
+    running.sort_unstable_by_key(|r| r.task);
+    out.q_task.clear();
+    out.occ.clear();
+    out.q_task.reserve(running.len() + backlog.len());
+    for r in running.iter() {
+        out.q_task.push((r.task, values[r.task.index()]));
     }
-    for t in backlog {
-        q_task.push((t, values[t.index()]));
+    for &t in backlog.iter() {
+        out.q_task.push((t, values[t.index()]));
     }
+    out.occ.extend(out.q_task.iter().map(|&(_, t)| t));
 
     // Restart cost `c_j`: the sunk occupancy that would be lost by releasing
     // the instance at the interval start. The projection uses conservative
@@ -307,63 +419,55 @@ pub fn lookahead(
     // assumed to still be occupying their slot at the horizon, and (b) tasks
     // the projection newly placed on the instance.
     //
-    // Both per-instance tables are built in single passes: a nested
-    // instances × tasks scan makes wide pools (Figure 2's N = 1000 sweeps)
-    // quadratic per tick.
-    let mut projected_max: std::collections::HashMap<InstanceId, Millis> =
-        std::collections::HashMap::with_capacity(snapshot.instances.len());
-    for r in &running {
+    // Both per-instance tables are built in single passes over dense row
+    // columns: a nested instances × tasks scan makes wide pools (Figure 2's
+    // N = 1000 sweeps) quadratic per tick.
+    for r in running.iter() {
         let c = r.sunk_at_0 + (horizon - r.started_at);
-        let e = projected_max.entry(r.instance).or_insert(Millis::ZERO);
-        *e = (*e).max(c);
+        let row = out
+            .inst_row
+            .get(r.instance.0 as usize)
+            .copied()
+            .unwrap_or(NONE);
+        if row != NONE {
+            projected_max[row as usize] = projected_max[row as usize].max(c);
+        }
     }
-    let restart_cost: Vec<(InstanceId, Millis)> = snapshot
-        .instances
-        .iter()
-        .map(|iv| {
-            let projected = projected_max.get(&iv.id).copied().unwrap_or(Millis::ZERO);
-            let still_running = iv
-                .tasks
-                .iter()
-                .filter_map(|t| match snapshot.tasks[t.index()] {
-                    TaskView::Running { occupied_for, .. } => Some(occupied_for + horizon),
-                    _ => None,
-                })
-                .max()
-                .unwrap_or(Millis::ZERO);
-            (iv.id, projected.max(still_running))
-        })
-        .collect();
+    out.restart_cost.clear();
+    out.projected_busy.clear();
+    for (row, iv) in snapshot.instances.iter().enumerate() {
+        let still_running = iv
+            .tasks
+            .iter()
+            .filter_map(|t| match snapshot.tasks[t.index()] {
+                TaskView::Running { occupied_for, .. } => Some(occupied_for + horizon),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(Millis::ZERO);
+        out.restart_cost
+            .push((iv.id, projected_max[row].max(still_running)));
 
-    // Predicted occupancy of each instance beyond the horizon, from the
-    // tasks running on it at snapshot time (overdue tasks contribute zero
-    // here; their protection comes from the pessimistic restart cost).
-    let projected_busy: Vec<(InstanceId, Millis)> = snapshot
-        .instances
-        .iter()
-        .map(|iv| {
-            let busy = iv
-                .tasks
-                .iter()
-                .map(|t| remaining[t.index()].saturating_sub(horizon))
-                .max()
-                .unwrap_or(Millis::ZERO);
-            (iv.id, busy)
-        })
-        .collect();
-
-    Upcoming {
-        q_task,
-        restart_cost,
-        projected_busy,
+        // Predicted occupancy of each instance beyond the horizon, from the
+        // tasks running on it at snapshot time (overdue tasks contribute zero
+        // here; their protection comes from the pessimistic restart cost).
+        let busy = iv
+            .tasks
+            .iter()
+            .map(|t| remaining[t.index()].saturating_sub(horizon))
+            .max()
+            .unwrap_or(Millis::ZERO);
+        out.projected_busy.push((iv.id, busy));
     }
+
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use wire_dag::WorkflowBuilder;
-    use wire_simcloud::{CloudConfig, InstanceView};
+    use wire_simcloud::{CloudConfig, InstanceView, SnapshotBuffers};
 
     fn mins(m: u64) -> Millis {
         Millis::from_mins(m)
@@ -404,16 +508,16 @@ mod tests {
         instances: Vec<InstanceView>,
         ready: Vec<TaskId>,
     ) -> MonitorSnapshot<'a> {
-        MonitorSnapshot {
-            now: Millis::ZERO,
-            workflow: wf,
-            config: cfg,
+        // Snapshots borrow their backing store; leaking the buffers keeps
+        // this fixture a one-liner at call sites (test-only, bounded).
+        let bufs: &'a SnapshotBuffers = Box::leak(Box::new(SnapshotBuffers {
             tasks,
             instances,
             new_completions: vec![],
             interval_transfers: vec![],
             ready_in_dispatch_order: ready,
-        }
+        }));
+        bufs.snapshot(Millis::ZERO, wf, cfg)
     }
 
     #[test]
@@ -447,8 +551,10 @@ mod tests {
         let up = lookahead(&snap, &remaining, &values, mins(3));
         // still active at the horizon, valued at its full estimate
         assert_eq!(up.q_task, vec![(TaskId(0), mins(12))]);
+        assert_eq!(up.occupancies(), &[mins(12)]);
         // restart cost: already sunk 2 min + 3 min of the interval
         assert_eq!(up.restart_cost_of(InstanceId(0)), Some(mins(5)));
+        assert_eq!(up.restart_cost_of(InstanceId(9)), None);
     }
 
     #[test]
@@ -678,5 +784,74 @@ mod tests {
             lookahead(&snap, &[Millis::ZERO], &[Millis::ZERO], mins(3))
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_one_shot_results() {
+        // The same scratch driven through dissimilar snapshots (different
+        // workflow sizes, pool shapes, drain states) must produce exactly what
+        // a fresh per-call projection does — stale buffer contents must not
+        // leak across ticks.
+        let wf_a = chain(4);
+        let wf_b = chain(2);
+        let cfg = config(2);
+        let snap_a = snapshot(
+            &wf_a,
+            &cfg,
+            vec![
+                TaskView::Running {
+                    instance: InstanceId(3),
+                    exec_age: mins(1),
+                    occupied_for: mins(1),
+                },
+                TaskView::Unready,
+                TaskView::Unready,
+                TaskView::Unready,
+            ],
+            vec![
+                inst(
+                    3,
+                    InstanceStateView::Running {
+                        charge_start: Millis::ZERO,
+                    },
+                    vec![TaskId(0)],
+                    2,
+                ),
+                inst(
+                    5,
+                    InstanceStateView::Draining {
+                        terminate_at: mins(9),
+                    },
+                    vec![],
+                    2,
+                ),
+            ],
+            vec![],
+        );
+        let snap_b = snapshot(
+            &wf_b,
+            &cfg,
+            vec![TaskView::Ready, TaskView::Unready],
+            vec![inst(
+                1,
+                InstanceStateView::Running {
+                    charge_start: Millis::ZERO,
+                },
+                vec![],
+                2,
+            )],
+            vec![TaskId(0)],
+        );
+        let rem_a = vec![mins(2), mins(4), mins(4), mins(4)];
+        let val_a = vec![mins(3), mins(4), mins(4), mins(4)];
+        let rem_b = vec![mins(7), mins(7)];
+
+        let mut scratch = LookaheadScratch::default();
+        for _ in 0..3 {
+            let got = lookahead_into(&mut scratch, &snap_a, &rem_a, &val_a, mins(3)).clone();
+            assert_eq!(got, lookahead(&snap_a, &rem_a, &val_a, mins(3)));
+            let got = lookahead_into(&mut scratch, &snap_b, &rem_b, &rem_b, mins(3)).clone();
+            assert_eq!(got, lookahead(&snap_b, &rem_b, &rem_b, mins(3)));
+        }
     }
 }

@@ -69,7 +69,7 @@ impl ScalingPolicy for OracleWirePolicy {
         let up = lookahead(snapshot, &remaining, &values, snapshot.config.mape_interval);
         steer(
             snapshot,
-            &up.occupancies(),
+            up.occupancies(),
             &up.restart_cost,
             &up.projected_busy,
             self.steering,

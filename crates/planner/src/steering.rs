@@ -138,25 +138,42 @@ fn steer_impl(
     // shrink: candidates are running instances whose unit expires within the
     // next interval and whose restart cost is acceptable, cheapest-to-restart
     // first.
-    // hash the tables once: linear scans per candidate are quadratic on wide
-    // pools
-    let cost_map: std::collections::HashMap<InstanceId, Millis> =
-        restart_cost.iter().copied().collect();
-    let busy_map: std::collections::HashMap<InstanceId, Millis> =
-        projected_busy.iter().copied().collect();
-    let lookup = |table: &std::collections::HashMap<InstanceId, Millis>, id: InstanceId| {
-        table.get(&id).copied().unwrap_or(Millis::ZERO)
+    // The lookahead emits both tables in `snapshot.instances` row order, so
+    // the common case is a positional read; fall back to a linear find for
+    // callers handing in partial or reordered tables (linear scans per
+    // candidate would be quadratic on wide pools — the aligned path avoids
+    // that without hashing the tables each tick).
+    let aligned = |table: &[(InstanceId, Millis)]| {
+        table.len() == snapshot.instances.len()
+            && table
+                .iter()
+                .zip(snapshot.instances)
+                .all(|(&(id, _), iv)| id == iv.id)
+    };
+    let cost_aligned = aligned(restart_cost);
+    let busy_aligned = aligned(projected_busy);
+    let lookup = |table: &[(InstanceId, Millis)], aligned: bool, row: usize, id: InstanceId| {
+        if aligned {
+            table[row].1
+        } else {
+            table
+                .iter()
+                .find(|&&(i, _)| i == id)
+                .map(|&(_, c)| c)
+                .unwrap_or(Millis::ZERO)
+        }
     };
     let mut candidates: Vec<(Millis, InstanceId)> = snapshot
         .instances
         .iter()
-        .filter(|iv| iv.is_running())
-        .filter(|iv| iv.time_to_next_charge(snapshot.now, u) <= t)
+        .enumerate()
+        .filter(|(_, iv)| iv.is_running())
+        .filter(|(_, iv)| iv.time_to_next_charge(snapshot.now, u) <= t)
         // the instance's own tasks must not be predicted to keep it busy
         // beyond the waste threshold — "sufficient confidence that the
         // workflow can continue to use it efficiently" (§III-B3)
-        .filter(|iv| lookup(&busy_map, iv.id) <= threshold)
-        .map(|iv| (lookup(&cost_map, iv.id), iv.id))
+        .filter(|&(row, iv)| lookup(projected_busy, busy_aligned, row, iv.id) <= threshold)
+        .map(|(row, iv)| (lookup(restart_cost, cost_aligned, row, iv.id), iv.id))
         .filter(|&(c, _)| c <= threshold)
         .collect();
     candidates.sort();
@@ -176,10 +193,11 @@ fn steer_impl(
         snapshot
             .instances
             .iter()
-            .map(|iv| {
+            .enumerate()
+            .map(|(row, iv)| {
                 let r_j = iv.time_to_next_charge(snapshot.now, u);
-                let c_j = lookup(&cost_map, iv.id);
-                let busy = lookup(&busy_map, iv.id);
+                let c_j = lookup(restart_cost, cost_aligned, row, iv.id);
+                let busy = lookup(projected_busy, busy_aligned, row, iv.id);
                 let outcome = if !iv.is_running() {
                     JudgementOutcome::NotRunning
                 } else if released.contains(&iv.id) {
@@ -224,7 +242,7 @@ fn steer_impl(
 mod tests {
     use super::*;
     use wire_dag::{Workflow, WorkflowBuilder};
-    use wire_simcloud::{CloudConfig, InstanceStateView, InstanceView, TaskView};
+    use wire_simcloud::{CloudConfig, InstanceStateView, InstanceView, SnapshotBuffers, TaskView};
 
     fn mins(m: u64) -> Millis {
         Millis::from_mins(m)
@@ -258,16 +276,10 @@ mod tests {
         }
     }
 
-    fn snap<'a>(
-        wf: &'a Workflow,
-        cfg: &'a CloudConfig,
-        now: Millis,
-        instances: Vec<InstanceView>,
-    ) -> MonitorSnapshot<'a> {
-        MonitorSnapshot {
-            now,
-            workflow: wf,
-            config: cfg,
+    /// Owned backing for an all-ready snapshot; lend out with
+    /// `.snapshot(now, &wf, &cfg)`.
+    fn snap(wf: &Workflow, instances: Vec<InstanceView>) -> SnapshotBuffers {
+        SnapshotBuffers {
             tasks: vec![TaskView::Ready; wf.num_tasks()],
             instances,
             new_completions: vec![],
@@ -280,7 +292,8 @@ mod tests {
     fn grows_when_ideal_exceeds_current() {
         let w = wf();
         let c = cfg();
-        let s = snap(&w, &c, mins(3), vec![running_inst(0, Millis::ZERO)]);
+        let b = snap(&w, vec![running_inst(0, Millis::ZERO)]);
+        let s = b.snapshot(mins(3), &w, &c);
         // 4 tasks × 15 min on 1-slot instances → p = 4
         let q = vec![mins(15); 4];
         let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
@@ -292,7 +305,8 @@ mod tests {
     fn keeps_when_sized_right() {
         let w = wf();
         let c = cfg();
-        let s = snap(&w, &c, mins(3), vec![running_inst(0, Millis::ZERO)]);
+        let b = snap(&w, vec![running_inst(0, Millis::ZERO)]);
+        let s = b.snapshot(mins(3), &w, &c);
         // one unit of work → p = 1 = m
         let q = vec![mins(15)];
         let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
@@ -310,7 +324,8 @@ mod tests {
             tasks: vec![],
             free_slots: 1,
         });
-        let s = snap(&w, &c, mins(3), instances);
+        let b = snap(&w, instances);
+        let s = b.snapshot(mins(3), &w, &c);
         let q = vec![mins(15); 2]; // p = 2, m = 2
         let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
         assert!(plan.is_noop());
@@ -322,16 +337,15 @@ mod tests {
         let c = cfg();
         // now = 14 min. i0 started at 0 → r = 1 min ≤ t. i1 started at 10 →
         // r = 11 min > t. i2 started at 0 → r = 1 min but high restart cost.
-        let s = snap(
+        let b = snap(
             &w,
-            &c,
-            mins(14),
             vec![
                 running_inst(0, Millis::ZERO),
                 running_inst(1, mins(10)),
                 running_inst(2, Millis::ZERO),
             ],
         );
+        let s = b.snapshot(mins(14), &w, &c);
         let q = vec![mins(1)]; // p = 1, m = 3 → want to shed 2
         let costs = vec![
             (InstanceId(0), Millis::ZERO),
@@ -350,16 +364,15 @@ mod tests {
     fn shrink_prefers_cheapest_restart() {
         let w = wf();
         let c = cfg();
-        let s = snap(
+        let b = snap(
             &w,
-            &c,
-            mins(14),
             vec![
                 running_inst(0, Millis::ZERO),
                 running_inst(1, Millis::ZERO),
                 running_inst(2, Millis::ZERO),
             ],
         );
+        let s = b.snapshot(mins(14), &w, &c);
         let q = vec![mins(1)]; // p = 1 → shed up to 2
         let costs = vec![
             (InstanceId(0), mins(2)),
@@ -376,12 +389,11 @@ mod tests {
         let w = wf();
         let c = cfg();
         // m = 2 at a boundary: with empty Q_task, p = 1 → release one.
-        let s = snap(
+        let b = snap(
             &w,
-            &c,
-            mins(15),
             vec![running_inst(0, Millis::ZERO), running_inst(1, Millis::ZERO)],
         );
+        let s = b.snapshot(mins(15), &w, &c);
         let plan = steer(&s, &[], &[], &[], SteeringConfig::default());
         assert_eq!(plan.terminate.len(), 1);
         assert_eq!(plan.launch, 0);
@@ -391,16 +403,15 @@ mod tests {
     fn never_shrinks_below_ideal() {
         let w = wf();
         let c = cfg();
-        let s = snap(
+        let b = snap(
             &w,
-            &c,
-            mins(15),
             vec![
                 running_inst(0, Millis::ZERO),
                 running_inst(1, Millis::ZERO),
                 running_inst(2, Millis::ZERO),
             ],
         );
+        let s = b.snapshot(mins(15), &w, &c);
         let q = vec![mins(30), mins(30)]; // p = 2, m = 3
         let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
         assert_eq!(plan.terminate.len(), 1);

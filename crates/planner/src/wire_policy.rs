@@ -1,14 +1,52 @@
 //! The full WIRE controller: Monitor → Analyze (predictor) → Plan (lookahead +
 //! steering) wired into a [`ScalingPolicy`] the engine calls every interval.
 
-use crate::lookahead::lookahead;
+use crate::lookahead::{lookahead_into, LookaheadScratch};
 use crate::steering::{steer, steer_explained, SteeringConfig};
 use wire_dag::{Millis, TaskId, Workflow};
 use wire_predictor::{
-    CompletedTaskObs, IntervalObservations, PolicyKind, Predictor, RunningTaskObs, TaskStatus,
+    CompletedTaskObs, IntervalObservations, PolicyKind, Predictor, RunningTaskObs, StageVersions,
+    TaskStatus,
 };
 use wire_simcloud::{MonitorSnapshot, PoolPlan, ScalingPolicy, TaskView};
 use wire_telemetry::TelemetryHandle;
+
+/// A memoized per-task occupancy prediction, valid while the stamps of
+/// everything it read are unchanged (see [`StageVersions`] for the
+/// per-policy invalidation contract). Running tasks are never cached —
+/// their age, and therefore their remaining estimate, moves every tick.
+#[derive(Debug, Clone, Copy)]
+struct CachedPrediction {
+    stage: StageVersions,
+    transfer_version: u64,
+    /// 0 = UnstartedBlocked, 1 = UnstartedReady.
+    status: u8,
+    remaining: Millis,
+    value: Millis,
+    policy: PolicyKind,
+}
+
+impl CachedPrediction {
+    fn valid_for(&self, stage: StageVersions, transfer_version: u64, status: u8) -> bool {
+        if self.status != status
+            || self.transfer_version != transfer_version
+            || self.stage.completions != stage.completions
+        {
+            return false;
+        }
+        match self.policy {
+            // Policy 1/2: the choice between them and the Policy-2 value
+            // hinge on the running-age estimate.
+            PolicyKind::NoObservation | PolicyKind::RunningMedian => {
+                self.stage.running == stage.running
+            }
+            // Policy 3/4 read only completion-derived medians.
+            PolicyKind::CompletedMedian | PolicyKind::GroupMedian => true,
+            // Policy 5 additionally reads the OGD coefficients.
+            PolicyKind::OnlineGradientDescent => self.stage.model == stage.model,
+        }
+    }
+}
 
 /// WIRE's MAPE-loop policy (§III-B). Stateful: owns the per-stage learning
 /// models and updates them from each interval's monitoring data.
@@ -46,6 +84,18 @@ pub struct WirePolicy {
     /// [`wire_telemetry::DecisionRecord`] and registers its occupancy
     /// predictions for the quality join.
     telemetry: Option<TelemetryHandle>,
+    /// Reused observation buffers (Monitor phase) — cleared, not
+    /// reallocated, each tick.
+    obs: Option<IntervalObservations>,
+    /// Per-task estimate arrays handed to the lookahead, overwritten in
+    /// place every tick.
+    remaining: Vec<Millis>,
+    values: Vec<Millis>,
+    /// Per-task memoized predictions keyed by version stamps.
+    memo: Vec<Option<CachedPrediction>>,
+    /// Reusable lookahead working state + output (zero projection
+    /// allocations in steady state).
+    lookahead: LookaheadScratch,
 }
 
 impl Default for WirePolicy {
@@ -61,6 +111,11 @@ impl WirePolicy {
             predictor: None,
             policy_uses: [0; 5],
             telemetry: None,
+            obs: None,
+            remaining: Vec::new(),
+            values: Vec::new(),
+            memo: Vec::new(),
+            lookahead: LookaheadScratch::default(),
         }
     }
 
@@ -103,10 +158,21 @@ impl WirePolicy {
                 .unwrap_or(0)
     }
 
-    /// Translate a monitor snapshot into the predictor's observation format.
-    fn observations(wf: &Workflow, snapshot: &MonitorSnapshot<'_>) -> IntervalObservations {
-        let mut obs = IntervalObservations::empty_for(wf);
-        for c in &snapshot.new_completions {
+    /// Translate a monitor snapshot into the predictor's observation format,
+    /// reusing `obs`'s buffers (no per-tick allocation in steady state).
+    fn fill_observations(
+        obs: &mut IntervalObservations,
+        wf: &Workflow,
+        snapshot: &MonitorSnapshot<'_>,
+    ) {
+        if obs.per_stage.len() != wf.num_stages() {
+            *obs = IntervalObservations::empty_for(wf);
+        }
+        for so in &mut obs.per_stage {
+            so.completed.clear();
+            so.running.clear();
+        }
+        for c in snapshot.new_completions {
             let stage = wf.task(c.task).stage;
             obs.per_stage[stage.index()]
                 .completed
@@ -127,12 +193,8 @@ impl WirePolicy {
                 });
             }
         }
-        obs.transfers = snapshot.interval_transfers.clone();
-        obs
-    }
-
-    fn count_policy(&mut self, kind: PolicyKind) {
-        self.policy_uses[Self::policy_index(kind)] += 1;
+        obs.transfers.clear();
+        obs.transfers.extend_from_slice(snapshot.interval_transfers);
     }
 
     fn policy_index(kind: PolicyKind) -> usize {
@@ -162,49 +224,93 @@ impl ScalingPolicy for WirePolicy {
         let predictor = self.predictor.get_or_insert_with(|| Predictor::new(wf));
 
         // Monitor → Analyze: ingest the interval and step the models.
-        let obs = Self::observations(wf, snapshot);
-        predictor.observe_interval(&obs);
+        let obs = self
+            .obs
+            .get_or_insert_with(|| IntervalObservations::empty_for(wf));
+        Self::fill_observations(obs, wf, snapshot);
+        predictor.observe_interval(obs);
 
         // Per incomplete task: the conservative minimum remaining occupancy
         // (drives the lookahead's completion cascade) and the full occupancy
         // estimate t_i (the task's value in Q_task — progress is not
-        // credited, per the §III-E arithmetic).
-        let mut remaining = vec![Millis::ZERO; wf.num_tasks()];
-        let mut values = vec![Millis::ZERO; wf.num_tasks()];
-        let mut fired: Vec<PolicyKind> = Vec::new();
+        // credited, per the §III-E arithmetic). Unstarted tasks memoize
+        // against the predictor's version stamps: in steady state only tasks
+        // whose stage actually changed are re-predicted.
+        let n = wf.num_tasks();
+        if self.remaining.len() != n {
+            self.remaining = vec![Millis::ZERO; n];
+            self.values = vec![Millis::ZERO; n];
+            self.memo = vec![None; n];
+        }
+        let transfer_version = predictor.transfer_version();
+        let mut uses = [0u64; 5];
         for (i, tv) in snapshot.tasks.iter().enumerate() {
             let task = TaskId(i as u32);
             let status = match *tv {
-                TaskView::Done { .. } => continue,
+                TaskView::Done { .. } => {
+                    self.remaining[i] = Millis::ZERO;
+                    self.values[i] = Millis::ZERO;
+                    self.memo[i] = None;
+                    continue;
+                }
                 TaskView::Unready => TaskStatus::UnstartedBlocked,
                 TaskView::Ready => TaskStatus::UnstartedReady,
                 TaskView::Running { exec_age, .. } => TaskStatus::Running { age: exec_age },
             };
             let spec = wf.task(task);
-            let p = predictor.predict_occupancy(spec.stage, spec.input_bytes, status);
-            remaining[i] = p.remaining;
-            values[i] = p.exec_time;
-            fired.push(p.policy);
+            let (remaining, value, policy) = if matches!(status, TaskStatus::Running { .. }) {
+                // age advances every tick — nothing to memoize
+                let p = predictor.predict_occupancy(spec.stage, spec.input_bytes, status);
+                self.memo[i] = None;
+                (p.remaining, p.exec_time, p.policy)
+            } else {
+                let stage_versions = predictor.stage_state(spec.stage).versions();
+                let code = matches!(status, TaskStatus::UnstartedReady) as u8;
+                match self.memo[i].filter(|e| e.valid_for(stage_versions, transfer_version, code)) {
+                    Some(e) => (e.remaining, e.value, e.policy),
+                    None => {
+                        let p = predictor.predict_occupancy(spec.stage, spec.input_bytes, status);
+                        self.memo[i] = Some(CachedPrediction {
+                            stage: stage_versions,
+                            transfer_version,
+                            status: code,
+                            remaining: p.remaining,
+                            value: p.exec_time,
+                            policy: p.policy,
+                        });
+                        (p.remaining, p.exec_time, p.policy)
+                    }
+                }
+            };
+            self.remaining[i] = remaining;
+            self.values[i] = value;
+            uses[Self::policy_index(policy)] += 1;
             if let Some(tel) = &journal {
                 tel.note_prediction(
                     task.0,
                     spec.stage.0,
-                    Self::policy_code(p.policy),
+                    Self::policy_code(policy),
                     snapshot.now,
-                    p.exec_time,
+                    value,
                 );
             }
         }
-        for k in fired {
-            self.count_policy(k);
+        for (slot, fired) in self.policy_uses.iter_mut().zip(uses) {
+            *slot += fired;
         }
 
         // Plan: project one interval ahead, then steer.
-        let up = lookahead(snapshot, &remaining, &values, snapshot.config.mape_interval);
+        let up = lookahead_into(
+            &mut self.lookahead,
+            snapshot,
+            &self.remaining,
+            &self.values,
+            snapshot.config.mape_interval,
+        );
         if let Some(tel) = &journal {
             let (plan, record) = steer_explained(
                 snapshot,
-                &up.occupancies(),
+                up.occupancies(),
                 &up.restart_cost,
                 &up.projected_busy,
                 self.steering,
@@ -214,7 +320,7 @@ impl ScalingPolicy for WirePolicy {
         } else {
             steer(
                 snapshot,
-                &up.occupancies(),
+                up.occupancies(),
                 &up.restart_cost,
                 &up.projected_busy,
                 self.steering,

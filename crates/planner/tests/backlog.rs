@@ -1,7 +1,7 @@
 use wire_dag::{Millis, TaskId, WorkflowBuilder};
 use wire_planner::lookahead;
 use wire_simcloud::{
-    CloudConfig, InstanceId, InstanceStateView, InstanceView, MonitorSnapshot, TaskView,
+    CloudConfig, InstanceId, InstanceStateView, InstanceView, SnapshotBuffers, TaskView,
 };
 
 fn scenario(with_zero_chain: bool) -> usize {
@@ -34,10 +34,7 @@ fn scenario(with_zero_chain: bool) -> usize {
             occupied_for: Millis::from_secs(10),
         };
     }
-    let snap = MonitorSnapshot {
-        now: Millis::from_mins(3),
-        workflow: &wf,
-        config: &cfg,
+    let bufs = SnapshotBuffers {
         tasks,
         instances: vec![InstanceView {
             id: InstanceId(0),
@@ -51,6 +48,7 @@ fn scenario(with_zero_chain: bool) -> usize {
         interval_transfers: vec![],
         ready_in_dispatch_order: (4..100).map(TaskId).collect(),
     };
+    let snap = bufs.snapshot(Millis::from_mins(3), &wf, &cfg);
     let mut est = vec![Millis::from_secs(20); n];
     for e in est.iter_mut().skip(100) {
         *e = Millis::ZERO; // unknown successor stage (Policy 1)

@@ -43,5 +43,5 @@ pub use policies::{PolicyKind, Prediction, TaskStatus};
 pub use predictor::{
     CompletedTaskObs, IntervalObservations, Predictor, RunningTaskObs, StageIntervalObs,
 };
-pub use stage_model::StageState;
+pub use stage_model::{StageState, StageVersions};
 pub use transfer::TransferEstimator;

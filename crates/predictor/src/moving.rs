@@ -33,11 +33,16 @@ impl IntervalMedian {
     /// nothing), but are skipped when answering queries so the estimator stays
     /// *memoryless with fallback*: it prefers the freshest data and degrades to
     /// older intervals only when the fresh ones are silent.
-    pub fn push_interval(&mut self, obs: Vec<Millis>) {
+    ///
+    /// Returns the batch evicted from the window (if any) so callers on the
+    /// per-tick hot path can recycle its allocation for the next interval.
+    pub fn push_interval(&mut self, obs: Vec<Millis>) -> Option<Vec<Millis>> {
         self.intervals.push_back(obs);
+        let mut evicted = None;
         while self.intervals.len() > self.window {
-            self.intervals.pop_front();
+            evicted = self.intervals.pop_front();
         }
+        evicted
     }
 
     /// Median over the observations of the newest non-empty interval within the
@@ -53,8 +58,16 @@ impl IntervalMedian {
 
     /// Median over *all* observations in the window — the longer-term trend.
     pub fn window_median(&self) -> Option<Millis> {
-        let all: Vec<Millis> = self.intervals.iter().flatten().copied().collect();
-        median_millis(&all)
+        self.window_median_into(&mut Vec::new())
+    }
+
+    /// [`IntervalMedian::window_median`] reusing a caller-held scratch buffer
+    /// — per-tick callers avoid re-allocating (and re-sorting) the gathered
+    /// window on every interval.
+    pub fn window_median_into(&self, scratch: &mut Vec<Millis>) -> Option<Millis> {
+        scratch.clear();
+        scratch.extend(self.intervals.iter().flatten().copied());
+        crate::median::median_millis_mut(scratch)
     }
 
     /// Number of intervals currently retained.

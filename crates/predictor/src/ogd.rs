@@ -94,6 +94,13 @@ impl OgdModel {
         (self.alpha0, self.alpha1)
     }
 
+    /// Everything [`OgdModel::predict_secs`] reads: `(α0, α1, scale)`.
+    /// Two models with equal params produce identical predictions, so this
+    /// triple is the model's memoization stamp.
+    pub fn prediction_params(&self) -> (f64, f64, f64) {
+        (self.alpha0, self.alpha1, self.scale)
+    }
+
     pub fn iterations(&self) -> u64 {
         self.iterations
     }

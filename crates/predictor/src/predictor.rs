@@ -116,10 +116,10 @@ impl Predictor {
             for c in &so.completed {
                 state.record_completion(c.input_bytes, c.exec_time);
             }
-            state.set_running(so.running.iter().map(|r| (r.task, r.age)).collect());
+            state.set_running(so.running.iter().map(|r| (r.task, r.age)));
             state.update_model();
         }
-        self.transfer.push_interval(obs.transfers.clone());
+        self.transfer.push_interval(&obs.transfers);
         self.intervals_seen += 1;
     }
 
@@ -153,6 +153,12 @@ impl Predictor {
     /// `t̃_data` — the current transfer-time estimate.
     pub fn transfer_estimate(&self) -> Millis {
         self.transfer.estimate()
+    }
+
+    /// Memoization stamp of the transfer estimate: unchanged as long as
+    /// [`Predictor::transfer_estimate`] keeps returning the same value.
+    pub fn transfer_version(&self) -> u64 {
+        self.transfer.version()
     }
 
     pub fn stage_state(&self, stage: StageId) -> &StageState {

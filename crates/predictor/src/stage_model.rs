@@ -6,7 +6,7 @@
 //! (Policy 2), and the stage's OGD model (Policy 5).
 
 use crate::estimators::Estimator;
-use crate::median::{median_millis, MedianAcc};
+use crate::median::{median_millis_mut, MedianAcc};
 use crate::moving::IntervalMedian;
 use crate::ogd::{OgdModel, TrainPoint};
 use wire_dag::{Millis, TaskId};
@@ -90,6 +90,30 @@ impl SizeGroup {
     }
 }
 
+/// Monotonic change stamps for one stage's prediction inputs, grouped by
+/// which of the five policies reads them. Consumers memoize per-task
+/// predictions against these: a cached estimate stays valid while every
+/// stamp its policy actually read is unchanged (plus the transfer
+/// estimator's own version).
+///
+/// * Policies 1/2 read `completions` (the has-completions branch) and
+///   `running` (the Policy-2 age estimate).
+/// * Policies 3/4 read `completions` only (stage-wide and per-group
+///   medians change exclusively via [`StageState::record_completion`]).
+/// * Policy 5 reads `completions` (group-match test) and `model`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageVersions {
+    /// Bumped on every recorded completion: group membership, group medians,
+    /// the stage-wide median and `has_completions` may all have changed.
+    pub completions: u64,
+    /// Bumped when the cached Policy-2 running-age estimate or
+    /// `has_running` changes.
+    pub running: u64,
+    /// Bumped when an Algorithm-1 step actually moves the OGD model's
+    /// prediction parameters.
+    pub model: u64,
+}
+
 /// All observation state the predictor holds for one stage.
 #[derive(Debug, Clone, Default)]
 pub struct StageState {
@@ -115,6 +139,13 @@ pub struct StageState {
     age_history: Option<IntervalMedian>,
     /// The stage's online gradient descent model (Policy 5).
     ogd: OgdModel,
+    /// Change stamps for memoizing per-task predictions.
+    versions: StageVersions,
+    /// Recycled per-interval buffers (running ages, gathered window, OGD
+    /// training set).
+    age_scratch: Vec<Millis>,
+    window_scratch: Vec<Millis>,
+    train_scratch: Vec<TrainPoint>,
 }
 
 impl StageState {
@@ -143,41 +174,63 @@ impl StageState {
             Some(g) => g.times.push(exec),
             None => self.groups.push(SizeGroup::new(input_bytes, exec)),
         }
+        self.versions.completions += 1;
     }
 
     /// Replace the running-task snapshot for the current interval, feeding
     /// the ages into the moving-median window.
-    pub fn set_running(&mut self, running: Vec<(TaskId, Millis)>) {
-        let ages: Vec<Millis> = running.iter().map(|&(_, a)| a).collect();
-        let history = self
-            .age_history
-            .get_or_insert_with(|| IntervalMedian::new(RUNNING_AGE_WINDOW));
-        history.push_interval(ages.clone());
+    pub fn set_running<I>(&mut self, running: I)
+    where
+        I: IntoIterator<Item = (TaskId, Millis)>,
+    {
+        let was_running = !self.running.is_empty();
+        let old_estimate = self.cached_running_age;
+        self.running.clear();
+        self.running.extend(running);
+        let mut ages = std::mem::take(&mut self.age_scratch);
+        ages.clear();
+        ages.extend(self.running.iter().map(|&(_, a)| a));
         // cache the Policy-2 estimate once per interval: the controller reads
         // it once per incomplete task, and recomputing medians over the window
         // per read makes wide stages quadratic
-        let current = median_millis(&ages);
-        let windowed = history.window_median();
+        let current = median_millis_mut(&mut ages);
+        let history = self
+            .age_history
+            .get_or_insert_with(|| IntervalMedian::new(RUNNING_AGE_WINDOW));
+        if let Some(evicted) = history.push_interval(ages) {
+            self.age_scratch = evicted;
+        }
+        let windowed = history.window_median_into(&mut self.window_scratch);
         self.cached_running_age = match (current, windowed) {
             (Some(c), Some(w)) => Some(c.max(w)),
             (c, w) => c.or(w).filter(|_| current.is_some()),
         };
-        self.running = running;
+        if self.cached_running_age != old_estimate || self.running.is_empty() == was_running {
+            self.versions.running += 1;
+        }
     }
 
     /// One Algorithm-1 gradient step over the current per-group training set.
     pub fn update_model(&mut self) {
-        let training: Vec<TrainPoint> = self
-            .groups
-            .iter()
-            .filter_map(|g| {
-                g.median().map(|t| TrainPoint {
-                    input_bytes: g.rep_bytes as f64,
-                    exec_secs: t.as_secs_f64(),
-                })
+        let mut training = std::mem::take(&mut self.train_scratch);
+        training.clear();
+        training.extend(self.groups.iter().filter_map(|g| {
+            g.median().map(|t| TrainPoint {
+                input_bytes: g.rep_bytes as f64,
+                exec_secs: t.as_secs_f64(),
             })
-            .collect();
+        }));
+        let before = self.ogd.prediction_params();
         self.ogd.update(&training);
+        if self.ogd.prediction_params() != before {
+            self.versions.model += 1;
+        }
+        self.train_scratch = training;
+    }
+
+    /// The stage's memoization stamps (see [`StageVersions`]).
+    pub fn versions(&self) -> StageVersions {
+        self.versions
     }
 
     pub fn has_completions(&self) -> bool {

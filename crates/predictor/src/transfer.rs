@@ -16,6 +16,15 @@ pub const DEFAULT_FALLBACK_WINDOW: usize = 8;
 #[derive(Debug, Clone)]
 pub struct TransferEstimator {
     intervals: IntervalMedian,
+    /// Bumped whenever [`TransferEstimator::estimate`] changes value — the
+    /// memoization stamp consumers key cached occupancy predictions on.
+    version: u64,
+    /// The current estimate, refreshed by [`TransferEstimator::push_interval`]
+    /// — readers call [`TransferEstimator::estimate`] once per task per tick,
+    /// so it must not re-derive the interval median per read.
+    cached: Millis,
+    /// Recycled batch storage (the window's evicted interval).
+    spare: Vec<Millis>,
 }
 
 impl Default for TransferEstimator {
@@ -28,19 +37,38 @@ impl TransferEstimator {
     pub fn new(fallback_window: usize) -> Self {
         TransferEstimator {
             intervals: IntervalMedian::new(fallback_window),
+            version: 0,
+            cached: Millis::ZERO,
+            spare: Vec::new(),
         }
     }
 
     /// Close a MAPE interval, recording the transfer durations observed in it.
-    pub fn push_interval(&mut self, transfers: Vec<Millis>) {
-        self.intervals.push_interval(transfers);
+    pub fn push_interval(&mut self, transfers: impl AsRef<[Millis]>) {
+        let mut batch = std::mem::take(&mut self.spare);
+        batch.clear();
+        batch.extend_from_slice(transfers.as_ref());
+        if let Some(evicted) = self.intervals.push_interval(batch) {
+            self.spare = evicted;
+        }
+        let now = self.intervals.latest_median().unwrap_or(Millis::ZERO);
+        if now != self.cached {
+            self.cached = now;
+            self.version += 1;
+        }
+    }
+
+    /// Monotonic stamp: unchanged as long as [`TransferEstimator::estimate`]
+    /// keeps returning the same value.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// `t̃_data` — median of the most recent interval's transfers, falling back
     /// to older intervals within the window, and to zero before any
     /// observation (conservative minimum, consistent with Policy 1).
     pub fn estimate(&self) -> Millis {
-        self.intervals.latest_median().unwrap_or(Millis::ZERO)
+        self.cached
     }
 
     /// Number of retained observations (overhead accounting).

@@ -99,6 +99,9 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
     // per-interval accumulators for the monitor
     new_completions: Vec<CompletionView>,
     interval_transfers: Vec<Millis>,
+    // persistent buffers reused every tick so the hot path allocates nothing
+    snapshot_scratch: SnapshotScratch,
+    resubmit_scratch: Vec<TaskId>,
 
     // metrics
     busy_slot_time: Millis,
@@ -214,6 +217,8 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             instance_epochs: Vec::new(),
             new_completions: Vec::new(),
             interval_transfers: Vec::new(),
+            snapshot_scratch: SnapshotScratch::default(),
+            resubmit_scratch: Vec::new(),
             busy_slot_time: Millis::ZERO,
             wasted_slot_time: Millis::ZERO,
             units_total: 0,
@@ -262,7 +267,8 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         // (stage-in, create-dir); with zero setup they are ready immediately
         if self.config.run_setup.is_zero() {
             self.emit(TelemetryEvent::RunSetupDone);
-            for t in self.wf.roots().collect::<Vec<_>>() {
+            let wf = self.wf;
+            for t in wf.roots() {
                 self.mark_ready(t);
             }
             self.dispatch();
@@ -288,7 +294,8 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             match kind {
                 EventKind::RunSetupDone => {
                     self.emit(TelemetryEvent::RunSetupDone);
-                    for t in self.wf.roots().collect::<Vec<_>>() {
+                    let wf = self.wf;
+                    for t in wf.roots() {
                         self.mark_ready(t);
                     }
                     self.dispatch();
@@ -436,6 +443,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         self.mape_iterations += 1;
         let (plan, controller_elapsed) = {
             let snapshot = build_snapshot(
+                &mut self.snapshot_scratch,
                 self.wf,
                 &self.config,
                 self.clock,
@@ -575,7 +583,9 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             | InstanceState::Draining { charge_start, .. } => charge_start,
             _ => unreachable!("terminating a non-active instance"),
         };
-        let tasks: Vec<TaskId> = inst.running_tasks().collect();
+        let mut tasks = std::mem::take(&mut self.resubmit_scratch);
+        tasks.clear();
+        tasks.extend(inst.running_tasks());
         for slot in inst.slots.iter_mut() {
             *slot = None;
         }
@@ -602,7 +612,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             units,
         });
 
-        for task in tasks {
+        for task in tasks.drain(..) {
             let (assigned_at, slot) = match self.tasks[task.index()] {
                 TaskState::Running {
                     assigned_at, slot, ..
@@ -625,6 +635,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                 sunk,
             });
         }
+        self.resubmit_scratch = tasks;
         self.note_pool_change();
     }
 
@@ -901,24 +912,41 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     }
 }
 
+/// Persistent backing store for the per-tick [`MonitorSnapshot`]. All Vecs
+/// (including the inner `InstanceView::tasks` Vecs) keep their capacity
+/// across ticks, so after warm-up the monitor phase allocates nothing.
+#[derive(Default)]
+struct SnapshotScratch {
+    tasks: Vec<TaskView>,
+    /// Overwritten in place; only `instances[..instances_len]` is live. Slots
+    /// past the logical length are kept so a shrinking pool doesn't drop the
+    /// inner task-Vec capacity it will need when the pool grows again.
+    instances: Vec<InstanceView>,
+    instances_len: usize,
+    ready_order: Vec<TaskId>,
+}
+
 /// Build the sanitized policy-visible snapshot from disjoint engine fields
-/// (free function so `policy` can be borrowed mutably alongside it).
+/// into `scratch` (free function so `policy` can be borrowed mutably
+/// alongside it). The completion/transfer accumulators are lent out as-is —
+/// the engine clears them only after the plan call returns.
 #[allow(clippy::too_many_arguments)]
 fn build_snapshot<'a>(
+    scratch: &'a mut SnapshotScratch,
     wf: &'a Workflow,
     config: &'a CloudConfig,
     now: Millis,
     task_states: &[TaskState],
     records: &[Option<TaskRecord>],
     instances: &[Instance],
-    new_completions: &[CompletionView],
-    interval_transfers: &[Millis],
+    new_completions: &'a [CompletionView],
+    interval_transfers: &'a [Millis],
     ready: &ReadyQueue,
 ) -> MonitorSnapshot<'a> {
-    let tasks: Vec<TaskView> = task_states
-        .iter()
-        .enumerate()
-        .map(|(i, st)| match *st {
+    scratch.tasks.clear();
+    scratch
+        .tasks
+        .extend(task_states.iter().enumerate().map(|(i, st)| match *st {
             TaskState::Unready { .. } => TaskView::Unready,
             TaskState::Ready => TaskView::Ready,
             TaskState::Running {
@@ -938,36 +966,49 @@ fn build_snapshot<'a>(
                     transfer_time: r.transfer_time,
                 }
             }
-        })
-        .collect();
-    let instances: Vec<InstanceView> = instances
-        .iter()
-        .filter(|i| i.is_active())
-        .map(|i| InstanceView {
-            id: i.id,
-            state: match i.state {
-                InstanceState::Launching { ready_at } => InstanceStateView::Launching { ready_at },
-                InstanceState::Running { charge_start } => {
-                    InstanceStateView::Running { charge_start }
-                }
-                InstanceState::Draining { terminate_at, .. } => {
-                    InstanceStateView::Draining { terminate_at }
-                }
-                InstanceState::Terminated { .. } => unreachable!(),
-            },
-            tasks: i.running_tasks().collect(),
-            free_slots: (i.slots.len() - i.occupied_slots()) as u32,
-        })
-        .collect();
+        }));
+
+    let mut live = 0usize;
+    for i in instances.iter().filter(|i| i.is_active()) {
+        let state = match i.state {
+            InstanceState::Launching { ready_at } => InstanceStateView::Launching { ready_at },
+            InstanceState::Running { charge_start } => InstanceStateView::Running { charge_start },
+            InstanceState::Draining { terminate_at, .. } => {
+                InstanceStateView::Draining { terminate_at }
+            }
+            InstanceState::Terminated { .. } => unreachable!(),
+        };
+        let free_slots = (i.slots.len() - i.occupied_slots()) as u32;
+        if let Some(view) = scratch.instances.get_mut(live) {
+            view.id = i.id;
+            view.state = state;
+            view.free_slots = free_slots;
+            view.tasks.clear();
+            view.tasks.extend(i.running_tasks());
+        } else {
+            scratch.instances.push(InstanceView {
+                id: i.id,
+                state,
+                tasks: i.running_tasks().collect(),
+                free_slots,
+            });
+        }
+        live += 1;
+    }
+    scratch.instances_len = live;
+
+    scratch.ready_order.clear();
+    scratch.ready_order.extend(ready.iter_in_order());
+
     MonitorSnapshot {
         now,
         workflow: wf,
         config,
-        tasks,
-        instances,
-        new_completions: new_completions.to_vec(),
-        interval_transfers: interval_transfers.to_vec(),
-        ready_in_dispatch_order: ready.iter_in_order().collect(),
+        tasks: &scratch.tasks,
+        instances: &scratch.instances[..scratch.instances_len],
+        new_completions,
+        interval_transfers,
+        ready_in_dispatch_order: &scratch.ready_order,
     }
 }
 

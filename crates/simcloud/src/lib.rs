@@ -37,7 +37,7 @@ pub mod transfer;
 pub use config::CloudConfig;
 pub use engine::{run_workflow, run_workflow_recorded, Engine, RunError};
 pub use instance::{InstanceId, InstanceStateView};
-pub use observe::{CompletionView, InstanceView, MonitorSnapshot, TaskView};
+pub use observe::{CompletionView, InstanceView, MonitorSnapshot, SnapshotBuffers, TaskView};
 pub use policy::{PoolPlan, ScalingPolicy, TerminateWhen};
 pub use result::{RunResult, TaskRecord};
 pub use trace::{RunTrace, TraceEvent};

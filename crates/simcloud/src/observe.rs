@@ -86,22 +86,61 @@ pub struct CompletionView {
 }
 
 /// Full monitoring snapshot handed to [`crate::ScalingPolicy::plan`] each tick.
-#[derive(Debug, Clone)]
+///
+/// All collection fields are borrowed slices: the engine writes them into a
+/// persistent scratch buffer once per tick and lends them out, so building a
+/// snapshot allocates nothing in steady state. Policies that need to keep
+/// data across ticks must copy it out (the snapshot is valid only for the
+/// duration of one `plan` call).
+#[derive(Debug, Clone, Copy)]
 pub struct MonitorSnapshot<'a> {
     pub now: Millis,
     pub workflow: &'a Workflow,
     pub config: &'a CloudConfig,
     /// Per-task view, indexed by `TaskId`.
-    pub tasks: Vec<TaskView>,
+    pub tasks: &'a [TaskView],
     /// All non-terminated instances, in id order.
-    pub instances: Vec<InstanceView>,
+    pub instances: &'a [InstanceView],
     /// Completions since the previous tick.
-    pub new_completions: Vec<CompletionView>,
+    pub new_completions: &'a [CompletionView],
     /// Transfer durations (in + out, per completed task) observed since the
     /// previous tick — the predictor's `t̃_data` feed.
-    pub interval_transfers: Vec<Millis>,
+    pub interval_transfers: &'a [Millis],
     /// Ready tasks in the order the framework would dispatch them.
+    pub ready_in_dispatch_order: &'a [TaskId],
+}
+
+/// Owned backing storage for a [`MonitorSnapshot`] — the caller-side
+/// counterpart of the engine's internal scratch, for tests, benches and any
+/// host that assembles snapshots by hand.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotBuffers {
+    pub tasks: Vec<TaskView>,
+    pub instances: Vec<InstanceView>,
+    pub new_completions: Vec<CompletionView>,
+    pub interval_transfers: Vec<Millis>,
     pub ready_in_dispatch_order: Vec<TaskId>,
+}
+
+impl SnapshotBuffers {
+    /// Lend the buffers out as a snapshot.
+    pub fn snapshot<'a>(
+        &'a self,
+        now: Millis,
+        workflow: &'a Workflow,
+        config: &'a CloudConfig,
+    ) -> MonitorSnapshot<'a> {
+        MonitorSnapshot {
+            now,
+            workflow,
+            config,
+            tasks: &self.tasks,
+            instances: &self.instances,
+            new_completions: &self.new_completions,
+            interval_transfers: &self.interval_transfers,
+            ready_in_dispatch_order: &self.ready_in_dispatch_order,
+        }
+    }
 }
 
 impl MonitorSnapshot<'_> {
