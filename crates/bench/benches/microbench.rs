@@ -6,7 +6,7 @@ use wire_core::experiment::{cloud_config, run_setting, Setting};
 use wire_dag::Millis;
 use wire_planner::{resize_pool, WirePolicy};
 use wire_predictor::{CompletedTaskObs, IntervalObservations, Predictor};
-use wire_simcloud::{run_workflow, TransferModel};
+use wire_simcloud::{Session, TransferModel};
 use wire_workloads::WorkloadId;
 
 fn bench_predictor_update(c: &mut Criterion) {
@@ -94,7 +94,8 @@ fn bench_lookahead(c: &mut Criterion) {
         interval_transfers: vec![],
         ready_in_dispatch_order: ready,
     };
-    let snap = bufs.snapshot(Millis::from_mins(30), &wf, &cfg);
+    let slots = [wire_simcloud::WorkflowSlot::solo(&wf)];
+    let snap = bufs.snapshot(Millis::from_mins(30), &slots, &cfg);
     let remaining = vec![Millis::from_secs(8); n];
     let values = vec![Millis::from_secs(12); n];
 
@@ -202,7 +203,8 @@ fn bench_lookahead_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("planner/lookahead");
     for n in [100usize, 1000, 4000] {
         let (wf, cfg, bufs, remaining, values) = midrun_state(n);
-        let snap = bufs.snapshot(Millis::from_mins(30), &wf, &cfg);
+        let slots = [wire_simcloud::WorkflowSlot::solo(&wf)];
+        let snap = bufs.snapshot(Millis::from_mins(30), &slots, &cfg);
         let mut scratch = LookaheadScratch::default();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -229,7 +231,8 @@ fn bench_plan_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("planner/plan_tick");
     for n in [100usize, 1000, 4000] {
         let (wf, cfg, bufs, _, _) = midrun_state(n);
-        let snap = bufs.snapshot(Millis::from_mins(30), &wf, &cfg);
+        let slots = [wire_simcloud::WorkflowSlot::solo(&wf)];
+        let snap = bufs.snapshot(Millis::from_mins(30), &slots, &cfg);
         let mut policy = WirePolicy::default();
         policy.plan(&snap); // warm start: grow buffers, seed the models
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -267,16 +270,14 @@ fn bench_full_mape_iteration(c: &mut Criterion) {
         let (wf, prof) = WorkloadId::EpigenomicsL.generate(1);
         let cfg = cloud_config(Setting::Wire, Millis::from_mins(15));
         b.iter(|| {
-            run_workflow(
-                &wf,
-                &prof,
-                cfg.clone(),
-                TransferModel::default(),
-                WirePolicy::default(),
-                1,
-            )
-            .unwrap()
-            .charging_units
+            Session::new(cfg.clone())
+                .transfer(TransferModel::default())
+                .policy(WirePolicy::default())
+                .seed(1)
+                .submit(&wf, &prof)
+                .run()
+                .unwrap()
+                .charging_units
         })
     });
     group.finish();

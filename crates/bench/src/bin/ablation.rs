@@ -11,7 +11,7 @@ use wire_core::Table;
 use wire_dag::Millis;
 use wire_planner::{OracleWirePolicy, SteeringConfig, WirePolicy};
 use wire_predictor::Estimator;
-use wire_simcloud::{run_workflow, TransferModel};
+use wire_simcloud::{Session, TransferModel};
 use wire_workloads::WorkloadId;
 
 fn main() {
@@ -29,15 +29,13 @@ fn main() {
             let (wf, prof) = w.generate(1);
             let mut cfg = cloud_config(Setting::Wire, u);
             cfg.first_five_priority = ff;
-            let res = run_workflow(
-                &wf,
-                &prof,
-                cfg,
-                TransferModel::default(),
-                WirePolicy::default(),
-                1,
-            )
-            .unwrap();
+            let res = Session::new(cfg)
+                .transfer(TransferModel::default())
+                .policy(WirePolicy::default())
+                .seed(1)
+                .submit(&wf, &prof)
+                .run()
+                .unwrap();
             t.push_row([
                 w.name().to_string(),
                 ff.to_string(),
@@ -68,7 +66,13 @@ fn main() {
                 waste_fraction: frac,
                 ..SteeringConfig::default()
             });
-            let res = run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, 1).unwrap();
+            let res = Session::new(cfg)
+                .transfer(TransferModel::default())
+                .policy(policy)
+                .seed(1)
+                .submit(&wf, &prof)
+                .run()
+                .unwrap();
             t.push_row([
                 w.name().to_string(),
                 format!("{frac}"),
@@ -100,7 +104,13 @@ fn main() {
                 fill_target: fill,
                 ..SteeringConfig::default()
             });
-            let res = run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, 1).unwrap();
+            let res = Session::new(cfg)
+                .transfer(TransferModel::default())
+                .policy(policy)
+                .seed(1)
+                .submit(&wf, &prof)
+                .run()
+                .unwrap();
             t.push_row([
                 w.name().to_string(),
                 format!("{fill}"),
@@ -122,24 +132,20 @@ fn main() {
         let (wf, prof) = w.generate(1);
         let tm = TransferModel::default();
         let cfg = cloud_config(Setting::Wire, u);
-        let wire = run_workflow(
-            &wf,
-            &prof,
-            cfg.clone(),
-            tm.clone(),
-            WirePolicy::default(),
-            1,
-        )
-        .unwrap();
-        let oracle = run_workflow(
-            &wf,
-            &prof,
-            cfg,
-            tm.clone(),
-            OracleWirePolicy::new(prof.clone(), tm),
-            1,
-        )
-        .unwrap();
+        let wire = Session::new(cfg.clone())
+            .transfer(tm.clone())
+            .policy(WirePolicy::default())
+            .seed(1)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
+        let oracle = Session::new(cfg)
+            .transfer(tm.clone())
+            .policy(OracleWirePolicy::new(prof.clone(), tm))
+            .seed(1)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
         for r in [&wire, &oracle] {
             t.push_row([
                 w.name().to_string(),

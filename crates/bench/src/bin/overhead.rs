@@ -10,7 +10,7 @@ use wire_core::experiment::{cloud_config, Setting, CHARGING_UNITS_MINS};
 use wire_core::Table;
 use wire_dag::Millis;
 use wire_planner::WirePolicy;
-use wire_simcloud::{run_workflow, run_workflow_recorded, RunResult, TransferModel};
+use wire_simcloud::{RunResult, Session, TransferModel};
 use wire_telemetry::TelemetryHandle;
 use wire_workloads::WorkloadId;
 
@@ -47,30 +47,26 @@ fn telemetry_overhead(workloads: &[WorkloadId]) {
         let (wf, prof) = w.generate(1);
         let cfg = cloud_config(Setting::Wire, u);
         let (noop_s, noop_res) = time_best(reps, || {
-            run_workflow(
-                &wf,
-                &prof,
-                cfg.clone(),
-                TransferModel::default(),
-                WirePolicy::default(),
-                1,
-            )
-            .expect("noop run completes")
+            Session::new(cfg.clone())
+                .transfer(TransferModel::default())
+                .policy(WirePolicy::default())
+                .seed(1)
+                .submit(&wf, &prof)
+                .run()
+                .expect("noop run completes")
         });
         let mut captured = (0usize, 0usize);
         let (rec_s, rec_res) = time_best(reps, || {
             let handle = TelemetryHandle::new();
             let policy = WirePolicy::default().with_telemetry(handle.clone());
-            let r = run_workflow_recorded(
-                &wf,
-                &prof,
-                cfg.clone(),
-                TransferModel::default(),
-                policy,
-                1,
-                handle.clone(),
-            )
-            .expect("recorded run completes");
+            let r = Session::new(cfg.clone())
+                .transfer(TransferModel::default())
+                .policy(policy)
+                .seed(1)
+                .recording(handle.clone())
+                .submit(&wf, &prof)
+                .run()
+                .expect("recorded run completes");
             let buffer = handle.take();
             captured = (buffer.events.len(), buffer.decisions.len());
             r
@@ -132,7 +128,12 @@ fn main() {
             let cfg = cloud_config(Setting::Wire, u);
             let mut policy = WirePolicy::default();
             let t0 = Instant::now();
-            let res = run_workflow(&wf, &prof, cfg, TransferModel::default(), &mut policy, 1)
+            let res = Session::new(cfg)
+                .transfer(TransferModel::default())
+                .policy(&mut policy)
+                .seed(1)
+                .submit(&wf, &prof)
+                .run()
                 .expect("wire run completes");
             let run_wall_s = t0.elapsed().as_secs_f64();
             let agg = prof.aggregate().as_secs_f64();

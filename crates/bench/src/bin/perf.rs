@@ -20,7 +20,7 @@ use std::time::Instant;
 use wire_bench::results_dir;
 use wire_dag::Millis;
 use wire_planner::WirePolicy;
-use wire_simcloud::{run_workflow_recorded, CloudConfig, TransferModel};
+use wire_simcloud::{CloudConfig, Session, TransferModel};
 use wire_telemetry::{Recorder, TelemetryEvent, TickStats};
 use wire_workloads::linear_stage;
 
@@ -70,16 +70,14 @@ fn run_cell(n: usize) -> Cell {
 
     let mut sampler = TickSampler::default();
     let t0 = Instant::now();
-    let res = run_workflow_recorded(
-        &wf,
-        &prof,
-        cfg,
-        TransferModel::none(),
-        WirePolicy::default(),
-        1,
-        &mut sampler,
-    )
-    .expect("linear stage completes");
+    let res = Session::new(cfg)
+        .transfer(TransferModel::none())
+        .policy(WirePolicy::default())
+        .seed(1)
+        .recording(&mut sampler)
+        .submit(&wf, &prof)
+        .run()
+        .expect("linear stage completes");
     let run_wall = t0.elapsed();
 
     let mut tick_us = sampler.tick_us;

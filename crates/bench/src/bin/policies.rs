@@ -10,7 +10,7 @@ use wire_core::experiment::{cloud_config_for, Setting};
 use wire_core::Table;
 use wire_dag::Millis;
 use wire_planner::WirePolicy;
-use wire_simcloud::{run_workflow, TransferModel};
+use wire_simcloud::{Session, TransferModel};
 use wire_workloads::WorkloadId;
 
 fn main() {
@@ -35,7 +35,12 @@ fn main() {
             let (wf, prof) = w.generate(1);
             let cfg = cloud_config_for(Setting::Wire, u, w.spec().total_input_bytes);
             let mut policy = WirePolicy::default();
-            run_workflow(&wf, &prof, cfg, TransferModel::default(), &mut policy, 1)
+            Session::new(cfg)
+                .transfer(TransferModel::default())
+                .policy(&mut policy)
+                .seed(1)
+                .submit(&wf, &prof)
+                .run()
                 .expect("wire run completes");
             let uses = policy.policy_uses();
             let total: u64 = uses.iter().sum::<u64>().max(1);

@@ -49,7 +49,7 @@ pub fn emit(title: &str, name: &str, table: &Table) {
 
 use wire_dag::Millis;
 use wire_planner::WirePolicy;
-use wire_simcloud::{run_workflow, CloudConfig, TransferModel};
+use wire_simcloud::{CloudConfig, Session, TransferModel};
 
 /// One Figure 2/3 data point: run the steering policy on a single linear
 /// stage of `n` tasks with runtime `r` and charging unit `u` (idealized
@@ -66,15 +66,13 @@ pub fn linear_stage_ratios(n: usize, r: Millis, u: Millis) -> (f64, f64) {
     let interval = Millis::from_ms((r.as_ms().min(u.as_ms()) / 20).max(1_000));
     let cfg = CloudConfig::linear_analysis(u, interval);
     let (wf, prof) = wire_workloads::linear_stage(n, r);
-    let res = run_workflow(
-        &wf,
-        &prof,
-        cfg,
-        TransferModel::none(),
-        WirePolicy::default(),
-        1,
-    )
-    .expect("linear stage completes");
+    let res = Session::new(cfg)
+        .transfer(TransferModel::none())
+        .policy(WirePolicy::default())
+        .seed(1)
+        .submit(&wf, &prof)
+        .run()
+        .expect("linear stage completes");
     let optimal_usage = r.as_ms() as f64 * n as f64;
     let billed = res.charging_units as f64 * u.as_ms() as f64;
     let cost_ratio = billed / optimal_usage;

@@ -10,11 +10,9 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wire_dag::Millis;
 use wire_planner::{PureReactive, ReactiveConserving, StaticPolicy, WirePolicy};
-use wire_simcloud::{
-    run_workflow, run_workflow_recorded, CloudConfig, RunResult, ScalingPolicy, TransferModel,
-};
+use wire_simcloud::{CloudConfig, RunResult, ScalingPolicy, Session, TransferModel};
 use wire_telemetry::{TelemetryBuffer, TelemetryHandle};
-use wire_workloads::WorkloadId;
+use wire_workloads::{EnsembleSpec, WorkloadId};
 
 use crate::stats;
 
@@ -110,10 +108,45 @@ pub fn run_setting(
     let (wf, prof) = workload.generate(seed);
     let cfg = cloud_config_for(setting, charging_unit, workload.spec().total_input_bytes);
     let policy = build_policy(setting, &cfg);
-    run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, seed).unwrap_or_else(|e| {
+    Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(policy)
+        .seed(seed)
+        .submit(&wf, &prof)
+        .run()
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} / {} / u={}: {e}",
+                workload.name(),
+                setting.label(),
+                charging_unit
+            )
+        })
+}
+
+/// Run a whole ensemble (N workflows, staggered arrivals, one shared pool)
+/// under one setting and charging unit. Per-workflow makespans and slowdowns
+/// land in [`RunResult::per_workflow`].
+pub fn run_ensemble(
+    spec: &EnsembleSpec,
+    setting: Setting,
+    charging_unit: Millis,
+    seed: u64,
+) -> RunResult {
+    let members = spec.generate(seed);
+    let cfg = cloud_config(setting, charging_unit);
+    let policy = build_policy(setting, &cfg);
+    let mut session = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(policy)
+        .seed(seed);
+    for m in &members {
+        session = session.submit_at(m.submit_at, &m.workflow, &m.profile);
+    }
+    session.run().unwrap_or_else(|e| {
         panic!(
-            "{} / {} / u={}: {e}",
-            workload.name(),
+            "ensemble[{}] / {} / u={}: {e}",
+            members.len(),
             setting.label(),
             charging_unit
         )
@@ -137,23 +170,21 @@ pub fn run_setting_telemetry(
         Setting::Wire => Box::new(WirePolicy::default().with_telemetry(handle.clone())),
         other => build_policy(other, &cfg),
     };
-    let result = run_workflow_recorded(
-        &wf,
-        &prof,
-        cfg,
-        TransferModel::default(),
-        policy,
-        seed,
-        handle.clone(),
-    )
-    .unwrap_or_else(|e| {
-        panic!(
-            "{} / {} / u={}: {e}",
-            workload.name(),
-            setting.label(),
-            charging_unit
-        )
-    });
+    let result = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(policy)
+        .seed(seed)
+        .recording(handle.clone())
+        .submit(&wf, &prof)
+        .run()
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} / {} / u={}: {e}",
+                workload.name(),
+                setting.label(),
+                charging_unit
+            )
+        });
     (result, handle.take())
 }
 

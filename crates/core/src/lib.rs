@@ -22,7 +22,7 @@ pub mod stats;
 
 pub use campaign::{flatten, parse_csv, summarize, to_csv, FlatRun};
 pub use experiment::{
-    run_setting, ExperimentGrid, GridCell, GridResult, Setting, CHARGING_UNITS_MINS,
+    run_ensemble, run_setting, ExperimentGrid, GridCell, GridResult, Setting, CHARGING_UNITS_MINS,
 };
 pub use plot::{bar_chart, line_chart, Series};
 pub use prediction::{

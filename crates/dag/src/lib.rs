@@ -32,6 +32,6 @@ pub use builder::{DagError, WorkflowBuilder};
 pub use dot::to_dot;
 pub use profile::ExecProfile;
 pub use stage::StageInfo;
-pub use task::{StageId, TaskId, TaskSpec};
+pub use task::{StageId, TaskId, TaskSpec, WorkflowId};
 pub use time::Millis;
 pub use workflow::Workflow;

@@ -43,6 +43,29 @@ impl fmt::Display for StageId {
     }
 }
 
+/// Dense index of a workflow within one engine session.
+///
+/// Workflows are numbered in submission-time order; a single-workflow run is
+/// always `WorkflowId(0)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct WorkflowId(pub u32);
+
+impl WorkflowId {
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WorkflowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
 /// The static, *observable* description of one task.
 ///
 /// Real workflow frameworks record input/output data sizes for every task
@@ -71,5 +94,7 @@ mod tests {
         assert_eq!(StageId(3).index(), 3);
         assert_eq!(TaskId(4).to_string(), "t4");
         assert_eq!(StageId(4).to_string(), "s4");
+        assert_eq!(WorkflowId(4).to_string(), "w4");
+        assert_eq!(WorkflowId(2).index(), 2);
     }
 }

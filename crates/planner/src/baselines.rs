@@ -144,7 +144,9 @@ impl ScalingPolicy for ReactiveConserving {
 mod tests {
     use super::*;
     use wire_dag::{TaskId, Workflow, WorkflowBuilder};
-    use wire_simcloud::{CloudConfig, InstanceStateView, InstanceView, SnapshotBuffers, TaskView};
+    use wire_simcloud::{
+        CloudConfig, InstanceStateView, InstanceView, SnapshotBuffers, TaskView, WorkflowSlot,
+    };
 
     fn wf(n: usize) -> Workflow {
         let mut b = WorkflowBuilder::new("w");
@@ -177,7 +179,7 @@ mod tests {
     }
 
     /// Owned backing for a snapshot at t = 3 min; lend out with
-    /// `.snapshot(Millis::from_mins(3), &wf, &cfg)`.
+    /// `.snapshot(Millis::from_mins(3), &slots, &cfg)`.
     fn snap(tasks: Vec<TaskView>, instances: Vec<InstanceView>) -> SnapshotBuffers {
         let ready = tasks
             .iter()
@@ -197,15 +199,16 @@ mod tests {
     #[test]
     fn static_policy_tops_up_then_holds() {
         let w = wf(2);
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg(1);
         let mut p = StaticPolicy::full_site(12);
         assert_eq!(p.name(), "full-site");
         let b = snap(vec![TaskView::Ready; 2], vec![running_inst(0, vec![], 1)]);
-        let s = b.snapshot(Millis::from_mins(3), &w, &c);
+        let s = b.snapshot(Millis::from_mins(3), &slots, &c);
         assert_eq!(p.plan(&s).launch, 11);
         let full: Vec<InstanceView> = (0..12).map(|i| running_inst(i, vec![], 1)).collect();
         let b2 = snap(vec![TaskView::Ready; 2], full);
-        let s2 = b2.snapshot(Millis::from_mins(3), &w, &c);
+        let s2 = b2.snapshot(Millis::from_mins(3), &slots, &c);
         assert!(p.plan(&s2).is_noop());
     }
 
@@ -218,17 +221,19 @@ mod tests {
     #[test]
     fn pure_reactive_matches_active_tasks() {
         let w = wf(10);
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg(4);
         let mut p = PureReactive;
         // 10 active tasks / 4 slots → 3 instances wanted, 1 present
         let b = snap(vec![TaskView::Ready; 10], vec![running_inst(0, vec![], 4)]);
-        let s = b.snapshot(Millis::from_mins(3), &w, &c);
+        let s = b.snapshot(Millis::from_mins(3), &slots, &c);
         assert_eq!(p.plan(&s).launch, 2);
     }
 
     #[test]
     fn pure_reactive_shrinks_idle_first_immediately() {
         let w = wf(10);
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg(4);
         let mut p = PureReactive;
         // 2 active tasks → 1 instance wanted; i0 busy, i1/i2 idle
@@ -253,7 +258,7 @@ mod tests {
                 running_inst(2, vec![], 4),
             ],
         );
-        let s = b.snapshot(Millis::from_mins(3), &w, &c);
+        let s = b.snapshot(Millis::from_mins(3), &slots, &c);
         let plan = p.plan(&s);
         assert_eq!(plan.terminate.len(), 2);
         for &(id, when) in &plan.terminate {
@@ -265,6 +270,7 @@ mod tests {
     #[test]
     fn pure_reactive_keeps_at_least_one() {
         let w = wf(2);
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg(4);
         let mut p = PureReactive;
         let tasks = vec![
@@ -275,20 +281,21 @@ mod tests {
             2
         ];
         let b = snap(tasks, vec![running_inst(0, vec![], 4)]);
-        let s = b.snapshot(Millis::from_mins(3), &w, &c);
+        let s = b.snapshot(Millis::from_mins(3), &slots, &c);
         assert!(p.plan(&s).is_noop());
     }
 
     #[test]
     fn reactive_conserving_grows_like_reactive() {
         let w = wf(40);
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg(4);
         let mut p = ReactiveConserving::default();
         // 40 active × 3 min = 120 min of load; u = 15 min, l = 4 →
         // Algorithm 3 packs 4 tasks of 3 min per instance-step; each instance
         // accrues 3 min/step, needs 5 steps (20 tasks) per unit → p = 2.
         let b = snap(vec![TaskView::Ready; 40], vec![running_inst(0, vec![], 4)]);
-        let s = b.snapshot(Millis::from_mins(3), &w, &c);
+        let s = b.snapshot(Millis::from_mins(3), &slots, &c);
         let plan = p.plan(&s);
         assert_eq!(plan.launch, 1);
     }
@@ -296,6 +303,7 @@ mod tests {
     #[test]
     fn reactive_conserving_respects_charge_boundaries() {
         let w = wf(4);
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg(1);
         let mut p = ReactiveConserving::default();
         // no active tasks → p = 1; two instances mid-unit (r > t) → no release
@@ -310,7 +318,7 @@ mod tests {
             tasks,
             vec![running_inst(0, vec![], 1), running_inst(1, vec![], 1)],
         );
-        let s = b.snapshot(Millis::from_mins(3), &w, &c);
+        let s = b.snapshot(Millis::from_mins(3), &slots, &c);
         // now = 3 min, charge_start = 0, u = 15 → r = 12 min > 3 min
         assert!(p.plan(&s).is_noop());
     }

@@ -55,8 +55,7 @@ impl DeadlineWirePolicy {
         let Some(predictor) = self.inner.predictor() else {
             return Millis::ZERO; // no information yet: assume on time
         };
-        let wf = snapshot.workflow;
-        let ns = wf.num_stages();
+        let ns = snapshot.total_stages();
         let mut stage_work = vec![Millis::ZERO; ns];
         let mut stage_longest = vec![Millis::ZERO; ns];
         for (i, tv) in snapshot.tasks.iter().enumerate() {
@@ -69,9 +68,9 @@ impl DeadlineWirePolicy {
                     wire_predictor::TaskStatus::Running { age: exec_age }
                 }
             };
-            let spec = wf.task(task);
-            let p = predictor.predict_occupancy(spec.stage, spec.input_bytes, status);
-            let s = spec.stage.index();
+            let stage = snapshot.stage_of(task);
+            let p = predictor.predict_occupancy(stage, snapshot.spec(task).input_bytes, status);
+            let s = stage.index();
             stage_work[s] += p.remaining;
             stage_longest[s] = stage_longest[s].max(p.remaining);
         }

@@ -1,7 +1,7 @@
 //! The online workflow simulation of §III-B2.
 //!
-//! Each MAPE iteration, WIRE simulates the workflow's execution over the next
-//! interval (length = the lag time `t`) on the *current* resource allotment,
+//! Each MAPE iteration, WIRE simulates the arrived workflows' execution over
+//! the next interval (length = the lag time `t`) on the *current* allotment,
 //! using the predictor's conservative minimum occupancy estimates. The output
 //! is the *upcoming load* `Q_task` — the tasks expected to be active at the
 //! start of the target interval, each with its predicted minimum remaining
@@ -23,7 +23,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use wire_dag::{Millis, TaskId, Workflow};
+use wire_dag::{Millis, TaskId};
 use wire_simcloud::{InstanceId, InstanceStateView, MonitorSnapshot, TaskView};
 
 /// Sentinel for "no entry" in the dense index columns.
@@ -183,13 +183,9 @@ pub fn lookahead_into<'s>(
     values: &[Millis],
     horizon: Millis,
 ) -> &'s Upcoming {
-    let wf: &Workflow = snapshot.workflow;
-    assert_eq!(
-        remaining.len(),
-        wf.num_tasks(),
-        "estimate per task required"
-    );
-    assert_eq!(values.len(), wf.num_tasks(), "value per task required");
+    let n = snapshot.tasks.len();
+    assert_eq!(remaining.len(), n, "estimate per task required");
+    assert_eq!(values.len(), n, "value per task required");
 
     // Disjoint borrows of every buffer, so the dispatch macro and closures
     // below can mix them freely.
@@ -207,14 +203,23 @@ pub fn lookahead_into<'s>(
         out,
     } = scratch;
 
-    let n = wf.num_tasks();
     done.clear();
     done.extend(snapshot.tasks.iter().map(TaskView::is_done));
+    // Dependency edges are workflow-local; walk each arrived workflow's tasks
+    // through its slot's global offsets.
     unmet.clear();
-    unmet.extend(
-        wf.task_ids()
-            .map(|t| wf.preds(t).iter().filter(|&&p| !done[p.index()]).count() as u32),
-    );
+    unmet.resize(n, 0);
+    for slot in snapshot.workflows {
+        for t in slot.workflow.task_ids() {
+            let g = slot.global_task(t).index();
+            unmet[g] = slot
+                .workflow
+                .preds(t)
+                .iter()
+                .filter(|&&p| !done[slot.global_task(p).index()])
+                .count() as u32;
+        }
+    }
     running.clear();
     running_slot.clear();
     running_slot.resize(n, NONE);
@@ -381,7 +386,9 @@ pub fn lookahead_into<'s>(
                 if fin_row == NONE || !draining[fin_row as usize] {
                     free_now.push_back(fin.instance);
                 }
-                for &s in wf.succs(task) {
+                let slot = snapshot.slot_of_task(task);
+                for &s in slot.workflow.succs(slot.local_task(task)) {
+                    let s = slot.global_task(s);
                     if !done[s.index()] && unmet[s.index()] > 0 {
                         unmet[s.index()] -= 1;
                         if unmet[s.index()] == 0 {
@@ -466,8 +473,8 @@ pub fn lookahead_into<'s>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wire_dag::WorkflowBuilder;
-    use wire_simcloud::{CloudConfig, InstanceView, SnapshotBuffers};
+    use wire_dag::{Workflow, WorkflowBuilder};
+    use wire_simcloud::{CloudConfig, InstanceView, SnapshotBuffers, WorkflowSlot};
 
     fn mins(m: u64) -> Millis {
         Millis::from_mins(m)
@@ -517,7 +524,8 @@ mod tests {
             interval_transfers: vec![],
             ready_in_dispatch_order: ready,
         }));
-        bufs.snapshot(Millis::ZERO, wf, cfg)
+        let slots: &'a [WorkflowSlot<'a>] = Box::leak(Box::new([WorkflowSlot::solo(wf)]));
+        bufs.snapshot(Millis::ZERO, slots, cfg)
     }
 
     #[test]

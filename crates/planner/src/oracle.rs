@@ -41,7 +41,12 @@ impl ScalingPolicy for OracleWirePolicy {
     }
 
     fn plan(&mut self, snapshot: &MonitorSnapshot<'_>) -> PoolPlan {
-        let wf = snapshot.workflow;
+        // The oracle holds one ground-truth profile, so it is inherently a
+        // single-workflow policy; multi-workflow sessions have no slot to
+        // hang per-workflow profiles on here.
+        let wf = snapshot
+            .solo_workflow()
+            .expect("oracle policy requires a single-workflow session");
         assert!(
             self.profile.matches(wf),
             "oracle profile must match the workflow"

@@ -242,7 +242,9 @@ fn steer_impl(
 mod tests {
     use super::*;
     use wire_dag::{Workflow, WorkflowBuilder};
-    use wire_simcloud::{CloudConfig, InstanceStateView, InstanceView, SnapshotBuffers, TaskView};
+    use wire_simcloud::{
+        CloudConfig, InstanceStateView, InstanceView, SnapshotBuffers, TaskView, WorkflowSlot,
+    };
 
     fn mins(m: u64) -> Millis {
         Millis::from_mins(m)
@@ -277,7 +279,7 @@ mod tests {
     }
 
     /// Owned backing for an all-ready snapshot; lend out with
-    /// `.snapshot(now, &wf, &cfg)`.
+    /// `.snapshot(now, &slots, &cfg)`.
     fn snap(wf: &Workflow, instances: Vec<InstanceView>) -> SnapshotBuffers {
         SnapshotBuffers {
             tasks: vec![TaskView::Ready; wf.num_tasks()],
@@ -291,9 +293,10 @@ mod tests {
     #[test]
     fn grows_when_ideal_exceeds_current() {
         let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg();
         let b = snap(&w, vec![running_inst(0, Millis::ZERO)]);
-        let s = b.snapshot(mins(3), &w, &c);
+        let s = b.snapshot(mins(3), &slots, &c);
         // 4 tasks × 15 min on 1-slot instances → p = 4
         let q = vec![mins(15); 4];
         let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
@@ -304,9 +307,10 @@ mod tests {
     #[test]
     fn keeps_when_sized_right() {
         let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg();
         let b = snap(&w, vec![running_inst(0, Millis::ZERO)]);
-        let s = b.snapshot(mins(3), &w, &c);
+        let s = b.snapshot(mins(3), &slots, &c);
         // one unit of work → p = 1 = m
         let q = vec![mins(15)];
         let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
@@ -316,6 +320,7 @@ mod tests {
     #[test]
     fn launching_instances_count_toward_m() {
         let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg();
         let mut instances = vec![running_inst(0, Millis::ZERO)];
         instances.push(InstanceView {
@@ -325,7 +330,7 @@ mod tests {
             free_slots: 1,
         });
         let b = snap(&w, instances);
-        let s = b.snapshot(mins(3), &w, &c);
+        let s = b.snapshot(mins(3), &slots, &c);
         let q = vec![mins(15); 2]; // p = 2, m = 2
         let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
         assert!(plan.is_noop());
@@ -334,6 +339,7 @@ mod tests {
     #[test]
     fn shrinks_only_instances_near_charge_boundary_with_low_restart_cost() {
         let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg();
         // now = 14 min. i0 started at 0 → r = 1 min ≤ t. i1 started at 10 →
         // r = 11 min > t. i2 started at 0 → r = 1 min but high restart cost.
@@ -345,7 +351,7 @@ mod tests {
                 running_inst(2, Millis::ZERO),
             ],
         );
-        let s = b.snapshot(mins(14), &w, &c);
+        let s = b.snapshot(mins(14), &slots, &c);
         let q = vec![mins(1)]; // p = 1, m = 3 → want to shed 2
         let costs = vec![
             (InstanceId(0), Millis::ZERO),
@@ -363,6 +369,7 @@ mod tests {
     #[test]
     fn shrink_prefers_cheapest_restart() {
         let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg();
         let b = snap(
             &w,
@@ -372,7 +379,7 @@ mod tests {
                 running_inst(2, Millis::ZERO),
             ],
         );
-        let s = b.snapshot(mins(14), &w, &c);
+        let s = b.snapshot(mins(14), &slots, &c);
         let q = vec![mins(1)]; // p = 1 → shed up to 2
         let costs = vec![
             (InstanceId(0), mins(2)),
@@ -387,13 +394,14 @@ mod tests {
     #[test]
     fn empty_upcoming_load_retains_minimal_pool() {
         let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg();
         // m = 2 at a boundary: with empty Q_task, p = 1 → release one.
         let b = snap(
             &w,
             vec![running_inst(0, Millis::ZERO), running_inst(1, Millis::ZERO)],
         );
-        let s = b.snapshot(mins(15), &w, &c);
+        let s = b.snapshot(mins(15), &slots, &c);
         let plan = steer(&s, &[], &[], &[], SteeringConfig::default());
         assert_eq!(plan.terminate.len(), 1);
         assert_eq!(plan.launch, 0);
@@ -402,6 +410,7 @@ mod tests {
     #[test]
     fn never_shrinks_below_ideal() {
         let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
         let c = cfg();
         let b = snap(
             &w,
@@ -411,7 +420,7 @@ mod tests {
                 running_inst(2, Millis::ZERO),
             ],
         );
-        let s = b.snapshot(mins(15), &w, &c);
+        let s = b.snapshot(mins(15), &slots, &c);
         let q = vec![mins(30), mins(30)]; // p = 2, m = 3
         let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
         assert_eq!(plan.terminate.len(), 1);

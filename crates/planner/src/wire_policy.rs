@@ -3,10 +3,10 @@
 
 use crate::lookahead::{lookahead_into, LookaheadScratch};
 use crate::steering::{steer, steer_explained, SteeringConfig};
-use wire_dag::{Millis, TaskId, Workflow};
+use wire_dag::{Millis, TaskId};
 use wire_predictor::{
-    CompletedTaskObs, IntervalObservations, PolicyKind, Predictor, RunningTaskObs, StageVersions,
-    TaskStatus,
+    CompletedTaskObs, Estimator, IntervalObservations, PolicyKind, Predictor, RunningTaskObs,
+    StageVersions, TaskStatus,
 };
 use wire_simcloud::{MonitorSnapshot, PoolPlan, ScalingPolicy, TaskView};
 use wire_telemetry::TelemetryHandle;
@@ -54,7 +54,7 @@ impl CachedPrediction {
 /// ```
 /// use wire_dag::{ExecProfile, Millis, WorkflowBuilder};
 /// use wire_planner::WirePolicy;
-/// use wire_simcloud::{run_workflow, CloudConfig, TransferModel};
+/// use wire_simcloud::{CloudConfig, Session, TransferModel};
 ///
 /// let mut b = WorkflowBuilder::new("doc");
 /// let s = b.add_stage("s");
@@ -63,15 +63,13 @@ impl CachedPrediction {
 /// }
 /// let wf = b.build().unwrap();
 /// let prof = ExecProfile::uniform(8, Millis::from_mins(4));
-/// let result = run_workflow(
-///     &wf,
-///     &prof,
-///     CloudConfig::default(),
-///     TransferModel::none(),
-///     WirePolicy::default(),
-///     1,
-/// )
-/// .unwrap();
+/// let result = Session::new(CloudConfig::default())
+///     .transfer(TransferModel::none())
+///     .policy(WirePolicy::default())
+///     .seed(1)
+///     .submit(&wf, &prof)
+///     .run()
+///     .unwrap();
 /// assert_eq!(result.task_records.len(), 8);
 /// ```
 #[derive(Debug, Clone)]
@@ -160,20 +158,16 @@ impl WirePolicy {
 
     /// Translate a monitor snapshot into the predictor's observation format,
     /// reusing `obs`'s buffers (no per-tick allocation in steady state).
-    fn fill_observations(
-        obs: &mut IntervalObservations,
-        wf: &Workflow,
-        snapshot: &MonitorSnapshot<'_>,
-    ) {
-        if obs.per_stage.len() != wf.num_stages() {
-            *obs = IntervalObservations::empty_for(wf);
-        }
+    /// Stage indices are the session's global stage space; `obs` grows as
+    /// workflows arrive.
+    fn fill_observations(obs: &mut IntervalObservations, snapshot: &MonitorSnapshot<'_>) {
+        obs.ensure_stages(snapshot.total_stages());
         for so in &mut obs.per_stage {
             so.completed.clear();
             so.running.clear();
         }
         for c in snapshot.new_completions {
-            let stage = wf.task(c.task).stage;
+            let stage = snapshot.stage_of(c.task);
             obs.per_stage[stage.index()]
                 .completed
                 .push(CompletedTaskObs {
@@ -185,10 +179,10 @@ impl WirePolicy {
         for (i, tv) in snapshot.tasks.iter().enumerate() {
             if let TaskView::Running { exec_age, .. } = *tv {
                 let task = TaskId(i as u32);
-                let stage = wf.task(task).stage;
+                let stage = snapshot.stage_of(task);
                 obs.per_stage[stage.index()].running.push(RunningTaskObs {
                     task,
-                    input_bytes: wf.task(task).input_bytes,
+                    input_bytes: snapshot.spec(task).input_bytes,
                     age: exec_age,
                 });
             }
@@ -219,15 +213,20 @@ impl ScalingPolicy for WirePolicy {
     }
 
     fn plan(&mut self, snapshot: &MonitorSnapshot<'_>) -> PoolPlan {
-        let wf = snapshot.workflow;
+        let total_stages = snapshot.total_stages();
         let journal = self.telemetry.clone();
-        let predictor = self.predictor.get_or_insert_with(|| Predictor::new(wf));
+        let predictor = self
+            .predictor
+            .get_or_insert_with(|| Predictor::with_stage_count(total_stages, Estimator::Median));
+        // Workflows arriving mid-session extend the global stage space;
+        // learned per-stage state is index-stable across the growth.
+        predictor.ensure_stages(total_stages);
 
         // Monitor → Analyze: ingest the interval and step the models.
         let obs = self
             .obs
-            .get_or_insert_with(|| IntervalObservations::empty_for(wf));
-        Self::fill_observations(obs, wf, snapshot);
+            .get_or_insert_with(|| IntervalObservations::with_stages(total_stages));
+        Self::fill_observations(obs, snapshot);
         predictor.observe_interval(obs);
 
         // Per incomplete task: the conservative minimum remaining occupancy
@@ -236,11 +235,18 @@ impl ScalingPolicy for WirePolicy {
         // credited, per the §III-E arithmetic). Unstarted tasks memoize
         // against the predictor's version stamps: in steady state only tasks
         // whose stage actually changed are re-predicted.
-        let n = wf.num_tasks();
-        if self.remaining.len() != n {
-            self.remaining = vec![Millis::ZERO; n];
-            self.values = vec![Millis::ZERO; n];
-            self.memo = vec![None; n];
+        let n = snapshot.tasks.len();
+        if self.remaining.len() > n {
+            // a fresh, smaller run reusing this policy: drop stale state
+            self.remaining.clear();
+            self.values.clear();
+            self.memo.clear();
+        }
+        if self.remaining.len() < n {
+            // mid-session arrivals append tasks; existing memo entries stay valid
+            self.remaining.resize(n, Millis::ZERO);
+            self.values.resize(n, Millis::ZERO);
+            self.memo.resize(n, None);
         }
         let transfer_version = predictor.transfer_version();
         let mut uses = [0u64; 5];
@@ -257,19 +263,20 @@ impl ScalingPolicy for WirePolicy {
                 TaskView::Ready => TaskStatus::UnstartedReady,
                 TaskView::Running { exec_age, .. } => TaskStatus::Running { age: exec_age },
             };
-            let spec = wf.task(task);
+            let input_bytes = snapshot.spec(task).input_bytes;
+            let stage = snapshot.stage_of(task);
             let (remaining, value, policy) = if matches!(status, TaskStatus::Running { .. }) {
                 // age advances every tick — nothing to memoize
-                let p = predictor.predict_occupancy(spec.stage, spec.input_bytes, status);
+                let p = predictor.predict_occupancy(stage, input_bytes, status);
                 self.memo[i] = None;
                 (p.remaining, p.exec_time, p.policy)
             } else {
-                let stage_versions = predictor.stage_state(spec.stage).versions();
+                let stage_versions = predictor.stage_state(stage).versions();
                 let code = matches!(status, TaskStatus::UnstartedReady) as u8;
                 match self.memo[i].filter(|e| e.valid_for(stage_versions, transfer_version, code)) {
                     Some(e) => (e.remaining, e.value, e.policy),
                     None => {
-                        let p = predictor.predict_occupancy(spec.stage, spec.input_bytes, status);
+                        let p = predictor.predict_occupancy(stage, input_bytes, status);
                         self.memo[i] = Some(CachedPrediction {
                             stage: stage_versions,
                             transfer_version,
@@ -288,7 +295,7 @@ impl ScalingPolicy for WirePolicy {
             if let Some(tel) = &journal {
                 tel.note_prediction(
                     task.0,
-                    spec.stage.0,
+                    stage.0,
                     Self::policy_code(policy),
                     snapshot.now,
                     value,
@@ -402,7 +409,7 @@ mod tests {
             initial_instances: 1,
             first_five_priority: false,
             exec_jitter: 0.0,
-            mean_time_between_failures: Millis::ZERO,
+            mean_time_between_failures: None,
             run_setup: Millis::ZERO,
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(100),

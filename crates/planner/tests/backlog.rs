@@ -2,6 +2,7 @@ use wire_dag::{Millis, TaskId, WorkflowBuilder};
 use wire_planner::lookahead;
 use wire_simcloud::{
     CloudConfig, InstanceId, InstanceStateView, InstanceView, SnapshotBuffers, TaskView,
+    WorkflowSlot,
 };
 
 fn scenario(with_zero_chain: bool) -> usize {
@@ -48,7 +49,8 @@ fn scenario(with_zero_chain: bool) -> usize {
         interval_transfers: vec![],
         ready_in_dispatch_order: (4..100).map(TaskId).collect(),
     };
-    let snap = bufs.snapshot(Millis::from_mins(3), &wf, &cfg);
+    let slots = [WorkflowSlot::solo(&wf)];
+    let snap = bufs.snapshot(Millis::from_mins(3), &slots, &cfg);
     let mut est = vec![Millis::from_secs(20); n];
     for e in est.iter_mut().skip(100) {
         *e = Millis::ZERO; // unknown successor stage (Policy 1)

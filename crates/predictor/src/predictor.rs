@@ -44,9 +44,26 @@ pub struct IntervalObservations {
 
 impl IntervalObservations {
     pub fn empty_for(wf: &Workflow) -> Self {
+        Self::with_stages(wf.num_stages())
+    }
+
+    /// An empty observation set over `num_stages` stages — the multi-workflow
+    /// form of [`IntervalObservations::empty_for`], sized to a session's
+    /// global stage space.
+    pub fn with_stages(num_stages: usize) -> Self {
         IntervalObservations {
-            per_stage: vec![StageIntervalObs::default(); wf.num_stages()],
+            per_stage: vec![StageIntervalObs::default(); num_stages],
             transfers: Vec::new(),
+        }
+    }
+
+    /// Grow the per-stage vector to at least `num_stages` entries (new
+    /// workflows arriving mid-session extend the global stage space; existing
+    /// stage indices are stable so learned state is unaffected).
+    pub fn ensure_stages(&mut self, num_stages: usize) {
+        if self.per_stage.len() < num_stages {
+            self.per_stage
+                .resize(num_stages, StageIntervalObs::default());
         }
     }
 }
@@ -83,6 +100,7 @@ impl IntervalObservations {
 #[derive(Debug, Clone)]
 pub struct Predictor {
     stages: Vec<StageState>,
+    estimator: crate::estimators::Estimator,
     transfer: TransferEstimator,
     intervals_seen: u64,
 }
@@ -95,12 +113,27 @@ impl Predictor {
     /// A predictor whose stage summaries use an alternative central-tendency
     /// estimator (§III-C median/mean/three-sigma comparison).
     pub fn with_estimator(wf: &Workflow, estimator: crate::estimators::Estimator) -> Self {
+        Self::with_stage_count(wf.num_stages(), estimator)
+    }
+
+    /// A predictor over an explicit stage-id space — the multi-workflow form
+    /// of [`Predictor::new`], sized to a session's global stage count.
+    pub fn with_stage_count(num_stages: usize, estimator: crate::estimators::Estimator) -> Self {
         Predictor {
-            stages: (0..wf.num_stages())
+            stages: (0..num_stages)
                 .map(|_| StageState::with_estimator(estimator))
                 .collect(),
+            estimator,
             transfer: TransferEstimator::default(),
             intervals_seen: 0,
+        }
+    }
+
+    /// Grow the stage space to at least `num_stages` (workflows arriving
+    /// mid-session append stages; existing per-stage learning state is kept).
+    pub fn ensure_stages(&mut self, num_stages: usize) {
+        while self.stages.len() < num_stages {
+            self.stages.push(StageState::with_estimator(self.estimator));
         }
     }
 

@@ -29,12 +29,14 @@ pub struct CloudConfig {
     /// §II-B): each dispatch scales the ground-truth time by a factor drawn
     /// uniformly from `[1 − j, 1 + j]`. Zero replays the profile exactly.
     pub exec_jitter: f64,
-    /// Mean time between instance failures (per instance), or zero for a
+    /// Mean time between instance failures (per instance), or `None` for a
     /// reliable cloud. Failures crash the instance: its tasks are resubmitted
     /// (sunk cost lost), the instance is billed for started units, and the
     /// pool shrinks until the policy reacts — §II-B's interference and
-    /// reliability variability, injectable for robustness tests.
-    pub mean_time_between_failures: Millis,
+    /// reliability variability, injectable for robustness tests. Set via
+    /// [`CloudConfig::failures`].
+    #[serde(default)]
+    pub mean_time_between_failures: Option<Millis>,
     /// Per-run setup phase before any task becomes ready: the workflow
     /// framework's serial prologue (Pegasus create-dir + stage-in jobs,
     /// Condor spool-up). Instances present during setup are billed.
@@ -58,7 +60,7 @@ impl Default for CloudConfig {
             initial_instances: 1,
             first_five_priority: true,
             exec_jitter: 0.0,
-            mean_time_between_failures: Millis::ZERO,
+            mean_time_between_failures: None,
             run_setup: Millis::from_mins(3),
             run_teardown: Millis::from_mins(2),
             max_sim_time: Millis::from_hours(10_000),
@@ -88,11 +90,17 @@ impl CloudConfig {
             initial_instances: 1,
             first_five_priority: false,
             exec_jitter: 0.0,
-            mean_time_between_failures: Millis::ZERO,
+            mean_time_between_failures: None,
             run_setup: Millis::ZERO,
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(1_000_000),
         }
+    }
+
+    /// Enable failure injection with the given mean time between failures.
+    pub fn failures(mut self, mtbf: Millis) -> Self {
+        self.mean_time_between_failures = Some(mtbf);
+        self
     }
 
     /// Validate invariants; called by the engine at startup.
@@ -114,6 +122,9 @@ impl CloudConfig {
         }
         if self.initial_instances > self.site_capacity {
             return Err("initial_instances exceeds site_capacity".into());
+        }
+        if self.mean_time_between_failures.is_some_and(|m| m.is_zero()) {
+            return Err("mean_time_between_failures must be positive when set".into());
         }
         Ok(())
     }
@@ -150,6 +161,18 @@ mod tests {
         let mut c = CloudConfig::default();
         c.initial_instances = 13;
         assert!(c.validate().is_err());
+
+        let c = CloudConfig::default().failures(Millis::ZERO);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn failures_builder_enables_injection() {
+        let c = CloudConfig::default();
+        assert_eq!(c.mean_time_between_failures, None);
+        let c = c.failures(Millis::from_mins(30));
+        assert_eq!(c.mean_time_between_failures, Some(Millis::from_mins(30)));
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -1,23 +1,31 @@
-//! The discrete-event engine driving one workflow run under a scaling policy.
+//! The discrete-event engine driving a session of workflow runs under one
+//! scaling policy.
 //!
 //! The engine owns the virtual clock and replays ground-truth execution times
-//! from an [`ExecProfile`] while the policy — invoked at every MAPE tick with
-//! a sanitized [`MonitorSnapshot`] — grows and shrinks the instance pool.
-//! Determinism: a run is a pure function of (workflow, profile, config, seed,
-//! policy state); events at equal times fire in insertion order.
+//! from each workflow's [`ExecProfile`] while the policy — invoked at every
+//! MAPE tick with a sanitized [`MonitorSnapshot`] — grows and shrinks the
+//! shared instance pool. A session holds one or more workflows with
+//! submission times; every workflow's tasks and stages occupy a contiguous
+//! slice of a session-global index space, so a single-workflow session
+//! (global ids = local ids) is event-for-event identical to the historical
+//! one-workflow engine. Determinism: a run is a pure function of
+//! (submissions, config, seed, policy state); events at equal times fire in
+//! insertion order.
 
 use crate::config::CloudConfig;
 use crate::event::{EventKind, EventQueue};
 use crate::instance::{Instance, InstanceId, InstanceState, InstanceStateView};
-use crate::observe::{CompletionView, InstanceView, MonitorSnapshot, TaskView};
+use crate::observe::{CompletionView, InstanceView, MonitorSnapshot, TaskView, WorkflowSlot};
 use crate::policy::{PoolPlan, ScalingPolicy, TerminateWhen};
-use crate::result::{InstanceBill, RunResult, TaskRecord};
+use crate::result::{InstanceBill, RunResult, TaskRecord, WorkflowOutcome};
 use crate::scheduler::ReadyQueue;
 use crate::trace::{RunTrace, TraceEvent};
 use crate::transfer::TransferModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wire_dag::{ExecProfile, Millis, TaskId, Workflow};
+use wire_dag::{
+    critical_path_ms, ExecProfile, Millis, StageId, TaskId, TaskSpec, Workflow, WorkflowId,
+};
 use wire_telemetry::{NoopRecorder, Recorder, TelemetryEvent, TickStats};
 
 /// Run failures.
@@ -66,16 +74,33 @@ enum TaskState {
     Done,
 }
 
-/// The engine. Use [`run_workflow`] for the common case; construct an
-/// `Engine` directly to keep the trace, or via [`Engine::recording`] to
-/// attach a telemetry [`Recorder`].
+/// The engine. Use [`crate::Session`] for the common case; construct an
+/// `Engine` directly (or via [`Engine::recording`] to attach a telemetry
+/// [`Recorder`]) when you want the single-workflow constructor signature.
 ///
 /// The default recorder is [`NoopRecorder`]: every telemetry call site is
 /// guarded by `recorder.enabled()`, which monomorphizes to a constant
 /// `false`, so unrecorded runs pay nothing for the instrumentation.
 pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
-    wf: &'a Workflow,
-    profile: &'a ExecProfile,
+    /// All submissions in submission-time order, each with its slice of the
+    /// session-global task/stage index space.
+    slots: Vec<WorkflowSlot<'a>>,
+    /// Ground-truth profile per submission (parallel to `slots`).
+    profiles: Vec<&'a ExecProfile>,
+    /// Incomplete-task countdown per submission (parallel to `slots`).
+    wf_remaining: Vec<usize>,
+    /// Completion time (incl. the workflow's teardown epilogue) per submission.
+    wf_finished: Vec<Option<Millis>>,
+    /// Global task index → submission index.
+    task_wf: Vec<u32>,
+    /// Total tasks across all submissions.
+    total_tasks: usize,
+    /// Submissions that have arrived so far (always a prefix of `slots`).
+    arrived: usize,
+    /// More than one submission? Workflow-lifecycle trace/telemetry events
+    /// are only emitted in multi-workflow sessions, keeping single-workflow
+    /// output byte-identical to the historical engine.
+    multi: bool,
     config: CloudConfig,
     transfer_model: TransferModel,
     policy: P,
@@ -120,6 +145,12 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
 }
 
 /// Run `wf` under `policy` and return the aggregate result.
+///
+/// Deprecated-in-docs: prefer the [`crate::Session`] builder —
+/// `Session::new(config).transfer(model).policy(policy).seed(seed)
+/// .submit(&wf, &prof).run()` — which reads the same in any argument order
+/// and extends to multi-workflow sessions. This wrapper is the N=1 special
+/// case and stays decision-identical to it.
 pub fn run_workflow<P: ScalingPolicy>(
     wf: &Workflow,
     profile: &ExecProfile,
@@ -177,6 +208,27 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         seed: u64,
         recorder: R,
     ) -> Result<Self, RunError> {
+        Engine::from_submissions(
+            vec![(Millis::ZERO, wf, profile)],
+            config,
+            transfer_model,
+            policy,
+            seed,
+            recorder,
+        )
+    }
+
+    /// Construct a multi-workflow engine from `(submitted_at, workflow,
+    /// profile)` triples; the [`crate::Session`] builder is the public face
+    /// of this constructor.
+    pub(crate) fn from_submissions(
+        submissions: Vec<(Millis, &'a Workflow, &'a ExecProfile)>,
+        config: CloudConfig,
+        transfer_model: TransferModel,
+        policy: P,
+        seed: u64,
+        recorder: R,
+    ) -> Result<Self, RunError> {
         config.validate().map_err(RunError::Config)?;
         // NaN and non-positive rates are both rejected here
         if transfer_model.bytes_per_sec.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
@@ -187,20 +239,50 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         if !(0.0..=10.0).contains(&transfer_model.jitter) {
             return Err(RunError::Config("transfer jitter out of range".into()));
         }
-        if !profile.matches(wf) {
-            return Err(RunError::ProfileMismatch);
+        if submissions.is_empty() {
+            return Err(RunError::Config("session has no workflows".into()));
         }
-        let n = wf.num_tasks();
-        let tasks = wf
-            .task_ids()
-            .map(|t| TaskState::Unready {
+        let mut submissions = submissions;
+        // stable by arrival time: equal-time submissions keep submit order
+        submissions.sort_by_key(|&(at, _, _)| at);
+
+        let mut slots = Vec::with_capacity(submissions.len());
+        let mut profiles = Vec::with_capacity(submissions.len());
+        let mut wf_remaining = Vec::with_capacity(submissions.len());
+        let mut task_wf = Vec::new();
+        let mut tasks = Vec::new();
+        let (mut task_base, mut stage_base) = (0u32, 0u32);
+        for (i, &(submitted_at, wf, profile)) in submissions.iter().enumerate() {
+            if !profile.matches(wf) {
+                return Err(RunError::ProfileMismatch);
+            }
+            slots.push(WorkflowSlot {
+                id: WorkflowId(i as u32),
+                workflow: wf,
+                submitted_at,
+                task_base,
+                stage_base,
+            });
+            profiles.push(profile);
+            wf_remaining.push(wf.num_tasks());
+            task_wf.extend(std::iter::repeat_n(i as u32, wf.num_tasks()));
+            tasks.extend(wf.task_ids().map(|t| TaskState::Unready {
                 unmet: wf.preds(t).len() as u32,
-            })
-            .collect();
+            }));
+            task_base += wf.num_tasks() as u32;
+            stage_base += wf.num_stages() as u32;
+        }
+        let n = task_base as usize;
         Ok(Engine {
-            ready: ReadyQueue::new(wf, config.first_five_priority),
-            wf,
-            profile,
+            ready: ReadyQueue::with_sizes(n, stage_base as usize, config.first_five_priority),
+            slots,
+            profiles,
+            wf_remaining,
+            wf_finished: vec![None; submissions.len()],
+            task_wf,
+            total_tasks: n,
+            arrived: 0,
+            multi: submissions.len() > 1,
             transfer_model,
             policy,
             recorder,
@@ -263,18 +345,16 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         }
         self.note_pool_change();
 
-        // roots become ready after the framework's serial setup phase
-        // (stage-in, create-dir); with zero setup they are ready immediately
-        if self.config.run_setup.is_zero() {
-            self.emit(TelemetryEvent::RunSetupDone);
-            let wf = self.wf;
-            for t in wf.roots() {
-                self.mark_ready(t);
+        // workflows enter the session at their submission times; immediate
+        // submissions arrive before the first event fires
+        for i in 0..self.slots.len() {
+            let at = self.slots[i].submitted_at;
+            if at.is_zero() {
+                self.arrive_workflow(i);
+            } else {
+                self.queue
+                    .push(at, EventKind::WorkflowArrival { workflow: i as u32 });
             }
-            self.dispatch();
-        } else {
-            self.queue
-                .push(self.config.run_setup, EventKind::RunSetupDone);
         }
 
         self.queue
@@ -286,19 +366,17 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             if self.clock > self.config.max_sim_time {
                 return Err(RunError::TimeLimit {
                     completed: self.completions,
-                    total: self.wf.num_tasks(),
+                    total: self.total_tasks,
                 });
             }
             #[cfg(debug_assertions)]
             self.debug_check_invariants();
             match kind {
-                EventKind::RunSetupDone => {
-                    self.emit(TelemetryEvent::RunSetupDone);
-                    let wf = self.wf;
-                    for t in wf.roots() {
-                        self.mark_ready(t);
-                    }
-                    self.dispatch();
+                EventKind::WorkflowArrival { workflow } => {
+                    self.arrive_workflow(workflow as usize);
+                }
+                EventKind::WorkflowSetupDone { workflow } => {
+                    self.workflow_ready(workflow as usize);
                 }
                 EventKind::InstanceReady { instance } => self.on_instance_ready(instance),
                 EventKind::InstanceTerminate { instance, epoch } => {
@@ -324,7 +402,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                 EventKind::TaskDone { task, epoch } => {
                     if self.epochs[task.index()] == epoch {
                         self.on_task_done(task);
-                        if self.completions == self.wf.num_tasks() {
+                        if self.completions == self.total_tasks {
                             // serial epilogue: stage-out + registration
                             self.clock += self.config.run_teardown;
                             self.finish();
@@ -338,11 +416,58 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         // queue drained without completing: no instances and no ticks left
         Err(RunError::TimeLimit {
             completed: self.completions,
-            total: self.wf.num_tasks(),
+            total: self.total_tasks,
         })
     }
 
     // ---- event handlers -------------------------------------------------
+
+    /// A workflow enters the session: it becomes visible to the policy and
+    /// (after its serial setup phase) its root tasks become ready.
+    fn arrive_workflow(&mut self, sub: usize) {
+        debug_assert_eq!(sub, self.arrived, "workflows arrive in submission order");
+        self.arrived += 1;
+        if self.multi {
+            let slot = &self.slots[sub];
+            let (id, tasks) = (slot.id, slot.num_tasks() as u32);
+            self.trace_push(TraceEvent::WorkflowSubmitted {
+                workflow: id,
+                tasks,
+            });
+            self.emit(TelemetryEvent::WorkflowSubmitted {
+                workflow: id.0,
+                tasks,
+            });
+        }
+        // roots become ready after the framework's serial setup phase
+        // (stage-in, create-dir); with zero setup they are ready immediately
+        if self.config.run_setup.is_zero() {
+            self.workflow_ready(sub);
+        } else {
+            self.queue.push(
+                self.clock + self.config.run_setup,
+                EventKind::WorkflowSetupDone {
+                    workflow: sub as u32,
+                },
+            );
+        }
+    }
+
+    /// A workflow's setup phase finished: mark its roots ready and dispatch.
+    fn workflow_ready(&mut self, sub: usize) {
+        if self.multi {
+            self.emit(TelemetryEvent::WorkflowReady {
+                workflow: sub as u32,
+            });
+        } else {
+            self.emit(TelemetryEvent::RunSetupDone);
+        }
+        let slot = self.slots[sub];
+        for t in slot.workflow.roots() {
+            self.mark_ready(slot.global_task(t));
+        }
+        self.dispatch();
+    }
 
     fn on_instance_ready(&mut self, id: InstanceId) {
         let inst = &mut self.instances[id.index()];
@@ -364,10 +489,9 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     /// the instance leaves at its charge boundary anyway — the billing and
     /// resubmission outcome is the same either way.
     fn schedule_failure(&mut self, id: InstanceId) {
-        let mtbf = self.config.mean_time_between_failures;
-        if mtbf.is_zero() {
+        let Some(mtbf) = self.config.mean_time_between_failures else {
             return;
-        }
+        };
         let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
         let lifetime = mtbf.scale(-u.ln());
         let epoch = self.instance_epochs[id.index()];
@@ -398,10 +522,13 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         self.tasks[task.index()] = TaskState::Done;
         self.completions += 1;
 
-        let spec = self.wf.task(task);
+        let sub = self.sub_of(task);
+        let (spec, stage) = self.task_info(task);
+        let input_bytes = spec.input_bytes;
         self.records[task.index()] = Some(TaskRecord {
+            workflow: WorkflowId(sub as u32),
             task,
-            stage: spec.stage,
+            stage,
             ready_at: self.ready_at[task.index()],
             started_at: assigned_at,
             finished_at: self.clock,
@@ -411,7 +538,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         });
         self.new_completions.push(CompletionView {
             task,
-            input_bytes: spec.input_bytes,
+            input_bytes,
             exec_time: exec,
             transfer_time: transfer,
         });
@@ -419,7 +546,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         self.trace_push(TraceEvent::TaskCompleted { task });
         self.emit(TelemetryEvent::TaskCompleted {
             task: task.index() as u32,
-            stage: spec.stage.0,
+            stage: stage.0,
             instance: instance.0,
             slot,
             exec,
@@ -427,8 +554,31 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             restarts: self.restarts[task.index()],
         });
 
-        // unlock successors
-        for &s in self.wf.succs(task) {
+        self.wf_remaining[sub] -= 1;
+        if self.wf_remaining[sub] == 0 {
+            // the workflow's own serial teardown epilogue runs off the shared
+            // pool; it delays this workflow's finish time, not the session
+            let finished = self.clock + self.config.run_teardown;
+            self.wf_finished[sub] = Some(finished);
+            if self.multi {
+                let slot_info = &self.slots[sub];
+                let (id, makespan) = (slot_info.id, finished - slot_info.submitted_at);
+                self.trace_push(TraceEvent::WorkflowCompleted {
+                    workflow: id,
+                    makespan,
+                });
+                self.emit(TelemetryEvent::WorkflowCompleted {
+                    workflow: id.0,
+                    makespan,
+                });
+            }
+        }
+
+        // unlock successors (dependencies never cross workflows)
+        let slot_info = self.slots[sub];
+        let local = slot_info.local_task(task);
+        for &succ in slot_info.workflow.succs(local) {
+            let s = slot_info.global_task(succ);
             if let TaskState::Unready { unmet } = &mut self.tasks[s.index()] {
                 *unmet -= 1;
                 if *unmet == 0 {
@@ -442,12 +592,13 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     fn on_mape_tick(&mut self) -> Result<(), RunError> {
         self.mape_iterations += 1;
         let (plan, controller_elapsed) = {
+            let visible = self.arrived_tasks();
             let snapshot = build_snapshot(
                 &mut self.snapshot_scratch,
-                self.wf,
+                &self.slots[..self.arrived],
                 &self.config,
                 self.clock,
-                &self.tasks,
+                &self.tasks[..visible],
                 &self.records,
                 &self.instances,
                 &self.new_completions,
@@ -644,7 +795,8 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     fn mark_ready(&mut self, t: TaskId) {
         self.tasks[t.index()] = TaskState::Ready;
         self.ready_at[t.index()] = self.clock;
-        self.ready.push_ready(t, self.wf.task(t).stage);
+        let (_, stage) = self.task_info(t);
+        self.ready.push_ready(t, stage);
     }
 
     /// Greedily assign queued ready tasks to free slots (instances in id
@@ -664,10 +816,11 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     }
 
     fn assign(&mut self, task: TaskId, instance: InstanceId, slot: u32) {
-        let spec = self.wf.task(task);
+        let sub = self.sub_of(task);
+        let (spec, stage) = self.task_info(task);
         let t_in = self.transfer_model.sample(spec.input_bytes, &mut self.rng);
         let t_out = self.transfer_model.sample(spec.output_bytes, &mut self.rng);
-        let mut exec = self.profile.exec_time(task);
+        let mut exec = self.profiles[sub].exec_time(self.slots[sub].local_task(task));
         if self.config.exec_jitter > 0.0 {
             let j = self.config.exec_jitter;
             exec = exec.scale(1.0 + self.rng.gen_range(-j..j));
@@ -692,13 +845,40 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         self.trace_push(TraceEvent::TaskDispatched { task, instance });
         self.emit(TelemetryEvent::TaskDispatched {
             task: task.index() as u32,
-            stage: spec.stage.0,
+            stage: stage.0,
             instance: instance.0,
             slot,
         });
     }
 
     // ---- bookkeeping -----------------------------------------------------
+
+    /// Submission index owning a global task id.
+    #[inline]
+    fn sub_of(&self, t: TaskId) -> usize {
+        self.task_wf[t.index()] as usize
+    }
+
+    /// Static spec and session-global stage of a global task.
+    #[inline]
+    fn task_info(&self, t: TaskId) -> (&'a TaskSpec, StageId) {
+        let slot = &self.slots[self.sub_of(t)];
+        let spec = slot.workflow.task(slot.local_task(t));
+        (spec, slot.global_stage(spec.stage))
+    }
+
+    /// Tasks visible to the policy: the contiguous prefix belonging to
+    /// arrived workflows.
+    #[inline]
+    fn arrived_tasks(&self) -> usize {
+        match self.arrived {
+            0 => 0,
+            k => {
+                let s = &self.slots[k - 1];
+                s.task_base as usize + s.num_tasks()
+            }
+        }
+    }
 
     fn new_instance(&mut self, state: InstanceState) -> InstanceId {
         let id = InstanceId(self.instances.len() as u32);
@@ -891,9 +1071,40 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     }
 
     fn into_result(self) -> RunResult {
+        let per_workflow: Vec<WorkflowOutcome> = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let finished_at = self.wf_finished[i].unwrap_or(self.clock);
+                let makespan = finished_at - slot.submitted_at;
+                // ideal single-tenant lower bound: setup + critical path +
+                // teardown, ignoring transfers and scheduling
+                let ideal = self.config.run_setup
+                    + critical_path_ms(slot.workflow, self.profiles[i])
+                    + self.config.run_teardown;
+                let slowdown = if ideal.is_zero() {
+                    1.0
+                } else {
+                    makespan.as_ms() as f64 / ideal.as_ms() as f64
+                };
+                WorkflowOutcome {
+                    id: slot.id,
+                    workflow: slot.workflow.name().to_string(),
+                    submitted_at: slot.submitted_at,
+                    finished_at,
+                    makespan,
+                    slowdown,
+                }
+            })
+            .collect();
+        let workflow = match &self.slots[..] {
+            [slot] => slot.workflow.name().to_string(),
+            slots => format!("ensemble[{}]", slots.len()),
+        };
         RunResult {
             policy: self.policy.name().to_string(),
-            workflow: self.wf.name().to_string(),
+            workflow,
             makespan: self.clock,
             charging_units: self.units_total,
             instance_time: self.instance_time,
@@ -908,6 +1119,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             task_records: self.records.into_iter().flatten().collect(),
             instance_bills: self.instance_bills,
             pool_timeline: self.pool_timeline,
+            per_workflow,
         }
     }
 }
@@ -928,12 +1140,14 @@ struct SnapshotScratch {
 
 /// Build the sanitized policy-visible snapshot from disjoint engine fields
 /// into `scratch` (free function so `policy` can be borrowed mutably
-/// alongside it). The completion/transfer accumulators are lent out as-is —
-/// the engine clears them only after the plan call returns.
+/// alongside it). `task_states` is the arrived-workflow prefix of the global
+/// task array — unarrived workflows are invisible to the policy. The
+/// completion/transfer accumulators are lent out as-is — the engine clears
+/// them only after the plan call returns.
 #[allow(clippy::too_many_arguments)]
 fn build_snapshot<'a>(
     scratch: &'a mut SnapshotScratch,
-    wf: &'a Workflow,
+    workflows: &'a [WorkflowSlot<'a>],
     config: &'a CloudConfig,
     now: Millis,
     task_states: &[TaskState],
@@ -1002,7 +1216,7 @@ fn build_snapshot<'a>(
 
     MonitorSnapshot {
         now,
-        workflow: wf,
+        workflows,
         config,
         tasks: &scratch.tasks,
         instances: &scratch.instances[..scratch.instances_len],
@@ -1061,7 +1275,7 @@ mod tests {
             initial_instances: 1,
             first_five_priority: true,
             exec_jitter: 0.0,
-            mean_time_between_failures: Millis::ZERO,
+            mean_time_between_failures: None,
             run_setup: Millis::ZERO,
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(100),
@@ -1120,7 +1334,7 @@ mod tests {
         let (wf, prof) = fanout(20, 300);
         let cfg = CloudConfig {
             initial_instances: 4,
-            mean_time_between_failures: Millis::from_mins(8),
+            mean_time_between_failures: Some(Millis::from_mins(8)),
             max_sim_time: Millis::from_hours(50),
             ..base_config()
         };
@@ -1163,7 +1377,7 @@ mod tests {
         let (wf, prof) = fanout(20, 300);
         let cfg = CloudConfig {
             initial_instances: 4,
-            mean_time_between_failures: Millis::from_mins(8),
+            mean_time_between_failures: Some(Millis::from_mins(8)),
             max_sim_time: Millis::from_hours(50),
             ..base_config()
         };

@@ -20,8 +20,10 @@ pub enum EventKind {
     TaskDone { task: TaskId, epoch: u32 },
     /// MAPE control tick.
     MapeTick,
-    /// The framework's serial setup phase completes; root tasks become ready.
-    RunSetupDone,
+    /// A deferred workflow submission reaches its arrival time.
+    WorkflowArrival { workflow: u32 },
+    /// A workflow's serial setup phase completes; its root tasks become ready.
+    WorkflowSetupDone { workflow: u32 },
     /// An instance crashes (failure injection).
     InstanceFail { instance: InstanceId, epoch: u32 },
 }

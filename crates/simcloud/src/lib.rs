@@ -22,6 +22,10 @@
 //! [`policy::PoolPlan`]; the engine applies it with realistic lag and
 //! termination semantics (draining at charge boundaries, task resubmission
 //! with lost sunk cost).
+//!
+//! The public entry point is the [`Session`] builder, which accepts one or
+//! many workflows with submission times and bills them against one shared
+//! pool; [`run_workflow`] remains as the single-workflow convenience wrapper.
 
 pub mod config;
 pub mod engine;
@@ -31,15 +35,19 @@ pub mod observe;
 pub mod policy;
 pub mod result;
 pub mod scheduler;
+pub mod session;
 pub mod trace;
 pub mod transfer;
 
 pub use config::CloudConfig;
 pub use engine::{run_workflow, run_workflow_recorded, Engine, RunError};
 pub use instance::{InstanceId, InstanceStateView};
-pub use observe::{CompletionView, InstanceView, MonitorSnapshot, SnapshotBuffers, TaskView};
+pub use observe::{
+    CompletionView, InstanceView, MonitorSnapshot, SnapshotBuffers, TaskView, WorkflowSlot,
+};
 pub use policy::{PoolPlan, ScalingPolicy, TerminateWhen};
-pub use result::{RunResult, TaskRecord};
+pub use result::{RunResult, TaskRecord, WorkflowOutcome};
+pub use session::{HoldPolicy, Session};
 pub use trace::{RunTrace, TraceEvent};
 pub use transfer::TransferModel;
 pub use wire_telemetry::{NoopRecorder, Recorder, TelemetryEvent, TelemetryHandle};

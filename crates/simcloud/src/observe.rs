@@ -10,7 +10,7 @@
 use crate::config::CloudConfig;
 use crate::instance::{InstanceId, InstanceStateView};
 use serde::{Deserialize, Serialize};
-use wire_dag::{Millis, TaskId, Workflow};
+use wire_dag::{Millis, StageId, TaskId, TaskSpec, Workflow, WorkflowId};
 
 /// A policy's view of one task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -85,6 +85,63 @@ pub struct CompletionView {
     pub transfer_time: Millis,
 }
 
+/// One workflow's place in a session: its DAG plus the contiguous slice of
+/// the session-global task/stage index space assigned at submission.
+///
+/// The engine numbers workflows in submission-time order and hands every
+/// workflow a base offset for its tasks and stages; global ids are
+/// `local + base`. A single-workflow run is one slot with both bases at 0,
+/// so global and local ids coincide.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkflowSlot<'a> {
+    pub id: WorkflowId,
+    pub workflow: &'a Workflow,
+    /// Simulated time the workflow entered the session.
+    pub submitted_at: Millis,
+    /// First global task id of this workflow.
+    pub task_base: u32,
+    /// First global stage id of this workflow.
+    pub stage_base: u32,
+}
+
+impl<'a> WorkflowSlot<'a> {
+    /// The slot a lone workflow occupies (bases 0, submitted at time 0).
+    pub fn solo(workflow: &'a Workflow) -> Self {
+        WorkflowSlot {
+            id: WorkflowId(0),
+            workflow,
+            submitted_at: Millis::ZERO,
+            task_base: 0,
+            stage_base: 0,
+        }
+    }
+
+    pub fn num_tasks(&self) -> usize {
+        self.workflow.num_tasks()
+    }
+
+    /// Does the global task id fall inside this workflow's slice?
+    pub fn contains(&self, task: TaskId) -> bool {
+        let i = task.0.wrapping_sub(self.task_base);
+        (i as usize) < self.workflow.num_tasks()
+    }
+
+    /// Global id of one of this workflow's local tasks.
+    pub fn global_task(&self, local: TaskId) -> TaskId {
+        TaskId(self.task_base + local.0)
+    }
+
+    /// Local id of a global task belonging to this workflow.
+    pub fn local_task(&self, global: TaskId) -> TaskId {
+        TaskId(global.0 - self.task_base)
+    }
+
+    /// Global id of one of this workflow's local stages.
+    pub fn global_stage(&self, local: StageId) -> StageId {
+        StageId(self.stage_base + local.0)
+    }
+}
+
 /// Full monitoring snapshot handed to [`crate::ScalingPolicy::plan`] each tick.
 ///
 /// All collection fields are borrowed slices: the engine writes them into a
@@ -95,7 +152,10 @@ pub struct CompletionView {
 #[derive(Debug, Clone, Copy)]
 pub struct MonitorSnapshot<'a> {
     pub now: Millis,
-    pub workflow: &'a Workflow,
+    /// Arrived workflows in submission order; task/stage views below are
+    /// indexed by the session-global ids these slots define. Workflows
+    /// submitted for later arrival are invisible until their arrival time.
+    pub workflows: &'a [WorkflowSlot<'a>],
     pub config: &'a CloudConfig,
     /// Per-task view, indexed by `TaskId`.
     pub tasks: &'a [TaskView],
@@ -123,16 +183,20 @@ pub struct SnapshotBuffers {
 }
 
 impl SnapshotBuffers {
-    /// Lend the buffers out as a snapshot.
+    /// Lend the buffers out as a snapshot over the given workflow slots.
+    ///
+    /// For a single workflow, bind a slot first:
+    /// `let slots = [WorkflowSlot::solo(&wf)];` then
+    /// `bufs.snapshot(now, &slots, &cfg)`.
     pub fn snapshot<'a>(
         &'a self,
         now: Millis,
-        workflow: &'a Workflow,
+        workflows: &'a [WorkflowSlot<'a>],
         config: &'a CloudConfig,
     ) -> MonitorSnapshot<'a> {
         MonitorSnapshot {
             now,
-            workflow,
+            workflows,
             config,
             tasks: &self.tasks,
             instances: &self.instances,
@@ -143,7 +207,7 @@ impl SnapshotBuffers {
     }
 }
 
-impl MonitorSnapshot<'_> {
+impl<'a> MonitorSnapshot<'a> {
     /// Pool size `m` as Algorithm 2 sees it: running + launching (instances
     /// that are or will shortly be paid for), excluding draining ones.
     pub fn pool_size(&self) -> u32 {
@@ -171,9 +235,46 @@ impl MonitorSnapshot<'_> {
             .count()
     }
 
-    /// Is the workflow finished?
+    /// Are all arrived workflows finished?
     pub fn workflow_done(&self) -> bool {
         self.tasks.iter().all(TaskView::is_done)
+    }
+
+    /// Total stages across arrived workflows (the global stage-space size).
+    pub fn total_stages(&self) -> usize {
+        self.workflows
+            .last()
+            .map(|s| s.stage_base as usize + s.workflow.num_stages())
+            .unwrap_or(0)
+    }
+
+    /// The slot owning a global task id.
+    pub fn slot_of_task(&self, task: TaskId) -> &WorkflowSlot<'a> {
+        debug_assert!(!self.workflows.is_empty());
+        let i = self.workflows.partition_point(|s| s.task_base <= task.0);
+        &self.workflows[i - 1]
+    }
+
+    /// The static spec of a global task (note: the spec's own `id`/`stage`
+    /// fields are workflow-local; use [`stage_of`](Self::stage_of) for the
+    /// global stage).
+    pub fn spec(&self, task: TaskId) -> &'a TaskSpec {
+        let slot = self.slot_of_task(task);
+        slot.workflow.task(slot.local_task(task))
+    }
+
+    /// Global stage id of a global task.
+    pub fn stage_of(&self, task: TaskId) -> StageId {
+        let slot = self.slot_of_task(task);
+        slot.global_stage(slot.workflow.task(slot.local_task(task)).stage)
+    }
+
+    /// The workflow of a single-workflow session, if this is one.
+    pub fn solo_workflow(&self) -> Option<&'a Workflow> {
+        match self.workflows {
+            [slot] => Some(slot.workflow),
+            _ => None,
+        }
     }
 }
 
@@ -232,6 +333,51 @@ mod tests {
             draining.time_to_next_charge(Millis::from_mins(5), u),
             Millis::ZERO
         );
+    }
+
+    #[test]
+    fn slot_addressing_maps_global_ids() {
+        use wire_dag::WorkflowBuilder;
+        let mut b = WorkflowBuilder::new("a");
+        let s0 = b.add_stage("s0");
+        let s1 = b.add_stage("s1");
+        b.add_task(s0, 10, 0);
+        b.add_task(s0, 11, 0);
+        b.add_task(s1, 12, 0);
+        let wa = b.build().unwrap();
+        let mut b = WorkflowBuilder::new("b");
+        let s = b.add_stage("s");
+        b.add_task(s, 20, 0);
+        b.add_task(s, 21, 0);
+        let wb = b.build().unwrap();
+
+        let slots = [
+            WorkflowSlot::solo(&wa),
+            WorkflowSlot {
+                id: WorkflowId(1),
+                workflow: &wb,
+                submitted_at: Millis::from_mins(5),
+                task_base: 3,
+                stage_base: 2,
+            },
+        ];
+        let bufs = SnapshotBuffers {
+            tasks: vec![TaskView::Ready; 5],
+            ..Default::default()
+        };
+        let cfg = CloudConfig::default();
+        let snap = bufs.snapshot(Millis::ZERO, &slots, &cfg);
+        assert_eq!(snap.total_stages(), 3);
+        assert_eq!(snap.slot_of_task(TaskId(2)).id, WorkflowId(0));
+        assert_eq!(snap.slot_of_task(TaskId(3)).id, WorkflowId(1));
+        assert_eq!(snap.stage_of(TaskId(2)), StageId(1));
+        assert_eq!(snap.stage_of(TaskId(4)), StageId(2));
+        assert_eq!(snap.spec(TaskId(4)).input_bytes, 21);
+        assert!(snap.solo_workflow().is_none());
+        assert!(slots[0].contains(TaskId(0)));
+        assert!(!slots[0].contains(TaskId(3)));
+        assert_eq!(slots[1].global_task(TaskId(1)), TaskId(4));
+        assert_eq!(slots[1].local_task(TaskId(4)), TaskId(1));
     }
 
     #[test]

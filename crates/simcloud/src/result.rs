@@ -1,12 +1,16 @@
 //! Run outcomes: billing, makespan, utilization, per-task records.
 
 use serde::{Deserialize, Serialize};
-use wire_dag::{Millis, StageId, TaskId};
+use wire_dag::{Millis, StageId, TaskId, WorkflowId};
 
 /// Observed lifecycle of one completed task (ground truth, for evaluation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TaskRecord {
+    /// Workflow the task belongs to (always `w0` in a single-workflow run).
+    pub workflow: WorkflowId,
+    /// Session-global task id.
     pub task: TaskId,
+    /// Session-global stage id.
     pub stage: StageId,
     /// When the task last became ready.
     pub ready_at: Millis,
@@ -34,14 +38,34 @@ pub struct InstanceBill {
     pub units: u64,
 }
 
-/// Aggregate outcome of one simulated workflow run.
+/// Outcome of one workflow within a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowOutcome {
+    pub id: WorkflowId,
+    /// Workflow name.
+    pub workflow: String,
+    /// When the workflow entered the session.
+    pub submitted_at: Millis,
+    /// When it completed (including its teardown epilogue).
+    pub finished_at: Millis,
+    /// `finished_at − submitted_at`: the workflow's own response time.
+    pub makespan: Millis,
+    /// Makespan over the workflow's critical path (its ideal single-tenant
+    /// lower bound, ignoring transfers and scheduling); ≥ 1 whenever the
+    /// critical path is non-degenerate, and exactly the ensemble-scheduling
+    /// *slowdown* metric of Ilyushkin et al.
+    pub slowdown: f64,
+}
+
+/// Aggregate outcome of one simulated session (shared pool and billing
+/// totals, plus per-workflow records).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// Policy that governed the run.
     pub policy: String,
-    /// Workflow name.
+    /// Workflow name (or `ensemble[N]` for multi-workflow sessions).
     pub workflow: String,
-    /// End-to-end completion time.
+    /// End-to-end completion time of the whole session.
     pub makespan: Millis,
     /// Total charging units billed across all instances (the paper's
     /// *resource cost*, Figure 5).
@@ -71,6 +95,10 @@ pub struct RunResult {
     pub instance_bills: Vec<InstanceBill>,
     /// (time, active pool size) breakpoints.
     pub pool_timeline: Vec<(Millis, u32)>,
+    /// Per-workflow makespan/slowdown records, in submission order. A
+    /// single-workflow run has exactly one entry whose makespan equals the
+    /// session makespan.
+    pub per_workflow: Vec<WorkflowOutcome>,
 }
 
 impl RunResult {
@@ -130,6 +158,7 @@ mod tests {
             task_records: vec![],
             instance_bills: vec![],
             pool_timeline: vec![],
+            per_workflow: vec![],
         }
     }
 

@@ -26,11 +26,19 @@ pub struct ReadyQueue {
 
 impl ReadyQueue {
     pub fn new(wf: &Workflow, first_five: bool) -> Self {
+        ReadyQueue::with_sizes(wf.num_tasks(), wf.num_stages(), first_five)
+    }
+
+    /// Queue over a session-global (task, stage) index space. In a
+    /// multi-workflow session every workflow's stages occupy their own slice
+    /// of the global stage range, so the first-five boost applies per
+    /// workflow-stage with no extra bookkeeping.
+    pub fn with_sizes(num_tasks: usize, num_stages: usize, first_five: bool) -> Self {
         ReadyQueue {
             high: VecDeque::new(),
             normal: VecDeque::new(),
-            boosted: vec![0; wf.num_stages()],
-            was_high: vec![false; wf.num_tasks()],
+            boosted: vec![0; num_stages],
+            was_high: vec![false; num_tasks],
             first_five,
         }
     }

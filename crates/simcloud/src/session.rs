@@ -1,0 +1,411 @@
+//! The public entry point: a builder for single- and multi-workflow runs.
+//!
+//! ```
+//! use wire_simcloud::{CloudConfig, Session};
+//! use wire_dag::{ExecProfile, Millis, WorkflowBuilder};
+//!
+//! let mut b = WorkflowBuilder::new("two");
+//! let s = b.add_stage("s");
+//! b.add_task(s, 0, 0);
+//! b.add_task(s, 0, 0);
+//! let wf = b.build().unwrap();
+//! let prof = ExecProfile::uniform(2, Millis::from_secs(30));
+//!
+//! let result = Session::new(CloudConfig::default())
+//!     .seed(42)
+//!     .submit(&wf, &prof)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.per_workflow.len(), 1);
+//! ```
+//!
+//! A session accepts N workflows with submission times (`submit` for
+//! immediate, `submit_at` for staggered arrivals), schedules ready tasks of
+//! all active DAGs through one priority-FIFO queue, and bills one shared
+//! pool. `run` returns a [`RunResult`] with shared pool/billing totals plus
+//! per-workflow makespan/slowdown records.
+
+use crate::config::CloudConfig;
+use crate::engine::{Engine, RunError};
+use crate::observe::MonitorSnapshot;
+use crate::policy::{PoolPlan, ScalingPolicy};
+use crate::result::RunResult;
+use crate::trace::RunTrace;
+use crate::transfer::TransferModel;
+use wire_dag::{ExecProfile, Millis, Workflow};
+use wire_telemetry::{NoopRecorder, Recorder};
+
+/// The default session policy: keep whatever pool the config started.
+///
+/// Useful for fixed-pool runs and as the placeholder before
+/// [`Session::policy`] swaps in a real autoscaler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HoldPolicy;
+
+impl ScalingPolicy for HoldPolicy {
+    fn name(&self) -> &str {
+        "hold"
+    }
+
+    fn plan(&mut self, _snapshot: &MonitorSnapshot<'_>) -> PoolPlan {
+        PoolPlan::keep()
+    }
+}
+
+/// Builder for a simulated session.
+///
+/// ```text
+/// Session::new(cfg)
+///     .transfer(model)
+///     .policy(p)
+///     .seed(s)
+///     .submit(&wf, &prof)
+///     .submit_at(t, &wf2, &prof2)
+///     .run()
+/// ```
+///
+/// `policy` and `recording` change the builder's type parameters; every
+/// other method returns `Self`. Workflows are numbered in submission-time
+/// order (ties keep submit-call order), and a session with a single
+/// `submit` is decision-identical to [`crate::run_workflow`].
+pub struct Session<'a, P: ScalingPolicy = HoldPolicy, R: Recorder = NoopRecorder> {
+    config: CloudConfig,
+    transfer: TransferModel,
+    policy: P,
+    recorder: R,
+    seed: u64,
+    submissions: Vec<(Millis, &'a Workflow, &'a ExecProfile)>,
+}
+
+impl<'a> Session<'a> {
+    /// Start a session on the given cloud; defaults: no transfer cost model
+    /// jitter beyond [`TransferModel::default`], [`HoldPolicy`], seed 0, no
+    /// telemetry.
+    pub fn new(config: CloudConfig) -> Self {
+        Session {
+            config,
+            transfer: TransferModel::default(),
+            policy: HoldPolicy,
+            recorder: NoopRecorder,
+            seed: 0,
+            submissions: Vec::new(),
+        }
+    }
+}
+
+impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
+    /// Set the data-transfer cost model.
+    pub fn transfer(mut self, model: TransferModel) -> Self {
+        self.transfer = model;
+        self
+    }
+
+    /// Set the RNG seed (transfer/exec jitter and failure injection).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the scaling policy driven at every MAPE tick.
+    pub fn policy<Q: ScalingPolicy>(self, policy: Q) -> Session<'a, Q, R> {
+        Session {
+            config: self.config,
+            transfer: self.transfer,
+            policy,
+            recorder: self.recorder,
+            seed: self.seed,
+            submissions: self.submissions,
+        }
+    }
+
+    /// Attach a telemetry recorder (e.g. a `TelemetryHandle`).
+    pub fn recording<S: Recorder>(self, recorder: S) -> Session<'a, P, S> {
+        Session {
+            config: self.config,
+            transfer: self.transfer,
+            policy: self.policy,
+            recorder,
+            seed: self.seed,
+            submissions: self.submissions,
+        }
+    }
+
+    /// Submit a workflow at time zero.
+    pub fn submit(self, wf: &'a Workflow, profile: &'a ExecProfile) -> Self {
+        self.submit_at(Millis::ZERO, wf, profile)
+    }
+
+    /// Submit a workflow arriving at simulated time `at`.
+    pub fn submit_at(mut self, at: Millis, wf: &'a Workflow, profile: &'a ExecProfile) -> Self {
+        self.submissions.push((at, wf, profile));
+        self
+    }
+
+    /// Construct the engine without running it (to call `run_traced`, or to
+    /// inspect construction errors separately).
+    pub fn build(self) -> Result<Engine<'a, P, R>, RunError> {
+        Engine::from_submissions(
+            self.submissions,
+            self.config,
+            self.transfer,
+            self.policy,
+            self.seed,
+            self.recorder,
+        )
+    }
+
+    /// Run the session to completion.
+    pub fn run(self) -> Result<RunResult, RunError> {
+        self.build()?.run()
+    }
+
+    /// Run the session to completion, returning the result with the trace.
+    pub fn run_traced(self) -> Result<(RunResult, RunTrace), RunError> {
+        self.build()?.run_traced()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TerminateWhen;
+    use wire_dag::{TaskId, WorkflowBuilder, WorkflowId};
+
+    fn fanout(name: &str, n: usize, secs: u64) -> (Workflow, ExecProfile) {
+        let mut b = WorkflowBuilder::new(name);
+        let s = b.add_stage("s");
+        for _ in 0..n {
+            b.add_task(s, 0, 0);
+        }
+        (
+            b.build().unwrap(),
+            ExecProfile::uniform(n, Millis::from_secs(secs)),
+        )
+    }
+
+    fn cfg() -> CloudConfig {
+        CloudConfig {
+            slots_per_instance: 1,
+            site_capacity: 16,
+            launch_lag: Millis::from_mins(3),
+            charging_unit: Millis::from_mins(15),
+            mape_interval: Millis::from_mins(3),
+            initial_instances: 1,
+            first_five_priority: true,
+            exec_jitter: 0.0,
+            mean_time_between_failures: None,
+            run_setup: Millis::ZERO,
+            run_teardown: Millis::ZERO,
+            max_sim_time: Millis::from_hours(100),
+        }
+    }
+
+    #[test]
+    fn empty_session_is_a_config_error() {
+        let err = Session::new(cfg()).run().unwrap_err();
+        assert!(matches!(err, RunError::Config(_)));
+    }
+
+    #[test]
+    fn single_submission_matches_run_workflow() {
+        let (wf, prof) = fanout("f", 6, 120);
+        let direct =
+            crate::run_workflow(&wf, &prof, cfg(), TransferModel::none(), HoldPolicy, 7).unwrap();
+        let via_session = Session::new(cfg())
+            .transfer(TransferModel::none())
+            .seed(7)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
+        assert_eq!(direct.makespan, via_session.makespan);
+        assert_eq!(direct.charging_units, via_session.charging_units);
+        assert_eq!(direct.task_records, via_session.task_records);
+        assert_eq!(via_session.per_workflow.len(), 1);
+        assert_eq!(via_session.per_workflow[0].makespan, via_session.makespan);
+        assert_eq!(via_session.workflow, "f");
+    }
+
+    #[test]
+    fn single_submission_trace_matches_run_workflow_trace() {
+        let (wf, prof) = fanout("f", 6, 120);
+        let (_, t1) = Engine::new(&wf, &prof, cfg(), TransferModel::none(), HoldPolicy, 7)
+            .unwrap()
+            .run_traced()
+            .unwrap();
+        let (_, t2) = Session::new(cfg())
+            .transfer(TransferModel::none())
+            .seed(7)
+            .submit(&wf, &prof)
+            .run_traced()
+            .unwrap();
+        assert_eq!(t1.render(), t2.render());
+    }
+
+    #[test]
+    fn two_workflows_share_the_pool_and_complete() {
+        let (wa, pa) = fanout("a", 4, 60);
+        let (wb, pb) = fanout("b", 3, 60);
+        let r = Session::new(cfg())
+            .transfer(TransferModel::none())
+            .submit(&wa, &pa)
+            .submit_at(Millis::from_mins(2), &wb, &pb)
+            .run()
+            .unwrap();
+        assert_eq!(r.task_records.len(), 7);
+        assert_eq!(r.per_workflow.len(), 2);
+        assert_eq!(r.workflow, "ensemble[2]");
+        // every task completed exactly once, with global ids 0..7
+        let mut seen: Vec<u32> = r.task_records.iter().map(|t| t.task.0).collect();
+        seen.sort();
+        assert_eq!(seen, (0..7).collect::<Vec<u32>>());
+        // workflow b's tasks carry its id and arrive no earlier than its
+        // submission time
+        for rec in &r.task_records {
+            if rec.task.0 >= 4 {
+                assert_eq!(rec.workflow, WorkflowId(1));
+                assert!(rec.ready_at >= Millis::from_mins(2));
+            } else {
+                assert_eq!(rec.workflow, WorkflowId(0));
+            }
+        }
+        let b_out = &r.per_workflow[1];
+        assert_eq!(b_out.submitted_at, Millis::from_mins(2));
+        assert_eq!(b_out.makespan, b_out.finished_at - b_out.submitted_at);
+        assert!(b_out.slowdown >= 1.0);
+    }
+
+    #[test]
+    fn staggered_arrival_defers_visibility() {
+        // workflow b arrives at 10 min; until then only a's 2 tasks and no
+        // others may run. b's records must all start after 10 min.
+        let (wa, pa) = fanout("a", 2, 600);
+        let (wb, pb) = fanout("b", 2, 60);
+        let r = Session::new(cfg())
+            .transfer(TransferModel::none())
+            .submit(&wa, &pa)
+            .submit_at(Millis::from_mins(10), &wb, &pb)
+            .run()
+            .unwrap();
+        for rec in r
+            .task_records
+            .iter()
+            .filter(|t| t.workflow == WorkflowId(1))
+        {
+            assert!(rec.started_at >= Millis::from_mins(10));
+        }
+    }
+
+    #[test]
+    fn per_workflow_setup_delays_roots() {
+        let (wa, pa) = fanout("a", 1, 60);
+        let (wb, pb) = fanout("b", 1, 60);
+        let config = CloudConfig {
+            run_setup: Millis::from_mins(4),
+            ..cfg()
+        };
+        let r = Session::new(config)
+            .transfer(TransferModel::none())
+            .submit(&wa, &pa)
+            .submit_at(Millis::from_mins(1), &wb, &pb)
+            .run()
+            .unwrap();
+        // a's root readies at 4 min; b arrives at 1 min, readies at 5 min
+        assert_eq!(r.task_records[0].ready_at, Millis::from_mins(4));
+        assert_eq!(r.task_records[1].ready_at, Millis::from_mins(5));
+    }
+
+    #[test]
+    fn equal_time_submissions_keep_submit_order() {
+        let (wa, pa) = fanout("first", 1, 60);
+        let (wb, pb) = fanout("second", 1, 60);
+        let r = Session::new(cfg())
+            .transfer(TransferModel::none())
+            .submit(&wa, &pa)
+            .submit(&wb, &pb)
+            .run()
+            .unwrap();
+        assert_eq!(r.per_workflow[0].workflow, "first");
+        assert_eq!(r.per_workflow[1].workflow, "second");
+    }
+
+    #[test]
+    fn multi_session_survives_terminations() {
+        // exercise resubmission across workflows: kill the first instance
+        struct KillFirst(bool);
+        impl ScalingPolicy for KillFirst {
+            fn name(&self) -> &str {
+                "kill-first"
+            }
+            fn plan(&mut self, s: &MonitorSnapshot<'_>) -> PoolPlan {
+                if self.0 {
+                    PoolPlan::keep()
+                } else {
+                    self.0 = true;
+                    PoolPlan {
+                        launch: 2,
+                        terminate: s
+                            .instances
+                            .first()
+                            .map(|iv| (iv.id, TerminateWhen::Now))
+                            .into_iter()
+                            .collect(),
+                    }
+                }
+            }
+        }
+        let (wa, pa) = fanout("a", 3, 600);
+        let (wb, pb) = fanout("b", 3, 600);
+        let r = Session::new(cfg())
+            .transfer(TransferModel::none())
+            .policy(KillFirst(false))
+            .submit(&wa, &pa)
+            .submit_at(Millis::from_mins(1), &wb, &pb)
+            .run()
+            .unwrap();
+        assert_eq!(r.task_records.len(), 6);
+        assert!(r.restarts >= 1);
+        let mut seen: Vec<TaskId> = r.task_records.iter().map(|t| t.task).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "each task completes exactly once");
+    }
+
+    #[test]
+    fn multi_trace_carries_workflow_lifecycle_events() {
+        use crate::trace::TraceEvent;
+        let (wa, pa) = fanout("a", 2, 60);
+        let (wb, pb) = fanout("b", 2, 60);
+        let (_, trace) = Session::new(cfg())
+            .transfer(TransferModel::none())
+            .submit(&wa, &pa)
+            .submit_at(Millis::from_mins(1), &wb, &pb)
+            .run_traced()
+            .unwrap();
+        assert_eq!(
+            trace
+                .filter(|e| matches!(e, TraceEvent::WorkflowSubmitted { .. }))
+                .count(),
+            2
+        );
+        assert_eq!(
+            trace
+                .filter(|e| matches!(e, TraceEvent::WorkflowCompleted { .. }))
+                .count(),
+            2
+        );
+        // single-workflow traces stay free of lifecycle events
+        let (_, solo) = Session::new(cfg())
+            .transfer(TransferModel::none())
+            .submit(&wa, &pa)
+            .run_traced()
+            .unwrap();
+        assert_eq!(
+            solo.filter(|e| matches!(
+                e,
+                TraceEvent::WorkflowSubmitted { .. } | TraceEvent::WorkflowCompleted { .. }
+            ))
+            .count(),
+            0
+        );
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::instance::InstanceId;
 use serde::{Deserialize, Serialize};
-use wire_dag::{Millis, TaskId};
+use wire_dag::{Millis, TaskId, WorkflowId};
 
 /// One traced engine event.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,6 +41,19 @@ pub enum TraceEvent {
         terminate: u32,
     },
     WorkflowDone,
+    /// A workflow arrived in a multi-workflow session (never traced for
+    /// single-workflow runs, keeping their traces byte-identical to the
+    /// pre-session engine).
+    WorkflowSubmitted {
+        workflow: WorkflowId,
+        tasks: u32,
+    },
+    /// A workflow of a multi-workflow session completed (including its
+    /// teardown epilogue); the session keeps running.
+    WorkflowCompleted {
+        workflow: WorkflowId,
+        makespan: Millis,
+    },
 }
 
 /// Time-ordered event trace of a run.
@@ -107,6 +120,13 @@ impl RunTrace {
                     format!("pool={pool} launch={launch} terminate={terminate}"),
                 ),
                 TraceEvent::WorkflowDone => ("workflow_done", String::new()),
+                TraceEvent::WorkflowSubmitted { workflow, tasks } => {
+                    ("workflow_submitted", format!("{workflow} tasks={tasks}"))
+                }
+                TraceEvent::WorkflowCompleted { workflow, makespan } => (
+                    "workflow_completed",
+                    format!("{workflow} makespan={makespan}"),
+                ),
             };
             let _ = writeln!(out, "{},{kind},{detail}", t.as_ms());
         }

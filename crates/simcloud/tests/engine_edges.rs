@@ -3,8 +3,8 @@
 
 use wire_dag::{ExecProfile, Millis, TaskId, WorkflowBuilder};
 use wire_simcloud::{
-    run_workflow, CloudConfig, Engine, InstanceId, MonitorSnapshot, PoolPlan, RunError,
-    ScalingPolicy, TerminateWhen, TraceEvent, TransferModel,
+    CloudConfig, InstanceId, MonitorSnapshot, PoolPlan, RunError, ScalingPolicy, Session,
+    TerminateWhen, TraceEvent, TransferModel,
 };
 
 fn chain(n: usize, secs: u64) -> (wire_dag::Workflow, ExecProfile) {
@@ -56,7 +56,13 @@ fn double_terminate_is_rejected() {
         }
     }
     let (wf, prof) = chain(2, 20 * 60);
-    let err = run_workflow(&wf, &prof, cfg(), TransferModel::none(), DoubleKill(0), 1).unwrap_err();
+    let err = Session::new(cfg())
+        .transfer(TransferModel::none())
+        .policy(DoubleKill(0))
+        .seed(1)
+        .submit(&wf, &prof)
+        .run()
+        .unwrap_err();
     // the second terminate hits a Draining instance
     assert!(matches!(err, RunError::InvalidPlan(_)), "{err:?}");
 }
@@ -85,17 +91,13 @@ fn drain_terminates_idle_at_boundary() {
     // tasks run 5 min each; the chain of three keeps the run alive past the
     // 15-min boundary where the drained instance is released
     let (wf, prof) = chain(3, 5 * 60);
-    let (r, trace) = Engine::new(
-        &wf,
-        &prof,
-        cfg(),
-        TransferModel::none(),
-        KillAtFirstTick(false),
-        1,
-    )
-    .unwrap()
-    .run_traced()
-    .unwrap();
+    let (r, trace) = Session::new(cfg())
+        .transfer(TransferModel::none())
+        .policy(KillAtFirstTick(false))
+        .seed(1)
+        .submit(&wf, &prof)
+        .run_traced()
+        .unwrap();
     let term = trace
         .filter(|e| {
             matches!(
@@ -140,15 +142,13 @@ fn terminating_a_launching_instance_is_invalid() {
         }
     }
     let (wf, prof) = chain(2, 30 * 60);
-    let err = run_workflow(
-        &wf,
-        &prof,
-        cfg(),
-        TransferModel::none(),
-        KillLaunching(0),
-        1,
-    )
-    .unwrap_err();
+    let err = Session::new(cfg())
+        .transfer(TransferModel::none())
+        .policy(KillLaunching(0))
+        .seed(1)
+        .submit(&wf, &prof)
+        .run()
+        .unwrap_err();
     assert!(matches!(err, RunError::InvalidPlan(_)), "{err:?}");
 }
 
@@ -176,7 +176,13 @@ fn exact_boundary_billing() {
     }
     // one 15-minute task = exactly one charging unit
     let (wf, prof) = chain(1, 15 * 60);
-    let r = run_workflow(&wf, &prof, cfg(), TransferModel::none(), ReleaseWhenIdle, 1).unwrap();
+    let r = Session::new(cfg())
+        .transfer(TransferModel::none())
+        .policy(ReleaseWhenIdle)
+        .seed(1)
+        .submit(&wf, &prof)
+        .run()
+        .unwrap();
     assert_eq!(r.charging_units, 1);
     assert_eq!(r.makespan, Millis::from_mins(15));
 }
@@ -196,7 +202,13 @@ fn sub_second_tasks_complete() {
             PoolPlan::keep()
         }
     }
-    let r = run_workflow(&wf, &prof, cfg(), TransferModel::none(), Hold, 1).unwrap();
+    let r = Session::new(cfg())
+        .transfer(TransferModel::none())
+        .policy(Hold)
+        .seed(1)
+        .submit(&wf, &prof)
+        .run()
+        .unwrap();
     assert_eq!(r.task_records.len(), 50);
     assert_eq!(r.makespan, Millis::from_ms(150));
     assert_eq!(r.charging_units, 1);

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use wire_dag::{ExecProfile, Millis, WorkflowBuilder};
 use wire_simcloud::{
-    run_workflow, CloudConfig, MonitorSnapshot, PoolPlan, ScalingPolicy, TransferModel,
+    CloudConfig, MonitorSnapshot, PoolPlan, ScalingPolicy, Session, TransferModel,
 };
 
 struct Hold;
@@ -64,7 +64,13 @@ proptest! {
             fixed_overhead: Millis::from_ms(50),
             jitter: 0.3,
         };
-        let r = run_workflow(&wf, &prof, cfg.clone(), tm, Hold, seed).unwrap();
+        let r = Session::new(cfg.clone())
+            .transfer(tm)
+            .policy(Hold)
+            .seed(seed)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
 
         // every task completes exactly once
         prop_assert_eq!(r.task_records.len(), wf.num_tasks());
@@ -130,8 +136,20 @@ proptest! {
             ..CloudConfig::default()
         };
         let tm = TransferModel::default();
-        let a = run_workflow(&wf, &prof, cfg.clone(), tm.clone(), Hold, seed).unwrap();
-        let b2 = run_workflow(&wf, &prof, cfg, tm, Hold, seed).unwrap();
+        let a = Session::new(cfg.clone())
+            .transfer(tm.clone())
+            .policy(Hold)
+            .seed(seed)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
+        let b2 = Session::new(cfg)
+            .transfer(tm)
+            .policy(Hold)
+            .seed(seed)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
         prop_assert_eq!(a.makespan, b2.makespan);
         prop_assert_eq!(a.charging_units, b2.charging_units);
         prop_assert_eq!(a.task_records, b2.task_records);

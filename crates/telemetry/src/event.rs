@@ -64,6 +64,16 @@ pub enum TelemetryEvent {
     },
     /// The workflow completed (before the serial teardown epilogue).
     WorkflowDone,
+    /// A workflow arrived in a multi-workflow session. Never emitted for
+    /// single-workflow runs, so their event streams stay byte-identical to
+    /// the pre-session engine.
+    WorkflowSubmitted { workflow: u32, tasks: u32 },
+    /// A workflow of a multi-workflow session finished its setup phase; its
+    /// root tasks became ready.
+    WorkflowReady { workflow: u32 },
+    /// A workflow of a multi-workflow session completed (including its
+    /// teardown); the session keeps running.
+    WorkflowCompleted { workflow: u32, makespan: Millis },
 }
 
 impl TelemetryEvent {
@@ -81,6 +91,9 @@ impl TelemetryEvent {
             TelemetryEvent::TaskResubmitted { .. } => "task_resubmitted",
             TelemetryEvent::MapeTick { .. } => "mape_tick",
             TelemetryEvent::WorkflowDone => "workflow_done",
+            TelemetryEvent::WorkflowSubmitted { .. } => "workflow_submitted",
+            TelemetryEvent::WorkflowReady { .. } => "workflow_ready",
+            TelemetryEvent::WorkflowCompleted { .. } => "workflow_completed",
         }
     }
 
@@ -161,6 +174,17 @@ impl TelemetryEvent {
                 fields.push(("plan_launch", u(plan_launch as u64)));
                 fields.push(("plan_terminate", u(plan_terminate as u64)));
             }
+            TelemetryEvent::WorkflowSubmitted { workflow, tasks } => {
+                fields.push(("workflow", u(workflow as u64)));
+                fields.push(("tasks", u(tasks as u64)));
+            }
+            TelemetryEvent::WorkflowReady { workflow } => {
+                fields.push(("workflow", u(workflow as u64)));
+            }
+            TelemetryEvent::WorkflowCompleted { workflow, makespan } => {
+                fields.push(("workflow", u(workflow as u64)));
+                fields.push(("makespan_ms", u(makespan.as_ms())));
+            }
         }
         obj(fields)
     }
@@ -237,6 +261,17 @@ impl TelemetryEvent {
                 plan_launch: get_u32("plan_launch")?,
                 plan_terminate: get_u32("plan_terminate")?,
             },
+            "workflow_submitted" => TelemetryEvent::WorkflowSubmitted {
+                workflow: get_u32("workflow")?,
+                tasks: get_u32("tasks")?,
+            },
+            "workflow_ready" => TelemetryEvent::WorkflowReady {
+                workflow: get_u32("workflow")?,
+            },
+            "workflow_completed" => TelemetryEvent::WorkflowCompleted {
+                workflow: get_u32("workflow")?,
+                makespan: get_ms("makespan_ms")?,
+            },
             other => return Err(format!("unknown event kind '{other}'")),
         })
     }
@@ -292,6 +327,15 @@ mod tests {
                 plan_terminate: 0,
             },
             TelemetryEvent::WorkflowDone,
+            TelemetryEvent::WorkflowSubmitted {
+                workflow: 1,
+                tasks: 33,
+            },
+            TelemetryEvent::WorkflowReady { workflow: 1 },
+            TelemetryEvent::WorkflowCompleted {
+                workflow: 1,
+                makespan: Millis::from_mins(20),
+            },
         ]
     }
 

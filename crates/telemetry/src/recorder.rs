@@ -91,6 +91,9 @@ impl TelemetryBuffer {
         let m = &mut self.metrics;
         match event {
             TelemetryEvent::RunSetupDone | TelemetryEvent::WorkflowDone => {}
+            TelemetryEvent::WorkflowSubmitted { .. } => m.inc("workflows_submitted_total", 1),
+            TelemetryEvent::WorkflowReady { .. } => m.inc("workflows_ready_total", 1),
+            TelemetryEvent::WorkflowCompleted { .. } => m.inc("workflows_completed_total", 1),
             TelemetryEvent::InstanceRequested { .. } => m.inc("instances_requested_total", 1),
             TelemetryEvent::InstanceReady { .. } => m.inc("instances_ready_total", 1),
             TelemetryEvent::InstanceDraining { .. } => m.inc("instances_draining_total", 1),

@@ -1,0 +1,202 @@
+//! Workflow ensembles: many workflows submitted to one shared pool.
+//!
+//! The paper evaluates WIRE one workflow at a time; the session engine
+//! (`wire-simcloud::Session`) generalizes the billing/steering loop to N
+//! concurrent DAGs. This module generates the *submission side* of such a
+//! session: a list of Table-I workloads plus an arrival process assigning
+//! each a submission time — immediate (all at t = 0), batched at a fixed
+//! gap, or a seeded Poisson process (exponential inter-arrival gaps), the
+//! standard model for independent users sharing a site.
+//!
+//! Everything flows from `u64` seeds, like the rest of this crate: the same
+//! `(spec, seed)` pair reproduces the same ensemble bit-for-bit.
+
+use crate::catalog::WorkloadId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wire_dag::{ExecProfile, Millis, Workflow};
+
+/// How submission times are assigned to the ensemble's workflows, in order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Every workflow is submitted at t = 0.
+    Immediate,
+    /// Workflow `i` is submitted at `i × gap`.
+    Batch {
+        /// Fixed inter-submission gap.
+        gap: Millis,
+    },
+    /// Exponential inter-arrival gaps with the given mean (a Poisson arrival
+    /// process); the first workflow arrives at t = 0.
+    Poisson {
+        /// Mean inter-arrival gap (1/λ).
+        mean_gap: Millis,
+    },
+}
+
+/// A generatable multi-workflow submission plan: which Table-I workloads to
+/// run and when each is submitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleSpec {
+    workloads: Vec<WorkloadId>,
+    arrival: ArrivalProcess,
+}
+
+/// One generated ensemble member, ready to be handed to
+/// `Session::submit_at(submit_at, &workflow, &profile)`.
+#[derive(Debug, Clone)]
+pub struct EnsembleMember {
+    /// Submission time assigned by the arrival process.
+    pub submit_at: Millis,
+    /// Which Table-I workload this member instantiates.
+    pub workload: WorkloadId,
+    /// The generated DAG.
+    pub workflow: Workflow,
+    /// The generated ground-truth execution profile.
+    pub profile: ExecProfile,
+}
+
+impl EnsembleSpec {
+    /// An ensemble running the given workloads in submission order.
+    pub fn new(workloads: Vec<WorkloadId>, arrival: ArrivalProcess) -> Self {
+        EnsembleSpec { workloads, arrival }
+    }
+
+    /// `count` instances of the same workload.
+    pub fn uniform(workload: WorkloadId, count: usize, arrival: ArrivalProcess) -> Self {
+        Self::new(vec![workload; count], arrival)
+    }
+
+    /// The workloads, in submission order.
+    pub fn workloads(&self) -> &[WorkloadId] {
+        &self.workloads
+    }
+
+    pub fn arrival(&self) -> ArrivalProcess {
+        self.arrival
+    }
+
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// The submission time of each workflow under this spec's arrival
+    /// process. Deterministic in `seed` (only [`ArrivalProcess::Poisson`]
+    /// draws from it); times are non-decreasing.
+    pub fn arrival_times(&self, seed: u64) -> Vec<Millis> {
+        let n = self.workloads.len();
+        match self.arrival {
+            ArrivalProcess::Immediate => vec![Millis::ZERO; n],
+            ArrivalProcess::Batch { gap } => (0..n as u64).map(|i| gap * i).collect(),
+            ArrivalProcess::Poisson { mean_gap } => {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x454e_534d); // "ENSM"
+                let mut at = Millis::ZERO;
+                (0..n)
+                    .map(|i| {
+                        if i > 0 {
+                            // inverse-CDF exponential; 1 − u ∈ (0, 1] keeps
+                            // ln() finite for u = 0
+                            let u: f64 = rng.gen::<f64>();
+                            at += mean_gap.scale(-(1.0 - u).ln());
+                        }
+                        at
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Generate the full ensemble: every workflow/profile plus its submission
+    /// time. Member `i` is generated from `seed + i` (distinct runs of the
+    /// same workload, Observation 2); arrival times draw from `seed` too, so
+    /// one seed pins the whole session input.
+    pub fn generate(&self, seed: u64) -> Vec<EnsembleMember> {
+        let times = self.arrival_times(seed);
+        self.workloads
+            .iter()
+            .zip(times)
+            .enumerate()
+            .map(|(i, (&workload, submit_at))| {
+                let (workflow, profile) = workload.generate(seed.wrapping_add(i as u64));
+                EnsembleMember {
+                    submit_at,
+                    workload,
+                    workflow,
+                    profile,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_and_batch_arrivals_are_exact() {
+        let spec = EnsembleSpec::uniform(WorkloadId::Tpch6S, 3, ArrivalProcess::Immediate);
+        assert_eq!(spec.arrival_times(1), vec![Millis::ZERO; 3]);
+
+        let gap = Millis::from_mins(7);
+        let spec = EnsembleSpec::uniform(WorkloadId::Tpch6S, 3, ArrivalProcess::Batch { gap });
+        assert_eq!(spec.arrival_times(1), vec![Millis::ZERO, gap, gap * 2]);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_seeded_and_monotone() {
+        let spec = EnsembleSpec::uniform(
+            WorkloadId::Tpch6S,
+            8,
+            ArrivalProcess::Poisson {
+                mean_gap: Millis::from_mins(10),
+            },
+        );
+        let a = spec.arrival_times(7);
+        let b = spec.arrival_times(7);
+        let c = spec.arrival_times(8);
+        assert_eq!(a, b, "same seed must reproduce the same arrivals");
+        assert_ne!(a, c, "different seeds must differ");
+        assert_eq!(a[0], Millis::ZERO, "first arrival is at t = 0");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "{a:?}");
+        // mean gap sanity: 7 gaps with mean 10 min land well within [1, 60]
+        let span = a[7] - a[0];
+        assert!(span > Millis::from_mins(1), "span = {span}");
+        assert!(span < Millis::from_mins(60 * 7), "span = {span}");
+    }
+
+    #[test]
+    fn generate_varies_members_but_not_reruns() {
+        let spec = EnsembleSpec::uniform(
+            WorkloadId::Tpch6S,
+            2,
+            ArrivalProcess::Batch {
+                gap: Millis::from_mins(5),
+            },
+        );
+        let m = spec.generate(3);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].submit_at, Millis::ZERO);
+        assert_eq!(m[1].submit_at, Millis::from_mins(5));
+        assert_eq!(m[0].workflow.num_tasks(), m[1].workflow.num_tasks());
+        // distinct member seeds → distinct ground-truth profiles
+        assert_ne!(
+            (0..m[0].workflow.num_tasks())
+                .map(|t| m[0].profile.exec_time(wire_dag::TaskId(t as u32)))
+                .collect::<Vec<_>>(),
+            (0..m[1].workflow.num_tasks())
+                .map(|t| m[1].profile.exec_time(wire_dag::TaskId(t as u32)))
+                .collect::<Vec<_>>(),
+        );
+        let again = spec.generate(3);
+        assert_eq!(m[1].workflow.num_tasks(), again[1].workflow.num_tasks());
+        assert_eq!(
+            m[1].profile.exec_time(wire_dag::TaskId(0)),
+            again[1].profile.exec_time(wire_dag::TaskId(0)),
+        );
+    }
+}

@@ -15,6 +15,7 @@
 //! same run, different seeds model different runs of the same workflow.
 
 pub mod catalog;
+pub mod ensemble;
 pub mod epigenomics;
 pub mod extensions;
 pub mod linear;
@@ -26,6 +27,7 @@ pub mod tpch;
 pub mod trace;
 
 pub use catalog::{PaperRow, WorkloadId};
+pub use ensemble::{ArrivalProcess, EnsembleMember, EnsembleSpec};
 pub use linear::{linear_stage, linear_workflow};
 pub use spec::{Linkage, StageSpec, WorkloadSpec};
 pub use trace::{export_trace, parse_trace, TraceError};

@@ -23,19 +23,26 @@ impl ScalingPolicy for WidthTracker {
     }
 
     fn plan(&mut self, s: &MonitorSnapshot<'_>) -> PoolPlan {
-        let wf = s.workflow;
         // active tasks now...
         let active = s.active_tasks();
-        // ...plus tasks unlocked by the next completion wave
-        let next_wave = wf
-            .task_ids()
-            .filter(|&t| matches!(s.tasks[t.index()], TaskView::Unready))
-            .filter(|&t| {
-                wf.preds(t)
-                    .iter()
-                    .all(|&p| !matches!(s.tasks[p.index()], TaskView::Unready))
+        // ...plus tasks unlocked by the next completion wave, across every
+        // arrived workflow (dependency edges are workflow-local, so walk each
+        // slot and map to global task ids)
+        let next_wave: usize = s
+            .workflows
+            .iter()
+            .map(|slot| {
+                slot.workflow
+                    .task_ids()
+                    .filter(|&t| {
+                        matches!(s.tasks[slot.global_task(t).index()], TaskView::Unready)
+                            && slot.workflow.preds(t).iter().all(|&p| {
+                                !matches!(s.tasks[slot.global_task(p).index()], TaskView::Unready)
+                            })
+                    })
+                    .count()
             })
-            .count();
+            .sum();
         let l = s.config.slots_per_instance as usize;
         let target = ((active + next_wave).div_ceil(l) as u32).max(1);
         let m = s.pool_size();
@@ -131,35 +138,26 @@ fn main() {
         "policy", "cost", "makespan", "peak", "util %"
     );
     let runs: Vec<RunResult> = vec![
-        run_workflow(
-            &wf,
-            &prof,
-            cfg.clone(),
-            TransferModel::default(),
-            WidthTracker,
-            3,
-        )
-        .unwrap(),
-        run_workflow(
-            &wf,
-            &prof,
-            cfg.clone(),
-            TransferModel::default(),
-            WirePolicy::default(),
-            3,
-        )
-        .unwrap(),
-        run_workflow(
-            &wf,
-            &prof,
-            CloudConfig {
-                initial_instances: 16,
-                ..cfg.clone()
-            },
-            TransferModel::default(),
-            StaticPolicy::full_site(16),
-            3,
-        )
+        Session::new(cfg.clone())
+            .policy(WidthTracker)
+            .seed(3)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap(),
+        Session::new(cfg.clone())
+            .policy(WirePolicy::default())
+            .seed(3)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap(),
+        Session::new(CloudConfig {
+            initial_instances: 16,
+            ..cfg.clone()
+        })
+        .policy(StaticPolicy::full_site(16))
+        .seed(3)
+        .submit(&wf, &prof)
+        .run()
         .unwrap(),
     ];
     for r in &runs {

@@ -24,15 +24,13 @@ fn main() {
     );
     for deadline_mins in [600u64, 180, 120, 90, 60] {
         let deadline = Millis::from_mins(deadline_mins);
-        let r = run_workflow(
-            &wf,
-            &prof,
-            cfg.clone(),
-            TransferModel::default(),
-            DeadlineWirePolicy::new(deadline),
-            5,
-        )
-        .expect("completes");
+        let r = Session::new(cfg.clone())
+            .transfer(TransferModel::default())
+            .policy(DeadlineWirePolicy::new(deadline))
+            .seed(5)
+            .submit(&wf, &prof)
+            .run()
+            .expect("completes");
         println!(
             "{:>12} {:>10} {:>12} {:>10} {:>8}",
             format!("{deadline_mins} min"),

@@ -1,0 +1,81 @@
+//! Workflow ensembles on one shared pool: a seeded Poisson stream of
+//! Table-I workflows arrives at the site, and WIRE's shared-pool steering
+//! is raced against static full-site provisioning. Per-workflow slowdowns
+//! (makespan over the workflow's own critical path) show who pays for
+//! contention under each regime.
+//!
+//! ```sh
+//! cargo run --release --example ensemble_arrivals
+//! ```
+
+use wire::core::experiment::Setting;
+use wire::prelude::*;
+
+fn run(setting: Setting, spec: &EnsembleSpec, seed: u64) -> RunResult {
+    wire::core::run_ensemble(spec, setting, Millis::from_mins(15), seed)
+}
+
+fn main() {
+    let seed = 9;
+    let spec = EnsembleSpec::new(
+        vec![
+            WorkloadId::Tpch6S,
+            WorkloadId::PageRankS,
+            WorkloadId::Tpch1S,
+            WorkloadId::EpigenomicsS,
+        ],
+        ArrivalProcess::Poisson {
+            mean_gap: Millis::from_mins(12),
+        },
+    );
+    let members = spec.generate(seed);
+    println!(
+        "ensemble: {} workflows, Poisson arrivals (mean gap 12 min)\n",
+        spec.len()
+    );
+    println!("{:<16} {:>12} {:>10}", "workflow", "arrives at", "tasks");
+    for m in &members {
+        println!(
+            "{:<16} {:>12} {:>10}",
+            m.workflow.name(),
+            m.submit_at.to_string(),
+            m.workflow.num_tasks()
+        );
+    }
+
+    for setting in [Setting::Wire, Setting::FullSite] {
+        let r = run(setting, &spec, seed);
+        println!(
+            "\n== {} ==  session makespan {}, {} units, peak pool {}",
+            setting.label(),
+            r.makespan,
+            r.charging_units,
+            r.peak_instances
+        );
+        println!(
+            "{:<16} {:>12} {:>12} {:>10}",
+            "workflow", "response", "finished at", "slowdown"
+        );
+        for out in &r.per_workflow {
+            println!(
+                "{:<16} {:>12} {:>12} {:>10.2}",
+                out.workflow,
+                out.makespan.to_string(),
+                out.finished_at.to_string(),
+                out.slowdown
+            );
+        }
+    }
+
+    let wire = run(Setting::Wire, &spec, seed);
+    let full = run(Setting::FullSite, &spec, seed);
+    println!(
+        "\nWIRE serves the whole stream for {} units vs full-site's {} ({:.1}x\n\
+         cheaper) by growing the shared pool only when the lookahead sees\n\
+         overlapping demand; slowdowns stay bounded because arrivals rarely\n\
+         collide at a mean gap near each workflow's own makespan.",
+        wire.charging_units,
+        full.charging_units,
+        full.charging_units as f64 / wire.charging_units.max(1) as f64,
+    );
+}

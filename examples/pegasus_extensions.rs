@@ -29,15 +29,13 @@ fn show(spec: &WorkloadSpec, seed: u64) {
     for setting in Setting::ALL {
         let cfg = cloud_config(setting, Millis::from_mins(15));
         let policy = wire::core::experiment::build_policy(setting, &cfg);
-        let r = run_workflow(
-            &wf,
-            &prof,
-            cfg.clone(),
-            TransferModel::default(),
-            policy,
-            seed,
-        )
-        .expect("completes");
+        let r = Session::new(cfg.clone())
+            .transfer(TransferModel::default())
+            .policy(policy)
+            .seed(seed)
+            .submit(&wf, &prof)
+            .run()
+            .expect("completes");
         println!(
             "{:<22} {:>8} {:>12} {:>6} {:>8.1}",
             setting.label(),

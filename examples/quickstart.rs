@@ -46,15 +46,13 @@ fn main() {
     let config = CloudConfig::default();
 
     // 4. Run under the WIRE policy.
-    let result = run_workflow(
-        &wf,
-        &profile,
-        config.clone(),
-        TransferModel::default(),
-        WirePolicy::default(),
-        42,
-    )
-    .expect("run completes");
+    let result = Session::new(config.clone())
+        .transfer(TransferModel::default())
+        .policy(WirePolicy::default())
+        .seed(42)
+        .submit(&wf, &profile)
+        .run()
+        .expect("run completes");
 
     println!("workflow        : {}", result.workflow);
     println!("tasks completed : {}", result.task_records.len());
@@ -68,17 +66,15 @@ fn main() {
     println!("MAPE iterations : {}", result.mape_iterations);
 
     // 5. Compare with static full-site provisioning.
-    let full = run_workflow(
-        &wf,
-        &profile,
-        CloudConfig {
-            initial_instances: 12,
-            ..config.clone()
-        },
-        TransferModel::default(),
-        StaticPolicy::full_site(12),
-        42,
-    )
+    let full = Session::new(CloudConfig {
+        initial_instances: 12,
+        ..config.clone()
+    })
+    .transfer(TransferModel::default())
+    .policy(StaticPolicy::full_site(12))
+    .seed(42)
+    .submit(&wf, &profile)
+    .run()
     .expect("full-site run completes");
     println!(
         "\nvs full-site    : {} units (wire saves {:.1}x), makespan {}",

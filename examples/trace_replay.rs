@@ -32,24 +32,20 @@ fn main() {
     // 4. run both under WIRE: the emulated run reproduces the original's
     //    scheduling behaviour exactly (same seed, same occupancies)
     let cfg = CloudConfig::default();
-    let a = run_workflow(
-        &wf,
-        &prof,
-        cfg.clone(),
-        TransferModel::default(),
-        WirePolicy::default(),
-        11,
-    )
-    .unwrap();
-    let b = run_workflow(
-        &replayed,
-        &replayed_prof,
-        cfg,
-        TransferModel::default(),
-        WirePolicy::default(),
-        11,
-    )
-    .unwrap();
+    let a = Session::new(cfg.clone())
+        .transfer(TransferModel::default())
+        .policy(WirePolicy::default())
+        .seed(11)
+        .submit(&wf, &prof)
+        .run()
+        .unwrap();
+    let b = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(WirePolicy::default())
+        .seed(11)
+        .submit(&replayed, &replayed_prof)
+        .run()
+        .unwrap();
     println!(
         "original : {} units, makespan {}",
         a.charging_units, a.makespan

@@ -25,16 +25,15 @@ fn main() {
     );
     for mtbf_mins in [0u64, 120, 60, 30, 15] {
         let mut cfg = cloud_config(Setting::Wire, Millis::from_mins(15));
-        cfg.mean_time_between_failures = Millis::from_mins(mtbf_mins);
-        let r = run_workflow(
-            &wf,
-            &prof,
-            cfg,
-            TransferModel::default(),
-            WirePolicy::default(),
-            7,
-        )
-        .expect("wire completes despite failures");
+        if mtbf_mins > 0 {
+            cfg = cfg.failures(Millis::from_mins(mtbf_mins));
+        }
+        let r = Session::new(cfg)
+            .policy(WirePolicy::default())
+            .seed(7)
+            .submit(&wf, &prof)
+            .run()
+            .expect("wire completes despite failures");
         println!(
             "{:>12} {:>10} {:>12} {:>10} {:>10} {:>12}",
             if mtbf_mins == 0 {

@@ -145,28 +145,28 @@ fn run_one(
         wire::core::experiment::build_policy(setting, &cfg)
     };
 
+    let session = wire::simcloud::Session::new(cfg)
+        .transfer(tm)
+        .policy(policy)
+        .seed(opts.seed)
+        .submit(wf, prof);
     let result = if let Some(handle) = &telemetry {
-        let engine =
-            wire::simcloud::Engine::recording(wf, prof, cfg, tm, policy, opts.seed, handle.clone())
-                .map_err(|e| e.to_string())?;
+        let session = session.recording(handle.clone());
         if let Some(path) = &opts.trace_out {
-            let (result, trace) = engine.run_traced().map_err(|e| e.to_string())?;
+            let (result, trace) = session.run_traced().map_err(|e| e.to_string())?;
             std::fs::write(path, trace.to_csv()).map_err(|e| format!("write {path}: {e}"))?;
             println!("[event trace: {path}]");
             result
         } else {
-            engine.run().map_err(|e| e.to_string())?
+            session.run().map_err(|e| e.to_string())?
         }
     } else if let Some(path) = &opts.trace_out {
-        let (result, trace) = wire::simcloud::Engine::new(wf, prof, cfg, tm, policy, opts.seed)
-            .map_err(|e| e.to_string())?
-            .run_traced()
-            .map_err(|e| e.to_string())?;
+        let (result, trace) = session.run_traced().map_err(|e| e.to_string())?;
         std::fs::write(path, trace.to_csv()).map_err(|e| format!("write {path}: {e}"))?;
         println!("[event trace: {path}]");
         result
     } else {
-        run_workflow(wf, prof, cfg, tm, policy, opts.seed).map_err(|e| e.to_string())?
+        session.run().map_err(|e| e.to_string())?
     };
 
     if let Some(handle) = &telemetry {

@@ -11,24 +11,35 @@
 //!   OGD models ([`wire_predictor`]);
 //! * [`planner`] — lookahead simulation, Algorithms 2–3, WIRE policy and
 //!   baselines ([`wire_planner`]);
-//! * [`workloads`] — Table I workload generators ([`wire_workloads`]);
+//! * [`workloads`] — Table I workload generators and ensemble arrival
+//!   processes ([`wire_workloads`]);
 //! * [`core`] — experiment harness, statistics, reports ([`wire_core`]);
 //! * [`telemetry`] — decision journal, prediction-quality metrics and trace
 //!   exporters ([`wire_telemetry`]).
 //!
 //! # Quickstart
 //!
+//! The entry point is the [`prelude::Session`] builder: submit one or many
+//! workflows (with staggered arrival times, if desired) against one shared,
+//! billed instance pool.
+//!
 //! ```
 //! use wire::prelude::*;
 //!
 //! // a 20-task fan-out workflow, 2-minute tasks
 //! let (wf, prof) = wire::workloads::linear_stage(20, Millis::from_mins(2));
-//! let cfg = CloudConfig::default();
-//! let result = run_workflow(
-//!     &wf, &prof, cfg, TransferModel::none(), WirePolicy::default(), 42,
-//! ).unwrap();
+//! let result = Session::new(CloudConfig::default())
+//!     .transfer(TransferModel::none())
+//!     .policy(WirePolicy::default())
+//!     .seed(42)
+//!     .submit(&wf, &prof)
+//!     .run()
+//!     .unwrap();
 //! assert_eq!(result.task_records.len(), 20);
+//! assert_eq!(result.per_workflow.len(), 1);
 //! ```
+
+#![deny(missing_docs)]
 
 pub use wire_core as core;
 pub use wire_dag as dag;
@@ -40,15 +51,20 @@ pub use wire_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use wire_core::{run_setting, ExperimentGrid, Setting};
-    pub use wire_dag::{ExecProfile, Millis, StageId, TaskId, Workflow, WorkflowBuilder};
+    pub use wire_core::{run_ensemble, run_setting, ExperimentGrid, Setting};
+    pub use wire_dag::{
+        ExecProfile, Millis, StageId, TaskId, Workflow, WorkflowBuilder, WorkflowId,
+    };
     pub use wire_planner::{
         PureReactive, ReactiveConserving, StaticPolicy, SteeringConfig, WirePolicy,
     };
     pub use wire_simcloud::{
-        run_workflow, CloudConfig, Engine, MonitorSnapshot, PoolPlan, RunResult, ScalingPolicy,
-        TransferModel,
+        run_workflow, CloudConfig, Engine, HoldPolicy, MonitorSnapshot, PoolPlan, RunResult,
+        ScalingPolicy, Session, TransferModel, WorkflowOutcome, WorkflowSlot,
     };
-    pub use wire_telemetry::{NoopRecorder, Recorder, TelemetryHandle};
-    pub use wire_workloads::WorkloadId;
+    pub use wire_telemetry::export::{
+        chrome_trace, decision_log, decisions_to_jsonl, events_to_jsonl, metrics_csv,
+    };
+    pub use wire_telemetry::{NoopRecorder, Recorder, TelemetryBuffer, TelemetryHandle};
+    pub use wire_workloads::{ArrivalProcess, EnsembleMember, EnsembleSpec, WorkloadId};
 }

@@ -8,9 +8,16 @@ fn run_with_failures(setting: Setting, mtbf_mins: u64, seed: u64) -> RunResult {
     let workload = WorkloadId::PageRankS;
     let (wf, prof) = workload.generate(seed);
     let mut cfg = cloud_config(setting, Millis::from_mins(15));
-    cfg.mean_time_between_failures = Millis::from_mins(mtbf_mins);
+    if mtbf_mins > 0 {
+        cfg = cfg.failures(Millis::from_mins(mtbf_mins));
+    }
     let policy = wire::core::experiment::build_policy(setting, &cfg);
-    run_workflow(&wf, &prof, cfg, TransferModel::default(), policy, seed)
+    Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(policy)
+        .seed(seed)
+        .submit(&wf, &prof)
+        .run()
         .expect("run completes despite failures")
 }
 
@@ -42,7 +49,7 @@ fn full_site_policy_replaces_crashed_instances() {
 
 #[test]
 fn failures_cost_money_and_time() {
-    let calm = run_with_failures(Setting::Wire, 0, 7); // MTBF 0 = disabled
+    let calm = run_with_failures(Setting::Wire, 0, 7); // no failures() call = disabled
     let stormy = run_with_failures(Setting::Wire, 15, 7);
     assert_eq!(calm.failures, 0);
     if stormy.failures > 0 {

@@ -9,9 +9,6 @@
 
 use wire::core::experiment::{cloud_config_for, run_setting, Setting};
 use wire::prelude::*;
-use wire::simcloud::Engine;
-use wire::telemetry::export::{decisions_to_jsonl, events_to_jsonl};
-use wire::telemetry::TelemetryHandle;
 
 const GOLDEN: &[(WorkloadId, Setting, u64, u64, u64, u64)] = &[
     // (workload, setting, u_mins, seed, expected units, expected makespan_ms)
@@ -84,6 +81,8 @@ const GOLDEN_DIGESTS: &[(WorkloadId, u64, u64)] = &[
 ];
 
 fn wire_run_digest(workload: WorkloadId, seed: u64) -> u64 {
+    // Digests flow through the Session builder: the N = 1 session path is
+    // required to be bit-identical to the pre-session single-workflow engine.
     let (wf, prof) = workload.generate(seed);
     let cfg = cloud_config_for(
         Setting::Wire,
@@ -92,17 +91,14 @@ fn wire_run_digest(workload: WorkloadId, seed: u64) -> u64 {
     );
     let handle = TelemetryHandle::new();
     let policy = WirePolicy::default().with_telemetry(handle.clone());
-    let engine = Engine::recording(
-        &wf,
-        &prof,
-        cfg,
-        TransferModel::default(),
-        policy,
-        seed,
-        handle.clone(),
-    )
-    .expect("engine constructs");
-    let (result, trace) = engine.run_traced().expect("run completes");
+    let (result, trace) = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(policy)
+        .seed(seed)
+        .recording(handle.clone())
+        .submit(&wf, &prof)
+        .run_traced()
+        .expect("run completes");
     let buffer = handle.take();
 
     let mut blob = trace.render();
@@ -128,6 +124,44 @@ fn golden_wire_trace_and_journal_digests() {
             "{} / seed={seed}: run trace, event stream or decision journal changed (digest {digest:#x})",
             w.name()
         );
+    }
+}
+
+#[test]
+fn golden_session_n1_matches_run_workflow_exactly() {
+    // The deprecated single-workflow wrapper and a one-submission Session
+    // must be decision-identical: same RNG draws, same event order, same
+    // bill, for every pinned golden cell.
+    for &(w, s, u, seed, _, _) in GOLDEN {
+        let (wf, prof) = w.generate(seed);
+        let cfg = cloud_config_for(s, Millis::from_mins(u), w.spec().total_input_bytes);
+        let legacy = run_workflow(
+            &wf,
+            &prof,
+            cfg.clone(),
+            TransferModel::default(),
+            wire::core::experiment::build_policy(s, &cfg),
+            seed,
+        )
+        .unwrap();
+        let session = Session::new(cfg.clone())
+            .policy(wire::core::experiment::build_policy(s, &cfg))
+            .seed(seed)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
+        let cell = format!("{} / {}", w.name(), s.label());
+        assert_eq!(legacy.charging_units, session.charging_units, "{cell}");
+        assert_eq!(legacy.makespan, session.makespan, "{cell}");
+        assert_eq!(legacy.restarts, session.restarts, "{cell}");
+        assert_eq!(
+            legacy.instances_launched, session.instances_launched,
+            "{cell}"
+        );
+        assert_eq!(legacy.task_records, session.task_records, "{cell}");
+        assert_eq!(legacy.instance_bills, session.instance_bills, "{cell}");
+        assert_eq!(legacy.pool_timeline, session.pool_timeline, "{cell}");
+        assert_eq!(legacy.per_workflow, session.per_workflow, "{cell}");
     }
 }
 

@@ -11,15 +11,13 @@ fn stage_ratios(n: usize, r: Millis, u: Millis) -> (f64, f64) {
     let interval = Millis::from_ms((r.as_ms().min(u.as_ms()) / 20).max(1_000));
     let cfg = CloudConfig::linear_analysis(u, interval);
     let (wf, prof) = wire::workloads::linear_stage(n, r);
-    let res = run_workflow(
-        &wf,
-        &prof,
-        cfg,
-        TransferModel::none(),
-        WirePolicy::default(),
-        1,
-    )
-    .expect("completes");
+    let res = Session::new(cfg)
+        .transfer(TransferModel::none())
+        .policy(WirePolicy::default())
+        .seed(1)
+        .submit(&wf, &prof)
+        .run()
+        .expect("completes");
     let cost = res.charging_units as f64 * u.as_ms() as f64 / (r.as_ms() as f64 * n as f64);
     let time = res.makespan.as_ms() as f64 / r.as_ms() as f64;
     (cost, time)

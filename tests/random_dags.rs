@@ -66,7 +66,12 @@ proptest! {
                 charging_unit: Millis::from_mins(15),
                 ..CloudConfig::default()
             };
-            let r = run_workflow(&wf, &prof, cfg.clone(), TransferModel::default(), policy, seed)
+            let r = Session::new(cfg.clone())
+                .transfer(TransferModel::default())
+                .policy(policy)
+                .seed(seed)
+                .submit(&wf, &prof)
+                .run()
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
 
             // conservation: every task completes exactly once
@@ -109,10 +114,20 @@ proptest! {
             charging_unit: Millis::from_mins(15),
             ..CloudConfig::default()
         };
-        let a = run_workflow(&wf, &prof, cfg.clone(), TransferModel::default(),
-                             WirePolicy::default(), seed).unwrap();
-        let b = run_workflow(&wf, &prof, cfg, TransferModel::default(),
-                             WirePolicy::default(), seed).unwrap();
+        let a = Session::new(cfg.clone())
+            .transfer(TransferModel::default())
+            .policy(WirePolicy::default())
+            .seed(seed)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
+        let b = Session::new(cfg)
+            .transfer(TransferModel::default())
+            .policy(WirePolicy::default())
+            .seed(seed)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
         prop_assert_eq!(a.makespan, b.makespan);
         prop_assert_eq!(a.charging_units, b.charging_units);
         prop_assert_eq!(a.pool_timeline, b.pool_timeline);

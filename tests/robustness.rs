@@ -8,15 +8,13 @@ use wire::workloads::perturb;
 
 fn run(wf: &Workflow, prof: &ExecProfile, seed: u64) -> RunResult {
     let cfg = cloud_config(Setting::Wire, Millis::from_mins(15));
-    run_workflow(
-        wf,
-        prof,
-        cfg,
-        TransferModel::default(),
-        WirePolicy::default(),
-        seed,
-    )
-    .expect("completes")
+    Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(WirePolicy::default())
+        .seed(seed)
+        .submit(wf, prof)
+        .run()
+        .expect("completes")
 }
 
 #[test]
