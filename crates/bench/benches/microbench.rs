@@ -283,6 +283,60 @@ fn bench_full_mape_iteration(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_chaos_overhead(c: &mut Criterion) {
+    // the chaos hooks sit on the engine's hot paths (arrival handling,
+    // plan application, dispatch); an engine built WITHOUT a fault plan
+    // must pay nothing measurable for them, and an attached-but-empty
+    // plan must stay within noise of the no-plan run
+    use wire_simcloud::FaultPlan;
+
+    let mut group = c.benchmark_group("engine/chaos_overhead");
+    group.sample_size(10);
+    let (wf, prof) = WorkloadId::Tpch6S.generate(1);
+    let cfg = cloud_config(Setting::Wire, Millis::from_mins(15));
+    group.bench_function("no_plan", |b| {
+        b.iter(|| {
+            Session::new(cfg.clone())
+                .transfer(TransferModel::default())
+                .policy(WirePolicy::default())
+                .seed(1)
+                .submit(&wf, &prof)
+                .run()
+                .unwrap()
+                .charging_units
+        })
+    });
+    group.bench_function("empty_plan", |b| {
+        b.iter(|| {
+            Session::new(cfg.clone())
+                .transfer(TransferModel::default())
+                .policy(WirePolicy::default())
+                .seed(1)
+                .chaos(FaultPlan::new())
+                .submit(&wf, &prof)
+                .run()
+                .unwrap()
+                .charging_units
+        })
+    });
+    // non-empty but behaviourally inert: exercises the per-dispatch
+    // stage-trigger scan and the fault event machinery
+    group.bench_function("inert_plan", |b| {
+        b.iter(|| {
+            Session::new(cfg.clone())
+                .transfer(TransferModel::default())
+                .policy(WirePolicy::default())
+                .seed(1)
+                .chaos(FaultPlan::new().restore_transfers(Millis::from_mins(1)))
+                .submit(&wf, &prof)
+                .run()
+                .unwrap()
+                .charging_units
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_predictor_update,
@@ -291,6 +345,7 @@ criterion_group!(
     bench_lookahead_sweep,
     bench_plan_tick,
     bench_end_to_end,
-    bench_full_mape_iteration
+    bench_full_mape_iteration,
+    bench_chaos_overhead
 );
 criterion_main!(benches);

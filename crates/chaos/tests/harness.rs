@@ -1,0 +1,146 @@
+//! End-to-end chaos-harness tests: the invariant checker rides real engine
+//! runs (calm and hostile), scripted faults reproduce bit-for-bit, and the
+//! deliberately-broken Algorithm 3 guard is caught through the full
+//! policy → journal → checker path.
+
+use wire_chaos::{check_decision_journal, FaultPlan, InvariantChecker};
+use wire_dag::{ExecProfile, Millis, StageId};
+use wire_planner::{SteeringConfig, WirePolicy};
+use wire_simcloud::{CloudConfig, InstanceId, RunResult, Session, TransferModel};
+use wire_telemetry::TelemetryHandle;
+use wire_workloads::{linear_workflow, WorkloadId};
+
+fn wire_run(workload: WorkloadId, seed: u64, plan: FaultPlan) -> (RunResult, InvariantChecker) {
+    let (wf, prof) = workload.generate(seed);
+    let cfg = CloudConfig::exogeni(Millis::from_mins(15));
+    let checker =
+        InvariantChecker::new(&cfg).expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32);
+    let r = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(WirePolicy::default())
+        .seed(seed)
+        .recording(checker.clone())
+        .chaos(plan)
+        .submit(&wf, &prof)
+        .run()
+        .expect("run completes");
+    (r, checker)
+}
+
+#[test]
+fn checker_is_clean_on_a_plain_wire_run() {
+    let (r, checker) = wire_run(WorkloadId::Tpch6S, 1, FaultPlan::new());
+    checker.assert_clean();
+    let report = checker.report();
+    assert_eq!(report.completions as usize, r.task_records.len());
+    assert_eq!(report.ticks, r.mape_iterations);
+    assert!(report.events > 0);
+}
+
+#[test]
+fn checker_is_clean_under_a_hostile_fault_plan() {
+    let plan = FaultPlan::new()
+        .jitter_lag(Millis::from_mins(1), 0.5)
+        .spike_transfers(Millis::from_mins(1), 3.0)
+        .kill_pool_at_stage_start(StageId(1))
+        .kill_instance_at(Millis::from_mins(40), InstanceId(0))
+        .freeze_monitoring(Millis::from_mins(50), 2)
+        .restore_transfers(Millis::from_mins(60));
+    let (wf, _) = WorkloadId::EpigenomicsS.generate(3);
+    let (r, checker) = wire_run(WorkloadId::EpigenomicsS, 3, plan);
+    checker.assert_clean();
+    // every task still completes exactly once, despite the carnage
+    assert_eq!(r.task_records.len(), wf.num_tasks());
+    assert!(r.failures > 0, "scripted kills must register as failures");
+    assert!(r.restarts >= r.failures.min(1));
+}
+
+#[test]
+fn scripted_faults_reproduce_bit_for_bit() {
+    let plan = || {
+        FaultPlan::new()
+            .kill_pool_at_stage_start(StageId(2))
+            .jitter_lag(Millis::from_mins(5), 0.25)
+            .freeze_monitoring(Millis::from_mins(30), 1)
+    };
+    let (a, _) = wire_run(WorkloadId::Tpch6S, 5, plan());
+    let (b, _) = wire_run(WorkloadId::Tpch6S, 5, plan());
+    assert_eq!(a.charging_units, b.charging_units);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.restarts, b.restarts);
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.pool_timeline, b.pool_timeline);
+    assert_eq!(a.task_records, b.task_records);
+}
+
+/// A workload engineered so Algorithm 3's restart-cost guard is the deciding
+/// filter: one stage whose first wave is short (teaching the predictor a
+/// small stage mean) and whose second wave is secretly long. By the time the
+/// instances hit their charge boundary the long tasks look almost done
+/// (projected busy ≈ 0) but have sunk far more than `0.2u` — only the
+/// `c_j ≤ 0.2u` guard keeps them alive.
+fn restart_guard_probe(mutated: bool) -> (RunResult, Vec<String>) {
+    let short = Millis::from_mins(2);
+    let long = Millis::from_mins(25);
+    let (wf, _) = linear_workflow(&[16], short);
+    let mut times = vec![short; 8];
+    times.extend(vec![long; 8]);
+    let prof = ExecProfile::new(times);
+
+    let cfg = CloudConfig {
+        initial_instances: 2,
+        ..CloudConfig::exogeni(Millis::from_mins(15))
+    };
+    let steering = SteeringConfig {
+        mutation_drop_restart_guard: mutated,
+        ..SteeringConfig::default()
+    };
+    let handle = TelemetryHandle::new();
+    let r = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(WirePolicy::new(steering).with_telemetry(handle.clone()))
+        .seed(42)
+        .submit(&wf, &prof)
+        .run()
+        .expect("probe run completes");
+    let journal = handle.take().decisions;
+    (r, check_decision_journal(&journal))
+}
+
+#[test]
+fn mutated_restart_guard_is_caught_by_the_checker() {
+    let (intact_run, intact_violations) = restart_guard_probe(false);
+    assert!(
+        intact_violations.is_empty(),
+        "intact guard must satisfy its own postconditions: {intact_violations:?}"
+    );
+    assert_eq!(intact_run.restarts, 0, "intact guard protects sunk work");
+
+    let (mutated_run, mutated_violations) = restart_guard_probe(true);
+    assert!(
+        !mutated_violations.is_empty(),
+        "dropping the c_j ≤ 0.2u guard must trip the decision postconditions"
+    );
+    assert!(
+        mutated_violations.iter().any(|v| v.contains("c_j")),
+        "violation names the broken guard: {mutated_violations:?}"
+    );
+    assert!(
+        mutated_run.restarts > 0,
+        "the mutated policy threw away running work"
+    );
+}
+
+#[test]
+fn freezing_monitoring_delays_scale_up() {
+    let plain = wire_run(WorkloadId::Tpch6S, 9, FaultPlan::new()).0;
+    // black out the first four MAPE iterations, right when WIRE wants to grow
+    let plan = FaultPlan::new().freeze_monitoring(Millis::from_mins(1), 4);
+    let (frozen, checker) = wire_run(WorkloadId::Tpch6S, 9, plan);
+    checker.assert_clean();
+    assert_eq!(frozen.task_records.len(), plain.task_records.len());
+    assert!(
+        frozen.mape_iterations < plain.mape_iterations || frozen.makespan > plain.makespan,
+        "a monitoring blackout must cost iterations or time"
+    );
+}

@@ -21,5 +21,5 @@ pub use deadline::DeadlineWirePolicy;
 pub use lookahead::{lookahead, lookahead_into, LookaheadScratch, Upcoming};
 pub use oracle::OracleWirePolicy;
 pub use resize::resize_pool;
-pub use steering::{steer, steer_explained, SteeringConfig};
+pub use steering::{check_decision_postconditions, steer, steer_explained, SteeringConfig};
 pub use wire_policy::WirePolicy;

@@ -27,6 +27,14 @@ pub struct SteeringConfig {
     /// counted by Algorithm 3 (1.0 in the paper). Lower values trade cost for
     /// speed — the §IV-A "target utilization level" knob.
     pub fill_target: f64,
+    /// TEST-ONLY mutation switch: when set, the shrink path skips Algorithm
+    /// 3's `c_j ≤ 0.2u` restart-cost guard, deliberately releasing instances
+    /// whose running tasks are expensive to restart. Exists so the chaos
+    /// harness can prove its decision postcondition checker has teeth
+    /// (`wire-chaos`); never set it outside tests.
+    #[doc(hidden)]
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub mutation_drop_restart_guard: bool,
 }
 
 impl Default for SteeringConfig {
@@ -34,6 +42,7 @@ impl Default for SteeringConfig {
         SteeringConfig {
             waste_fraction: DEFAULT_WASTE_FRACTION,
             fill_target: 1.0,
+            mutation_drop_restart_guard: false,
         }
     }
 }
@@ -174,7 +183,7 @@ fn steer_impl(
         // workflow can continue to use it efficiently" (§III-B3)
         .filter(|&(row, iv)| lookup(projected_busy, busy_aligned, row, iv.id) <= threshold)
         .map(|(row, iv)| (lookup(restart_cost, cost_aligned, row, iv.id), iv.id))
-        .filter(|&(c, _)| c <= threshold)
+        .filter(|&(c, _)| cfg.mutation_drop_restart_guard || c <= threshold)
         .collect();
     candidates.sort();
 
@@ -236,6 +245,83 @@ fn steer_impl(
         },
         rec,
     )
+}
+
+/// Algorithm 2/3 postconditions over one journaled steering decision.
+///
+/// Validates that every instance the decision *released* satisfied all three
+/// release guards at planning time, as recorded in its own journal entry:
+///
+/// 1. `r_j ≤ t` — the charging unit expires within the next interval (no
+///    paid time is thrown away);
+/// 2. `projected_busy ≤ 0.2u` — the instance's own tasks were not predicted
+///    to keep it busy past the waste threshold (§III-B3);
+/// 3. `c_j ≤ 0.2u` — the restart cost of its running tasks is below the
+///    waste threshold (Algorithm 3's guard);
+///
+/// plus consistency of the action header: the `released` count must match
+/// the number of `Released` verdicts and never exceed `requested`, and
+/// grow/hold decisions must release nothing. The chaos harness
+/// (`wire-chaos`) applies this to every journal entry of a run; a mutated
+/// guard (see `SteeringConfig::mutation_drop_restart_guard`) trips it.
+pub fn check_decision_postconditions(rec: &DecisionRecord) -> Result<(), String> {
+    let released: Vec<&InstanceJudgement> = rec
+        .judgements
+        .iter()
+        .filter(|j| j.outcome == JudgementOutcome::Released)
+        .collect();
+    for j in &released {
+        if j.r_j > rec.t {
+            return Err(format!(
+                "decision at {}: released i{} with r_j = {} > t = {} (boundary guard violated)",
+                rec.at, j.instance, j.r_j, rec.t
+            ));
+        }
+        if j.projected_busy > rec.waste_threshold {
+            return Err(format!(
+                "decision at {}: released i{} predicted busy {} > waste threshold {}",
+                rec.at, j.instance, j.projected_busy, rec.waste_threshold
+            ));
+        }
+        if j.c_j > rec.waste_threshold {
+            return Err(format!(
+                "decision at {}: released i{} with restart cost c_j = {} > waste threshold {} \
+                 (Algorithm 3's c_j ≤ 0.2u guard violated)",
+                rec.at, j.instance, j.c_j, rec.waste_threshold
+            ));
+        }
+    }
+    match rec.action {
+        DecisionAction::Release {
+            requested,
+            released: n,
+        } => {
+            if n as usize != released.len() {
+                return Err(format!(
+                    "decision at {}: action says {} released, journal has {} Released verdicts",
+                    rec.at,
+                    n,
+                    released.len()
+                ));
+            }
+            if n > requested {
+                return Err(format!(
+                    "decision at {}: released {} > requested {}",
+                    rec.at, n, requested
+                ));
+            }
+        }
+        DecisionAction::Grow { .. } | DecisionAction::Hold | DecisionAction::HoldEmptyQueue => {
+            if !released.is_empty() {
+                return Err(format!(
+                    "decision at {}: non-release action carries {} Released verdicts",
+                    rec.at,
+                    released.len()
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -405,6 +491,67 @@ mod tests {
         let plan = steer(&s, &[], &[], &[], SteeringConfig::default());
         assert_eq!(plan.terminate.len(), 1);
         assert_eq!(plan.launch, 0);
+    }
+
+    #[test]
+    fn mutated_restart_guard_releases_costly_instances_and_trips_postconditions() {
+        let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
+        let c = cfg();
+        let b = snap(
+            &w,
+            vec![running_inst(0, Millis::ZERO), running_inst(1, Millis::ZERO)],
+        );
+        let s = b.snapshot(mins(14), &slots, &c);
+        let q = vec![mins(1)]; // p = 1, m = 2 → shed 1
+        let costs = vec![
+            (InstanceId(0), mins(10)), // both way above 0.2 × 15 min = 3 min
+            (InstanceId(1), mins(12)),
+        ];
+
+        // intact guard: nothing qualifies, the journal passes the checker
+        let (plan, rec) = steer_explained(&s, &q, &costs, &[], SteeringConfig::default());
+        assert!(plan.terminate.is_empty());
+        assert!(check_decision_postconditions(&rec).is_ok());
+
+        // mutated guard: the costly instance is released — and the
+        // postcondition checker catches exactly that violation
+        let mutated = SteeringConfig {
+            mutation_drop_restart_guard: true,
+            ..SteeringConfig::default()
+        };
+        let (plan, rec) = steer_explained(&s, &q, &costs, &[], mutated);
+        assert_eq!(plan.terminate.len(), 1);
+        let err = check_decision_postconditions(&rec).unwrap_err();
+        assert!(err.contains("c_j"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn postconditions_accept_clean_decisions_and_reject_inconsistent_headers() {
+        let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
+        let c = cfg();
+        let b = snap(
+            &w,
+            vec![running_inst(0, Millis::ZERO), running_inst(1, mins(10))],
+        );
+        let s = b.snapshot(mins(14), &slots, &c);
+        let q = vec![mins(1)];
+        let (_, rec) = steer_explained(&s, &q, &[], &[], SteeringConfig::default());
+        assert!(check_decision_postconditions(&rec).is_ok());
+
+        // header/judgement disagreement is caught
+        let mut broken = rec.clone();
+        broken.action = DecisionAction::Release {
+            requested: 1,
+            released: 0,
+        };
+        assert!(check_decision_postconditions(&broken).is_err());
+
+        // a grow decision carrying a Released verdict is caught
+        let mut broken = rec;
+        broken.action = DecisionAction::Grow { launch: 1 };
+        assert!(check_decision_postconditions(&broken).is_err());
     }
 
     #[test]

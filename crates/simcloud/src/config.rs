@@ -126,6 +126,15 @@ impl CloudConfig {
         if self.mean_time_between_failures.is_some_and(|m| m.is_zero()) {
             return Err("mean_time_between_failures must be positive when set".into());
         }
+        if self
+            .mean_time_between_failures
+            .is_some_and(|m| m < self.launch_lag)
+        {
+            // a mean lifetime shorter than the lag means replacements are
+            // expected to die before they boot: the pool can only shrink and
+            // every run ends in TimeLimit — reject the config up front
+            return Err("mean_time_between_failures must be ≥ launch_lag".into());
+        }
         Ok(())
     }
 }
@@ -164,6 +173,18 @@ mod tests {
 
         let c = CloudConfig::default().failures(Millis::ZERO);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn mtbf_shorter_than_lag_is_rejected_at_the_boundary() {
+        // default lag is 3 min: one ms under it fails, exactly at it passes
+        let lag = CloudConfig::default().launch_lag;
+        let c = CloudConfig::default().failures(lag - Millis::from_ms(1));
+        assert!(c.validate().is_err());
+        let c = CloudConfig::default().failures(lag);
+        assert!(c.validate().is_ok());
+        let c = CloudConfig::default().failures(lag + Millis::from_ms(1));
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! (submissions, config, seed, policy state); events at equal times fire in
 //! insertion order.
 
+use crate::chaos::{ChaosState, FaultAction, FaultPlan, FaultTrigger};
 use crate::config::CloudConfig;
 use crate::event::{EventKind, EventQueue};
 use crate::instance::{Instance, InstanceId, InstanceState, InstanceStateView};
@@ -120,6 +121,9 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
 
     instances: Vec<Instance>,
     instance_epochs: Vec<u32>,
+
+    /// Scripted fault injection; the inert default for plain runs.
+    chaos: ChaosState,
 
     // per-interval accumulators for the monitor
     new_completions: Vec<CompletionView>,
@@ -297,6 +301,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             completions: 0,
             instances: Vec::new(),
             instance_epochs: Vec::new(),
+            chaos: ChaosState::default(),
             new_completions: Vec::new(),
             interval_transfers: Vec::new(),
             snapshot_scratch: SnapshotScratch::default(),
@@ -315,6 +320,16 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             config,
             trace: None,
         })
+    }
+
+    /// Attach a scripted chaos [`FaultPlan`] (builder-style; see
+    /// [`crate::chaos`]). An empty plan leaves the engine on the historical
+    /// code path — the run is byte-identical to one without this call.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Result<Self, RunError> {
+        plan.validate().map_err(RunError::Config)?;
+        let stages: usize = self.slots.iter().map(|s| s.workflow.num_stages()).sum();
+        self.chaos = ChaosState::with_plan(plan, stages);
+        Ok(self)
     }
 
     /// Run to completion.
@@ -357,6 +372,17 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             }
         }
 
+        // timed chaos faults compile onto the same queue; pushed before the
+        // first MAPE tick so a fault scheduled exactly at a tick time strikes
+        // before the controller observes the world (plan-order among
+        // equal-time faults is preserved by the queue's insertion order)
+        for (i, f) in self.chaos.plan.faults().iter().enumerate() {
+            if let FaultTrigger::At(at) = f.trigger {
+                self.queue
+                    .push(at, EventKind::ChaosFault { fault: i as u32 });
+            }
+        }
+
         self.queue
             .push(self.config.mape_interval, EventKind::MapeTick);
 
@@ -373,7 +399,13 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             self.debug_check_invariants();
             match kind {
                 EventKind::WorkflowArrival { workflow } => {
-                    self.arrive_workflow(workflow as usize);
+                    if self.chaos.arrivals_paused {
+                        // deferred FIFO: arrival events pop in time order, so
+                        // draining the queue on resume preserves submit order
+                        self.chaos.deferred_arrivals.push(workflow);
+                    } else {
+                        self.arrive_workflow(workflow as usize);
+                    }
                 }
                 EventKind::WorkflowSetupDone { workflow } => {
                     self.workflow_ready(workflow as usize);
@@ -411,6 +443,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                     }
                 }
                 EventKind::MapeTick => self.on_mape_tick()?,
+                EventKind::ChaosFault { fault } => self.apply_chaos_fault(fault),
             }
         }
         // queue drained without completing: no instances and no ticks left
@@ -504,6 +537,71 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         );
     }
 
+    // ---- chaos -----------------------------------------------------------
+
+    /// Execute scripted fault `idx` of the attached plan at the current
+    /// simulated time. Only reachable when a non-empty [`FaultPlan`] is
+    /// attached (via a `ChaosFault` queue event or a stage-start trigger).
+    fn apply_chaos_fault(&mut self, idx: u32) {
+        let fault = self.chaos.plan.faults()[idx as usize];
+        self.emit(TelemetryEvent::ChaosFault { fault: idx });
+        match fault.action {
+            FaultAction::KillInstance(id) => {
+                self.chaos_kill(id);
+                self.dispatch();
+            }
+            FaultAction::KillAllRunning => {
+                // collect first: killing mutates instance states in place
+                let victims: Vec<InstanceId> = self
+                    .instances
+                    .iter()
+                    .filter(|i| i.is_running())
+                    .map(|i| i.id)
+                    .collect();
+                for id in victims {
+                    self.chaos_kill(id);
+                }
+                self.dispatch();
+            }
+            FaultAction::FreezeMonitoring { ticks } => {
+                self.chaos.frozen_ticks += ticks;
+            }
+            FaultAction::ScaleLaunchLag { factor } => {
+                self.chaos.lag_factor = factor;
+            }
+            FaultAction::ScaleTransfers { factor } => {
+                self.chaos.transfer_factor = factor;
+            }
+            FaultAction::PauseArrivals => {
+                self.chaos.arrivals_paused = true;
+            }
+            FaultAction::ResumeArrivals => {
+                self.chaos.arrivals_paused = false;
+                let deferred = std::mem::take(&mut self.chaos.deferred_arrivals);
+                for w in deferred {
+                    self.arrive_workflow(w as usize);
+                }
+            }
+        }
+    }
+
+    /// Crash one instance exactly like an MTBF failure: counted, traced,
+    /// tasks resubmitted, started units billed. No-op unless `Running` —
+    /// scripted kills racing a drain or a never-launched id lose the race,
+    /// mirroring the stale-epoch rule for `InstanceFail` events.
+    fn chaos_kill(&mut self, id: InstanceId) {
+        let running = self
+            .instances
+            .get(id.index())
+            .is_some_and(|inst| inst.is_running());
+        if running {
+            self.failures += 1;
+            self.trace_push(TraceEvent::InstanceFailed { instance: id });
+            self.emit(TelemetryEvent::InstanceFailed { instance: id.0 });
+            self.terminate_instance(id);
+        }
+    }
+
     fn on_task_done(&mut self, task: TaskId) {
         let (instance, slot, assigned_at, exec, transfer) = match self.tasks[task.index()] {
             TaskState::Running {
@@ -590,6 +688,16 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     }
 
     fn on_mape_tick(&mut self) -> Result<(), RunError> {
+        if self.chaos.frozen_ticks > 0 {
+            // monitoring blackout: the policy is not consulted and sees no
+            // tick; the interval accumulators are NOT cleared, so the first
+            // thawed tick observes everything that happened while frozen
+            // (stale-monitoring semantics)
+            self.chaos.frozen_ticks -= 1;
+            self.queue
+                .push(self.clock + self.config.mape_interval, EventKind::MapeTick);
+            return Ok(());
+        }
         self.mape_iterations += 1;
         let (plan, controller_elapsed) = {
             let visible = self.arrived_tasks();
@@ -715,8 +823,14 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         let active = self.active_instances();
         let allowed = self.config.site_capacity.saturating_sub(active);
         let n = plan.launch.min(allowed);
+        // chaos lag jitter applies to launches planned while it is in effect
+        let lag = if self.chaos.lag_factor == 1.0 {
+            self.config.launch_lag
+        } else {
+            self.config.launch_lag.scale(self.chaos.lag_factor)
+        };
         for _ in 0..n {
-            let ready_at = self.clock + self.config.launch_lag;
+            let ready_at = self.clock + lag;
             let id = self.new_instance(InstanceState::Launching { ready_at });
             self.queue
                 .push(ready_at, EventKind::InstanceReady { instance: id });
@@ -818,8 +932,14 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     fn assign(&mut self, task: TaskId, instance: InstanceId, slot: u32) {
         let sub = self.sub_of(task);
         let (spec, stage) = self.task_info(task);
-        let t_in = self.transfer_model.sample(spec.input_bytes, &mut self.rng);
-        let t_out = self.transfer_model.sample(spec.output_bytes, &mut self.rng);
+        let mut t_in = self.transfer_model.sample(spec.input_bytes, &mut self.rng);
+        let mut t_out = self.transfer_model.sample(spec.output_bytes, &mut self.rng);
+        if self.chaos.transfer_factor != 1.0 {
+            // spike applied AFTER sampling: the RNG draw count is unchanged,
+            // so the rest of the run stays aligned with the un-spiked one
+            t_in = t_in.scale(self.chaos.transfer_factor);
+            t_out = t_out.scale(self.chaos.transfer_factor);
+        }
         let mut exec = self.profiles[sub].exec_time(self.slots[sub].local_task(task));
         if self.config.exec_jitter > 0.0 {
             let j = self.config.exec_jitter;
@@ -849,6 +969,16 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             instance: instance.0,
             slot,
         });
+        // conditional chaos triggers: "stage s's first tick". Fires after the
+        // dispatch is fully recorded; a kill here may terminate the very
+        // instance that was just assigned (the task resubmits), and the
+        // enclosing dispatch loop re-reads instance state so it skips the
+        // corpse safely.
+        if !self.chaos.plan.is_empty() {
+            for f in self.chaos.take_stage_faults(stage) {
+                self.apply_chaos_fault(f);
+            }
+        }
     }
 
     // ---- bookkeeping -----------------------------------------------------

@@ -26,6 +26,10 @@ pub enum EventKind {
     WorkflowSetupDone { workflow: u32 },
     /// An instance crashes (failure injection).
     InstanceFail { instance: InstanceId, epoch: u32 },
+    /// A scripted chaos fault fires (index into the run's
+    /// [`crate::FaultPlan`]). Only ever queued when a plan is attached, so
+    /// plain runs never see this variant.
+    ChaosFault { fault: u32 },
 }
 
 #[derive(Debug)]

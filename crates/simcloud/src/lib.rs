@@ -27,6 +27,7 @@
 //! many workflows with submission times and bills them against one shared
 //! pool; [`run_workflow`] remains as the single-workflow convenience wrapper.
 
+pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -39,6 +40,7 @@ pub mod session;
 pub mod trace;
 pub mod transfer;
 
+pub use chaos::{Fault, FaultAction, FaultPlan, FaultTrigger};
 pub use config::CloudConfig;
 pub use engine::{run_workflow, run_workflow_recorded, Engine, RunError};
 pub use instance::{InstanceId, InstanceStateView};

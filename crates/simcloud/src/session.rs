@@ -25,6 +25,7 @@
 //! pool. `run` returns a [`RunResult`] with shared pool/billing totals plus
 //! per-workflow makespan/slowdown records.
 
+use crate::chaos::FaultPlan;
 use crate::config::CloudConfig;
 use crate::engine::{Engine, RunError};
 use crate::observe::MonitorSnapshot;
@@ -75,6 +76,7 @@ pub struct Session<'a, P: ScalingPolicy = HoldPolicy, R: Recorder = NoopRecorder
     recorder: R,
     seed: u64,
     submissions: Vec<(Millis, &'a Workflow, &'a ExecProfile)>,
+    chaos: FaultPlan,
 }
 
 impl<'a> Session<'a> {
@@ -89,6 +91,7 @@ impl<'a> Session<'a> {
             recorder: NoopRecorder,
             seed: 0,
             submissions: Vec::new(),
+            chaos: FaultPlan::new(),
         }
     }
 }
@@ -115,6 +118,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
             recorder: self.recorder,
             seed: self.seed,
             submissions: self.submissions,
+            chaos: self.chaos,
         }
     }
 
@@ -127,7 +131,16 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
             recorder,
             seed: self.seed,
             submissions: self.submissions,
+            chaos: self.chaos,
         }
+    }
+
+    /// Attach a scripted chaos [`FaultPlan`] (see [`crate::chaos`]). The
+    /// empty plan is the default and leaves the run byte-identical to one
+    /// without this call.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = plan;
+        self
     }
 
     /// Submit a workflow at time zero.
@@ -144,14 +157,19 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
     /// Construct the engine without running it (to call `run_traced`, or to
     /// inspect construction errors separately).
     pub fn build(self) -> Result<Engine<'a, P, R>, RunError> {
-        Engine::from_submissions(
+        let engine = Engine::from_submissions(
             self.submissions,
             self.config,
             self.transfer,
             self.policy,
             self.seed,
             self.recorder,
-        )
+        )?;
+        if self.chaos.is_empty() {
+            Ok(engine)
+        } else {
+            engine.with_chaos(self.chaos)
+        }
     }
 
     /// Run the session to completion.

@@ -74,6 +74,9 @@ pub enum TelemetryEvent {
     /// A workflow of a multi-workflow session completed (including its
     /// teardown); the session keeps running.
     WorkflowCompleted { workflow: u32, makespan: Millis },
+    /// A scripted chaos fault fired (index into the run's fault plan). Only
+    /// emitted when a plan is attached to the engine.
+    ChaosFault { fault: u32 },
 }
 
 impl TelemetryEvent {
@@ -94,6 +97,7 @@ impl TelemetryEvent {
             TelemetryEvent::WorkflowSubmitted { .. } => "workflow_submitted",
             TelemetryEvent::WorkflowReady { .. } => "workflow_ready",
             TelemetryEvent::WorkflowCompleted { .. } => "workflow_completed",
+            TelemetryEvent::ChaosFault { .. } => "chaos_fault",
         }
     }
 
@@ -185,6 +189,9 @@ impl TelemetryEvent {
                 fields.push(("workflow", u(workflow as u64)));
                 fields.push(("makespan_ms", u(makespan.as_ms())));
             }
+            TelemetryEvent::ChaosFault { fault } => {
+                fields.push(("fault", u(fault as u64)));
+            }
         }
         obj(fields)
     }
@@ -272,6 +279,9 @@ impl TelemetryEvent {
                 workflow: get_u32("workflow")?,
                 makespan: get_ms("makespan_ms")?,
             },
+            "chaos_fault" => TelemetryEvent::ChaosFault {
+                fault: get_u32("fault")?,
+            },
             other => return Err(format!("unknown event kind '{other}'")),
         })
     }
@@ -336,6 +346,7 @@ mod tests {
                 workflow: 1,
                 makespan: Millis::from_mins(20),
             },
+            TelemetryEvent::ChaosFault { fault: 2 },
         ]
     }
 

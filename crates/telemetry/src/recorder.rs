@@ -102,6 +102,7 @@ impl TelemetryBuffer {
                 m.inc("units_billed_total", units);
             }
             TelemetryEvent::InstanceFailed { .. } => m.inc("instance_failures_total", 1),
+            TelemetryEvent::ChaosFault { .. } => m.inc("chaos_faults_total", 1),
             TelemetryEvent::TaskDispatched { .. } => m.inc("tasks_dispatched_total", 1),
             TelemetryEvent::TaskCompleted { exec, transfer, .. } => {
                 m.inc("tasks_completed_total", 1);

@@ -1,0 +1,150 @@
+//! Property tests over the workload generators: every generated workflow is
+//! a well-formed DAG, and ensemble arrival processes are ordered and
+//! seed-stable.
+
+// the vendored proptest macro expands deeply for multi-property blocks
+#![recursion_limit = "512"]
+
+use proptest::prelude::*;
+use wire_dag::{Millis, TaskId};
+use wire_workloads::{ArrivalProcess, EnsembleSpec, WorkloadId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Every catalog workload, at any seed, generates an acyclic graph with
+    // at least one source and one sink, a complete topological order, and
+    // mutually consistent pred/succ edge lists.
+    #[test]
+    fn generated_workflows_are_well_formed_dags(
+        which in 0usize..WorkloadId::ALL.len(),
+        seed in 0u64..1000,
+    ) {
+        let w = WorkloadId::ALL[which];
+        let (wf, prof) = w.generate(seed);
+        let n = wf.num_tasks();
+        prop_assert!(n > 0);
+        prop_assert!(prof.matches(&wf), "profile covers every task");
+        prop_assert!(wf.roots().count() >= 1, "at least one source");
+        prop_assert!(wf.sinks().count() >= 1, "at least one sink");
+
+        // the topological order is a permutation of all tasks in which every
+        // predecessor precedes its successor — this is exactly acyclicity
+        let topo = wf.topo_order();
+        prop_assert_eq!(topo.len(), n);
+        let mut pos = vec![usize::MAX; n];
+        for (i, &t) in topo.iter().enumerate() {
+            prop_assert_eq!(pos[t.index()], usize::MAX, "task repeated in topo order");
+            pos[t.index()] = i;
+        }
+        for t in wf.task_ids() {
+            for &p in wf.preds(t) {
+                prop_assert!(pos[p.index()] < pos[t.index()],
+                    "edge {}→{} violates the topological order", p.0, t.0);
+            }
+        }
+
+        // pred/succ lists describe the same edge set
+        let mut pred_edges = Vec::new();
+        let mut succ_edges = Vec::new();
+        for t in wf.task_ids() {
+            pred_edges.extend(wf.preds(t).iter().map(|&p| (p, t)));
+            succ_edges.extend(wf.succs(t).iter().map(|&s| (t, s)));
+        }
+        pred_edges.sort_unstable();
+        succ_edges.sort_unstable();
+        prop_assert_eq!(pred_edges, succ_edges);
+
+        // stages partition the tasks
+        let per_stage: usize = wf.stage_ids().map(|s| wf.stage(s).tasks.len()).sum();
+        prop_assert_eq!(per_stage, n);
+    }
+
+    // Poisson (and batch) arrival times are non-decreasing, start at zero,
+    // and are a pure function of the seed.
+    #[test]
+    fn ensemble_arrivals_are_ordered_and_seed_stable(
+        k in 1usize..=6,
+        mean_gap_mins in 1u64..60,
+        seed in 0u64..1000,
+    ) {
+        let spec = EnsembleSpec::uniform(
+            WorkloadId::Tpch6S,
+            k,
+            ArrivalProcess::Poisson { mean_gap: Millis::from_mins(mean_gap_mins) },
+        );
+        let times = spec.arrival_times(seed);
+        prop_assert_eq!(times.len(), k);
+        prop_assert_eq!(times[0], Millis::ZERO, "first workflow arrives at t = 0");
+        for w in times.windows(2) {
+            prop_assert!(w[0] <= w[1], "arrival times must be non-decreasing");
+        }
+        prop_assert_eq!(&times, &spec.arrival_times(seed), "same seed, same schedule");
+
+        let members = spec.generate(seed);
+        prop_assert_eq!(members.len(), k);
+        for (m, &at) in members.iter().zip(&times) {
+            prop_assert_eq!(m.submit_at, at);
+        }
+    }
+
+    // Generated members are seed-stable end to end: same seed gives the
+    // same workflows and profiles; a different member index gives an
+    // independently-jittered profile.
+    #[test]
+    fn ensemble_members_are_seed_stable(seed in 0u64..500) {
+        let spec = EnsembleSpec::uniform(
+            WorkloadId::PageRankS,
+            3,
+            ArrivalProcess::Batch { gap: Millis::from_mins(5) },
+        );
+        let a = spec.generate(seed);
+        let b = spec.generate(seed);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.submit_at, y.submit_at);
+            prop_assert_eq!(x.workflow.num_tasks(), y.workflow.num_tasks());
+            prop_assert_eq!(x.profile.exec_times(), y.profile.exec_times());
+        }
+    }
+}
+
+#[test]
+fn paper_rows_match_generated_structure() {
+    // the catalog's structural claims hold for the generated graphs
+    for w in WorkloadId::ALL {
+        let (wf, _) = w.generate(0);
+        let row = w.paper_row();
+        assert_eq!(wf.num_stages(), row.stages, "{:?} stage count", w);
+        let (lo, hi) = row.tasks_per_stage;
+        for s in wf.stage_ids() {
+            let width = wf.stage(s).tasks.len();
+            assert!(
+                (lo..=hi).contains(&width),
+                "{:?} stage {} width {} outside Table I range {}..={}",
+                w,
+                s.0,
+                width,
+                lo,
+                hi
+            );
+        }
+    }
+}
+
+#[test]
+fn task_ids_are_dense_and_stage_local() {
+    let (wf, _) = WorkloadId::EpigenomicsS.generate(7);
+    let ids: Vec<TaskId> = wf.task_ids().collect();
+    assert_eq!(ids.len(), wf.num_tasks());
+    for (i, t) in ids.iter().enumerate() {
+        assert_eq!(t.index(), i, "task ids are dense 0..n");
+    }
+    // every task belongs to exactly one stage's task list
+    let mut owner = vec![0u32; wf.num_tasks()];
+    for s in wf.stage_ids() {
+        for &t in &wf.stage(s).tasks {
+            owner[t.index()] += 1;
+        }
+    }
+    assert!(owner.iter().all(|&c| c == 1));
+}

@@ -1,0 +1,268 @@
+//! Differential and metamorphic chaos suites: scripted fault plans must be
+//! deterministic, inert when empty, order-insensitive where faults commute,
+//! and policy-independent where the engine (not the policy) owns the
+//! invariant — all with the invariant checker riding along.
+
+use wire::core::experiment::{cloud_config_for, Setting};
+use wire::planner::OracleWirePolicy;
+use wire::prelude::*;
+use wire::simcloud::InstanceId;
+use wire_chaos::{FaultPlan, InvariantChecker, Tee};
+
+/// FNV-1a 64; keep in sync with tests/golden.rs (separate test binaries
+/// cannot share helpers without a support crate).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The digest of tests/golden.rs's `wire_run_digest`, with two chaos twists:
+/// an explicit (possibly empty) fault plan, and the invariant checker teed
+/// into the same recorder slot. Must stay byte-compatible with golden.rs.
+fn wire_run_digest_chaotic(workload: WorkloadId, seed: u64, plan: FaultPlan) -> u64 {
+    let (wf, prof) = workload.generate(seed);
+    let cfg = cloud_config_for(
+        Setting::Wire,
+        Millis::from_mins(15),
+        workload.spec().total_input_bytes,
+    );
+    let handle = TelemetryHandle::new();
+    let checker =
+        InvariantChecker::new(&cfg).expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32);
+    let policy = WirePolicy::default().with_telemetry(handle.clone());
+    let (result, trace) = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(policy)
+        .seed(seed)
+        .recording(Tee(handle.clone(), checker.clone()))
+        .chaos(plan)
+        .submit(&wf, &prof)
+        .run_traced()
+        .expect("run completes");
+    let buffer = handle.take();
+    checker.absorb_decisions(&buffer.decisions);
+    checker.assert_clean();
+
+    let mut blob = trace.render();
+    blob.push_str(&events_to_jsonl(&buffer));
+    blob.push_str(&decisions_to_jsonl(&buffer));
+    blob.push_str(&format!(
+        "units={} makespan={} restarts={} launched={}\n",
+        result.charging_units,
+        result.makespan.as_ms(),
+        result.restarts,
+        result.instances_launched
+    ));
+    fnv1a(blob.as_bytes())
+}
+
+#[test]
+fn noop_fault_plan_reproduces_the_golden_digests_byte_identically() {
+    // Pinned in tests/golden.rs::GOLDEN_DIGESTS: attaching an empty plan (and
+    // the checker) must not shift a single byte of the observable output.
+    for (w, seed, expected) in [
+        (WorkloadId::Tpch6S, 1, 0xd9df99ba218ceefb_u64),
+        (WorkloadId::EpigenomicsS, 3, 0xb25b0846f3907545_u64),
+    ] {
+        let digest = wire_run_digest_chaotic(w, seed, FaultPlan::new());
+        assert_eq!(
+            digest,
+            expected,
+            "{} / seed={seed}: empty fault plan perturbed the run (digest {digest:#x})",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn commuting_faults_are_order_insensitive_in_the_plan() {
+    // Lag jitter at 10min and a transfer spike at 20min touch disjoint state
+    // at distinct times: declaring them in either order must yield the same
+    // behaviour. (Only the behaviour: the `ChaosFault` telemetry events carry
+    // plan *indices*, which legitimately swap under permutation, so the
+    // comparison is on the run outcome, not the raw event bytes.)
+    let ab = FaultPlan::new()
+        .jitter_lag(Millis::from_mins(10), 0.4)
+        .spike_transfers(Millis::from_mins(20), 2.0);
+    let ba = FaultPlan::new()
+        .spike_transfers(Millis::from_mins(20), 2.0)
+        .jitter_lag(Millis::from_mins(10), 0.4);
+    let a = run_with_policy(WorkloadId::Tpch6S, 5, WirePolicy::default(), ab);
+    let b = run_with_policy(WorkloadId::Tpch6S, 5, WirePolicy::default(), ba);
+    assert_eq!(a.charging_units, b.charging_units);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.restarts, b.restarts);
+    assert_eq!(a.instances_launched, b.instances_launched);
+    assert_eq!(a.task_records, b.task_records);
+    assert_eq!(a.pool_timeline, b.pool_timeline);
+    assert_eq!(a.instance_bills, b.instance_bills);
+}
+
+fn run_with_policy<P: wire::simcloud::ScalingPolicy>(
+    workload: WorkloadId,
+    seed: u64,
+    policy: P,
+    plan: FaultPlan,
+) -> RunResult {
+    let (wf, prof) = workload.generate(seed);
+    let cfg = cloud_config_for(
+        Setting::Wire,
+        Millis::from_mins(15),
+        workload.spec().total_input_bytes,
+    );
+    let checker =
+        InvariantChecker::new(&cfg).expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32);
+    let r = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(policy)
+        .seed(seed)
+        .recording(checker.clone())
+        .chaos(plan)
+        .submit(&wf, &prof)
+        .run()
+        .expect("run completes");
+    checker.assert_clean();
+    r
+}
+
+#[test]
+fn wire_and_oracle_complete_the_same_task_multiset_under_identical_faults() {
+    // The engine owns exactly-once completion; the policy only shapes cost
+    // and timing. Under the same fault plan, online WIRE and the oracle
+    // (ground-truth estimates) must complete exactly the same task multiset.
+    let storm = || {
+        FaultPlan::new()
+            .kill_pool_at_stage_start(StageId(1))
+            .kill_instance_at(Millis::from_mins(50), InstanceId(0))
+            .jitter_lag(Millis::from_mins(5), 0.3)
+    };
+    let workload = WorkloadId::Tpch6S;
+    let seed = 2;
+    let (wf, prof) = workload.generate(seed);
+
+    let online = run_with_policy(workload, seed, WirePolicy::default(), storm());
+    let oracle = run_with_policy(
+        workload,
+        seed,
+        OracleWirePolicy::new(prof.clone(), TransferModel::default()),
+        storm(),
+    );
+
+    let ids = |r: &RunResult| {
+        let mut v: Vec<u32> = r.task_records.iter().map(|t| t.task.0).collect();
+        v.sort_unstable();
+        v
+    };
+    let expected: Vec<u32> = (0..wf.num_tasks() as u32).collect();
+    assert_eq!(ids(&online), expected, "WIRE lost or duplicated tasks");
+    assert_eq!(ids(&oracle), expected, "oracle lost or duplicated tasks");
+}
+
+#[test]
+fn chaos_in_workflow_b_leaves_workflow_a_records_untouched() {
+    // Two-workflow session; the second arrives after the first finishes.
+    // A pool wipe while only B is running must resubmit B's work (release_now
+    // path under a live multi-workflow layout) without perturbing one byte of
+    // A's completed records.
+    let (wf_a, prof_a) = WorkloadId::Tpch6S.generate(11);
+    let (wf_b, prof_b) = WorkloadId::PageRankS.generate(11);
+    let cfg = cloud_config_for(Setting::Wire, Millis::from_mins(15), 0);
+
+    let run = |plan: FaultPlan| {
+        let checker = InvariantChecker::new(&cfg)
+            .expect_workflow(wf_a.num_tasks() as u32, wf_a.num_stages() as u32)
+            .expect_workflow(wf_b.num_tasks() as u32, wf_b.num_stages() as u32);
+        let r = Session::new(cfg.clone())
+            .transfer(TransferModel::default())
+            .policy(WirePolicy::default())
+            .seed(11)
+            .recording(checker.clone())
+            .chaos(plan)
+            .submit(&wf_a, &prof_a)
+            .submit_at(Millis::from_mins(30), &wf_b, &prof_b)
+            .run()
+            .expect("session completes");
+        checker.assert_clean();
+        r
+    };
+
+    let calm = run(FaultPlan::new());
+    // A's golden makespan is ~14.8 min, so by 40 min only B is on the pool.
+    let stormy = run(FaultPlan::new().kill_pool_at(Millis::from_mins(40)));
+
+    assert!(stormy.failures > 0, "the 40-min pool wipe must strike");
+    let a_records = |r: &RunResult| {
+        r.task_records
+            .iter()
+            .filter(|t| t.workflow == WorkflowId(0))
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        a_records(&calm),
+        a_records(&stormy),
+        "workflow A's records changed because B crashed"
+    );
+    assert_eq!(calm.per_workflow[0], stormy.per_workflow[0]);
+    // B actually paid for the crash
+    let b_restarts: u32 = stormy
+        .task_records
+        .iter()
+        .filter(|t| t.workflow == WorkflowId(1))
+        .map(|t| t.restarts)
+        .sum();
+    assert!(b_restarts > 0, "B's tasks must record the resubmissions");
+    assert_eq!(
+        stormy.task_records.len(),
+        wf_a.num_tasks() + wf_b.num_tasks()
+    );
+}
+
+#[test]
+fn paused_arrivals_defer_a_workflow_without_losing_it() {
+    let (wf_a, prof_a) = WorkloadId::Tpch6S.generate(4);
+    let (wf_b, prof_b) = WorkloadId::Tpch1S.generate(4);
+    let cfg = cloud_config_for(Setting::Wire, Millis::from_mins(15), 0);
+    let checker = InvariantChecker::new(&cfg)
+        .expect_workflow(wf_a.num_tasks() as u32, wf_a.num_stages() as u32)
+        .expect_workflow(wf_b.num_tasks() as u32, wf_b.num_stages() as u32);
+    let resume_at = Millis::from_mins(45);
+    let r = Session::new(cfg.clone())
+        .transfer(TransferModel::default())
+        .policy(WirePolicy::default())
+        .seed(4)
+        .recording(checker.clone())
+        .chaos(
+            FaultPlan::new()
+                .pause_arrivals(Millis::from_mins(5))
+                .resume_arrivals(resume_at),
+        )
+        .submit(&wf_a, &prof_a)
+        .submit_at(Millis::from_mins(10), &wf_b, &prof_b)
+        .run()
+        .expect("session completes");
+    checker.assert_clean();
+    assert_eq!(r.task_records.len(), wf_a.num_tasks() + wf_b.num_tasks());
+    // B keeps its scheduled 10-min submission stamp (queueing delay is B's
+    // slowdown, not a schedule rewrite), but none of its tasks may start
+    // before the blackout lifted.
+    assert_eq!(r.per_workflow[1].submitted_at, Millis::from_mins(10));
+    let b_tasks: Vec<_> = r
+        .task_records
+        .iter()
+        .filter(|t| t.workflow == WorkflowId(1))
+        .collect();
+    assert!(!b_tasks.is_empty());
+    for t in b_tasks {
+        assert!(
+            t.started_at >= resume_at,
+            "task {} ran at {} during the arrival blackout",
+            t.task.0,
+            t.started_at
+        );
+    }
+}

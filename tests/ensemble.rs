@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 use wire::core::experiment::{cloud_config, Setting};
 use wire::prelude::*;
+use wire_chaos::InvariantChecker;
 
 #[test]
 fn staggered_ensemble_completes_under_every_policy() {
@@ -101,14 +102,22 @@ proptest! {
         );
         let members = spec.generate(seed);
         let cfg = cloud_config(Setting::Wire, Millis::from_mins(15));
+        let mut checker = InvariantChecker::new(&cfg);
+        for m in &members {
+            checker = checker
+                .expect_workflow(m.workflow.num_tasks() as u32, m.workflow.num_stages() as u32);
+        }
         let mut session = Session::new(cfg.clone())
             .transfer(TransferModel::default())
             .policy(WirePolicy::default())
-            .seed(seed);
+            .seed(seed)
+            .recording(checker.clone());
         for m in &members {
             session = session.submit_at(m.submit_at, &m.workflow, &m.profile);
         }
         let r = session.run().unwrap();
+        let report = checker.report();
+        prop_assert!(report.is_clean(), "{}", report.render());
 
         // exactly-once completion, counted per workflow
         let total: usize = members.iter().map(|m| m.workflow.num_tasks()).sum();

@@ -3,22 +3,35 @@
 
 use wire::core::experiment::{cloud_config, Setting};
 use wire::prelude::*;
+use wire_chaos::InvariantChecker;
+
+const WORKLOAD: WorkloadId = WorkloadId::PageRankS;
+
+/// Task count of the generated workload — the workload shape is seed-stable,
+/// so any seed gives the structural count the assertions need.
+fn num_tasks(seed: u64) -> usize {
+    WORKLOAD.generate(seed).0.num_tasks()
+}
 
 fn run_with_failures(setting: Setting, mtbf_mins: u64, seed: u64) -> RunResult {
-    let workload = WorkloadId::PageRankS;
-    let (wf, prof) = workload.generate(seed);
+    let (wf, prof) = WORKLOAD.generate(seed);
     let mut cfg = cloud_config(setting, Millis::from_mins(15));
     if mtbf_mins > 0 {
         cfg = cfg.failures(Millis::from_mins(mtbf_mins));
     }
     let policy = wire::core::experiment::build_policy(setting, &cfg);
-    Session::new(cfg)
+    let checker =
+        InvariantChecker::new(&cfg).expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32);
+    let r = Session::new(cfg)
         .transfer(TransferModel::default())
         .policy(policy)
         .seed(seed)
+        .recording(checker.clone())
         .submit(&wf, &prof)
         .run()
-        .expect("run completes despite failures")
+        .expect("run completes despite failures");
+    checker.assert_clean();
+    r
 }
 
 #[test]
@@ -31,7 +44,7 @@ fn elastic_policies_survive_instance_failures() {
         Setting::Wire,
     ] {
         let r = run_with_failures(setting, 30, 5);
-        assert_eq!(r.task_records.len(), 115, "{}", setting.label());
+        assert_eq!(r.task_records.len(), num_tasks(5), "{}", setting.label());
         for rec in &r.task_records {
             assert!(rec.started_at < rec.finished_at);
         }
@@ -42,7 +55,7 @@ fn elastic_policies_survive_instance_failures() {
 fn full_site_policy_replaces_crashed_instances() {
     // StaticPolicy tops the pool back up to the target after failures.
     let r = run_with_failures(Setting::FullSite, 20, 6);
-    assert_eq!(r.task_records.len(), 115);
+    assert_eq!(r.task_records.len(), num_tasks(6));
     assert!(r.failures > 0, "MTBF 20 min on 12 instances must strike");
     assert!(r.instances_launched > 12, "crashed instances were replaced");
 }

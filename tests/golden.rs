@@ -9,6 +9,7 @@
 
 use wire::core::experiment::{cloud_config_for, run_setting, Setting};
 use wire::prelude::*;
+use wire_chaos::{InvariantChecker, Tee};
 
 const GOLDEN: &[(WorkloadId, Setting, u64, u64, u64, u64)] = &[
     // (workload, setting, u_mins, seed, expected units, expected makespan_ms)
@@ -90,16 +91,22 @@ fn wire_run_digest(workload: WorkloadId, seed: u64) -> u64 {
         workload.spec().total_input_bytes,
     );
     let handle = TelemetryHandle::new();
+    // The invariant checker rides every golden run: recorders are
+    // observational, so teeing it in cannot (and must not) move the digest.
+    let checker =
+        InvariantChecker::new(&cfg).expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32);
     let policy = WirePolicy::default().with_telemetry(handle.clone());
     let (result, trace) = Session::new(cfg)
         .transfer(TransferModel::default())
         .policy(policy)
         .seed(seed)
-        .recording(handle.clone())
+        .recording(Tee(handle.clone(), checker.clone()))
         .submit(&wf, &prof)
         .run_traced()
         .expect("run completes");
     let buffer = handle.take();
+    checker.absorb_decisions(&buffer.decisions);
+    checker.assert_clean();
 
     let mut blob = trace.render();
     blob.push_str(&events_to_jsonl(&buffer));
