@@ -3,192 +3,14 @@
 //! * the first-five-per-stage dispatch priority (§III-C) on/off;
 //! * the OGD model (Policy 5) vs falling back to the completed median;
 //! * the waste/restart threshold (0.2·u in Algorithms 2–3) swept.
+//!
+//! Thin front-end over the `wire-campaign` runner: every sweep point is a
+//! campaign cell (sharded, cached); only the pure-computation estimator
+//! study runs inline.
 
-use wire_bench::{emit, quick_mode};
-use wire_core::experiment::{cloud_config, Setting};
-use wire_core::prediction::stage_prediction_errors_with;
-use wire_core::Table;
-use wire_dag::Millis;
-use wire_planner::{OracleWirePolicy, SteeringConfig, WirePolicy};
-use wire_predictor::Estimator;
-use wire_simcloud::{Session, TransferModel};
-use wire_workloads::WorkloadId;
+use wire_bench::{figure_runner, note_campaign};
 
 fn main() {
-    let workloads = if quick_mode() {
-        vec![WorkloadId::Tpch6S, WorkloadId::PageRankS]
-    } else {
-        WorkloadId::SMALL.to_vec()
-    };
-    let u = Millis::from_mins(15);
-
-    // --- first-five priority -------------------------------------------
-    let mut t = Table::new(["workload", "first-five", "cost (units)", "makespan (min)"]);
-    for &w in &workloads {
-        for ff in [true, false] {
-            let (wf, prof) = w.generate(1);
-            let mut cfg = cloud_config(Setting::Wire, u);
-            cfg.first_five_priority = ff;
-            let res = Session::new(cfg)
-                .transfer(TransferModel::default())
-                .policy(WirePolicy::default())
-                .seed(1)
-                .submit(&wf, &prof)
-                .run()
-                .unwrap();
-            t.push_row([
-                w.name().to_string(),
-                ff.to_string(),
-                res.charging_units.to_string(),
-                format!("{:.1}", res.makespan.as_mins_f64()),
-            ]);
-        }
-    }
-    emit(
-        "Ablation — first-five-per-stage priority",
-        "ablation_firstfive",
-        &t,
-    );
-
-    // --- waste threshold sweep ------------------------------------------
-    let mut t = Table::new([
-        "workload",
-        "threshold (·u)",
-        "cost (units)",
-        "makespan (min)",
-        "restarts",
-    ]);
-    for &w in &workloads {
-        for frac in [0.0, 0.1, 0.2, 0.4, 0.8] {
-            let (wf, prof) = w.generate(1);
-            let cfg = cloud_config(Setting::Wire, u);
-            let policy = WirePolicy::new(SteeringConfig {
-                waste_fraction: frac,
-                ..SteeringConfig::default()
-            });
-            let res = Session::new(cfg)
-                .transfer(TransferModel::default())
-                .policy(policy)
-                .seed(1)
-                .submit(&wf, &prof)
-                .run()
-                .unwrap();
-            t.push_row([
-                w.name().to_string(),
-                format!("{frac}"),
-                res.charging_units.to_string(),
-                format!("{:.1}", res.makespan.as_mins_f64()),
-                res.restarts.to_string(),
-            ]);
-        }
-    }
-    emit(
-        "Ablation — waste/restart threshold (paper default 0.2·u)",
-        "ablation_threshold",
-        &t,
-    );
-
-    // --- fill target (utilization aggressiveness, §IV-A) ----------------
-    let mut t = Table::new([
-        "workload",
-        "fill target",
-        "cost (units)",
-        "makespan (min)",
-        "peak pool",
-    ]);
-    for &w in &workloads {
-        for fill in [1.0, 0.75, 0.5, 0.25] {
-            let (wf, prof) = w.generate(1);
-            let cfg = cloud_config(Setting::Wire, u);
-            let policy = WirePolicy::new(SteeringConfig {
-                fill_target: fill,
-                ..SteeringConfig::default()
-            });
-            let res = Session::new(cfg)
-                .transfer(TransferModel::default())
-                .policy(policy)
-                .seed(1)
-                .submit(&wf, &prof)
-                .run()
-                .unwrap();
-            t.push_row([
-                w.name().to_string(),
-                format!("{fill}"),
-                res.charging_units.to_string(),
-                format!("{:.1}", res.makespan.as_mins_f64()),
-                res.peak_instances.to_string(),
-            ]);
-        }
-    }
-    emit(
-        "Ablation — Algorithm 3 fill target (cost/speed aggressiveness)",
-        "ablation_fill",
-        &t,
-    );
-
-    // --- online prediction vs oracle (§IV-E robustness) -----------------
-    let mut t = Table::new(["workload", "policy", "cost (units)", "makespan (min)"]);
-    for &w in &workloads {
-        let (wf, prof) = w.generate(1);
-        let tm = TransferModel::default();
-        let cfg = cloud_config(Setting::Wire, u);
-        let wire = Session::new(cfg.clone())
-            .transfer(tm.clone())
-            .policy(WirePolicy::default())
-            .seed(1)
-            .submit(&wf, &prof)
-            .run()
-            .unwrap();
-        let oracle = Session::new(cfg)
-            .transfer(tm.clone())
-            .policy(OracleWirePolicy::new(prof.clone(), tm))
-            .seed(1)
-            .submit(&wf, &prof)
-            .run()
-            .unwrap();
-        for r in [&wire, &oracle] {
-            t.push_row([
-                w.name().to_string(),
-                r.policy.clone(),
-                r.charging_units.to_string(),
-                format!("{:.1}", r.makespan.as_mins_f64()),
-            ]);
-        }
-    }
-    emit(
-        "Ablation — online prediction vs ground-truth oracle (§IV-E robustness)",
-        "ablation_oracle",
-        &t,
-    );
-
-    // --- estimator choice (§III-C median vs mean vs three-sigma) --------
-    let mut t = Table::new(["workload", "estimator", "mean |err| (s)", "P(|err| ≤ 1 s)"]);
-    for &w in &workloads {
-        let (wf, prof) = w.generate(1);
-        for est in Estimator::ALL {
-            let mut errs: Vec<f64> = Vec::new();
-            for stage in wf.stage_ids() {
-                if wf.stage(stage).len() < 2 {
-                    continue;
-                }
-                for order in 0..3 {
-                    errs.extend(stage_prediction_errors_with(&wf, &prof, stage, order, est).errors);
-                }
-            }
-            let n = errs.len().max(1) as f64;
-            let mean_abs = errs.iter().map(|e| e.abs()).sum::<f64>() / n;
-            let within = errs.iter().filter(|e| e.abs() <= 1.0).count() as f64 / n;
-            t.push_row([
-                w.name().to_string(),
-                est.label().to_string(),
-                format!("{mean_abs:.3}"),
-                format!("{:.1}%", 100.0 * within),
-            ]);
-        }
-    }
-    emit(
-        "Ablation — central-tendency estimator (paper argues for the median)",
-        "ablation_estimator",
-        &t,
-    );
+    let outcome = figure_runner().ablation();
+    note_campaign("ablation", &outcome);
 }

@@ -4,69 +4,16 @@
 //! of the policy's resource usage and completion time to the optimal values.
 //! Paper shape: both ratios bounded (~1.33× usage, ~1.67× time) and
 //! approaching 1 as R/U grows.
+//!
+//! Thin front-end over the `wire-campaign` runner: points shard across the
+//! thread pool (`WIRE_THREADS` / `--threads`) and completed points are served
+//! from the `results/cache/` content-addressed cache (`--force` re-executes,
+//! `--no-cache` bypasses, `--check` shadows each run with the invariant
+//! checker).
 
-use wire_bench::{emit, linear_stage_ratios, quick_mode};
-use wire_core::{line_chart, Series, Table};
-use wire_dag::Millis;
+use wire_bench::{figure_runner, note_campaign};
 
 fn main() {
-    let ns: &[usize] = if quick_mode() {
-        &[10, 100]
-    } else {
-        &[10, 100, 1000]
-    };
-    let ratios: &[f64] = if quick_mode() {
-        &[1.5, 4.0, 40.0]
-    } else {
-        &[1.5, 2.0, 4.0, 10.0, 40.0, 100.0, 400.0, 1000.0]
-    };
-    let u = Millis::from_secs(60);
-
-    let mut t = Table::new(["N", "R/U", "resource-usage ratio", "completion-time ratio"]);
-    let mut cost_series: Vec<Series> = Vec::new();
-    let mut time_series: Vec<Series> = Vec::new();
-    for &n in ns {
-        let mut costs = Vec::new();
-        let mut times = Vec::new();
-        for &ru in ratios {
-            let r = u.scale(ru);
-            let (cost, time) = linear_stage_ratios(n, r, u);
-            t.push_row([
-                n.to_string(),
-                format!("{ru}"),
-                format!("{cost:.3}"),
-                format!("{time:.3}"),
-            ]);
-            costs.push((ru, cost));
-            times.push((ru, time));
-            eprintln!("fig2: N={n} R/U={ru} cost={cost:.3} time={time:.3}");
-        }
-        cost_series.push(Series::new(format!("N={n}"), costs));
-        time_series.push(Series::new(format!("N={n}"), times));
-    }
-    println!(
-        "{}",
-        line_chart(
-            "resource-usage ratio vs R/U (log x)",
-            &cost_series,
-            64,
-            12,
-            true
-        )
-    );
-    println!(
-        "{}",
-        line_chart(
-            "completion-time ratio vs R/U (log x)",
-            &time_series,
-            64,
-            12,
-            true
-        )
-    );
-    emit(
-        "Figure 2 — steering policy vs optimal, R > U (u = 1 min)",
-        "fig2",
-        &t,
-    );
+    let outcome = figure_runner().fig2();
+    note_campaign("fig2", &outcome);
 }

@@ -4,69 +4,13 @@
 //! ratios vs optimal. Paper shape: wide deviation from optimal as the
 //! charging unit grows relative to task runtime (elasticity is inherently
 //! limited when U ≫ R).
+//!
+//! Thin front-end over the `wire-campaign` runner (see `fig2` for the shared
+//! campaign flags).
 
-use wire_bench::{emit, linear_stage_ratios, quick_mode};
-use wire_core::{line_chart, Series, Table};
-use wire_dag::Millis;
+use wire_bench::{figure_runner, note_campaign};
 
 fn main() {
-    let ns: &[usize] = if quick_mode() {
-        &[10, 100]
-    } else {
-        &[10, 100, 1000]
-    };
-    let ratios: &[f64] = if quick_mode() {
-        &[1.0, 10.0, 100.0]
-    } else {
-        &[1.0, 2.0, 4.0, 10.0, 40.0, 100.0, 400.0, 1000.0]
-    };
-    let r = Millis::from_secs(60);
-
-    let mut t = Table::new(["N", "U/R", "resource-usage ratio", "completion-time ratio"]);
-    let mut cost_series: Vec<Series> = Vec::new();
-    let mut time_series: Vec<Series> = Vec::new();
-    for &n in ns {
-        let mut costs = Vec::new();
-        let mut times = Vec::new();
-        for &ur in ratios {
-            let u = r.scale(ur);
-            let (cost, time) = linear_stage_ratios(n, r, u);
-            t.push_row([
-                n.to_string(),
-                format!("{ur}"),
-                format!("{cost:.3}"),
-                format!("{time:.3}"),
-            ]);
-            costs.push((ur, cost));
-            times.push((ur, time));
-            eprintln!("fig3: N={n} U/R={ur} cost={cost:.3} time={time:.3}");
-        }
-        cost_series.push(Series::new(format!("N={n}"), costs));
-        time_series.push(Series::new(format!("N={n}"), times));
-    }
-    println!(
-        "{}",
-        line_chart(
-            "resource-usage ratio vs U/R (log x)",
-            &cost_series,
-            64,
-            12,
-            true
-        )
-    );
-    println!(
-        "{}",
-        line_chart(
-            "completion-time ratio vs U/R (log x)",
-            &time_series,
-            64,
-            12,
-            true
-        )
-    );
-    emit(
-        "Figure 3 — steering policy vs optimal, R ≤ U (R = 1 min)",
-        "fig3",
-        &t,
-    );
+    let outcome = figure_runner().fig3();
+    note_campaign("fig3", &outcome);
 }

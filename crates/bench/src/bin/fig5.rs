@@ -1,53 +1,14 @@
 //! Regenerate Figure 5: resource cost (charging units consumed) per workload
 //! across the four settings and four charging units, mean ± std over
 //! repetitions.
+//!
+//! Thin front-end over the `wire-campaign` runner: grid cells shard across
+//! the thread pool and completed cells are served from `results/cache/`
+//! (`--threads N`, `--force`, `--no-cache`, `--check`).
 
-use wire_bench::{emit, quick_mode, results_dir};
-use wire_core::{fmt_mean_std, ExperimentGrid, Table};
-use wire_workloads::WorkloadId;
+use wire_bench::{figure_runner, note_campaign};
 
 fn main() {
-    let workloads = if quick_mode() {
-        WorkloadId::SMALL.to_vec()
-    } else {
-        WorkloadId::ALL.to_vec()
-    };
-    let reps = if quick_mode() { 2 } else { 3 };
-    let grid = ExperimentGrid::paper(workloads, reps);
-    eprintln!(
-        "fig5: running {} cells × {} reps ...",
-        grid.workloads.len() * grid.settings.len() * grid.charging_units.len(),
-        reps
-    );
-    let results = grid.run();
-
-    let mut t = Table::new([
-        "workload",
-        "setting",
-        "u (min)",
-        "cost (units, mean±std)",
-        "paid utilization",
-        "restarts",
-    ]);
-    for g in &results {
-        let c = g.cell();
-        t.push_row([
-            g.workload.name().to_string(),
-            g.setting.label().to_string(),
-            format!("{}", g.charging_unit.as_mins_f64() as u64),
-            fmt_mean_std(c.cost_mean, c.cost_std),
-            format!("{:.2}", c.utilization_mean),
-            format!("{:.1}", c.restarts_mean),
-        ]);
-    }
-    emit(
-        "Figure 5 — resource cost across settings and charging units",
-        "fig5",
-        &t,
-    );
-    // archive the raw per-run campaign for offline analysis (`analyze` bin)
-    let rows = wire_core::flatten(&results);
-    let path = results_dir().join("campaign.csv");
-    std::fs::write(&path, wire_core::to_csv(&rows)).expect("write campaign csv");
-    println!("[campaign csv: {}]", path.display());
+    let outcome = figure_runner().fig5();
+    note_campaign("fig5", &outcome);
 }

@@ -1,56 +1,13 @@
 //! Regenerate Figure 6: relative execution time per workload — each
 //! (setting, charging unit)'s makespan normalized to the best mean makespan
 //! observed for that workload across all settings and units.
+//!
+//! Thin front-end over the `wire-campaign` runner; after `fig5` has run, the
+//! whole grid is a cache hit and this binary costs only cache reads.
 
-use wire_bench::{emit, quick_mode};
-use wire_core::experiment::best_makespan_secs;
-use wire_core::{fmt_mean_std, ExperimentGrid, Table};
-use wire_workloads::WorkloadId;
+use wire_bench::{figure_runner, note_campaign};
 
 fn main() {
-    let workloads = if quick_mode() {
-        WorkloadId::SMALL.to_vec()
-    } else {
-        WorkloadId::ALL.to_vec()
-    };
-    let reps = if quick_mode() { 2 } else { 3 };
-    let grid = ExperimentGrid::paper(workloads.clone(), reps);
-    eprintln!(
-        "fig6: running {} cells × {} reps ...",
-        grid.workloads.len() * grid.settings.len() * grid.charging_units.len(),
-        reps
-    );
-    let results = grid.run();
-
-    let mut t = Table::new([
-        "workload",
-        "setting",
-        "u (min)",
-        "relative exec time (mean±std)",
-        "makespan (min, mean)",
-    ]);
-    for &w in &workloads {
-        let best = best_makespan_secs(&results, w).expect("workload has runs");
-        for g in results.iter().filter(|g| g.workload == w) {
-            let rel: Vec<f64> = g
-                .runs
-                .iter()
-                .map(|r| r.makespan.as_secs_f64() / best)
-                .collect();
-            let mean = wire_core::mean(&rel).unwrap_or(0.0);
-            let std = wire_core::std_dev(&rel).unwrap_or(0.0);
-            t.push_row([
-                g.workload.name().to_string(),
-                g.setting.label().to_string(),
-                format!("{}", g.charging_unit.as_mins_f64() as u64),
-                fmt_mean_std(mean, std),
-                format!("{:.1}", g.cell().makespan_mean_secs / 60.0),
-            ]);
-        }
-    }
-    emit(
-        "Figure 6 — relative execution time across settings and charging units",
-        "fig6",
-        &t,
-    );
+    let outcome = figure_runner().fig6();
+    note_campaign("fig6", &outcome);
 }

@@ -3,61 +3,13 @@
 //! * wire resource cost 4.93×–14.66× below full-site static provisioning;
 //! * wire slowdown 1.02×–3.57× vs the best run (1.02×–1.65× at u = 1 min);
 //! * performance within a factor of two of best for ~83.75 % of wire runs.
+//!
+//! Thin front-end over the `wire-campaign` runner; shares its grid cells
+//! with `fig5`/`fig6` through the content-addressed cache.
 
-use wire_bench::{emit, quick_mode};
-use wire_core::experiment::{best_makespan_secs, headline, Setting};
-use wire_core::{ExperimentGrid, Table};
-use wire_dag::Millis;
-use wire_workloads::WorkloadId;
+use wire_bench::{figure_runner, note_campaign};
 
 fn main() {
-    let workloads = if quick_mode() {
-        WorkloadId::SMALL.to_vec()
-    } else {
-        WorkloadId::ALL.to_vec()
-    };
-    let reps = if quick_mode() { 2 } else { 3 };
-    let grid = ExperimentGrid::paper(workloads.clone(), reps);
-    eprintln!("headline: running the full grid ...");
-    let results = grid.run();
-
-    let h = headline(&results).expect("grid produced wire and full-site cells");
-    let mut t = Table::new(["metric", "paper", "measured"]);
-    t.push_row([
-        "full-site cost / wire cost (min–max)".to_string(),
-        "4.93–14.66".to_string(),
-        format!("{:.2}–{:.2}", h.cost_ratio_min, h.cost_ratio_max),
-    ]);
-    t.push_row([
-        "wire slowdown vs best (min–max)".to_string(),
-        "1.02–3.57".to_string(),
-        format!("{:.2}–{:.2}", h.slowdown_min, h.slowdown_max),
-    ]);
-    t.push_row([
-        "wire runs within 2x of best".to_string(),
-        "83.75%".to_string(),
-        format!("{:.1}%", 100.0 * h.frac_within_2x),
-    ]);
-
-    // slowdown at u = 1 min specifically (paper: 1.02–1.65)
-    let u1 = Millis::from_mins(1);
-    let mut lo = f64::INFINITY;
-    let mut hi = f64::NEG_INFINITY;
-    for g in results
-        .iter()
-        .filter(|g| g.setting == Setting::Wire && g.charging_unit == u1)
-    {
-        let best = best_makespan_secs(&results, g.workload).unwrap();
-        for r in &g.runs {
-            let s = r.makespan.as_secs_f64() / best;
-            lo = lo.min(s);
-            hi = hi.max(s);
-        }
-    }
-    t.push_row([
-        "wire slowdown at u = 1 min (min–max)".to_string(),
-        "1.02–1.65".to_string(),
-        format!("{lo:.2}–{hi:.2}"),
-    ]);
-    emit("Headline claims (§I / §IV-E)", "headline", &t);
+    let outcome = figure_runner().headline();
+    note_campaign("headline", &outcome);
 }

@@ -3,159 +3,14 @@
 //! the telemetry subsystem's own cost (no-op recorder vs full recording).
 //!
 //! Paper: ≤ 16 KB of memory; 0.011 % – 0.49 % of aggregate task time.
+//!
+//! Thin front-end over the `wire-campaign` runner. Timing is the product
+//! here, so this binary always executes fresh (the result cache is bypassed)
+//! but still shards its runs across the thread pool.
 
-use std::time::Instant;
-use wire_bench::{emit, quick_mode};
-use wire_core::experiment::{cloud_config, Setting, CHARGING_UNITS_MINS};
-use wire_core::Table;
-use wire_dag::Millis;
-use wire_planner::WirePolicy;
-use wire_simcloud::{RunResult, Session, TransferModel};
-use wire_telemetry::TelemetryHandle;
-use wire_workloads::WorkloadId;
-
-/// Best-of-`reps` wall time for one run closure (the minimum is the least
-/// noisy estimator for short deterministic runs).
-fn time_best(reps: usize, mut f: impl FnMut() -> RunResult) -> (f64, RunResult) {
-    let mut best = f64::INFINITY;
-    let mut last = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        last = Some(r);
-    }
-    (best, last.expect("reps >= 1"))
-}
-
-/// Compare the default `NoopRecorder` path against full in-memory recording.
-/// The no-op path is the one every non-observed run takes; it must stay
-/// within noise (< 2 %) of full recording's *simulation* work — i.e. the
-/// telemetry hooks compile away when nobody listens.
-fn telemetry_overhead(workloads: &[WorkloadId]) {
-    let reps = if quick_mode() { 3 } else { 5 };
-    let u = Millis::from_mins(15);
-    let mut t = Table::new([
-        "workload",
-        "noop (ms)",
-        "recording (ms)",
-        "recording cost (%)",
-        "events",
-        "decisions",
-    ]);
-    for &w in workloads {
-        let (wf, prof) = w.generate(1);
-        let cfg = cloud_config(Setting::Wire, u);
-        let (noop_s, noop_res) = time_best(reps, || {
-            Session::new(cfg.clone())
-                .transfer(TransferModel::default())
-                .policy(WirePolicy::default())
-                .seed(1)
-                .submit(&wf, &prof)
-                .run()
-                .expect("noop run completes")
-        });
-        let mut captured = (0usize, 0usize);
-        let (rec_s, rec_res) = time_best(reps, || {
-            let handle = TelemetryHandle::new();
-            let policy = WirePolicy::default().with_telemetry(handle.clone());
-            let r = Session::new(cfg.clone())
-                .transfer(TransferModel::default())
-                .policy(policy)
-                .seed(1)
-                .recording(handle.clone())
-                .submit(&wf, &prof)
-                .run()
-                .expect("recorded run completes");
-            let buffer = handle.take();
-            captured = (buffer.events.len(), buffer.decisions.len());
-            r
-        });
-        // recording must observe, never perturb
-        assert_eq!(noop_res.makespan, rec_res.makespan, "{}", w.name());
-        assert_eq!(
-            noop_res.charging_units,
-            rec_res.charging_units,
-            "{}",
-            w.name()
-        );
-        // and the disabled path must not cost more than the enabled one
-        // (2 % headroom for timer noise)
-        assert!(
-            noop_s <= rec_s * 1.02,
-            "{}: noop recorder slower than full recording ({:.2}ms vs {:.2}ms)",
-            w.name(),
-            noop_s * 1e3,
-            rec_s * 1e3
-        );
-        t.push_row([
-            w.name().to_string(),
-            format!("{:.2}", noop_s * 1e3),
-            format!("{:.2}", rec_s * 1e3),
-            format!("{:.2}", 100.0 * (rec_s - noop_s) / noop_s),
-            captured.0.to_string(),
-            captured.1.to_string(),
-        ]);
-    }
-    emit(
-        "telemetry overhead — NoopRecorder vs full recording (noop must be free)",
-        "telemetry-overhead",
-        &t,
-    );
-}
+use wire_bench::{figure_runner, note_campaign};
 
 fn main() {
-    let workloads = if quick_mode() {
-        WorkloadId::SMALL.to_vec()
-    } else {
-        WorkloadId::ALL.to_vec()
-    };
-    let mut t = Table::new([
-        "workload",
-        "u (min)",
-        "mape iters",
-        "controller wall (ms)",
-        "controller µs/tick",
-        "controller share (%)",
-        "aggregate task time (s)",
-        "time overhead (%)",
-        "controller state (KB)",
-    ]);
-    for &w in &workloads {
-        for &u_min in &CHARGING_UNITS_MINS {
-            let u = Millis::from_mins(u_min);
-            let (wf, prof) = w.generate(1);
-            let cfg = cloud_config(Setting::Wire, u);
-            let mut policy = WirePolicy::default();
-            let t0 = Instant::now();
-            let res = Session::new(cfg)
-                .transfer(TransferModel::default())
-                .policy(&mut policy)
-                .seed(1)
-                .submit(&wf, &prof)
-                .run()
-                .expect("wire run completes");
-            let run_wall_s = t0.elapsed().as_secs_f64();
-            let agg = prof.aggregate().as_secs_f64();
-            let wall_ms = res.controller_wall.as_secs_f64() * 1000.0;
-            let per_tick_us = wall_ms * 1e3 / (res.mape_iterations.max(1) as f64);
-            t.push_row([
-                w.name().to_string(),
-                u_min.to_string(),
-                res.mape_iterations.to_string(),
-                format!("{wall_ms:.2}"),
-                format!("{per_tick_us:.1}"),
-                format!("{:.2}", 100.0 * wall_ms / 1000.0 / run_wall_s.max(1e-9)),
-                format!("{agg:.0}"),
-                format!("{:.4}", 100.0 * wall_ms / 1000.0 / agg),
-                format!("{:.1}", policy.state_bytes() as f64 / 1024.0),
-            ]);
-        }
-    }
-    emit(
-        "§IV-F — WIRE controller overhead (paper: ≤16 KB, 0.011–0.49% of task time)",
-        "overhead",
-        &t,
-    );
-    telemetry_overhead(&workloads);
+    let outcome = figure_runner().overhead();
+    note_campaign("overhead", &outcome);
 }

@@ -4,62 +4,13 @@
 //! Policies 4–5 take over once completions accumulate — and the balance
 //! shifts with stage widths (wide stages reach Policy 4/5 quickly, narrow
 //! ones spend their whole life under 1–3).
+//!
+//! Thin front-end over the `wire-campaign` runner (the per-run policy-usage
+//! counters live in the cached cell output).
 
-use wire_bench::{emit, quick_mode};
-use wire_core::experiment::{cloud_config_for, Setting};
-use wire_core::Table;
-use wire_dag::Millis;
-use wire_planner::WirePolicy;
-use wire_simcloud::{Session, TransferModel};
-use wire_workloads::WorkloadId;
+use wire_bench::{figure_runner, note_campaign};
 
 fn main() {
-    let workloads = if quick_mode() {
-        WorkloadId::SMALL.to_vec()
-    } else {
-        WorkloadId::ALL.to_vec()
-    };
-    let mut t = Table::new([
-        "workload",
-        "u (min)",
-        "P1 no-obs",
-        "P2 running",
-        "P3 completed",
-        "P4 group",
-        "P5 ogd",
-        "P4+P5 share",
-    ]);
-    for &w in &workloads {
-        for u_min in [1u64, 15] {
-            let u = Millis::from_mins(u_min);
-            let (wf, prof) = w.generate(1);
-            let cfg = cloud_config_for(Setting::Wire, u, w.spec().total_input_bytes);
-            let mut policy = WirePolicy::default();
-            Session::new(cfg)
-                .transfer(TransferModel::default())
-                .policy(&mut policy)
-                .seed(1)
-                .submit(&wf, &prof)
-                .run()
-                .expect("wire run completes");
-            let uses = policy.policy_uses();
-            let total: u64 = uses.iter().sum::<u64>().max(1);
-            let informed = uses[3] + uses[4];
-            t.push_row([
-                w.name().to_string(),
-                u_min.to_string(),
-                uses[0].to_string(),
-                uses[1].to_string(),
-                uses[2].to_string(),
-                uses[3].to_string(),
-                uses[4].to_string(),
-                format!("{:.1}%", 100.0 * informed as f64 / total as f64),
-            ]);
-        }
-    }
-    emit(
-        "§IV-E — prediction-policy usage during wire runs",
-        "policy_usage",
-        &t,
-    );
+    let outcome = figure_runner().policies();
+    note_campaign("policies", &outcome);
 }

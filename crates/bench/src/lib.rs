@@ -39,6 +39,53 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Build the campaign front-end driver for a figure binary from its CLI
+/// flags: `--quick` (reduced sweep), `--threads N` (worker override),
+/// `--force` (ignore cached cells), `--no-cache` (bypass the cache
+/// entirely), `--check` (shadow every executed cell with the chaos
+/// invariant checker).
+pub fn figure_runner() -> wire_campaign::FigureRunner {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = wire_campaign::CampaignConfig {
+        progress: true,
+        ..Default::default()
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                cfg.threads = it.next().and_then(|v| v.parse().ok());
+            }
+            "--force" => cfg.mode = wire_campaign::CacheMode::Force,
+            "--no-cache" => cfg.mode = wire_campaign::CacheMode::Off,
+            "--check" => cfg.check = true,
+            _ => {}
+        }
+    }
+    wire_campaign::FigureRunner {
+        cfg,
+        quick: quick_mode(),
+    }
+}
+
+/// Print a figure binary's campaign statistics and fail the process if the
+/// invariant checker (`--check`) flagged anything.
+pub fn note_campaign(name: &str, outcome: &wire_campaign::FigureOutcome) {
+    eprintln!(
+        "{name}: {} cells ({} executed, {} cached, {} corrupt entries recomputed)",
+        outcome.cells, outcome.executed, outcome.cache_hits, outcome.corrupt_entries
+    );
+    if !outcome.violations.is_empty() {
+        for v in &outcome.violations {
+            eprintln!(
+                "{name}: INVARIANT VIOLATION in cell {} [{}]: {}",
+                v.cell, v.label, v.message
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
 /// Print a titled table and persist its CSV.
 pub fn emit(title: &str, name: &str, table: &Table) {
     println!("\n== {title} ==\n");

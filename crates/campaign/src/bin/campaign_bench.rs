@@ -1,0 +1,117 @@
+//! Measure campaign-runner throughput on the paper grid and record it as
+//! `results/BENCH_campaign.json`:
+//!
+//! * a sequential (1-thread) uncached pass,
+//! * a parallel (4-thread by default) uncached pass,
+//! * a cold cached pass (populates a fresh cache) and a warm pass over it.
+//!
+//! Numbers are wall-clock on whatever host runs this, so the JSON also
+//! records the host's core count — on a single-core host the thread-count
+//! comparison measures scheduling overhead, not speedup, and the honest win
+//! is the warm-cache pass.
+//!
+//! `--quick` shrinks the grid for CI; `--threads N` picks the parallel
+//! pass's worker count.
+
+use std::time::Instant;
+
+use wire_campaign::{run_campaign, CacheMode, CampaignConfig, Cell};
+use wire_core::experiment::ExperimentGrid;
+use wire_workloads::WorkloadId;
+
+fn grid_cells(quick: bool) -> Vec<Cell> {
+    let grid = if quick {
+        ExperimentGrid::paper(vec![WorkloadId::Tpch6S, WorkloadId::PageRankS], 1)
+    } else {
+        ExperimentGrid::paper(WorkloadId::ALL.to_vec(), 3)
+    };
+    let mut cells = Vec::new();
+    for &w in &grid.workloads {
+        for &s in &grid.settings {
+            for &u in &grid.charging_units {
+                for k in 0..grid.repetitions {
+                    cells.push(Cell::grid(w, s, u, grid.base_seed + k as u64));
+                }
+            }
+        }
+    }
+    cells
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let cells = grid_cells(quick);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "campaign-bench: {} cells, host has {host_cores} core(s), parallel pass uses {threads} thread(s)",
+        cells.len()
+    );
+
+    let uncached = |n: usize| CampaignConfig {
+        threads: Some(n),
+        mode: CacheMode::Off,
+        progress: true,
+        ..Default::default()
+    };
+
+    let t0 = Instant::now();
+    let seq = run_campaign(&cells, &uncached(1));
+    let seq_s = t0.elapsed().as_secs_f64();
+    eprintln!("campaign-bench: sequential pass {seq_s:.2}s");
+
+    let t0 = Instant::now();
+    let par = run_campaign(&cells, &uncached(threads));
+    let par_s = t0.elapsed().as_secs_f64();
+    eprintln!("campaign-bench: {threads}-thread pass {par_s:.2}s");
+    assert_eq!(
+        seq.outputs, par.outputs,
+        "thread count must not change campaign outputs"
+    );
+
+    let dir = std::env::temp_dir().join(format!("wire-campaign-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cached = CampaignConfig {
+        threads: Some(threads),
+        cache_dir: Some(dir.clone()),
+        progress: true,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let cold = run_campaign(&cells, &cached);
+    let cold_s = t0.elapsed().as_secs_f64();
+    assert_eq!(cold.executed, cells.len(), "fresh cache must miss every cell");
+    let t0 = Instant::now();
+    let warm = run_campaign(&cells, &cached);
+    let warm_s = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(warm.executed, 0, "warm pass must be all cache hits");
+    assert_eq!(seq.outputs, warm.outputs, "cache must not change outputs");
+    eprintln!(
+        "campaign-bench: cached cold {cold_s:.2}s, warm {warm_s:.2}s ({:.0}% hits)",
+        100.0 * warm.hit_rate()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"quick\": {quick},\n  \"cells\": {},\n  \"host_cores\": {host_cores},\n  \"threads\": {threads},\n  \"sequential_uncached_s\": {seq_s:.3},\n  \"parallel_uncached_s\": {par_s:.3},\n  \"parallel_speedup\": {:.3},\n  \"cached_cold_s\": {cold_s:.3},\n  \"cached_warm_s\": {warm_s:.3},\n  \"warm_speedup_vs_sequential\": {:.3},\n  \"warm_hit_rate\": {:.3}\n}}\n",
+        cells.len(),
+        seq_s / par_s.max(1e-9),
+        seq_s / warm_s.max(1e-9),
+        warm.hit_rate()
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&path).expect("create results dir");
+    let path = path.join("BENCH_campaign.json");
+    std::fs::write(&path, &json).expect("write BENCH_campaign.json");
+    print!("{json}");
+    eprintln!("campaign-bench: wrote {}", path.display());
+}

@@ -1,0 +1,55 @@
+//! CI smoke: run a tiny 2×2 grid campaign twice against a fresh cache and
+//! assert the second pass is served (almost) entirely from it.
+//!
+//! Prints the hit statistics to stdout so the CI job log records them;
+//! exits non-zero if the warm pass re-executes more than 10 % of its cells
+//! or if the two passes disagree on any output.
+
+use wire_campaign::{run_campaign, CampaignConfig, Cell};
+use wire_core::experiment::Setting;
+use wire_dag::Millis;
+use wire_workloads::WorkloadId;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("wire-campaign-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 2 workloads × 2 settings, one charging unit, one rep
+    let mut cells = Vec::new();
+    for w in [WorkloadId::Tpch6S, WorkloadId::PageRankS] {
+        for s in [Setting::Wire, Setting::PureReactive] {
+            cells.push(Cell::grid(w, s, Millis::from_mins(15), 0xC0FFEE));
+        }
+    }
+    let cfg = CampaignConfig {
+        cache_dir: Some(dir.clone()),
+        progress: true,
+        ..Default::default()
+    };
+
+    let cold = run_campaign(&cells, &cfg);
+    let warm = run_campaign(&cells, &cfg);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "campaign-smoke: {} cells | cold: {} executed, {} cached | warm: {} executed, {} cached ({:.0}% hit rate)",
+        cells.len(),
+        cold.executed,
+        cold.cache_hits,
+        warm.executed,
+        warm.cache_hits,
+        100.0 * warm.hit_rate()
+    );
+
+    assert_eq!(cold.executed, cells.len(), "cold pass executes everything");
+    assert_eq!(
+        cold.outputs, warm.outputs,
+        "cached outputs must equal executed outputs"
+    );
+    assert!(
+        warm.hit_rate() >= 0.9,
+        "warm pass must be >=90% cache hits, got {:.0}%",
+        100.0 * warm.hit_rate()
+    );
+    println!("campaign-smoke: OK");
+}

@@ -1,0 +1,256 @@
+//! Content-addressed on-disk result cache under `results/cache/`.
+//!
+//! One file per cell, named by the cell's [`cache_key`](crate::cache_key) in
+//! hex. Entries are self-verifying: a header line carries the format
+//! version, the key, the payload length and an FNV-1a checksum, so a
+//! truncated or garbled entry is detected (never trusted) and the cell is
+//! simply recomputed.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::cell::{CellOutput, CACHE_FORMAT_VERSION};
+
+/// Why a cache lookup did not produce a result.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CacheMiss {
+    /// No entry on disk for this key.
+    Absent,
+    /// An entry exists but failed verification (truncation, checksum or
+    /// format mismatch); the reason is carried for logging.
+    Corrupt(String),
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Path of the entry for `key` under `dir`.
+pub fn entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.cell"))
+}
+
+fn render_payload(out: &CellOutput) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("policy={}\n", out.policy));
+    s.push_str(&format!("workflow={}\n", out.workflow));
+    s.push_str(&format!("charging_units={}\n", out.charging_units));
+    s.push_str(&format!("makespan_ms={}\n", out.makespan_ms));
+    s.push_str(&format!("instance_time_ms={}\n", out.instance_time_ms));
+    s.push_str(&format!("peak_instances={}\n", out.peak_instances));
+    s.push_str(&format!("instances_launched={}\n", out.instances_launched));
+    s.push_str(&format!("busy_slot_ms={}\n", out.busy_slot_ms));
+    s.push_str(&format!("wasted_slot_ms={}\n", out.wasted_slot_ms));
+    s.push_str(&format!("restarts={}\n", out.restarts));
+    s.push_str(&format!("failures={}\n", out.failures));
+    s.push_str(&format!("mape_iterations={}\n", out.mape_iterations));
+    s.push_str(&format!(
+        "policy_uses={},{},{},{},{}\n",
+        out.policy_uses[0],
+        out.policy_uses[1],
+        out.policy_uses[2],
+        out.policy_uses[3],
+        out.policy_uses[4]
+    ));
+    s.push_str(&format!("state_bytes={}\n", out.state_bytes));
+    s.push_str(&format!("controller_wall_us={}\n", out.controller_wall_us));
+    s.push_str(&format!("exec_wall_us={}\n", out.exec_wall_us));
+    s
+}
+
+fn parse_payload(payload: &str) -> Result<CellOutput, String> {
+    let mut out = CellOutput {
+        policy: String::new(),
+        workflow: String::new(),
+        charging_units: 0,
+        makespan_ms: 0,
+        instance_time_ms: 0,
+        peak_instances: 0,
+        instances_launched: 0,
+        busy_slot_ms: 0,
+        wasted_slot_ms: 0,
+        restarts: 0,
+        failures: 0,
+        mape_iterations: 0,
+        policy_uses: [0; 5],
+        state_bytes: 0,
+        controller_wall_us: 0,
+        exec_wall_us: 0,
+    };
+    let mut seen = 0usize;
+    for line in payload.lines() {
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| format!("malformed line {line:?}"))?;
+        let num = |v: &str| -> Result<u64, String> {
+            v.parse::<u64>().map_err(|e| format!("bad {k}: {e}"))
+        };
+        match k {
+            "policy" => out.policy = v.to_string(),
+            "workflow" => out.workflow = v.to_string(),
+            "charging_units" => out.charging_units = num(v)?,
+            "makespan_ms" => out.makespan_ms = num(v)?,
+            "instance_time_ms" => out.instance_time_ms = num(v)?,
+            "peak_instances" => out.peak_instances = num(v)? as u32,
+            "instances_launched" => out.instances_launched = num(v)? as u32,
+            "busy_slot_ms" => out.busy_slot_ms = num(v)?,
+            "wasted_slot_ms" => out.wasted_slot_ms = num(v)?,
+            "restarts" => out.restarts = num(v)? as u32,
+            "failures" => out.failures = num(v)? as u32,
+            "mape_iterations" => out.mape_iterations = num(v)?,
+            "policy_uses" => {
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 5 {
+                    return Err(format!("policy_uses wants 5 counters, got {}", parts.len()));
+                }
+                for (i, p) in parts.iter().enumerate() {
+                    out.policy_uses[i] = p.parse().map_err(|e| format!("bad policy_uses: {e}"))?;
+                }
+            }
+            "state_bytes" => out.state_bytes = num(v)?,
+            "controller_wall_us" => out.controller_wall_us = num(v)?,
+            "exec_wall_us" => out.exec_wall_us = num(v)?,
+            other => return Err(format!("unknown field {other:?}")),
+        }
+        seen += 1;
+    }
+    if seen != 16 {
+        return Err(format!("expected 16 fields, got {seen}"));
+    }
+    Ok(out)
+}
+
+/// Store `out` as the entry for `key`. Written to a temp file first and
+/// renamed into place so concurrent writers of the same key never expose a
+/// torn entry.
+pub fn store(dir: &Path, key: u64, out: &CellOutput) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let payload = render_payload(out);
+    let header = format!(
+        "wire-campaign-cache v{} key={:016x} len={} sum={:016x}\n",
+        CACHE_FORMAT_VERSION,
+        key,
+        payload.len(),
+        fnv1a(payload.as_bytes())
+    );
+    let tmp = dir.join(format!("{key:016x}.cell.tmp.{}", std::process::id()));
+    fs::write(&tmp, format!("{header}{payload}"))?;
+    fs::rename(&tmp, entry_path(dir, key))
+}
+
+/// Load and verify the entry for `key`. `Err(Absent)` when no entry exists,
+/// `Err(Corrupt(reason))` when one exists but cannot be trusted.
+pub fn load(dir: &Path, key: u64) -> Result<CellOutput, CacheMiss> {
+    let path = entry_path(dir, key);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(CacheMiss::Absent),
+        Err(e) => return Err(CacheMiss::Corrupt(format!("unreadable: {e}"))),
+    };
+    let (header, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| CacheMiss::Corrupt("missing header line".to_string()))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 5 || fields[0] != "wire-campaign-cache" {
+        return Err(CacheMiss::Corrupt(format!("bad header {header:?}")));
+    }
+    if fields[1] != format!("v{CACHE_FORMAT_VERSION}") {
+        return Err(CacheMiss::Corrupt(format!(
+            "format version mismatch ({} vs v{CACHE_FORMAT_VERSION})",
+            fields[1]
+        )));
+    }
+    if fields[2] != format!("key={key:016x}") {
+        return Err(CacheMiss::Corrupt(format!(
+            "key mismatch ({} vs {key:016x})",
+            fields[2]
+        )));
+    }
+    let len: usize = fields[3]
+        .strip_prefix("len=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CacheMiss::Corrupt(format!("bad length field {:?}", fields[3])))?;
+    let sum: u64 = fields[4]
+        .strip_prefix("sum=")
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| CacheMiss::Corrupt(format!("bad checksum field {:?}", fields[4])))?;
+    if payload.len() != len {
+        return Err(CacheMiss::Corrupt(format!(
+            "length mismatch (header {len}, payload {}) — truncated?",
+            payload.len()
+        )));
+    }
+    if fnv1a(payload.as_bytes()) != sum {
+        return Err(CacheMiss::Corrupt("checksum mismatch".to_string()));
+    }
+    parse_payload(payload).map_err(CacheMiss::Corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CellOutput {
+        CellOutput {
+            policy: "wire".into(),
+            workflow: "TPCH-6 S".into(),
+            charging_units: 3,
+            makespan_ms: 886_732,
+            instance_time_ms: 1_000,
+            peak_instances: 4,
+            instances_launched: 5,
+            busy_slot_ms: 10,
+            wasted_slot_ms: 2,
+            restarts: 1,
+            failures: 0,
+            mape_iterations: 17,
+            policy_uses: [1, 2, 3, 4, 5],
+            state_bytes: 4096,
+            controller_wall_us: 123,
+            exec_wall_us: 456,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = std::env::temp_dir().join(format!("wire-cache-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = sample();
+        store(&dir, 0xABCD, &out).unwrap();
+        assert_eq!(load(&dir, 0xABCD).unwrap(), out);
+        assert_eq!(load(&dir, 0xABCE), Err(CacheMiss::Absent));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = std::env::temp_dir().join(format!("wire-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = sample();
+        store(&dir, 7, &out).unwrap();
+        let path = entry_path(&dir, 7);
+
+        // truncation: drop the last 10 bytes
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 10]).unwrap();
+        assert!(matches!(load(&dir, 7), Err(CacheMiss::Corrupt(_))));
+
+        // bit-flip in the payload with the header intact
+        let mut garbled = full.clone().into_bytes();
+        let idx = garbled.len() - 3;
+        garbled[idx] ^= 0x20;
+        std::fs::write(&path, &garbled).unwrap();
+        assert!(matches!(load(&dir, 7), Err(CacheMiss::Corrupt(_))));
+
+        // wrong-version header
+        std::fs::write(&path, full.replacen("-cache v", "-cache v9", 1)).unwrap();
+        assert!(matches!(load(&dir, 7), Err(CacheMiss::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,490 @@
+//! Campaign cells: the unit of work a campaign schedules, caches and merges.
+//!
+//! A [`Cell`] is one fully-resolved `Session::run()` — workload, policy,
+//! cloud configuration, transfer model and seed — plus a stable
+//! content-addressed [`cache_key`]. Everything the paper's figures need from
+//! a run is captured in the deterministic [`CellOutput`] summary, so a cell
+//! served from the cache is indistinguishable from one that executed.
+
+use std::time::Instant;
+
+use wire_chaos::{check_decision_journal, InvariantChecker, Tee};
+use wire_core::experiment::{build_policy, cloud_config_for, Setting};
+use wire_dag::{ExecProfile, Millis, Workflow};
+use wire_planner::{OracleWirePolicy, SteeringConfig, WirePolicy};
+use wire_simcloud::{CloudConfig, RunResult, Session, TransferModel};
+use wire_telemetry::TelemetryHandle;
+use wire_workloads::{linear_workflow, WorkloadId};
+
+/// Bumped whenever the cell execution semantics or the [`CellOutput`] cache
+/// payload change shape: every previously cached entry becomes unreadable
+/// (its key no longer matches) instead of silently serving stale data.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// What a cell runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellWorkload {
+    /// A Table I catalog workload, generated from the cell seed.
+    Catalog(WorkloadId),
+    /// The idealized single-stage linear workflow of Figures 2–3.
+    LinearStage { n: usize, r: Millis },
+    /// The chaos harness's restart-guard probe: one 16-task stage whose
+    /// first wave is short and second wave secretly long, so Algorithm 3's
+    /// `c_j ≤ 0.2u` guard is the deciding filter. Exists so invariant
+    /// checking inside the pool can be proven to have teeth.
+    RestartProbe,
+}
+
+impl CellWorkload {
+    /// Generate the workflow and ground-truth profile for this cell.
+    pub fn generate(&self, seed: u64) -> (Workflow, ExecProfile) {
+        match self {
+            CellWorkload::Catalog(id) => id.generate(seed),
+            CellWorkload::LinearStage { n, r } => wire_workloads::linear_stage(*n, *r),
+            CellWorkload::RestartProbe => {
+                let short = Millis::from_mins(2);
+                let long = Millis::from_mins(25);
+                let (wf, _) = linear_workflow(&[16], short);
+                let mut times = vec![short; 8];
+                times.extend(vec![long; 8]);
+                (wf, ExecProfile::new(times))
+            }
+        }
+    }
+
+    fn tag(&self) -> String {
+        match self {
+            CellWorkload::Catalog(id) => format!("catalog:{}", id.name()),
+            CellWorkload::LinearStage { n, r } => format!("linear:{n}x{}", r.as_ms()),
+            CellWorkload::RestartProbe => "restart-probe".to_string(),
+        }
+    }
+}
+
+/// The scaling policy a cell runs under.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    FullSite,
+    PureReactive,
+    ReactiveConserving,
+    Wire(SteeringConfig),
+    /// Ground-truth oracle (§IV-E robustness ablation).
+    Oracle,
+}
+
+impl PolicyKind {
+    /// The §IV-C setting this policy corresponds to (the oracle shares
+    /// wire's cloud configuration).
+    pub fn setting(&self) -> Setting {
+        match self {
+            PolicyKind::FullSite => Setting::FullSite,
+            PolicyKind::PureReactive => Setting::PureReactive,
+            PolicyKind::ReactiveConserving => Setting::ReactiveConserving,
+            PolicyKind::Wire(_) | PolicyKind::Oracle => Setting::Wire,
+        }
+    }
+
+    fn from_setting(setting: Setting) -> PolicyKind {
+        match setting {
+            Setting::FullSite => PolicyKind::FullSite,
+            Setting::PureReactive => PolicyKind::PureReactive,
+            Setting::ReactiveConserving => PolicyKind::ReactiveConserving,
+            Setting::Wire => PolicyKind::Wire(SteeringConfig::default()),
+        }
+    }
+
+    fn tag(&self) -> String {
+        match self {
+            PolicyKind::FullSite => "full-site".to_string(),
+            PolicyKind::PureReactive => "pure-reactive".to_string(),
+            PolicyKind::ReactiveConserving => "reactive-conserving".to_string(),
+            PolicyKind::Wire(s) => format!(
+                "wire:wf={:x}:ft={:x}:mut={}",
+                s.waste_fraction.to_bits(),
+                s.fill_target.to_bits(),
+                s.mutation_drop_restart_guard
+            ),
+            PolicyKind::Oracle => "oracle".to_string(),
+        }
+    }
+}
+
+/// The transfer model a cell uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferKind {
+    /// [`TransferModel::default`]: the calibrated ExoGENI-like testbed.
+    Default,
+    /// [`TransferModel::none`]: zero-length transfers (Figures 2–3).
+    None,
+}
+
+impl TransferKind {
+    pub fn model(self) -> TransferModel {
+        match self {
+            TransferKind::Default => TransferModel::default(),
+            TransferKind::None => TransferModel::none(),
+        }
+    }
+}
+
+/// One fully-resolved campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    pub workload: CellWorkload,
+    pub policy: PolicyKind,
+    pub cfg: CloudConfig,
+    pub transfer: TransferKind,
+    pub seed: u64,
+}
+
+impl Cell {
+    /// A §IV-C grid cell, identical in every input to
+    /// [`wire_core::experiment::run_setting`].
+    pub fn grid(workload: WorkloadId, setting: Setting, charging_unit: Millis, seed: u64) -> Cell {
+        Cell {
+            workload: CellWorkload::Catalog(workload),
+            policy: PolicyKind::from_setting(setting),
+            cfg: cloud_config_for(setting, charging_unit, workload.spec().total_input_bytes),
+            transfer: TransferKind::Default,
+            seed,
+        }
+    }
+
+    /// A Figure 2/3 linear-stage cell (idealized single-slot instances,
+    /// continuous-monitoring approximation).
+    pub fn linear(n: usize, r: Millis, u: Millis) -> Cell {
+        let interval = Millis::from_ms((r.as_ms().min(u.as_ms()) / 20).max(1_000));
+        Cell {
+            workload: CellWorkload::LinearStage { n, r },
+            policy: PolicyKind::Wire(SteeringConfig::default()),
+            cfg: CloudConfig::linear_analysis(u, interval),
+            transfer: TransferKind::None,
+            seed: 1,
+        }
+    }
+
+    /// A wire run with an explicit cloud configuration and steering knobs
+    /// (the ablation sweeps).
+    pub fn wire(
+        workload: WorkloadId,
+        cfg: CloudConfig,
+        steering: SteeringConfig,
+        seed: u64,
+    ) -> Cell {
+        Cell {
+            workload: CellWorkload::Catalog(workload),
+            policy: PolicyKind::Wire(steering),
+            cfg,
+            transfer: TransferKind::Default,
+            seed,
+        }
+    }
+
+    /// A ground-truth-oracle run under wire's cloud configuration.
+    pub fn oracle(workload: WorkloadId, cfg: CloudConfig, seed: u64) -> Cell {
+        Cell {
+            workload: CellWorkload::Catalog(workload),
+            policy: PolicyKind::Oracle,
+            cfg,
+            transfer: TransferKind::Default,
+            seed,
+        }
+    }
+
+    /// The chaos restart-guard probe (see [`CellWorkload::RestartProbe`]).
+    /// With `mutated` the wire policy drops Algorithm 3's `c_j ≤ 0.2u`
+    /// guard; campaign-level invariant checking must name the violation.
+    pub fn restart_probe(mutated: bool) -> Cell {
+        Cell {
+            workload: CellWorkload::RestartProbe,
+            policy: PolicyKind::Wire(SteeringConfig {
+                mutation_drop_restart_guard: mutated,
+                ..SteeringConfig::default()
+            }),
+            cfg: CloudConfig {
+                initial_instances: 2,
+                ..CloudConfig::exogeni(Millis::from_mins(15))
+            },
+            transfer: TransferKind::Default,
+            seed: 42,
+        }
+    }
+
+    /// Human-readable cell label for progress lines and violation reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/u{}/seed{}",
+            self.workload.tag(),
+            self.policy.tag(),
+            self.cfg.charging_unit.as_mins_f64(),
+            self.seed
+        )
+    }
+}
+
+/// FNV-1a 64 accumulator with tagged fields; hand-rolled so keys are stable
+/// across std versions and platforms.
+struct KeyHasher(u64);
+
+impl KeyHasher {
+    fn new() -> Self {
+        KeyHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn field_str(&mut self, tag: &str, v: &str) {
+        self.bytes(tag.as_bytes());
+        self.bytes(b"=");
+        self.bytes(v.as_bytes());
+        self.bytes(b";");
+    }
+
+    fn field_u64(&mut self, tag: &str, v: u64) {
+        self.field_str(tag, &format!("{v:x}"));
+    }
+
+    fn field_f64(&mut self, tag: &str, v: f64) {
+        self.field_u64(tag, v.to_bits());
+    }
+
+    fn field_bool(&mut self, tag: &str, v: bool) {
+        self.field_u64(tag, v as u64);
+    }
+}
+
+/// Content-addressed key of a cell under the current
+/// [`CACHE_FORMAT_VERSION`]. Every semantic input — workload identity,
+/// policy and steering knobs, every cloud-configuration field (lag, charging
+/// unit, jitter, MTBF, setup/teardown, …), transfer-model parameters and
+/// seed — is hashed; labels and display strings are not.
+pub fn cache_key(cell: &Cell) -> u64 {
+    cache_key_versioned(cell, CACHE_FORMAT_VERSION)
+}
+
+/// [`cache_key`] under an explicit format version (exposed so tests can
+/// prove a version bump invalidates every key).
+pub fn cache_key_versioned(cell: &Cell, version: u32) -> u64 {
+    let mut h = KeyHasher::new();
+    h.field_str("schema", "wire-campaign-cell");
+    h.field_u64("version", version as u64);
+    h.field_str("workload", &cell.workload.tag());
+    h.field_str("policy", &cell.policy.tag());
+    let c = &cell.cfg;
+    h.field_u64("slots", c.slots_per_instance as u64);
+    h.field_u64("site", c.site_capacity as u64);
+    h.field_u64("lag_ms", c.launch_lag.as_ms());
+    h.field_u64("u_ms", c.charging_unit.as_ms());
+    h.field_u64("mape_ms", c.mape_interval.as_ms());
+    h.field_u64("init", c.initial_instances as u64);
+    h.field_bool("first5", c.first_five_priority);
+    h.field_f64("exec_jitter", c.exec_jitter);
+    h.field_u64(
+        "mtbf_ms",
+        c.mean_time_between_failures.map_or(0, |m| m.as_ms().max(1)),
+    );
+    h.field_u64("setup_ms", c.run_setup.as_ms());
+    h.field_u64("teardown_ms", c.run_teardown.as_ms());
+    h.field_u64("max_sim_ms", c.max_sim_time.as_ms());
+    match cell.transfer {
+        TransferKind::Default => {
+            let m = TransferModel::default();
+            h.field_str("transfer", "default");
+            h.field_f64("bps", m.bytes_per_sec);
+            h.field_u64("overhead_ms", m.fixed_overhead.as_ms());
+            h.field_f64("tjitter", m.jitter);
+        }
+        TransferKind::None => h.field_str("transfer", "none"),
+    }
+    h.field_u64("seed", cell.seed);
+    h.0
+}
+
+/// The deterministic summary of one executed cell — everything the figure
+/// front-ends derive their tables from. The two `*_wall_us` fields are
+/// wall-clock measurements (informational; only meaningful on a fresh
+/// execution, see the §IV-F overhead front-end which never uses the cache).
+///
+/// Equality compares only the *deterministic* fields — the wall-clock
+/// measurements are excluded, so "same outputs regardless of thread count /
+/// cache state" is expressible as plain `==`.
+#[derive(Debug, Clone)]
+pub struct CellOutput {
+    pub policy: String,
+    pub workflow: String,
+    pub charging_units: u64,
+    pub makespan_ms: u64,
+    pub instance_time_ms: u64,
+    pub peak_instances: u32,
+    pub instances_launched: u32,
+    pub busy_slot_ms: u64,
+    pub wasted_slot_ms: u64,
+    pub restarts: u32,
+    pub failures: u32,
+    pub mape_iterations: u64,
+    /// §IV-E prediction-policy usage counters (all zero for non-wire cells).
+    pub policy_uses: [u64; 5],
+    /// Wire controller state footprint after the run (zero for non-wire).
+    pub state_bytes: u64,
+    pub controller_wall_us: u64,
+    pub exec_wall_us: u64,
+}
+
+impl PartialEq for CellOutput {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+            && self.workflow == other.workflow
+            && self.charging_units == other.charging_units
+            && self.makespan_ms == other.makespan_ms
+            && self.instance_time_ms == other.instance_time_ms
+            && self.peak_instances == other.peak_instances
+            && self.instances_launched == other.instances_launched
+            && self.busy_slot_ms == other.busy_slot_ms
+            && self.wasted_slot_ms == other.wasted_slot_ms
+            && self.restarts == other.restarts
+            && self.failures == other.failures
+            && self.mape_iterations == other.mape_iterations
+            && self.policy_uses == other.policy_uses
+            && self.state_bytes == other.state_bytes
+    }
+}
+
+impl CellOutput {
+    fn from_run(res: &RunResult, uses: [u64; 5], state_bytes: u64, exec_wall_us: u64) -> Self {
+        CellOutput {
+            policy: res.policy.clone(),
+            workflow: res.workflow.clone(),
+            charging_units: res.charging_units,
+            makespan_ms: res.makespan.as_ms(),
+            instance_time_ms: res.instance_time.as_ms(),
+            peak_instances: res.peak_instances,
+            instances_launched: res.instances_launched,
+            busy_slot_ms: res.busy_slot_time.as_ms(),
+            wasted_slot_ms: res.wasted_slot_time.as_ms(),
+            restarts: res.restarts,
+            failures: res.failures,
+            mape_iterations: res.mape_iterations,
+            policy_uses: uses,
+            state_bytes,
+            controller_wall_us: res.controller_wall.as_micros() as u64,
+            exec_wall_us,
+        }
+    }
+
+    /// Rehydrate a [`RunResult`] carrying exactly the summary fields the
+    /// figure aggregation paths read (evaluation-only per-task/per-instance
+    /// records are empty). Reusing `wire_core`'s aggregation over these
+    /// keeps campaign-regenerated CSVs byte-identical to the originals.
+    pub fn to_run_result(&self) -> RunResult {
+        RunResult {
+            policy: self.policy.clone(),
+            workflow: self.workflow.clone(),
+            makespan: Millis::from_ms(self.makespan_ms),
+            charging_units: self.charging_units,
+            instance_time: Millis::from_ms(self.instance_time_ms),
+            peak_instances: self.peak_instances,
+            instances_launched: self.instances_launched,
+            busy_slot_time: Millis::from_ms(self.busy_slot_ms),
+            wasted_slot_time: Millis::from_ms(self.wasted_slot_ms),
+            restarts: self.restarts,
+            failures: self.failures,
+            mape_iterations: self.mape_iterations,
+            controller_wall: std::time::Duration::from_micros(self.controller_wall_us),
+            task_records: Vec::new(),
+            instance_bills: Vec::new(),
+            pool_timeline: Vec::new(),
+            per_workflow: Vec::new(),
+        }
+    }
+}
+
+/// Execute one cell. With `check` the run is shadowed by
+/// [`wire_chaos::InvariantChecker`] (and, for wire policies, the decision
+/// journal is audited against the Algorithm 2/3 postconditions); recorders
+/// are observational, so checking never changes the output. Returns the
+/// deterministic summary and any invariant violations found.
+pub fn execute(cell: &Cell, check: bool) -> (CellOutput, Vec<String>) {
+    let (wf, prof) = cell.workload.generate(cell.seed);
+    let tm = cell.transfer.model();
+    let t0 = Instant::now();
+    let checker = check.then(|| {
+        InvariantChecker::new(&cell.cfg)
+            .expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32)
+    });
+
+    let mut violations = Vec::new();
+    let output = match &cell.policy {
+        PolicyKind::Wire(steering) => {
+            let handle = check.then(TelemetryHandle::new);
+            let mut policy = WirePolicy::new(*steering);
+            if let Some(h) = &handle {
+                policy = policy.with_telemetry(h.clone());
+            }
+            let session = Session::new(cell.cfg.clone())
+                .transfer(tm)
+                .policy(&mut policy)
+                .seed(cell.seed);
+            let res = match (&checker, &handle) {
+                (Some(c), Some(h)) => session
+                    .recording(Tee(h.clone(), c.clone()))
+                    .submit(&wf, &prof)
+                    .run(),
+                _ => session.submit(&wf, &prof).run(),
+            }
+            .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
+            if let (Some(c), Some(h)) = (&checker, &handle) {
+                let buffer = h.take();
+                c.absorb_decisions(&buffer.decisions);
+                violations.extend(check_decision_journal(&buffer.decisions));
+            }
+            let uses = policy.policy_uses();
+            let state = policy.state_bytes() as u64;
+            CellOutput::from_run(&res, uses, state, t0.elapsed().as_micros() as u64)
+        }
+        PolicyKind::Oracle => {
+            let policy = OracleWirePolicy::new(prof.clone(), tm.clone());
+            let session = Session::new(cell.cfg.clone())
+                .transfer(tm)
+                .policy(policy)
+                .seed(cell.seed);
+            let res = match &checker {
+                Some(c) => session.recording(c.clone()).submit(&wf, &prof).run(),
+                None => session.submit(&wf, &prof).run(),
+            }
+            .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
+            CellOutput::from_run(&res, [0; 5], 0, t0.elapsed().as_micros() as u64)
+        }
+        baseline => {
+            let policy = build_policy(baseline.setting(), &cell.cfg);
+            let session = Session::new(cell.cfg.clone())
+                .transfer(tm)
+                .policy(policy)
+                .seed(cell.seed);
+            let res = match &checker {
+                Some(c) => session.recording(c.clone()).submit(&wf, &prof).run(),
+                None => session.submit(&wf, &prof).run(),
+            }
+            .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
+            CellOutput::from_run(&res, [0; 5], 0, t0.elapsed().as_micros() as u64)
+        }
+    };
+
+    if let Some(c) = &checker {
+        let report = c.report();
+        if !report.is_clean() {
+            violations.extend(
+                report
+                    .render()
+                    .lines()
+                    .filter(|l| !l.trim().is_empty())
+                    .map(|l| l.to_string()),
+            );
+        }
+    }
+    (output, violations)
+}

@@ -1,0 +1,873 @@
+//! Figure/table regeneration as thin front-ends over the campaign runner.
+//!
+//! Each function here reproduces one `wire-bench` binary's artifact — same
+//! stdout tables, same CSV bytes — but enumerates its runs as campaign
+//! cells, so the work shards across the thread pool and completed cells are
+//! served from the content-addressed cache. The merge order is the spec
+//! order, which keeps every regenerated `results/*.csv` byte-identical
+//! regardless of thread count or cache state.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use wire_core::experiment::{
+    best_makespan_secs, cloud_config, cloud_config_for, headline, ExperimentGrid, GridResult,
+    Setting, CHARGING_UNITS_MINS,
+};
+use wire_core::prediction::stage_prediction_errors_with;
+use wire_core::{fmt_mean_std, line_chart, Series, Table};
+use wire_dag::Millis;
+use wire_planner::{SteeringConfig, WirePolicy};
+use wire_predictor::Estimator;
+use wire_simcloud::{RunResult, Session, TransferModel};
+use wire_telemetry::TelemetryHandle;
+use wire_workloads::WorkloadId;
+
+use crate::runner::{run_campaign, CampaignConfig, CampaignReport, CellViolation};
+use crate::Cell;
+
+/// Directory (relative to the workspace root) where CSVs land.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a table as `results/<name>.csv` and return the path.
+pub fn save_csv(name: &str, table: &Table) -> PathBuf {
+    let path = results_dir().join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv()).expect("write csv");
+    path
+}
+
+/// Print a titled table and persist its CSV.
+pub fn emit(title: &str, name: &str, table: &Table) {
+    println!("\n== {title} ==\n");
+    print!("{}", table.render());
+    let path = save_csv(name, table);
+    println!("[csv: {}]", path.display());
+}
+
+/// Aggregate campaign statistics for one figure regeneration.
+#[derive(Debug, Default)]
+pub struct FigureOutcome {
+    pub cells: usize,
+    pub executed: usize,
+    pub cache_hits: usize,
+    pub corrupt_entries: usize,
+    pub violations: Vec<CellViolation>,
+}
+
+impl FigureOutcome {
+    fn absorb(&mut self, report: &CampaignReport) {
+        self.cells += report.outputs.len();
+        self.executed += report.executed;
+        self.cache_hits += report.cache_hits;
+        self.corrupt_entries += report.corrupt_entries;
+        self.violations.extend(report.violations.iter().cloned());
+    }
+}
+
+/// The figure/table front-ends, parameterized by campaign knobs and the
+/// `--quick` sweep reduction.
+pub struct FigureRunner {
+    pub cfg: CampaignConfig,
+    pub quick: bool,
+}
+
+impl FigureRunner {
+    fn campaign(&self, cells: &[Cell], outcome: &mut FigureOutcome) -> Vec<crate::CellOutput> {
+        let report = run_campaign(cells, &self.cfg);
+        outcome.absorb(&report);
+        report.outputs
+    }
+
+    /// Execute a §IV-C grid through the campaign, rebuilding the
+    /// [`GridResult`] shape `wire_core`'s aggregation expects.
+    fn grid_results(&self, grid: &ExperimentGrid, outcome: &mut FigureOutcome) -> Vec<GridResult> {
+        let cells = grid_cells(grid);
+        let outputs = self.campaign(&cells, outcome);
+        grid_results_from(grid, &outputs)
+    }
+
+    fn grid_workloads(&self) -> Vec<WorkloadId> {
+        if self.quick {
+            WorkloadId::SMALL.to_vec()
+        } else {
+            WorkloadId::ALL.to_vec()
+        }
+    }
+
+    fn grid_reps(&self) -> usize {
+        if self.quick {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// The full paper grid this module's Figure 5/6/headline front-ends run.
+    pub fn paper_grid(&self) -> ExperimentGrid {
+        ExperimentGrid::paper(self.grid_workloads(), self.grid_reps())
+    }
+
+    /// Figure 2 — steering policy vs optimal, R > U.
+    pub fn fig2(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        let ns: &[usize] = if self.quick {
+            &[10, 100]
+        } else {
+            &[10, 100, 1000]
+        };
+        let ratios: &[f64] = if self.quick {
+            &[1.5, 4.0, 40.0]
+        } else {
+            &[1.5, 2.0, 4.0, 10.0, 40.0, 100.0, 400.0, 1000.0]
+        };
+        let u = Millis::from_secs(60);
+        let cells: Vec<Cell> = ns
+            .iter()
+            .flat_map(|&n| {
+                ratios
+                    .iter()
+                    .map(move |&ru| Cell::linear(n, u.scale(ru), u))
+            })
+            .collect();
+        let outputs = self.campaign(&cells, &mut outcome);
+
+        let mut t = Table::new(["N", "R/U", "resource-usage ratio", "completion-time ratio"]);
+        let mut cost_series: Vec<Series> = Vec::new();
+        let mut time_series: Vec<Series> = Vec::new();
+        let mut it = outputs.iter();
+        for &n in ns {
+            let mut costs = Vec::new();
+            let mut times = Vec::new();
+            for &ru in ratios {
+                let r = u.scale(ru);
+                let out = it.next().expect("one output per point");
+                let (cost, time) = linear_ratios(out, n, r, u);
+                t.push_row([
+                    n.to_string(),
+                    format!("{ru}"),
+                    format!("{cost:.3}"),
+                    format!("{time:.3}"),
+                ]);
+                costs.push((ru, cost));
+                times.push((ru, time));
+                eprintln!("fig2: N={n} R/U={ru} cost={cost:.3} time={time:.3}");
+            }
+            cost_series.push(Series::new(format!("N={n}"), costs));
+            time_series.push(Series::new(format!("N={n}"), times));
+        }
+        println!(
+            "{}",
+            line_chart(
+                "resource-usage ratio vs R/U (log x)",
+                &cost_series,
+                64,
+                12,
+                true
+            )
+        );
+        println!(
+            "{}",
+            line_chart(
+                "completion-time ratio vs R/U (log x)",
+                &time_series,
+                64,
+                12,
+                true
+            )
+        );
+        emit(
+            "Figure 2 — steering policy vs optimal, R > U (u = 1 min)",
+            "fig2",
+            &t,
+        );
+        outcome
+    }
+
+    /// Figure 3 — steering policy vs optimal, R ≤ U.
+    pub fn fig3(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        let ns: &[usize] = if self.quick {
+            &[10, 100]
+        } else {
+            &[10, 100, 1000]
+        };
+        let ratios: &[f64] = if self.quick {
+            &[1.0, 10.0, 100.0]
+        } else {
+            &[1.0, 2.0, 4.0, 10.0, 40.0, 100.0, 400.0, 1000.0]
+        };
+        let r = Millis::from_secs(60);
+        let cells: Vec<Cell> = ns
+            .iter()
+            .flat_map(|&n| {
+                ratios
+                    .iter()
+                    .map(move |&ur| Cell::linear(n, r, r.scale(ur)))
+            })
+            .collect();
+        let outputs = self.campaign(&cells, &mut outcome);
+
+        let mut t = Table::new(["N", "U/R", "resource-usage ratio", "completion-time ratio"]);
+        let mut cost_series: Vec<Series> = Vec::new();
+        let mut time_series: Vec<Series> = Vec::new();
+        let mut it = outputs.iter();
+        for &n in ns {
+            let mut costs = Vec::new();
+            let mut times = Vec::new();
+            for &ur in ratios {
+                let u = r.scale(ur);
+                let out = it.next().expect("one output per point");
+                let (cost, time) = linear_ratios(out, n, r, u);
+                t.push_row([
+                    n.to_string(),
+                    format!("{ur}"),
+                    format!("{cost:.3}"),
+                    format!("{time:.3}"),
+                ]);
+                costs.push((ur, cost));
+                times.push((ur, time));
+                eprintln!("fig3: N={n} U/R={ur} cost={cost:.3} time={time:.3}");
+            }
+            cost_series.push(Series::new(format!("N={n}"), costs));
+            time_series.push(Series::new(format!("N={n}"), times));
+        }
+        println!(
+            "{}",
+            line_chart(
+                "resource-usage ratio vs U/R (log x)",
+                &cost_series,
+                64,
+                12,
+                true
+            )
+        );
+        println!(
+            "{}",
+            line_chart(
+                "completion-time ratio vs U/R (log x)",
+                &time_series,
+                64,
+                12,
+                true
+            )
+        );
+        emit(
+            "Figure 3 — steering policy vs optimal, R ≤ U (R = 1 min)",
+            "fig3",
+            &t,
+        );
+        outcome
+    }
+
+    /// Figure 5 — resource cost across settings and charging units, plus the
+    /// archived raw campaign CSV the `analyze` binary reloads.
+    pub fn fig5(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        let grid = self.paper_grid();
+        eprintln!(
+            "fig5: running {} cells × {} reps ...",
+            grid.workloads.len() * grid.settings.len() * grid.charging_units.len(),
+            grid.repetitions
+        );
+        let results = self.grid_results(&grid, &mut outcome);
+
+        let mut t = Table::new([
+            "workload",
+            "setting",
+            "u (min)",
+            "cost (units, mean±std)",
+            "paid utilization",
+            "restarts",
+        ]);
+        for g in &results {
+            let c = g.cell();
+            t.push_row([
+                g.workload.name().to_string(),
+                g.setting.label().to_string(),
+                format!("{}", g.charging_unit.as_mins_f64() as u64),
+                fmt_mean_std(c.cost_mean, c.cost_std),
+                format!("{:.2}", c.utilization_mean),
+                format!("{:.1}", c.restarts_mean),
+            ]);
+        }
+        emit(
+            "Figure 5 — resource cost across settings and charging units",
+            "fig5",
+            &t,
+        );
+        let rows = wire_core::flatten(&results);
+        let path = results_dir().join("campaign.csv");
+        std::fs::write(&path, wire_core::to_csv(&rows)).expect("write campaign csv");
+        println!("[campaign csv: {}]", path.display());
+        outcome
+    }
+
+    /// Figure 6 — relative execution time across settings and charging units.
+    pub fn fig6(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        let grid = self.paper_grid();
+        eprintln!(
+            "fig6: running {} cells × {} reps ...",
+            grid.workloads.len() * grid.settings.len() * grid.charging_units.len(),
+            grid.repetitions
+        );
+        let results = self.grid_results(&grid, &mut outcome);
+
+        let mut t = Table::new([
+            "workload",
+            "setting",
+            "u (min)",
+            "relative exec time (mean±std)",
+            "makespan (min, mean)",
+        ]);
+        for &w in &grid.workloads {
+            let best = best_makespan_secs(&results, w).expect("workload has runs");
+            for g in results.iter().filter(|g| g.workload == w) {
+                let rel: Vec<f64> = g
+                    .runs
+                    .iter()
+                    .map(|r| r.makespan.as_secs_f64() / best)
+                    .collect();
+                let mean = wire_core::mean(&rel).unwrap_or(0.0);
+                let std = wire_core::std_dev(&rel).unwrap_or(0.0);
+                t.push_row([
+                    g.workload.name().to_string(),
+                    g.setting.label().to_string(),
+                    format!("{}", g.charging_unit.as_mins_f64() as u64),
+                    fmt_mean_std(mean, std),
+                    format!("{:.1}", g.cell().makespan_mean_secs / 60.0),
+                ]);
+            }
+        }
+        emit(
+            "Figure 6 — relative execution time across settings and charging units",
+            "fig6",
+            &t,
+        );
+        outcome
+    }
+
+    /// Headline claims (§I / §IV-E).
+    pub fn headline(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        let grid = self.paper_grid();
+        eprintln!("headline: running the full grid ...");
+        let results = self.grid_results(&grid, &mut outcome);
+
+        let h = headline(&results).expect("grid produced wire and full-site cells");
+        let mut t = Table::new(["metric", "paper", "measured"]);
+        t.push_row([
+            "full-site cost / wire cost (min–max)".to_string(),
+            "4.93–14.66".to_string(),
+            format!("{:.2}–{:.2}", h.cost_ratio_min, h.cost_ratio_max),
+        ]);
+        t.push_row([
+            "wire slowdown vs best (min–max)".to_string(),
+            "1.02–3.57".to_string(),
+            format!("{:.2}–{:.2}", h.slowdown_min, h.slowdown_max),
+        ]);
+        t.push_row([
+            "wire runs within 2x of best".to_string(),
+            "83.75%".to_string(),
+            format!("{:.1}%", 100.0 * h.frac_within_2x),
+        ]);
+
+        let u1 = Millis::from_mins(1);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for g in results
+            .iter()
+            .filter(|g| g.setting == Setting::Wire && g.charging_unit == u1)
+        {
+            let best = best_makespan_secs(&results, g.workload).unwrap();
+            for r in &g.runs {
+                let s = r.makespan.as_secs_f64() / best;
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
+        }
+        t.push_row([
+            "wire slowdown at u = 1 min (min–max)".to_string(),
+            "1.02–1.65".to_string(),
+            format!("{lo:.2}–{hi:.2}"),
+        ]);
+        emit("Headline claims (§I / §IV-E)", "headline", &t);
+        outcome
+    }
+
+    /// §III-C/D ablations: first-five priority, waste threshold, fill
+    /// target, oracle comparison and the estimator study.
+    pub fn ablation(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        let workloads = if self.quick {
+            vec![WorkloadId::Tpch6S, WorkloadId::PageRankS]
+        } else {
+            WorkloadId::SMALL.to_vec()
+        };
+        let u = Millis::from_mins(15);
+
+        // --- first-five priority -------------------------------------------
+        let cells: Vec<Cell> = workloads
+            .iter()
+            .flat_map(|&w| {
+                [true, false].into_iter().map(move |ff| {
+                    let mut cfg = cloud_config(Setting::Wire, u);
+                    cfg.first_five_priority = ff;
+                    Cell::wire(w, cfg, SteeringConfig::default(), 1)
+                })
+            })
+            .collect();
+        let outputs = self.campaign(&cells, &mut outcome);
+        let mut t = Table::new(["workload", "first-five", "cost (units)", "makespan (min)"]);
+        let mut it = outputs.iter();
+        for &w in &workloads {
+            for ff in [true, false] {
+                let res = it.next().expect("one output per cell");
+                t.push_row([
+                    w.name().to_string(),
+                    ff.to_string(),
+                    res.charging_units.to_string(),
+                    format!("{:.1}", Millis::from_ms(res.makespan_ms).as_mins_f64()),
+                ]);
+            }
+        }
+        emit(
+            "Ablation — first-five-per-stage priority",
+            "ablation_firstfive",
+            &t,
+        );
+
+        // --- waste threshold sweep ------------------------------------------
+        let fracs = [0.0, 0.1, 0.2, 0.4, 0.8];
+        let cells: Vec<Cell> = workloads
+            .iter()
+            .flat_map(|&w| {
+                fracs.into_iter().map(move |frac| {
+                    Cell::wire(
+                        w,
+                        cloud_config(Setting::Wire, u),
+                        SteeringConfig {
+                            waste_fraction: frac,
+                            ..SteeringConfig::default()
+                        },
+                        1,
+                    )
+                })
+            })
+            .collect();
+        let outputs = self.campaign(&cells, &mut outcome);
+        let mut t = Table::new([
+            "workload",
+            "threshold (·u)",
+            "cost (units)",
+            "makespan (min)",
+            "restarts",
+        ]);
+        let mut it = outputs.iter();
+        for &w in &workloads {
+            for frac in fracs {
+                let res = it.next().expect("one output per cell");
+                t.push_row([
+                    w.name().to_string(),
+                    format!("{frac}"),
+                    res.charging_units.to_string(),
+                    format!("{:.1}", Millis::from_ms(res.makespan_ms).as_mins_f64()),
+                    res.restarts.to_string(),
+                ]);
+            }
+        }
+        emit(
+            "Ablation — waste/restart threshold (paper default 0.2·u)",
+            "ablation_threshold",
+            &t,
+        );
+
+        // --- fill target (utilization aggressiveness, §IV-A) ----------------
+        let fills = [1.0, 0.75, 0.5, 0.25];
+        let cells: Vec<Cell> = workloads
+            .iter()
+            .flat_map(|&w| {
+                fills.into_iter().map(move |fill| {
+                    Cell::wire(
+                        w,
+                        cloud_config(Setting::Wire, u),
+                        SteeringConfig {
+                            fill_target: fill,
+                            ..SteeringConfig::default()
+                        },
+                        1,
+                    )
+                })
+            })
+            .collect();
+        let outputs = self.campaign(&cells, &mut outcome);
+        let mut t = Table::new([
+            "workload",
+            "fill target",
+            "cost (units)",
+            "makespan (min)",
+            "peak pool",
+        ]);
+        let mut it = outputs.iter();
+        for &w in &workloads {
+            for fill in fills {
+                let res = it.next().expect("one output per cell");
+                t.push_row([
+                    w.name().to_string(),
+                    format!("{fill}"),
+                    res.charging_units.to_string(),
+                    format!("{:.1}", Millis::from_ms(res.makespan_ms).as_mins_f64()),
+                    res.peak_instances.to_string(),
+                ]);
+            }
+        }
+        emit(
+            "Ablation — Algorithm 3 fill target (cost/speed aggressiveness)",
+            "ablation_fill",
+            &t,
+        );
+
+        // --- online prediction vs oracle (§IV-E robustness) -----------------
+        let cells: Vec<Cell> = workloads
+            .iter()
+            .flat_map(|&w| {
+                let cfg = cloud_config(Setting::Wire, u);
+                [
+                    Cell::wire(w, cfg.clone(), SteeringConfig::default(), 1),
+                    Cell::oracle(w, cfg, 1),
+                ]
+            })
+            .collect();
+        let outputs = self.campaign(&cells, &mut outcome);
+        let mut t = Table::new(["workload", "policy", "cost (units)", "makespan (min)"]);
+        let mut it = outputs.iter();
+        for &w in &workloads {
+            for _ in 0..2 {
+                let r = it.next().expect("one output per cell");
+                t.push_row([
+                    w.name().to_string(),
+                    r.policy.clone(),
+                    r.charging_units.to_string(),
+                    format!("{:.1}", Millis::from_ms(r.makespan_ms).as_mins_f64()),
+                ]);
+            }
+        }
+        emit(
+            "Ablation — online prediction vs ground-truth oracle (§IV-E robustness)",
+            "ablation_oracle",
+            &t,
+        );
+
+        // --- estimator choice (§III-C median vs mean vs three-sigma) --------
+        // pure prediction-error computation: no sessions, nothing to cache
+        let mut t = Table::new(["workload", "estimator", "mean |err| (s)", "P(|err| ≤ 1 s)"]);
+        for &w in &workloads {
+            let (wf, prof) = w.generate(1);
+            for est in Estimator::ALL {
+                let mut errs: Vec<f64> = Vec::new();
+                for stage in wf.stage_ids() {
+                    if wf.stage(stage).len() < 2 {
+                        continue;
+                    }
+                    for order in 0..3 {
+                        errs.extend(
+                            stage_prediction_errors_with(&wf, &prof, stage, order, est).errors,
+                        );
+                    }
+                }
+                let n = errs.len().max(1) as f64;
+                let mean_abs = errs.iter().map(|e| e.abs()).sum::<f64>() / n;
+                let within = errs.iter().filter(|e| e.abs() <= 1.0).count() as f64 / n;
+                t.push_row([
+                    w.name().to_string(),
+                    est.label().to_string(),
+                    format!("{mean_abs:.3}"),
+                    format!("{:.1}%", 100.0 * within),
+                ]);
+            }
+        }
+        emit(
+            "Ablation — central-tendency estimator (paper argues for the median)",
+            "ablation_estimator",
+            &t,
+        );
+        outcome
+    }
+
+    /// §IV-E prediction-policy usage during wire runs.
+    pub fn policies(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        let workloads = if self.quick {
+            WorkloadId::SMALL.to_vec()
+        } else {
+            WorkloadId::ALL.to_vec()
+        };
+        let units = [1u64, 15];
+        let cells: Vec<Cell> = workloads
+            .iter()
+            .flat_map(|&w| {
+                units.into_iter().map(move |u_min| {
+                    let u = Millis::from_mins(u_min);
+                    Cell::wire(
+                        w,
+                        cloud_config_for(Setting::Wire, u, w.spec().total_input_bytes),
+                        SteeringConfig::default(),
+                        1,
+                    )
+                })
+            })
+            .collect();
+        let outputs = self.campaign(&cells, &mut outcome);
+
+        let mut t = Table::new([
+            "workload",
+            "u (min)",
+            "P1 no-obs",
+            "P2 running",
+            "P3 completed",
+            "P4 group",
+            "P5 ogd",
+            "P4+P5 share",
+        ]);
+        let mut it = outputs.iter();
+        for &w in &workloads {
+            for u_min in units {
+                let out = it.next().expect("one output per cell");
+                let uses = out.policy_uses;
+                let total: u64 = uses.iter().sum::<u64>().max(1);
+                let informed = uses[3] + uses[4];
+                t.push_row([
+                    w.name().to_string(),
+                    u_min.to_string(),
+                    uses[0].to_string(),
+                    uses[1].to_string(),
+                    uses[2].to_string(),
+                    uses[3].to_string(),
+                    uses[4].to_string(),
+                    format!("{:.1}%", 100.0 * informed as f64 / total as f64),
+                ]);
+            }
+        }
+        emit(
+            "§IV-E — prediction-policy usage during wire runs",
+            "policy_usage",
+            &t,
+        );
+        outcome
+    }
+
+    /// §IV-F controller overhead. Timing is the product here, so this
+    /// front-end always executes fresh (the cache is bypassed regardless of
+    /// the runner's cache mode) while still sharding across the pool.
+    pub fn overhead(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        let workloads = if self.quick {
+            WorkloadId::SMALL.to_vec()
+        } else {
+            WorkloadId::ALL.to_vec()
+        };
+        let timing_cfg = CampaignConfig {
+            mode: crate::CacheMode::Off,
+            ..self.cfg.clone()
+        };
+        let cells: Vec<Cell> = workloads
+            .iter()
+            .flat_map(|&w| {
+                CHARGING_UNITS_MINS.into_iter().map(move |u_min| {
+                    Cell::wire(
+                        w,
+                        cloud_config(Setting::Wire, Millis::from_mins(u_min)),
+                        SteeringConfig::default(),
+                        1,
+                    )
+                })
+            })
+            .collect();
+        let report = run_campaign(&cells, &timing_cfg);
+        outcome.absorb(&report);
+
+        let mut t = Table::new([
+            "workload",
+            "u (min)",
+            "mape iters",
+            "controller wall (ms)",
+            "controller µs/tick",
+            "controller share (%)",
+            "aggregate task time (s)",
+            "time overhead (%)",
+            "controller state (KB)",
+        ]);
+        let mut it = report.outputs.iter();
+        for &w in &workloads {
+            let (_, prof) = w.generate(1);
+            let agg = prof.aggregate().as_secs_f64();
+            for u_min in CHARGING_UNITS_MINS {
+                let res = it.next().expect("one output per cell");
+                let run_wall_s = res.exec_wall_us as f64 / 1e6;
+                let wall_ms = res.controller_wall_us as f64 / 1000.0;
+                let per_tick_us = wall_ms * 1e3 / (res.mape_iterations.max(1) as f64);
+                t.push_row([
+                    w.name().to_string(),
+                    u_min.to_string(),
+                    res.mape_iterations.to_string(),
+                    format!("{wall_ms:.2}"),
+                    format!("{per_tick_us:.1}"),
+                    format!("{:.2}", 100.0 * wall_ms / 1000.0 / run_wall_s.max(1e-9)),
+                    format!("{agg:.0}"),
+                    format!("{:.4}", 100.0 * wall_ms / 1000.0 / agg),
+                    format!("{:.1}", res.state_bytes as f64 / 1024.0),
+                ]);
+            }
+        }
+        emit(
+            "§IV-F — WIRE controller overhead (paper: ≤16 KB, 0.011–0.49% of task time)",
+            "overhead",
+            &t,
+        );
+        telemetry_overhead(&workloads, self.quick);
+        outcome
+    }
+}
+
+/// The campaign cells of a §IV-C grid, enumerated (workload, setting, unit)
+/// outer, repetition inner — the exact order `ExperimentGrid::run` produces.
+pub fn grid_cells(grid: &ExperimentGrid) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &w in &grid.workloads {
+        for &s in &grid.settings {
+            for &u in &grid.charging_units {
+                for k in 0..grid.repetitions {
+                    cells.push(Cell::grid(w, s, u, grid.base_seed + k as u64));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Regroup [`grid_cells`]-ordered campaign outputs into the [`GridResult`]
+/// rows `wire_core`'s aggregation (and `flatten`/`to_csv`) expects.
+pub fn grid_results_from(grid: &ExperimentGrid, outputs: &[crate::CellOutput]) -> Vec<GridResult> {
+    let mut results = Vec::new();
+    let mut it = outputs.iter();
+    for &w in &grid.workloads {
+        for &s in &grid.settings {
+            for &u in &grid.charging_units {
+                let runs: Vec<RunResult> = (0..grid.repetitions)
+                    .map(|_| it.next().expect("one output per cell").to_run_result())
+                    .collect();
+                results.push(GridResult {
+                    workload: w,
+                    setting: s,
+                    charging_unit: u,
+                    runs,
+                });
+            }
+        }
+    }
+    results
+}
+
+/// The two Figure 2/3 ratios from a linear-stage cell output: billed time
+/// over optimal usage `N·R`, and makespan over optimal time `R`.
+fn linear_ratios(out: &crate::CellOutput, n: usize, r: Millis, u: Millis) -> (f64, f64) {
+    let optimal_usage = r.as_ms() as f64 * n as f64;
+    let billed = out.charging_units as f64 * u.as_ms() as f64;
+    let cost_ratio = billed / optimal_usage;
+    let time_ratio = out.makespan_ms as f64 / r.as_ms() as f64;
+    (cost_ratio, time_ratio)
+}
+
+/// Best-of-`reps` wall time for one run closure (the minimum is the least
+/// noisy estimator for short deterministic runs).
+fn time_best(reps: usize, mut f: impl FnMut() -> RunResult) -> (f64, RunResult) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// Compare the default `NoopRecorder` path against full in-memory recording.
+/// The no-op path is the one every non-observed run takes; it must stay
+/// within noise (< 2 %) of full recording's *simulation* work — i.e. the
+/// telemetry hooks compile away when nobody listens.
+fn telemetry_overhead(workloads: &[WorkloadId], quick: bool) {
+    let reps = if quick { 3 } else { 5 };
+    let u = Millis::from_mins(15);
+    let mut t = Table::new([
+        "workload",
+        "noop (ms)",
+        "recording (ms)",
+        "recording cost (%)",
+        "events",
+        "decisions",
+    ]);
+    for &w in workloads {
+        let (wf, prof) = w.generate(1);
+        let cfg = cloud_config(Setting::Wire, u);
+        let (noop_s, noop_res) = time_best(reps, || {
+            Session::new(cfg.clone())
+                .transfer(TransferModel::default())
+                .policy(WirePolicy::default())
+                .seed(1)
+                .submit(&wf, &prof)
+                .run()
+                .expect("noop run completes")
+        });
+        let mut captured = (0usize, 0usize);
+        let (rec_s, rec_res) = time_best(reps, || {
+            let handle = TelemetryHandle::new();
+            let policy = WirePolicy::default().with_telemetry(handle.clone());
+            let r = Session::new(cfg.clone())
+                .transfer(TransferModel::default())
+                .policy(policy)
+                .seed(1)
+                .recording(handle.clone())
+                .submit(&wf, &prof)
+                .run()
+                .expect("recorded run completes");
+            let buffer = handle.take();
+            captured = (buffer.events.len(), buffer.decisions.len());
+            r
+        });
+        // recording must observe, never perturb
+        assert_eq!(noop_res.makespan, rec_res.makespan, "{}", w.name());
+        assert_eq!(
+            noop_res.charging_units,
+            rec_res.charging_units,
+            "{}",
+            w.name()
+        );
+        // and the disabled path must not cost more than the enabled one
+        // (2 % headroom for timer noise)
+        assert!(
+            noop_s <= rec_s * 1.02,
+            "{}: noop recorder slower than full recording ({:.2}ms vs {:.2}ms)",
+            w.name(),
+            noop_s * 1e3,
+            rec_s * 1e3
+        );
+        t.push_row([
+            w.name().to_string(),
+            format!("{:.2}", noop_s * 1e3),
+            format!("{:.2}", rec_s * 1e3),
+            format!("{:.2}", 100.0 * (rec_s - noop_s) / noop_s),
+            captured.0.to_string(),
+            captured.1.to_string(),
+        ]);
+    }
+    emit(
+        "telemetry overhead — NoopRecorder vs full recording (noop must be free)",
+        "telemetry-overhead",
+        &t,
+    );
+}

@@ -8,6 +8,7 @@
 //! wire export <workload> [--seed N]           dump a replayable trace to stdout
 //! wire replay <trace-file> [options]          run a trace file
 //! wire dot <workload> [--seed N]              Graphviz DOT of the DAG
+//! wire campaign <targets...> [options]        regenerate figures (sharded + cached)
 //!
 //! options:
 //!   --policy wire|oracle|full-site|pure-reactive|reactive-conserving
@@ -329,12 +330,98 @@ fn real_main() -> Result<(), String> {
             print_result(&r, &opts);
             Ok(())
         }
+        "campaign" => run_campaign_cmd(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
         }
         other => Err(format!("unknown command '{other}' (try `wire help`)")),
     }
+}
+
+/// `wire campaign [targets...] [flags]` — regenerate paper figures through
+/// the sharded, cached campaign runner (`wire-campaign`).
+fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
+    const TARGETS: [&str; 8] = [
+        "fig2", "fig3", "fig5", "fig6", "headline", "ablation", "policies", "overhead",
+    ];
+    let mut cfg = wire_campaign::CampaignConfig {
+        progress: true,
+        ..Default::default()
+    };
+    let mut quick = false;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                cfg.threads = Some(
+                    it.next()
+                        .ok_or("--threads needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
+            "--force" => cfg.mode = wire_campaign::CacheMode::Force,
+            "--no-cache" => cfg.mode = wire_campaign::CacheMode::Off,
+            "--check" => cfg.check = true,
+            "--quick" => quick = true,
+            "all" => targets.extend(TARGETS.iter().map(|t| t.to_string())),
+            t if TARGETS.contains(&t) => targets.push(t.to_string()),
+            other => {
+                return Err(format!(
+                    "unknown campaign target/flag '{other}' (targets: {}, all)",
+                    TARGETS.join(", ")
+                ))
+            }
+        }
+    }
+    if targets.is_empty() {
+        return Err(format!(
+            "campaign needs at least one target ({}, all)",
+            TARGETS.join(", ")
+        ));
+    }
+    eprintln!(
+        "campaign: {} worker thread(s), cache {} ({})",
+        cfg.resolved_threads(),
+        match cfg.mode {
+            wire_campaign::CacheMode::Resume => "resume",
+            wire_campaign::CacheMode::Force => "force",
+            wire_campaign::CacheMode::Off => "off",
+        },
+        cfg.resolved_cache_dir().display()
+    );
+    let runner = wire_campaign::FigureRunner { cfg, quick };
+    let mut bad = 0usize;
+    for t in &targets {
+        let outcome = match t.as_str() {
+            "fig2" => runner.fig2(),
+            "fig3" => runner.fig3(),
+            "fig5" => runner.fig5(),
+            "fig6" => runner.fig6(),
+            "headline" => runner.headline(),
+            "ablation" => runner.ablation(),
+            "policies" => runner.policies(),
+            "overhead" => runner.overhead(),
+            _ => unreachable!(),
+        };
+        eprintln!(
+            "campaign {t}: {} cells ({} executed, {} cached, {} corrupt entries recomputed)",
+            outcome.cells, outcome.executed, outcome.cache_hits, outcome.corrupt_entries
+        );
+        for v in &outcome.violations {
+            eprintln!(
+                "campaign {t}: INVARIANT VIOLATION in cell {} [{}]: {}",
+                v.cell, v.label, v.message
+            );
+        }
+        bad += outcome.violations.len();
+    }
+    if bad > 0 {
+        return Err(format!("{bad} invariant violation(s) — see above"));
+    }
+    Ok(())
 }
 
 fn print_usage() {
@@ -351,6 +438,10 @@ fn print_usage() {
     println!("  wire export <workload> [--seed N]      > trace.txt");
     println!("  wire replay <trace.txt> [--policy P] [--u MIN]");
     println!("  wire dot <workload> [--seed N]         > dag.dot");
+    println!(
+        "  wire campaign <fig2|fig3|fig5|fig6|headline|ablation|policies|overhead|all>...
+                      [--threads N] [--force] [--no-cache] [--check] [--quick]"
+    );
     println!();
     println!("policies: wire (default), oracle, full-site, pure-reactive,");
     println!("          reactive-conserving");

@@ -1,0 +1,169 @@
+//! Differential tests for the campaign runner: thread count and cache state
+//! must be unobservable in campaign outputs.
+//!
+//! * the same spec at 1 and 8 worker threads produces byte-identical CSV
+//!   bytes and the same golden cost/makespan values;
+//! * a warm-cache rerun executes zero cells and still produces the same
+//!   bytes;
+//! * corrupt cache entries (truncated or garbled) are detected, counted and
+//!   recomputed — never served.
+
+use std::path::PathBuf;
+
+use wire::core::experiment::{ExperimentGrid, Setting};
+use wire::prelude::*;
+use wire_campaign::{
+    cache, cache_key, grid_cells, grid_results_from, run_campaign, CacheMode, CampaignConfig, Cell,
+};
+
+/// A small but non-trivial spec: a 2-workload grid (both grid dimensions
+/// exercised) plus Figure 2-style linear cells, 20 cells total.
+fn spec() -> (ExperimentGrid, Vec<Cell>) {
+    let grid = ExperimentGrid::paper(vec![WorkloadId::Tpch6S, WorkloadId::PageRankS], 1);
+    let mut cells = grid_cells(&grid);
+    for n in [10, 100] {
+        for ru in [1.5, 4.0] {
+            let u = Millis::from_secs(60);
+            cells.push(Cell::linear(n, u.scale(ru), u));
+        }
+    }
+    (grid, cells)
+}
+
+fn uncached(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        threads: Some(threads),
+        mode: CacheMode::Off,
+        ..Default::default()
+    }
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wire-campaign-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The CSV the fig5 front-end archives, rendered from campaign outputs via
+/// `wire_core`'s own aggregation path.
+fn campaign_csv(grid: &ExperimentGrid, outputs: &[wire_campaign::CellOutput]) -> String {
+    wire::core::to_csv(&wire::core::flatten(&grid_results_from(grid, outputs)))
+}
+
+#[test]
+fn thread_count_is_unobservable() {
+    let (grid, cells) = spec();
+    let one = run_campaign(&cells, &uncached(1));
+    let eight = run_campaign(&cells, &uncached(8));
+    assert_eq!(one.executed, cells.len());
+    assert_eq!(eight.executed, cells.len());
+    assert_eq!(
+        one.outputs, eight.outputs,
+        "outputs differ across thread counts"
+    );
+
+    let n = grid_cells(&grid).len();
+    let csv_one = campaign_csv(&grid, &one.outputs[..n]);
+    let csv_eight = campaign_csv(&grid, &eight.outputs[..n]);
+    assert_eq!(
+        csv_one.as_bytes(),
+        csv_eight.as_bytes(),
+        "CSV bytes differ across thread counts"
+    );
+}
+
+#[test]
+fn campaign_matches_golden_values_at_any_thread_count() {
+    // the same pinned (workload, setting, u, seed) tuples tests/golden.rs
+    // asserts on run_setting — the campaign path must reproduce them exactly
+    let golden: &[(WorkloadId, Setting, u64, u64, u64, u64)] = &[
+        (WorkloadId::Tpch6S, Setting::Wire, 15, 1, 1, 886_732),
+        (WorkloadId::Tpch6S, Setting::FullSite, 15, 1, 12, 574_631),
+        (WorkloadId::PageRankS, Setting::Wire, 1, 2, 21, 1_209_958),
+        (WorkloadId::EpigenomicsS, Setting::Wire, 15, 3, 4, 2_642_446),
+        (WorkloadId::Tpch1S, Setting::PureReactive, 60, 4, 8, 876_997),
+    ];
+    let cells: Vec<Cell> = golden
+        .iter()
+        .map(|&(w, s, u, seed, _, _)| Cell::grid(w, s, Millis::from_mins(u), seed))
+        .collect();
+    for threads in [1, 4] {
+        let report = run_campaign(&cells, &uncached(threads));
+        for (out, &(w, s, u, seed, units, makespan_ms)) in report.outputs.iter().zip(golden) {
+            assert_eq!(
+                (out.charging_units, out.makespan_ms),
+                (units, makespan_ms),
+                "{} / {} / u={u} / seed={seed} at {threads} thread(s)",
+                w.name(),
+                s.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_cache_executes_nothing_and_changes_nothing() {
+    let (grid, cells) = spec();
+    let dir = temp_cache("warm");
+    let cfg = CampaignConfig {
+        threads: Some(4),
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let cold = run_campaign(&cells, &cfg);
+    let warm = run_campaign(&cells, &cfg);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(cold.executed, cells.len());
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(warm.executed, 0, "warm run must not execute any session");
+    assert_eq!(warm.cache_hits, cells.len());
+    assert_eq!(cold.outputs, warm.outputs);
+
+    let n = grid_cells(&grid).len();
+    assert_eq!(
+        campaign_csv(&grid, &cold.outputs[..n]).as_bytes(),
+        campaign_csv(&grid, &warm.outputs[..n]).as_bytes(),
+        "cache state changed CSV bytes"
+    );
+}
+
+#[test]
+fn corrupt_cache_entries_are_detected_and_recomputed() {
+    let (_, cells) = spec();
+    let dir = temp_cache("corrupt");
+    let cfg = CampaignConfig {
+        threads: Some(2),
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let cold = run_campaign(&cells, &cfg);
+
+    // truncate one entry and garble another, leaving the rest intact
+    let truncated = cache::entry_path(&dir, cache_key(&cells[0]));
+    let text = std::fs::read_to_string(&truncated).unwrap();
+    std::fs::write(&truncated, &text[..text.len() / 2]).unwrap();
+    let garbled = cache::entry_path(&dir, cache_key(&cells[7]));
+    let mut bytes = std::fs::read(&garbled).unwrap();
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0x01;
+    std::fs::write(&garbled, &bytes).unwrap();
+
+    let repaired = run_campaign(&cells, &cfg);
+    assert_eq!(
+        repaired.corrupt_entries, 2,
+        "both bad entries must be flagged"
+    );
+    assert_eq!(repaired.executed, 2, "exactly the bad cells recompute");
+    assert_eq!(repaired.cache_hits, cells.len() - 2);
+    assert_eq!(
+        repaired.outputs, cold.outputs,
+        "recomputed cells must agree"
+    );
+
+    // and the recompute heals the cache: a third run is all hits
+    let healed = run_campaign(&cells, &cfg);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(healed.executed, 0);
+    assert_eq!(healed.outputs, cold.outputs);
+}

@@ -1,39 +1,311 @@
-//! Offline stub of rayon: sequential fallbacks with the parallel-iterator
-//! method names.
-pub mod prelude {
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
+//! Offline stand-in for rayon: a real chunked `std::thread::scope` pool
+//! behind the parallel-iterator method names.
+//!
+//! Unlike the earlier sequential stub, `into_par_iter().map(f).collect()`
+//! genuinely fans work out across OS threads:
+//!
+//! * the thread count comes from (in priority order) an explicit
+//!   [`ThreadPool::install`] scope, the `WIRE_THREADS` environment variable,
+//!   or [`std::thread::available_parallelism`];
+//! * items are claimed in contiguous chunks off a shared atomic cursor
+//!   (self-scheduling, so heterogeneous items balance), and every result is
+//!   written back into its input slot — `collect` returns results in input
+//!   order regardless of thread count or completion order;
+//! * nested parallel iterators run sequentially on the worker thread that
+//!   spawned them, so the pool never multiplies (the outer level owns all
+//!   `WIRE_THREADS` threads).
+//!
+//! Closures therefore need the same `Send`/`Sync` bounds real rayon asks
+//! for; code that compiles against this stub compiles against upstream.
+
+use std::cell::Cell;
+use std::iter::FromIterator;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set inside pool workers: nested parallel calls degrade to sequential.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// Set by `ThreadPool::install`: overrides the ambient thread count for
+    /// parallel calls issued from this thread.
+    static THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `WIRE_THREADS` environment override; unset, empty, unparsable or zero
+/// values fall through to the hardware default.
+fn env_threads() -> Option<usize> {
+    std::env::var("WIRE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// The number of threads a parallel iterator launched from this thread will
+/// use: `ThreadPool::install` override, then `WIRE_THREADS`, then
+/// `available_parallelism`.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREADS_OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over every item on the pool, preserving input order in the output.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    let len = items.len();
+    if threads <= 1 || len <= 1 || IN_POOL.with(|p| p.get()) {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(len);
+    // contiguous chunks off a shared cursor: big enough to amortize the
+    // atomic, small enough that slow items still balance
+    let chunk = (len / (workers * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|t| Mutex::new((Some(t), None)))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_POOL.with(|p| p.set(true));
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    for slot in slots.iter().take((start + chunk).min(len)).skip(start) {
+                        let item = slot
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0
+                            .take()
+                            .expect("each slot is claimed exactly once");
+                        let out = f(item);
+                        slot.lock().unwrap_or_else(|e| e.into_inner()).1 = Some(out);
+                    }
+                }
+            });
+        }
+    });
+    // ordered deterministic merge: slot i holds the result of input i
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .1
+                .expect("scope joined every worker")
+        })
+        .collect()
+}
+
+/// A parallel iterator over owned items (realized upfront, like rayon's
+/// `IndexedParallelIterator` on vectors).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map_vec(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// The result of `ParIter::map`: a pending parallel map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F> {
+    pub fn collect<R, C>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        parallel_map_vec(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Explicitly-sized pool, mirroring rayon's builder API. `install` scopes an
+/// override of the ambient thread count to one closure.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use the ambient default", as in upstream rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Handle returned by [`ThreadPoolBuilder::build`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count governing any parallel
+    /// iterators it issues (restored on exit, even on panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREADS_OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let over = if self.num_threads == 0 {
+            None
+        } else {
+            Some(self.num_threads)
+        };
+        let _restore = Restore(THREADS_OVERRIDE.with(|o| o.replace(over)));
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+pub mod prelude {
+    use super::ParIter;
+
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
         type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
     pub trait IntoParallelRefIterator<'a> {
-        type Item: 'a;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter(&'a self) -> Self::Iter;
+        type Item: Send + 'a;
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
     }
 
     impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
         type Item = &'a T;
-        type Iter = std::slice::Iter<'a, T>;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
         }
     }
 
     impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
         type Item = &'a T;
-        type Iter = std::slice::Iter<'a, T>;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ordered_merge_is_input_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn pool_actually_uses_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..64).into_par_iter().for_each(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        });
+        // with 4 requested workers at least 2 distinct threads must appear,
+        // even on a single-core host (they are OS threads, not cores)
+        assert!(seen.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_to_sequential() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let nested: Vec<Vec<u32>> = pool.install(|| {
+            (0..4u32)
+                .into_par_iter()
+                .map(|i| (0..4u32).into_par_iter().map(move |j| i + j).collect())
+                .collect()
+        });
+        assert_eq!(nested[3], vec![3, 4, 5, 6]);
     }
 }
