@@ -89,7 +89,11 @@ fn main() {
     let t0 = Instant::now();
     let cold = run_campaign(&cells, &cached);
     let cold_s = t0.elapsed().as_secs_f64();
-    assert_eq!(cold.executed, cells.len(), "fresh cache must miss every cell");
+    assert_eq!(
+        cold.executed,
+        cells.len(),
+        "fresh cache must miss every cell"
+    );
     let t0 = Instant::now();
     let warm = run_campaign(&cells, &cached);
     let warm_s = t0.elapsed().as_secs_f64();

@@ -61,6 +61,7 @@ fn render_payload(out: &CellOutput) -> String {
     s.push_str(&format!("state_bytes={}\n", out.state_bytes));
     s.push_str(&format!("controller_wall_us={}\n", out.controller_wall_us));
     s.push_str(&format!("exec_wall_us={}\n", out.exec_wall_us));
+    s.push_str(&format!("obs={}\n", out.obs.to_json_string()));
     s
 }
 
@@ -82,6 +83,7 @@ fn parse_payload(payload: &str) -> Result<CellOutput, String> {
         state_bytes: 0,
         controller_wall_us: 0,
         exec_wall_us: 0,
+        obs: wire_obs::ObsSnapshot::default(),
     };
     let mut seen = 0usize;
     for line in payload.lines() {
@@ -116,12 +118,16 @@ fn parse_payload(payload: &str) -> Result<CellOutput, String> {
             "state_bytes" => out.state_bytes = num(v)?,
             "controller_wall_us" => out.controller_wall_us = num(v)?,
             "exec_wall_us" => out.exec_wall_us = num(v)?,
+            "obs" => {
+                out.obs =
+                    wire_obs::ObsSnapshot::from_json_str(v).map_err(|e| format!("bad obs: {e}"))?;
+            }
             other => return Err(format!("unknown field {other:?}")),
         }
         seen += 1;
     }
-    if seen != 16 {
-        return Err(format!("expected 16 fields, got {seen}"));
+    if seen != 17 {
+        return Err(format!("expected 17 fields, got {seen}"));
     }
     Ok(out)
 }
@@ -197,6 +203,8 @@ mod tests {
     use super::*;
 
     fn sample() -> CellOutput {
+        let mut obs = wire_obs::ObsSnapshot::default();
+        obs.counters.insert("task_completed".into(), 42);
         CellOutput {
             policy: "wire".into(),
             workflow: "TPCH-6 S".into(),
@@ -214,6 +222,7 @@ mod tests {
             state_bytes: 4096,
             controller_wall_us: 123,
             exec_wall_us: 456,
+            obs,
         }
     }
 

@@ -11,6 +11,7 @@ use std::time::Instant;
 use wire_chaos::{check_decision_journal, InvariantChecker, Tee};
 use wire_core::experiment::{build_policy, cloud_config_for, Setting};
 use wire_dag::{ExecProfile, Millis, Workflow};
+use wire_obs::{ObsSnapshot, StreamingRecorder};
 use wire_planner::{OracleWirePolicy, SteeringConfig, WirePolicy};
 use wire_simcloud::{CloudConfig, RunResult, Session, TransferModel};
 use wire_telemetry::TelemetryHandle;
@@ -19,7 +20,11 @@ use wire_workloads::{linear_workflow, WorkloadId};
 /// Bumped whenever the cell execution semantics or the [`CellOutput`] cache
 /// payload change shape: every previously cached entry becomes unreadable
 /// (its key no longer matches) instead of silently serving stale data.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+///
+/// v2: cells carry a deterministic [`wire_obs::ObsSnapshot`] (`obs=` payload
+/// line), so warm-cache campaigns merge the same observability aggregates
+/// as cold ones.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// What a cell runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -331,6 +336,9 @@ pub struct CellOutput {
     pub policy_uses: [u64; 5],
     /// Wire controller state footprint after the run (zero for non-wire).
     pub state_bytes: u64,
+    /// Deterministic streaming-observability aggregates for this cell
+    /// (virtual-time facts only; merges across cells in spec order).
+    pub obs: ObsSnapshot,
     pub controller_wall_us: u64,
     pub exec_wall_us: u64,
 }
@@ -351,11 +359,18 @@ impl PartialEq for CellOutput {
             && self.mape_iterations == other.mape_iterations
             && self.policy_uses == other.policy_uses
             && self.state_bytes == other.state_bytes
+            && self.obs == other.obs
     }
 }
 
 impl CellOutput {
-    fn from_run(res: &RunResult, uses: [u64; 5], state_bytes: u64, exec_wall_us: u64) -> Self {
+    fn from_run(
+        res: &RunResult,
+        uses: [u64; 5],
+        state_bytes: u64,
+        obs: ObsSnapshot,
+        exec_wall_us: u64,
+    ) -> Self {
         CellOutput {
             policy: res.policy.clone(),
             workflow: res.workflow.clone(),
@@ -371,6 +386,7 @@ impl CellOutput {
             mape_iterations: res.mape_iterations,
             policy_uses: uses,
             state_bytes,
+            obs,
             controller_wall_us: res.controller_wall.as_micros() as u64,
             exec_wall_us,
         }
@@ -417,11 +433,15 @@ pub fn execute(cell: &Cell, check: bool) -> (CellOutput, Vec<String>) {
             .expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32)
     });
 
+    // Every cell rides the streaming recorder: its deterministic snapshot
+    // travels with the output (and through the cache), so a warm-cache
+    // campaign merges the same observability aggregates as a cold one.
+    let obs = StreamingRecorder::new();
     let mut violations = Vec::new();
     let output = match &cell.policy {
         PolicyKind::Wire(steering) => {
             let handle = check.then(TelemetryHandle::new);
-            let mut policy = WirePolicy::new(*steering);
+            let mut policy = WirePolicy::new(*steering).with_obs(obs.clone());
             if let Some(h) = &handle {
                 policy = policy.with_telemetry(h.clone());
             }
@@ -431,10 +451,10 @@ pub fn execute(cell: &Cell, check: bool) -> (CellOutput, Vec<String>) {
                 .seed(cell.seed);
             let res = match (&checker, &handle) {
                 (Some(c), Some(h)) => session
-                    .recording(Tee(h.clone(), c.clone()))
+                    .recording(Tee(h.clone(), Tee(c.clone(), obs.clone())))
                     .submit(&wf, &prof)
                     .run(),
-                _ => session.submit(&wf, &prof).run(),
+                _ => session.recording(obs.clone()).submit(&wf, &prof).run(),
             }
             .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
             if let (Some(c), Some(h)) = (&checker, &handle) {
@@ -444,7 +464,14 @@ pub fn execute(cell: &Cell, check: bool) -> (CellOutput, Vec<String>) {
             }
             let uses = policy.policy_uses();
             let state = policy.state_bytes() as u64;
-            CellOutput::from_run(&res, uses, state, t0.elapsed().as_micros() as u64)
+            obs.note_session(res.makespan.as_ms(), res.charging_units);
+            CellOutput::from_run(
+                &res,
+                uses,
+                state,
+                obs.snapshot(),
+                t0.elapsed().as_micros() as u64,
+            )
         }
         PolicyKind::Oracle => {
             let policy = OracleWirePolicy::new(prof.clone(), tm.clone());
@@ -453,11 +480,21 @@ pub fn execute(cell: &Cell, check: bool) -> (CellOutput, Vec<String>) {
                 .policy(policy)
                 .seed(cell.seed);
             let res = match &checker {
-                Some(c) => session.recording(c.clone()).submit(&wf, &prof).run(),
-                None => session.submit(&wf, &prof).run(),
+                Some(c) => session
+                    .recording(Tee(c.clone(), obs.clone()))
+                    .submit(&wf, &prof)
+                    .run(),
+                None => session.recording(obs.clone()).submit(&wf, &prof).run(),
             }
             .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
-            CellOutput::from_run(&res, [0; 5], 0, t0.elapsed().as_micros() as u64)
+            obs.note_session(res.makespan.as_ms(), res.charging_units);
+            CellOutput::from_run(
+                &res,
+                [0; 5],
+                0,
+                obs.snapshot(),
+                t0.elapsed().as_micros() as u64,
+            )
         }
         baseline => {
             let policy = build_policy(baseline.setting(), &cell.cfg);
@@ -466,11 +503,21 @@ pub fn execute(cell: &Cell, check: bool) -> (CellOutput, Vec<String>) {
                 .policy(policy)
                 .seed(cell.seed);
             let res = match &checker {
-                Some(c) => session.recording(c.clone()).submit(&wf, &prof).run(),
-                None => session.submit(&wf, &prof).run(),
+                Some(c) => session
+                    .recording(Tee(c.clone(), obs.clone()))
+                    .submit(&wf, &prof)
+                    .run(),
+                None => session.recording(obs.clone()).submit(&wf, &prof).run(),
             }
             .unwrap_or_else(|e| panic!("{}: {e}", cell.label()));
-            CellOutput::from_run(&res, [0; 5], 0, t0.elapsed().as_micros() as u64)
+            obs.note_session(res.makespan.as_ms(), res.charging_units);
+            CellOutput::from_run(
+                &res,
+                [0; 5],
+                0,
+                obs.snapshot(),
+                t0.elapsed().as_micros() as u64,
+            )
         }
     };
 

@@ -17,6 +17,7 @@ use wire_core::experiment::{
 use wire_core::prediction::stage_prediction_errors_with;
 use wire_core::{fmt_mean_std, line_chart, Series, Table};
 use wire_dag::Millis;
+use wire_obs::{ObsSnapshot, StreamingRecorder};
 use wire_planner::{SteeringConfig, WirePolicy};
 use wire_predictor::Estimator;
 use wire_simcloud::{RunResult, Session, TransferModel};
@@ -56,6 +57,9 @@ pub struct FigureOutcome {
     pub cache_hits: usize,
     pub corrupt_entries: usize,
     pub violations: Vec<CellViolation>,
+    /// Deterministic observability aggregate across every campaign this
+    /// figure ran, merged in spec order (see [`CampaignReport::obs`]).
+    pub obs: ObsSnapshot,
 }
 
 impl FigureOutcome {
@@ -65,7 +69,30 @@ impl FigureOutcome {
         self.cache_hits += report.cache_hits;
         self.corrupt_entries += report.corrupt_entries;
         self.violations.extend(report.violations.iter().cloned());
+        self.obs.merge(&report.obs);
     }
+
+    /// Fold another figure's outcome into this one (used by the CLI to
+    /// aggregate across `--all` targets before writing the snapshot).
+    pub fn absorb_outcome(&mut self, other: &FigureOutcome) {
+        self.cells += other.cells;
+        self.executed += other.executed;
+        self.cache_hits += other.cache_hits;
+        self.corrupt_entries += other.corrupt_entries;
+        self.violations.extend(other.violations.iter().cloned());
+        self.obs.merge(&other.obs);
+    }
+}
+
+/// Write the merged campaign observability snapshot as
+/// `results/OBS_snapshot.json` and return the path. The bytes are canonical
+/// (fixed field order, integer-only, no wall-clock facts), so two campaigns
+/// over the same spec produce identical files at any thread count and for
+/// any cache state.
+pub fn save_obs_snapshot(obs: &ObsSnapshot) -> PathBuf {
+    let path = results_dir().join("OBS_snapshot.json");
+    std::fs::write(&path, obs.to_json_string()).expect("write obs snapshot");
+    path
 }
 
 /// The figure/table front-ends, parameterized by campaign knobs and the
@@ -796,16 +823,20 @@ fn time_best(reps: usize, mut f: impl FnMut() -> RunResult) -> (f64, RunResult) 
     (best, last.expect("reps >= 1"))
 }
 
-/// Compare the default `NoopRecorder` path against full in-memory recording.
-/// The no-op path is the one every non-observed run takes; it must stay
-/// within noise (< 2 %) of full recording's *simulation* work — i.e. the
-/// telemetry hooks compile away when nobody listens.
+/// Compare the default `NoopRecorder` path against bounded-memory streaming
+/// aggregation and full in-memory recording. The no-op path is the one every
+/// non-observed run takes; it must stay within noise (< 2 %) of full
+/// recording's *simulation* work — i.e. the telemetry hooks compile away
+/// when nobody listens. The streaming column shows what always-on
+/// observability costs relative to both extremes.
 fn telemetry_overhead(workloads: &[WorkloadId], quick: bool) {
     let reps = if quick { 3 } else { 5 };
     let u = Millis::from_mins(15);
     let mut t = Table::new([
         "workload",
         "noop (ms)",
+        "streaming (ms)",
+        "streaming cost (%)",
         "recording (ms)",
         "recording cost (%)",
         "events",
@@ -822,6 +853,18 @@ fn telemetry_overhead(workloads: &[WorkloadId], quick: bool) {
                 .submit(&wf, &prof)
                 .run()
                 .expect("noop run completes")
+        });
+        let (stream_s, stream_res) = time_best(reps, || {
+            let obs = StreamingRecorder::new();
+            let policy = WirePolicy::default().with_obs(obs.clone());
+            Session::new(cfg.clone())
+                .transfer(TransferModel::default())
+                .policy(policy)
+                .seed(1)
+                .recording(obs.clone())
+                .submit(&wf, &prof)
+                .run()
+                .expect("streaming run completes")
         });
         let mut captured = (0usize, 0usize);
         let (rec_s, rec_res) = time_best(reps, || {
@@ -841,9 +884,16 @@ fn telemetry_overhead(workloads: &[WorkloadId], quick: bool) {
         });
         // recording must observe, never perturb
         assert_eq!(noop_res.makespan, rec_res.makespan, "{}", w.name());
+        assert_eq!(noop_res.makespan, stream_res.makespan, "{}", w.name());
         assert_eq!(
             noop_res.charging_units,
             rec_res.charging_units,
+            "{}",
+            w.name()
+        );
+        assert_eq!(
+            noop_res.charging_units,
+            stream_res.charging_units,
             "{}",
             w.name()
         );
@@ -859,6 +909,8 @@ fn telemetry_overhead(workloads: &[WorkloadId], quick: bool) {
         t.push_row([
             w.name().to_string(),
             format!("{:.2}", noop_s * 1e3),
+            format!("{:.2}", stream_s * 1e3),
+            format!("{:.2}", 100.0 * (stream_s - noop_s) / noop_s),
             format!("{:.2}", rec_s * 1e3),
             format!("{:.2}", 100.0 * (rec_s - noop_s) / noop_s),
             captured.0.to_string(),
@@ -866,7 +918,7 @@ fn telemetry_overhead(workloads: &[WorkloadId], quick: bool) {
         ]);
     }
     emit(
-        "telemetry overhead — NoopRecorder vs full recording (noop must be free)",
+        "telemetry overhead — NoopRecorder vs streaming aggregation vs full recording",
         "telemetry-overhead",
         &t,
     );

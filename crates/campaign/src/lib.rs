@@ -33,7 +33,7 @@ pub use cell::{
     cache_key, cache_key_versioned, execute, Cell, CellOutput, CellWorkload, PolicyKind,
     TransferKind, CACHE_FORMAT_VERSION,
 };
-pub use figures::{grid_cells, grid_results_from, FigureOutcome, FigureRunner};
+pub use figures::{grid_cells, grid_results_from, save_obs_snapshot, FigureOutcome, FigureRunner};
 pub use runner::{
     default_cache_dir, run_campaign, CacheMode, CampaignConfig, CampaignReport, CellViolation,
 };

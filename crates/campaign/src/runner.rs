@@ -96,6 +96,11 @@ pub struct CampaignReport {
     /// Cache entries that failed verification and were recomputed.
     pub corrupt_entries: usize,
     pub violations: Vec<CellViolation>,
+    /// Campaign-wide observability aggregate: every cell's deterministic
+    /// [`ObsSnapshot`](wire_obs::ObsSnapshot) merged in spec order, so the
+    /// result is byte-identical at any thread count and for any mix of
+    /// cached and freshly-executed cells.
+    pub obs: wire_obs::ObsSnapshot,
     pub wall: Duration,
 }
 
@@ -192,15 +197,23 @@ pub fn run_campaign(cells: &[Cell], cfg: &CampaignConfig) -> CampaignReport {
     for (i, out) in executed {
         slots[i] = Some(out);
     }
+    let outputs: Vec<CellOutput> = slots
+        .into_iter()
+        .map(|s| s.expect("every cell resolved from cache or execution"))
+        .collect();
+    // fold per-cell snapshots in spec order — NOT execution order — so the
+    // campaign-wide aggregate is independent of threading and cache state
+    let mut obs = wire_obs::ObsSnapshot::default();
+    for out in &outputs {
+        obs.merge(&out.obs);
+    }
     CampaignReport {
-        outputs: slots
-            .into_iter()
-            .map(|s| s.expect("every cell resolved from cache or execution"))
-            .collect(),
+        outputs,
         executed: executed_count,
         cache_hits,
         corrupt_entries,
         violations: violations.into_inner().unwrap_or_else(|e| e.into_inner()),
+        obs,
         wall: t0.elapsed(),
     }
 }

@@ -9,6 +9,7 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wire_dag::Millis;
+use wire_obs::{ObsConfig, StreamingRecorder};
 use wire_planner::{PureReactive, ReactiveConserving, StaticPolicy, WirePolicy};
 use wire_simcloud::{CloudConfig, RunResult, ScalingPolicy, Session, TransferModel};
 use wire_telemetry::{TelemetryBuffer, TelemetryHandle};
@@ -151,6 +152,82 @@ pub fn run_ensemble(
             charging_unit
         )
     })
+}
+
+/// Like [`run_ensemble`], with the bounded-memory [`StreamingRecorder`]
+/// riding the engine (and, under [`Setting::Wire`], the planner's
+/// prediction/memoization side-channel). Returns the recorder alongside
+/// the result so callers can take the deterministic [`ObsSnapshot`] and
+/// the wall-clock health report.
+///
+/// [`ObsSnapshot`]: wire_obs::ObsSnapshot
+pub fn run_ensemble_obs(
+    spec: &EnsembleSpec,
+    setting: Setting,
+    charging_unit: Millis,
+    seed: u64,
+    obs_cfg: ObsConfig,
+) -> (RunResult, StreamingRecorder) {
+    let members = spec.generate(seed);
+    let cfg = cloud_config(setting, charging_unit);
+    let recorder = StreamingRecorder::with_config(obs_cfg);
+    let policy: Box<dyn ScalingPolicy + Send> = match setting {
+        Setting::Wire => Box::new(WirePolicy::default().with_obs(recorder.clone())),
+        other => build_policy(other, &cfg),
+    };
+    let mut session = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(policy)
+        .seed(seed)
+        .recording(recorder.clone());
+    for m in &members {
+        session = session.submit_at(m.submit_at, &m.workflow, &m.profile);
+    }
+    let result = session.run().unwrap_or_else(|e| {
+        panic!(
+            "ensemble[{}] / {} / u={}: {e}",
+            members.len(),
+            setting.label(),
+            charging_unit
+        )
+    });
+    recorder.note_session(result.makespan.as_ms(), result.charging_units);
+    (result, recorder)
+}
+
+/// Like [`run_setting`], with the bounded-memory [`StreamingRecorder`]
+/// attached — the single-workload form of [`run_ensemble_obs`].
+pub fn run_setting_obs(
+    workload: WorkloadId,
+    setting: Setting,
+    charging_unit: Millis,
+    seed: u64,
+    obs_cfg: ObsConfig,
+) -> (RunResult, StreamingRecorder) {
+    let (wf, prof) = workload.generate(seed);
+    let cfg = cloud_config_for(setting, charging_unit, workload.spec().total_input_bytes);
+    let recorder = StreamingRecorder::with_config(obs_cfg);
+    let policy: Box<dyn ScalingPolicy + Send> = match setting {
+        Setting::Wire => Box::new(WirePolicy::default().with_obs(recorder.clone())),
+        other => build_policy(other, &cfg),
+    };
+    let result = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(policy)
+        .seed(seed)
+        .recording(recorder.clone())
+        .submit(&wf, &prof)
+        .run()
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} / {} / u={}: {e}",
+                workload.name(),
+                setting.label(),
+                charging_unit
+            )
+        });
+    recorder.note_session(result.makespan.as_ms(), result.charging_units);
+    (result, recorder)
 }
 
 /// Like [`run_setting`], with full telemetry: engine events, per-tick

@@ -1,0 +1,35 @@
+//! Streaming observability for WIRE runs: a bounded-memory alternative to
+//! the buffering `TelemetryHandle`.
+//!
+//! The [`StreamingRecorder`] implements the engine's `Recorder` trait but
+//! aggregates online instead of retaining events: mergeable log-bucketed
+//! quantile sketches (`wire_telemetry::Histogram` + `merge`), per-tenant
+//! and per-workflow cost/makespan/slowdown percentiles, windowed
+//! virtual-time rollups (arrivals, completions, spend, predictor MAPE/p90
+//! error per window), and run-health internals (event-queue depth,
+//! controller tick latency, prediction-memoization hit rate, events per
+//! wall-second). Peak retained state is proportional to *in-flight* work,
+//! never to run length — the property that unblocks million-workflow
+//! ensembles (ROADMAP item 1).
+//!
+//! Two export surfaces:
+//! - [`ObsSnapshot`]: the deterministic machine-readable summary
+//!   (`results/OBS_snapshot.json`), mergeable across campaign shards with
+//!   the same ordered-merge discipline as `wire-campaign`, so its bytes
+//!   are identical regardless of `WIRE_THREADS` or cache state.
+//! - [`render_report`]: the human summary behind the `wire report` CLI.
+//!
+//! Wall-clock facts (tick latency, events/sec, retained bytes) are
+//! deliberately *excluded* from the snapshot and live in [`HealthReport`].
+
+#![deny(missing_docs)]
+
+mod recorder;
+mod report;
+mod snapshot;
+mod state;
+
+pub use recorder::StreamingRecorder;
+pub use report::render_report;
+pub use snapshot::{HealthAgg, ObsSnapshot, TenantAgg, WindowAgg, WindowRollup, SNAPSHOT_VERSION};
+pub use state::{HealthReport, ObsConfig, ObsState};

@@ -1,0 +1,96 @@
+//! The cloneable recorder front-end over [`ObsState`].
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use wire_dag::Millis;
+use wire_telemetry::{Recorder, TelemetryEvent, TickStats};
+
+use crate::snapshot::ObsSnapshot;
+use crate::state::{HealthReport, ObsConfig, ObsState};
+
+/// A bounded-memory streaming [`Recorder`]: aggregates every telemetry
+/// event online into [`ObsState`] instead of buffering it. Cloneable and
+/// shareable (same `Arc` discipline as `TelemetryHandle`), so one handle
+/// can ride the engine while the planner and the driver feed side-channel
+/// facts (predictions, memoization counters, session outcomes) into the
+/// same state.
+#[derive(Debug, Clone)]
+pub struct StreamingRecorder(Arc<Mutex<ObsState>>);
+
+impl StreamingRecorder {
+    /// A recorder with default [`ObsConfig`].
+    pub fn new() -> Self {
+        Self::with_config(ObsConfig::default())
+    }
+
+    /// A recorder with explicit knobs.
+    pub fn with_config(cfg: ObsConfig) -> Self {
+        StreamingRecorder(Arc::new(Mutex::new(ObsState::new(cfg))))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ObsState> {
+        self.0.lock().expect("obs state poisoned")
+    }
+
+    /// Run `f` against the shared state.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ObsState) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    /// Export the deterministic snapshot of everything aggregated so far.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        self.lock().snapshot()
+    }
+
+    /// Wall-clock health report (events/sec, tick latency, retained bytes).
+    pub fn health(&self) -> HealthReport {
+        self.lock().health_report()
+    }
+
+    /// Record this tick's outstanding predictions plus memoization counter
+    /// deltas (one lock per planning tick, not per task).
+    pub fn note_plan_tick(&self, predictions: &[(u32, u64)], memo_hits: u64, memo_lookups: u64) {
+        self.lock()
+            .note_plan_tick(predictions, memo_hits, memo_lookups);
+    }
+
+    /// Add completed-task observations ingested by the online predictor.
+    pub fn note_predictor_observations(&self, n: u64) {
+        self.lock().note_predictor_observations(n);
+    }
+
+    /// Fold a whole session's authoritative makespan/billing in.
+    pub fn note_session(&self, makespan_ms: u64, units: u64) {
+        self.lock().note_session(makespan_ms, units);
+    }
+
+    /// Estimated retained bytes right now.
+    pub fn state_bytes(&self) -> usize {
+        self.lock().state_bytes()
+    }
+
+    /// High-water mark of estimated retained bytes across the run.
+    pub fn peak_state_bytes(&self) -> usize {
+        self.lock().peak_state_bytes()
+    }
+}
+
+impl Default for StreamingRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder for StreamingRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, at: Millis, event: TelemetryEvent) {
+        self.lock().record(at, &event);
+    }
+
+    fn tick(&mut self, at: Millis, stats: TickStats) {
+        self.lock().tick(at, stats);
+    }
+}

@@ -1,0 +1,223 @@
+//! Human-readable rendering of an [`ObsSnapshot`] — the `wire report`
+//! back-end. Pure formatting: everything shown is read from the snapshot,
+//! so the report is as deterministic as the snapshot itself.
+
+use wire_telemetry::Histogram;
+
+use crate::snapshot::ObsSnapshot;
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+fn hist_line(h: &Histogram, unit: &str, scale: f64) -> String {
+    if h.count == 0 {
+        return "—".to_string();
+    }
+    format!(
+        "n={} mean={:.1}{unit} p50={:.1}{unit} p90={:.1}{unit} max={:.1}{unit}",
+        h.count,
+        h.mean() / scale,
+        h.quantile(0.5) / scale,
+        h.quantile(0.9) / scale,
+        h.max / scale,
+    )
+}
+
+/// Render the run summary `wire report` prints.
+pub fn render_report(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("WIRE run report (streaming observability snapshot)\n");
+    out.push_str("==================================================\n\n");
+
+    let submitted = snap.counter("workflow_submitted");
+    let completed = snap.counter("workflow_completed");
+    let tasks = snap.counter("task_completed");
+    let resub = snap.counter("task_resubmitted");
+    let units = snap.counter("units_billed_total");
+    let h = &snap.health;
+
+    out.push_str("run\n");
+    let total_events: u64 = snap.counters.values().sum();
+    out.push_str(&format!("  telemetry events   {total_events}\n"));
+    if submitted > 0 || completed > 0 {
+        out.push_str(&format!(
+            "  workflows          {completed} completed / {submitted} submitted\n"
+        ));
+    }
+    if h.sessions > 0 {
+        out.push_str(&format!(
+            "  sessions           {} ({} units billed; makespan {})\n",
+            h.sessions,
+            h.session_units,
+            hist_line(&h.session_makespan_ms, "s", 1000.0)
+        ));
+    }
+    out.push_str(&format!(
+        "  tasks              {tasks} completed, {resub} resubmitted\n"
+    ));
+    out.push_str(&format!(
+        "  billing (events)   {units} units across {} terminations\n",
+        snap.counter("instance_terminated")
+    ));
+
+    out.push_str("\nlatency sketches\n");
+    for (label, key, unit, scale) in [
+        ("task exec", "task_exec_ms", "s", 1000.0),
+        ("task transfer", "task_transfer_ms", "s", 1000.0),
+        ("workflow makespan", "workflow_makespan_ms", "s", 1000.0),
+        ("slowdown", "workflow_slowdown_milli", "x", 1000.0),
+        ("pool at plan", "pool_at_plan", "", 1.0),
+    ] {
+        if let Some(hst) = snap.sketches.get(key) {
+            out.push_str(&format!("  {label:<18} {}\n", hist_line(hst, unit, scale)));
+        }
+    }
+
+    out.push_str("\nprediction quality\n");
+    if h.pred_abs_err_ms.count > 0 {
+        out.push_str(&format!(
+            "  abs error          {}\n",
+            hist_line(&h.pred_abs_err_ms, "ms", 1.0)
+        ));
+        out.push_str(&format!(
+            "  rel error          mean={:.1}% p90={:.1}% (n={})\n",
+            h.pred_rel_milli.mean() / 10.0,
+            h.pred_rel_milli.quantile(0.9) / 10.0,
+            h.pred_rel_milli.count
+        ));
+    } else {
+        out.push_str("  (no prediction joins recorded)\n");
+    }
+
+    out.push_str("\nrun health\n");
+    out.push_str(&format!(
+        "  memoization        {:.1}% hit ({} / {} lookups)\n",
+        pct(h.memo_hits, h.memo_lookups),
+        h.memo_hits,
+        h.memo_lookups
+    ));
+    out.push_str(&format!(
+        "  predictor intake   {} task observations\n",
+        h.predictor_observations
+    ));
+    out.push_str(&format!(
+        "  event queue depth  {}\n",
+        hist_line(&h.queue_depth, "", 1.0)
+    ));
+
+    if !snap.tenants.is_empty() && snap.tenants.iter().any(|t| t.completed > 0) {
+        out.push_str("\nper-tenant (workflow slot mod tenant count)\n");
+        out.push_str(
+            "  tenant  submitted  completed      tasks      busy s   makespan p50/p90 s   slowdown p50/p90\n",
+        );
+        for (i, t) in snap.tenants.iter().enumerate() {
+            out.push_str(&format!(
+                "  {:>6}  {:>9}  {:>9}  {:>9}  {:>10.1}  {:>9.1} / {:<7.1}  {:>7.2} / {:<6.2}\n",
+                i,
+                t.submitted,
+                t.completed,
+                t.tasks_completed,
+                t.busy_ms as f64 / 1000.0,
+                t.makespan_ms.quantile(0.5) / 1000.0,
+                t.makespan_ms.quantile(0.9) / 1000.0,
+                t.slowdown_milli.quantile(0.5) / 1000.0,
+                t.slowdown_milli.quantile(0.9) / 1000.0,
+            ));
+        }
+    }
+
+    let w = &snap.windows;
+    if !w.live.is_empty() || w.evicted_windows > 0 {
+        out.push_str(&format!(
+            "\nwindows ({}s each; {} older windows folded into totals)\n",
+            w.width_ms / 1000,
+            w.evicted_windows
+        ));
+        out.push_str(
+            "  window    t start s   arrivals  completions      tasks     busy s  units   MAPE %  p90 rel %\n",
+        );
+        let tail = w.live.len().saturating_sub(10);
+        for (idx, agg) in &w.live[tail..] {
+            let (mape, p90) = if agg.pred_rel_milli.count > 0 {
+                (
+                    agg.pred_rel_milli.mean() / 10.0,
+                    agg.pred_rel_milli.quantile(0.9) / 10.0,
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            out.push_str(&format!(
+                "  {:>6}  {:>10}  {:>9}  {:>11}  {:>9}  {:>9.1}  {:>5}  {:>7.1}  {:>9.1}\n",
+                idx,
+                idx * w.width_ms / 1000,
+                agg.arrivals,
+                agg.completions,
+                agg.tasks_completed,
+                agg.busy_ms as f64 / 1000.0,
+                agg.units,
+                mape,
+                p90,
+            ));
+        }
+        if w.live.len() > 10 {
+            out.push_str(&format!(
+                "  (showing last 10 of {} live windows)\n",
+                w.live.len()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{TenantAgg, WindowAgg};
+
+    #[test]
+    fn report_renders_every_section() {
+        let mut snap = ObsSnapshot::default();
+        snap.counters.insert("workflow_submitted".to_string(), 4);
+        snap.counters.insert("workflow_completed".to_string(), 4);
+        snap.counters.insert("task_completed".to_string(), 40);
+        snap.counters.insert("units_billed_total".to_string(), 7);
+        let mut t = TenantAgg::default();
+        t.submitted = 4;
+        t.completed = 4;
+        t.makespan_ms.observe(60_000.0);
+        t.slowdown_milli.observe(1_500.0);
+        snap.tenants.push(t);
+        let mut w = WindowAgg::default();
+        w.arrivals = 4;
+        w.pred_rel_milli.observe(120.0);
+        snap.windows.live.push((0, w));
+        snap.health.memo_hits = 90;
+        snap.health.memo_lookups = 100;
+        snap.health.pred_abs_err_ms.observe(250.0);
+        snap.health.pred_rel_milli.observe(120.0);
+        snap.health.queue_depth.observe(5.0);
+
+        let text = render_report(&snap);
+        for needle in [
+            "WIRE run report",
+            "workflows          4 completed / 4 submitted",
+            "per-tenant",
+            "windows (",
+            "90.0% hit",
+            "prediction quality",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_panicking() {
+        let text = render_report(&ObsSnapshot::default());
+        assert!(text.contains("WIRE run report"));
+    }
+}

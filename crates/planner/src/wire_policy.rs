@@ -4,6 +4,7 @@
 use crate::lookahead::{lookahead_into, LookaheadScratch};
 use crate::steering::{steer, steer_explained, SteeringConfig};
 use wire_dag::{Millis, TaskId};
+use wire_obs::StreamingRecorder;
 use wire_predictor::{
     CompletedTaskObs, Estimator, IntervalObservations, PolicyKind, Predictor, RunningTaskObs,
     StageVersions, TaskStatus,
@@ -94,6 +95,19 @@ pub struct WirePolicy {
     /// Reusable lookahead working state + output (zero projection
     /// allocations in steady state).
     lookahead: LookaheadScratch,
+    /// Optional streaming-observability sink: one batched note per tick
+    /// (predictions, memoization deltas, predictor intake), so the hot
+    /// per-task loop never takes its lock.
+    obs_sink: Option<StreamingRecorder>,
+    /// Reused buffer of this tick's `(task, predicted_ms)` pairs for the
+    /// sink; cleared, not reallocated, each tick.
+    pred_buf: Vec<(u32, u64)>,
+    /// Lifetime prediction-memoization counters (hits, lookups) over
+    /// unstarted-task predictions.
+    memo_hits: u64,
+    memo_lookups: u64,
+    /// Predictor-intake total already forwarded to the sink.
+    pred_obs_noted: u64,
 }
 
 impl Default for WirePolicy {
@@ -114,6 +128,11 @@ impl WirePolicy {
             values: Vec::new(),
             memo: Vec::new(),
             lookahead: LookaheadScratch::default(),
+            obs_sink: None,
+            pred_buf: Vec::new(),
+            memo_hits: 0,
+            memo_lookups: 0,
+            pred_obs_noted: 0,
         }
     }
 
@@ -123,6 +142,21 @@ impl WirePolicy {
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = Some(telemetry);
         self
+    }
+
+    /// Attach a streaming-observability sink (usually a clone of the
+    /// [`StreamingRecorder`] riding the engine): every MAPE tick pushes the
+    /// tick's occupancy predictions, memoization deltas and predictor
+    /// intake into the shared bounded-memory state, one lock per tick.
+    pub fn with_obs(mut self, sink: StreamingRecorder) -> Self {
+        self.obs_sink = Some(sink);
+        self
+    }
+
+    /// Lifetime prediction-memoization `(hits, lookups)` over
+    /// unstarted-task predictions.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.memo_hits, self.memo_lookups)
     }
 
     /// Access the trained predictor (after at least one interval).
@@ -250,6 +284,7 @@ impl ScalingPolicy for WirePolicy {
         }
         let transfer_version = predictor.transfer_version();
         let mut uses = [0u64; 5];
+        let (memo_hits_before, memo_lookups_before) = (self.memo_hits, self.memo_lookups);
         for (i, tv) in snapshot.tasks.iter().enumerate() {
             let task = TaskId(i as u32);
             let status = match *tv {
@@ -273,8 +308,12 @@ impl ScalingPolicy for WirePolicy {
             } else {
                 let stage_versions = predictor.stage_state(stage).versions();
                 let code = matches!(status, TaskStatus::UnstartedReady) as u8;
+                self.memo_lookups += 1;
                 match self.memo[i].filter(|e| e.valid_for(stage_versions, transfer_version, code)) {
-                    Some(e) => (e.remaining, e.value, e.policy),
+                    Some(e) => {
+                        self.memo_hits += 1;
+                        (e.remaining, e.value, e.policy)
+                    }
                     None => {
                         let p = predictor.predict_occupancy(stage, input_bytes, status);
                         self.memo[i] = Some(CachedPrediction {
@@ -301,9 +340,23 @@ impl ScalingPolicy for WirePolicy {
                     value,
                 );
             }
+            if self.obs_sink.is_some() {
+                self.pred_buf.push((task.0, value.as_ms()));
+            }
         }
         for (slot, fired) in self.policy_uses.iter_mut().zip(uses) {
             *slot += fired;
+        }
+        if let Some(sink) = &self.obs_sink {
+            let (d_hits, d_lookups) = (
+                self.memo_hits - memo_hits_before,
+                self.memo_lookups - memo_lookups_before,
+            );
+            sink.note_plan_tick(&self.pred_buf, d_hits, d_lookups);
+            self.pred_buf.clear();
+            let ingested = predictor.observations_ingested();
+            sink.note_predictor_observations(ingested - self.pred_obs_noted);
+            self.pred_obs_noted = ingested;
         }
 
         // Plan: project one interval ahead, then steer.

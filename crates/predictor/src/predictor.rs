@@ -103,6 +103,7 @@ pub struct Predictor {
     estimator: crate::estimators::Estimator,
     transfer: TransferEstimator,
     intervals_seen: u64,
+    observations: u64,
 }
 
 impl Predictor {
@@ -126,6 +127,7 @@ impl Predictor {
             estimator,
             transfer: TransferEstimator::default(),
             intervals_seen: 0,
+            observations: 0,
         }
     }
 
@@ -149,6 +151,7 @@ impl Predictor {
             for c in &so.completed {
                 state.record_completion(c.input_bytes, c.exec_time);
             }
+            self.observations += so.completed.len() as u64;
             state.set_running(so.running.iter().map(|r| (r.task, r.age)));
             state.update_model();
         }
@@ -200,6 +203,13 @@ impl Predictor {
 
     pub fn intervals_seen(&self) -> u64 {
         self.intervals_seen
+    }
+
+    /// Lifetime count of completed-task observations ingested through
+    /// [`Predictor::observe_interval`] — the observability layer's
+    /// predictor-intake health metric.
+    pub fn observations_ingested(&self) -> u64 {
+        self.observations
     }
 
     /// Approximate controller state size in bytes (§IV-F overhead report).

@@ -131,6 +131,9 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
     // persistent buffers reused every tick so the hot path allocates nothing
     snapshot_scratch: SnapshotScratch,
     resubmit_scratch: Vec<TaskId>,
+    /// Tasks currently in [`TaskState::Running`], maintained incrementally
+    /// so telemetry emit sites never scan the task table.
+    tasks_running: u32,
 
     // metrics
     busy_slot_time: Millis,
@@ -306,6 +309,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             interval_transfers: Vec::new(),
             snapshot_scratch: SnapshotScratch::default(),
             resubmit_scratch: Vec::new(),
+            tasks_running: 0,
             busy_slot_time: Millis::ZERO,
             wasted_slot_time: Millis::ZERO,
             units_total: 0,
@@ -618,6 +622,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         let occupancy = self.clock - assigned_at;
         self.busy_slot_time += occupancy;
         self.tasks[task.index()] = TaskState::Done;
+        self.tasks_running -= 1;
         self.completions += 1;
 
         let sub = self.sub_of(task);
@@ -665,10 +670,22 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                     workflow: id,
                     makespan,
                 });
-                self.emit(TelemetryEvent::WorkflowCompleted {
-                    workflow: id.0,
-                    makespan,
-                });
+                if self.recorder.enabled() {
+                    // single-tenant lower bound, same formula as the
+                    // slowdown denominator in `into_result`; only computed
+                    // when a recorder is listening
+                    let ideal = self.config.run_setup
+                        + critical_path_ms(self.slots[sub].workflow, self.profiles[sub])
+                        + self.config.run_teardown;
+                    self.recorder.record(
+                        self.clock,
+                        TelemetryEvent::WorkflowCompleted {
+                            workflow: id.0,
+                            makespan,
+                            ideal,
+                        },
+                    );
+                }
             }
         }
 
@@ -739,11 +756,14 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                     InstanceState::Terminated { .. } => {}
                 }
             }
-            let running = self
-                .tasks
-                .iter()
-                .filter(|t| matches!(t, TaskState::Running { .. }))
-                .count() as u32;
+            let running = self.tasks_running;
+            debug_assert_eq!(
+                running as usize,
+                self.tasks
+                    .iter()
+                    .filter(|t| matches!(t, TaskState::Running { .. }))
+                    .count()
+            );
             let ev = TelemetryEvent::MapeTick {
                 pool,
                 launching,
@@ -759,6 +779,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                 self.clock,
                 TickStats {
                     controller_micros: controller_elapsed.as_micros() as u64,
+                    queue_depth: self.queue.len() as u32,
                 },
             );
         }
@@ -890,6 +911,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             self.restarts[task.index()] += 1;
             self.total_restarts += 1;
             self.tasks[task.index()] = TaskState::Ready;
+            self.tasks_running -= 1;
             self.ready_at[task.index()] = self.clock;
             self.ready.push_resubmit(task);
             self.trace_push(TraceEvent::TaskResubmitted { task, sunk });
@@ -947,6 +969,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         }
         let occupancy = t_in + exec + t_out;
         self.instances[instance.index()].slots[slot as usize] = Some(task);
+        self.tasks_running += 1;
         self.tasks[task.index()] = TaskState::Running {
             instance,
             slot,

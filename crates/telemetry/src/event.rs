@@ -72,8 +72,15 @@ pub enum TelemetryEvent {
     /// root tasks became ready.
     WorkflowReady { workflow: u32 },
     /// A workflow of a multi-workflow session completed (including its
-    /// teardown); the session keeps running.
-    WorkflowCompleted { workflow: u32, makespan: Millis },
+    /// teardown); the session keeps running. `ideal` is the workflow's
+    /// single-tenant lower bound (setup + critical path + teardown), so a
+    /// streaming consumer can derive the slowdown `makespan / ideal`
+    /// without retaining per-task state.
+    WorkflowCompleted {
+        workflow: u32,
+        makespan: Millis,
+        ideal: Millis,
+    },
     /// A scripted chaos fault fired (index into the run's fault plan). Only
     /// emitted when a plan is attached to the engine.
     ChaosFault { fault: u32 },
@@ -185,9 +192,14 @@ impl TelemetryEvent {
             TelemetryEvent::WorkflowReady { workflow } => {
                 fields.push(("workflow", u(workflow as u64)));
             }
-            TelemetryEvent::WorkflowCompleted { workflow, makespan } => {
+            TelemetryEvent::WorkflowCompleted {
+                workflow,
+                makespan,
+                ideal,
+            } => {
                 fields.push(("workflow", u(workflow as u64)));
                 fields.push(("makespan_ms", u(makespan.as_ms())));
+                fields.push(("ideal_ms", u(ideal.as_ms())));
             }
             TelemetryEvent::ChaosFault { fault } => {
                 fields.push(("fault", u(fault as u64)));
@@ -278,6 +290,7 @@ impl TelemetryEvent {
             "workflow_completed" => TelemetryEvent::WorkflowCompleted {
                 workflow: get_u32("workflow")?,
                 makespan: get_ms("makespan_ms")?,
+                ideal: get_ms("ideal_ms")?,
             },
             "chaos_fault" => TelemetryEvent::ChaosFault {
                 fault: get_u32("fault")?,
@@ -345,6 +358,7 @@ mod tests {
             TelemetryEvent::WorkflowCompleted {
                 workflow: 1,
                 makespan: Millis::from_mins(20),
+                ideal: Millis::from_mins(15),
             },
             TelemetryEvent::ChaosFault { fault: 2 },
         ]

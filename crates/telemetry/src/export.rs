@@ -407,6 +407,7 @@ mod tests {
             Millis::from_ms(300_000),
             TickStats {
                 controller_micros: 10,
+                queue_depth: 1,
             },
         );
         h.take()

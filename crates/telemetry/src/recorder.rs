@@ -20,6 +20,9 @@ use wire_dag::Millis;
 pub struct TickStats {
     /// Wall-clock microseconds spent in Analyze+Plan this tick.
     pub controller_micros: u64,
+    /// Pending entries in the simulator's event queue when the tick fired
+    /// (virtual-time state, so deterministic across runs).
+    pub queue_depth: u32,
 }
 
 /// Sink for simulator telemetry. Implementations must be cheap to call;
@@ -300,6 +303,7 @@ mod tests {
             Millis::from_mins(10),
             TickStats {
                 controller_micros: 42,
+                queue_depth: 3,
             },
         );
 

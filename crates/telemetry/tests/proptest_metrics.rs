@@ -1,0 +1,69 @@
+//! Property tests on the mergeable histogram sketch: merging any split of
+//! an observation stream must be indistinguishable from observing the
+//! combined stream — the lossless-merge contract the streaming
+//! observability shards rely on.
+
+use proptest::prelude::*;
+use wire_telemetry::Histogram;
+
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    // non-negative, finite; spans sub-1.0 values (bucket 0) through the
+    // top buckets
+    proptest::collection::vec(0u64..u64::MAX >> 24, 0..200)
+        .prop_map(|v| v.into_iter().map(|x| x as f64 / 16.0).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_of_splits_equals_combined_stream(
+        values in arb_values(),
+        split_mask in proptest::collection::vec(proptest::bool::ANY, 0..200),
+    ) {
+        let (mut left, mut right, mut whole) =
+            (Histogram::new(), Histogram::new(), Histogram::new());
+        for (i, &v) in values.iter().enumerate() {
+            whole.observe(v);
+            if split_mask.get(i).copied().unwrap_or(false) {
+                left.observe(v);
+            } else {
+                right.observe(v);
+            }
+        }
+        left.merge(&right);
+        // count/sum/min/max/buckets identical (PartialEq covers all fields)
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(left.buckets(), whole.buckets());
+    }
+
+    #[test]
+    fn merge_is_commutative(values in arb_values(), pivot in 0usize..200) {
+        let pivot = pivot.min(values.len());
+        let (mut a, mut b) = (Histogram::new(), Histogram::new());
+        for &v in &values[..pivot] {
+            a.observe(v);
+        }
+        for &v in &values[pivot..] {
+            b.observe(v);
+        }
+        let (mut ab, mut ba) = (a.clone(), b.clone());
+        ab.merge(&b);
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn quantiles_stay_within_observed_range(values in arb_values(), q in 0.0f64..=1.0) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        if h.count > 0 {
+            let est = h.quantile(q);
+            prop_assert!(est >= h.min && est <= h.max, "q={} est={} range=[{},{}]", q, est, h.min, h.max);
+        } else {
+            prop_assert_eq!(h.quantile(q), 0.0);
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! wire replay <trace-file> [options]          run a trace file
 //! wire dot <workload> [--seed N]              Graphviz DOT of the DAG
 //! wire campaign <targets...> [options]        regenerate figures (sharded + cached)
+//! wire report [snapshot.json]                 render the campaign observability snapshot
 //!
 //! options:
 //!   --policy wire|oracle|full-site|pure-reactive|reactive-conserving
@@ -331,6 +332,7 @@ fn real_main() -> Result<(), String> {
             Ok(())
         }
         "campaign" => run_campaign_cmd(rest),
+        "report" => run_report_cmd(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -394,6 +396,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
     );
     let runner = wire_campaign::FigureRunner { cfg, quick };
     let mut bad = 0usize;
+    let mut total = wire_campaign::FigureOutcome::default();
     for t in &targets {
         let outcome = match t.as_str() {
             "fig2" => runner.fig2(),
@@ -417,10 +420,42 @@ fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
             );
         }
         bad += outcome.violations.len();
+        total.absorb_outcome(&outcome);
     }
+    // the merged streaming-observability aggregate for everything the
+    // campaign touched; canonical bytes, so reruns at any thread count or
+    // cache state rewrite the identical file
+    let path = wire_campaign::save_obs_snapshot(&total.obs);
+    eprintln!(
+        "campaign: observability snapshot → {} (render with `wire report`)",
+        path.display()
+    );
     if bad > 0 {
         return Err(format!("{bad} invariant violation(s) — see above"));
     }
+    Ok(())
+}
+
+/// `wire report [snapshot.json]` — render the campaign observability
+/// snapshot written by `wire campaign` as a human-readable run report.
+fn run_report_cmd(args: &[String]) -> Result<(), String> {
+    let default_path = || {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("results/OBS_snapshot.json")
+            .display()
+            .to_string()
+    };
+    let path = match args {
+        [] => default_path(),
+        [p] if !p.starts_with('-') => p.clone(),
+        _ => return Err("usage: wire report [snapshot.json]".to_string()),
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!("read {path}: {e} (run `wire campaign <target>` first to produce the snapshot)")
+    })?;
+    let snapshot =
+        wire::obs::ObsSnapshot::from_json_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    print!("{}", wire::obs::render_report(&snapshot));
     Ok(())
 }
 
@@ -442,6 +477,7 @@ fn print_usage() {
         "  wire campaign <fig2|fig3|fig5|fig6|headline|ablation|policies|overhead|all>...
                       [--threads N] [--force] [--no-cache] [--check] [--quick]"
     );
+    println!("  wire report [snapshot.json]            render results/OBS_snapshot.json");
     println!();
     println!("policies: wire (default), oracle, full-site, pure-reactive,");
     println!("          reactive-conserving");

@@ -15,7 +15,10 @@
 //!   processes ([`wire_workloads`]);
 //! * [`core`] — experiment harness, statistics, reports ([`wire_core`]);
 //! * [`telemetry`] — decision journal, prediction-quality metrics and trace
-//!   exporters ([`wire_telemetry`]).
+//!   exporters ([`wire_telemetry`]);
+//! * [`obs`] — bounded-memory streaming observability: mergeable sketches,
+//!   per-tenant/windowed rollups, run-health metrics and the `wire report`
+//!   snapshot format ([`wire_obs`]).
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@
 
 pub use wire_core as core;
 pub use wire_dag as dag;
+pub use wire_obs as obs;
 pub use wire_planner as planner;
 pub use wire_predictor as predictor;
 pub use wire_simcloud as simcloud;
@@ -55,6 +59,7 @@ pub mod prelude {
     pub use wire_dag::{
         ExecProfile, Millis, StageId, TaskId, Workflow, WorkflowBuilder, WorkflowId,
     };
+    pub use wire_obs::{render_report, ObsSnapshot, StreamingRecorder};
     pub use wire_planner::{
         PureReactive, ReactiveConserving, StaticPolicy, SteeringConfig, WirePolicy,
     };
