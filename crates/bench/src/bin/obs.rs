@@ -199,6 +199,13 @@ fn main() {
     let _ = writeln!(json, "  \"max_state_growth\": {MAX_STATE_GROWTH},");
     let _ = writeln!(json, "  \"state_growth\": {state_growth:.4},");
     let _ = writeln!(json, "  \"worst_overhead_frac\": {worst_overhead:.4},");
+    let _ = writeln!(
+        json,
+        "  \"peak_rss_bytes\": {},",
+        wire_bench::peak_rss_bytes()
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "null".into())
+    );
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(

@@ -39,6 +39,21 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Best-effort peak-RSS probe: the process high-water mark (`VmHWM`) from
+/// `/proc/self/status` on Linux, `None` where the file or field is absent.
+/// Monotone over the process lifetime — sample it *after* each benchmark
+/// cell; the delta between cells bounds the cell's net contribution.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
 /// Build the campaign front-end driver for a figure binary from its CLI
 /// flags: `--quick` (reduced sweep), `--threads N` (worker override),
 /// `--force` (ignore cached cells), `--no-cache` (bypass the cache

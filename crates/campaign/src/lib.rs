@@ -27,6 +27,7 @@ pub mod cache;
 pub mod cell;
 pub mod figures;
 pub mod runner;
+pub mod traffic;
 
 pub use cache::CacheMiss;
 pub use cell::{
@@ -37,3 +38,4 @@ pub use figures::{grid_cells, grid_results_from, save_obs_snapshot, FigureOutcom
 pub use runner::{
     default_cache_dir, run_campaign, CacheMode, CampaignConfig, CampaignReport, CellViolation,
 };
+pub use traffic::{run_tenant, run_traffic, TenantOutcome, TrafficReport, TrafficSpec};

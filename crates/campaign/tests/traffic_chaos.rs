@@ -1,0 +1,82 @@
+//! Chaos-harness coverage for the service-scale traffic simulator: the
+//! tick-level [`InvariantChecker`] stays clean when teed onto a sampled
+//! tenant of a traffic run, an empty [`FaultPlan`] is byte-identical to the
+//! plain path, and the invariants hold regardless of engine sharding.
+
+use wire_campaign::{run_tenant, run_traffic, TrafficSpec};
+use wire_chaos::InvariantChecker;
+use wire_simcloud::{FaultPlan, NoopRecorder};
+
+fn spec() -> TrafficSpec {
+    TrafficSpec {
+        tenants: 3,
+        per_tenant: 50,
+        ticks_per_tenant: 50 * 2_000 / 150,
+        ..TrafficSpec::with_total(0)
+    }
+}
+
+/// Tee the full invariant checker onto one sampled tenant of the traffic
+/// stream: every engine-level law (slot conservation, billing monotonicity,
+/// id ranges, completion coverage) must hold on the indexed service core.
+#[test]
+fn sampled_tenant_satisfies_engine_invariants() {
+    let spec = spec();
+    let template = spec.template();
+    let (wf, _) = &template;
+    let mut checker = InvariantChecker::new(&spec.config());
+    for _ in 0..spec.per_tenant {
+        checker = checker.expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32);
+    }
+    let sampled = 1; // middle tenant: distinct seed salt from tenant 0
+    let outcome = run_tenant(&spec, &template, sampled, checker.clone(), FaultPlan::new());
+    assert_eq!(outcome.completed_workflows, spec.per_tenant as u64);
+    checker.assert_clean();
+}
+
+/// An empty chaos plan must be a strict identity: the teed-checker run and
+/// the plain traffic run agree on every deterministic outcome field, so
+/// attaching the chaos harness is unobservable to the simulation.
+#[test]
+fn empty_fault_plan_is_identity() {
+    let spec = spec();
+    let template = spec.template();
+    let report = run_traffic(&spec, Some(1));
+    for tenant in 0..spec.tenants {
+        let solo = run_tenant(&spec, &template, tenant, NoopRecorder, FaultPlan::new());
+        let merged = &report.per_tenant[tenant];
+        assert_eq!(solo.completed_workflows, merged.completed_workflows);
+        assert_eq!(solo.charging_units, merged.charging_units);
+        assert_eq!(solo.makespan, merged.makespan);
+        assert_eq!(solo.restarts, merged.restarts);
+        assert_eq!(solo.mape_iterations, merged.mape_iterations);
+        assert_eq!(solo.events, merged.events);
+        assert_eq!(solo.obs.to_json_string(), merged.obs.to_json_string());
+    }
+}
+
+/// The invariant verdict and the run digest are both independent of the
+/// engine shard count: chaos instrumentation must not become a side channel
+/// for thread scheduling.
+#[test]
+fn sharding_is_unobservable_under_chaos_tee() {
+    let spec = spec();
+    let template = spec.template();
+    let one = run_traffic(&spec, Some(1));
+    let four = run_traffic(&spec, Some(4));
+    assert_eq!(one.digest, four.digest);
+    assert_eq!(one.render(), four.render());
+    for threads in [1usize, 4] {
+        // the tee itself is sequential per tenant; what varies with the
+        // shard count is the surrounding pool, exercised above — here we
+        // pin that a checker-teed tenant still matches the sharded merge
+        let report = if threads == 1 { &one } else { &four };
+        let checker = InvariantChecker::new(&spec.config());
+        let solo = run_tenant(&spec, &template, 2, checker.clone(), FaultPlan::new());
+        checker.assert_clean();
+        assert_eq!(
+            solo.obs.to_json_string(),
+            report.per_tenant[2].obs.to_json_string()
+        );
+    }
+}

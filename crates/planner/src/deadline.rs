@@ -58,7 +58,8 @@ impl DeadlineWirePolicy {
         let ns = snapshot.total_stages();
         let mut stage_work = vec![Millis::ZERO; ns];
         let mut stage_longest = vec![Millis::ZERO; ns];
-        for (i, tv) in snapshot.tasks.iter().enumerate() {
+        // tasks below the done-prefix watermark would all hit the Done arm
+        for (i, tv) in snapshot.tasks.iter().enumerate().skip(snapshot.done_prefix) {
             let task = wire_dag::TaskId(i as u32);
             let status = match *tv {
                 TaskView::Done { .. } => continue,

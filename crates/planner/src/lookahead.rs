@@ -203,13 +203,22 @@ pub fn lookahead_into<'s>(
         out,
     } = scratch;
 
+    // Every task below the engine's done-prefix watermark is permanently
+    // Done — mark the prefix in bulk and only inspect views above it.
+    let dp = snapshot.done_prefix.min(n);
     done.clear();
-    done.extend(snapshot.tasks.iter().map(TaskView::is_done));
+    done.resize(dp, true);
+    done.extend(snapshot.tasks[dp..].iter().map(TaskView::is_done));
     // Dependency edges are workflow-local; walk each arrived workflow's tasks
-    // through its slot's global offsets.
+    // through its slot's global offsets. Workflows entirely below the
+    // watermark have no un-done tasks: their rows keep unmet = 0, which the
+    // completion cascade never reads (it only touches !done successors).
     unmet.clear();
     unmet.resize(n, 0);
     for slot in snapshot.workflows {
+        if slot.task_base as usize + slot.num_tasks() <= dp {
+            continue;
+        }
         for t in slot.workflow.task_ids() {
             let g = slot.global_task(t).index();
             unmet[g] = slot
@@ -287,7 +296,7 @@ pub fn lookahead_into<'s>(
         }
     }
 
-    for (i, tv) in snapshot.tasks.iter().enumerate() {
+    for (i, tv) in snapshot.tasks.iter().enumerate().skip(dp) {
         if let TaskView::Running {
             instance,
             occupied_for,

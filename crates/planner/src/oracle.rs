@@ -53,7 +53,9 @@ impl ScalingPolicy for OracleWirePolicy {
         );
         let mut remaining = vec![Millis::ZERO; wf.num_tasks()];
         let mut values = vec![Millis::ZERO; wf.num_tasks()];
-        for (i, tv) in snapshot.tasks.iter().enumerate() {
+        // rows below the done-prefix watermark stay at the zero they were
+        // initialised with — exactly what the Done arm would have written
+        for (i, tv) in snapshot.tasks.iter().enumerate().skip(snapshot.done_prefix) {
             let task = TaskId(i as u32);
             let spec = wf.task(task);
             let occupancy = self.profile.exec_time(task)

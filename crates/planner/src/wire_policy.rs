@@ -92,6 +92,14 @@ pub struct WirePolicy {
     values: Vec<Millis>,
     /// Per-task memoized predictions keyed by version stamps.
     memo: Vec<Option<CachedPrediction>>,
+    /// How far the engine's done-prefix watermark had advanced when we last
+    /// zeroed estimate rows: rows below it hold `Millis::ZERO` / `None` and
+    /// the per-task loop starts there. See [`MonitorSnapshot::done_prefix`].
+    done_seen: usize,
+    /// Workflow slots fully below the done watermark whose stages have been
+    /// retired in the predictor (their estimates can never be read again).
+    /// Advances with `done_seen`; reset alongside it on policy reuse.
+    retired_slots: usize,
     /// Reusable lookahead working state + output (zero projection
     /// allocations in steady state).
     lookahead: LookaheadScratch,
@@ -127,6 +135,8 @@ impl WirePolicy {
             remaining: Vec::new(),
             values: Vec::new(),
             memo: Vec::new(),
+            done_seen: 0,
+            retired_slots: 0,
             lookahead: LookaheadScratch::default(),
             obs_sink: None,
             pred_buf: Vec::new(),
@@ -196,32 +206,40 @@ impl WirePolicy {
     /// workflows arrive.
     fn fill_observations(obs: &mut IntervalObservations, snapshot: &MonitorSnapshot<'_>) {
         obs.ensure_stages(snapshot.total_stages());
-        for so in &mut obs.per_stage {
-            so.completed.clear();
-            so.running.clear();
+        if !snapshot.naive {
+            // touched-stage tracking: clearing and (in the predictor)
+            // advancing cost O(stages with data) per tick instead of
+            // O(stages ever seen) — the naive baseline keeps the historical
+            // dense path
+            obs.enable_sparse();
         }
+        obs.begin_interval();
         for c in snapshot.new_completions {
             let stage = snapshot.stage_of(c.task);
-            obs.per_stage[stage.index()]
-                .completed
-                .push(CompletedTaskObs {
+            obs.push_completed(
+                stage.index(),
+                CompletedTaskObs {
                     task: c.task,
                     input_bytes: c.input_bytes,
                     exec_time: c.exec_time,
-                });
+                },
+            );
         }
-        for (i, tv) in snapshot.tasks.iter().enumerate() {
+        // tasks below the done-prefix watermark are Done, never Running
+        for (i, tv) in snapshot.tasks.iter().enumerate().skip(snapshot.done_prefix) {
             if let TaskView::Running { exec_age, .. } = *tv {
                 let task = TaskId(i as u32);
                 let stage = snapshot.stage_of(task);
-                obs.per_stage[stage.index()].running.push(RunningTaskObs {
-                    task,
-                    input_bytes: snapshot.spec(task).input_bytes,
-                    age: exec_age,
-                });
+                obs.push_running(
+                    stage.index(),
+                    RunningTaskObs {
+                        task,
+                        input_bytes: snapshot.spec(task).input_bytes,
+                        age: exec_age,
+                    },
+                );
             }
         }
-        obs.transfers.clear();
         obs.transfers.extend_from_slice(snapshot.interval_transfers);
     }
 
@@ -275,6 +293,9 @@ impl ScalingPolicy for WirePolicy {
             self.remaining.clear();
             self.values.clear();
             self.memo.clear();
+            self.done_seen = 0;
+            self.retired_slots = 0;
+            predictor.reset_retirement();
         }
         if self.remaining.len() < n {
             // mid-session arrivals append tasks; existing memo entries stay valid
@@ -282,10 +303,38 @@ impl ScalingPolicy for WirePolicy {
             self.values.resize(n, Millis::ZERO);
             self.memo.resize(n, None);
         }
+        // Adopt the engine's done-prefix watermark: every task below it is
+        // permanently Done, so its rows go to zero once (as the watermark
+        // passes) and the per-task loop starts there. A snapshot reporting 0
+        // — always sound — degrades to the full scan.
+        let dp = snapshot.done_prefix.min(n);
+        if dp < self.done_seen {
+            self.done_seen = dp; // equal-size policy reuse across runs
+            self.retired_slots = 0;
+            predictor.reset_retirement();
+        }
+        for i in self.done_seen..dp {
+            self.remaining[i] = Millis::ZERO;
+            self.values[i] = Millis::ZERO;
+            self.memo[i] = None;
+        }
+        self.done_seen = dp;
+        // Workflows fully below the watermark are finished: no task of
+        // theirs will ever be predicted again, so the predictor may stop
+        // converging their stages' models (see
+        // `Predictor::retire_stages_below` for why this is unobservable).
+        while self.retired_slots < snapshot.workflows.len() {
+            let slot = &snapshot.workflows[self.retired_slots];
+            if slot.task_base as usize + slot.num_tasks() > dp {
+                break;
+            }
+            predictor.retire_stages_below(slot.stage_base as usize + slot.workflow.num_stages());
+            self.retired_slots += 1;
+        }
         let transfer_version = predictor.transfer_version();
         let mut uses = [0u64; 5];
         let (memo_hits_before, memo_lookups_before) = (self.memo_hits, self.memo_lookups);
-        for (i, tv) in snapshot.tasks.iter().enumerate() {
+        for (i, tv) in snapshot.tasks.iter().enumerate().skip(dp) {
             let task = TaskId(i as u32);
             let status = match *tv {
                 TaskView::Done { .. } => {

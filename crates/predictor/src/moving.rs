@@ -70,6 +70,14 @@ impl IntervalMedian {
         crate::median::median_millis_mut(scratch)
     }
 
+    /// Whether any retained interval holds an observation. A window of
+    /// nothing but empty batches answers every median query with `None` and
+    /// keeps doing so under further empty pushes — the settled state the
+    /// predictor's dormant-stage fast path relies on.
+    pub fn has_observations(&self) -> bool {
+        self.intervals.iter().any(|batch| !batch.is_empty())
+    }
+
     /// Number of intervals currently retained.
     pub fn num_intervals(&self) -> usize {
         self.intervals.len()

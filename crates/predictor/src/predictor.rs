@@ -40,6 +40,11 @@ pub struct IntervalObservations {
     pub per_stage: Vec<StageIntervalObs>,
     /// Data-transfer durations completed during the interval (any stage).
     pub transfers: Vec<Millis>,
+    /// Stage ids touched since the last [`IntervalObservations::begin_interval`],
+    /// deduplicated. `Some` only after [`IntervalObservations::enable_sparse`];
+    /// `None` means the owner fills `per_stage` by hand and every stage must
+    /// be treated as potentially touched (the historical dense contract).
+    dirty: Option<Vec<u32>>,
 }
 
 impl IntervalObservations {
@@ -54,6 +59,7 @@ impl IntervalObservations {
         IntervalObservations {
             per_stage: vec![StageIntervalObs::default(); num_stages],
             transfers: Vec::new(),
+            dirty: None,
         }
     }
 
@@ -65,6 +71,78 @@ impl IntervalObservations {
             self.per_stage
                 .resize(num_stages, StageIntervalObs::default());
         }
+    }
+
+    /// Opt into touched-stage tracking: thereafter, as long as entries are
+    /// filled through [`IntervalObservations::push_completed`] /
+    /// [`IntervalObservations::push_running`] and reset through
+    /// [`IntervalObservations::begin_interval`], the observation set knows
+    /// exactly which stages carry data, and
+    /// [`Predictor::observe_interval`] advances only those plus the stages
+    /// still converging — instead of every stage a long-lived session has
+    /// ever seen.
+    pub fn enable_sparse(&mut self) {
+        if self.dirty.is_none() {
+            self.dirty = Some(
+                self.per_stage
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, so)| !so.completed.is_empty() || !so.running.is_empty())
+                    .map(|(i, _)| i as u32)
+                    .collect(),
+            );
+        }
+    }
+
+    /// Reset for a new interval: clear the transfer list and exactly the
+    /// per-stage entries that carry data — the touched list when tracking,
+    /// every entry otherwise.
+    pub fn begin_interval(&mut self) {
+        match self.dirty.take() {
+            Some(mut dirty) => {
+                for &s in &dirty {
+                    let so = &mut self.per_stage[s as usize];
+                    so.completed.clear();
+                    so.running.clear();
+                }
+                dirty.clear();
+                self.dirty = Some(dirty);
+            }
+            None => {
+                for so in &mut self.per_stage {
+                    so.completed.clear();
+                    so.running.clear();
+                }
+            }
+        }
+        self.transfers.clear();
+    }
+
+    fn mark(&mut self, stage: usize) {
+        if let Some(dirty) = &mut self.dirty {
+            let so = &self.per_stage[stage];
+            if so.completed.is_empty() && so.running.is_empty() {
+                dirty.push(stage as u32);
+            }
+        }
+    }
+
+    /// Record a completion for `stage`, keeping the touched list exact.
+    pub fn push_completed(&mut self, stage: usize, obs: CompletedTaskObs) {
+        self.mark(stage);
+        self.per_stage[stage].completed.push(obs);
+    }
+
+    /// Record a running task for `stage`, keeping the touched list exact.
+    pub fn push_running(&mut self, stage: usize, obs: RunningTaskObs) {
+        self.mark(stage);
+        self.per_stage[stage].running.push(obs);
+    }
+
+    /// The stages touched this interval, when tracking is enabled. `None`
+    /// means "unknown — assume all".
+    pub fn dirty_stages(&self) -> Option<&[u32]> {
+        self.dirty.as_deref()
     }
 }
 
@@ -104,6 +182,18 @@ pub struct Predictor {
     transfer: TransferEstimator,
     intervals_seen: u64,
     observations: u64,
+    /// Stage ids still advanced every interval. A stage leaves this list when
+    /// [`StageState::is_settled`] proves further empty-observation intervals
+    /// are no-ops, and rejoins the moment an observation names it. Order is
+    /// irrelevant: per-stage updates touch disjoint state.
+    awake: Vec<u32>,
+    /// `dormant[i]` ⇔ stage `i` is *not* in `awake`.
+    dormant: Vec<bool>,
+    /// Stages below this id are retired ([`Predictor::retire_stages_below`]):
+    /// the owner has promised their estimates will never be read again, so
+    /// the sparse path stops converging their models once their observations
+    /// run dry.
+    retired_prefix: usize,
 }
 
 impl Predictor {
@@ -128,6 +218,9 @@ impl Predictor {
             transfer: TransferEstimator::default(),
             intervals_seen: 0,
             observations: 0,
+            awake: (0..num_stages as u32).collect(),
+            dormant: vec![false; num_stages],
+            retired_prefix: 0,
         }
     }
 
@@ -135,25 +228,102 @@ impl Predictor {
     /// mid-session append stages; existing per-stage learning state is kept).
     pub fn ensure_stages(&mut self, num_stages: usize) {
         while self.stages.len() < num_stages {
+            self.awake.push(self.stages.len() as u32);
+            self.dormant.push(false);
             self.stages.push(StageState::with_estimator(self.estimator));
         }
     }
 
-    /// Analyze phase: ingest one interval of monitoring data and advance every
-    /// stage's learning model by one Algorithm-1 step.
+    /// Promise that no estimate of any stage below `stage_watermark` will be
+    /// read again (every task of those stages is permanently done). The
+    /// sparse observation path then drops such a stage from the per-interval
+    /// advance as soon as its observations run dry, even mid-convergence:
+    /// with no future reads of its predictions or version stamps, the
+    /// skipped gradient steps are unobservable. The dense path ignores
+    /// retirement — the historical baseline keeps its full iteration.
+    pub fn retire_stages_below(&mut self, stage_watermark: usize) {
+        let w = stage_watermark.min(self.stages.len());
+        self.retired_prefix = self.retired_prefix.max(w);
+    }
+
+    /// Withdraw every retirement promise and wake all stages — for owners
+    /// that reuse a predictor across runs where previously-done stages come
+    /// back to life. Settled stages re-settle after one interval.
+    pub fn reset_retirement(&mut self) {
+        self.retired_prefix = 0;
+        self.awake.clear();
+        self.awake.extend(0..self.stages.len() as u32);
+        self.dormant.iter_mut().for_each(|d| *d = false);
+    }
+
+    /// Advance one stage through one interval of observations.
+    fn observe_stage(state: &mut StageState, so: &StageIntervalObs, observations: &mut u64) {
+        for c in &so.completed {
+            state.record_completion(c.input_bytes, c.exec_time);
+        }
+        *observations += so.completed.len() as u64;
+        state.set_running(so.running.iter().map(|r| (r.task, r.age)));
+        state.update_model();
+    }
+
+    /// Analyze phase: ingest one interval of monitoring data and advance the
+    /// stages' learning models by one Algorithm-1 step.
+    ///
+    /// When `obs` tracks its touched stages
+    /// ([`IntervalObservations::enable_sparse`]), only the touched stages and
+    /// the stages still converging are advanced; stages proven settled
+    /// ([`StageState::is_settled`]) are skipped, with state, versions and
+    /// predictions bit-identical to advancing every stage. Without tracking,
+    /// every stage is advanced, as always.
     pub fn observe_interval(&mut self, obs: &IntervalObservations) {
         assert_eq!(
             obs.per_stage.len(),
             self.stages.len(),
             "observation shape must match the workflow"
         );
-        for (state, so) in self.stages.iter_mut().zip(&obs.per_stage) {
-            for c in &so.completed {
-                state.record_completion(c.input_bytes, c.exec_time);
+        match obs.dirty_stages() {
+            Some(dirty) => {
+                for &s in dirty {
+                    if self.dormant[s as usize] {
+                        self.dormant[s as usize] = false;
+                        self.awake.push(s);
+                    }
+                }
+                let mut k = 0;
+                while k < self.awake.len() {
+                    let i = self.awake[k] as usize;
+                    let so = &obs.per_stage[i];
+                    if i < self.retired_prefix && so.completed.is_empty() && so.running.is_empty() {
+                        // retired and silent: its estimates are contractually
+                        // unread from here on, so stop converging its model
+                        self.dormant[i] = true;
+                        self.awake.swap_remove(k);
+                        continue;
+                    }
+                    Self::observe_stage(
+                        &mut self.stages[i],
+                        &obs.per_stage[i],
+                        &mut self.observations,
+                    );
+                    if self.stages[i].is_settled() {
+                        self.dormant[i] = true;
+                        self.awake.swap_remove(k);
+                    } else {
+                        k += 1;
+                    }
+                }
             }
-            self.observations += so.completed.len() as u64;
-            state.set_running(so.running.iter().map(|r| (r.task, r.age)));
-            state.update_model();
+            None => {
+                self.awake.clear();
+                for (i, (state, so)) in self.stages.iter_mut().zip(&obs.per_stage).enumerate() {
+                    Self::observe_stage(state, so, &mut self.observations);
+                    let settled = state.is_settled();
+                    self.dormant[i] = settled;
+                    if !settled {
+                        self.awake.push(i as u32);
+                    }
+                }
+            }
         }
         self.transfer.push_interval(&obs.transfers);
         self.intervals_seen += 1;
@@ -317,7 +487,7 @@ mod tests {
         let mut p = Predictor::new(&wf);
         let obs = IntervalObservations {
             per_stage: vec![StageIntervalObs::default()],
-            transfers: vec![],
+            ..Default::default()
         };
         p.observe_interval(&obs);
     }

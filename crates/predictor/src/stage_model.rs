@@ -146,6 +146,13 @@ pub struct StageState {
     age_scratch: Vec<Millis>,
     window_scratch: Vec<Millis>,
     train_scratch: Vec<TrainPoint>,
+    /// Whether the training set changed since the last Algorithm-1 step that
+    /// left the OGD parameters in place. `false` means the model sits at a
+    /// numerical fixed point: the gradient step is deterministic in
+    /// `(params, training)`, so re-running it without new completions cannot
+    /// move the parameters again. Part of the [`StageState::is_settled`]
+    /// contract.
+    model_dirty: bool,
 }
 
 impl StageState {
@@ -175,6 +182,7 @@ impl StageState {
             None => self.groups.push(SizeGroup::new(input_bytes, exec)),
         }
         self.versions.completions += 1;
+        self.model_dirty = true;
     }
 
     /// Replace the running-task snapshot for the current interval, feeding
@@ -222,9 +230,11 @@ impl StageState {
         }));
         let before = self.ogd.prediction_params();
         self.ogd.update(&training);
-        if self.ogd.prediction_params() != before {
+        let moved = self.ogd.prediction_params() != before;
+        if moved {
             self.versions.model += 1;
         }
+        self.model_dirty = moved;
         self.train_scratch = training;
     }
 
@@ -289,6 +299,32 @@ impl StageState {
 
     pub fn num_groups(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Whether advancing this stage through another interval with *empty*
+    /// observations is a provable no-op, so the per-interval calls may be
+    /// skipped entirely until a completion or running task shows up again:
+    ///
+    /// * no task is running and the cached Policy-2 estimate is already
+    ///   `None`, so `set_running(empty)` changes neither and bumps no
+    ///   version;
+    /// * the running-age window holds no observations — pushing further
+    ///   empty intervals into it evicts only empties, leaving every median
+    ///   query (and the window itself, observationally) unchanged;
+    /// * the OGD model is at a fixed point for the current training set
+    ///   (`!model_dirty`), so another gradient step cannot move the
+    ///   parameters or bump the model version.
+    ///
+    /// Completions are delivered explicitly, never polled, so a settled
+    /// stage stays settled until its next delivered observation.
+    pub fn is_settled(&self) -> bool {
+        !self.model_dirty
+            && self.running.is_empty()
+            && self.cached_running_age.is_none()
+            && self
+                .age_history
+                .as_ref()
+                .is_none_or(|h| !h.has_observations())
     }
 
     /// Approximate state size in bytes, for the §IV-F overhead report.

@@ -15,7 +15,7 @@
 use crate::chaos::{ChaosState, FaultAction, FaultPlan, FaultTrigger};
 use crate::config::CloudConfig;
 use crate::event::{EventKind, EventQueue};
-use crate::instance::{Instance, InstanceId, InstanceState, InstanceStateView};
+use crate::instance::{Instance, InstanceId, InstanceState, InstanceStateView, SlotArena};
 use crate::observe::{CompletionView, InstanceView, MonitorSnapshot, TaskView, WorkflowSlot};
 use crate::policy::{PoolPlan, ScalingPolicy, TerminateWhen};
 use crate::result::{InstanceBill, RunResult, TaskRecord, WorkflowOutcome};
@@ -57,22 +57,28 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// Engine-internal per-task state.
-#[derive(Debug, Clone, Copy)]
-enum TaskState {
-    Unready {
-        unmet: u32,
-    },
+/// Engine-internal per-task lifecycle tag. The per-phase payloads live in
+/// side arrays ([`Engine::task_unmet`], [`Engine::task_run`]) — an SoA split
+/// so the hot phase scans (snapshot window rebuild, done-prefix advance,
+/// debug recounts) touch one byte per task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskPhase {
+    Unready,
     Ready,
-    Running {
-        instance: InstanceId,
-        slot: u32,
-        assigned_at: Millis,
-        exec_start: Millis,
-        exec: Millis,
-        transfer: Millis,
-    },
+    Running,
     Done,
+}
+
+/// Placement + timing of a running task; valid only while its phase is
+/// [`TaskPhase::Running`].
+#[derive(Debug, Clone, Copy, Default)]
+struct RunInfo {
+    instance: InstanceId,
+    slot: u32,
+    assigned_at: Millis,
+    exec_start: Millis,
+    exec: Millis,
+    transfer: Millis,
 }
 
 /// The engine. Use [`crate::Session`] for the common case; construct an
@@ -108,11 +114,25 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
     recorder: R,
     rng: StdRng,
 
+    /// Naive-core mode: legacy heap queue, linear dispatch/active scans, and
+    /// a zero `done_prefix` (full per-tick snapshot rebuild) — the honest
+    /// pre-optimization engine kept for differential benchmarks. Identical
+    /// observable results either way.
+    naive: bool,
+
     clock: Millis,
     queue: EventQueue,
     ready: ReadyQueue,
 
-    tasks: Vec<TaskState>,
+    task_phase: Vec<TaskPhase>,
+    /// Unmet-dependency countdown; meaningful while `Unready`.
+    task_unmet: Vec<u32>,
+    /// Placement/timing; meaningful while `Running`.
+    task_run: Vec<RunInfo>,
+    /// Watermark: every task with index `< done_prefix` is `Done`. Advanced
+    /// amortized-O(1) in `on_task_done`; `Done` is permanent (only `Running`
+    /// tasks are ever resubmitted), so the prefix never retreats.
+    done_prefix: usize,
     epochs: Vec<u32>,
     restarts: Vec<u32>,
     ready_at: Vec<Millis>,
@@ -121,6 +141,20 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
 
     instances: Vec<Instance>,
     instance_epochs: Vec<u32>,
+    /// Slot contents for every instance, `slots_per_instance` cells each.
+    slot_arena: SlotArena,
+    /// Non-terminated instance ids, ascending.
+    active_ids: std::collections::BTreeSet<u32>,
+    /// Running instances with at least one free slot, ascending — the
+    /// dispatch loop pulls the minimum instead of scanning every instance
+    /// ever launched.
+    dispatchable: std::collections::BTreeSet<u32>,
+    /// Incremental lifecycle counters (ISSUE 7 satellite): replace the
+    /// per-call `active_instances`/`usable_instances` scans. Validated
+    /// against a full recount in the periodic debug check.
+    count_launching: u32,
+    count_running: u32,
+    count_draining: u32,
 
     /// Scripted fault injection; the inert default for plain runs.
     chaos: ChaosState,
@@ -148,7 +182,32 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
     pool_timeline: Vec<(Millis, u32)>,
     instance_bills: Vec<InstanceBill>,
 
+    /// Events processed so far — cadence for the periodic full invariant
+    /// scan (cheap O(1) checks run on every event, the O(n) structural walk
+    /// every [`DEBUG_FULL_CHECK_EVERY`] events).
+    #[cfg(debug_assertions)]
+    debug_events: u64,
+    /// Incremental mirror of `instance_bills`'s unit sum, bumped at every
+    /// bill push — lets the per-event check validate `units_total` without
+    /// summing the bill list.
+    #[cfg(debug_assertions)]
+    debug_billed: u64,
+
     trace: Option<RunTrace>,
+}
+
+/// Period of the full O(tasks + instances + bills) debug invariant walk;
+/// between walks only O(1) counter checks run, so debug-mode traffic runs
+/// stay near-linear. The first event always gets a full walk.
+#[cfg(debug_assertions)]
+const DEBUG_FULL_CHECK_EVERY: u64 = 1024;
+
+/// Naive-core default for engines not built through [`crate::Session`]:
+/// `WIRE_NAIVE_CORE=1` flips every run in the process to the legacy heap +
+/// linear-scan core (read once; the Session builder overrides per session).
+fn naive_core_default() -> bool {
+    static NAIVE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *NAIVE.get_or_init(|| std::env::var("WIRE_NAIVE_CORE").is_ok_and(|v| v == "1"))
 }
 
 /// Run `wf` under `policy` and return the aggregate result.
@@ -257,7 +316,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         let mut profiles = Vec::with_capacity(submissions.len());
         let mut wf_remaining = Vec::with_capacity(submissions.len());
         let mut task_wf = Vec::new();
-        let mut tasks = Vec::new();
+        let mut task_unmet = Vec::new();
         let (mut task_base, mut stage_base) = (0u32, 0u32);
         for (i, &(submitted_at, wf, profile)) in submissions.iter().enumerate() {
             if !profile.matches(wf) {
@@ -273,13 +332,12 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             profiles.push(profile);
             wf_remaining.push(wf.num_tasks());
             task_wf.extend(std::iter::repeat_n(i as u32, wf.num_tasks()));
-            tasks.extend(wf.task_ids().map(|t| TaskState::Unready {
-                unmet: wf.preds(t).len() as u32,
-            }));
+            task_unmet.extend(wf.task_ids().map(|t| wf.preds(t).len() as u32));
             task_base += wf.num_tasks() as u32;
             stage_base += wf.num_stages() as u32;
         }
         let n = task_base as usize;
+        let naive = naive_core_default();
         Ok(Engine {
             ready: ReadyQueue::with_sizes(n, stage_base as usize, config.first_five_priority),
             slots,
@@ -294,9 +352,17 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             policy,
             recorder,
             rng: StdRng::seed_from_u64(seed),
+            naive,
             clock: Millis::ZERO,
-            queue: EventQueue::new(),
-            tasks,
+            queue: if naive {
+                EventQueue::legacy_heap()
+            } else {
+                EventQueue::new()
+            },
+            task_phase: vec![TaskPhase::Unready; n],
+            task_unmet,
+            task_run: vec![RunInfo::default(); n],
+            done_prefix: 0,
             epochs: vec![0; n],
             restarts: vec![0; n],
             ready_at: vec![Millis::ZERO; n],
@@ -304,6 +370,12 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             completions: 0,
             instances: Vec::new(),
             instance_epochs: Vec::new(),
+            slot_arena: SlotArena::new(config.slots_per_instance),
+            active_ids: std::collections::BTreeSet::new(),
+            dispatchable: std::collections::BTreeSet::new(),
+            count_launching: 0,
+            count_running: 0,
+            count_draining: 0,
             chaos: ChaosState::default(),
             new_completions: Vec::new(),
             interval_transfers: Vec::new(),
@@ -321,9 +393,28 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             controller_wall: std::time::Duration::ZERO,
             pool_timeline: Vec::new(),
             instance_bills: Vec::new(),
+            #[cfg(debug_assertions)]
+            debug_events: 0,
+            #[cfg(debug_assertions)]
+            debug_billed: 0,
             config,
             trace: None,
         })
+    }
+
+    /// Switch this engine onto the naive (pre-optimization) core: legacy
+    /// binary-heap event queue, linear dispatch and pool scans, full
+    /// per-tick snapshot rebuilds. Results are identical either way; the
+    /// mode exists as the in-binary baseline for throughput benchmarks.
+    /// Must be called before `run` (the queue is rebuilt empty).
+    pub fn naive_core(&mut self, naive: bool) {
+        debug_assert!(self.queue.is_empty(), "naive_core must precede run()");
+        self.naive = naive;
+        self.queue = if naive {
+            EventQueue::legacy_heap()
+        } else {
+            EventQueue::new()
+        };
     }
 
     /// Attach a scripted chaos [`FaultPlan`] (builder-style; see
@@ -512,6 +603,9 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         inst.state = InstanceState::Running {
             charge_start: self.clock,
         };
+        self.count_launching -= 1;
+        self.count_running += 1;
+        self.dispatchable.insert(id.0);
         self.trace_push(TraceEvent::InstanceReady { instance: id });
         self.emit(TelemetryEvent::InstanceReady { instance: id.0 });
         self.schedule_failure(id);
@@ -607,23 +701,36 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     }
 
     fn on_task_done(&mut self, task: TaskId) {
-        let (instance, slot, assigned_at, exec, transfer) = match self.tasks[task.index()] {
-            TaskState::Running {
-                instance,
-                slot,
-                assigned_at,
-                exec,
-                transfer,
-                ..
-            } => (instance, slot, assigned_at, exec, transfer),
-            _ => unreachable!("TaskDone for non-running task with live epoch"),
-        };
-        self.instances[instance.index()].slots[slot as usize] = None;
+        debug_assert_eq!(
+            self.task_phase[task.index()],
+            TaskPhase::Running,
+            "TaskDone for non-running task with live epoch"
+        );
+        let RunInfo {
+            instance,
+            slot,
+            assigned_at,
+            exec,
+            transfer,
+            ..
+        } = self.task_run[task.index()];
+        self.slot_arena.set(instance, slot as usize, None);
+        let inst = &mut self.instances[instance.index()];
+        inst.occupied -= 1;
+        if inst.is_running() {
+            self.dispatchable.insert(instance.0);
+        }
         let occupancy = self.clock - assigned_at;
         self.busy_slot_time += occupancy;
-        self.tasks[task.index()] = TaskState::Done;
+        self.task_phase[task.index()] = TaskPhase::Done;
         self.tasks_running -= 1;
         self.completions += 1;
+        // advance the all-done watermark (amortized O(1) over the run)
+        while self.done_prefix < self.total_tasks
+            && self.task_phase[self.done_prefix] == TaskPhase::Done
+        {
+            self.done_prefix += 1;
+        }
 
         let sub = self.sub_of(task);
         let (spec, stage) = self.task_info(task);
@@ -694,7 +801,8 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         let local = slot_info.local_task(task);
         for &succ in slot_info.workflow.succs(local) {
             let s = slot_info.global_task(succ);
-            if let TaskState::Unready { unmet } = &mut self.tasks[s.index()] {
+            if self.task_phase[s.index()] == TaskPhase::Unready {
+                let unmet = &mut self.task_unmet[s.index()];
                 *unmet -= 1;
                 if *unmet == 0 {
                     self.mark_ready(s);
@@ -718,14 +826,25 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         self.mape_iterations += 1;
         let (plan, controller_elapsed) = {
             let visible = self.arrived_tasks();
+            // naive mode reports no prefix: policies and the scratch window
+            // rebuild fall back to full scans, as before the optimization
+            let done_prefix = if self.naive { 0 } else { self.done_prefix };
             let snapshot = build_snapshot(
                 &mut self.snapshot_scratch,
                 &self.slots[..self.arrived],
                 &self.config,
                 self.clock,
-                &self.tasks[..visible],
+                &self.task_phase[..visible],
+                &self.task_run,
+                done_prefix,
                 &self.records,
                 &self.instances,
+                &self.slot_arena,
+                if self.naive {
+                    None
+                } else {
+                    Some(&self.active_ids)
+                },
                 &self.new_completions,
                 &self.interval_transfers,
                 &self.ready,
@@ -744,26 +863,27 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             terminate: plan.terminate.len() as u32,
         });
         if self.recorder.enabled() {
-            // Pool/queue breakdown is only computed when someone listens.
-            let mut pool = 0u32;
-            let mut launching = 0u32;
-            let mut draining = 0u32;
-            for inst in &self.instances {
-                match inst.state {
-                    InstanceState::Running { .. } => pool += 1,
-                    InstanceState::Launching { .. } => launching += 1,
-                    InstanceState::Draining { .. } => draining += 1,
-                    InstanceState::Terminated { .. } => {}
+            // Pool breakdown from the incremental lifecycle counters; naive
+            // mode recomputes it by scanning, as the pre-change engine did.
+            let (pool, launching, draining) = if self.naive {
+                let (mut p, mut l, mut d) = (0u32, 0u32, 0u32);
+                for inst in &self.instances {
+                    match inst.state {
+                        InstanceState::Running { .. } => p += 1,
+                        InstanceState::Launching { .. } => l += 1,
+                        InstanceState::Draining { .. } => d += 1,
+                        InstanceState::Terminated { .. } => {}
+                    }
                 }
-            }
+                (p, l, d)
+            } else {
+                (
+                    self.count_running,
+                    self.count_launching,
+                    self.count_draining,
+                )
+            };
             let running = self.tasks_running;
-            debug_assert_eq!(
-                running as usize,
-                self.tasks
-                    .iter()
-                    .filter(|t| matches!(t, TaskState::Running { .. }))
-                    .count()
-            );
             let ev = TelemetryEvent::MapeTick {
                 pool,
                 launching,
@@ -819,6 +939,9 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                             charge_start,
                             terminate_at: boundary,
                         };
+                        self.count_running -= 1;
+                        self.count_draining += 1;
+                        self.dispatchable.remove(&id.0);
                         self.instance_epochs[id.index()] += 1;
                         let epoch = self.instance_epochs[id.index()];
                         self.queue.push(
@@ -865,23 +988,34 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     fn terminate_instance(&mut self, id: InstanceId) {
         let inst = &mut self.instances[id.index()];
         let charge_start = match inst.state {
-            InstanceState::Running { charge_start }
-            | InstanceState::Draining { charge_start, .. } => charge_start,
+            InstanceState::Running { charge_start } => {
+                self.count_running -= 1;
+                charge_start
+            }
+            InstanceState::Draining { charge_start, .. } => {
+                self.count_draining -= 1;
+                charge_start
+            }
             _ => unreachable!("terminating a non-active instance"),
         };
         let mut tasks = std::mem::take(&mut self.resubmit_scratch);
         tasks.clear();
-        tasks.extend(inst.running_tasks());
-        for slot in inst.slots.iter_mut() {
-            *slot = None;
-        }
+        tasks.extend(self.slot_arena.tasks_of(id));
+        self.slot_arena.clear_instance(id);
+        inst.occupied = 0;
         inst.state = InstanceState::Terminated {
             charge_start,
             at: self.clock,
         };
+        self.active_ids.remove(&id.0);
+        self.dispatchable.remove(&id.0);
         self.instance_epochs[id.index()] += 1;
         let units = Instance::units_billed(charge_start, self.clock, self.config.charging_unit);
         self.units_total += units;
+        #[cfg(debug_assertions)]
+        {
+            self.debug_billed += units;
+        }
         self.instance_time += self.clock - charge_start;
         self.instance_bills.push(InstanceBill {
             instance: id,
@@ -899,18 +1033,20 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         });
 
         for task in tasks.drain(..) {
-            let (assigned_at, slot) = match self.tasks[task.index()] {
-                TaskState::Running {
-                    assigned_at, slot, ..
-                } => (assigned_at, slot),
-                _ => unreachable!("slot held a non-running task"),
-            };
+            debug_assert_eq!(
+                self.task_phase[task.index()],
+                TaskPhase::Running,
+                "slot held a non-running task"
+            );
+            let RunInfo {
+                assigned_at, slot, ..
+            } = self.task_run[task.index()];
             let sunk = self.clock - assigned_at;
             self.wasted_slot_time += sunk;
             self.epochs[task.index()] += 1; // cancels the in-flight TaskDone
             self.restarts[task.index()] += 1;
             self.total_restarts += 1;
-            self.tasks[task.index()] = TaskState::Ready;
+            self.task_phase[task.index()] = TaskPhase::Ready;
             self.tasks_running -= 1;
             self.ready_at[task.index()] = self.clock;
             self.ready.push_resubmit(task);
@@ -929,7 +1065,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
     // ---- scheduling ------------------------------------------------------
 
     fn mark_ready(&mut self, t: TaskId) {
-        self.tasks[t.index()] = TaskState::Ready;
+        self.task_phase[t.index()] = TaskPhase::Ready;
         self.ready_at[t.index()] = self.clock;
         let (_, stage) = self.task_info(t);
         self.ready.push_ready(t, stage);
@@ -937,17 +1073,45 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
 
     /// Greedily assign queued ready tasks to free slots (instances in id
     /// order; FIFO within priority class).
+    ///
+    /// The indexed path pulls the minimum id from `dispatchable` per
+    /// assignment. This reproduces the historical ascending full scan
+    /// exactly: during a dispatch no instance with a lower id can *gain* a
+    /// free slot while staying Running (slots are only freed by `TaskDone`
+    /// events, which cannot fire mid-dispatch; terminations remove the
+    /// instance from the set), so min-first and scan order coincide.
     fn dispatch(&mut self) {
         if self.ready.is_empty() {
             return;
         }
-        for i in 0..self.instances.len() {
-            while let Some(slot) = self.instances[i].free_slot() {
-                let Some(task) = self.ready.pop() else {
-                    return;
-                };
-                self.assign(task, InstanceId(i as u32), slot as u32);
+        if self.naive {
+            for i in 0..self.instances.len() {
+                let id = InstanceId(i as u32);
+                loop {
+                    if !self.instances[i].is_running() {
+                        break;
+                    }
+                    let Some(slot) = self.slot_arena.free_slot(id) else {
+                        break;
+                    };
+                    let Some(task) = self.ready.pop() else {
+                        return;
+                    };
+                    self.assign(task, id, slot as u32);
+                }
             }
+            return;
+        }
+        while let Some(&i) = self.dispatchable.iter().next() {
+            let id = InstanceId(i);
+            let Some(task) = self.ready.pop() else {
+                return;
+            };
+            let slot = self
+                .slot_arena
+                .free_slot(id)
+                .expect("dispatchable instance has a free slot");
+            self.assign(task, id, slot as u32);
         }
     }
 
@@ -968,9 +1132,15 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
             exec = exec.scale(1.0 + self.rng.gen_range(-j..j));
         }
         let occupancy = t_in + exec + t_out;
-        self.instances[instance.index()].slots[slot as usize] = Some(task);
+        self.slot_arena.set(instance, slot as usize, Some(task));
+        let inst = &mut self.instances[instance.index()];
+        inst.occupied += 1;
+        if inst.occupied >= self.config.slots_per_instance {
+            self.dispatchable.remove(&instance.0);
+        }
         self.tasks_running += 1;
-        self.tasks[task.index()] = TaskState::Running {
+        self.task_phase[task.index()] = TaskPhase::Running;
+        self.task_run[task.index()] = RunInfo {
             instance,
             slot,
             assigned_at: self.clock,
@@ -1035,29 +1205,46 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
 
     fn new_instance(&mut self, state: InstanceState) -> InstanceId {
         let id = InstanceId(self.instances.len() as u32);
-        self.instances
-            .push(Instance::new(id, self.config.slots_per_instance, state));
+        match state {
+            InstanceState::Running { .. } => {
+                self.count_running += 1;
+                self.dispatchable.insert(id.0);
+            }
+            InstanceState::Launching { .. } => self.count_launching += 1,
+            _ => unreachable!("instances are born Launching or Running"),
+        }
+        self.active_ids.insert(id.0);
+        self.instances.push(Instance::new(id, state));
+        self.slot_arena.add_instance();
         self.instance_epochs.push(0);
         self.note_pool_change();
         id
     }
 
     /// Instances counting against the site quota (everything not terminated).
+    /// Naive mode recomputes by scanning, as the pre-change engine did.
     fn active_instances(&self) -> u32 {
-        self.instances.iter().filter(|i| i.is_active()).count() as u32
+        if self.naive {
+            return self.instances.iter().filter(|i| i.is_active()).count() as u32;
+        }
+        self.count_launching + self.count_running + self.count_draining
     }
 
     /// Instances currently usable or draining (the visible "pool size").
     fn usable_instances(&self) -> u32 {
-        self.instances
-            .iter()
-            .filter(|i| {
-                matches!(
-                    i.state,
-                    InstanceState::Running { .. } | InstanceState::Draining { .. }
-                )
-            })
-            .count() as u32
+        if self.naive {
+            return self
+                .instances
+                .iter()
+                .filter(|i| {
+                    matches!(
+                        i.state,
+                        InstanceState::Running { .. } | InstanceState::Draining { .. }
+                    )
+                })
+                .count() as u32;
+        }
+        self.count_running + self.count_draining
     }
 
     fn note_pool_change(&mut self) {
@@ -1085,6 +1272,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                     let units =
                         Instance::units_billed(charge_start, self.clock, self.config.charging_unit);
                     self.units_total += units;
+                    self.count_running -= 1;
                     self.instance_time += self.clock - charge_start;
                     self.instance_bills.push(InstanceBill {
                         instance: inst.id,
@@ -1108,6 +1296,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                     let units =
                         Instance::units_billed(charge_start, end, self.config.charging_unit);
                     self.units_total += units;
+                    self.count_draining -= 1;
                     self.instance_time += end - charge_start;
                     self.instance_bills.push(InstanceBill {
                         instance: inst.id,
@@ -1126,6 +1315,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                     // the unit it would have started is still paid (a real VM
                     // boots and is killed immediately).
                     self.units_total += 1;
+                    self.count_launching -= 1;
                     self.instance_bills.push(InstanceBill {
                         instance: inst.id,
                         charged_from: None,
@@ -1141,67 +1331,127 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
                 InstanceState::Terminated { .. } => {}
             }
             if let Some(units) = billed {
+                #[cfg(debug_assertions)]
+                {
+                    self.debug_billed += units;
+                }
                 self.emit(TelemetryEvent::InstanceTerminated {
                     instance: i as u32,
                     units,
                 });
             }
         }
+        self.active_ids.clear();
+        self.dispatchable.clear();
         self.note_pool_change();
     }
 
-    /// Structural invariants checked after every event in debug builds:
-    /// slot/task cross-references, completion counts, quota, and billing
-    /// consistency. Release builds skip this entirely.
+    /// Invariants checked in debug builds. O(1) counter checks run on every
+    /// event; the full structural walk (slot/task cross-references,
+    /// lifecycle/billing recounts validating every incremental counter
+    /// against its old full derivation) runs on the first event and every
+    /// [`DEBUG_FULL_CHECK_EVERY`] events after, keeping debug-mode traffic
+    /// runs near-linear. Release builds skip all of it.
     #[cfg(debug_assertions)]
-    fn debug_check_invariants(&self) {
-        // every occupied slot holds a task that believes it runs there
-        for inst in &self.instances {
-            for (slot, held) in inst.slots.iter().enumerate() {
-                if let Some(task) = held {
-                    match self.tasks[task.index()] {
-                        TaskState::Running {
-                            instance, slot: s, ..
-                        } => {
-                            debug_assert_eq!(instance, inst.id, "slot/task instance mismatch");
-                            debug_assert_eq!(s as usize, slot, "slot index mismatch");
-                        }
-                        ref other => panic!("slot holds non-running task: {other:?}"),
-                    }
-                }
-            }
-            // only active instances may hold tasks
-            if !inst.is_active() {
-                debug_assert_eq!(inst.occupied_slots(), 0, "terminated instance holds tasks");
-            }
-        }
-        // every running task is held by exactly one slot
-        let mut held_count = vec![0usize; self.tasks.len()];
-        for inst in &self.instances {
-            for t in inst.running_tasks() {
-                held_count[t.index()] += 1;
-            }
-        }
-        for (i, st) in self.tasks.iter().enumerate() {
-            let expected = matches!(st, TaskState::Running { .. }) as usize;
-            debug_assert_eq!(
-                held_count[i], expected,
-                "task t{i} held by {} slots in state {st:?}",
-                held_count[i]
-            );
-        }
-        // counters
-        let done = self
-            .tasks
-            .iter()
-            .filter(|t| matches!(t, TaskState::Done))
-            .count();
-        debug_assert_eq!(done, self.completions, "completion counter drift");
+    fn debug_check_invariants(&mut self) {
+        self.debug_events += 1;
         debug_assert!(
             self.active_instances() <= self.config.site_capacity,
             "site quota exceeded"
         );
-        // per-instance bills sum to the total billed so far
+        // incremental billing counter mirrors the bill pushes exactly
+        debug_assert_eq!(self.debug_billed, self.units_total, "billing drift");
+        if self.debug_events % DEBUG_FULL_CHECK_EVERY != 1 {
+            return;
+        }
+
+        // every occupied slot holds a task that believes it runs there
+        for inst in &self.instances {
+            for (slot, held) in self.slot_arena.of(inst.id).iter().enumerate() {
+                if let Some(task) = held {
+                    debug_assert_eq!(
+                        self.task_phase[task.index()],
+                        TaskPhase::Running,
+                        "slot holds non-running task"
+                    );
+                    let run = self.task_run[task.index()];
+                    debug_assert_eq!(run.instance, inst.id, "slot/task instance mismatch");
+                    debug_assert_eq!(run.slot as usize, slot, "slot index mismatch");
+                }
+            }
+            debug_assert_eq!(
+                inst.occupied as usize,
+                self.slot_arena.occupied_count(inst.id),
+                "occupied counter drift on {}",
+                inst.id
+            );
+            // only active instances may hold tasks
+            if !inst.is_active() {
+                debug_assert_eq!(inst.occupied, 0, "terminated instance holds tasks");
+            }
+        }
+        // every running task is held by exactly one slot
+        let mut held_count = vec![0usize; self.task_phase.len()];
+        for inst in &self.instances {
+            for t in self.slot_arena.tasks_of(inst.id) {
+                held_count[t.index()] += 1;
+            }
+        }
+        for (i, ph) in self.task_phase.iter().enumerate() {
+            let expected = (*ph == TaskPhase::Running) as usize;
+            debug_assert_eq!(
+                held_count[i], expected,
+                "task t{i} held by {} slots in phase {ph:?}",
+                held_count[i]
+            );
+        }
+        // phase counters vs full recounts (the old derivations)
+        let done = self
+            .task_phase
+            .iter()
+            .filter(|p| **p == TaskPhase::Done)
+            .count();
+        debug_assert_eq!(done, self.completions, "completion counter drift");
+        debug_assert!(
+            self.task_phase[..self.done_prefix]
+                .iter()
+                .all(|p| *p == TaskPhase::Done),
+            "done_prefix covers a non-done task"
+        );
+        // lifecycle counters vs full recounts
+        let (mut launching, mut running, mut draining) = (0u32, 0u32, 0u32);
+        for inst in &self.instances {
+            match inst.state {
+                InstanceState::Launching { .. } => launching += 1,
+                InstanceState::Running { .. } => running += 1,
+                InstanceState::Draining { .. } => draining += 1,
+                InstanceState::Terminated { .. } => {}
+            }
+        }
+        debug_assert_eq!(self.count_launching, launching, "launching counter drift");
+        debug_assert_eq!(self.count_running, running, "running counter drift");
+        debug_assert_eq!(self.count_draining, draining, "draining counter drift");
+        debug_assert_eq!(
+            self.active_ids.len() as u32,
+            launching + running + draining,
+            "active id set drift"
+        );
+        for &i in &self.dispatchable {
+            let inst = &self.instances[i as usize];
+            debug_assert!(
+                inst.is_running() && inst.occupied < self.config.slots_per_instance,
+                "dispatchable set holds a full or non-running instance"
+            );
+        }
+        for inst in &self.instances {
+            if inst.is_running() && inst.occupied < self.config.slots_per_instance {
+                debug_assert!(
+                    self.dispatchable.contains(&inst.id.0),
+                    "free running instance missing from dispatchable set"
+                );
+            }
+        }
+        // per-instance bills sum to the total billed so far (old derivation)
         let billed: u64 = self.instance_bills.iter().map(|b| b.units).sum();
         debug_assert_eq!(billed, self.units_total, "billing drift");
     }
@@ -1283,6 +1533,12 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
 #[derive(Default)]
 struct SnapshotScratch {
     tasks: Vec<TaskView>,
+    /// Rows `< clean` were `Done` (and therefore time-independent) when they
+    /// were last built, so the next tick keeps them and rebuilds only
+    /// `[clean..visible]` — the per-tick monitor cost tracks *live* tasks,
+    /// not all tasks ever arrived. Naive mode passes `done_prefix = 0`,
+    /// forcing the historical full rebuild.
+    clean: usize,
     /// Overwritten in place; only `instances[..instances_len]` is live. Slots
     /// past the logical length are kept so a shrinking pool doesn't drop the
     /// inner task-Vec capacity it will need when the pool grows again.
@@ -1303,40 +1559,51 @@ fn build_snapshot<'a>(
     workflows: &'a [WorkflowSlot<'a>],
     config: &'a CloudConfig,
     now: Millis,
-    task_states: &[TaskState],
+    phases: &[TaskPhase],
+    runs: &[RunInfo],
+    done_prefix: usize,
     records: &[Option<TaskRecord>],
     instances: &[Instance],
+    arena: &SlotArena,
+    active_ids: Option<&std::collections::BTreeSet<u32>>,
     new_completions: &'a [CompletionView],
     interval_transfers: &'a [Millis],
     ready: &ReadyQueue,
 ) -> MonitorSnapshot<'a> {
-    scratch.tasks.clear();
+    let visible = phases.len();
+    // Rows below `scratch.clean` were Done at the last build; Done is
+    // permanent and its view time-independent, so keep them verbatim and
+    // rebuild only the live window.
+    let start = scratch.clean.min(visible).min(scratch.tasks.len());
+    scratch.tasks.truncate(start);
     scratch
         .tasks
-        .extend(task_states.iter().enumerate().map(|(i, st)| match *st {
-            TaskState::Unready { .. } => TaskView::Unready,
-            TaskState::Ready => TaskView::Ready,
-            TaskState::Running {
-                instance,
-                assigned_at,
-                exec_start,
-                ..
-            } => TaskView::Running {
-                instance,
-                exec_age: now.saturating_sub(exec_start),
-                occupied_for: now - assigned_at,
-            },
-            TaskState::Done => {
-                let r = records[i].expect("done task has a record");
-                TaskView::Done {
-                    exec_time: r.exec_time,
-                    transfer_time: r.transfer_time,
+        .extend(phases[start..].iter().enumerate().map(|(off, ph)| {
+            let i = start + off;
+            match ph {
+                TaskPhase::Unready => TaskView::Unready,
+                TaskPhase::Ready => TaskView::Ready,
+                TaskPhase::Running => {
+                    let run = runs[i];
+                    TaskView::Running {
+                        instance: run.instance,
+                        exec_age: now.saturating_sub(run.exec_start),
+                        occupied_for: now - run.assigned_at,
+                    }
+                }
+                TaskPhase::Done => {
+                    let r = records[i].expect("done task has a record");
+                    TaskView::Done {
+                        exec_time: r.exec_time,
+                        transfer_time: r.transfer_time,
+                    }
                 }
             }
         }));
+    scratch.clean = done_prefix.min(visible);
 
     let mut live = 0usize;
-    for i in instances.iter().filter(|i| i.is_active()) {
+    let mut emit_instance = |i: &Instance| {
         let state = match i.state {
             InstanceState::Launching { ready_at } => InstanceStateView::Launching { ready_at },
             InstanceState::Running { charge_start } => InstanceStateView::Running { charge_start },
@@ -1345,22 +1612,33 @@ fn build_snapshot<'a>(
             }
             InstanceState::Terminated { .. } => unreachable!(),
         };
-        let free_slots = (i.slots.len() - i.occupied_slots()) as u32;
+        let free_slots = config.slots_per_instance - i.occupied;
         if let Some(view) = scratch.instances.get_mut(live) {
             view.id = i.id;
             view.state = state;
             view.free_slots = free_slots;
             view.tasks.clear();
-            view.tasks.extend(i.running_tasks());
+            view.tasks.extend(arena.tasks_of(i.id));
         } else {
             scratch.instances.push(InstanceView {
                 id: i.id,
                 state,
-                tasks: i.running_tasks().collect(),
+                tasks: arena.tasks_of(i.id).collect(),
                 free_slots,
             });
         }
         live += 1;
+    };
+    match active_ids {
+        // indexed path: iterate live ids (ascending, same order as the scan)
+        Some(ids) => ids
+            .iter()
+            .for_each(|&i| emit_instance(&instances[i as usize])),
+        // naive path: the historical every-instance-ever filter scan
+        None => instances
+            .iter()
+            .filter(|i| i.is_active())
+            .for_each(&mut emit_instance),
     }
     scratch.instances_len = live;
 
@@ -1371,6 +1649,9 @@ fn build_snapshot<'a>(
         now,
         workflows,
         config,
+        done_prefix: done_prefix.min(visible),
+        // active_ids is withheld exactly when the engine runs naive
+        naive: active_ids.is_none(),
         tasks: &scratch.tasks,
         instances: &scratch.instances[..scratch.instances_len],
         new_completions,

@@ -2,6 +2,28 @@
 //!
 //! Events at equal timestamps are ordered by insertion sequence number, so a
 //! run is a pure function of (workflow, profile, config, seed).
+//!
+//! Two interchangeable implementations sit behind [`EventQueue`]:
+//!
+//! * [`EventQueue::new`] — a hierarchical timer wheel (8 levels × 64 slots,
+//!   covering 2^48 ms ≈ 8 900 years of virtual time, with a rare overflow
+//!   list beyond that). Push is O(1); pop is amortized O(1) because every
+//!   event cascades down at most [`LEVELS`] times over its lifetime. Within
+//!   a bucket events are stored in insertion order, and level-0 buckets hold
+//!   exactly one timestamp, so the (time, seq) pop order of the old binary
+//!   heap is reproduced *exactly* — pinned by `tests/event_diff.rs`.
+//! * [`EventQueue::legacy_heap`] — the original
+//!   `BinaryHeap<Reverse<(Millis, seq, kind)>>`, kept as the differential
+//!   baseline and as the queue behind the engine's naive mode
+//!   (`WIRE_NAIVE_CORE=1`).
+//!
+//! ## Ordering contract
+//!
+//! `pop` returns events in nondecreasing time; events with equal timestamps
+//! come back in the exact order they were pushed, regardless of kind. The
+//! wheel may only be pushed at times `>= ` the time of the last popped event
+//! (the discrete-event invariant the engine already guarantees); the heap
+//! variant has no such restriction.
 
 use crate::instance::InstanceId;
 use std::cmp::Reverse;
@@ -32,10 +54,199 @@ pub enum EventKind {
     ChaosFault { fault: u32 },
 }
 
+/// Levels in the timer wheel; each level covers 6 more bits of time.
+const LEVELS: usize = 8;
+/// log2(slots per level).
+const SLOT_BITS: usize = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Mask selecting a slot index.
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+/// Total virtual-time span addressable by the wheel (2^48 ms).
+const WHEEL_SPAN: u64 = 1 << (SLOT_BITS * LEVELS);
+
+/// One queued event: (time in ms, insertion seq, payload).
+type Entry = (u64, u64, EventKind);
+
+/// Hierarchical timer wheel.
+///
+/// `clock` trails the virtual time of the last activated bucket and only
+/// ever advances. An event at absolute time `t` lives at level
+/// `highest_set_bit(t ^ clock) / 6` (level 0 when `t == clock`), i.e. the
+/// highest 6-bit digit in which `t` still differs from the clock; its slot
+/// is that digit of `t`. Draining always takes the lowest nonempty level's
+/// lowest occupied slot: at level 0 the bucket holds exactly one timestamp
+/// and is emitted front-to-back (insertion order == seq order); at higher
+/// levels the clock first advances to the bucket's time prefix and the
+/// bucket's events are re-filed, which lands every one of them strictly
+/// below the drained level, so each event cascades at most `LEVELS` times.
+#[derive(Debug)]
+struct TimerWheel {
+    /// Time prefix of the last activated bucket; never exceeds the time of
+    /// any queued event.
+    clock: u64,
+    /// `LEVELS × SLOTS` buckets, flattened as `level * SLOTS + slot`.
+    buckets: Vec<Vec<Entry>>,
+    /// Per-level bitmask of nonempty buckets.
+    occupied: [u64; LEVELS],
+    /// The active level-0 bucket being emitted (all entries share one time).
+    cur: Vec<Entry>,
+    /// Next entry of `cur` to emit.
+    cur_pos: usize,
+    /// The single timestamp shared by all entries of `cur`.
+    cur_time: u64,
+    /// Whether `cur`/`cur_time` are live (same-time pushes append to `cur`).
+    cur_active: bool,
+    /// Scratch buffer for cascading a higher-level bucket; its allocation is
+    /// swapped in and out of the bucket array so drains never reallocate.
+    spill: Vec<Entry>,
+    /// Events more than `WHEEL_SPAN` ahead of the clock (≈ 8 900 years) —
+    /// held in insertion order and re-filed when the wheel itself empties.
+    overflow: Vec<Entry>,
+    /// Total queued events.
+    len: usize,
+}
+
+impl TimerWheel {
+    fn new() -> Self {
+        TimerWheel {
+            clock: 0,
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            cur: Vec::new(),
+            cur_pos: 0,
+            cur_time: 0,
+            cur_active: false,
+            spill: Vec::new(),
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, t: u64, seq: u64, kind: EventKind) {
+        self.len += 1;
+        if self.cur_active && t == self.cur_time {
+            // Same-time push while that timestamp is being emitted: append —
+            // its seq is larger than everything already in `cur`.
+            self.cur.push((t, seq, kind));
+            return;
+        }
+        self.file(t, seq, kind);
+    }
+
+    /// File an entry into its wheel bucket (or the overflow list).
+    fn file(&mut self, t: u64, seq: u64, kind: EventKind) {
+        debug_assert!(t >= self.clock, "event scheduled in the past");
+        let diff = t ^ self.clock;
+        let level = if diff == 0 {
+            0
+        } else {
+            (63 - diff.leading_zeros() as usize) / SLOT_BITS
+        };
+        if level >= LEVELS {
+            self.overflow.push((t, seq, kind));
+            return;
+        }
+        let slot = ((t >> (SLOT_BITS * level)) & SLOT_MASK) as usize;
+        self.buckets[level * SLOTS + slot].push((t, seq, kind));
+        self.occupied[level] |= 1u64 << slot;
+    }
+
+    fn pop(&mut self) -> Option<(u64, EventKind)> {
+        loop {
+            if self.cur_active {
+                if self.cur_pos < self.cur.len() {
+                    let (t, _, kind) = self.cur[self.cur_pos];
+                    self.cur_pos += 1;
+                    self.len -= 1;
+                    return Some((t, kind));
+                }
+                self.cur.clear();
+                self.cur_pos = 0;
+                self.cur_active = false;
+            }
+            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+                if self.overflow.is_empty() {
+                    return None;
+                }
+                // The whole wheel is empty: jump the clock to the earliest
+                // overflow frame and re-file. Entries still beyond the new
+                // horizon re-enter `overflow` in their original order.
+                let min_t = self
+                    .overflow
+                    .iter()
+                    .map(|e| e.0)
+                    .min()
+                    .expect("overflow nonempty");
+                self.clock = min_t & !(WHEEL_SPAN - 1);
+                let pending = std::mem::take(&mut self.overflow);
+                for (t, s, k) in pending {
+                    self.file(t, s, k);
+                }
+                continue;
+            };
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            self.occupied[level] &= !(1u64 << slot);
+            if level == 0 {
+                // Level-0 buckets hold exactly one timestamp: slot + clock
+                // prefix determine it. Activate and emit in insertion order.
+                self.clock = (self.clock & !SLOT_MASK) | slot as u64;
+                self.cur_time = self.clock;
+                self.cur_pos = 0;
+                self.cur_active = true;
+                std::mem::swap(&mut self.cur, &mut self.buckets[slot]);
+                debug_assert!(self.cur.iter().all(|e| e.0 == self.cur_time));
+            } else {
+                // Advance the clock to the bucket's time prefix *before*
+                // re-filing, so every entry lands strictly below `level`.
+                let lo = SLOT_BITS * level;
+                let hi = lo + SLOT_BITS;
+                self.clock = ((self.clock >> hi) << hi) | ((slot as u64) << lo);
+                std::mem::swap(&mut self.spill, &mut self.buckets[level * SLOTS + slot]);
+                for i in 0..self.spill.len() {
+                    let (t, s, k) = self.spill[i];
+                    debug_assert!(t >= self.clock);
+                    self.file(t, s, k);
+                }
+                self.spill.clear();
+            }
+        }
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        if self.cur_active && self.cur_pos < self.cur.len() {
+            return Some(self.cur_time);
+        }
+        for level in 0..LEVELS {
+            let occ = self.occupied[level];
+            if occ == 0 {
+                continue;
+            }
+            let slot = occ.trailing_zeros() as usize;
+            if level == 0 {
+                // Slot + clock prefix pin the exact timestamp.
+                return Some((self.clock & !SLOT_MASK) | slot as u64);
+            }
+            // The lowest bucket of the lowest nonempty level holds the global
+            // minimum; a short scan finds it (rare path: only between bucket
+            // activations).
+            return self.buckets[level * SLOTS + slot].iter().map(|e| e.0).min();
+        }
+        self.overflow.iter().map(|e| e.0).min()
+    }
+}
+
+#[derive(Debug)]
+enum QueueImpl {
+    Wheel(TimerWheel),
+    Heap(BinaryHeap<Reverse<(Millis, u64, EventKindOrd)>>),
+}
+
+/// Deterministic event queue; see the module docs for the ordering contract.
 #[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(Millis, u64, EventKindOrd)>>,
     seq: u64,
+    imp: QueueImpl,
 }
 
 /// `EventKind` carried through the heap; ordering on the wrapper tuple only
@@ -74,33 +285,55 @@ impl Default for EventQueue {
 }
 
 impl EventQueue {
+    /// Timer-wheel queue — the production implementation.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
             seq: 0,
+            imp: QueueImpl::Wheel(TimerWheel::new()),
+        }
+    }
+
+    /// The original binary-heap queue, kept as the differential baseline and
+    /// the naive-mode engine core.
+    pub fn legacy_heap() -> Self {
+        EventQueue {
+            seq: 0,
+            imp: QueueImpl::Heap(BinaryHeap::new()),
         }
     }
 
     pub fn push(&mut self, at: Millis, kind: EventKind) {
         let s = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse((at, s, EventKindOrd(kind))));
+        match &mut self.imp {
+            QueueImpl::Wheel(w) => w.push(at.as_ms(), s, kind),
+            QueueImpl::Heap(h) => h.push(Reverse((at, s, EventKindOrd(kind)))),
+        }
     }
 
     pub fn pop(&mut self) -> Option<(Millis, EventKind)> {
-        self.heap.pop().map(|Reverse((t, _, k))| (t, k.0))
+        match &mut self.imp {
+            QueueImpl::Wheel(w) => w.pop().map(|(t, k)| (Millis::from_ms(t), k)),
+            QueueImpl::Heap(h) => h.pop().map(|Reverse((t, _, k))| (t, k.0)),
+        }
     }
 
     pub fn peek_time(&self) -> Option<Millis> {
-        self.heap.peek().map(|Reverse((t, _, _))| *t)
+        match &self.imp {
+            QueueImpl::Wheel(w) => w.peek_time().map(Millis::from_ms),
+            QueueImpl::Heap(h) => h.peek().map(|Reverse((t, _, _))| *t),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            QueueImpl::Wheel(w) => w.len,
+            QueueImpl::Heap(h) => h.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -163,5 +396,85 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Millis::from_ms(3)));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+    }
+
+    /// Same scenarios against the legacy heap — the two variants share one
+    /// observable contract.
+    #[test]
+    fn legacy_heap_matches_contract() {
+        let mut q = EventQueue::legacy_heap();
+        q.push(Millis::from_ms(30), EventKind::MapeTick);
+        q.push(Millis::from_ms(10), EventKind::MapeTick);
+        assert_eq!(q.peek_time(), Some(Millis::from_ms(10)));
+        q.push(
+            Millis::from_ms(10),
+            EventKind::TaskDone {
+                task: TaskId(7),
+                epoch: 0,
+            },
+        );
+        assert_eq!(q.pop(), Some((Millis::from_ms(10), EventKind::MapeTick)));
+        assert_eq!(
+            q.pop(),
+            Some((
+                Millis::from_ms(10),
+                EventKind::TaskDone {
+                    task: TaskId(7),
+                    epoch: 0,
+                }
+            ))
+        );
+        assert_eq!(q.pop(), Some((Millis::from_ms(30), EventKind::MapeTick)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wheel_cascades_across_levels() {
+        let mut q = EventQueue::new();
+        // Spread across several wheel levels: 0, 63, 64, 4095, 4096, 2^30.
+        let times = [1u64 << 30, 4096, 63, 0, 4095, 64];
+        for &t in &times {
+            q.push(Millis::from_ms(t), EventKind::MapeTick);
+        }
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_ms())
+            .collect();
+        assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn wheel_interleaves_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        q.push(Millis::from_ms(100), EventKind::MapeTick);
+        q.push(Millis::from_ms(5), EventKind::MapeTick);
+        assert_eq!(q.pop().map(|(t, _)| t.as_ms()), Some(5));
+        // Push at the just-popped timestamp (engine handlers do this).
+        q.push(
+            Millis::from_ms(5),
+            EventKind::WorkflowArrival { workflow: 1 },
+        );
+        q.push(Millis::from_ms(70), EventKind::MapeTick);
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_ms())
+            .collect();
+        assert_eq!(got, vec![5, 70, 100]);
+    }
+
+    #[test]
+    fn wheel_overflow_beyond_span_still_ordered() {
+        let mut q = EventQueue::new();
+        let far = WHEEL_SPAN + 123; // > 2^48 ms ahead of clock 0
+        let farther = 3 * WHEEL_SPAN + 7;
+        q.push(Millis::from_ms(far), EventKind::MapeTick);
+        q.push(Millis::from_ms(farther), EventKind::MapeTick);
+        q.push(Millis::from_ms(42), EventKind::MapeTick);
+        assert_eq!(q.peek_time(), Some(Millis::from_ms(42)));
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_ms())
+            .collect();
+        assert_eq!(got, vec![42, far, farther]);
+        assert!(q.is_empty());
     }
 }

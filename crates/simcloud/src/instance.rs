@@ -1,4 +1,11 @@
 //! Worker instances: slots, lifecycle, charging clocks.
+//!
+//! Slot *contents* (which task occupies which slot) live outside the
+//! [`Instance`] record, in the engine-owned [`SlotArena`]: one flat
+//! allocation of `slots_per_instance` cells per instance, indexed by
+//! [`InstanceId`]. The `Instance` itself only carries the occupied-slot
+//! count, so lifecycle records stay small and slot walks touch one
+//! contiguous chunk instead of a per-instance heap allocation.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -49,38 +56,23 @@ pub enum InstanceStateView {
     Draining { terminate_at: Millis },
 }
 
-/// One worker instance.
-#[derive(Debug, Clone)]
+/// One worker instance: lifecycle + occupied-slot count. Slot contents live
+/// in the engine's [`SlotArena`].
+#[derive(Debug, Clone, Copy)]
 pub struct Instance {
     pub id: InstanceId,
     pub state: InstanceState,
-    /// One entry per slot; `Some(task)` while occupied.
-    pub slots: Vec<Option<TaskId>>,
+    /// Number of currently occupied slots (maintained by the engine).
+    pub occupied: u32,
 }
 
 impl Instance {
-    pub fn new(id: InstanceId, slots: u32, state: InstanceState) -> Self {
+    pub fn new(id: InstanceId, state: InstanceState) -> Self {
         Instance {
             id,
             state,
-            slots: vec![None; slots as usize],
+            occupied: 0,
         }
-    }
-
-    /// Index of a free slot, if the instance accepts work (Running only).
-    pub fn free_slot(&self) -> Option<usize> {
-        if !matches!(self.state, InstanceState::Running { .. }) {
-            return None;
-        }
-        self.slots.iter().position(Option::is_none)
-    }
-
-    pub fn occupied_slots(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
-    }
-
-    pub fn running_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.slots.iter().filter_map(|s| *s)
     }
 
     /// Is the instance in the pool (not yet terminated)?
@@ -125,6 +117,63 @@ impl Instance {
     }
 }
 
+/// Flat arena of task-slot cells, `per` cells per instance, appended in
+/// [`InstanceId`] order. The arena is append-only (ids are never reused);
+/// terminated instances keep their chunk, cleared.
+#[derive(Debug, Clone, Default)]
+pub struct SlotArena {
+    per: usize,
+    cells: Vec<Option<TaskId>>,
+}
+
+impl SlotArena {
+    pub fn new(slots_per_instance: u32) -> Self {
+        SlotArena {
+            per: slots_per_instance as usize,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Reserve the slot chunk for the next instance id.
+    pub fn add_instance(&mut self) {
+        self.cells.resize(self.cells.len() + self.per, None);
+    }
+
+    /// The slot chunk of one instance.
+    pub fn of(&self, id: InstanceId) -> &[Option<TaskId>] {
+        let base = id.index() * self.per;
+        &self.cells[base..base + self.per]
+    }
+
+    /// Index of the first free slot of `id`, if any. Lifecycle gating
+    /// (Running-only) is the caller's job.
+    pub fn free_slot(&self, id: InstanceId) -> Option<usize> {
+        self.of(id).iter().position(Option::is_none)
+    }
+
+    /// Occupy or clear one slot cell.
+    pub fn set(&mut self, id: InstanceId, slot: usize, task: Option<TaskId>) {
+        debug_assert!(slot < self.per);
+        self.cells[id.index() * self.per + slot] = task;
+    }
+
+    /// Tasks currently occupying `id`'s slots.
+    pub fn tasks_of(&self, id: InstanceId) -> impl Iterator<Item = TaskId> + '_ {
+        self.of(id).iter().filter_map(|s| *s)
+    }
+
+    /// Occupied-cell count (slow path; engines keep `Instance::occupied`).
+    pub fn occupied_count(&self, id: InstanceId) -> usize {
+        self.of(id).iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Clear every cell of one instance (termination).
+    pub fn clear_instance(&mut self, id: InstanceId) {
+        let base = id.index() * self.per;
+        self.cells[base..base + self.per].fill(None);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,7 +181,6 @@ mod tests {
     fn running(at: u64) -> Instance {
         Instance::new(
             InstanceId(0),
-            2,
             InstanceState::Running {
                 charge_start: Millis::from_ms(at),
             },
@@ -140,25 +188,36 @@ mod tests {
     }
 
     #[test]
-    fn free_slot_only_when_running() {
-        let mut i = running(0);
-        assert_eq!(i.free_slot(), Some(0));
-        i.slots[0] = Some(TaskId(5));
-        assert_eq!(i.free_slot(), Some(1));
-        i.slots[1] = Some(TaskId(6));
-        assert_eq!(i.free_slot(), None);
-        assert_eq!(i.occupied_slots(), 2);
+    fn arena_tracks_slot_occupancy_per_instance() {
+        let mut a = SlotArena::new(2);
+        a.add_instance();
+        a.add_instance();
+        assert_eq!(a.free_slot(InstanceId(0)), Some(0));
+        a.set(InstanceId(0), 0, Some(TaskId(5)));
+        assert_eq!(a.free_slot(InstanceId(0)), Some(1));
+        a.set(InstanceId(0), 1, Some(TaskId(6)));
+        assert_eq!(a.free_slot(InstanceId(0)), None);
+        assert_eq!(a.occupied_count(InstanceId(0)), 2);
+        // the neighbouring chunk is untouched
+        assert_eq!(a.free_slot(InstanceId(1)), Some(0));
+        assert_eq!(a.occupied_count(InstanceId(1)), 0);
+        let held: Vec<TaskId> = a.tasks_of(InstanceId(0)).collect();
+        assert_eq!(held, vec![TaskId(5), TaskId(6)]);
+        a.clear_instance(InstanceId(0));
+        assert_eq!(a.occupied_count(InstanceId(0)), 0);
+    }
 
+    #[test]
+    fn lifecycle_predicates() {
         let l = Instance::new(
             InstanceId(1),
-            2,
             InstanceState::Launching {
                 ready_at: Millis::from_ms(10),
             },
         );
-        assert_eq!(l.free_slot(), None);
         assert!(l.is_active());
         assert!(!l.is_running());
+        assert!(running(0).is_running());
     }
 
     #[test]
@@ -189,7 +248,6 @@ mod tests {
     fn launching_instance_reports_full_unit() {
         let l = Instance::new(
             InstanceId(1),
-            1,
             InstanceState::Launching {
                 ready_at: Millis::from_mins(3),
             },

@@ -157,6 +157,16 @@ pub struct MonitorSnapshot<'a> {
     /// submitted for later arrival are invisible until their arrival time.
     pub workflows: &'a [WorkflowSlot<'a>],
     pub config: &'a CloudConfig,
+    /// Watermark: every task with index `< done_prefix` is
+    /// [`TaskView::Done`]. Always sound to ignore (0 is valid for any
+    /// snapshot); consumers may use it to skip the completed prefix when
+    /// scanning `tasks`, which keeps per-tick work proportional to *live*
+    /// tasks in long streaming sessions.
+    pub done_prefix: usize,
+    /// The engine is running its naive (pre-indexing) core. Policy-side fast
+    /// paths should fall back to their dense historical equivalents so the
+    /// naive configuration stays an honest end-to-end baseline.
+    pub naive: bool,
     /// Per-task view, indexed by `TaskId`.
     pub tasks: &'a [TaskView],
     /// All non-terminated instances, in id order.
@@ -198,6 +208,8 @@ impl SnapshotBuffers {
             now,
             workflows,
             config,
+            done_prefix: 0,
+            naive: false,
             tasks: &self.tasks,
             instances: &self.instances,
             new_completions: &self.new_completions,
@@ -222,14 +234,18 @@ impl<'a> MonitorSnapshot<'a> {
             .count() as u32
     }
 
-    /// Number of tasks not yet completed.
+    /// Number of tasks not yet completed. (Scans only past `done_prefix`;
+    /// everything below it is done by construction.)
     pub fn incomplete_tasks(&self) -> usize {
-        self.tasks.iter().filter(|t| !t.is_done()).count()
+        self.tasks[self.done_prefix..]
+            .iter()
+            .filter(|t| !t.is_done())
+            .count()
     }
 
     /// Number of active tasks (ready or running) — the pure-reactive signal.
     pub fn active_tasks(&self) -> usize {
-        self.tasks
+        self.tasks[self.done_prefix..]
             .iter()
             .filter(|t| matches!(t, TaskView::Ready | TaskView::Running { .. }))
             .count()
@@ -237,7 +253,7 @@ impl<'a> MonitorSnapshot<'a> {
 
     /// Are all arrived workflows finished?
     pub fn workflow_done(&self) -> bool {
-        self.tasks.iter().all(TaskView::is_done)
+        self.tasks[self.done_prefix..].iter().all(TaskView::is_done)
     }
 
     /// Total stages across arrived workflows (the global stage-space size).

@@ -77,6 +77,7 @@ pub struct Session<'a, P: ScalingPolicy = HoldPolicy, R: Recorder = NoopRecorder
     seed: u64,
     submissions: Vec<(Millis, &'a Workflow, &'a ExecProfile)>,
     chaos: FaultPlan,
+    naive: Option<bool>,
 }
 
 impl<'a> Session<'a> {
@@ -92,6 +93,7 @@ impl<'a> Session<'a> {
             seed: 0,
             submissions: Vec::new(),
             chaos: FaultPlan::new(),
+            naive: None,
         }
     }
 }
@@ -119,6 +121,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
             seed: self.seed,
             submissions: self.submissions,
             chaos: self.chaos,
+            naive: self.naive,
         }
     }
 
@@ -132,6 +135,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
             seed: self.seed,
             submissions: self.submissions,
             chaos: self.chaos,
+            naive: self.naive,
         }
     }
 
@@ -140,6 +144,16 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
     /// without this call.
     pub fn chaos(mut self, plan: FaultPlan) -> Self {
         self.chaos = plan;
+        self
+    }
+
+    /// Force the naive (pre-indexed) engine core on or off for this run.
+    /// The naive core uses the legacy binary-heap event queue and full
+    /// linear scans; it must produce byte-identical results and exists as
+    /// the honest baseline for throughput benchmarks. Defaults to the
+    /// process-wide `WIRE_NAIVE_CORE` environment switch.
+    pub fn naive_core(mut self, naive: bool) -> Self {
+        self.naive = Some(naive);
         self
     }
 
@@ -157,7 +171,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
     /// Construct the engine without running it (to call `run_traced`, or to
     /// inspect construction errors separately).
     pub fn build(self) -> Result<Engine<'a, P, R>, RunError> {
-        let engine = Engine::from_submissions(
+        let mut engine = Engine::from_submissions(
             self.submissions,
             self.config,
             self.transfer,
@@ -165,6 +179,9 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
             self.seed,
             self.recorder,
         )?;
+        if let Some(naive) = self.naive {
+            engine.naive_core(naive);
+        }
         if self.chaos.is_empty() {
             Ok(engine)
         } else {

@@ -9,6 +9,7 @@
 //! wire replay <trace-file> [options]          run a trace file
 //! wire dot <workload> [--seed N]              Graphviz DOT of the DAG
 //! wire campaign <targets...> [options]        regenerate figures (sharded + cached)
+//! wire traffic [options]                      day-of-cloud-traffic simulation
 //! wire report [snapshot.json]                 render the campaign observability snapshot
 //!
 //! options:
@@ -332,6 +333,7 @@ fn real_main() -> Result<(), String> {
             Ok(())
         }
         "campaign" => run_campaign_cmd(rest),
+        "traffic" => run_traffic_cmd(rest),
         "report" => run_report_cmd(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -436,6 +438,72 @@ fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `wire traffic [flags]` — the day-of-cloud-traffic simulation: many
+/// tenant pools under Poisson workflow arrivals, WIRE steering per pool,
+/// sharded across the thread pool with a tenant-order merge. Stdout is
+/// byte-deterministic (digest included); wall-clock stats go to stderr.
+fn run_traffic_cmd(args: &[String]) -> Result<(), String> {
+    let mut spec = wire_campaign::TrafficSpec::with_total(10_000);
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or(format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match a.as_str() {
+            "--arrivals" => {
+                spec = wire_campaign::TrafficSpec {
+                    seed: spec.seed,
+                    naive: spec.naive,
+                    ..wire_campaign::TrafficSpec::with_total(take("--arrivals")? as usize)
+                };
+            }
+            "--tenants" => spec.tenants = take("--tenants")? as usize,
+            "--per-tenant" => spec.per_tenant = take("--per-tenant")? as usize,
+            "--mean-gap-secs" => {
+                spec.mean_gap = wire::dag::Millis::from_secs(take("--mean-gap-secs")?)
+            }
+            "--seed" => spec.seed = take("--seed")?,
+            "--threads" => threads = Some(take("--threads")? as usize),
+            "--naive" => spec.naive = true,
+            other => {
+                return Err(format!(
+                    "unknown traffic flag '{other}' (--arrivals N, --tenants N, \
+                     --per-tenant N, --mean-gap-secs S, --seed N, --threads N, --naive)"
+                ))
+            }
+        }
+    }
+    if spec.tenants == 0 || spec.per_tenant == 0 {
+        return Err("traffic needs at least one tenant and one workflow".into());
+    }
+    eprintln!(
+        "traffic: {} arrivals across {} tenant pool(s), {} worker thread(s)",
+        spec.total_arrivals(),
+        spec.tenants,
+        threads.unwrap_or_else(num_threads_default)
+    );
+    let report = wire_campaign::run_traffic(&spec, threads);
+    print!("{}", report.render());
+    let wall = report.wall.as_secs_f64();
+    eprintln!(
+        "traffic: {:.2}s wall, {:.0} arrivals/sec, {:.0} events/sec",
+        wall,
+        report.completed_workflows as f64 / wall.max(1e-9),
+        report.events_total as f64 / wall.max(1e-9),
+    );
+    Ok(())
+}
+
+fn num_threads_default() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// `wire report [snapshot.json]` — render the campaign observability
 /// snapshot written by `wire campaign` as a human-readable run report.
 fn run_report_cmd(args: &[String]) -> Result<(), String> {
@@ -476,6 +544,10 @@ fn print_usage() {
     println!(
         "  wire campaign <fig2|fig3|fig5|fig6|headline|ablation|policies|overhead|all>...
                       [--threads N] [--force] [--no-cache] [--check] [--quick]"
+    );
+    println!(
+        "  wire traffic [--arrivals N] [--tenants N] [--per-tenant N]
+                      [--mean-gap-secs S] [--seed N] [--threads N] [--naive]"
     );
     println!("  wire report [snapshot.json]            render results/OBS_snapshot.json");
     println!();
