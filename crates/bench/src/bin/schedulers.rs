@@ -1,0 +1,16 @@
+//! Policies × schedulers sweep: every `SchedulerSpec` (boosted/plain FIFO,
+//! HEFT, min-min, critical-path, per-workflow portfolio) under the wire
+//! autoscaler and the pure-reactive baseline, on the Table I workloads.
+//! Answers ROADMAP item 2's question — does prediction-driven scaling still
+//! win when the framework's placement is smarter than FIFO? — and shows
+//! where the portfolio's per-workflow winner lands.
+//!
+//! Thin front-end over the `wire-campaign` runner; pass `--scheduler <tag>`
+//! to restrict the sweep to a single scheduler.
+
+use wire_bench::{figure_runner, note_campaign};
+
+fn main() {
+    let outcome = figure_runner().schedulers();
+    note_campaign("schedulers", &outcome);
+}

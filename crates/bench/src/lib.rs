@@ -58,13 +58,15 @@ pub fn peak_rss_bytes() -> Option<u64> {
 /// flags: `--quick` (reduced sweep), `--threads N` (worker override),
 /// `--force` (ignore cached cells), `--no-cache` (bypass the cache
 /// entirely), `--check` (shadow every executed cell with the chaos
-/// invariant checker).
+/// invariant checker), `--scheduler <tag>` (restrict the scheduler sweep;
+/// tags as in [`wire_simcloud::SchedulerSpec::tag`]).
 pub fn figure_runner() -> wire_campaign::FigureRunner {
     let args: Vec<String> = std::env::args().collect();
     let mut cfg = wire_campaign::CampaignConfig {
         progress: true,
         ..Default::default()
     };
+    let mut scheduler = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -74,12 +76,28 @@ pub fn figure_runner() -> wire_campaign::FigureRunner {
             "--force" => cfg.mode = wire_campaign::CacheMode::Force,
             "--no-cache" => cfg.mode = wire_campaign::CacheMode::Off,
             "--check" => cfg.check = true,
+            "--scheduler" => {
+                let tag = it.next().map(String::as_str).unwrap_or("");
+                match wire_simcloud::SchedulerSpec::parse(tag) {
+                    Some(spec) => scheduler = Some(spec),
+                    None => {
+                        eprintln!(
+                            "unknown --scheduler {tag:?}; valid: {}",
+                            wire_simcloud::SchedulerSpec::ALL
+                                .map(|s| s.tag())
+                                .join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ => {}
         }
     }
     wire_campaign::FigureRunner {
         cfg,
         quick: quick_mode(),
+        scheduler,
     }
 }
 

@@ -24,7 +24,11 @@ use wire_workloads::{linear_workflow, WorkloadId};
 /// v2: cells carry a deterministic [`wire_obs::ObsSnapshot`] (`obs=` payload
 /// line), so warm-cache campaigns merge the same observability aggregates
 /// as cold ones.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+///
+/// v3: the cloud config's `first_five_priority` bool became the
+/// [`wire_simcloud::SchedulerSpec`] selector; keys hash the scheduler tag
+/// (`sched=fifo-ff` et al.) instead of the old `first5` bool.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// What a cell runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +93,9 @@ impl PolicyKind {
         }
     }
 
-    fn from_setting(setting: Setting) -> PolicyKind {
+    /// The policy kind a §IV-C grid setting maps to (wire runs get the
+    /// default steering knobs).
+    pub fn from_setting(setting: Setting) -> PolicyKind {
         match setting {
             Setting::FullSite => PolicyKind::FullSite,
             Setting::PureReactive => PolicyKind::PureReactive,
@@ -257,10 +263,6 @@ impl KeyHasher {
     fn field_f64(&mut self, tag: &str, v: f64) {
         self.field_u64(tag, v.to_bits());
     }
-
-    fn field_bool(&mut self, tag: &str, v: bool) {
-        self.field_u64(tag, v as u64);
-    }
 }
 
 /// Content-addressed key of a cell under the current
@@ -287,7 +289,7 @@ pub fn cache_key_versioned(cell: &Cell, version: u32) -> u64 {
     h.field_u64("u_ms", c.charging_unit.as_ms());
     h.field_u64("mape_ms", c.mape_interval.as_ms());
     h.field_u64("init", c.initial_instances as u64);
-    h.field_bool("first5", c.first_five_priority);
+    h.field_str("sched", c.scheduler.tag());
     h.field_f64("exec_jitter", c.exec_jitter);
     h.field_u64(
         "mtbf_ms",

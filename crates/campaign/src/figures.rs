@@ -20,10 +20,11 @@ use wire_dag::Millis;
 use wire_obs::{ObsSnapshot, StreamingRecorder};
 use wire_planner::{SteeringConfig, WirePolicy};
 use wire_predictor::Estimator;
-use wire_simcloud::{RunResult, Session, TransferModel};
+use wire_simcloud::{RunResult, SchedulerSpec, Session, TransferModel};
 use wire_telemetry::TelemetryHandle;
 use wire_workloads::WorkloadId;
 
+use crate::cell::{CellWorkload, PolicyKind, TransferKind};
 use crate::runner::{run_campaign, CampaignConfig, CampaignReport, CellViolation};
 use crate::Cell;
 
@@ -100,6 +101,9 @@ pub fn save_obs_snapshot(obs: &ObsSnapshot) -> PathBuf {
 pub struct FigureRunner {
     pub cfg: CampaignConfig,
     pub quick: bool,
+    /// Restrict the [`FigureRunner::schedulers`] sweep to one scheduler
+    /// (`--scheduler <tag>`); `None` sweeps [`SchedulerSpec::ALL`].
+    pub scheduler: Option<SchedulerSpec>,
 }
 
 impl FigureRunner {
@@ -443,7 +447,7 @@ impl FigureRunner {
             .flat_map(|&w| {
                 [true, false].into_iter().map(move |ff| {
                     let mut cfg = cloud_config(Setting::Wire, u);
-                    cfg.first_five_priority = ff;
+                    cfg.scheduler = SchedulerSpec::Fifo { first_five: ff };
                     Cell::wire(w, cfg, SteeringConfig::default(), 1)
                 })
             })
@@ -682,6 +686,80 @@ impl FigureRunner {
         emit(
             "§IV-E — prediction-policy usage during wire runs",
             "policy_usage",
+            &t,
+        );
+        outcome
+    }
+
+    /// Policies × schedulers sweep (DESIGN.md §12): every
+    /// [`SchedulerSpec`] under the wire autoscaler and the pure-reactive
+    /// baseline, on the Table I workloads. Shows whether prediction-driven
+    /// scaling still wins when the framework's placement is smarter than
+    /// FIFO, and where the per-workflow portfolio lands.
+    pub fn schedulers(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        let workloads = if self.quick {
+            vec![WorkloadId::Tpch6S, WorkloadId::PageRankS]
+        } else {
+            WorkloadId::SMALL.to_vec()
+        };
+        let settings = [Setting::Wire, Setting::PureReactive];
+        let specs: Vec<SchedulerSpec> = match self.scheduler {
+            Some(one) => vec![one],
+            None => SchedulerSpec::ALL.to_vec(),
+        };
+        let u = Millis::from_mins(15);
+
+        let cells: Vec<Cell> = workloads
+            .iter()
+            .flat_map(|&w| {
+                settings.iter().flat_map({
+                    let specs = specs.clone();
+                    move |&setting| {
+                        specs.clone().into_iter().map(move |spec| {
+                            let mut cfg = cloud_config_for(setting, u, w.spec().total_input_bytes);
+                            cfg.scheduler = spec;
+                            Cell {
+                                workload: CellWorkload::Catalog(w),
+                                policy: PolicyKind::from_setting(setting),
+                                cfg,
+                                transfer: TransferKind::Default,
+                                seed: 1,
+                            }
+                        })
+                    }
+                })
+            })
+            .collect();
+        let outputs = self.campaign(&cells, &mut outcome);
+
+        let mut t = Table::new([
+            "workload",
+            "policy",
+            "scheduler",
+            "cost (units)",
+            "makespan (min)",
+            "restarts",
+        ]);
+        let mut it = outputs.iter();
+        for &w in &workloads {
+            for setting in settings {
+                for &spec in &specs {
+                    let res = it.next().expect("one output per cell");
+                    t.push_row([
+                        w.name().to_string(),
+                        setting.label().to_string(),
+                        spec.tag().to_string(),
+                        res.charging_units.to_string(),
+                        format!("{:.1}", Millis::from_ms(res.makespan_ms).as_mins_f64()),
+                        res.restarts.to_string(),
+                    ]);
+                }
+            }
+        }
+        emit(
+            "Scheduler portfolio — policies × schedulers",
+            "schedulers",
             &t,
         );
         outcome

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use wire_dag::Millis;
 use wire_obs::{ObsConfig, StreamingRecorder};
 use wire_planner::{PureReactive, ReactiveConserving, StaticPolicy, WirePolicy};
-use wire_simcloud::{CloudConfig, RunResult, ScalingPolicy, Session, TransferModel};
+use wire_simcloud::{CloudConfig, RunResult, ScalingPolicy, SchedulerSpec, Session, TransferModel};
 use wire_telemetry::{TelemetryBuffer, TelemetryHandle};
 use wire_workloads::{EnsembleSpec, WorkloadId};
 
@@ -73,15 +73,15 @@ pub fn cloud_config_for(
         Setting::FullSite => CloudConfig {
             initial_instances: base.site_capacity,
             // the unmodified framework has no first-five patch
-            first_five_priority: false,
+            scheduler: SchedulerSpec::plain_fifo(),
             ..base
         },
         Setting::PureReactive => CloudConfig {
-            first_five_priority: false,
+            scheduler: SchedulerSpec::plain_fifo(),
             ..base
         },
         Setting::ReactiveConserving => CloudConfig {
-            first_five_priority: false,
+            scheduler: SchedulerSpec::plain_fifo(),
             ..base
         },
         Setting::Wire => base,
@@ -477,7 +477,14 @@ mod tests {
             cloud_config(Setting::Wire, Millis::from_mins(1)).initial_instances,
             1
         );
-        assert!(cloud_config(Setting::Wire, Millis::from_mins(1)).first_five_priority);
+        assert_eq!(
+            cloud_config(Setting::Wire, Millis::from_mins(1)).scheduler,
+            SchedulerSpec::first_five()
+        );
+        assert_eq!(
+            cloud_config(Setting::PureReactive, Millis::from_mins(1)).scheduler,
+            SchedulerSpec::plain_fifo()
+        );
     }
 
     #[test]

@@ -117,7 +117,8 @@ impl ScalingPolicy for DeadlineWirePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wire_simcloud::{run_workflow, CloudConfig, TransferModel};
+    use wire_dag::{ExecProfile, Workflow};
+    use wire_simcloud::{CloudConfig, RunResult, Session};
     use wire_workloads::WorkloadId;
 
     fn cfg() -> CloudConfig {
@@ -129,27 +130,25 @@ mod tests {
         }
     }
 
+    fn run<P: ScalingPolicy>(wf: &Workflow, prof: &ExecProfile, policy: P, seed: u64) -> RunResult {
+        Session::new(cfg())
+            .policy(policy)
+            .seed(seed)
+            .submit(wf, prof)
+            .run()
+            .unwrap()
+    }
+
     #[test]
     fn loose_deadline_behaves_like_wire() {
         let (wf, prof) = WorkloadId::PageRankS.generate(1);
-        let wire = run_workflow(
+        let wire = run(&wf, &prof, WirePolicy::default(), 1);
+        let relaxed = run(
             &wf,
             &prof,
-            cfg(),
-            TransferModel::default(),
-            WirePolicy::default(),
-            1,
-        )
-        .unwrap();
-        let relaxed = run_workflow(
-            &wf,
-            &prof,
-            cfg(),
-            TransferModel::default(),
             DeadlineWirePolicy::new(Millis::from_hours(50)),
             1,
-        )
-        .unwrap();
+        );
         assert_eq!(relaxed.charging_units, wire.charging_units);
         assert_eq!(relaxed.makespan, wire.makespan);
     }
@@ -157,24 +156,18 @@ mod tests {
     #[test]
     fn tight_deadline_buys_speed_with_cost() {
         let (wf, prof) = WorkloadId::PageRankS.generate(1);
-        let relaxed = run_workflow(
+        let relaxed = run(
             &wf,
             &prof,
-            cfg(),
-            TransferModel::default(),
             DeadlineWirePolicy::new(Millis::from_hours(50)),
             1,
-        )
-        .unwrap();
-        let tight = run_workflow(
+        );
+        let tight = run(
             &wf,
             &prof,
-            cfg(),
-            TransferModel::default(),
             DeadlineWirePolicy::new(Millis::from_mins(10)),
             1,
-        )
-        .unwrap();
+        );
         assert!(
             tight.makespan <= relaxed.makespan,
             "tight {} vs relaxed {}",
@@ -193,7 +186,7 @@ mod tests {
     fn completes_and_reports_switches() {
         let (wf, prof) = WorkloadId::PageRankS.generate(2);
         let mut policy = DeadlineWirePolicy::new(Millis::from_mins(2));
-        let r = run_workflow(&wf, &prof, cfg(), TransferModel::default(), &mut policy, 2).unwrap();
+        let r = run(&wf, &prof, &mut policy, 2);
         assert_eq!(r.task_records.len(), wf.num_tasks());
         // the projection must flip to urgent at least once under a
         // 2-minute deadline for a multi-minute workload

@@ -87,7 +87,7 @@ impl ScalingPolicy for OracleWirePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wire_simcloud::{run_workflow, CloudConfig};
+    use wire_simcloud::{CloudConfig, Session};
     use wire_workloads::WorkloadId;
 
     #[test]
@@ -100,16 +100,20 @@ mod tests {
             ..CloudConfig::default()
         };
         let tm = TransferModel::default();
-        let oracle = run_workflow(
-            &wf,
-            &prof,
-            cfg.clone(),
-            tm.clone(),
-            OracleWirePolicy::new(prof.clone(), tm.clone()),
-            3,
-        )
-        .unwrap();
-        let wire = run_workflow(&wf, &prof, cfg, tm, crate::WirePolicy::default(), 3).unwrap();
+        let oracle = Session::new(cfg.clone())
+            .transfer(tm.clone())
+            .policy(OracleWirePolicy::new(prof.clone(), tm.clone()))
+            .seed(3)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
+        let wire = Session::new(cfg)
+            .transfer(tm)
+            .policy(crate::WirePolicy::default())
+            .seed(3)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
         assert_eq!(oracle.task_records.len(), wf.num_tasks());
         // §IV-E robustness: online prediction should not cost much vs oracle
         assert!(
@@ -129,15 +133,14 @@ mod tests {
         let tm = TransferModel::default();
         // run wf2 with an oracle built from wf's (shorter) profile
         let prof2_bad = prof.clone();
-        let _ = run_workflow(
-            &wf2,
-            &wire_dag::ExecProfile::uniform(wf2.num_tasks(), Millis::from_secs(1)),
-            cfg,
-            tm.clone(),
-            OracleWirePolicy::new(prof2_bad, tm),
-            1,
-        )
-        .map(|_| ());
+        let bad_prof = wire_dag::ExecProfile::uniform(wf2.num_tasks(), Millis::from_secs(1));
+        let _ = Session::new(cfg)
+            .transfer(tm.clone())
+            .policy(OracleWirePolicy::new(prof2_bad, tm))
+            .seed(1)
+            .submit(&wf2, &bad_prof)
+            .run()
+            .map(|_| ());
         let _ = wf;
     }
 }

@@ -442,7 +442,7 @@ impl ScalingPolicy for WirePolicy {
 mod tests {
     use super::*;
     use wire_dag::{ExecProfile, WorkflowBuilder};
-    use wire_simcloud::{run_workflow, CloudConfig, TransferModel};
+    use wire_simcloud::{CloudConfig, SchedulerSpec, Session, TransferModel};
 
     /// End-to-end smoke test: WIRE drives a fan-out workflow to completion on
     /// the simulator and uses less than the full-site cost.
@@ -467,15 +467,13 @@ mod tests {
             run_teardown: Millis::ZERO,
             ..CloudConfig::default()
         };
-        let r = run_workflow(
-            &wf,
-            &prof,
-            cfg,
-            TransferModel::none(),
-            WirePolicy::default(),
-            7,
-        )
-        .expect("wire run completes");
+        let r = Session::new(cfg)
+            .transfer(TransferModel::none())
+            .policy(WirePolicy::default())
+            .seed(7)
+            .submit(&wf, &prof)
+            .run()
+            .expect("wire run completes");
         assert_eq!(r.task_records.len(), 40);
         assert!(r.mape_iterations > 0);
         assert!(r.peak_instances >= 2, "wire should have scaled out");
@@ -509,22 +507,20 @@ mod tests {
             launch_lag: interval,
             mape_interval: interval,
             initial_instances: 1,
-            first_five_priority: false,
+            scheduler: SchedulerSpec::plain_fifo(),
             exec_jitter: 0.0,
             mean_time_between_failures: None,
             run_setup: Millis::ZERO,
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(100),
         };
-        let r = run_workflow(
-            &wf,
-            &prof,
-            cfg,
-            TransferModel::none(),
-            WirePolicy::default(),
-            1,
-        )
-        .unwrap();
+        let r = Session::new(cfg)
+            .transfer(TransferModel::none())
+            .policy(WirePolicy::default())
+            .seed(1)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
         // cost within ~1.5× of the N-unit optimum; completion far better than
         // fully sequential (N·R) even if well above the parallel optimum R
         assert!(
@@ -577,15 +573,13 @@ mod tests {
                 self.0.plan(s)
             }
         }
-        run_workflow(
-            &wf,
-            &prof,
-            cfg,
-            TransferModel::none(),
-            ByRef(&mut policy),
-            3,
-        )
-        .unwrap();
+        Session::new(cfg)
+            .transfer(TransferModel::none())
+            .policy(ByRef(&mut policy))
+            .seed(3)
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
         let uses = policy.policy_uses();
         assert!(uses.iter().sum::<u64>() > 0, "{uses:?}");
         assert!(policy.state_bytes() > 0);

@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use wire_dag::Millis;
 
+use crate::scheduler::SchedulerSpec;
+
 /// Static configuration of a simulated cloud site and run.
 ///
 /// Defaults mirror the paper's ExoGENI setup (§IV-B): XOXLarge instances with
@@ -22,9 +24,13 @@ pub struct CloudConfig {
     pub mape_interval: Millis,
     /// Instances the pool starts with (ready at time 0, charged from 0).
     pub initial_instances: u32,
-    /// WIRE's first-five-per-stage dispatch priority (§III-C); off for
-    /// ablations and for non-WIRE baselines that don't patch the framework.
-    pub first_five_priority: bool,
+    /// Which ready-task scheduler the framework master runs. The default,
+    /// [`SchedulerSpec::Fifo`] with the first-five-per-stage boost (§III-C),
+    /// reproduces the historical engine byte for byte; plain FIFO models the
+    /// unpatched framework, and the rank/portfolio members are the
+    /// alternatives studied by `wire campaign schedulers`.
+    #[serde(default)]
+    pub scheduler: SchedulerSpec,
     /// Engine-level multiplicative execution-time jitter (interference,
     /// §II-B): each dispatch scales the ground-truth time by a factor drawn
     /// uniformly from `[1 − j, 1 + j]`. Zero replays the profile exactly.
@@ -58,7 +64,7 @@ impl Default for CloudConfig {
             charging_unit: Millis::from_mins(15),
             mape_interval: Millis::from_mins(3),
             initial_instances: 1,
-            first_five_priority: true,
+            scheduler: SchedulerSpec::default(),
             exec_jitter: 0.0,
             mean_time_between_failures: None,
             run_setup: Millis::from_mins(3),
@@ -88,13 +94,21 @@ impl CloudConfig {
             charging_unit,
             mape_interval,
             initial_instances: 1,
-            first_five_priority: false,
+            scheduler: SchedulerSpec::plain_fifo(),
             exec_jitter: 0.0,
             mean_time_between_failures: None,
             run_setup: Millis::ZERO,
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(1_000_000),
         }
+    }
+
+    /// Deprecated shim for the pre-[`SchedulerSpec`] API: toggle the
+    /// first-five boost by installing the matching FIFO scheduler.
+    #[deprecated(since = "0.8.0", note = "set `scheduler: SchedulerSpec` instead")]
+    pub fn first_five_priority(mut self, on: bool) -> Self {
+        self.scheduler = SchedulerSpec::Fifo { first_five: on };
+        self
     }
 
     /// Enable failure injection with the given mean time between failures.
@@ -194,6 +208,19 @@ mod tests {
         let c = c.failures(Millis::from_mins(30));
         assert_eq!(c.mean_time_between_failures, Some(Millis::from_mins(30)));
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn first_five_shim_installs_matching_fifo() {
+        assert_eq!(
+            CloudConfig::default().scheduler,
+            SchedulerSpec::first_five()
+        );
+        let c = CloudConfig::default().first_five_priority(false);
+        assert_eq!(c.scheduler, SchedulerSpec::plain_fifo());
+        let c = c.first_five_priority(true);
+        assert_eq!(c.scheduler, SchedulerSpec::first_five());
     }
 
     #[test]

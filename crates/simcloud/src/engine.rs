@@ -19,7 +19,7 @@ use crate::instance::{Instance, InstanceId, InstanceState, InstanceStateView, Sl
 use crate::observe::{CompletionView, InstanceView, MonitorSnapshot, TaskView, WorkflowSlot};
 use crate::policy::{PoolPlan, ScalingPolicy, TerminateWhen};
 use crate::result::{InstanceBill, RunResult, TaskRecord, WorkflowOutcome};
-use crate::scheduler::ReadyQueue;
+use crate::scheduler::{AnyScheduler, Scheduler};
 use crate::trace::{RunTrace, TraceEvent};
 use crate::transfer::TransferModel;
 use rand::rngs::StdRng;
@@ -88,7 +88,7 @@ struct RunInfo {
 /// The default recorder is [`NoopRecorder`]: every telemetry call site is
 /// guarded by `recorder.enabled()`, which monomorphizes to a constant
 /// `false`, so unrecorded runs pay nothing for the instrumentation.
-pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
+pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder, S: Scheduler = AnyScheduler> {
     /// All submissions in submission-time order, each with its slice of the
     /// session-global task/stage index space.
     slots: Vec<WorkflowSlot<'a>>,
@@ -122,7 +122,7 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder> {
 
     clock: Millis,
     queue: EventQueue,
-    ready: ReadyQueue,
+    ready: S,
 
     task_phase: Vec<TaskPhase>,
     /// Unmet-dependency countdown; meaningful while `Unready`.
@@ -286,7 +286,8 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
 
     /// Construct a multi-workflow engine from `(submitted_at, workflow,
     /// profile)` triples; the [`crate::Session`] builder is the public face
-    /// of this constructor.
+    /// of this constructor. The scheduler is built from
+    /// [`CloudConfig::scheduler`] behind the type-erased [`AnyScheduler`].
     pub(crate) fn from_submissions(
         submissions: Vec<(Millis, &'a Workflow, &'a ExecProfile)>,
         config: CloudConfig,
@@ -294,6 +295,37 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         policy: P,
         seed: u64,
         recorder: R,
+    ) -> Result<Self, RunError> {
+        let spec = config.scheduler;
+        let cfg = config.clone();
+        Engine::from_submissions_with(
+            submissions,
+            config,
+            transfer_model,
+            policy,
+            seed,
+            recorder,
+            move |num_tasks, num_stages| spec.build(num_tasks, num_stages, &cfg),
+        )
+    }
+}
+
+impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
+    /// Generic core constructor: like [`Engine::from_submissions`], but the
+    /// caller supplies the scheduler via `make_scheduler(num_tasks,
+    /// num_stages)` — the hook for statically-typed custom schedulers.
+    /// After construction every scheduler observes each submission (DAG +
+    /// ground-truth profile) through [`Scheduler::prepare`], in submission
+    /// order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_submissions_with(
+        submissions: Vec<(Millis, &'a Workflow, &'a ExecProfile)>,
+        config: CloudConfig,
+        transfer_model: TransferModel,
+        policy: P,
+        seed: u64,
+        recorder: R,
+        make_scheduler: impl FnOnce(usize, usize) -> S,
     ) -> Result<Self, RunError> {
         config.validate().map_err(RunError::Config)?;
         // NaN and non-positive rates are both rejected here
@@ -338,8 +370,14 @@ impl<'a, P: ScalingPolicy, R: Recorder> Engine<'a, P, R> {
         }
         let n = task_base as usize;
         let naive = naive_core_default();
+        let mut ready = make_scheduler(n, stage_base as usize);
+        // rank-precompute hook: every scheduler sees each submission's DAG
+        // and ground-truth profile before the first event fires
+        for (slot, profile) in slots.iter().zip(profiles.iter()) {
+            ready.prepare(slot, profile);
+        }
         Ok(Engine {
-            ready: ReadyQueue::with_sizes(n, stage_base as usize, config.first_five_priority),
+            ready,
             slots,
             profiles,
             wf_remaining,
@@ -1554,7 +1592,7 @@ struct SnapshotScratch {
 /// completion/transfer accumulators are lent out as-is — the engine clears
 /// them only after the plan call returns.
 #[allow(clippy::too_many_arguments)]
-fn build_snapshot<'a>(
+fn build_snapshot<'a, S: Scheduler>(
     scratch: &'a mut SnapshotScratch,
     workflows: &'a [WorkflowSlot<'a>],
     config: &'a CloudConfig,
@@ -1568,7 +1606,7 @@ fn build_snapshot<'a>(
     active_ids: Option<&std::collections::BTreeSet<u32>>,
     new_completions: &'a [CompletionView],
     interval_transfers: &'a [Millis],
-    ready: &ReadyQueue,
+    ready: &S,
 ) -> MonitorSnapshot<'a> {
     let visible = phases.len();
     // Rows below `scratch.clean` were Done at the last build; Done is
@@ -1707,7 +1745,7 @@ mod tests {
             charging_unit: Millis::from_mins(15),
             mape_interval: Millis::from_mins(3),
             initial_instances: 1,
-            first_five_priority: true,
+            scheduler: crate::scheduler::SchedulerSpec::first_five(),
             exec_jitter: 0.0,
             mean_time_between_failures: None,
             run_setup: Millis::ZERO,

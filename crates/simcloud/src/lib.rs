@@ -10,8 +10,10 @@
 //! * per-instance billing in *charging units* of length `u` (every started
 //!   unit is paid);
 //! * a site capacity cap (the paper's ExoGENI site provides at most 12);
-//! * a FIFO framework scheduler with WIRE's first-five-per-stage priority
-//!   boost (§III-C);
+//! * a swappable framework [`Scheduler`] — by default WIRE's two-class FIFO
+//!   with the first-five-per-stage priority boost (§III-C), with HEFT-style
+//!   rank schedulers and a per-workflow portfolio selectable via
+//!   [`SchedulerSpec`];
 //! * task slot occupancy = input transfer + execution + output transfer
 //!   (§III-B1), with ground-truth execution times replayed from a
 //!   [`wire_dag::ExecProfile`] and transfer times drawn from a seeded
@@ -49,6 +51,9 @@ pub use observe::{
 };
 pub use policy::{PoolPlan, ScalingPolicy, TerminateWhen};
 pub use result::{RunResult, TaskRecord, WorkflowOutcome};
+pub use scheduler::{
+    AnyScheduler, RankKind, RankScheduler, ReadyQueue, Scheduler, SchedulerSpec, BOOSTED_PER_STAGE,
+};
 pub use session::{HoldPolicy, Session};
 pub use trace::{RunTrace, TraceEvent};
 pub use transfer::TransferModel;

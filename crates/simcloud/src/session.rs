@@ -21,9 +21,10 @@
 //!
 //! A session accepts N workflows with submission times (`submit` for
 //! immediate, `submit_at` for staggered arrivals), schedules ready tasks of
-//! all active DAGs through one priority-FIFO queue, and bills one shared
-//! pool. `run` returns a [`RunResult`] with shared pool/billing totals plus
-//! per-workflow makespan/slowdown records.
+//! all active DAGs through one shared [`crate::Scheduler`] (the boosted
+//! two-class FIFO by default; see [`Session::scheduler`]), and bills one
+//! shared pool. `run` returns a [`RunResult`] with shared pool/billing
+//! totals plus per-workflow makespan/slowdown records.
 
 use crate::chaos::FaultPlan;
 use crate::config::CloudConfig;
@@ -31,6 +32,7 @@ use crate::engine::{Engine, RunError};
 use crate::observe::MonitorSnapshot;
 use crate::policy::{PoolPlan, ScalingPolicy};
 use crate::result::RunResult;
+use crate::scheduler::SchedulerSpec;
 use crate::trace::RunTrace;
 use crate::transfer::TransferModel;
 use wire_dag::{ExecProfile, Millis, Workflow};
@@ -108,6 +110,23 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
     /// Set the RNG seed (transfer/exec jitter and failure injection).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Select the ready-task [`crate::Scheduler`] the framework master runs
+    /// (shorthand for setting [`CloudConfig::scheduler`]). The default FIFO
+    /// with the first-five boost reproduces the historical engine byte for
+    /// byte.
+    pub fn scheduler(mut self, spec: SchedulerSpec) -> Self {
+        self.config.scheduler = spec;
+        self
+    }
+
+    /// Deprecated shim for the pre-[`SchedulerSpec`] API: toggles between
+    /// the boosted and plain FIFO schedulers.
+    #[deprecated(since = "0.8.0", note = "use `.scheduler(SchedulerSpec::...)` instead")]
+    pub fn first_five_priority(mut self, on: bool) -> Self {
+        self.config.scheduler = SchedulerSpec::Fifo { first_five: on };
         self
     }
 
@@ -226,12 +245,35 @@ mod tests {
             charging_unit: Millis::from_mins(15),
             mape_interval: Millis::from_mins(3),
             initial_instances: 1,
-            first_five_priority: true,
+            scheduler: SchedulerSpec::first_five(),
             exec_jitter: 0.0,
             mean_time_between_failures: None,
             run_setup: Millis::ZERO,
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(100),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn scheduler_builder_and_shim_set_config() {
+        let s = Session::new(cfg()).scheduler(SchedulerSpec::Heft);
+        assert_eq!(s.config.scheduler, SchedulerSpec::Heft);
+        let s = s.first_five_priority(false);
+        assert_eq!(s.config.scheduler, SchedulerSpec::plain_fifo());
+    }
+
+    #[test]
+    fn every_scheduler_completes_a_fanout() {
+        let (wf, prof) = fanout("f", 9, 120);
+        for spec in SchedulerSpec::ALL {
+            let r = Session::new(cfg())
+                .transfer(TransferModel::none())
+                .scheduler(spec)
+                .submit(&wf, &prof)
+                .run()
+                .unwrap();
+            assert_eq!(r.task_records.len(), 9, "{}", spec.tag());
         }
     }
 

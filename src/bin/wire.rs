@@ -14,6 +14,7 @@
 //!
 //! options:
 //!   --policy wire|oracle|full-site|pure-reactive|reactive-conserving
+//!   --scheduler fifo-ff|fifo|heft|minmin|cpath|portfolio
 //!   --u <minutes>        charging unit (default 15)
 //!   --seed <n>           run seed (default 1)
 //!   --timeline           print the pool-size timeline
@@ -30,6 +31,7 @@ use wire::prelude::*;
 
 struct Opts {
     policy: String,
+    scheduler: Option<SchedulerSpec>,
     u_mins: u64,
     seed: u64,
     timeline: bool,
@@ -49,6 +51,7 @@ impl Opts {
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts {
         policy: "wire".into(),
+        scheduler: None,
         u_mins: 15,
         seed: 1,
         timeline: false,
@@ -62,6 +65,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         match a.as_str() {
             "--policy" => {
                 o.policy = it.next().ok_or("--policy needs a value")?.clone();
+            }
+            "--scheduler" => {
+                let tag = it.next().ok_or("--scheduler needs a value")?;
+                o.scheduler = Some(SchedulerSpec::parse(tag).ok_or_else(|| {
+                    format!(
+                        "unknown scheduler '{tag}' (valid: {})",
+                        SchedulerSpec::ALL.map(|s| s.tag()).join(", ")
+                    )
+                })?);
             }
             "--u" => {
                 o.u_mins = it
@@ -131,7 +143,10 @@ fn run_one(
         "reactive-conserving" => Setting::ReactiveConserving,
         other => return Err(format!("unknown policy '{other}'")),
     };
-    let cfg = cloud_config_for(setting, u, dataset_bytes);
+    let mut cfg = cloud_config_for(setting, u, dataset_bytes);
+    if let Some(spec) = opts.scheduler {
+        cfg.scheduler = spec;
+    }
     let slots = cfg.slots_per_instance;
     let tm = TransferModel::default();
     let telemetry = opts.wants_telemetry().then(TelemetryHandle::new);
@@ -269,6 +284,7 @@ fn real_main() -> Result<(), String> {
                     ] {
                         let o = Opts {
                             policy: policy.into(),
+                            scheduler: opts.scheduler,
                             u_mins: opts.u_mins,
                             seed: opts.seed,
                             timeline: false,
@@ -297,6 +313,7 @@ fn real_main() -> Result<(), String> {
                         let o = Opts {
                             u_mins: u,
                             policy: opts.policy.clone(),
+                            scheduler: opts.scheduler,
                             seed: opts.seed,
                             timeline: false,
                             trace_out: None,
@@ -346,14 +363,23 @@ fn real_main() -> Result<(), String> {
 /// `wire campaign [targets...] [flags]` — regenerate paper figures through
 /// the sharded, cached campaign runner (`wire-campaign`).
 fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
-    const TARGETS: [&str; 8] = [
-        "fig2", "fig3", "fig5", "fig6", "headline", "ablation", "policies", "overhead",
+    const TARGETS: [&str; 9] = [
+        "fig2",
+        "fig3",
+        "fig5",
+        "fig6",
+        "headline",
+        "ablation",
+        "policies",
+        "overhead",
+        "schedulers",
     ];
     let mut cfg = wire_campaign::CampaignConfig {
         progress: true,
         ..Default::default()
     };
     let mut quick = false;
+    let mut scheduler = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -370,6 +396,15 @@ fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
             "--no-cache" => cfg.mode = wire_campaign::CacheMode::Off,
             "--check" => cfg.check = true,
             "--quick" => quick = true,
+            "--scheduler" => {
+                let tag = it.next().ok_or("--scheduler needs a value")?;
+                scheduler = Some(SchedulerSpec::parse(tag).ok_or_else(|| {
+                    format!(
+                        "unknown scheduler '{tag}' (valid: {})",
+                        SchedulerSpec::ALL.map(|s| s.tag()).join(", ")
+                    )
+                })?);
+            }
             "all" => targets.extend(TARGETS.iter().map(|t| t.to_string())),
             t if TARGETS.contains(&t) => targets.push(t.to_string()),
             other => {
@@ -396,7 +431,11 @@ fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
         },
         cfg.resolved_cache_dir().display()
     );
-    let runner = wire_campaign::FigureRunner { cfg, quick };
+    let runner = wire_campaign::FigureRunner {
+        cfg,
+        quick,
+        scheduler,
+    };
     let mut bad = 0usize;
     let mut total = wire_campaign::FigureOutcome::default();
     for t in &targets {
@@ -409,6 +448,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
             "ablation" => runner.ablation(),
             "policies" => runner.policies(),
             "overhead" => runner.overhead(),
+            "schedulers" => runner.schedulers(),
             _ => unreachable!(),
         };
         eprintln!(
@@ -532,8 +572,8 @@ fn print_usage() {
     println!();
     println!("  wire list");
     println!(
-        "  wire run <workload> [--policy P] [--u MIN] [--seed N] [--timeline]
-                      [--trace-out events.csv] [--trace-chrome trace.json]
+        "  wire run <workload> [--policy P] [--scheduler S] [--u MIN] [--seed N]
+                      [--timeline] [--trace-out events.csv] [--trace-chrome trace.json]
                       [--decisions mape.log] [--metrics-csv ticks.csv]"
     );
     println!("  wire compare <workload> [--u MIN] [--seed N]");
@@ -542,8 +582,8 @@ fn print_usage() {
     println!("  wire replay <trace.txt> [--policy P] [--u MIN]");
     println!("  wire dot <workload> [--seed N]         > dag.dot");
     println!(
-        "  wire campaign <fig2|fig3|fig5|fig6|headline|ablation|policies|overhead|all>...
-                      [--threads N] [--force] [--no-cache] [--check] [--quick]"
+        "  wire campaign <fig2|fig3|fig5|fig6|headline|ablation|policies|overhead|schedulers|all>...
+                      [--threads N] [--force] [--no-cache] [--check] [--quick] [--scheduler S]"
     );
     println!(
         "  wire traffic [--arrivals N] [--tenants N] [--per-tenant N]
@@ -553,6 +593,7 @@ fn print_usage() {
     println!();
     println!("policies: wire (default), oracle, full-site, pure-reactive,");
     println!("          reactive-conserving");
+    println!("schedulers: fifo-ff (default), fifo, heft, minmin, cpath, portfolio");
 }
 
 fn main() -> ExitCode {

@@ -150,6 +150,30 @@ impl Strategy for Range<f64> {
     }
 }
 
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Uniform coin flip (`proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
