@@ -58,8 +58,8 @@ fn bench_lookahead(c: &mut Criterion) {
     // synthetic mid-run state: first quarter done, 48 running, rest ready or
     // blocked
     let mut tasks = vec![TaskView::Unready; n];
-    for i in 0..n / 4 {
-        tasks[i] = TaskView::Done {
+    for t in tasks.iter_mut().take(n / 4) {
+        *t = TaskView::Done {
             exec_time: Millis::from_secs(10),
             transfer_time: Millis::from_secs(2),
         };
@@ -81,6 +81,7 @@ fn bench_lookahead(c: &mut Criterion) {
             },
             tasks: held,
             free_slots: 0,
+            family: 0,
         });
     }
     let ready: Vec<TaskId> = ((n / 4 + 48) as u32..(n / 2) as u32).map(TaskId).collect();
@@ -92,6 +93,7 @@ fn bench_lookahead(c: &mut Criterion) {
         instances,
         new_completions: vec![],
         interval_transfers: vec![],
+        interval_ooms: 0,
         ready_in_dispatch_order: ready,
     };
     let slots = [wire_simcloud::WorkflowSlot::solo(&wf)];
@@ -176,6 +178,7 @@ fn midrun_state(
             },
             tasks: held,
             free_slots: 0,
+            family: 0,
         });
     }
     let first_ready = done + 4 * n_inst as usize;
@@ -188,6 +191,7 @@ fn midrun_state(
         instances,
         new_completions: vec![],
         interval_transfers: vec![],
+        interval_ooms: 0,
         ready_in_dispatch_order: ready,
     };
     let remaining = vec![Millis::from_secs(8); n];

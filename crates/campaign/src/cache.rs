@@ -49,6 +49,9 @@ fn render_payload(out: &CellOutput) -> String {
     s.push_str(&format!("wasted_slot_ms={}\n", out.wasted_slot_ms));
     s.push_str(&format!("restarts={}\n", out.restarts));
     s.push_str(&format!("failures={}\n", out.failures));
+    s.push_str(&format!("cost_milli={}\n", out.cost_milli));
+    s.push_str(&format!("evictions={}\n", out.evictions));
+    s.push_str(&format!("oom_restarts={}\n", out.oom_restarts));
     s.push_str(&format!("mape_iterations={}\n", out.mape_iterations));
     s.push_str(&format!(
         "policy_uses={},{},{},{},{}\n",
@@ -78,6 +81,9 @@ fn parse_payload(payload: &str) -> Result<CellOutput, String> {
         wasted_slot_ms: 0,
         restarts: 0,
         failures: 0,
+        cost_milli: 0,
+        evictions: 0,
+        oom_restarts: 0,
         mape_iterations: 0,
         policy_uses: [0; 5],
         state_bytes: 0,
@@ -105,6 +111,9 @@ fn parse_payload(payload: &str) -> Result<CellOutput, String> {
             "wasted_slot_ms" => out.wasted_slot_ms = num(v)?,
             "restarts" => out.restarts = num(v)? as u32,
             "failures" => out.failures = num(v)? as u32,
+            "cost_milli" => out.cost_milli = num(v)?,
+            "evictions" => out.evictions = num(v)? as u32,
+            "oom_restarts" => out.oom_restarts = num(v)? as u32,
             "mape_iterations" => out.mape_iterations = num(v)?,
             "policy_uses" => {
                 let parts: Vec<&str> = v.split(',').collect();
@@ -126,8 +135,8 @@ fn parse_payload(payload: &str) -> Result<CellOutput, String> {
         }
         seen += 1;
     }
-    if seen != 17 {
-        return Err(format!("expected 17 fields, got {seen}"));
+    if seen != 20 {
+        return Err(format!("expected 20 fields, got {seen}"));
     }
     Ok(out)
 }
@@ -217,6 +226,9 @@ mod tests {
             wasted_slot_ms: 2,
             restarts: 1,
             failures: 0,
+            cost_milli: 3_000,
+            evictions: 2,
+            oom_restarts: 1,
             mape_iterations: 17,
             policy_uses: [1, 2, 3, 4, 5],
             state_bytes: 4096,

@@ -28,7 +28,12 @@ use wire_workloads::{linear_workflow, WorkloadId};
 /// v3: the cloud config's `first_five_priority` bool became the
 /// [`wire_simcloud::SchedulerSpec`] selector; keys hash the scheduler tag
 /// (`sched=fifo-ff` et al.) instead of the old `first5` bool.
-pub const CACHE_FORMAT_VERSION: u32 = 3;
+///
+/// v4: priced heterogeneous clouds — keys hash the instance-family table
+/// (name/slots/speed/price/memory and the spot tier per row) and the wire
+/// policy tag grew the family-steering knobs; the payload gained
+/// `cost_milli`, `evictions` and `oom_restarts`.
+pub const CACHE_FORMAT_VERSION: u32 = 4;
 
 /// What a cell runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,12 +114,23 @@ impl PolicyKind {
             PolicyKind::FullSite => "full-site".to_string(),
             PolicyKind::PureReactive => "pure-reactive".to_string(),
             PolicyKind::ReactiveConserving => "reactive-conserving".to_string(),
-            PolicyKind::Wire(s) => format!(
-                "wire:wf={:x}:ft={:x}:mut={}",
-                s.waste_fraction.to_bits(),
-                s.fill_target.to_bits(),
-                s.mutation_drop_restart_guard
-            ),
+            PolicyKind::Wire(s) => {
+                let mut t = format!(
+                    "wire:wf={:x}:ft={:x}:mut={}",
+                    s.waste_fraction.to_bits(),
+                    s.fill_target.to_bits(),
+                    s.mutation_drop_restart_guard
+                );
+                // appended only when set, so pre-family wire tags (and the
+                // keys derived from them) keep their historical bytes
+                if let Some(floor) = s.spot_on_demand_floor {
+                    t.push_str(&format!(":floor={:x}", floor.to_bits()));
+                }
+                if s.memory_blind_families {
+                    t.push_str(":blind");
+                }
+                t
+            }
             PolicyKind::Oracle => "oracle".to_string(),
         }
     }
@@ -298,6 +314,26 @@ pub fn cache_key_versioned(cell: &Cell, version: u32) -> u64 {
     h.field_u64("setup_ms", c.run_setup.as_ms());
     h.field_u64("teardown_ms", c.run_teardown.as_ms());
     h.field_u64("max_sim_ms", c.max_sim_time.as_ms());
+    // the priced family table: every row field is semantic input (an empty
+    // table — the legacy homogeneous cloud — contributes only the count)
+    h.field_u64("families", c.families.len() as u64);
+    for (i, f) in c.families.iter().enumerate() {
+        h.field_str(&format!("fam{i}_name"), &f.name);
+        h.field_u64(&format!("fam{i}_slots"), f.slots as u64);
+        h.field_f64(&format!("fam{i}_speed"), f.speed);
+        h.field_u64(&format!("fam{i}_price"), f.price_milli);
+        h.field_u64(&format!("fam{i}_mem"), f.mem_mb as u64);
+        match &f.spot {
+            Some(s) => {
+                h.field_u64(
+                    &format!("fam{i}_spot_mtbe"),
+                    s.mean_time_between_evictions.as_ms(),
+                );
+                h.field_u64(&format!("fam{i}_spot_price"), s.price_milli);
+            }
+            None => h.field_str(&format!("fam{i}_spot"), "none"),
+        }
+    }
     match cell.transfer {
         TransferKind::Default => {
             let m = TransferModel::default();
@@ -333,6 +369,13 @@ pub struct CellOutput {
     pub wasted_slot_ms: u64,
     pub restarts: u32,
     pub failures: u32,
+    /// Total bill in milli-dollars (Σ family unit price × billed units; on
+    /// the legacy homogeneous cloud `charging_units × 1000`).
+    pub cost_milli: u64,
+    /// Spot evictions that reclaimed a running instance.
+    pub evictions: u32,
+    /// Task restarts caused by OOM kills (subset of `restarts`).
+    pub oom_restarts: u32,
     pub mape_iterations: u64,
     /// §IV-E prediction-policy usage counters (all zero for non-wire cells).
     pub policy_uses: [u64; 5],
@@ -358,6 +401,9 @@ impl PartialEq for CellOutput {
             && self.wasted_slot_ms == other.wasted_slot_ms
             && self.restarts == other.restarts
             && self.failures == other.failures
+            && self.cost_milli == other.cost_milli
+            && self.evictions == other.evictions
+            && self.oom_restarts == other.oom_restarts
             && self.mape_iterations == other.mape_iterations
             && self.policy_uses == other.policy_uses
             && self.state_bytes == other.state_bytes
@@ -385,6 +431,9 @@ impl CellOutput {
             wasted_slot_ms: res.wasted_slot_time.as_ms(),
             restarts: res.restarts,
             failures: res.failures,
+            cost_milli: res.cost_milli,
+            evictions: res.evictions,
+            oom_restarts: res.oom_restarts,
             mape_iterations: res.mape_iterations,
             policy_uses: uses,
             state_bytes,
@@ -411,6 +460,9 @@ impl CellOutput {
             wasted_slot_time: Millis::from_ms(self.wasted_slot_ms),
             restarts: self.restarts,
             failures: self.failures,
+            cost_milli: self.cost_milli,
+            evictions: self.evictions,
+            oom_restarts: self.oom_restarts,
             mape_iterations: self.mape_iterations,
             controller_wall: std::time::Duration::from_micros(self.controller_wall_us),
             task_records: Vec::new(),

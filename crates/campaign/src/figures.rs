@@ -20,7 +20,7 @@ use wire_dag::Millis;
 use wire_obs::{ObsSnapshot, StreamingRecorder};
 use wire_planner::{SteeringConfig, WirePolicy};
 use wire_predictor::Estimator;
-use wire_simcloud::{RunResult, SchedulerSpec, Session, TransferModel};
+use wire_simcloud::{FamilySpec, RunResult, SchedulerSpec, Session, TransferModel};
 use wire_telemetry::TelemetryHandle;
 use wire_workloads::WorkloadId;
 
@@ -760,6 +760,109 @@ impl FigureRunner {
         emit(
             "Scheduler portfolio — policies × schedulers",
             "schedulers",
+            &t,
+        );
+        outcome
+    }
+
+    /// Spot-market procurement sweep (DESIGN.md §13): WIRE's bill and
+    /// completion time under on-demand, mixed and all-spot procurement as
+    /// the provider's eviction rate varies. The spot tier sells the same
+    /// instance shape at 40 % of the on-demand price; the figure shows
+    /// where eviction-induced rework erodes that discount.
+    pub fn spot(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        // growth-heavy workloads: the steering only touches *new* launches,
+        // so a workload that finishes on its initial instance has no spot
+        // exposure and teaches the figure nothing
+        let workloads = if self.quick {
+            vec![WorkloadId::EpigenomicsS, WorkloadId::Tpch6L]
+        } else {
+            vec![
+                WorkloadId::EpigenomicsS,
+                WorkloadId::Tpch6L,
+                WorkloadId::Tpch1L,
+                WorkloadId::PageRankL,
+            ]
+        };
+        let mtbe_mins: &[u64] = if self.quick {
+            &[15, 60]
+        } else {
+            &[15, 30, 60, 120]
+        };
+        // (label, fraction of launches kept on-demand): None = legacy
+        // homogeneous procurement, 0.0 = steer everything spot-ward
+        let procurements: [(&str, Option<f64>); 3] = [
+            ("on-demand", None),
+            ("mixed", Some(0.5)),
+            ("spot", Some(0.0)),
+        ];
+        let u = Millis::from_mins(1);
+
+        let cells: Vec<Cell> = workloads
+            .iter()
+            .flat_map(|&w| {
+                mtbe_mins.iter().flat_map(move |&mtbe| {
+                    procurements.into_iter().map(move |(_, floor)| {
+                        let base = cloud_config(Setting::Wire, u);
+                        match floor {
+                            None => Cell::wire(w, base, SteeringConfig::default(), 1),
+                            Some(floor) => {
+                                let slots = base.slots_per_instance;
+                                let cfg = base.with_families(vec![
+                                    FamilySpec::new("od", slots, 1000),
+                                    FamilySpec::new("spot", slots, 1000)
+                                        .spot(Millis::from_mins(mtbe), 400),
+                                ]);
+                                Cell::wire(
+                                    w,
+                                    cfg,
+                                    SteeringConfig {
+                                        spot_on_demand_floor: Some(floor),
+                                        ..SteeringConfig::default()
+                                    },
+                                    1,
+                                )
+                            }
+                        }
+                    })
+                })
+            })
+            .collect();
+        eprintln!("spot: running {} cells ...", cells.len());
+        let outputs = self.campaign(&cells, &mut outcome);
+
+        let mut t = Table::new([
+            "workload",
+            "mtbe (min)",
+            "procurement",
+            "cost ($)",
+            "units",
+            "makespan (min)",
+            "evictions",
+            "restarts",
+        ]);
+        let mut it = outputs.iter();
+        for &w in &workloads {
+            for &mtbe in mtbe_mins {
+                for (label, _) in procurements {
+                    let res = it.next().expect("one output per cell");
+                    t.push_row([
+                        w.name().to_string(),
+                        mtbe.to_string(),
+                        label.to_string(),
+                        format!("{:.3}", res.cost_milli as f64 / 1000.0),
+                        res.charging_units.to_string(),
+                        format!("{:.1}", Millis::from_ms(res.makespan_ms).as_mins_f64()),
+                        res.evictions.to_string(),
+                        res.restarts.to_string(),
+                    ]);
+                }
+            }
+        }
+        emit(
+            "Spot procurement — cost vs eviction rate (spot at 40 % of on-demand)",
+            "spot",
             &t,
         );
         outcome

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use wire_dag::Millis;
-use wire_simcloud::CloudConfig;
+use wire_simcloud::{CloudConfig, FamilySpec, MemoryProfile};
 use wire_telemetry::{DecisionRecord, Recorder, TelemetryEvent, TickStats};
 
 /// Cap on stored violation messages; further ones are only counted.
@@ -33,8 +33,12 @@ enum InstPhase {
 #[derive(Debug, Clone)]
 struct InstTrack {
     phase: InstPhase,
+    /// Family index; 0 unless an `InstanceFamilyAssigned` event said otherwise.
+    family: u32,
     /// Slot-milliseconds consumed on this instance (completed + sunk).
     occupied: Millis,
+    /// Declared memory (MB) claimed by resident tasks (memory mode only).
+    mem_claimed: i64,
     /// `Some((task, dispatched_at))` while a slot is held.
     slots: Vec<Option<(u32, Millis)>>,
 }
@@ -71,6 +75,19 @@ struct CheckerState {
     unit: Millis,
     slots_per_instance: u32,
     site_capacity: u32,
+    /// Resolved instance family table (always non-empty; family 0 first).
+    families: Vec<FamilySpec>,
+    /// Per-task declared memory demand (MB); empty = memory checks off.
+    /// Raised in place when a `TaskOom` reports a higher observed peak,
+    /// mirroring the engine's retry-with-more-memory rule.
+    mem_demand: Vec<i64>,
+    /// Instances whose next `InstanceTerminated` must be floor-billed (the
+    /// provider forgives the charging unit a spot eviction interrupts).
+    evicted_pending: Vec<u32>,
+    /// Total bill re-derived from terminations, in milli-dollars.
+    billed_milli: u64,
+    /// Charging units billed per family id.
+    billed_units: BTreeMap<u32, u64>,
     last_at: Millis,
     events: u64,
     ticks: u64,
@@ -101,11 +118,19 @@ impl CheckerState {
             let slots = self.slots_per_instance as usize;
             self.instances.resize_with(idx + 1, || InstTrack {
                 phase: InstPhase::Absent,
+                family: 0,
                 occupied: Millis::ZERO,
+                mem_claimed: 0,
                 slots: vec![None; slots],
             });
         }
         &mut self.instances[idx]
+    }
+
+    /// Memory capacity (MB) of `instance`'s family.
+    fn mem_capacity(&mut self, instance: u32) -> i64 {
+        let fam = self.inst(instance).family as usize;
+        self.families.get(fam).map(|f| f.mem_mb).unwrap_or(i64::MAX)
     }
 
     fn task(&mut self, id: u32) -> &mut TaskTrack {
@@ -279,6 +304,49 @@ impl CheckerState {
             TelemetryEvent::InstanceTerminated { instance, units } => {
                 self.on_terminated(at, instance, units);
             }
+            TelemetryEvent::InstanceFamilyAssigned { instance, family } => {
+                match self.families.get(family as usize).map(|f| f.slots) {
+                    None => self.violate(
+                        at,
+                        format!("instance {instance} assigned unknown family {family}"),
+                    ),
+                    Some(slots) => {
+                        let t = self.inst(instance);
+                        t.family = family;
+                        t.slots.resize(slots as usize, None);
+                    }
+                }
+            }
+            TelemetryEvent::SpotEvicted { instance } => {
+                let t = self.inst(instance);
+                let (phase, fam) = (t.phase, t.family);
+                if !matches!(phase, InstPhase::Running { .. }) {
+                    self.violate(
+                        at,
+                        format!(
+                            "instance {instance} spot-evicted while {phase:?} \
+                             (evictions strike Running only)"
+                        ),
+                    );
+                }
+                if !self
+                    .families
+                    .get(fam as usize)
+                    .is_some_and(FamilySpec::is_spot)
+                {
+                    self.violate(
+                        at,
+                        format!("on-demand instance {instance} (family {fam}) spot-evicted"),
+                    );
+                }
+                self.evicted_pending.push(instance);
+            }
+            TelemetryEvent::TaskOom {
+                task,
+                instance,
+                demand_mb,
+                peak_mb,
+            } => self.on_oom(at, task, instance, demand_mb, peak_mb),
 
             TelemetryEvent::TaskDispatched {
                 task,
@@ -287,12 +355,13 @@ impl CheckerState {
                 slot,
             } => {
                 self.check_ids(at, "dispatch", task, stage);
-                if slot >= self.slots_per_instance {
+                let width = self.inst(instance).slots.len() as u32;
+                if slot >= width {
                     self.violate(
                         at,
                         format!(
-                            "task {task} dispatched to slot {slot} ≥ slots_per_instance {}",
-                            self.slots_per_instance
+                            "task {task} dispatched to slot {slot} ≥ instance {instance}'s \
+                             width {width}"
                         ),
                     );
                     return;
@@ -325,6 +394,20 @@ impl CheckerState {
                         ),
                     );
                 }
+                if let Some(&demand) = self.mem_demand.get(task as usize) {
+                    let cap = self.mem_capacity(instance);
+                    let free = cap - self.inst(instance).mem_claimed;
+                    if demand > free {
+                        self.violate(
+                            at,
+                            format!(
+                                "task {task} (demand {demand} MB) placed on instance {instance} \
+                                 with only {free} MB free"
+                            ),
+                        );
+                    }
+                    self.inst(instance).mem_claimed += demand;
+                }
                 self.task(task).running_on = Some((instance, slot));
             }
             TelemetryEvent::TaskCompleted {
@@ -356,9 +439,11 @@ impl CheckerState {
                                 ),
                             );
                         }
+                        let demand = self.mem_demand.get(task as usize).copied().unwrap_or(0);
                         let it = self.inst(instance);
                         it.slots[slot as usize] = None;
                         it.occupied += at - start;
+                        it.mem_claimed -= demand;
                     }
                     other => self.violate(
                         at,
@@ -462,14 +547,82 @@ impl CheckerState {
         }
     }
 
+    /// The kernel killed `task` for blowing past its family's memory: its
+    /// slot and claim free up and a matching `TaskResubmitted` must follow,
+    /// carrying a claim raised to at least the observed peak so the same
+    /// placement cannot OOM twice.
+    fn on_oom(&mut self, at: Millis, task: u32, instance: u32, demand_mb: i64, peak_mb: i64) {
+        if demand_mb < peak_mb {
+            self.violate(
+                at,
+                format!(
+                    "task {task} OOM leaves claim {demand_mb} MB below observed peak \
+                     {peak_mb} MB (the retry would OOM again)"
+                ),
+            );
+        }
+        let old_demand = self.mem_demand.get(task as usize).copied();
+        if let Some(old) = old_demand {
+            if demand_mb < old {
+                self.violate(
+                    at,
+                    format!("task {task} OOM lowered its claim {old} → {demand_mb} MB"),
+                );
+            }
+            self.mem_demand[task as usize] = demand_mb;
+        } else if !self.mem_demand.is_empty() {
+            self.violate(
+                at,
+                format!("task {task} OOMed but is outside the declared memory profile"),
+            );
+        }
+        let t = self.inst(instance);
+        let pos = t
+            .slots
+            .iter()
+            .position(|s| matches!(s, Some((tt, _)) if *tt == task));
+        match pos {
+            Some(slot) => {
+                let (_, start) = t.slots[slot].take().expect("position() found an occupant");
+                t.occupied += at - start;
+                t.mem_claimed -= old_demand.unwrap_or(0);
+                self.pending_resubmits.push(PendingResubmit {
+                    task,
+                    instance,
+                    slot: slot as u32,
+                    at,
+                    sunk: at - start,
+                });
+            }
+            None => self.violate(
+                at,
+                format!("task {task} OOMed on instance {instance} but holds no slot there"),
+            ),
+        }
+        self.task(task).running_on = None;
+    }
+
     /// `InstanceTerminated` carries the bill; re-derive it. Tasks still in
     /// slots lose their work: fold it into `occupied` and demand a matching
     /// `TaskResubmitted` (the engine emits them right after this event).
     fn on_terminated(&mut self, at: Millis, instance: u32, units: u64) {
         let unit = self.unit;
-        let slots = self.slots_per_instance as u64;
+        // A spot eviction announced itself just before this event: the
+        // provider forgives the charging unit in progress (floor, may be 0).
+        let forgiven = match self.evicted_pending.iter().position(|&i| i == instance) {
+            Some(i) => {
+                self.evicted_pending.swap_remove(i);
+                true
+            }
+            None => false,
+        };
         let t = self.inst(instance);
+        let slots = t.slots.len() as u64;
+        let family = t.family;
         let expected = match t.phase {
+            InstPhase::Running { charge_start } if forgiven => {
+                Some(units_forgiven(charge_start, at, unit))
+            }
             InstPhase::Running { charge_start } => Some(units_billed(charge_start, at, unit)),
             InstPhase::Draining {
                 charge_start,
@@ -481,6 +634,7 @@ impl CheckerState {
         };
         let phase = t.phase;
         t.phase = InstPhase::Terminated;
+        t.mem_claimed = 0;
         let mut evicted = Vec::new();
         for (slot, held) in t.slots.iter_mut().enumerate() {
             if let Some((task, start)) = held.take() {
@@ -504,16 +658,23 @@ impl CheckerState {
                 at,
                 format!(
                     "instance {instance} billed {units} units; {phase:?} ending at {at} \
-                     implies {e}"
+                     implies {e}{}",
+                    if forgiven {
+                        " (spot eviction forgives the open unit)"
+                    } else {
+                        ""
+                    }
                 ),
             ),
             Some(_) => {}
         }
-        if units == 0 {
+        if units == 0 && !forgiven {
             self.violate(at, format!("instance {instance} billed zero units"));
         }
-        // conservation: paid slot time covers everything that ran there
-        if Millis::from_ms(units * unit.as_ms() * slots) < occupied {
+        // conservation: paid slot time covers everything that ran there — a
+        // forgiven eviction gets exactly one free (partial) unit on top
+        let paid_windows = units + forgiven as u64;
+        if Millis::from_ms(paid_windows * unit.as_ms() * slots) < occupied {
             self.violate(
                 at,
                 format!(
@@ -522,6 +683,14 @@ impl CheckerState {
                 ),
             );
         }
+        // per-family billing ledger (conservation against RunResult::cost_milli)
+        let price = self
+            .families
+            .get(family as usize)
+            .map(FamilySpec::unit_price_milli)
+            .unwrap_or(FamilySpec::LEGACY_PRICE_MILLI);
+        self.billed_milli += units * price;
+        *self.billed_units.entry(family).or_default() += units;
         for p in evicted {
             self.task(p.task).running_on = None;
             self.pending_resubmits.push(p);
@@ -540,6 +709,9 @@ impl CheckerState {
                 "task {} lost its slot at {} but was never resubmitted",
                 p.task, p.at
             ));
+        }
+        for i in &self.evicted_pending {
+            push(format!("instance {i} spot-evicted but never terminated"));
         }
         for (i, inst) in self.instances.iter().enumerate() {
             if !matches!(inst.phase, InstPhase::Terminated | InstPhase::Absent) {
@@ -577,6 +749,12 @@ impl CheckerState {
 fn units_billed(charge_start: Millis, end: Millis, unit: Millis) -> u64 {
     // mirrors Instance::units_billed: started units, minimum one
     end.saturating_sub(charge_start).ceil_div(unit).max(1)
+}
+
+#[inline]
+fn units_forgiven(charge_start: Millis, end: Millis, unit: Millis) -> u64 {
+    // mirrors Instance::units_billed_forgiven: completed units only, no floor
+    end.saturating_sub(charge_start).as_ms() / unit.as_ms()
 }
 
 /// Everything the checker concluded about one run.
@@ -626,10 +804,14 @@ impl InvariantChecker {
     /// Checker for runs under `cfg`. The config supplies the charging unit,
     /// slot count and site capacity the invariants are phrased in.
     pub fn new(cfg: &CloudConfig) -> Self {
+        let families = cfg.resolved_families();
         let state = CheckerState {
             unit: cfg.charging_unit,
-            slots_per_instance: cfg.slots_per_instance,
+            // family 0 is the default; its slot count equals
+            // cfg.slots_per_instance when no family table is configured
+            slots_per_instance: families[0].slots,
             site_capacity: cfg.site_capacity,
+            families,
             ..CheckerState::default()
         };
         Self(Arc::new(Mutex::new(state)))
@@ -659,6 +841,32 @@ impl InvariantChecker {
             });
         }
         self
+    }
+
+    /// Mirror the session's declared memory demands, enabling the placement
+    /// invariant: no dispatch may land on an instance whose free family
+    /// memory is below the task's current claim, and every `TaskOom` must
+    /// raise the claim to at least the observed peak.
+    pub fn expect_memory(self, profile: &MemoryProfile) -> Self {
+        self.lock().mem_demand = profile.demands().to_vec();
+        self
+    }
+
+    /// Total bill re-derived from `InstanceTerminated` events and the family
+    /// price table, in milli-dollars. Compare against
+    /// [`wire_simcloud::RunResult`]'s `cost_milli` for end-to-end billing
+    /// conservation.
+    pub fn billed_milli(&self) -> u64 {
+        self.lock().billed_milli
+    }
+
+    /// Charging units billed per family id, re-derived from the event stream.
+    pub fn billed_units_by_family(&self) -> Vec<(u32, u64)> {
+        self.lock()
+            .billed_units
+            .iter()
+            .map(|(&f, &u)| (f, u))
+            .collect()
     }
 
     /// Apply the planner's release postconditions to a recorded decision
@@ -897,6 +1105,190 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("outside its workflow")));
+    }
+
+    fn spot_cfg() -> CloudConfig {
+        CloudConfig {
+            families: vec![FamilySpec::new("spot", 4, 1000).spot(Millis::from_mins(600), 400)],
+            ..CloudConfig::default()
+        }
+    }
+
+    fn mem_cfg() -> CloudConfig {
+        CloudConfig {
+            families: vec![FamilySpec::new("m", 4, 1000).memory_mb(1000)],
+            ..CloudConfig::default()
+        }
+    }
+
+    #[test]
+    fn spot_eviction_is_floor_billed_and_zero_units_is_legal() {
+        let c = InvariantChecker::new(&spot_cfg());
+        rec(&c, 0, TelemetryEvent::InstanceReady { instance: 0 });
+        // evicted 10 min in: the open 15-min unit is forgiven, bill is zero
+        rec(&c, 10, TelemetryEvent::SpotEvicted { instance: 0 });
+        rec(
+            &c,
+            10,
+            TelemetryEvent::InstanceTerminated {
+                instance: 0,
+                units: 0,
+            },
+        );
+        let r = c.report();
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(c.billed_milli(), 0);
+    }
+
+    #[test]
+    fn billing_the_eviction_grace_unit_is_caught() {
+        // the mutation knob's signature: ceil-billing a forgiven eviction
+        let c = InvariantChecker::new(&spot_cfg());
+        rec(&c, 0, TelemetryEvent::InstanceReady { instance: 0 });
+        rec(&c, 40, TelemetryEvent::SpotEvicted { instance: 0 });
+        rec(
+            &c,
+            40,
+            TelemetryEvent::InstanceTerminated {
+                instance: 0,
+                units: 3, // floor(40/15) = 2 complete units; 3 charges the grace
+            },
+        );
+        let r = c.report();
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("forgives the open unit")),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn evicting_an_on_demand_instance_is_caught() {
+        let c = InvariantChecker::new(&cfg()); // legacy table: no spot family
+        rec(&c, 0, TelemetryEvent::InstanceReady { instance: 0 });
+        rec(&c, 5, TelemetryEvent::SpotEvicted { instance: 0 });
+        rec(
+            &c,
+            5,
+            TelemetryEvent::InstanceTerminated {
+                instance: 0,
+                units: 0,
+            },
+        );
+        let r = c.report();
+        assert!(
+            r.violations.iter().any(|v| v.contains("on-demand")),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn memory_oversubscription_is_caught() {
+        let c = InvariantChecker::new(&mem_cfg())
+            .expect_memory(&MemoryProfile::uniform(2, 600, 600).unwrap());
+        rec(&c, 0, TelemetryEvent::InstanceReady { instance: 0 });
+        for task in 0..2 {
+            // second placement claims 1200 MB on a 1000 MB family
+            rec(
+                &c,
+                1,
+                TelemetryEvent::TaskDispatched {
+                    task,
+                    stage: 0,
+                    instance: 0,
+                    slot: task,
+                },
+            );
+        }
+        let r = c.report();
+        assert!(
+            r.violations.iter().any(|v| v.contains("MB free")),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn oom_resubmit_roundtrip_is_clean_and_a_lowered_claim_is_caught() {
+        let c = InvariantChecker::new(&mem_cfg())
+            .expect_memory(&MemoryProfile::uniform(1, 200, 1200).unwrap());
+        rec(&c, 0, TelemetryEvent::InstanceReady { instance: 0 });
+        rec(
+            &c,
+            1,
+            TelemetryEvent::TaskDispatched {
+                task: 0,
+                stage: 0,
+                instance: 0,
+                slot: 0,
+            },
+        );
+        rec(
+            &c,
+            3,
+            TelemetryEvent::TaskOom {
+                task: 0,
+                instance: 0,
+                demand_mb: 1200,
+                peak_mb: 1200,
+            },
+        );
+        rec(
+            &c,
+            3,
+            TelemetryEvent::TaskResubmitted {
+                task: 0,
+                instance: 0,
+                slot: 0,
+                sunk: Millis::from_mins(2),
+            },
+        );
+        rec(
+            &c,
+            15,
+            TelemetryEvent::InstanceTerminated {
+                instance: 0,
+                units: 1,
+            },
+        );
+        let r = c.report();
+        assert!(r.is_clean(), "{}", r.render());
+
+        // same stream, but the OOM fails to raise the claim to the peak
+        let c = InvariantChecker::new(&mem_cfg())
+            .expect_memory(&MemoryProfile::uniform(1, 200, 1200).unwrap());
+        rec(&c, 0, TelemetryEvent::InstanceReady { instance: 0 });
+        rec(
+            &c,
+            1,
+            TelemetryEvent::TaskDispatched {
+                task: 0,
+                stage: 0,
+                instance: 0,
+                slot: 0,
+            },
+        );
+        rec(
+            &c,
+            3,
+            TelemetryEvent::TaskOom {
+                task: 0,
+                instance: 0,
+                demand_mb: 200,
+                peak_mb: 1200,
+            },
+        );
+        let r = c.report();
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("below observed peak")),
+            "{}",
+            r.render()
+        );
     }
 
     #[test]

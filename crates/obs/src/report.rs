@@ -186,14 +186,18 @@ mod tests {
         snap.counters.insert("workflow_completed".to_string(), 4);
         snap.counters.insert("task_completed".to_string(), 40);
         snap.counters.insert("units_billed_total".to_string(), 7);
-        let mut t = TenantAgg::default();
-        t.submitted = 4;
-        t.completed = 4;
+        let mut t = TenantAgg {
+            submitted: 4,
+            completed: 4,
+            ..TenantAgg::default()
+        };
         t.makespan_ms.observe(60_000.0);
         t.slowdown_milli.observe(1_500.0);
         snap.tenants.push(t);
-        let mut w = WindowAgg::default();
-        w.arrivals = 4;
+        let mut w = WindowAgg {
+            arrivals: 4,
+            ..WindowAgg::default()
+        };
         w.pred_rel_milli.observe(120.0);
         snap.windows.live.push((0, w));
         snap.health.memo_hits = 90;

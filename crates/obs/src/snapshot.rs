@@ -518,14 +518,18 @@ mod tests {
             h.observe(v);
         }
         s.sketches.insert("task_exec_ms".to_string(), h.clone());
-        let mut t = TenantAgg::default();
-        t.submitted = 2;
-        t.completed = 2;
+        let mut t = TenantAgg {
+            submitted: 2,
+            completed: 2,
+            ..TenantAgg::default()
+        };
         t.makespan_ms.observe(900.0);
         s.tenants.push(t);
         s.windows = WindowRollup::new(60_000);
-        let mut w = WindowAgg::default();
-        w.arrivals = 2;
+        let mut w = WindowAgg {
+            arrivals: 2,
+            ..WindowAgg::default()
+        };
         w.pred_rel_milli.observe(150.0);
         s.windows.live.push((4, w));
         s.health.memo_hits = 5;

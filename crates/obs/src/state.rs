@@ -55,7 +55,7 @@ struct ActiveWorkflow {
 /// Every [`TelemetryEvent::kind`] in a fixed order, so the per-event
 /// counter is one array add instead of a string-keyed map lookup. The
 /// snapshot re-keys by name, keeping the exported format unchanged.
-const KIND_NAMES: [&str; 15] = [
+const KIND_NAMES: [&str; 18] = [
     "run_setup_done",
     "instance_requested",
     "instance_ready",
@@ -71,6 +71,9 @@ const KIND_NAMES: [&str; 15] = [
     "workflow_ready",
     "workflow_completed",
     "chaos_fault",
+    "instance_family",
+    "spot_evicted",
+    "task_oom",
 ];
 const IDX_TASK_COMPLETED: usize = 7;
 const IDX_WORKFLOW_SUBMITTED: usize = 11;
@@ -93,6 +96,9 @@ fn kind_index(ev: &TelemetryEvent) -> usize {
         TelemetryEvent::WorkflowReady { .. } => 12,
         TelemetryEvent::WorkflowCompleted { .. } => IDX_WORKFLOW_COMPLETED,
         TelemetryEvent::ChaosFault { .. } => 14,
+        TelemetryEvent::InstanceFamilyAssigned { .. } => 15,
+        TelemetryEvent::SpotEvicted { .. } => 16,
+        TelemetryEvent::TaskOom { .. } => 17,
     }
 }
 
@@ -109,10 +115,13 @@ struct Sketches {
     ready_at_plan: Histogram,
     workflow_makespan_ms: Histogram,
     workflow_slowdown_milli: Histogram,
+    /// True peak memory of OOM-killed tasks (MB). Empty — and therefore
+    /// absent from snapshots — on memory-blind runs.
+    task_oom_peak_mb: Histogram,
 }
 
 impl Sketches {
-    fn named(&self) -> [(&'static str, &Histogram); 7] {
+    fn named(&self) -> [(&'static str, &Histogram); 8] {
         [
             ("task_exec_ms", &self.task_exec_ms),
             ("task_transfer_ms", &self.task_transfer_ms),
@@ -121,6 +130,7 @@ impl Sketches {
             ("ready_at_plan", &self.ready_at_plan),
             ("workflow_makespan_ms", &self.workflow_makespan_ms),
             ("workflow_slowdown_milli", &self.workflow_slowdown_milli),
+            ("task_oom_peak_mb", &self.task_oom_peak_mb),
         ]
     }
 }
@@ -264,6 +274,9 @@ impl ObsState {
             }
             TelemetryEvent::TaskResubmitted { sunk, .. } => {
                 self.sketches.task_sunk_ms.observe(sunk.as_ms() as f64);
+            }
+            TelemetryEvent::TaskOom { peak_mb, .. } => {
+                self.sketches.task_oom_peak_mb.observe(peak_mb as f64);
             }
             TelemetryEvent::MapeTick { pool, ready, .. } => {
                 self.sketches.pool_at_plan.observe(pool as f64);

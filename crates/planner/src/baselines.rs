@@ -83,6 +83,7 @@ impl ScalingPolicy for PureReactive {
                 let excess = (m - target) as usize;
                 PoolPlan {
                     launch: 0,
+                    launch_families: vec![],
                     terminate: candidates
                         .into_iter()
                         .take(excess)
@@ -175,6 +176,7 @@ mod tests {
             },
             tasks,
             free_slots: free,
+            family: 0,
         }
     }
 
@@ -192,6 +194,7 @@ mod tests {
             instances,
             new_completions: vec![],
             interval_transfers: vec![],
+            interval_ooms: 0,
             ready_in_dispatch_order: ready,
         }
     }

@@ -514,6 +514,7 @@ mod tests {
             state,
             tasks,
             free_slots: free,
+            family: 0,
         }
     }
 
@@ -531,6 +532,7 @@ mod tests {
             instances,
             new_completions: vec![],
             interval_transfers: vec![],
+            interval_ooms: 0,
             ready_in_dispatch_order: ready,
         }));
         let slots: &'a [WorkflowSlot<'a>] = Box::leak(Box::new([WorkflowSlot::solo(wf)]));

@@ -27,6 +27,19 @@ pub struct SteeringConfig {
     /// counted by Algorithm 3 (1.0 in the paper). Lower values trade cost for
     /// speed — the §IV-A "target utilization level" knob.
     pub fill_target: f64,
+    /// Opt-in heterogeneous growth steering. `Some(floor)` makes every grow
+    /// decision keep `ceil(floor × launch)` launches on the on-demand
+    /// default family and steer the rest onto the cheapest discounted spot
+    /// family whose memory fits the [`wire_predictor::MemoryModel`]'s
+    /// predicted peak. `None` (the default) launches everything on family 0
+    /// — byte-identical to the homogeneous controller.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spot_on_demand_floor: Option<f64>,
+    /// Ablation switch for the memory-fit gate: when set, family steering
+    /// ignores the predicted peak and chases price alone — the "memory-blind
+    /// controller" of the OOM-avoidance differential tests.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub memory_blind_families: bool,
     /// TEST-ONLY mutation switch: when set, the shrink path skips Algorithm
     /// 3's `c_j ≤ 0.2u` restart-cost guard, deliberately releasing instances
     /// whose running tasks are expensive to restart. Exists so the chaos
@@ -42,6 +55,8 @@ impl Default for SteeringConfig {
         SteeringConfig {
             waste_fraction: DEFAULT_WASTE_FRACTION,
             fill_target: 1.0,
+            spot_on_demand_floor: None,
+            memory_blind_families: false,
             mutation_drop_restart_guard: false,
         }
     }
@@ -241,6 +256,7 @@ fn steer_impl(
     (
         PoolPlan {
             launch: 0,
+            launch_families: vec![],
             terminate,
         },
         rec,
@@ -361,6 +377,7 @@ mod tests {
             state: InstanceStateView::Running { charge_start },
             tasks: vec![],
             free_slots: 1,
+            family: 0,
         }
     }
 
@@ -372,6 +389,7 @@ mod tests {
             instances,
             new_completions: vec![],
             interval_transfers: vec![],
+            interval_ooms: 0,
             ready_in_dispatch_order: wf.task_ids().collect(),
         }
     }
@@ -414,6 +432,7 @@ mod tests {
             state: InstanceStateView::Launching { ready_at: mins(6) },
             tasks: vec![],
             free_slots: 1,
+            family: 0,
         });
         let b = snap(&w, instances);
         let s = b.snapshot(mins(3), &slots, &c);

@@ -6,8 +6,8 @@ use crate::steering::{steer, steer_explained, SteeringConfig};
 use wire_dag::{Millis, TaskId};
 use wire_obs::StreamingRecorder;
 use wire_predictor::{
-    CompletedTaskObs, Estimator, IntervalObservations, PolicyKind, Predictor, RunningTaskObs,
-    StageVersions, TaskStatus,
+    CompletedTaskObs, Estimator, IntervalObservations, MemoryModel, PolicyKind, Predictor,
+    RunningTaskObs, StageVersions, TaskStatus,
 };
 use wire_simcloud::{MonitorSnapshot, PoolPlan, ScalingPolicy, TaskView};
 use wire_telemetry::TelemetryHandle;
@@ -116,6 +116,9 @@ pub struct WirePolicy {
     memo_lookups: u64,
     /// Predictor-intake total already forwarded to the sink.
     pred_obs_noted: u64,
+    /// Online peak-memory model, fed from completed-task maxrss and OOM
+    /// observations; gates heterogeneous growth steering.
+    mem_model: MemoryModel,
 }
 
 impl Default for WirePolicy {
@@ -143,7 +146,22 @@ impl WirePolicy {
             memo_hits: 0,
             memo_lookups: 0,
             pred_obs_noted: 0,
+            mem_model: MemoryModel::new(),
         }
+    }
+
+    /// Enable heterogeneous growth steering: keep `ceil(on_demand_floor ×
+    /// launch)` of every grow decision on the on-demand default family, and
+    /// steer the remainder onto the cheapest spot family whose memory fits
+    /// the online [`MemoryModel`]'s predicted peak.
+    pub fn with_family_steering(mut self, on_demand_floor: f64) -> Self {
+        self.steering.spot_on_demand_floor = Some(on_demand_floor);
+        self
+    }
+
+    /// The online peak-memory model (observations, margin, prediction).
+    pub fn memory_model(&self) -> &MemoryModel {
+        &self.mem_model
     }
 
     /// Attach a telemetry handle (usually a clone of the one given to the
@@ -198,6 +216,47 @@ impl WirePolicy {
                 .as_ref()
                 .map(Predictor::state_bytes)
                 .unwrap_or(0)
+            + self.mem_model.state_bytes()
+    }
+
+    /// Post-process a grow plan under family steering: launches beyond the
+    /// on-demand floor move to the cheapest spot family whose memory holds
+    /// the predicted peak (every family qualifies while no peak has been
+    /// observed — there is nothing to vouch against yet). With no qualifying
+    /// discounted family the plan is returned untouched, so this is a no-op
+    /// on the homogeneous legacy cloud.
+    fn steer_families(&self, plan: &mut PoolPlan, snapshot: &MonitorSnapshot<'_>) {
+        let Some(floor) = self.steering.spot_on_demand_floor else {
+            return;
+        };
+        if plan.launch == 0 {
+            return;
+        }
+        let families = snapshot.config.resolved_families();
+        let on_demand_price = families[0].unit_price_milli();
+        let predicted = if self.steering.memory_blind_families {
+            0 // ablation: chase price, ignore the model
+        } else {
+            self.mem_model.predicted_peak_mb()
+        };
+        let best = families
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_spot())
+            .filter(|(_, f)| f.mem_mb >= predicted)
+            .filter(|(_, f)| f.unit_price_milli() < on_demand_price)
+            .min_by_key(|(_, f)| f.unit_price_milli());
+        let Some((fam, _)) = best else {
+            return;
+        };
+        let total = plan.launch;
+        let keep = ((total as f64) * floor.clamp(0.0, 1.0)).ceil() as u32;
+        let steered = total.saturating_sub(keep);
+        if steered == 0 {
+            return;
+        }
+        plan.launch = total - steered;
+        plan.launch_families = vec![fam as u32; steered as usize];
     }
 
     /// Translate a monitor snapshot into the predictor's observation format,
@@ -280,6 +339,15 @@ impl ScalingPolicy for WirePolicy {
             .get_or_insert_with(|| IntervalObservations::with_stages(total_stages));
         Self::fill_observations(obs, snapshot);
         predictor.observe_interval(obs);
+
+        // The memory analogue of the Monitor step: completed-task maxrss and
+        // OOM kills observed this interval feed the peak predictor.
+        for c in snapshot.new_completions {
+            self.mem_model.observe_peak(c.peak_mb);
+        }
+        for _ in 0..snapshot.interval_ooms {
+            self.mem_model.note_oom();
+        }
 
         // Per incomplete task: the conservative minimum remaining occupancy
         // (drives the lookahead's completion cascade) and the full occupancy
@@ -416,7 +484,7 @@ impl ScalingPolicy for WirePolicy {
             &self.values,
             snapshot.config.mape_interval,
         );
-        if let Some(tel) = &journal {
+        let mut plan = if let Some(tel) = &journal {
             let (plan, record) = steer_explained(
                 snapshot,
                 up.occupancies(),
@@ -434,7 +502,9 @@ impl ScalingPolicy for WirePolicy {
                 &up.projected_busy,
                 self.steering,
             )
-        }
+        };
+        self.steer_families(&mut plan, snapshot);
+        plan
     }
 }
 
@@ -513,6 +583,8 @@ mod tests {
             run_setup: Millis::ZERO,
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(100),
+            families: Vec::new(),
+            mutation_bill_eviction_grace: false,
         };
         let r = Session::new(cfg)
             .transfer(TransferModel::none())

@@ -25,11 +25,11 @@ fn scenario(with_zero_chain: bool) -> usize {
         ..CloudConfig::default()
     };
     let mut tasks = vec![TaskView::Unready; n];
-    for t in 0..100 {
-        tasks[t] = TaskView::Ready;
+    for t in tasks.iter_mut().take(100) {
+        *t = TaskView::Ready;
     }
-    for i in 0..4 {
-        tasks[i] = TaskView::Running {
+    for t in tasks.iter_mut().take(4) {
+        *t = TaskView::Running {
             instance: InstanceId(0),
             exec_age: Millis::from_secs(5),
             occupied_for: Millis::from_secs(10),
@@ -44,9 +44,11 @@ fn scenario(with_zero_chain: bool) -> usize {
             },
             tasks: (0..4).map(TaskId).collect(),
             free_slots: 0,
+            family: 0,
         }],
         new_completions: vec![],
         interval_transfers: vec![],
+        interval_ooms: 0,
         ready_in_dispatch_order: (4..100).map(TaskId).collect(),
     };
     let slots = [WorkflowSlot::solo(&wf)];

@@ -27,6 +27,7 @@
 pub mod error;
 pub mod estimators;
 pub mod median;
+pub mod memory;
 pub mod moving;
 pub mod ogd;
 pub mod policies;
@@ -37,6 +38,7 @@ pub mod transfer;
 pub use error::{relative_true_error, true_error_secs, Cdf, StageClass};
 pub use estimators::Estimator;
 pub use median::{median_millis, median_of, MedianAcc};
+pub use memory::MemoryModel;
 pub use moving::IntervalMedian;
 pub use ogd::OgdModel;
 pub use policies::{PolicyKind, Prediction, TaskStatus};

@@ -1,0 +1,204 @@
+//! Online peak-memory prediction for heterogeneous placement.
+//!
+//! A controller steering growth onto priced instance families needs to know
+//! whether a family's memory can hold the tasks it will run. The ground
+//! truth (per-task peak RSS) is only observable *after* a task exits, so the
+//! model here is the memory analogue of the exec-time predictor: a windowed
+//! maximum of recently observed peaks, inflated by a safety margin in the
+//! style of Ponder/early-OOM-avoidance schedulers. Under-prediction is
+//! observable too — the kernel OOM-kills the task — and every observed OOM
+//! widens the margin multiplicatively, so repeated under-prediction
+//! converges on a safe over-estimate instead of oscillating.
+
+/// How many recent completed-task peaks the windowed maximum spans.
+pub const DEFAULT_WINDOW: usize = 64;
+
+/// Initial safety margin applied on top of the windowed peak (20%).
+pub const DEFAULT_MARGIN: f64 = 1.2;
+
+/// Multiplicative widening applied per observed OOM kill.
+pub const OOM_WIDENING: f64 = 1.5;
+
+/// Margin ceiling: beyond 8× the model stops widening (a demand table whose
+/// peaks exceed 8× the observed history is a workload bug, not a margin
+/// problem).
+pub const MAX_MARGIN: f64 = 8.0;
+
+/// Windowed peak-memory estimator with an adaptive safety margin.
+///
+/// ```
+/// use wire_predictor::MemoryModel;
+///
+/// let mut m = MemoryModel::new();
+/// assert_eq!(m.predicted_peak_mb(), 0); // no observations: no claim
+/// m.observe_peak(1000);
+/// assert_eq!(m.predicted_peak_mb(), 1200); // 1000 × 1.2 default margin
+/// m.note_oom();
+/// assert!(m.predicted_peak_mb() > 1200); // under-prediction widened it
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    /// Ring buffer of the last `window` observed peaks (MB).
+    recent: Vec<i64>,
+    /// Next write position in `recent`.
+    head: usize,
+    window: usize,
+    margin: f64,
+    ooms: u64,
+    observations: u64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryModel {
+    pub fn new() -> Self {
+        Self::with_window(DEFAULT_WINDOW)
+    }
+
+    /// A model whose windowed maximum spans the last `window` observations.
+    pub fn with_window(window: usize) -> Self {
+        MemoryModel {
+            recent: Vec::new(),
+            head: 0,
+            window: window.max(1),
+            margin: DEFAULT_MARGIN,
+            ooms: 0,
+            observations: 0,
+        }
+    }
+
+    /// Feed one completed task's observed peak RSS (MB). Non-positive
+    /// observations are ignored — the memory-blind legacy cloud reports 0.
+    pub fn observe_peak(&mut self, peak_mb: i64) {
+        if peak_mb <= 0 {
+            return;
+        }
+        self.observations += 1;
+        if self.recent.len() < self.window {
+            self.recent.push(peak_mb);
+        } else {
+            self.recent[self.head] = peak_mb;
+            self.head = (self.head + 1) % self.window;
+        }
+    }
+
+    /// Register an observed OOM kill: the prediction was too low, widen the
+    /// safety margin multiplicatively (capped at [`MAX_MARGIN`]).
+    pub fn note_oom(&mut self) {
+        self.ooms += 1;
+        self.margin = (self.margin * OOM_WIDENING).min(MAX_MARGIN);
+    }
+
+    /// Predicted peak (MB) a *future* task may need: the windowed maximum of
+    /// observed peaks times the safety margin, rounded up. Zero while no
+    /// peak has been observed — an honest "no claim", which callers must
+    /// treat as "cannot vouch for any family's fit".
+    pub fn predicted_peak_mb(&self) -> i64 {
+        match self.recent.iter().copied().max() {
+            None => 0,
+            Some(peak) => (peak as f64 * self.margin).ceil() as i64,
+        }
+    }
+
+    /// Current safety margin multiplier.
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Observed OOM kills so far.
+    pub fn ooms(&self) -> u64 {
+        self.ooms
+    }
+
+    /// Completed-task peaks ingested so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// State footprint in bytes (overhead accounting).
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.recent.capacity() * std::mem::size_of::<i64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_observations_means_no_claim() {
+        let m = MemoryModel::new();
+        assert_eq!(m.predicted_peak_mb(), 0);
+        assert_eq!(m.observations(), 0);
+    }
+
+    #[test]
+    fn prediction_is_windowed_max_times_margin() {
+        let mut m = MemoryModel::new();
+        for p in [100, 400, 250] {
+            m.observe_peak(p);
+        }
+        assert_eq!(
+            m.predicted_peak_mb(),
+            (400.0 * DEFAULT_MARGIN).ceil() as i64
+        );
+    }
+
+    #[test]
+    fn zero_and_negative_peaks_are_ignored() {
+        let mut m = MemoryModel::new();
+        m.observe_peak(0);
+        m.observe_peak(-5);
+        assert_eq!(m.predicted_peak_mb(), 0);
+        assert_eq!(m.observations(), 0);
+    }
+
+    #[test]
+    fn old_peaks_age_out_of_the_window() {
+        let mut m = MemoryModel::with_window(4);
+        m.observe_peak(1000);
+        for _ in 0..4 {
+            m.observe_peak(100);
+        }
+        // the 1000 observation has been overwritten
+        assert_eq!(
+            m.predicted_peak_mb(),
+            (100.0 * DEFAULT_MARGIN).ceil() as i64
+        );
+    }
+
+    #[test]
+    fn ooms_widen_the_margin_up_to_the_cap() {
+        let mut m = MemoryModel::new();
+        m.observe_peak(100);
+        let before = m.predicted_peak_mb();
+        m.note_oom();
+        let after = m.predicted_peak_mb();
+        assert!(after > before, "{before} → {after}");
+        assert!((m.margin() - DEFAULT_MARGIN * OOM_WIDENING).abs() < 1e-9);
+        for _ in 0..20 {
+            m.note_oom();
+        }
+        assert!((m.margin() - MAX_MARGIN).abs() < 1e-9, "margin caps at 8×");
+        assert_eq!(m.ooms(), 21);
+    }
+
+    #[test]
+    fn drift_to_larger_tasks_raises_the_prediction() {
+        // a workload whose later stages use more memory: the windowed max
+        // tracks the drift upward without waiting for an OOM
+        let mut m = MemoryModel::with_window(8);
+        for p in [200, 210, 205, 220] {
+            m.observe_peak(p);
+        }
+        let small = m.predicted_peak_mb();
+        for p in [800, 820, 810, 790] {
+            m.observe_peak(p);
+        }
+        assert!(m.predicted_peak_mb() > small * 3);
+    }
+}

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use wire_dag::Millis;
 
+use crate::family::FamilySpec;
 use crate::scheduler::SchedulerSpec;
 
 /// Static configuration of a simulated cloud site and run.
@@ -53,6 +54,21 @@ pub struct CloudConfig {
     /// Hard wall on simulated time; exceeded ⇒ `RunError::TimeLimit` (guards
     /// against policies that starve the workflow).
     pub max_sim_time: Millis,
+    /// The priced instance-family table. Empty (the default) is the legacy
+    /// homogeneous cloud: one implicit on-demand family with
+    /// `slots_per_instance` slots, speed 1.0 and the reference price —
+    /// byte-identical to the pre-family engine. When non-empty, family 0 is
+    /// the default launch target; policies may steer launches onto other
+    /// rows via [`crate::PoolPlan::launch_families`].
+    #[serde(default)]
+    pub families: Vec<FamilySpec>,
+    /// Mutation-teeth knob: bill the charging unit a spot eviction
+    /// interrupts instead of forgiving it. Exists only so the chaos suite
+    /// can prove the per-family billing invariant has teeth; never set it
+    /// in real experiments.
+    #[doc(hidden)]
+    #[serde(skip)]
+    pub mutation_bill_eviction_grace: bool,
 }
 
 impl Default for CloudConfig {
@@ -70,6 +86,8 @@ impl Default for CloudConfig {
             run_setup: Millis::from_mins(3),
             run_teardown: Millis::from_mins(2),
             max_sim_time: Millis::from_hours(10_000),
+            families: Vec::new(),
+            mutation_bill_eviction_grace: false,
         }
     }
 }
@@ -100,6 +118,8 @@ impl CloudConfig {
             run_setup: Millis::ZERO,
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(1_000_000),
+            families: Vec::new(),
+            mutation_bill_eviction_grace: false,
         }
     }
 
@@ -115,6 +135,22 @@ impl CloudConfig {
     pub fn failures(mut self, mtbf: Millis) -> Self {
         self.mean_time_between_failures = Some(mtbf);
         self
+    }
+
+    /// Install an instance-family table (builder form).
+    pub fn with_families(mut self, families: Vec<FamilySpec>) -> Self {
+        self.families = families;
+        self
+    }
+
+    /// The family table every run actually uses: the configured rows, or
+    /// the single implicit legacy family when the table is empty.
+    pub fn resolved_families(&self) -> Vec<FamilySpec> {
+        if self.families.is_empty() {
+            vec![FamilySpec::legacy(self.slots_per_instance)]
+        } else {
+            self.families.clone()
+        }
     }
 
     /// Validate invariants; called by the engine at startup.
@@ -149,6 +185,20 @@ impl CloudConfig {
             // every run ends in TimeLimit — reject the config up front
             return Err("mean_time_between_failures must be ≥ launch_lag".into());
         }
+        for f in &self.families {
+            f.validate()?;
+            if let Some(s) = &f.spot {
+                if s.mean_time_between_evictions < self.launch_lag {
+                    // same starvation argument as the MTBF bound: spot
+                    // replacements expected to be reclaimed before they boot
+                    // mean the pool can only shrink
+                    return Err(format!(
+                        "family '{}': mean_time_between_evictions must be ≥ launch_lag",
+                        f.name
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -169,20 +219,28 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = CloudConfig::default();
-        c.slots_per_instance = 0;
+        let c = CloudConfig {
+            slots_per_instance: 0,
+            ..CloudConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CloudConfig::default();
-        c.charging_unit = Millis::ZERO;
+        let c = CloudConfig {
+            charging_unit: Millis::ZERO,
+            ..CloudConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CloudConfig::default();
-        c.exec_jitter = 1.0;
+        let c = CloudConfig {
+            exec_jitter: 1.0,
+            ..CloudConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CloudConfig::default();
-        c.initial_instances = 13;
+        let c = CloudConfig {
+            initial_instances: 13,
+            ..CloudConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let c = CloudConfig::default().failures(Millis::ZERO);
@@ -221,6 +279,38 @@ mod tests {
         assert_eq!(c.scheduler, SchedulerSpec::plain_fifo());
         let c = c.first_five_priority(true);
         assert_eq!(c.scheduler, SchedulerSpec::first_five());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_family_rows() {
+        // the latent gap: before the family table existed nothing rejected
+        // a zero-slot or zero-price family — now the table is validated
+        let with = |row: FamilySpec| CloudConfig::default().with_families(vec![row]);
+        let c = with(FamilySpec::new("z", 0, 1000));
+        assert!(c.validate().unwrap_err().contains("slots"));
+
+        let c = with(FamilySpec::new("z", 4, 0));
+        assert!(c.validate().unwrap_err().contains("price"));
+
+        let c = with(FamilySpec::new("z", 4, 1000).memory_mb(-4));
+        assert!(c.validate().unwrap_err().contains("mem_mb"));
+
+        // spot eviction mean below the lag starves the pool, like MTBF
+        let lag = CloudConfig::default().launch_lag;
+        let c = with(FamilySpec::new("s", 4, 1000).spot(lag - Millis::from_ms(1), 300));
+        assert!(c.validate().is_err());
+        let c = with(FamilySpec::new("s", 4, 1000).spot(lag, 300));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_family_table_resolves_to_the_legacy_row() {
+        let c = CloudConfig::default();
+        let fams = c.resolved_families();
+        assert_eq!(fams, vec![FamilySpec::legacy(4)]);
+        let c = c.with_families(vec![FamilySpec::new("a", 2, 500)]);
+        assert_eq!(c.resolved_families(), c.families);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

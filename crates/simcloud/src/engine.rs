@@ -15,6 +15,7 @@
 use crate::chaos::{ChaosState, FaultAction, FaultPlan, FaultTrigger};
 use crate::config::CloudConfig;
 use crate::event::{EventKind, EventQueue};
+use crate::family::{FamilyId, FamilySpec, MemoryProfile};
 use crate::instance::{Instance, InstanceId, InstanceState, InstanceStateView, SlotArena};
 use crate::observe::{CompletionView, InstanceView, MonitorSnapshot, TaskView, WorkflowSlot};
 use crate::policy::{PoolPlan, ScalingPolicy, TerminateWhen};
@@ -141,8 +142,35 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder, S: Scheduler
 
     instances: Vec<Instance>,
     instance_epochs: Vec<u32>,
-    /// Slot contents for every instance, `slots_per_instance` cells each.
+    /// Family of every instance ever launched (parallel to `instances`).
+    instance_family: Vec<FamilyId>,
+    /// Resolved family table: `config.families`, or the single implicit
+    /// legacy row when the config's table is empty.
+    families: Vec<FamilySpec>,
+    /// More than one family row? The `InstanceFamilyAssigned` telemetry
+    /// event is only emitted then, keeping single-family runs byte-identical
+    /// to the pre-family engine.
+    fam_multi: bool,
+    /// Slot contents for every instance (family-width chunks).
     slot_arena: SlotArena,
+    /// Per-instance sum of resident *claimed* memory (parallel to
+    /// `instances`; all zeros when no memory profile is attached).
+    mem_used: Vec<i64>,
+    /// Per-instance sum of resident *true peak* memory — the engine-side
+    /// ground truth deciding OOM kills.
+    mem_peak_resident: Vec<i64>,
+    /// Working per-task memory claim: the declared demand, raised to the
+    /// observed peak after an OOM restart (retry-with-more-memory).
+    mem_demand: Vec<i64>,
+    /// Ground-truth per-task peak memory.
+    mem_peak: Vec<i64>,
+    /// A memory profile with any nonzero entry is attached: placement takes
+    /// the bin-packing path. Off (the default) ⇒ the legacy dispatch loop
+    /// runs untouched.
+    memory_active: bool,
+    /// Ready tasks popped from the scheduler that currently fit no
+    /// instance's free memory; retried first (in pop order) each dispatch.
+    mem_blocked: Vec<TaskId>,
     /// Non-terminated instance ids, ascending.
     active_ids: std::collections::BTreeSet<u32>,
     /// Running instances with at least one free slot, ascending — the
@@ -162,6 +190,7 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder, S: Scheduler
     // per-interval accumulators for the monitor
     new_completions: Vec<CompletionView>,
     interval_transfers: Vec<Millis>,
+    interval_ooms: u32,
     // persistent buffers reused every tick so the hot path allocates nothing
     snapshot_scratch: SnapshotScratch,
     resubmit_scratch: Vec<TaskId>,
@@ -173,6 +202,12 @@ pub struct Engine<'a, P: ScalingPolicy, R: Recorder = NoopRecorder, S: Scheduler
     busy_slot_time: Millis,
     wasted_slot_time: Millis,
     units_total: u64,
+    /// Total bill in milli-dollars: Σ over bills of `units × family price`.
+    cost_milli: u64,
+    /// Provider spot evictions (counted separately from crash `failures`).
+    evictions: u32,
+    /// Restarts caused by OOM kills (a subset of `restarts`).
+    oom_restarts: u32,
     instance_time: Millis,
     peak_instances: u32,
     total_restarts: u32,
@@ -370,6 +405,8 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         }
         let n = task_base as usize;
         let naive = naive_core_default();
+        let families = config.resolved_families();
+        let fam_multi = families.len() > 1;
         let mut ready = make_scheduler(n, stage_base as usize);
         // rank-precompute hook: every scheduler sees each submission's DAG
         // and ground-truth profile before the first event fires
@@ -408,7 +445,16 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
             completions: 0,
             instances: Vec::new(),
             instance_epochs: Vec::new(),
+            instance_family: Vec::new(),
+            families,
+            fam_multi,
             slot_arena: SlotArena::new(config.slots_per_instance),
+            mem_used: Vec::new(),
+            mem_peak_resident: Vec::new(),
+            mem_demand: vec![0; n],
+            mem_peak: vec![0; n],
+            memory_active: false,
+            mem_blocked: Vec::new(),
             active_ids: std::collections::BTreeSet::new(),
             dispatchable: std::collections::BTreeSet::new(),
             count_launching: 0,
@@ -417,12 +463,16 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
             chaos: ChaosState::default(),
             new_completions: Vec::new(),
             interval_transfers: Vec::new(),
+            interval_ooms: 0,
             snapshot_scratch: SnapshotScratch::default(),
             resubmit_scratch: Vec::new(),
             tasks_running: 0,
             busy_slot_time: Millis::ZERO,
             wasted_slot_time: Millis::ZERO,
             units_total: 0,
+            cost_milli: 0,
+            evictions: 0,
+            oom_restarts: 0,
             instance_time: Millis::ZERO,
             peak_instances: 0,
             total_restarts: 0,
@@ -465,6 +515,27 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         Ok(self)
     }
 
+    /// Attach a per-task [`MemoryProfile`] over the session-global task
+    /// index space. Placement then reserves each task's declared demand on
+    /// its instance (bin-packing), and co-resident true peaks exceeding a
+    /// family's capacity OOM-kill the task whose dispatch crossed the line.
+    /// An all-zero profile (or none) leaves the engine on the historical,
+    /// memory-blind dispatch path byte for byte.
+    pub fn with_memory(mut self, memory: &MemoryProfile) -> Result<Self, RunError> {
+        if memory.len() != self.total_tasks {
+            return Err(RunError::Config(format!(
+                "memory profile covers {} tasks, session has {}",
+                memory.len(),
+                self.total_tasks
+            )));
+        }
+        self.mem_demand = memory.demands().to_vec();
+        self.mem_peak = memory.peaks().to_vec();
+        self.memory_active =
+            self.mem_demand.iter().any(|d| *d != 0) || self.mem_peak.iter().any(|p| *p != 0);
+        Ok(self)
+    }
+
     /// Run to completion.
     pub fn run(mut self) -> Result<RunResult, RunError> {
         self.run_inner()?;
@@ -482,14 +553,18 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
     }
 
     fn run_inner(&mut self) -> Result<(), RunError> {
-        // initial pool, ready at time zero
+        // initial pool, ready at time zero (always the default family 0)
         for _ in 0..self.config.initial_instances {
-            let id = self.new_instance(InstanceState::Running {
-                charge_start: Millis::ZERO,
-            });
+            let id = self.new_instance(
+                InstanceState::Running {
+                    charge_start: Millis::ZERO,
+                },
+                0,
+            );
             self.trace_push(TraceEvent::InstanceReady { instance: id });
             self.emit(TelemetryEvent::InstanceReady { instance: id.0 });
             self.schedule_failure(id);
+            self.schedule_eviction(id);
         }
         self.note_pool_change();
 
@@ -577,6 +652,30 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
                 }
                 EventKind::MapeTick => self.on_mape_tick()?,
                 EventKind::ChaosFault { fault } => self.apply_chaos_fault(fault),
+                EventKind::SpotEvict { instance, epoch } => {
+                    // stale if the instance was drained/terminated since
+                    if self.instance_epochs[instance.index()] == epoch
+                        && self.instances[instance.index()].is_running()
+                    {
+                        self.evictions += 1;
+                        self.trace_push(TraceEvent::SpotEvicted { instance });
+                        self.emit(TelemetryEvent::SpotEvicted {
+                            instance: instance.0,
+                        });
+                        // the provider forgives the unit in progress
+                        self.terminate_instance_billed(instance, true);
+                        self.dispatch();
+                    }
+                }
+                EventKind::TaskOom { task, epoch } => {
+                    // stale if the task finished, or was resubmitted by an
+                    // instance death, before its peak hit
+                    if self.epochs[task.index()] == epoch
+                        && self.task_phase[task.index()] == TaskPhase::Running
+                    {
+                        self.on_task_oom(task);
+                    }
+                }
             }
         }
         // queue drained without completing: no instances and no ticks left
@@ -647,6 +746,7 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         self.trace_push(TraceEvent::InstanceReady { instance: id });
         self.emit(TelemetryEvent::InstanceReady { instance: id.0 });
         self.schedule_failure(id);
+        self.schedule_eviction(id);
         self.note_pool_change();
         self.dispatch();
     }
@@ -667,6 +767,28 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         self.queue.push(
             self.clock + lifetime,
             EventKind::InstanceFail {
+                instance: id,
+                epoch,
+            },
+        );
+    }
+
+    /// Spot reclamation: draw an exponential time-to-eviction for a newly
+    /// running spot instance. On-demand families (and the legacy cloud)
+    /// never reach the RNG draw, so their runs stay byte-identical to the
+    /// pre-spot engine — the same `Option` gate as [`Self::schedule_failure`].
+    fn schedule_eviction(&mut self, id: InstanceId) {
+        let family = &self.families[self.instance_family[id.index()] as usize];
+        let Some(spot) = &family.spot else {
+            return;
+        };
+        let mtbe = spot.mean_time_between_evictions;
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let lifetime = mtbe.scale(-u.ln());
+        let epoch = self.instance_epochs[id.index()];
+        self.queue.push(
+            self.clock + lifetime,
+            EventKind::SpotEvict {
                 instance: id,
                 epoch,
             },
@@ -758,6 +880,10 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         if inst.is_running() {
             self.dispatchable.insert(instance.0);
         }
+        if self.memory_active {
+            self.mem_used[instance.index()] -= self.mem_demand[task.index()];
+            self.mem_peak_resident[instance.index()] -= self.mem_peak[task.index()];
+        }
         let occupancy = self.clock - assigned_at;
         self.busy_slot_time += occupancy;
         self.task_phase[task.index()] = TaskPhase::Done;
@@ -789,6 +915,11 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
             input_bytes,
             exec_time: exec,
             transfer_time: transfer,
+            peak_mb: if self.memory_active {
+                self.mem_peak[task.index()]
+            } else {
+                0
+            },
         });
         self.interval_transfers.push(transfer);
         self.trace_push(TraceEvent::TaskCompleted { task });
@@ -850,6 +981,57 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         self.dispatch();
     }
 
+    /// A task's true peak blew past its instance family's memory: the kernel
+    /// kills it. The slot and memory are freed, the work so far is sunk, and
+    /// the task resubmits through the scheduler with its working claim
+    /// raised to the observed peak (retry-with-more-memory) — so the same
+    /// placement cannot OOM it twice.
+    fn on_task_oom(&mut self, task: TaskId) {
+        let RunInfo {
+            instance,
+            slot,
+            assigned_at,
+            ..
+        } = self.task_run[task.index()];
+        self.slot_arena.set(instance, slot as usize, None);
+        let inst = &mut self.instances[instance.index()];
+        inst.occupied -= 1;
+        if inst.is_running() {
+            self.dispatchable.insert(instance.0);
+        }
+        self.mem_used[instance.index()] -= self.mem_demand[task.index()];
+        self.mem_peak_resident[instance.index()] -= self.mem_peak[task.index()];
+        let sunk = self.clock - assigned_at;
+        self.wasted_slot_time += sunk;
+        self.epochs[task.index()] += 1; // cancels the in-flight TaskDone
+        self.restarts[task.index()] += 1;
+        self.total_restarts += 1;
+        self.oom_restarts += 1;
+        self.interval_ooms += 1;
+        self.task_phase[task.index()] = TaskPhase::Ready;
+        self.tasks_running -= 1;
+        self.ready_at[task.index()] = self.clock;
+        // next placement must budget for what the task actually used
+        self.mem_demand[task.index()] =
+            self.mem_demand[task.index()].max(self.mem_peak[task.index()]);
+        self.ready.push_resubmit(task);
+        self.trace_push(TraceEvent::TaskOom { task, sunk });
+        self.emit(TelemetryEvent::TaskOom {
+            task: task.index() as u32,
+            instance: instance.0,
+            demand_mb: self.mem_demand[task.index()],
+            peak_mb: self.mem_peak[task.index()],
+        });
+        self.trace_push(TraceEvent::TaskResubmitted { task, sunk });
+        self.emit(TelemetryEvent::TaskResubmitted {
+            task: task.index() as u32,
+            instance: instance.0,
+            slot,
+            sunk,
+        });
+        self.dispatch();
+    }
+
     fn on_mape_tick(&mut self) -> Result<(), RunError> {
         if self.chaos.frozen_ticks > 0 {
             // monitoring blackout: the policy is not consulted and sees no
@@ -877,6 +1059,7 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
                 done_prefix,
                 &self.records,
                 &self.instances,
+                &self.instance_family,
                 &self.slot_arena,
                 if self.naive {
                     None
@@ -885,6 +1068,8 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
                 },
                 &self.new_completions,
                 &self.interval_transfers,
+                self.interval_ooms,
+                &self.mem_blocked,
                 &self.ready,
             );
             let started = std::time::Instant::now();
@@ -895,9 +1080,10 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         };
         self.new_completions.clear();
         self.interval_transfers.clear();
+        self.interval_ooms = 0;
         self.trace_push(TraceEvent::MapeTick {
             pool: self.active_instances(),
-            launch: plan.launch,
+            launch: plan.total_launches(),
             terminate: plan.terminate.len() as u32,
         });
         if self.recorder.enabled() {
@@ -926,10 +1112,10 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
                 pool,
                 launching,
                 draining,
-                ready: self.ready.len() as u32,
+                ready: (self.ready.len() + self.mem_blocked.len()) as u32,
                 running,
                 done: self.completions as u32,
-                plan_launch: plan.launch,
+                plan_launch: plan.total_launches(),
                 plan_terminate: plan.terminate.len() as u32,
             };
             self.recorder.record(self.clock, ev);
@@ -949,6 +1135,7 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
     }
 
     fn apply_plan(&mut self, plan: PoolPlan) -> Result<(), RunError> {
+        let total_launches = plan.total_launches();
         // terminations first: `Now` releases free site quota for the launches
         for (id, when) in plan.terminate {
             let inst = self
@@ -1001,19 +1188,33 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
                 }
             }
         }
-        // launches, clamped to the site capacity
+        // launches, clamped to the site capacity: family-0 launches first
+        // (the legacy field), then steered per-family entries in plan order
+        for &f in &plan.launch_families {
+            if f as usize >= self.families.len() {
+                return Err(RunError::InvalidPlan(format!(
+                    "launch onto unknown family {f} (table has {})",
+                    self.families.len()
+                )));
+            }
+        }
         let active = self.active_instances();
         let allowed = self.config.site_capacity.saturating_sub(active);
-        let n = plan.launch.min(allowed);
+        let n = total_launches.min(allowed);
         // chaos lag jitter applies to launches planned while it is in effect
         let lag = if self.chaos.lag_factor == 1.0 {
             self.config.launch_lag
         } else {
             self.config.launch_lag.scale(self.chaos.lag_factor)
         };
-        for _ in 0..n {
+        for k in 0..n {
+            let family = if k < plan.launch {
+                0
+            } else {
+                plan.launch_families[(k - plan.launch) as usize]
+            };
             let ready_at = self.clock + lag;
-            let id = self.new_instance(InstanceState::Launching { ready_at });
+            let id = self.new_instance(InstanceState::Launching { ready_at }, family);
             self.queue
                 .push(ready_at, EventKind::InstanceReady { instance: id });
             self.trace_push(TraceEvent::InstanceRequested { instance: id });
@@ -1024,6 +1225,14 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
 
     /// Release an instance now: resubmit its tasks, bill its units.
     fn terminate_instance(&mut self, id: InstanceId) {
+        self.terminate_instance_billed(id, false);
+    }
+
+    /// [`Self::terminate_instance`] with the billing mode explicit:
+    /// `forgive_partial` drops the charging unit in progress (floor instead
+    /// of ceiling) — the spot-market grace rule when the *provider* reclaims
+    /// the instance mid-unit.
+    fn terminate_instance_billed(&mut self, id: InstanceId, forgive_partial: bool) {
         let inst = &mut self.instances[id.index()];
         let charge_start = match inst.state {
             InstanceState::Running { charge_start } => {
@@ -1048,8 +1257,14 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         self.active_ids.remove(&id.0);
         self.dispatchable.remove(&id.0);
         self.instance_epochs[id.index()] += 1;
-        let units = Instance::units_billed(charge_start, self.clock, self.config.charging_unit);
+        let units = if forgive_partial && !self.config.mutation_bill_eviction_grace {
+            Instance::units_billed_forgiven(charge_start, self.clock, self.config.charging_unit)
+        } else {
+            Instance::units_billed(charge_start, self.clock, self.config.charging_unit)
+        };
         self.units_total += units;
+        self.cost_milli +=
+            units * self.families[self.instance_family[id.index()] as usize].unit_price_milli();
         #[cfg(debug_assertions)]
         {
             self.debug_billed += units;
@@ -1070,6 +1285,11 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
             units,
         });
 
+        if self.memory_active {
+            // the whole residency died with the instance
+            self.mem_used[id.index()] = 0;
+            self.mem_peak_resident[id.index()] = 0;
+        }
         for task in tasks.drain(..) {
             debug_assert_eq!(
                 self.task_phase[task.index()],
@@ -1119,6 +1339,10 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
     /// events, which cannot fire mid-dispatch; terminations remove the
     /// instance from the set), so min-first and scan order coincide.
     fn dispatch(&mut self) {
+        if self.memory_active {
+            self.dispatch_mem();
+            return;
+        }
         if self.ready.is_empty() {
             return;
         }
@@ -1153,6 +1377,53 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         }
     }
 
+    /// Memory-aware dispatch (only reached with an active [`MemoryProfile`]):
+    /// placement is first-fit bin-packing over *claimed* memory. Tasks that
+    /// fit no instance park in `mem_blocked` and retry — in original pop
+    /// order, ahead of the scheduler — at every subsequent dispatch.
+    fn dispatch_mem(&mut self) {
+        if !self.mem_blocked.is_empty() {
+            let mut blocked = std::mem::take(&mut self.mem_blocked);
+            blocked.retain(|&task| !self.try_place(task));
+            // a placement can fire a chaos stage fault whose kill re-enters
+            // dispatch and parks fresh tasks; keep them behind the retries
+            blocked.append(&mut self.mem_blocked);
+            self.mem_blocked = blocked;
+        }
+        while !self.dispatchable.is_empty() {
+            let Some(task) = self.ready.pop() else {
+                return;
+            };
+            if !self.try_place(task) {
+                self.mem_blocked.push(task);
+            }
+        }
+    }
+
+    /// First-fit over ascending instance ids: place `task` on the lowest-id
+    /// running instance with a free slot whose free claimed memory covers
+    /// the task's working demand. False ⇒ nothing fits right now.
+    fn try_place(&mut self, task: TaskId) -> bool {
+        let claim = self.mem_demand[task.index()];
+        let mut chosen = None;
+        for &i in &self.dispatchable {
+            let fam = &self.families[self.instance_family[i as usize] as usize];
+            if fam.mem_mb - self.mem_used[i as usize] >= claim {
+                chosen = Some(InstanceId(i));
+                break;
+            }
+        }
+        let Some(id) = chosen else {
+            return false;
+        };
+        let slot = self
+            .slot_arena
+            .free_slot(id)
+            .expect("dispatchable instance has a free slot");
+        self.assign(task, id, slot as u32);
+        true
+    }
+
     fn assign(&mut self, task: TaskId, instance: InstanceId, slot: u32) {
         let sub = self.sub_of(task);
         let (spec, stage) = self.task_info(task);
@@ -1169,11 +1440,18 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
             let j = self.config.exec_jitter;
             exec = exec.scale(1.0 + self.rng.gen_range(-j..j));
         }
+        let family = self.instance_family[instance.index()] as usize;
+        let speed = self.families[family].speed;
+        if speed != 1.0 {
+            // family speed multiplier (guarded so the legacy 1.0 path takes
+            // no float round-trip and stays byte-identical)
+            exec = exec.scale(1.0 / speed);
+        }
         let occupancy = t_in + exec + t_out;
         self.slot_arena.set(instance, slot as usize, Some(task));
         let inst = &mut self.instances[instance.index()];
         inst.occupied += 1;
-        if inst.occupied >= self.config.slots_per_instance {
+        if inst.occupied >= self.slot_arena.width_of(instance) {
             self.dispatchable.remove(&instance.0);
         }
         self.tasks_running += 1;
@@ -1193,6 +1471,24 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
                 epoch: self.epochs[task.index()],
             },
         );
+        if self.memory_active {
+            // reserve the declared claim; track ground-truth peaks separately
+            self.mem_used[instance.index()] += self.mem_demand[task.index()];
+            self.mem_peak_resident[instance.index()] += self.mem_peak[task.index()];
+            // co-resident true peaks above the family's capacity OOM-kill
+            // the task whose dispatch crossed the line, midway through its
+            // compute phase (after stage-in, before it could finish)
+            if self.mem_peak_resident[instance.index()] > self.families[family].mem_mb {
+                let at = self.clock + t_in + Millis::from_ms(exec.as_ms() / 2);
+                self.queue.push(
+                    at,
+                    EventKind::TaskOom {
+                        task,
+                        epoch: self.epochs[task.index()],
+                    },
+                );
+            }
+        }
         self.trace_push(TraceEvent::TaskDispatched { task, instance });
         self.emit(TelemetryEvent::TaskDispatched {
             task: task.index() as u32,
@@ -1241,7 +1537,7 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         }
     }
 
-    fn new_instance(&mut self, state: InstanceState) -> InstanceId {
+    fn new_instance(&mut self, state: InstanceState, family: FamilyId) -> InstanceId {
         let id = InstanceId(self.instances.len() as u32);
         match state {
             InstanceState::Running { .. } => {
@@ -1253,8 +1549,18 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         }
         self.active_ids.insert(id.0);
         self.instances.push(Instance::new(id, state));
-        self.slot_arena.add_instance();
+        self.slot_arena
+            .add_instance_with(self.families[family as usize].slots as usize);
         self.instance_epochs.push(0);
+        self.instance_family.push(family);
+        self.mem_used.push(0);
+        self.mem_peak_resident.push(0);
+        if self.fam_multi {
+            self.emit(TelemetryEvent::InstanceFamilyAssigned {
+                instance: id.0,
+                family,
+            });
+        }
         self.note_pool_change();
         id
     }
@@ -1373,6 +1679,8 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
                 {
                     self.debug_billed += units;
                 }
+                self.cost_milli +=
+                    units * self.families[self.instance_family[i] as usize].unit_price_milli();
                 self.emit(TelemetryEvent::InstanceTerminated {
                     instance: i as u32,
                     units,
@@ -1477,15 +1785,44 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         for &i in &self.dispatchable {
             let inst = &self.instances[i as usize];
             debug_assert!(
-                inst.is_running() && inst.occupied < self.config.slots_per_instance,
+                inst.is_running() && inst.occupied < self.slot_arena.width_of(inst.id),
                 "dispatchable set holds a full or non-running instance"
             );
         }
         for inst in &self.instances {
-            if inst.is_running() && inst.occupied < self.config.slots_per_instance {
+            if inst.is_running() && inst.occupied < self.slot_arena.width_of(inst.id) {
                 debug_assert!(
                     self.dispatchable.contains(&inst.id.0),
                     "free running instance missing from dispatchable set"
+                );
+            }
+        }
+        // memory ledgers vs full recounts from the slot arena
+        if self.memory_active {
+            for inst in &self.instances {
+                let (mut used, mut peak) = (0i64, 0i64);
+                for t in self.slot_arena.tasks_of(inst.id) {
+                    used += self.mem_demand[t.index()];
+                    peak += self.mem_peak[t.index()];
+                }
+                debug_assert_eq!(
+                    used,
+                    self.mem_used[inst.id.index()],
+                    "claimed-memory ledger drift on {}",
+                    inst.id
+                );
+                debug_assert_eq!(
+                    peak,
+                    self.mem_peak_resident[inst.id.index()],
+                    "peak-memory ledger drift on {}",
+                    inst.id
+                );
+            }
+            for &t in &self.mem_blocked {
+                debug_assert_eq!(
+                    self.task_phase[t.index()],
+                    TaskPhase::Ready,
+                    "memory-parked task is not Ready"
                 );
             }
         }
@@ -1548,6 +1885,7 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
             workflow,
             makespan: self.clock,
             charging_units: self.units_total,
+            cost_milli: self.cost_milli,
             instance_time: self.instance_time,
             peak_instances: self.peak_instances,
             instances_launched: self.instances.len() as u32,
@@ -1555,6 +1893,8 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
             wasted_slot_time: self.wasted_slot_time,
             restarts: self.total_restarts,
             failures: self.failures,
+            evictions: self.evictions,
+            oom_restarts: self.oom_restarts,
             mape_iterations: self.mape_iterations,
             controller_wall: self.controller_wall,
             task_records: self.records.into_iter().flatten().collect(),
@@ -1602,10 +1942,13 @@ fn build_snapshot<'a, S: Scheduler>(
     done_prefix: usize,
     records: &[Option<TaskRecord>],
     instances: &[Instance],
+    instance_family: &[FamilyId],
     arena: &SlotArena,
     active_ids: Option<&std::collections::BTreeSet<u32>>,
     new_completions: &'a [CompletionView],
     interval_transfers: &'a [Millis],
+    interval_ooms: u32,
+    mem_blocked: &[TaskId],
     ready: &S,
 ) -> MonitorSnapshot<'a> {
     let visible = phases.len();
@@ -1650,11 +1993,13 @@ fn build_snapshot<'a, S: Scheduler>(
             }
             InstanceState::Terminated { .. } => unreachable!(),
         };
-        let free_slots = config.slots_per_instance - i.occupied;
+        let free_slots = arena.width_of(i.id) - i.occupied;
+        let family = instance_family[i.id.index()];
         if let Some(view) = scratch.instances.get_mut(live) {
             view.id = i.id;
             view.state = state;
             view.free_slots = free_slots;
+            view.family = family;
             view.tasks.clear();
             view.tasks.extend(arena.tasks_of(i.id));
         } else {
@@ -1663,6 +2008,7 @@ fn build_snapshot<'a, S: Scheduler>(
                 state,
                 tasks: arena.tasks_of(i.id).collect(),
                 free_slots,
+                family,
             });
         }
         live += 1;
@@ -1680,7 +2026,10 @@ fn build_snapshot<'a, S: Scheduler>(
     }
     scratch.instances_len = live;
 
+    // memory-parked tasks lead (they retry ahead of the scheduler), then
+    // the scheduler's own order; empty prefix on the memory-blind path
     scratch.ready_order.clear();
+    scratch.ready_order.extend_from_slice(mem_blocked);
     scratch.ready_order.extend(ready.iter_in_order());
 
     MonitorSnapshot {
@@ -1694,6 +2043,7 @@ fn build_snapshot<'a, S: Scheduler>(
         instances: &scratch.instances[..scratch.instances_len],
         new_completions,
         interval_transfers,
+        interval_ooms,
         ready_in_dispatch_order: &scratch.ready_order,
     }
 }
@@ -1751,6 +2101,8 @@ mod tests {
             run_setup: Millis::ZERO,
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(100),
+            families: Vec::new(),
+            mutation_bill_eviction_grace: false,
         }
     }
 
@@ -1979,6 +2331,7 @@ mod tests {
                 self.0 = true;
                 PoolPlan {
                     launch: 1,
+                    launch_families: vec![],
                     terminate: vec![(InstanceId(0), self.1)],
                 }
             }
@@ -2046,6 +2399,7 @@ mod tests {
             fn plan(&mut self, _s: &MonitorSnapshot<'_>) -> PoolPlan {
                 PoolPlan {
                     launch: 0,
+                    launch_families: vec![],
                     terminate: vec![(InstanceId(99), TerminateWhen::Now)],
                 }
             }

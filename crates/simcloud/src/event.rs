@@ -52,6 +52,14 @@ pub enum EventKind {
     /// [`crate::FaultPlan`]). Only ever queued when a plan is attached, so
     /// plain runs never see this variant.
     ChaosFault { fault: u32 },
+    /// The provider reclaims a spot instance (spot-market eviction). Only
+    /// ever queued for instances of a spot family, so on-demand runs never
+    /// see this variant.
+    SpotEvict { instance: InstanceId, epoch: u32 },
+    /// A running task hits its true memory peak on an instance whose
+    /// resident peaks oversubscribe capacity: the task is OOM-killed and
+    /// resubmitted. Only ever queued when a memory profile is attached.
+    TaskOom { task: TaskId, epoch: u32 },
 }
 
 /// Levels in the timer wheel; each level covers 6 more bits of time.

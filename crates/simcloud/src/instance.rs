@@ -115,34 +115,74 @@ impl Instance {
     pub fn units_billed(charge_start: Millis, end: Millis, unit: Millis) -> u64 {
         end.saturating_sub(charge_start).ceil_div(unit).max(1)
     }
+
+    /// Charging units billed when the *provider* reclaims a spot instance at
+    /// `end`: the interrupted unit is forgiven, so only completed units are
+    /// paid — possibly zero.
+    pub fn units_billed_forgiven(charge_start: Millis, end: Millis, unit: Millis) -> u64 {
+        let held = end.saturating_sub(charge_start);
+        held.as_ms() / unit.as_ms()
+    }
 }
 
-/// Flat arena of task-slot cells, `per` cells per instance, appended in
-/// [`InstanceId`] order. The arena is append-only (ids are never reused);
-/// terminated instances keep their chunk, cleared.
-#[derive(Debug, Clone, Default)]
+/// Flat arena of task-slot cells, appended in [`InstanceId`] order. Each
+/// instance owns a contiguous chunk whose width is fixed at
+/// [`add_instance`](SlotArena::add_instance) time — `default_per` cells for
+/// the homogeneous cloud, the family's slot count on heterogeneous ones.
+/// The arena is append-only (ids are never reused); terminated instances
+/// keep their chunk, cleared.
+#[derive(Debug, Clone)]
 pub struct SlotArena {
-    per: usize,
+    default_per: usize,
+    /// Chunk start offsets, one per instance plus a trailing sentinel equal
+    /// to `cells.len()`.
+    offsets: Vec<usize>,
     cells: Vec<Option<TaskId>>,
+}
+
+impl Default for SlotArena {
+    fn default() -> Self {
+        SlotArena::new(0)
+    }
 }
 
 impl SlotArena {
     pub fn new(slots_per_instance: u32) -> Self {
         SlotArena {
-            per: slots_per_instance as usize,
+            default_per: slots_per_instance as usize,
+            offsets: vec![0],
             cells: Vec::new(),
         }
     }
 
-    /// Reserve the slot chunk for the next instance id.
+    /// Reserve the slot chunk for the next instance id, at the default
+    /// (homogeneous) width.
     pub fn add_instance(&mut self) {
-        self.cells.resize(self.cells.len() + self.per, None);
+        self.add_instance_with(self.default_per);
+    }
+
+    /// Reserve the slot chunk for the next instance id with an explicit
+    /// width (heterogeneous families).
+    pub fn add_instance_with(&mut self, slots: usize) {
+        self.cells.resize(self.cells.len() + slots, None);
+        self.offsets.push(self.cells.len());
+    }
+
+    #[inline]
+    fn range(&self, id: InstanceId) -> (usize, usize) {
+        (self.offsets[id.index()], self.offsets[id.index() + 1])
+    }
+
+    /// Slot count of one instance.
+    pub fn width_of(&self, id: InstanceId) -> u32 {
+        let (base, end) = self.range(id);
+        (end - base) as u32
     }
 
     /// The slot chunk of one instance.
     pub fn of(&self, id: InstanceId) -> &[Option<TaskId>] {
-        let base = id.index() * self.per;
-        &self.cells[base..base + self.per]
+        let (base, end) = self.range(id);
+        &self.cells[base..end]
     }
 
     /// Index of the first free slot of `id`, if any. Lifecycle gating
@@ -153,8 +193,9 @@ impl SlotArena {
 
     /// Occupy or clear one slot cell.
     pub fn set(&mut self, id: InstanceId, slot: usize, task: Option<TaskId>) {
-        debug_assert!(slot < self.per);
-        self.cells[id.index() * self.per + slot] = task;
+        let (base, end) = self.range(id);
+        debug_assert!(slot < end - base);
+        self.cells[base + slot] = task;
     }
 
     /// Tasks currently occupying `id`'s slots.
@@ -169,8 +210,8 @@ impl SlotArena {
 
     /// Clear every cell of one instance (termination).
     pub fn clear_instance(&mut self, id: InstanceId) {
-        let base = id.index() * self.per;
-        self.cells[base..base + self.per].fill(None);
+        let (base, end) = self.range(id);
+        self.cells[base..end].fill(None);
     }
 }
 
@@ -205,6 +246,47 @@ mod tests {
         assert_eq!(held, vec![TaskId(5), TaskId(6)]);
         a.clear_instance(InstanceId(0));
         assert_eq!(a.occupied_count(InstanceId(0)), 0);
+    }
+
+    #[test]
+    fn arena_supports_heterogeneous_widths() {
+        let mut a = SlotArena::new(2);
+        a.add_instance(); // i0: default width 2
+        a.add_instance_with(4); // i1: a bigger family
+        a.add_instance_with(1); // i2: a single-slot family
+        assert_eq!(a.width_of(InstanceId(0)), 2);
+        assert_eq!(a.width_of(InstanceId(1)), 4);
+        assert_eq!(a.width_of(InstanceId(2)), 1);
+        a.set(InstanceId(1), 3, Some(TaskId(9)));
+        assert_eq!(a.free_slot(InstanceId(1)), Some(0));
+        assert_eq!(a.occupied_count(InstanceId(1)), 1);
+        a.set(InstanceId(2), 0, Some(TaskId(1)));
+        assert_eq!(a.free_slot(InstanceId(2)), None);
+        // neighbours untouched
+        assert_eq!(a.occupied_count(InstanceId(0)), 0);
+        a.clear_instance(InstanceId(1));
+        assert_eq!(a.occupied_count(InstanceId(1)), 0);
+        assert_eq!(a.occupied_count(InstanceId(2)), 1);
+    }
+
+    #[test]
+    fn forgiven_billing_drops_the_partial_unit() {
+        let u = Millis::from_mins(15);
+        let s = Millis::from_mins(10);
+        // reclaimed mid-first-unit: nothing billed (vs. 1 for voluntary)
+        assert_eq!(
+            Instance::units_billed_forgiven(s, s + Millis::from_ms(1), u),
+            0
+        );
+        assert_eq!(Instance::units_billed(s, s + Millis::from_ms(1), u), 1);
+        // exact boundary: the completed unit is paid
+        assert_eq!(Instance::units_billed_forgiven(s, s + u, u), 1);
+        // one ms into the second unit: still only the first is paid
+        assert_eq!(
+            Instance::units_billed_forgiven(s, s + u + Millis::from_ms(1), u),
+            1
+        );
+        assert_eq!(Instance::units_billed(s, s + u + Millis::from_ms(1), u), 2);
     }
 
     #[test]

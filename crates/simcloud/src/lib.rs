@@ -33,6 +33,7 @@ pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod family;
 pub mod instance;
 pub mod observe;
 pub mod policy;
@@ -45,6 +46,7 @@ pub mod transfer;
 pub use chaos::{Fault, FaultAction, FaultPlan, FaultTrigger};
 pub use config::CloudConfig;
 pub use engine::{run_workflow, run_workflow_recorded, Engine, RunError};
+pub use family::{FamilyId, FamilySpec, MemoryProfile, SpotSpec};
 pub use instance::{InstanceId, InstanceStateView};
 pub use observe::{
     CompletionView, InstanceView, MonitorSnapshot, SnapshotBuffers, TaskView, WorkflowSlot,

@@ -8,6 +8,7 @@
 //! times of future tasks.
 
 use crate::config::CloudConfig;
+use crate::family::FamilyId;
 use crate::instance::{InstanceId, InstanceStateView};
 use serde::{Deserialize, Serialize};
 use wire_dag::{Millis, StageId, TaskId, TaskSpec, Workflow, WorkflowId};
@@ -52,6 +53,10 @@ pub struct InstanceView {
     /// Tasks currently occupying slots.
     pub tasks: Vec<TaskId>,
     pub free_slots: u32,
+    /// Index into [`CloudConfig::families`]; 0 on the legacy homogeneous
+    /// cloud (empty table).
+    #[serde(default)]
+    pub family: FamilyId,
 }
 
 impl InstanceView {
@@ -83,6 +88,11 @@ pub struct CompletionView {
     pub input_bytes: u64,
     pub exec_time: Millis,
     pub transfer_time: Millis,
+    /// Observed peak resident memory (MB), as a real framework reports
+    /// maxrss after task exit. Zero when the session declares no memory
+    /// profile — the memory-blind legacy cloud.
+    #[serde(default)]
+    pub peak_mb: i64,
 }
 
 /// One workflow's place in a session: its DAG plus the contiguous slice of
@@ -176,6 +186,10 @@ pub struct MonitorSnapshot<'a> {
     /// Transfer durations (in + out, per completed task) observed since the
     /// previous tick — the predictor's `t̃_data` feed.
     pub interval_transfers: &'a [Millis],
+    /// Tasks the kernel OOM-killed since the previous tick (a framework
+    /// observes these as exit-137 restarts). Always zero on the memory-blind
+    /// legacy cloud.
+    pub interval_ooms: u32,
     /// Ready tasks in the order the framework would dispatch them.
     pub ready_in_dispatch_order: &'a [TaskId],
 }
@@ -189,6 +203,7 @@ pub struct SnapshotBuffers {
     pub instances: Vec<InstanceView>,
     pub new_completions: Vec<CompletionView>,
     pub interval_transfers: Vec<Millis>,
+    pub interval_ooms: u32,
     pub ready_in_dispatch_order: Vec<TaskId>,
 }
 
@@ -214,6 +229,7 @@ impl SnapshotBuffers {
             instances: &self.instances,
             new_completions: &self.new_completions,
             interval_transfers: &self.interval_transfers,
+            interval_ooms: self.interval_ooms,
             ready_in_dispatch_order: &self.ready_in_dispatch_order,
         }
     }
@@ -308,6 +324,7 @@ mod tests {
             },
             tasks: vec![],
             free_slots: 4,
+            family: 0,
         };
         assert_eq!(
             iv.time_to_next_charge(Millis::from_mins(2), u),
@@ -333,6 +350,7 @@ mod tests {
             },
             tasks: vec![],
             free_slots: 4,
+            family: 0,
         };
         assert_eq!(launching.time_to_next_charge(Millis::ZERO, u), u);
         assert!(!launching.is_running());
@@ -344,6 +362,7 @@ mod tests {
             },
             tasks: vec![],
             free_slots: 4,
+            family: 0,
         };
         assert_eq!(
             draining.time_to_next_charge(Millis::from_mins(5), u),

@@ -1,5 +1,6 @@
 //! The scaling-policy interface the engine drives at every MAPE tick.
 
+use crate::family::FamilyId;
 use crate::instance::InstanceId;
 use crate::observe::MonitorSnapshot;
 use serde::{Deserialize, Serialize};
@@ -22,8 +23,13 @@ pub enum TerminateWhen {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PoolPlan {
     /// Number of new instances to request (ready one lag later; clamped to
-    /// the site capacity by the engine).
+    /// the site capacity by the engine). On a heterogeneous cloud these go
+    /// to family 0, the default launch target.
     pub launch: u32,
+    /// Additional launches steered onto specific instance families (one
+    /// entry per instance). Family-blind policies leave this empty and keep
+    /// their legacy semantics; out-of-range families are a plan error.
+    pub launch_families: Vec<FamilyId>,
     /// Instances to release. Unknown, already-draining or already-terminated
     /// ids are rejected as a plan error by the engine.
     pub terminate: Vec<(InstanceId, TerminateWhen)>,
@@ -38,12 +44,25 @@ impl PoolPlan {
     pub fn launch(n: u32) -> Self {
         PoolPlan {
             launch: n,
-            terminate: Vec::new(),
+            ..Default::default()
         }
     }
 
+    /// Launch one instance of each listed family.
+    pub fn launch_onto(families: Vec<FamilyId>) -> Self {
+        PoolPlan {
+            launch_families: families,
+            ..Default::default()
+        }
+    }
+
+    /// Total instances this plan requests, across all families.
+    pub fn total_launches(&self) -> u32 {
+        self.launch + self.launch_families.len() as u32
+    }
+
     pub fn is_noop(&self) -> bool {
-        self.launch == 0 && self.terminate.is_empty()
+        self.launch == 0 && self.launch_families.is_empty() && self.terminate.is_empty()
     }
 }
 
@@ -95,9 +114,13 @@ mod tests {
         assert_eq!(p.launch, 3);
         assert!(!p.is_noop());
         let q = PoolPlan {
-            launch: 0,
             terminate: vec![(InstanceId(1), TerminateWhen::Now)],
+            ..Default::default()
         };
         assert!(!q.is_noop());
+        let r = PoolPlan::launch_onto(vec![1, 1]);
+        assert!(!r.is_noop());
+        assert_eq!(r.total_launches(), 2);
+        assert_eq!(PoolPlan::launch(3).total_launches(), 3);
     }
 }

@@ -70,6 +70,11 @@ pub struct RunResult {
     /// Total charging units billed across all instances (the paper's
     /// *resource cost*, Figure 5).
     pub charging_units: u64,
+    /// Total bill in milli-dollars: Σ over instances of `units × family unit
+    /// price`. On the legacy homogeneous cloud every unit costs the
+    /// reference price (1 $/unit), so this is `charging_units × 1000`.
+    #[serde(default)]
+    pub cost_milli: u64,
     /// Integral of (instances in Running/Draining state) over time.
     pub instance_time: Millis,
     /// Peak number of simultaneously active (non-terminated) instances.
@@ -84,6 +89,13 @@ pub struct RunResult {
     pub restarts: u32,
     /// Injected instance failures that actually struck a running instance.
     pub failures: u32,
+    /// Spot-market evictions that actually reclaimed a running instance
+    /// (disjoint from `failures`).
+    #[serde(default)]
+    pub evictions: u32,
+    /// Task restarts caused by OOM kills (a subset of `restarts`).
+    #[serde(default)]
+    pub oom_restarts: u32,
     /// MAPE iterations executed.
     pub mape_iterations: u64,
     /// Wall-clock time spent inside the policy's `plan` calls (§IV-F
@@ -146,6 +158,7 @@ mod tests {
             workflow: "w".into(),
             makespan: Millis::from_mins(10),
             charging_units: 4,
+            cost_milli: 4000,
             instance_time: Millis::from_mins(20),
             peak_instances: 3,
             instances_launched: 3,
@@ -153,6 +166,8 @@ mod tests {
             wasted_slot_time: Millis::from_mins(10),
             restarts: 2,
             failures: 0,
+            evictions: 0,
+            oom_restarts: 0,
             mape_iterations: 5,
             controller_wall: std::time::Duration::from_millis(1),
             task_records: vec![],

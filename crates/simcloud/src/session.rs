@@ -29,6 +29,7 @@
 use crate::chaos::FaultPlan;
 use crate::config::CloudConfig;
 use crate::engine::{Engine, RunError};
+use crate::family::MemoryProfile;
 use crate::observe::MonitorSnapshot;
 use crate::policy::{PoolPlan, ScalingPolicy};
 use crate::result::RunResult;
@@ -80,6 +81,7 @@ pub struct Session<'a, P: ScalingPolicy = HoldPolicy, R: Recorder = NoopRecorder
     submissions: Vec<(Millis, &'a Workflow, &'a ExecProfile)>,
     chaos: FaultPlan,
     naive: Option<bool>,
+    memory: Option<MemoryProfile>,
 }
 
 impl<'a> Session<'a> {
@@ -96,6 +98,7 @@ impl<'a> Session<'a> {
             submissions: Vec::new(),
             chaos: FaultPlan::new(),
             naive: None,
+            memory: None,
         }
     }
 }
@@ -141,6 +144,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
             submissions: self.submissions,
             chaos: self.chaos,
             naive: self.naive,
+            memory: self.memory,
         }
     }
 
@@ -155,6 +159,7 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
             submissions: self.submissions,
             chaos: self.chaos,
             naive: self.naive,
+            memory: self.memory,
         }
     }
 
@@ -163,6 +168,16 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
     /// without this call.
     pub fn chaos(mut self, plan: FaultPlan) -> Self {
         self.chaos = plan;
+        self
+    }
+
+    /// Attach a per-task [`MemoryProfile`] over the session-global task
+    /// index space (tasks numbered across submissions in submission order).
+    /// Placement then becomes memory-aware bin-packing with OOM-restart
+    /// semantics; an all-zero profile (or none) leaves the run byte-identical
+    /// to the memory-blind engine.
+    pub fn memory(mut self, profile: MemoryProfile) -> Self {
+        self.memory = Some(profile);
         self
     }
 
@@ -200,6 +215,9 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
         )?;
         if let Some(naive) = self.naive {
             engine.naive_core(naive);
+        }
+        if let Some(memory) = &self.memory {
+            engine = engine.with_memory(memory)?;
         }
         if self.chaos.is_empty() {
             Ok(engine)
@@ -251,6 +269,8 @@ mod tests {
             run_setup: Millis::ZERO,
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(100),
+            families: Vec::new(),
+            mutation_bill_eviction_grace: false,
         }
     }
 
@@ -420,6 +440,7 @@ mod tests {
                     self.0 = true;
                     PoolPlan {
                         launch: 2,
+                        launch_families: vec![],
                         terminate: s
                             .instances
                             .first()

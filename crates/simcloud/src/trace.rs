@@ -54,6 +54,17 @@ pub enum TraceEvent {
         workflow: WorkflowId,
         makespan: Millis,
     },
+    /// The provider reclaimed a spot instance (never traced on on-demand
+    /// runs, keeping their traces byte-identical).
+    SpotEvicted {
+        instance: InstanceId,
+    },
+    /// A task was OOM-killed on an oversubscribed instance (never traced
+    /// without a memory profile).
+    TaskOom {
+        task: TaskId,
+        sunk: Millis,
+    },
 }
 
 /// Time-ordered event trace of a run.
@@ -127,6 +138,8 @@ impl RunTrace {
                     "workflow_completed",
                     format!("{workflow} makespan={makespan}"),
                 ),
+                TraceEvent::SpotEvicted { instance } => ("spot_evicted", format!("{instance}")),
+                TraceEvent::TaskOom { task, sunk } => ("task_oom", format!("{task} sunk={sunk}")),
             };
             let _ = writeln!(out, "{},{kind},{detail}", t.as_ms());
         }

@@ -47,6 +47,7 @@ fn double_terminate_is_rejected() {
             self.0 += 1;
             PoolPlan {
                 launch: if self.0 == 1 { 1 } else { 0 },
+                launch_families: vec![],
                 terminate: if self.0 >= 2 {
                     vec![(InstanceId(0), TerminateWhen::AtChargeBoundary)]
                 } else {
@@ -83,6 +84,7 @@ fn drain_terminates_idle_at_boundary() {
                 self.0 = true;
                 PoolPlan {
                     launch: 1,
+                    launch_families: vec![],
                     terminate: vec![(InstanceId(0), TerminateWhen::AtChargeBoundary)],
                 }
             }
@@ -136,6 +138,7 @@ fn terminating_a_launching_instance_is_invalid() {
                 // a same-tick launch+terminate
                 _ => PoolPlan {
                     launch: 1,
+                    launch_families: vec![],
                     terminate: vec![(InstanceId(2), TerminateWhen::Now)],
                 },
             }
@@ -170,6 +173,7 @@ fn exact_boundary_billing() {
                 .collect();
             PoolPlan {
                 launch: 0,
+                launch_families: vec![],
                 terminate: idle,
             }
         }

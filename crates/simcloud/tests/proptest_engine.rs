@@ -86,7 +86,7 @@ proptest! {
         }
 
         // billing covers consumption; utilization ≤ 1
-        let paid = r.charging_units as u64
+        let paid = r.charging_units
             * cfg.charging_unit.as_ms()
             * cfg.slots_per_instance as u64;
         prop_assert!(paid >= r.busy_slot_time.as_ms() + r.wasted_slot_time.as_ms());

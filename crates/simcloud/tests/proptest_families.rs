@@ -1,0 +1,284 @@
+//! Property tests for the priced heterogeneous cloud: claimed-memory
+//! bin-packing never oversubscribes an instance, the total bill is exactly
+//! Σ(family unit price × billed units) under arbitrary eviction schedules,
+//! and eviction + resubmit commutes with every scheduler spec on the final
+//! task multiset.
+//!
+//! The billing and packing laws are re-derived from the telemetry event
+//! stream — an independent second ledger — rather than trusted from the
+//! engine's own counters.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use wire_dag::{ExecProfile, Millis, Workflow, WorkflowBuilder};
+use wire_simcloud::{
+    CloudConfig, FamilySpec, MemoryProfile, MonitorSnapshot, PoolPlan, ScalingPolicy,
+    SchedulerSpec, Session, TransferModel,
+};
+use wire_telemetry::{TelemetryEvent, TelemetryHandle};
+
+/// Keep the pool at `target` instances, spreading every launch across the
+/// family table round-robin. Replenishing evicted capacity means an
+/// all-spot pool can never starve the run.
+struct SpreadGrow {
+    target: u32,
+    families: u32,
+    next: u32,
+}
+
+impl ScalingPolicy for SpreadGrow {
+    fn name(&self) -> &str {
+        "spread-grow"
+    }
+    fn plan(&mut self, s: &MonitorSnapshot<'_>) -> PoolPlan {
+        let have = s.instances.len() as u32;
+        if have >= self.target {
+            return PoolPlan::keep();
+        }
+        let fams = (have..self.target)
+            .map(|_| {
+                let f = self.next % self.families;
+                self.next += 1;
+                f
+            })
+            .collect();
+        PoolPlan::launch_onto(fams)
+    }
+}
+
+/// `w1` parallel tasks fanning into `w2` join tasks — enough structure that
+/// the rank-based schedulers order tasks differently from FIFO.
+fn two_layer(w1: usize, w2: usize, times: &[u64]) -> (Workflow, ExecProfile) {
+    let mut b = WorkflowBuilder::new("fam-prop");
+    let s0 = b.add_stage("a");
+    let s1 = b.add_stage("b");
+    let first: Vec<_> = (0..w1).map(|_| b.add_task(s0, 1_000, 1_000)).collect();
+    for _ in 0..w2 {
+        let t = b.add_task(s1, 1_000, 1_000);
+        for &f in &first {
+            b.add_dep(f, t).unwrap();
+        }
+    }
+    let prof = ExecProfile::new(times.iter().map(|&ms| Millis::from_ms(ms)).collect());
+    (b.build().unwrap(), prof)
+}
+
+fn arb_shape() -> impl Strategy<Value = (usize, usize, Vec<u64>)> {
+    (2usize..10, 1usize..5).prop_flat_map(|(w1, w2)| {
+        proptest::collection::vec(30_000u64..400_000, w1 + w2)
+            .prop_map(move |times| (w1, w2, times))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bin_packing_never_oversubscribes_claimed_memory(
+        (w1, w2, times) in arb_shape(),
+        mem in proptest::collection::vec((100i64..600, 0i64..400), 14),
+        seed in 0u64..300,
+    ) {
+        let (wf, prof) = two_layer(w1, w2, &times);
+        let n = wf.num_tasks();
+        // peak = demand + extra, capped below the small family's capacity so
+        // every task stays placeable even after an OOM raises its claim
+        let demands: Vec<i64> = (0..n).map(|i| mem[i].0).collect();
+        let peaks: Vec<i64> = (0..n).map(|i| (mem[i].0 + mem[i].1).min(1_000)).collect();
+        let profile = MemoryProfile::new(demands.clone(), peaks).unwrap();
+        let mems = [1_024i64, 2_048];
+        let cfg = CloudConfig {
+            slots_per_instance: 4,
+            site_capacity: 6,
+            initial_instances: 2,
+            charging_unit: Millis::from_mins(10),
+            launch_lag: Millis::from_mins(2),
+            mape_interval: Millis::from_mins(1),
+            run_setup: Millis::ZERO,
+            run_teardown: Millis::ZERO,
+            families: vec![
+                FamilySpec::new("small", 4, 1_200).memory_mb(mems[0]),
+                FamilySpec::new("big", 4, 2_000).memory_mb(mems[1]),
+            ],
+            ..CloudConfig::default()
+        };
+        let handle = TelemetryHandle::new();
+        let r = Session::new(cfg)
+            .transfer(TransferModel::none())
+            .policy(SpreadGrow { target: 4, families: 2, next: 0 })
+            .seed(seed)
+            .memory(profile)
+            .recording(handle.clone())
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
+
+        // replay the event stream: at every dispatch the sum of co-resident
+        // *claims* must fit the instance family's memory
+        let buffer = handle.take();
+        let mut fam_of: HashMap<u32, usize> = HashMap::new();
+        let mut claims = demands;
+        let mut resident: HashMap<u32, HashMap<u32, i64>> = HashMap::new();
+        let mut ooms = 0u32;
+        for (_, ev) in &buffer.events {
+            match *ev {
+                TelemetryEvent::InstanceFamilyAssigned { instance, family } => {
+                    fam_of.insert(instance, family as usize);
+                }
+                TelemetryEvent::TaskDispatched { task, instance, .. } => {
+                    prop_assert!(
+                        fam_of.contains_key(&instance),
+                        "instance {instance} dispatched before its family was announced"
+                    );
+                    let slots = resident.entry(instance).or_default();
+                    slots.insert(task, claims[task as usize]);
+                    let used: i64 = slots.values().sum();
+                    let cap = mems[fam_of[&instance]];
+                    prop_assert!(
+                        used <= cap,
+                        "instance {instance} oversubscribed: {used} MB claimed > {cap} MB"
+                    );
+                }
+                TelemetryEvent::TaskCompleted { task, instance, .. } => {
+                    resident.entry(instance).or_default().remove(&task);
+                }
+                // the OOM event precedes the matching resubmit and carries
+                // the task's *raised* claim; the old claim leaves with it
+                TelemetryEvent::TaskOom { task, instance, demand_mb, .. } => {
+                    ooms += 1;
+                    resident.entry(instance).or_default().remove(&task);
+                    claims[task as usize] = demand_mb;
+                }
+                TelemetryEvent::TaskResubmitted { task, instance, .. } => {
+                    resident.entry(instance).or_default().remove(&task);
+                }
+                TelemetryEvent::InstanceTerminated { instance, .. } => {
+                    resident.remove(&instance);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(r.oom_restarts, ooms);
+        prop_assert_eq!(r.task_records.len(), wf.num_tasks());
+        prop_assert!(r.bills_are_consistent());
+    }
+
+    #[test]
+    fn bill_is_sum_of_family_price_times_billed_units(
+        (w1, w2, times) in arb_shape(),
+        p_od in 500u64..2_000,
+        p_spot in 100u64..900,
+        mtbe_mins in 5u64..40,
+        target in 2u32..6,
+        seed in 0u64..300,
+    ) {
+        let (wf, prof) = two_layer(w1, w2, &times);
+        let prices = [p_od, p_spot];
+        let cfg = CloudConfig {
+            slots_per_instance: 2,
+            site_capacity: 8,
+            initial_instances: 1,
+            charging_unit: Millis::from_mins(10),
+            launch_lag: Millis::from_mins(3),
+            mape_interval: Millis::from_mins(2),
+            run_setup: Millis::ZERO,
+            run_teardown: Millis::ZERO,
+            families: vec![
+                FamilySpec::new("od", 2, p_od),
+                FamilySpec::new("spot", 2, p_od).spot(Millis::from_mins(mtbe_mins), p_spot),
+            ],
+            ..CloudConfig::default()
+        };
+        let handle = TelemetryHandle::new();
+        let r = Session::new(cfg)
+            .transfer(TransferModel::none())
+            .policy(SpreadGrow { target, families: 2, next: 0 })
+            .seed(seed)
+            .recording(handle.clone())
+            .submit(&wf, &prof)
+            .run()
+            .unwrap();
+
+        // independent ledger: price every termination by its family row
+        let buffer = handle.take();
+        let mut fam_of: HashMap<u32, usize> = HashMap::new();
+        let mut billed_milli = 0u64;
+        let mut billed_units = 0u64;
+        let mut evictions = 0u32;
+        for (_, ev) in &buffer.events {
+            match *ev {
+                TelemetryEvent::InstanceFamilyAssigned { instance, family } => {
+                    fam_of.insert(instance, family as usize);
+                }
+                TelemetryEvent::SpotEvicted { .. } => evictions += 1,
+                TelemetryEvent::InstanceTerminated { instance, units } => {
+                    prop_assert!(
+                        fam_of.contains_key(&instance),
+                        "instance {instance} billed before its family was announced"
+                    );
+                    billed_milli += units * prices[fam_of[&instance]];
+                    billed_units += units;
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(r.cost_milli, billed_milli);
+        prop_assert_eq!(r.charging_units, billed_units);
+        prop_assert_eq!(r.evictions, evictions);
+        prop_assert!(r.bills_are_consistent());
+        prop_assert_eq!(r.task_records.len(), wf.num_tasks());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn eviction_and_resubmit_commute_with_the_scheduler_spec(
+        (w1, w2, times) in arb_shape(),
+        seed in 0u64..200,
+    ) {
+        // an all-spot pool under an aggressive eviction rate: whatever order
+        // the scheduler dispatches in, the engine owns exactly-once
+        // completion and uniform spot pricing
+        for spec in [
+            SchedulerSpec::Fifo { first_five: true },
+            SchedulerSpec::Fifo { first_five: false },
+            SchedulerSpec::Heft,
+            SchedulerSpec::MinMin,
+            SchedulerSpec::CriticalPath,
+            SchedulerSpec::Portfolio,
+        ] {
+            let (wf, prof) = two_layer(w1, w2, &times);
+            let cfg = CloudConfig {
+                slots_per_instance: 2,
+                site_capacity: 6,
+                initial_instances: 2,
+                charging_unit: Millis::from_mins(10),
+                launch_lag: Millis::from_mins(2),
+                mape_interval: Millis::from_mins(1),
+                run_setup: Millis::ZERO,
+                run_teardown: Millis::ZERO,
+                families: vec![
+                    FamilySpec::new("spot", 2, 1_000).spot(Millis::from_mins(6), 400),
+                ],
+                ..CloudConfig::default()
+            };
+            let r = Session::new(cfg)
+                .transfer(TransferModel::none())
+                .scheduler(spec)
+                .policy(SpreadGrow { target: 3, families: 1, next: 0 })
+                .seed(seed)
+                .submit(&wf, &prof)
+                .run()
+                .unwrap();
+            let mut ids: Vec<u32> = r.task_records.iter().map(|t| t.task.0).collect();
+            ids.sort_unstable();
+            let expected: Vec<u32> = (0..wf.num_tasks() as u32).collect();
+            prop_assert_eq!(ids, expected, "scheduler {:?} lost or duplicated tasks", spec);
+            prop_assert_eq!(r.cost_milli, r.charging_units * 400);
+            prop_assert!(r.bills_are_consistent());
+        }
+    }
+}

@@ -84,6 +84,23 @@ pub enum TelemetryEvent {
     /// A scripted chaos fault fired (index into the run's fault plan). Only
     /// emitted when a plan is attached to the engine.
     ChaosFault { fault: u32 },
+    /// A new instance was assigned to an instance-family row. Only emitted
+    /// when the run's family table has more than one row, so single-family
+    /// (and legacy) event streams stay byte-identical.
+    InstanceFamilyAssigned { instance: u32, family: u32 },
+    /// The spot market reclaimed a running instance. Never emitted on
+    /// on-demand-only runs.
+    SpotEvicted { instance: u32 },
+    /// A task was OOM-killed: its true peak (with its co-residents') blew
+    /// past the instance family's memory. `demand_mb` is the task's working
+    /// claim *after* the restart raise. Never emitted without a memory
+    /// profile.
+    TaskOom {
+        task: u32,
+        instance: u32,
+        demand_mb: i64,
+        peak_mb: i64,
+    },
 }
 
 impl TelemetryEvent {
@@ -105,6 +122,9 @@ impl TelemetryEvent {
             TelemetryEvent::WorkflowReady { .. } => "workflow_ready",
             TelemetryEvent::WorkflowCompleted { .. } => "workflow_completed",
             TelemetryEvent::ChaosFault { .. } => "chaos_fault",
+            TelemetryEvent::InstanceFamilyAssigned { .. } => "instance_family",
+            TelemetryEvent::SpotEvicted { .. } => "spot_evicted",
+            TelemetryEvent::TaskOom { .. } => "task_oom",
         }
     }
 
@@ -204,6 +224,25 @@ impl TelemetryEvent {
             TelemetryEvent::ChaosFault { fault } => {
                 fields.push(("fault", u(fault as u64)));
             }
+            TelemetryEvent::InstanceFamilyAssigned { instance, family } => {
+                fields.push(("instance", u(instance as u64)));
+                fields.push(("family", u(family as u64)));
+            }
+            TelemetryEvent::SpotEvicted { instance } => {
+                fields.push(("instance", u(instance as u64)));
+            }
+            TelemetryEvent::TaskOom {
+                task,
+                instance,
+                demand_mb,
+                peak_mb,
+            } => {
+                fields.push(("task", u(task as u64)));
+                fields.push(("instance", u(instance as u64)));
+                // validated non-negative at profile construction
+                fields.push(("demand_mb", u(demand_mb as u64)));
+                fields.push(("peak_mb", u(peak_mb as u64)));
+            }
         }
         obj(fields)
     }
@@ -295,6 +334,25 @@ impl TelemetryEvent {
             "chaos_fault" => TelemetryEvent::ChaosFault {
                 fault: get_u32("fault")?,
             },
+            "instance_family" => TelemetryEvent::InstanceFamilyAssigned {
+                instance: get_u32("instance")?,
+                family: get_u32("family")?,
+            },
+            "spot_evicted" => TelemetryEvent::SpotEvicted {
+                instance: get_u32("instance")?,
+            },
+            "task_oom" => TelemetryEvent::TaskOom {
+                task: get_u32("task")?,
+                instance: get_u32("instance")?,
+                demand_mb: v
+                    .get("demand_mb")
+                    .and_then(Json::as_u64)
+                    .ok_or("event missing 'demand_mb'")? as i64,
+                peak_mb: v
+                    .get("peak_mb")
+                    .and_then(Json::as_u64)
+                    .ok_or("event missing 'peak_mb'")? as i64,
+            },
             other => return Err(format!("unknown event kind '{other}'")),
         })
     }
@@ -361,6 +419,17 @@ mod tests {
                 ideal: Millis::from_mins(15),
             },
             TelemetryEvent::ChaosFault { fault: 2 },
+            TelemetryEvent::InstanceFamilyAssigned {
+                instance: 3,
+                family: 1,
+            },
+            TelemetryEvent::SpotEvicted { instance: 3 },
+            TelemetryEvent::TaskOom {
+                task: 7,
+                instance: 3,
+                demand_mb: 4096,
+                peak_mb: 4096,
+            },
         ]
     }
 

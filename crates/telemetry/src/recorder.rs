@@ -136,6 +136,14 @@ impl TelemetryBuffer {
                 m.set_gauge("tasks_running", running as f64);
                 m.set_gauge("tasks_done", done as f64);
             }
+            TelemetryEvent::InstanceFamilyAssigned { .. } => {
+                m.inc("instance_family_assignments_total", 1)
+            }
+            TelemetryEvent::SpotEvicted { .. } => m.inc("spot_evictions_total", 1),
+            TelemetryEvent::TaskOom { peak_mb, .. } => {
+                m.inc("task_ooms_total", 1);
+                m.observe("task_oom_peak_mb", peak_mb as f64);
+            }
         }
         // Feed the prediction join: completions carry the ground truth.
         if let TelemetryEvent::TaskCompleted {

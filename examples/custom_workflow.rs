@@ -59,6 +59,7 @@ impl ScalingPolicy for WidthTracker {
             idle.truncate((m - target) as usize);
             PoolPlan {
                 launch: 0,
+                launch_families: vec![],
                 terminate: idle
                     .into_iter()
                     .map(|id| (id, TerminateWhen::AtChargeBoundary))

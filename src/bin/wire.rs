@@ -17,6 +17,9 @@
 //!   --scheduler fifo-ff|fifo|heft|minmin|cpath|portfolio
 //!   --u <minutes>        charging unit (default 15)
 //!   --seed <n>           run seed (default 1)
+//!   --family <spec>      add a priced family row (repeatable);
+//!                        name:slots:speed:price_milli[:mem_mb][:spot:mtbe_mins:price_milli]
+//!   --spot <floor>       steer launches spot-ward, keeping this fraction on-demand
 //!   --timeline           print the pool-size timeline
 //!   --trace-out <path>   CSV event trace (replayable)
 //!   --trace-chrome <p>   Chrome trace_event JSON (open in Perfetto)
@@ -39,6 +42,13 @@ struct Opts {
     trace_chrome: Option<String>,
     decisions: Option<String>,
     metrics_csv: Option<String>,
+    /// Priced instance-family table rows (`--family`, repeatable). Empty
+    /// runs the legacy homogeneous cloud.
+    families: Vec<FamilySpec>,
+    /// Fraction of planned launches kept on the on-demand family 0
+    /// (`--spot`); the rest are steered onto the cheapest spot family the
+    /// memory predictor vouches for.
+    spot_floor: Option<f64>,
 }
 
 impl Opts {
@@ -59,6 +69,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         trace_chrome: None,
         decisions: None,
         metrics_csv: None,
+        families: Vec::new(),
+        spot_floor: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -101,6 +113,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--metrics-csv" => {
                 o.metrics_csv = Some(it.next().ok_or("--metrics-csv needs a path")?.clone());
+            }
+            "--family" => {
+                let spec = it.next().ok_or(
+                    "--family needs name:slots:speed:price_milli[:mem_mb][:spot:mtbe_mins:price_milli]",
+                )?;
+                o.families.push(FamilySpec::parse(spec)?);
+            }
+            "--spot" => {
+                let floor: f64 = it
+                    .next()
+                    .ok_or("--spot needs an on-demand floor in [0, 1]")?
+                    .parse()
+                    .map_err(|e| format!("--spot: {e}"))?;
+                if !(0.0..=1.0).contains(&floor) {
+                    return Err(format!("--spot: floor {floor} outside [0, 1]"));
+                }
+                o.spot_floor = Some(floor);
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -147,6 +176,12 @@ fn run_one(
     if let Some(spec) = opts.scheduler {
         cfg.scheduler = spec;
     }
+    if !opts.families.is_empty() {
+        cfg.families = opts.families.clone();
+    }
+    if opts.spot_floor.is_some() && !cfg.families.iter().any(|f| f.is_spot()) {
+        return Err("--spot needs at least one spot --family row".into());
+    }
     let slots = cfg.slots_per_instance;
     let tm = TransferModel::default();
     let telemetry = opts.wants_telemetry().then(TelemetryHandle::new);
@@ -154,10 +189,14 @@ fn run_one(
     let policy: Box<dyn ScalingPolicy> = if opts.policy == "oracle" {
         Box::new(OracleWirePolicy::new(prof.clone(), tm.clone()))
     } else if opts.policy == "wire" {
+        let mut p = WirePolicy::default();
+        if let Some(floor) = opts.spot_floor {
+            p = p.with_family_steering(floor);
+        }
         // attach the journal so Plan decisions and predictions are recorded
         match &telemetry {
-            Some(h) => Box::new(WirePolicy::default().with_telemetry(h.clone())),
-            None => wire::core::experiment::build_policy(setting, &cfg),
+            Some(h) => Box::new(p.with_telemetry(h.clone())),
+            None => Box::new(p),
         }
     } else {
         wire::core::experiment::build_policy(setting, &cfg)
@@ -215,6 +254,13 @@ fn print_result(r: &RunResult, opts: &Opts) {
     println!("charging units  : {}", r.charging_units);
     println!("peak instances  : {}", r.peak_instances);
     println!("restarts        : {}", r.restarts);
+    println!("bill            : ${:.3}", r.cost_milli as f64 / 1000.0);
+    if r.evictions > 0 {
+        println!("spot evictions  : {}", r.evictions);
+    }
+    if r.oom_restarts > 0 {
+        println!("oom restarts    : {}", r.oom_restarts);
+    }
     println!(
         "paid utilization: {:.1}%",
         100.0 * r.paid_utilization(u, slots)
@@ -292,6 +338,8 @@ fn real_main() -> Result<(), String> {
                             trace_chrome: None,
                             decisions: None,
                             metrics_csv: None,
+                            families: opts.families.clone(),
+                            spot_floor: opts.spot_floor,
                         };
                         let r = run_one(&wf, &prof, spec.total_input_bytes, &o)?;
                         println!(
@@ -320,6 +368,8 @@ fn real_main() -> Result<(), String> {
                             trace_chrome: None,
                             decisions: None,
                             metrics_csv: None,
+                            families: opts.families.clone(),
+                            spot_floor: opts.spot_floor,
                         };
                         let r = run_one(&wf, &prof, spec.total_input_bytes, &o)?;
                         println!(
@@ -363,7 +413,7 @@ fn real_main() -> Result<(), String> {
 /// `wire campaign [targets...] [flags]` — regenerate paper figures through
 /// the sharded, cached campaign runner (`wire-campaign`).
 fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
-    const TARGETS: [&str; 9] = [
+    const TARGETS: [&str; 10] = [
         "fig2",
         "fig3",
         "fig5",
@@ -373,6 +423,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
         "policies",
         "overhead",
         "schedulers",
+        "spot",
     ];
     let mut cfg = wire_campaign::CampaignConfig {
         progress: true,
@@ -449,6 +500,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
             "policies" => runner.policies(),
             "overhead" => runner.overhead(),
             "schedulers" => runner.schedulers(),
+            "spot" => runner.spot(),
             _ => unreachable!(),
         };
         eprintln!(
@@ -573,8 +625,9 @@ fn print_usage() {
     println!("  wire list");
     println!(
         "  wire run <workload> [--policy P] [--scheduler S] [--u MIN] [--seed N]
-                      [--timeline] [--trace-out events.csv] [--trace-chrome trace.json]
-                      [--decisions mape.log] [--metrics-csv ticks.csv]"
+                      [--family name:slots:speed:price_milli[:mem_mb][:spot:mtbe:price]]...
+                      [--spot FLOOR] [--timeline] [--trace-out events.csv]
+                      [--trace-chrome trace.json] [--decisions mape.log] [--metrics-csv ticks.csv]"
     );
     println!("  wire compare <workload> [--u MIN] [--seed N]");
     println!("  wire sweep <workload> [--policy P] [--seed N]");
@@ -582,7 +635,7 @@ fn print_usage() {
     println!("  wire replay <trace.txt> [--policy P] [--u MIN]");
     println!("  wire dot <workload> [--seed N]         > dag.dot");
     println!(
-        "  wire campaign <fig2|fig3|fig5|fig6|headline|ablation|policies|overhead|schedulers|all>...
+        "  wire campaign <fig2|fig3|fig5|fig6|headline|ablation|policies|overhead|schedulers|spot|all>...
                       [--threads N] [--force] [--no-cache] [--check] [--quick] [--scheduler S]"
     );
     println!(

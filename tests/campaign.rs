@@ -10,7 +10,7 @@
 
 use std::path::PathBuf;
 
-use wire::core::experiment::{ExperimentGrid, Setting};
+use wire::core::experiment::{cloud_config, ExperimentGrid, Setting};
 use wire::prelude::*;
 use wire_campaign::{
     cache, cache_key, grid_cells, grid_results_from, run_campaign, CacheMode, CampaignConfig, Cell,
@@ -125,6 +125,87 @@ fn warm_cache_executes_nothing_and_changes_nothing() {
         campaign_csv(&grid, &cold.outputs[..n]).as_bytes(),
         campaign_csv(&grid, &warm.outputs[..n]).as_bytes(),
         "cache state changed CSV bytes"
+    );
+}
+
+#[test]
+fn spot_cells_are_thread_and_cache_invariant_with_pinned_costs() {
+    // The quick spot-figure cells for Genome S (the `wire campaign spot
+    // --quick` rows): legacy on-demand procurement, a mixed fleet keeping
+    // half the launches on-demand, and all-spot steering, at eviction means
+    // of 15 and 60 minutes. Mirrors `figures::spot` cell construction.
+    let u = Millis::from_mins(1);
+    let w = WorkloadId::EpigenomicsS;
+    let mk = |mtbe: u64, floor: Option<f64>| -> Cell {
+        let base = cloud_config(Setting::Wire, u);
+        match floor {
+            None => Cell::wire(w, base, SteeringConfig::default(), 1),
+            Some(f) => {
+                let slots = base.slots_per_instance;
+                let cfg = base.with_families(vec![
+                    FamilySpec::new("od", slots, 1000),
+                    FamilySpec::new("spot", slots, 1000).spot(Millis::from_mins(mtbe), 400),
+                ]);
+                Cell::wire(
+                    w,
+                    cfg,
+                    SteeringConfig {
+                        spot_on_demand_floor: Some(f),
+                        ..SteeringConfig::default()
+                    },
+                    1,
+                )
+            }
+        }
+    };
+    let cells = vec![
+        mk(15, None),
+        mk(15, Some(0.5)),
+        mk(15, Some(0.0)),
+        mk(60, None),
+        mk(60, Some(0.5)),
+        mk(60, Some(0.0)),
+    ];
+
+    let one = run_campaign(&cells, &uncached(1));
+    let four = run_campaign(&cells, &uncached(4));
+    assert_eq!(
+        one.outputs, four.outputs,
+        "spot cells depend on thread count"
+    );
+
+    // a warm cache round-trips every priced field byte-identically
+    let dir = temp_cache("spot");
+    let cfg = CampaignConfig {
+        threads: Some(2),
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let cold = run_campaign(&cells, &cfg);
+    let warm = run_campaign(&cells, &cfg);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(warm.executed, 0, "warm spot rerun must be all cache hits");
+    assert_eq!(cold.outputs, one.outputs);
+    assert_eq!(warm.outputs, one.outputs);
+
+    // pinned economics: on-demand is flat at $80 regardless of the eviction
+    // rate; all-spot is far cheaper; and the mixed fleet's bill shifts with
+    // the eviction rate — WIRE's cost edge measurably depends on mtbe
+    let cost = |i: usize| one.outputs[i].cost_milli;
+    assert_eq!(
+        (cost(0), cost(3)),
+        (80_000, 80_000),
+        "on-demand baseline moved"
+    );
+    assert_eq!((cost(1), cost(2)), (79_800, 44_800), "mtbe=15 bills moved");
+    assert_eq!((cost(4), cost(5)), (67_200, 44_800), "mtbe=60 bills moved");
+    assert!(
+        one.outputs[2].evictions > one.outputs[5].evictions,
+        "a 4× faster eviction rate must evict more instances"
+    );
+    assert_eq!(
+        one.outputs[0].evictions, 0,
+        "legacy procurement cannot evict"
     );
 }
 

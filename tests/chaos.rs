@@ -222,6 +222,99 @@ fn chaos_in_workflow_b_leaves_workflow_a_records_untouched() {
     );
 }
 
+/// WIRE's cloud config with the whole pool moved onto a single discounted
+/// spot family: every launch is eviction-exposed, so an aggressive eviction
+/// mean turns the run into a kill storm without any scripted faults.
+fn all_spot_cfg(mtbe_mins: u64) -> CloudConfig {
+    let mut cfg = cloud_config_for(
+        Setting::Wire,
+        Millis::from_mins(15),
+        WorkloadId::EpigenomicsS.spec().total_input_bytes,
+    );
+    let slots = cfg.slots_per_instance;
+    cfg.families =
+        vec![FamilySpec::new("spot", slots, 1000).spot(Millis::from_mins(mtbe_mins), 400)];
+    cfg
+}
+
+#[test]
+fn spot_kill_storm_keeps_every_invariant_and_every_task() {
+    // Priced-eviction postconditions under provider-driven churn: across
+    // seeds, the checker must stay clean (floor-billed evictions, spot-only
+    // strikes, matching resubmits), every task must complete exactly once,
+    // and the bill the checker re-derives from the event stream must equal
+    // the engine's own ledger at the spot unit price.
+    let mut total_evictions = 0u32;
+    for seed in [3u64, 7, 11] {
+        let (wf, prof) = WorkloadId::EpigenomicsS.generate(seed);
+        let cfg = all_spot_cfg(10);
+        let checker = InvariantChecker::new(&cfg)
+            .expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32);
+        let r = Session::new(cfg)
+            .transfer(TransferModel::default())
+            .policy(WirePolicy::default())
+            .seed(seed)
+            .recording(checker.clone())
+            .submit(&wf, &prof)
+            .run()
+            .expect("kill-storm run completes");
+        checker.assert_clean();
+        total_evictions += r.evictions;
+        let mut ids: Vec<u32> = r.task_records.iter().map(|t| t.task.0).collect();
+        ids.sort_unstable();
+        let expected: Vec<u32> = (0..wf.num_tasks() as u32).collect();
+        assert_eq!(ids, expected, "seed {seed}: tasks lost or duplicated");
+        assert_eq!(
+            checker.billed_milli(),
+            r.cost_milli,
+            "seed {seed}: re-derived bill disagrees with the engine ledger"
+        );
+        assert_eq!(r.cost_milli, r.charging_units * 400, "seed {seed}");
+    }
+    assert!(
+        total_evictions > 0,
+        "the storm must actually evict instances"
+    );
+}
+
+#[test]
+fn checker_catches_the_bill_eviction_grace_mutant() {
+    // Teeth test: the hidden config knob bills the charging unit a spot
+    // eviction interrupts instead of forgiving it. The checker's billing
+    // postcondition must flag the overcharge on a real engine run.
+    let seed = 3;
+    let (wf, prof) = WorkloadId::EpigenomicsS.generate(seed);
+    let mut cfg = all_spot_cfg(10);
+    cfg.mutation_bill_eviction_grace = true;
+    let checker =
+        InvariantChecker::new(&cfg).expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32);
+    let r = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(WirePolicy::default())
+        .seed(seed)
+        .recording(checker.clone())
+        .submit(&wf, &prof)
+        .run()
+        .expect("mutant run completes");
+    assert!(
+        r.evictions > 0,
+        "the mutant needs a mid-unit eviction to bite"
+    );
+    let report = checker.report();
+    assert!(
+        !report.is_clean(),
+        "the overcharging mutant went undetected"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.contains("forgives the open unit")),
+        "wrong violation flagged:\n{}",
+        report.render()
+    );
+}
+
 #[test]
 fn paused_arrivals_defer_a_workflow_without_losing_it() {
     let (wf_a, prof_a) = WorkloadId::Tpch6S.generate(4);

@@ -51,8 +51,7 @@ fn billing_covers_consumed_slot_time() {
         for setting in Setting::ALL {
             let cfg = cloud_config(setting, U15);
             let r = run_setting(workload, setting, U15, 3);
-            let paid_slot_ms =
-                r.charging_units as u64 * U15.as_ms() * cfg.slots_per_instance as u64;
+            let paid_slot_ms = r.charging_units * U15.as_ms() * cfg.slots_per_instance as u64;
             let used = r.busy_slot_time.as_ms() + r.wasted_slot_time.as_ms();
             assert!(
                 paid_slot_ms >= used,

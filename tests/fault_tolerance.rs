@@ -79,6 +79,6 @@ fn wasted_time_accounts_for_failed_attempts() {
         assert!(!r.wasted_slot_time.is_zero());
     }
     // billing still covers everything consumed
-    let paid = r.charging_units as u64 * Millis::from_mins(15).as_ms() * 4;
+    let paid = r.charging_units * Millis::from_mins(15).as_ms() * 4;
     assert!(paid >= r.busy_slot_time.as_ms() + r.wasted_slot_time.as_ms());
 }

@@ -82,14 +82,18 @@ const GOLDEN_DIGESTS: &[(WorkloadId, u64, u64)] = &[
 ];
 
 fn wire_run_digest(workload: WorkloadId, seed: u64) -> u64 {
-    // Digests flow through the Session builder: the N = 1 session path is
-    // required to be bit-identical to the pre-session single-workflow engine.
-    let (wf, prof) = workload.generate(seed);
     let cfg = cloud_config_for(
         Setting::Wire,
         Millis::from_mins(15),
         workload.spec().total_input_bytes,
     );
+    wire_run_digest_with(workload, seed, cfg).0
+}
+
+fn wire_run_digest_with(workload: WorkloadId, seed: u64, cfg: CloudConfig) -> (u64, RunResult) {
+    // Digests flow through the Session builder: the N = 1 session path is
+    // required to be bit-identical to the pre-session single-workflow engine.
+    let (wf, prof) = workload.generate(seed);
     let handle = TelemetryHandle::new();
     // The invariant checker rides every golden run: recorders are
     // observational, so teeing it in cannot (and must not) move the digest.
@@ -118,7 +122,7 @@ fn wire_run_digest(workload: WorkloadId, seed: u64) -> u64 {
         result.restarts,
         result.instances_launched
     ));
-    fnv1a(blob.as_bytes())
+    (fnv1a(blob.as_bytes()), result)
 }
 
 #[test]
@@ -131,6 +135,39 @@ fn golden_wire_trace_and_journal_digests() {
             "{} / seed={seed}: run trace, event stream or decision journal changed (digest {digest:#x})",
             w.name()
         );
+    }
+}
+
+#[test]
+fn explicit_legacy_family_row_is_byte_identical_to_the_empty_table() {
+    // The differential spine of the heterogeneous-cloud change: spelling the
+    // implicit legacy family out as an explicit one-row table (same slots,
+    // unit speed, reference price, unlimited memory, no spot tier) must take
+    // no new code path. The pinned digests cannot move by a byte, and the
+    // bill must resolve to units × the reference price with zero evictions
+    // and zero OOM restarts.
+    for &(w, seed, expected) in GOLDEN_DIGESTS {
+        let mut cfg = cloud_config_for(
+            Setting::Wire,
+            Millis::from_mins(15),
+            w.spec().total_input_bytes,
+        );
+        cfg.families = vec![FamilySpec::legacy(cfg.slots_per_instance)];
+        let (digest, result) = wire_run_digest_with(w, seed, cfg);
+        assert_eq!(
+            digest,
+            expected,
+            "{} / seed={seed}: an explicit legacy family row changed the run (digest {digest:#x})",
+            w.name()
+        );
+        assert_eq!(
+            result.cost_milli,
+            result.charging_units * FamilySpec::LEGACY_PRICE_MILLI,
+            "{} / seed={seed}: legacy pricing drifted",
+            w.name()
+        );
+        assert_eq!(result.evictions, 0);
+        assert_eq!(result.oom_restarts, 0);
     }
 }
 

@@ -1,0 +1,72 @@
+//! Pinned differential for memory-aware family steering: on the same seed,
+//! the online memory predictor must veto the small-memory spot family once
+//! it has seen real task peaks, avoiding OOM restarts a memory-blind
+//! controller keeps suffering.
+
+use wire::core::experiment::{cloud_config, Setting};
+use wire::prelude::*;
+use wire_chaos::InvariantChecker;
+
+/// All-spot steering (floor 0.0) over a two-row table whose discounted spot
+/// family is too small for the workload's true peaks: 4 slots × 700 MB peak
+/// ≫ 800 MB. The declared demand (200 MB) fits, so only the *peaks* — which
+/// the engine knows and the controller must learn online — reveal the trap.
+fn run(memory_blind: bool) -> RunResult {
+    let seed = 1;
+    let (wf, prof) = WorkloadId::EpigenomicsS.generate(seed);
+    let mem = MemoryProfile::uniform(wf.num_tasks(), 200, 700).unwrap();
+    let mut cfg = cloud_config(Setting::Wire, Millis::from_mins(1));
+    let slots = cfg.slots_per_instance;
+    cfg.families = vec![
+        FamilySpec::new("od", slots, 1000),
+        FamilySpec::new("spot", slots, 1000)
+            .spot(Millis::from_mins(120), 400)
+            .memory_mb(800),
+    ];
+    let steering = SteeringConfig {
+        spot_on_demand_floor: Some(0.0),
+        memory_blind_families: memory_blind,
+        ..SteeringConfig::default()
+    };
+    let checker = InvariantChecker::new(&cfg)
+        .expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32)
+        .expect_memory(&mem);
+    let r = Session::new(cfg)
+        .transfer(TransferModel::default())
+        .policy(WirePolicy::new(steering))
+        .seed(seed)
+        .memory(mem)
+        .recording(checker.clone())
+        .submit(&wf, &prof)
+        .run()
+        .expect("run completes despite OOM churn");
+    checker.assert_clean();
+    r
+}
+
+#[test]
+fn memory_aware_steering_avoids_the_blind_controllers_oom_restarts() {
+    let blind = run(true);
+    let aware = run(false);
+
+    assert!(
+        blind.oom_restarts > 0,
+        "the memory-blind controller must actually walk into the OOM trap \
+         (got {} OOM restarts)",
+        blind.oom_restarts
+    );
+    assert!(
+        aware.oom_restarts < blind.oom_restarts,
+        "the predictor's margin must cut OOM restarts: aware {} vs blind {}",
+        aware.oom_restarts,
+        blind.oom_restarts
+    );
+
+    // both configurations still finish every task exactly once
+    for (label, r) in [("blind", &blind), ("aware", &aware)] {
+        let mut ids: Vec<u32> = r.task_records.iter().map(|t| t.task.0).collect();
+        ids.sort_unstable();
+        let n = ids.len() as u32;
+        assert_eq!(ids, (0..n).collect::<Vec<_>>(), "{label} run lost tasks");
+    }
+}

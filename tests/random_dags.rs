@@ -94,7 +94,7 @@ proptest! {
             }
 
             // billing covers consumed slot time
-            let paid = r.charging_units as u64 * cfg.charging_unit.as_ms()
+            let paid = r.charging_units * cfg.charging_unit.as_ms()
                 * cfg.slots_per_instance as u64;
             prop_assert!(paid >= r.busy_slot_time.as_ms() + r.wasted_slot_time.as_ms());
 
