@@ -95,6 +95,7 @@ fn bench_lookahead(c: &mut Criterion) {
         interval_transfers: vec![],
         interval_ooms: 0,
         ready_in_dispatch_order: ready,
+        spent_milli: 0,
     };
     let slots = [wire_simcloud::WorkflowSlot::solo(&wf)];
     let snap = bufs.snapshot(Millis::from_mins(30), &slots, &cfg);
@@ -193,6 +194,7 @@ fn midrun_state(
         interval_transfers: vec![],
         interval_ooms: 0,
         ready_in_dispatch_order: ready,
+        spent_milli: 0,
     };
     let remaining = vec![Millis::from_secs(8); n];
     let values = vec![Millis::from_secs(12); n];

@@ -33,7 +33,12 @@ use wire_workloads::{linear_workflow, WorkloadId};
 /// (name/slots/speed/price/memory and the spot tier per row) and the wire
 /// policy tag grew the family-steering knobs; the payload gained
 /// `cost_milli`, `evictions` and `oom_restarts`.
-pub const CACHE_FORMAT_VERSION: u32 = 4;
+///
+/// v5: budget-constrained steering — keys hash the cloud budget ceiling
+/// (when set) and the wire policy tag grew the budget knobs (throttle knee,
+/// spend-early mode, veto mutation). Unconstrained cells append nothing, but
+/// the version bump retires every v4 entry anyway.
+pub const CACHE_FORMAT_VERSION: u32 = 5;
 
 /// What a cell runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +133,15 @@ impl PolicyKind {
                 }
                 if s.memory_blind_families {
                     t.push_str(":blind");
+                }
+                if s.budget_knee != wire_planner::DEFAULT_BUDGET_KNEE {
+                    t.push_str(&format!(":bknee={:x}", s.budget_knee.to_bits()));
+                }
+                if s.budget_spend_early {
+                    t.push_str(":bspend");
+                }
+                if s.mutation_ignore_budget_veto {
+                    t.push_str(":bmut");
                 }
                 t
             }
@@ -314,6 +328,11 @@ pub fn cache_key_versioned(cell: &Cell, version: u32) -> u64 {
     h.field_u64("setup_ms", c.run_setup.as_ms());
     h.field_u64("teardown_ms", c.run_teardown.as_ms());
     h.field_u64("max_sim_ms", c.max_sim_time.as_ms());
+    // the spend ceiling is semantic input; unconstrained cells append
+    // nothing so their keys match a budget-less build of the same version
+    if let Some(b) = c.budget {
+        h.field_u64("budget_milli", b.ceiling_milli);
+    }
     // the priced family table: every row field is semantic input (an empty
     // table — the legacy homogeneous cloud — contributes only the count)
     h.field_u64("families", c.families.len() as u64);

@@ -868,6 +868,111 @@ impl FigureRunner {
         outcome
     }
 
+    /// Budget-constrained steering sweep (DESIGN.md §14): WIRE's completion
+    /// time as the spend ceiling tightens. Phase one runs each workload
+    /// unconstrained to learn its natural bill; phase two replays it under
+    /// ceilings at fixed fractions of that bill. The figure reports the
+    /// slowdown (budgeted makespan / unconstrained makespan, in milli) per
+    /// budget fraction — the cost/speed trade §IV-A gestures at, made
+    /// explicit.
+    pub fn budget(&self) -> FigureOutcome {
+        let mut outcome = FigureOutcome::default();
+        // growth-heavy Table I workloads: the throttle only bites when the
+        // steering actually wants to grow past the initial pool
+        let workloads = if self.quick {
+            vec![WorkloadId::EpigenomicsS, WorkloadId::Tpch6L]
+        } else {
+            vec![
+                WorkloadId::EpigenomicsS,
+                WorkloadId::Tpch6L,
+                WorkloadId::Tpch1L,
+                WorkloadId::PageRankL,
+            ]
+        };
+        // committed spend crosses the knee early in a run (growth is
+        // front-loaded), so the interesting ceilings sit well below the
+        // natural bill; 1.0 anchors the unconstrained end
+        let fractions: &[f64] = if self.quick {
+            &[0.1, 1.0]
+        } else {
+            &[0.05, 0.1, 0.25, 0.5, 1.0]
+        };
+        let u = Millis::from_mins(1);
+
+        // phase one: the unconstrained baseline fixes each workload's
+        // natural bill and makespan
+        let baseline_cells: Vec<Cell> = workloads
+            .iter()
+            .map(|&w| {
+                Cell::wire(
+                    w,
+                    cloud_config(Setting::Wire, u),
+                    SteeringConfig::default(),
+                    1,
+                )
+            })
+            .collect();
+        eprintln!(
+            "budget: running {} baseline cells ...",
+            baseline_cells.len()
+        );
+        let baselines = self.campaign(&baseline_cells, &mut outcome);
+
+        // phase two: ceilings as fractions of the baseline bill
+        let cells: Vec<Cell> = workloads
+            .iter()
+            .zip(&baselines)
+            .flat_map(|(&w, base)| {
+                fractions.iter().map(move |&frac| {
+                    let ceiling = ((base.cost_milli as f64 * frac).round() as u64).max(1);
+                    Cell::wire(
+                        w,
+                        cloud_config(Setting::Wire, u).with_budget(ceiling),
+                        SteeringConfig::default(),
+                        1,
+                    )
+                })
+            })
+            .collect();
+        eprintln!("budget: running {} budgeted cells ...", cells.len());
+        let outputs = self.campaign(&cells, &mut outcome);
+
+        let mut t = Table::new([
+            "workload",
+            "budget fraction",
+            "ceiling ($)",
+            "cost ($)",
+            "units",
+            "makespan (min)",
+            "slowdown (milli)",
+        ]);
+        let mut it = outputs.iter();
+        for (&w, base) in workloads.iter().zip(&baselines) {
+            for &frac in fractions {
+                let res = it.next().expect("one output per cell");
+                let ceiling = ((base.cost_milli as f64 * frac).round() as u64).max(1);
+                // slowdown in milli (1000 = baseline speed), integer so the
+                // CSV stays platform-independent
+                let slowdown_milli = res.makespan_ms * 1000 / base.makespan_ms.max(1);
+                t.push_row([
+                    w.name().to_string(),
+                    format!("{frac:.2}"),
+                    format!("{:.3}", ceiling as f64 / 1000.0),
+                    format!("{:.3}", res.cost_milli as f64 / 1000.0),
+                    res.charging_units.to_string(),
+                    format!("{:.1}", Millis::from_ms(res.makespan_ms).as_mins_f64()),
+                    slowdown_milli.to_string(),
+                ]);
+            }
+        }
+        emit(
+            "Budget-constrained steering — slowdown vs budget fraction",
+            "budget",
+            &t,
+        );
+        outcome
+    }
+
     /// §IV-F controller overhead. Timing is the product here, so this
     /// front-end always executes fresh (the cache is bypassed regardless of
     /// the runner's cache mode) while still sharding across the pool.

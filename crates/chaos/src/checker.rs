@@ -544,6 +544,99 @@ impl CheckerState {
                     }
                 }
             }
+
+            TelemetryEvent::BudgetVerdict {
+                spent_milli,
+                ceiling_milli,
+                launch,
+                committed_milli,
+            } => self.on_budget_verdict(at, spent_milli, ceiling_milli, launch, committed_milli),
+        }
+    }
+
+    /// The engine's committed spend at `at`, re-derived from the event
+    /// stream alone: everything billed by past terminations plus the bill
+    /// each live instance is already committed to (a launching instance
+    /// commits one started unit, a running one bills through `at`, a
+    /// draining one through its scheduled termination).
+    fn committed_spend(&self, at: Millis) -> u64 {
+        let unit = self.unit;
+        let mut spent = self.billed_milli;
+        for it in &self.instances {
+            let units = match it.phase {
+                InstPhase::Launching => 1,
+                InstPhase::Running { charge_start } => units_billed(charge_start, at, unit),
+                InstPhase::Draining {
+                    charge_start,
+                    until,
+                } => units_billed(charge_start, until, unit),
+                InstPhase::Absent | InstPhase::Terminated => continue,
+            };
+            let price = self
+                .families
+                .get(it.family as usize)
+                .map(FamilySpec::unit_price_milli)
+                .unwrap_or(FamilySpec::LEGACY_PRICE_MILLI);
+            spent += units * price;
+        }
+        spent
+    }
+
+    /// `BudgetVerdict` carries the committed spend the steering saw and the
+    /// grow it approved this tick. Cross-check the spend against this
+    /// checker's independent ledger, then hold the verdict to the budget
+    /// contract: no launches once the ceiling is reached (hard veto), and
+    /// no grow whose own commitment overshoots the ceiling.
+    fn on_budget_verdict(
+        &mut self,
+        at: Millis,
+        spent_milli: u64,
+        ceiling_milli: u64,
+        launch: u32,
+        committed_milli: u64,
+    ) {
+        let derived = self.committed_spend(at);
+        if derived != spent_milli {
+            self.violate(
+                at,
+                format!(
+                    "budget verdict reports spend {spent_milli} milli; event stream implies \
+                     {derived}"
+                ),
+            );
+        }
+        let price0 = self
+            .families
+            .first()
+            .map(FamilySpec::unit_price_milli)
+            .unwrap_or(FamilySpec::LEGACY_PRICE_MILLI);
+        let expected = spent_milli.saturating_add(launch as u64 * price0);
+        if committed_milli != expected {
+            self.violate(
+                at,
+                format!(
+                    "budget verdict commits {committed_milli} milli; spend {spent_milli} + \
+                     {launch} launch(es) at {price0} implies {expected}"
+                ),
+            );
+        }
+        if launch > 0 && spent_milli >= ceiling_milli {
+            self.violate(
+                at,
+                format!(
+                    "budget hard veto violated: {launch} launch(es) approved with spend \
+                     {spent_milli} at or past ceiling {ceiling_milli}"
+                ),
+            );
+        }
+        if launch > 0 && committed_milli > ceiling_milli {
+            self.violate(
+                at,
+                format!(
+                    "budget commit bound violated: grow commits {committed_milli} milli over \
+                     ceiling {ceiling_milli}"
+                ),
+            );
         }
     }
 

@@ -55,7 +55,7 @@ struct ActiveWorkflow {
 /// Every [`TelemetryEvent::kind`] in a fixed order, so the per-event
 /// counter is one array add instead of a string-keyed map lookup. The
 /// snapshot re-keys by name, keeping the exported format unchanged.
-const KIND_NAMES: [&str; 18] = [
+const KIND_NAMES: [&str; 19] = [
     "run_setup_done",
     "instance_requested",
     "instance_ready",
@@ -74,6 +74,7 @@ const KIND_NAMES: [&str; 18] = [
     "instance_family",
     "spot_evicted",
     "task_oom",
+    "budget_verdict",
 ];
 const IDX_TASK_COMPLETED: usize = 7;
 const IDX_WORKFLOW_SUBMITTED: usize = 11;
@@ -99,6 +100,7 @@ fn kind_index(ev: &TelemetryEvent) -> usize {
         TelemetryEvent::InstanceFamilyAssigned { .. } => 15,
         TelemetryEvent::SpotEvicted { .. } => 16,
         TelemetryEvent::TaskOom { .. } => 17,
+        TelemetryEvent::BudgetVerdict { .. } => 18,
     }
 }
 

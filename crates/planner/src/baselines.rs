@@ -196,6 +196,7 @@ mod tests {
             interval_transfers: vec![],
             interval_ooms: 0,
             ready_in_dispatch_order: ready,
+            spent_milli: 0,
         }
     }
 

@@ -9,6 +9,7 @@
 //! estimates, etc.).
 
 pub mod baselines;
+pub mod budget;
 pub mod deadline;
 pub mod lookahead;
 pub mod oracle;
@@ -17,6 +18,7 @@ pub mod steering;
 pub mod wire_policy;
 
 pub use baselines::{PureReactive, ReactiveConserving, StaticPolicy};
+pub use budget::{throttle_factor, throttle_launches, GrowAheadWirePolicy, DEFAULT_BUDGET_KNEE};
 pub use deadline::DeadlineWirePolicy;
 pub use lookahead::{lookahead, lookahead_into, LookaheadScratch, Upcoming};
 pub use oracle::OracleWirePolicy;

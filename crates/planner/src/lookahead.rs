@@ -534,6 +534,7 @@ mod tests {
             interval_transfers: vec![],
             interval_ooms: 0,
             ready_in_dispatch_order: ready,
+            spent_milli: 0,
         }));
         let slots: &'a [WorkflowSlot<'a>] = Box::leak(Box::new([WorkflowSlot::solo(wf)]));
         bufs.snapshot(Millis::ZERO, slots, cfg)

@@ -8,11 +8,14 @@
 //! paid time is discarded; their running tasks are resubmitted (§III-B3:
 //! instances are selected "to minimize task restart costs").
 
+use crate::budget::{throttle_launches, DEFAULT_BUDGET_KNEE};
 use crate::resize::{resize_pool_config, DEFAULT_WASTE_FRACTION};
 use serde::{Deserialize, Serialize};
 use wire_dag::Millis;
-use wire_simcloud::{InstanceId, MonitorSnapshot, PoolPlan, TerminateWhen};
-use wire_telemetry::{DecisionAction, DecisionRecord, InstanceJudgement, JudgementOutcome};
+use wire_simcloud::{FamilySpec, InstanceId, MonitorSnapshot, PoolPlan, TerminateWhen};
+use wire_telemetry::{
+    BudgetStamp, DecisionAction, DecisionRecord, InstanceJudgement, JudgementOutcome,
+};
 
 /// How many `Q_task` occupancies the decision journal keeps verbatim.
 const QUEUE_HEAD: usize = 6;
@@ -40,6 +43,22 @@ pub struct SteeringConfig {
     /// controller" of the OOM-avoidance differential tests.
     #[serde(default, skip_serializing_if = "std::ops::Not::not")]
     pub memory_blind_families: bool,
+    /// Knee of the budget throttle curve, as a fraction of the ceiling.
+    /// Growth verdicts pass untouched while committed spend stays below
+    /// `knee × ceiling`, then shrink linearly to zero at the ceiling (the
+    /// hard veto). Only consulted on budget-constrained runs (see
+    /// [`wire_simcloud::CloudConfig::budget`]); 0.5 by default.
+    #[serde(
+        default = "default_budget_knee",
+        skip_serializing_if = "is_default_budget_knee"
+    )]
+    pub budget_knee: f64,
+    /// Spend-early mode: skip the damping ramp and grow at full Algorithm-3
+    /// strength until the ceiling's hard veto. The deadline-aware grow-ahead
+    /// policy flips this on when the deadline is at risk — meeting it is
+    /// worth exhausting the budget sooner.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub budget_spend_early: bool,
     /// TEST-ONLY mutation switch: when set, the shrink path skips Algorithm
     /// 3's `c_j ≤ 0.2u` restart-cost guard, deliberately releasing instances
     /// whose running tasks are expensive to restart. Exists so the chaos
@@ -48,6 +67,26 @@ pub struct SteeringConfig {
     #[doc(hidden)]
     #[serde(default, skip_serializing_if = "std::ops::Not::not")]
     pub mutation_drop_restart_guard: bool,
+    /// TEST-ONLY mutation switch: when set, growth ignores the budget
+    /// throttle entirely — including the hard veto at the ceiling — while
+    /// still journaling the ground facts. Exists so the chaos suite can
+    /// prove the budget postconditions have teeth; never set it outside
+    /// tests.
+    #[doc(hidden)]
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub mutation_ignore_budget_veto: bool,
+}
+
+// referenced only by the serde field attributes above (the vendored derive
+// is a stub, so rustc sees no call sites)
+#[allow(dead_code)]
+fn default_budget_knee() -> f64 {
+    DEFAULT_BUDGET_KNEE
+}
+
+#[allow(dead_code, clippy::trivially_copy_pass_by_ref)]
+fn is_default_budget_knee(knee: &f64) -> bool {
+    *knee == DEFAULT_BUDGET_KNEE
 }
 
 impl Default for SteeringConfig {
@@ -57,7 +96,10 @@ impl Default for SteeringConfig {
             fill_target: 1.0,
             spot_on_demand_floor: None,
             memory_blind_families: false,
+            budget_knee: DEFAULT_BUDGET_KNEE,
+            budget_spend_early: false,
             mutation_drop_restart_guard: false,
+            mutation_ignore_budget_veto: false,
         }
     }
 }
@@ -120,14 +162,44 @@ fn steer_impl(
 
     // Algorithm 3 assumes a non-empty Q_task; with nothing upcoming, retain a
     // minimal pool (p = 1) until the workflow advances or terminates.
-    let p = if q_occupancies.is_empty() {
+    let mut p = if q_occupancies.is_empty() {
         1
     } else {
         resize_pool_config(q_occupancies, u, l, cfg.waste_fraction, cfg.fill_target)
     };
     let m = snapshot.pool_size();
 
-    let record = |action: DecisionAction, judgements: Vec<InstanceJudgement>| {
+    // Budget throttle (inert on the unconstrained cloud): once committed
+    // spend reaches the ceiling, the ideal pool collapses to the floor so
+    // the guard-respecting shrink path starts winding the run down.
+    let budget = snapshot.config.budget;
+    let price0 = snapshot
+        .config
+        .families
+        .first()
+        .map(FamilySpec::unit_price_milli)
+        .unwrap_or(FamilySpec::LEGACY_PRICE_MILLI);
+    if let Some(b) = budget {
+        if snapshot.spent_milli >= b.ceiling_milli && !cfg.mutation_ignore_budget_veto {
+            p = p.min(1);
+        }
+    }
+    // Ground facts for the journal: what Algorithm 3 wanted and what the
+    // throttle kept. Non-grow decisions carry a zero stamp so every decision
+    // point of a budgeted run is auditable.
+    let stamp = |requested: u32, allowed: u32| {
+        budget.map(|b| BudgetStamp {
+            spent_milli: snapshot.spent_milli,
+            ceiling_milli: b.ceiling_milli,
+            requested,
+            allowed,
+            unit_price_milli: price0,
+        })
+    };
+
+    let record = |action: DecisionAction,
+                  judgements: Vec<InstanceJudgement>,
+                  budget: Option<BudgetStamp>| {
         explain.then(|| DecisionRecord {
             at: snapshot.now,
             m,
@@ -140,14 +212,38 @@ fn steer_impl(
             q_head: q_occupancies.iter().copied().take(QUEUE_HEAD).collect(),
             action,
             judgements,
+            budget,
         })
     };
 
     if p > m {
-        let launch = p - m;
+        let requested = p - m;
+        let launch = match budget {
+            None => requested,
+            Some(_) if cfg.mutation_ignore_budget_veto => requested,
+            Some(b) => throttle_launches(
+                requested,
+                snapshot.spent_milli,
+                b.ceiling_milli,
+                price0,
+                cfg.budget_knee,
+                cfg.budget_spend_early,
+            ),
+        };
+        if launch > 0 {
+            return (
+                PoolPlan::launch(launch),
+                record(
+                    DecisionAction::Grow { launch },
+                    vec![],
+                    stamp(requested, launch),
+                ),
+            );
+        }
+        // growth fully vetoed: hold the pool; the stamp records the veto
         return (
-            PoolPlan::launch(launch),
-            record(DecisionAction::Grow { launch }, vec![]),
+            PoolPlan::keep(),
+            record(DecisionAction::Hold, vec![], stamp(requested, 0)),
         );
     }
     if p >= m {
@@ -156,7 +252,7 @@ fn steer_impl(
         } else {
             DecisionAction::Hold
         };
-        return (PoolPlan::keep(), record(action, vec![]));
+        return (PoolPlan::keep(), record(action, vec![], stamp(0, 0)));
     }
 
     // shrink: candidates are running instances whose unit expires within the
@@ -252,7 +348,7 @@ fn steer_impl(
         requested: m - p,
         released: terminate.len() as u32,
     };
-    let rec = record(action, judgements);
+    let rec = record(action, judgements, stamp(0, 0));
     (
         PoolPlan {
             launch: 0,
@@ -280,7 +376,72 @@ fn steer_impl(
 /// grow/hold decisions must release nothing. The chaos harness
 /// (`wire-chaos`) applies this to every journal entry of a run; a mutated
 /// guard (see `SteeringConfig::mutation_drop_restart_guard`) trips it.
+///
+/// Decisions stamped with budget evidence additionally satisfy the budget
+/// throttle's contract:
+///
+/// 4. hard veto — no launches once committed spend has reached the ceiling;
+/// 5. commit bound — the launches kept must still fit under the ceiling at
+///    one charging unit of the default family each
+///    (`spent + allowed × price ≤ ceiling`);
+/// 6. header consistency — a `Grow` launches exactly `allowed ≤ requested`
+///    instances, and non-grow actions launch nothing.
+///
+/// The mutation switch `SteeringConfig::mutation_ignore_budget_veto`
+/// violates 4–5 while journaling honest ground facts, proving these checks
+/// have teeth.
 pub fn check_decision_postconditions(rec: &DecisionRecord) -> Result<(), String> {
+    if let Some(b) = rec.budget {
+        if b.allowed > b.requested {
+            return Err(format!(
+                "decision at {}: budget stamp allows {} launches of {} requested \
+                 (throttle can only reduce)",
+                rec.at, b.allowed, b.requested
+            ));
+        }
+        match rec.action {
+            DecisionAction::Grow { launch } => {
+                if launch != b.allowed {
+                    return Err(format!(
+                        "decision at {}: grow launches {} but budget stamp allowed {}",
+                        rec.at, launch, b.allowed
+                    ));
+                }
+                if b.spent_milli >= b.ceiling_milli {
+                    return Err(format!(
+                        "decision at {}: grew {} with spend {} at/over ceiling {} \
+                         (hard veto violated)",
+                        rec.at, launch, b.spent_milli, b.ceiling_milli
+                    ));
+                }
+                let committed = b
+                    .spent_milli
+                    .saturating_add(launch as u64 * b.unit_price_milli);
+                if committed > b.ceiling_milli {
+                    return Err(format!(
+                        "decision at {}: grow commits {} milli over ceiling {} \
+                         (spent {} + {} × {})",
+                        rec.at,
+                        committed,
+                        b.ceiling_milli,
+                        b.spent_milli,
+                        launch,
+                        b.unit_price_milli
+                    ));
+                }
+            }
+            DecisionAction::Hold
+            | DecisionAction::HoldEmptyQueue
+            | DecisionAction::Release { .. } => {
+                if b.allowed != 0 {
+                    return Err(format!(
+                        "decision at {}: non-grow action carries a budget stamp allowing {}",
+                        rec.at, b.allowed
+                    ));
+                }
+            }
+        }
+    }
     let released: Vec<&InstanceJudgement> = rec
         .judgements
         .iter()
@@ -391,6 +552,7 @@ mod tests {
             interval_transfers: vec![],
             interval_ooms: 0,
             ready_in_dispatch_order: wf.task_ids().collect(),
+            spent_milli: 0,
         }
     }
 
@@ -406,6 +568,98 @@ mod tests {
         let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
         assert_eq!(plan.launch, 3);
         assert!(plan.terminate.is_empty());
+    }
+
+    #[test]
+    fn budget_throttle_damps_growth_and_stamps_the_journal() {
+        let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
+        // legacy price 1000 milli/unit; spent 75% of a 100-unit budget →
+        // factor (1 − 0.75)/0.5 = 0.5 → floor(3 × 0.5) = 1 launch
+        let c = cfg().with_budget(100_000);
+        let mut b = snap(&w, vec![running_inst(0, Millis::ZERO)]);
+        b.spent_milli = 75_000;
+        let s = b.snapshot(mins(3), &slots, &c);
+        let q = vec![mins(15); 4]; // p = 4, m = 1 → requested 3
+        let (plan, rec) = steer_explained(&s, &q, &[], &[], SteeringConfig::default());
+        assert_eq!(plan.launch, 1);
+        let stamp = rec.budget.expect("budgeted decision must be stamped");
+        assert_eq!((stamp.requested, stamp.allowed), (3, 1));
+        assert_eq!(stamp.spent_milli, 75_000);
+        check_decision_postconditions(&rec).unwrap();
+    }
+
+    #[test]
+    fn budget_hard_veto_turns_grow_into_hold() {
+        let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
+        let c = cfg().with_budget(100_000);
+        // at the ceiling, the ideal pool collapses to the floor: no grow is
+        // even requested, and the zero stamp records the veto
+        let mut b = snap(&w, vec![running_inst(0, Millis::ZERO)]);
+        b.spent_milli = 100_000;
+        let s = b.snapshot(mins(3), &slots, &c);
+        let q = vec![mins(15); 4];
+        let (plan, rec) = steer_explained(&s, &q, &[], &[], SteeringConfig::default());
+        assert!(plan.is_noop());
+        assert_eq!(rec.action, DecisionAction::Hold);
+        assert_eq!(rec.budget.unwrap().allowed, 0);
+        check_decision_postconditions(&rec).unwrap();
+
+        // just below the ceiling, the grow branch runs but the throttle
+        // rounds to zero (headroom buys no whole launch): Hold with the
+        // requested count journaled
+        let mut b = snap(&w, vec![running_inst(0, Millis::ZERO)]);
+        b.spent_milli = 99_500;
+        let s = b.snapshot(mins(3), &slots, &c);
+        let (plan, rec) = steer_explained(&s, &q, &[], &[], SteeringConfig::default());
+        assert!(plan.is_noop());
+        assert_eq!(rec.action, DecisionAction::Hold);
+        let stamp = rec.budget.unwrap();
+        assert_eq!((stamp.requested, stamp.allowed), (3, 0));
+        check_decision_postconditions(&rec).unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_winds_the_pool_down_through_the_guards() {
+        let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
+        let c = cfg().with_budget(100_000);
+        // over the ceiling with three instances near their charge boundary:
+        // the ideal pool collapses to 1 and the shrink guards release two.
+        let mut b = snap(
+            &w,
+            vec![
+                running_inst(0, Millis::ZERO),
+                running_inst(1, Millis::ZERO),
+                running_inst(2, Millis::ZERO),
+            ],
+        );
+        b.spent_milli = 120_000;
+        let s = b.snapshot(mins(14), &slots, &c);
+        let q = vec![mins(15); 4]; // would want p = 4 unconstrained
+        let plan = steer(&s, &q, &[], &[], SteeringConfig::default());
+        assert_eq!(plan.launch, 0);
+        assert_eq!(plan.terminate.len(), 2);
+    }
+
+    #[test]
+    fn budget_mutation_overgrows_but_journals_honest_facts() {
+        let w = wf();
+        let slots = [WorkflowSlot::solo(&w)];
+        let c = cfg().with_budget(100_000);
+        let mut b = snap(&w, vec![running_inst(0, Millis::ZERO)]);
+        b.spent_milli = 100_000;
+        let s = b.snapshot(mins(3), &slots, &c);
+        let q = vec![mins(15); 4];
+        let mutated = SteeringConfig {
+            mutation_ignore_budget_veto: true,
+            ..SteeringConfig::default()
+        };
+        let (plan, rec) = steer_explained(&s, &q, &[], &[], mutated);
+        assert_eq!(plan.launch, 3, "mutant must ignore the veto");
+        let err = check_decision_postconditions(&rec).unwrap_err();
+        assert!(err.contains("hard veto"), "unexpected error: {err}");
     }
 
     #[test]

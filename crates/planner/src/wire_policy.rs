@@ -584,6 +584,7 @@ mod tests {
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(100),
             families: Vec::new(),
+            budget: None,
             mutation_bill_eviction_grace: false,
         };
         let r = Session::new(cfg)

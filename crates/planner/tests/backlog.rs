@@ -50,6 +50,7 @@ fn scenario(with_zero_chain: bool) -> usize {
         interval_transfers: vec![],
         interval_ooms: 0,
         ready_in_dispatch_order: (4..100).map(TaskId).collect(),
+        spent_milli: 0,
     };
     let slots = [WorkflowSlot::solo(&wf)];
     let snap = bufs.snapshot(Millis::from_mins(3), &slots, &cfg);

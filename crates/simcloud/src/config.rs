@@ -62,6 +62,13 @@ pub struct CloudConfig {
     /// rows via [`crate::PoolPlan::launch_families`].
     #[serde(default)]
     pub families: Vec<FamilySpec>,
+    /// Per-session spend ceiling, or `None` for the unconstrained cloud.
+    /// When set, the engine computes committed spend each MAPE tick and
+    /// exposes it to policies via `MonitorSnapshot::spent_milli`; budget-aware
+    /// steering damps growth as spend approaches the ceiling and vetoes it
+    /// outright at 100%. `None` is byte-identical to the pre-budget engine.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub budget: Option<BudgetConfig>,
     /// Mutation-teeth knob: bill the charging unit a spot eviction
     /// interrupts instead of forgiving it. Exists only so the chaos suite
     /// can prove the per-family billing invariant has teeth; never set it
@@ -69,6 +76,44 @@ pub struct CloudConfig {
     #[doc(hidden)]
     #[serde(skip)]
     pub mutation_bill_eviction_grace: bool,
+}
+
+/// A per-session spend ceiling (Ilyushkin et al.'s budget-constrained
+/// autoscaling scenario), in milli-dollars of the family price scale.
+///
+/// The ledger the ceiling is enforced against is *committed* spend: units
+/// already billed at termination plus the units every live instance has
+/// started (Launching instances owe their first unit; Draining instances owe
+/// through their drain boundary). Committed spend is reconstructible from
+/// telemetry alone, which is what lets the chaos checker re-derive and
+/// cross-check every budget verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetConfig {
+    /// Hard spend ceiling in milli-dollars. `u64::MAX` is the explicit
+    /// infinite budget (field-for-field equal to an unconstrained run).
+    pub ceiling_milli: u64,
+}
+
+impl BudgetConfig {
+    /// A ceiling of `ceiling_milli` milli-dollars.
+    pub fn new(ceiling_milli: u64) -> Self {
+        BudgetConfig { ceiling_milli }
+    }
+
+    /// The explicit infinite budget: never damps, never vetoes.
+    pub fn unlimited() -> Self {
+        BudgetConfig {
+            ceiling_milli: u64::MAX,
+        }
+    }
+}
+
+impl Default for BudgetConfig {
+    /// Defaults to [`BudgetConfig::unlimited`]: attaching a default budget
+    /// must not change any decision an unconstrained run would make.
+    fn default() -> Self {
+        BudgetConfig::unlimited()
+    }
 }
 
 impl Default for CloudConfig {
@@ -87,6 +132,7 @@ impl Default for CloudConfig {
             run_teardown: Millis::from_mins(2),
             max_sim_time: Millis::from_hours(10_000),
             families: Vec::new(),
+            budget: None,
             mutation_bill_eviction_grace: false,
         }
     }
@@ -119,6 +165,7 @@ impl CloudConfig {
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(1_000_000),
             families: Vec::new(),
+            budget: None,
             mutation_bill_eviction_grace: false,
         }
     }
@@ -140,6 +187,12 @@ impl CloudConfig {
     /// Install an instance-family table (builder form).
     pub fn with_families(mut self, families: Vec<FamilySpec>) -> Self {
         self.families = families;
+        self
+    }
+
+    /// Install a spend ceiling (builder form), in milli-dollars.
+    pub fn with_budget(mut self, ceiling_milli: u64) -> Self {
+        self.budget = Some(BudgetConfig::new(ceiling_milli));
         self
     }
 
@@ -175,6 +228,9 @@ impl CloudConfig {
         }
         if self.mean_time_between_failures.is_some_and(|m| m.is_zero()) {
             return Err("mean_time_between_failures must be positive when set".into());
+        }
+        if self.budget.is_some_and(|b| b.ceiling_milli == 0) {
+            return Err("budget ceiling_milli must be positive when set".into());
         }
         if self
             .mean_time_between_failures
@@ -311,6 +367,23 @@ mod tests {
         let c = c.with_families(vec![FamilySpec::new("a", 2, 500)]);
         assert_eq!(c.resolved_families(), c.families);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn budget_builder_and_validation() {
+        let c = CloudConfig::default();
+        assert_eq!(c.budget, None);
+        let c = c.with_budget(500_000);
+        assert_eq!(c.budget, Some(BudgetConfig::new(500_000)));
+        assert!(c.validate().is_ok());
+
+        // a zero ceiling can never launch anything — reject it up front
+        let c = CloudConfig::default().with_budget(0);
+        assert!(c.validate().unwrap_err().contains("ceiling"));
+
+        // the default budget is the explicit infinite one
+        assert_eq!(BudgetConfig::default(), BudgetConfig::unlimited());
+        assert_eq!(BudgetConfig::unlimited().ceiling_milli, u64::MAX);
     }
 
     #[test]

@@ -1032,6 +1032,34 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
         self.dispatch();
     }
 
+    /// Committed spend in milli-dollars: everything already billed plus the
+    /// units every live instance has started (Launching owes its first unit,
+    /// Running owes ceil-billed units through `clock`, Draining owes through
+    /// its drain boundary), each at its family's price. This is the ledger
+    /// budget-aware policies throttle against; it is reconstructible from
+    /// telemetry alone, which is what lets the chaos checker cross-check
+    /// every verdict. Only called when a budget is configured — the
+    /// unconstrained hot path never scans.
+    fn committed_spend_milli(&self) -> u64 {
+        let unit = self.config.charging_unit;
+        let mut spent = self.cost_milli;
+        for (i, inst) in self.instances.iter().enumerate() {
+            let units = match inst.state {
+                InstanceState::Launching { .. } => 1,
+                InstanceState::Running { charge_start } => {
+                    Instance::units_billed(charge_start, self.clock, unit)
+                }
+                InstanceState::Draining {
+                    charge_start,
+                    terminate_at,
+                } => Instance::units_billed(charge_start, terminate_at, unit),
+                InstanceState::Terminated { .. } => continue,
+            };
+            spent += units * self.families[self.instance_family[i] as usize].unit_price_milli();
+        }
+        spent
+    }
+
     fn on_mape_tick(&mut self) -> Result<(), RunError> {
         if self.chaos.frozen_ticks > 0 {
             // monitoring blackout: the policy is not consulted and sees no
@@ -1044,6 +1072,13 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
             return Ok(());
         }
         self.mape_iterations += 1;
+        // committed spend is policy-visible only on the budgeted cloud; the
+        // unconstrained configuration must stay byte-identical (and scan-free)
+        let spent_milli = if self.config.budget.is_some() {
+            self.committed_spend_milli()
+        } else {
+            0
+        };
         let (plan, controller_elapsed) = {
             let visible = self.arrived_tasks();
             // naive mode reports no prefix: policies and the scratch window
@@ -1071,6 +1106,7 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
                 self.interval_ooms,
                 &self.mem_blocked,
                 &self.ready,
+                spent_milli,
             );
             let started = std::time::Instant::now();
             let plan = self.policy.plan(&snapshot);
@@ -1126,6 +1162,20 @@ impl<'a, P: ScalingPolicy, R: Recorder, S: Scheduler> Engine<'a, P, R, S> {
                     queue_depth: self.queue.len() as u32,
                 },
             );
+        }
+        if let Some(b) = self.config.budget {
+            // ground facts for the chaos checker's independent budget audit:
+            // it re-derives spent from the event stream, checks equality, the
+            // hard veto and the commit bound (family 0 is the launch target,
+            // so one started unit per planned launch at family-0 price)
+            let launch = plan.total_launches();
+            let price0 = self.families[0].unit_price_milli();
+            self.emit(TelemetryEvent::BudgetVerdict {
+                spent_milli,
+                ceiling_milli: b.ceiling_milli,
+                launch,
+                committed_milli: spent_milli.saturating_add(launch as u64 * price0),
+            });
         }
         self.apply_plan(plan)?;
         self.dispatch();
@@ -1950,6 +2000,7 @@ fn build_snapshot<'a, S: Scheduler>(
     interval_ooms: u32,
     mem_blocked: &[TaskId],
     ready: &S,
+    spent_milli: u64,
 ) -> MonitorSnapshot<'a> {
     let visible = phases.len();
     // Rows below `scratch.clean` were Done at the last build; Done is
@@ -2045,6 +2096,7 @@ fn build_snapshot<'a, S: Scheduler>(
         interval_transfers,
         interval_ooms,
         ready_in_dispatch_order: &scratch.ready_order,
+        spent_milli,
     }
 }
 
@@ -2102,6 +2154,7 @@ mod tests {
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(100),
             families: Vec::new(),
+            budget: None,
             mutation_bill_eviction_grace: false,
         }
     }

@@ -44,7 +44,7 @@ pub mod trace;
 pub mod transfer;
 
 pub use chaos::{Fault, FaultAction, FaultPlan, FaultTrigger};
-pub use config::CloudConfig;
+pub use config::{BudgetConfig, CloudConfig};
 pub use engine::{run_workflow, run_workflow_recorded, Engine, RunError};
 pub use family::{FamilyId, FamilySpec, MemoryProfile, SpotSpec};
 pub use instance::{InstanceId, InstanceStateView};

@@ -192,6 +192,12 @@ pub struct MonitorSnapshot<'a> {
     pub interval_ooms: u32,
     /// Ready tasks in the order the framework would dispatch them.
     pub ready_in_dispatch_order: &'a [TaskId],
+    /// Committed spend so far in milli-dollars: units already billed at
+    /// termination plus the units every live instance has started (Launching
+    /// owes its first unit; Draining owes through its drain boundary), each
+    /// at its family's price. Computed only when [`CloudConfig::budget`] is
+    /// set; always 0 on the unconstrained cloud.
+    pub spent_milli: u64,
 }
 
 /// Owned backing storage for a [`MonitorSnapshot`] — the caller-side
@@ -205,6 +211,7 @@ pub struct SnapshotBuffers {
     pub interval_transfers: Vec<Millis>,
     pub interval_ooms: u32,
     pub ready_in_dispatch_order: Vec<TaskId>,
+    pub spent_milli: u64,
 }
 
 impl SnapshotBuffers {
@@ -231,6 +238,7 @@ impl SnapshotBuffers {
             interval_transfers: &self.interval_transfers,
             interval_ooms: self.interval_ooms,
             ready_in_dispatch_order: &self.ready_in_dispatch_order,
+            spent_milli: self.spent_milli,
         }
     }
 }

@@ -163,6 +163,14 @@ impl<'a, P: ScalingPolicy, R: Recorder> Session<'a, P, R> {
         }
     }
 
+    /// Install a spend ceiling in milli-dollars (shorthand for setting
+    /// [`CloudConfig::budget`]). The engine then computes committed spend
+    /// each MAPE tick and budget-aware policies throttle growth against it.
+    pub fn budget(mut self, ceiling_milli: u64) -> Self {
+        self.config = self.config.with_budget(ceiling_milli);
+        self
+    }
+
     /// Attach a scripted chaos [`FaultPlan`] (see [`crate::chaos`]). The
     /// empty plan is the default and leaves the run byte-identical to one
     /// without this call.
@@ -270,6 +278,7 @@ mod tests {
             run_teardown: Millis::ZERO,
             max_sim_time: Millis::from_hours(100),
             families: Vec::new(),
+            budget: None,
             mutation_bill_eviction_grace: false,
         }
     }

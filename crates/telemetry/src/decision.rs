@@ -80,6 +80,26 @@ pub struct InstanceJudgement {
     pub outcome: JudgementOutcome,
 }
 
+/// The budget throttle's ground facts for one decision of a
+/// budget-constrained run: what was spent, where the ceiling sits, and how
+/// many launches Algorithm 3's verdict kept after damping. Absent (and
+/// absent from the JSON) on unconstrained runs, so their journals stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetStamp {
+    /// Committed spend at planning time, milli-dollars.
+    pub spent_milli: u64,
+    /// The configured ceiling, milli-dollars.
+    pub ceiling_milli: u64,
+    /// Launches Algorithm 3 wanted before the throttle.
+    pub requested: u32,
+    /// Launches that survived the throttle (what the plan carries).
+    pub allowed: u32,
+    /// Price of one charging unit on the default launch family (family 0),
+    /// milli-dollars — the conservative per-launch commitment.
+    pub unit_price_milli: u64,
+}
+
 /// One journal entry per MAPE Plan step.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionRecord {
@@ -104,6 +124,9 @@ pub struct DecisionRecord {
     pub action: DecisionAction,
     /// Algorithm 2 evidence; empty unless the shrink branch ran.
     pub judgements: Vec<InstanceJudgement>,
+    /// Budget throttle evidence; `None` on unconstrained runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub budget: Option<BudgetStamp>,
 }
 
 impl DecisionRecord {
@@ -134,6 +157,13 @@ impl DecisionRecord {
                 fields.push(("released", u(released as u64)));
             }
             DecisionAction::Hold | DecisionAction::HoldEmptyQueue => {}
+        }
+        if let Some(b) = self.budget {
+            fields.push(("budget_spent_milli", u(b.spent_milli)));
+            fields.push(("budget_ceiling_milli", u(b.ceiling_milli)));
+            fields.push(("budget_requested", u(b.requested as u64)));
+            fields.push(("budget_allowed", u(b.allowed as u64)));
+            fields.push(("budget_unit_price_milli", u(b.unit_price_milli)));
         }
         fields.push((
             "judgements",
@@ -203,6 +233,13 @@ impl DecisionRecord {
                 );
             }
         }
+        if let Some(b) = self.budget {
+            let _ = write!(
+                out,
+                "\n    budget: spent {}/{} milli, throttle {} -> {} launch(es)",
+                b.spent_milli, b.ceiling_milli, b.requested, b.allowed
+            );
+        }
         for j in &self.judgements {
             let _ = write!(
                 out,
@@ -255,6 +292,7 @@ mod tests {
                     outcome: JudgementOutcome::KeptBoundaryFar,
                 },
             ],
+            budget: None,
         }
     }
 
@@ -281,6 +319,32 @@ mod tests {
         for needle in ["release", "m=6", "p=4", "Q_task", "u=60m", "r_j", "c_j"] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn budget_stamp_is_absent_unless_set() {
+        // the None stamp must leave the JSON byte-identical to the
+        // pre-budget journal: no budget_* keys at all
+        let text = record().to_json().render();
+        assert!(!text.contains("budget"), "{text}");
+
+        let mut rec = record();
+        rec.budget = Some(BudgetStamp {
+            spent_milli: 41_000,
+            ceiling_milli: 60_000,
+            requested: 3,
+            allowed: 1,
+            unit_price_milli: 1000,
+        });
+        let back = parse(&rec.to_json().render()).unwrap();
+        assert_eq!(
+            back.get("budget_spent_milli").unwrap().as_u64(),
+            Some(41_000)
+        );
+        assert_eq!(back.get("budget_requested").unwrap().as_u64(), Some(3));
+        assert_eq!(back.get("budget_allowed").unwrap().as_u64(), Some(1));
+        let human = rec.render_human();
+        assert!(human.contains("budget: spent 41000/60000"), "{human}");
     }
 
     #[test]

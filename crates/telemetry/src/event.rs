@@ -101,6 +101,17 @@ pub enum TelemetryEvent {
         demand_mb: i64,
         peak_mb: i64,
     },
+    /// One budget verdict, emitted every MAPE tick of a budget-constrained
+    /// run: committed spend at planning time, the ceiling, the launches the
+    /// plan kept after throttling, and the spend those launches commit
+    /// (spent + launch × family-0 price). Never emitted without a configured
+    /// budget, so unconstrained event streams stay byte-identical.
+    BudgetVerdict {
+        spent_milli: u64,
+        ceiling_milli: u64,
+        launch: u32,
+        committed_milli: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -125,6 +136,7 @@ impl TelemetryEvent {
             TelemetryEvent::InstanceFamilyAssigned { .. } => "instance_family",
             TelemetryEvent::SpotEvicted { .. } => "spot_evicted",
             TelemetryEvent::TaskOom { .. } => "task_oom",
+            TelemetryEvent::BudgetVerdict { .. } => "budget_verdict",
         }
     }
 
@@ -243,6 +255,17 @@ impl TelemetryEvent {
                 fields.push(("demand_mb", u(demand_mb as u64)));
                 fields.push(("peak_mb", u(peak_mb as u64)));
             }
+            TelemetryEvent::BudgetVerdict {
+                spent_milli,
+                ceiling_milli,
+                launch,
+                committed_milli,
+            } => {
+                fields.push(("spent_milli", u(spent_milli)));
+                fields.push(("ceiling_milli", u(ceiling_milli)));
+                fields.push(("launch", u(launch as u64)));
+                fields.push(("committed_milli", u(committed_milli)));
+            }
         }
         obj(fields)
     }
@@ -353,6 +376,19 @@ impl TelemetryEvent {
                     .and_then(Json::as_u64)
                     .ok_or("event missing 'peak_mb'")? as i64,
             },
+            "budget_verdict" => {
+                let get = |key: &str| -> Result<u64, String> {
+                    v.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("event missing '{key}'"))
+                };
+                TelemetryEvent::BudgetVerdict {
+                    spent_milli: get("spent_milli")?,
+                    ceiling_milli: get("ceiling_milli")?,
+                    launch: get_u32("launch")?,
+                    committed_milli: get("committed_milli")?,
+                }
+            }
             other => return Err(format!("unknown event kind '{other}'")),
         })
     }
@@ -429,6 +465,12 @@ mod tests {
                 instance: 3,
                 demand_mb: 4096,
                 peak_mb: 4096,
+            },
+            TelemetryEvent::BudgetVerdict {
+                spent_milli: 41_000,
+                ceiling_milli: 60_000,
+                launch: 2,
+                committed_milli: 43_000,
             },
         ]
     }

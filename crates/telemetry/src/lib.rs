@@ -21,7 +21,9 @@ pub mod metrics;
 pub mod quality;
 pub mod recorder;
 
-pub use decision::{DecisionAction, DecisionRecord, InstanceJudgement, JudgementOutcome};
+pub use decision::{
+    BudgetStamp, DecisionAction, DecisionRecord, InstanceJudgement, JudgementOutcome,
+};
 pub use event::TelemetryEvent;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use quality::{policy_name, PredictionSample, PredictionTracker, QualitySummary};

@@ -140,6 +140,15 @@ impl TelemetryBuffer {
                 m.inc("instance_family_assignments_total", 1)
             }
             TelemetryEvent::SpotEvicted { .. } => m.inc("spot_evictions_total", 1),
+            TelemetryEvent::BudgetVerdict {
+                spent_milli,
+                launch,
+                ..
+            } => {
+                m.inc("budget_verdicts_total", 1);
+                m.inc("budget_allowed_launches_total", launch as u64);
+                m.set_gauge("budget_spent_milli", spent_milli as f64);
+            }
             TelemetryEvent::TaskOom { peak_mb, .. } => {
                 m.inc("task_ooms_total", 1);
                 m.observe("task_oom_peak_mb", peak_mb as f64);
@@ -348,6 +357,7 @@ mod tests {
             q_len: 0,
             q_total: Millis::ZERO,
             q_head: vec![],
+            budget: None,
             action: crate::decision::DecisionAction::HoldEmptyQueue,
             judgements: vec![],
         });

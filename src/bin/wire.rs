@@ -20,6 +20,10 @@
 //!   --family <spec>      add a priced family row (repeatable);
 //!                        name:slots:speed:price_milli[:mem_mb][:spot:mtbe_mins:price_milli]
 //!   --spot <floor>       steer launches spot-ward, keeping this fraction on-demand
+//!   --budget <milli>     spend ceiling in milli-dollars; growth throttles as
+//!                        committed spend approaches it (hard veto at 100%)
+//!   --deadline <mins>    deadline-aware grow-ahead: spend budget early while
+//!                        the projected finish overshoots this deadline
 //!   --timeline           print the pool-size timeline
 //!   --trace-out <path>   CSV event trace (replayable)
 //!   --trace-chrome <p>   Chrome trace_event JSON (open in Perfetto)
@@ -49,6 +53,11 @@ struct Opts {
     /// (`--spot`); the rest are steered onto the cheapest spot family the
     /// memory predictor vouches for.
     spot_floor: Option<f64>,
+    /// Spend ceiling in milli-dollars (`--budget`); None = unconstrained.
+    budget_milli: Option<u64>,
+    /// Deadline in minutes (`--deadline`); switches the wire policy to the
+    /// deadline-aware grow-ahead variant.
+    deadline_mins: Option<u64>,
 }
 
 impl Opts {
@@ -71,6 +80,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         metrics_csv: None,
         families: Vec::new(),
         spot_floor: None,
+        budget_milli: None,
+        deadline_mins: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -131,6 +142,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
                 o.spot_floor = Some(floor);
             }
+            "--budget" => {
+                let milli: u64 = it
+                    .next()
+                    .ok_or("--budget needs a ceiling in milli-dollars")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+                if milli == 0 {
+                    return Err("--budget: ceiling must be positive".into());
+                }
+                o.budget_milli = Some(milli);
+            }
+            "--deadline" => {
+                o.deadline_mins = Some(
+                    it.next()
+                        .ok_or("--deadline needs minutes")?
+                        .parse()
+                        .map_err(|e| format!("--deadline: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -182,6 +212,12 @@ fn run_one(
     if opts.spot_floor.is_some() && !cfg.families.iter().any(|f| f.is_spot()) {
         return Err("--spot needs at least one spot --family row".into());
     }
+    if let Some(milli) = opts.budget_milli {
+        cfg = cfg.with_budget(milli);
+    }
+    if opts.deadline_mins.is_some() && opts.policy != "wire" {
+        return Err("--deadline only applies to the wire policy".into());
+    }
     let slots = cfg.slots_per_instance;
     let tm = TransferModel::default();
     let telemetry = opts.wants_telemetry().then(TelemetryHandle::new);
@@ -189,14 +225,25 @@ fn run_one(
     let policy: Box<dyn ScalingPolicy> = if opts.policy == "oracle" {
         Box::new(OracleWirePolicy::new(prof.clone(), tm.clone()))
     } else if opts.policy == "wire" {
-        let mut p = WirePolicy::default();
-        if let Some(floor) = opts.spot_floor {
-            p = p.with_family_steering(floor);
-        }
-        // attach the journal so Plan decisions and predictions are recorded
-        match &telemetry {
-            Some(h) => Box::new(p.with_telemetry(h.clone())),
-            None => Box::new(p),
+        if let Some(mins) = opts.deadline_mins {
+            if opts.spot_floor.is_some() {
+                return Err("--deadline and --spot cannot be combined".into());
+            }
+            let p = wire::planner::GrowAheadWirePolicy::new(Millis::from_mins(mins));
+            match &telemetry {
+                Some(h) => Box::new(p.with_telemetry(h.clone())),
+                None => Box::new(p),
+            }
+        } else {
+            let mut p = WirePolicy::default();
+            if let Some(floor) = opts.spot_floor {
+                p = p.with_family_steering(floor);
+            }
+            // attach the journal so Plan decisions and predictions are recorded
+            match &telemetry {
+                Some(h) => Box::new(p.with_telemetry(h.clone())),
+                None => Box::new(p),
+            }
         }
     } else {
         wire::core::experiment::build_policy(setting, &cfg)
@@ -340,6 +387,8 @@ fn real_main() -> Result<(), String> {
                             metrics_csv: None,
                             families: opts.families.clone(),
                             spot_floor: opts.spot_floor,
+                            budget_milli: opts.budget_milli,
+                            deadline_mins: None,
                         };
                         let r = run_one(&wf, &prof, spec.total_input_bytes, &o)?;
                         println!(
@@ -370,6 +419,8 @@ fn real_main() -> Result<(), String> {
                             metrics_csv: None,
                             families: opts.families.clone(),
                             spot_floor: opts.spot_floor,
+                            budget_milli: opts.budget_milli,
+                            deadline_mins: opts.deadline_mins,
                         };
                         let r = run_one(&wf, &prof, spec.total_input_bytes, &o)?;
                         println!(
@@ -413,7 +464,7 @@ fn real_main() -> Result<(), String> {
 /// `wire campaign [targets...] [flags]` — regenerate paper figures through
 /// the sharded, cached campaign runner (`wire-campaign`).
 fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
-    const TARGETS: [&str; 10] = [
+    const TARGETS: [&str; 11] = [
         "fig2",
         "fig3",
         "fig5",
@@ -424,6 +475,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
         "overhead",
         "schedulers",
         "spot",
+        "budget",
     ];
     let mut cfg = wire_campaign::CampaignConfig {
         progress: true,
@@ -501,6 +553,7 @@ fn run_campaign_cmd(args: &[String]) -> Result<(), String> {
             "overhead" => runner.overhead(),
             "schedulers" => runner.schedulers(),
             "spot" => runner.spot(),
+            "budget" => runner.budget(),
             _ => unreachable!(),
         };
         eprintln!(
@@ -626,7 +679,8 @@ fn print_usage() {
     println!(
         "  wire run <workload> [--policy P] [--scheduler S] [--u MIN] [--seed N]
                       [--family name:slots:speed:price_milli[:mem_mb][:spot:mtbe:price]]...
-                      [--spot FLOOR] [--timeline] [--trace-out events.csv]
+                      [--spot FLOOR] [--budget MILLI] [--deadline MIN]
+                      [--timeline] [--trace-out events.csv]
                       [--trace-chrome trace.json] [--decisions mape.log] [--metrics-csv ticks.csv]"
     );
     println!("  wire compare <workload> [--u MIN] [--seed N]");
@@ -635,7 +689,7 @@ fn print_usage() {
     println!("  wire replay <trace.txt> [--policy P] [--u MIN]");
     println!("  wire dot <workload> [--seed N]         > dag.dot");
     println!(
-        "  wire campaign <fig2|fig3|fig5|fig6|headline|ablation|policies|overhead|schedulers|spot|all>...
+        "  wire campaign <fig2|fig3|fig5|fig6|headline|ablation|policies|overhead|schedulers|spot|budget|all>...
                       [--threads N] [--force] [--no-cache] [--check] [--quick] [--scheduler S]"
     );
     println!(

@@ -210,6 +210,88 @@ fn spot_cells_are_thread_and_cache_invariant_with_pinned_costs() {
 }
 
 #[test]
+fn budget_cells_are_thread_and_cache_invariant_with_pinned_costs() {
+    // The quick budget-figure cells (`wire campaign budget --quick`):
+    // unconstrained baselines for Genome S and TPCH-6 L at a 1-minute unit,
+    // then ceilings at 0.1× and 1.0× each baseline's natural bill. Mirrors
+    // `figures::budget` cell construction, including the ceiling rounding.
+    let u = Millis::from_mins(1);
+    let workloads = [WorkloadId::EpigenomicsS, WorkloadId::Tpch6L];
+    let baseline = |w| {
+        Cell::wire(
+            w,
+            cloud_config(Setting::Wire, u),
+            SteeringConfig::default(),
+            1,
+        )
+    };
+    let budgeted = |w, base_cost_milli: u64, frac: f64| {
+        let ceiling = ((base_cost_milli as f64 * frac).round() as u64).max(1);
+        Cell::wire(
+            w,
+            cloud_config(Setting::Wire, u).with_budget(ceiling),
+            SteeringConfig::default(),
+            1,
+        )
+    };
+
+    let baselines = run_campaign(&workloads.map(baseline), &uncached(1));
+    // pinned natural bills — the ceilings below derive from these
+    let base_costs: Vec<u64> = baselines.outputs.iter().map(|o| o.cost_milli).collect();
+    assert_eq!(
+        base_costs,
+        [80_000, 45_000],
+        "unconstrained baselines moved"
+    );
+
+    let cells: Vec<Cell> = workloads
+        .iter()
+        .zip(&base_costs)
+        .flat_map(|(&w, &cost)| [budgeted(w, cost, 0.1), budgeted(w, cost, 1.0)])
+        .collect();
+
+    let one = run_campaign(&cells, &uncached(1));
+    let four = run_campaign(&cells, &uncached(4));
+    assert_eq!(
+        one.outputs, four.outputs,
+        "budget cells depend on thread count"
+    );
+
+    // a warm cache round-trips every budgeted field byte-identically
+    let dir = temp_cache("budget");
+    let cfg = CampaignConfig {
+        threads: Some(2),
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let cold = run_campaign(&cells, &cfg);
+    let warm = run_campaign(&cells, &cfg);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(warm.executed, 0, "warm budget rerun must be all cache hits");
+    assert_eq!(cold.outputs, one.outputs);
+    assert_eq!(warm.outputs, one.outputs);
+
+    // pinned economics (results/budget.csv quick rows): a 0.1× ceiling
+    // throttles growth — cheaper peak, longer makespan — while a 1.0×
+    // ceiling reproduces the unconstrained run exactly
+    let cost = |i: usize| one.outputs[i].cost_milli;
+    assert_eq!((cost(0), cost(2)), (74_000, 29_000), "0.1× ceilings moved");
+    assert_eq!((cost(1), cost(3)), (80_000, 45_000), "1.0× ceilings moved");
+    for (i, w) in [(1usize, 0usize), (3, 1)] {
+        assert_eq!(
+            one.outputs[i].makespan_ms, baselines.outputs[w].makespan_ms,
+            "a full-bill ceiling must not slow the run down"
+        );
+    }
+    for (i, w) in [(0usize, 0usize), (2, 1)] {
+        assert!(
+            one.outputs[i].makespan_ms > baselines.outputs[w].makespan_ms,
+            "a 0.1× ceiling must cost makespan (cell {i})"
+        );
+    }
+}
+
+#[test]
 fn corrupt_cache_entries_are_detected_and_recomputed() {
     let (_, cells) = spec();
     let dir = temp_cache("corrupt");

@@ -316,6 +316,76 @@ fn checker_catches_the_bill_eviction_grace_mutant() {
 }
 
 #[test]
+fn checker_catches_the_budget_veto_mutant() {
+    // Teeth test for the budget postconditions (hard veto + commit bound):
+    // the policy-side mutation knob grows straight through the ceiling while
+    // journaling honest ground facts. The extended checker must name the
+    // violated hard veto on a real engine run; the same run without the
+    // mutation must come back clean.
+    let seed = 3;
+    let workload = WorkloadId::EpigenomicsS;
+    let (wf, prof) = workload.generate(seed);
+    // ~0.1 × the natural bill at a 1-minute unit: committed spend crosses
+    // the ceiling while Algorithm 3 is still asking for growth.
+    let ceiling_milli = 8_000;
+
+    let run = |mutate: bool| {
+        let cfg = cloud_config_for(
+            Setting::Wire,
+            Millis::from_mins(1),
+            workload.spec().total_input_bytes,
+        )
+        .with_budget(ceiling_milli);
+        let handle = TelemetryHandle::new();
+        let checker = InvariantChecker::new(&cfg)
+            .expect_workflow(wf.num_tasks() as u32, wf.num_stages() as u32);
+        let mut policy = WirePolicy::default().with_telemetry(handle.clone());
+        policy.set_steering(wire::planner::SteeringConfig {
+            mutation_ignore_budget_veto: mutate,
+            ..Default::default()
+        });
+        let r = Session::new(cfg)
+            .transfer(TransferModel::default())
+            .policy(policy)
+            .seed(seed)
+            .recording(Tee(handle.clone(), checker.clone()))
+            .submit(&wf, &prof)
+            .run()
+            .expect("budgeted run completes");
+        let buffer = handle.take();
+        checker.absorb_decisions(&buffer.decisions);
+        (checker.report(), r)
+    };
+
+    let (clean_report, honest) = run(false);
+    assert!(
+        clean_report.is_clean(),
+        "honest budgeted run must be violation-free:\n{}",
+        clean_report.render()
+    );
+
+    let (mutant_report, mutant) = run(true);
+    assert!(
+        mutant.cost_milli > honest.cost_milli,
+        "the mutant must actually outspend the throttled run ({} vs {})",
+        mutant.cost_milli,
+        honest.cost_milli
+    );
+    assert!(
+        !mutant_report.is_clean(),
+        "the veto-ignoring mutant went undetected"
+    );
+    assert!(
+        mutant_report
+            .violations
+            .iter()
+            .any(|v| v.contains("hard veto")),
+        "wrong violation flagged:\n{}",
+        mutant_report.render()
+    );
+}
+
+#[test]
 fn paused_arrivals_defer_a_workflow_without_losing_it() {
     let (wf_a, prof_a) = WorkloadId::Tpch6S.generate(4);
     let (wf_b, prof_b) = WorkloadId::Tpch1S.generate(4);

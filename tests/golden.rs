@@ -172,6 +172,67 @@ fn explicit_legacy_family_row_is_byte_identical_to_the_empty_table() {
 }
 
 #[test]
+fn unset_budget_leaves_golden_digests_byte_identical() {
+    // The differential spine of the budget-steering change: a cloud with no
+    // budget field set must take no new code path — no spend scan, no
+    // budget-verdict events, no journal stamps. The pinned digests cannot
+    // move by a byte.
+    for &(w, seed, expected) in GOLDEN_DIGESTS {
+        let cfg = cloud_config_for(
+            Setting::Wire,
+            Millis::from_mins(15),
+            w.spec().total_input_bytes,
+        );
+        assert!(cfg.budget.is_none(), "default cloud grew a budget");
+        let (digest, _) = wire_run_digest_with(w, seed, cfg);
+        assert_eq!(
+            digest,
+            expected,
+            "{} / seed={seed}: unconstrained run moved with the budget change (digest {digest:#x})",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn infinite_budget_equals_unconstrained_field_for_field() {
+    // An explicit infinite ceiling (BudgetConfig::default) turns the ledger
+    // on — spend is scanned, verdicts are emitted, decisions are stamped —
+    // but the throttle must never bite: every run-level fact matches the
+    // unconstrained run exactly. (The digest legitimately differs: the event
+    // stream gains budget_verdict entries.)
+    for &(w, seed, _) in GOLDEN_DIGESTS {
+        let cfg = cloud_config_for(
+            Setting::Wire,
+            Millis::from_mins(15),
+            w.spec().total_input_bytes,
+        );
+        let (_, base) = wire_run_digest_with(w, seed, cfg.clone());
+        let (_, budgeted) = wire_run_digest_with(w, seed, cfg.with_budget(u64::MAX));
+        let cell = format!("{} / seed={seed}", w.name());
+        assert_eq!(base.charging_units, budgeted.charging_units, "{cell}");
+        assert_eq!(base.makespan, budgeted.makespan, "{cell}");
+        assert_eq!(base.cost_milli, budgeted.cost_milli, "{cell}");
+        assert_eq!(base.restarts, budgeted.restarts, "{cell}");
+        assert_eq!(
+            base.instances_launched, budgeted.instances_launched,
+            "{cell}"
+        );
+        assert_eq!(base.peak_instances, budgeted.peak_instances, "{cell}");
+        assert_eq!(base.instance_time, budgeted.instance_time, "{cell}");
+        assert_eq!(base.busy_slot_time, budgeted.busy_slot_time, "{cell}");
+        assert_eq!(base.wasted_slot_time, budgeted.wasted_slot_time, "{cell}");
+        assert_eq!(base.mape_iterations, budgeted.mape_iterations, "{cell}");
+        assert_eq!(base.evictions, budgeted.evictions, "{cell}");
+        assert_eq!(base.oom_restarts, budgeted.oom_restarts, "{cell}");
+        assert_eq!(base.task_records, budgeted.task_records, "{cell}");
+        assert_eq!(base.instance_bills, budgeted.instance_bills, "{cell}");
+        assert_eq!(base.pool_timeline, budgeted.pool_timeline, "{cell}");
+        assert_eq!(base.per_workflow, budgeted.per_workflow, "{cell}");
+    }
+}
+
+#[test]
 fn golden_session_n1_matches_run_workflow_exactly() {
     // The deprecated single-workflow wrapper and a one-submission Session
     // must be decision-identical: same RNG draws, same event order, same
